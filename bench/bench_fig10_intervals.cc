@@ -1,0 +1,167 @@
+// Figure 10: Prediction Interval Evaluation — ENSEMBLE accuracy and
+// training time with 10/20/30/60/120-minute prediction intervals at
+// 1-hour, 1-day, and 3-day horizons on BusTracker. Expected shape:
+// shorter intervals -> better per-hour accuracy but longer training; the
+// interval dominates training time, the horizon barely matters.
+#include <chrono>
+#include <cstdio>
+#include <memory>
+
+#include "bench_util.h"
+#include "forecaster/dataset.h"
+#include "forecaster/ensemble.h"
+#include "forecaster/linear.h"
+#include "forecaster/neural.h"
+#include "math/stats.h"
+
+using namespace qb5000;
+using namespace qb5000::bench;
+
+namespace {
+
+Matrix SubMatrix(const Matrix& m, size_t rows) {
+  Matrix out(rows, m.cols());
+  for (size_t i = 0; i < rows; ++i) out.SetRow(i, m.Row(i));
+  return out;
+}
+
+struct CellResult {
+  double log_mse = 0.0;
+  double train_seconds = 0.0;
+};
+
+/// Evaluates ENSEMBLE at `interval_minutes`; per-hour predictions are the
+/// sum of the sub-hour interval predictions (Section 7.4's comparison
+/// scheme) so all intervals are scored on the same hourly target.
+CellResult EvaluateInterval(const PreProcessor& pre,
+                            const OnlineClusterer& clusterer, Timestamp end,
+                            int interval_minutes, int horizon_hours) {
+  CellResult cell;
+  int64_t interval = interval_minutes * kSecondsPerMinute;
+  auto top = clusterer.TopClustersByVolume(3);
+  std::vector<TimeSeries> series;
+  for (ClusterId id : top) {
+    auto center = clusterer.CenterSeries(pre, id, interval, 0, end);
+    if (center.ok()) series.push_back(std::move(*center));
+  }
+  if (series.empty()) return cell;
+
+  // For intervals <= 60 min, an hour spans `steps_per_hour` intervals; for
+  // the 120-min interval the paper splits each interval across its two
+  // hours, which is equivalent to scoring the per-interval totals at half
+  // weight (handled below).
+  size_t steps_per_hour =
+      interval_minutes <= 60 ? static_cast<size_t>(60 / interval_minutes) : 1;
+  size_t hours_per_step =
+      interval_minutes <= 60 ? 1 : static_cast<size_t>(interval_minutes / 60);
+  size_t window = 24 * 60 / static_cast<size_t>(interval_minutes);
+  size_t horizon_steps = std::max<size_t>(
+      1, static_cast<size_t>(horizon_hours) * 60 /
+             static_cast<size_t>(interval_minutes));
+  auto dataset = BuildDataset(series, window, horizon_steps);
+  if (!dataset.ok()) return cell;
+  size_t n = dataset->x.rows();
+  size_t train_n = static_cast<size_t>(0.7 * static_cast<double>(n));
+  // Subsample training rows so fine intervals stay tractable while still
+  // carrying more samples than coarse intervals (stride by interval).
+  size_t stride = 1;
+  size_t max_train = FastMode() ? 250 : 600;
+  while (train_n / stride > max_train) ++stride;
+  size_t kept = train_n / stride;
+  Matrix train_x(kept, dataset->x.cols());
+  Matrix train_y(kept, dataset->y.cols());
+  for (size_t i = 0; i < kept; ++i) {
+    train_x.SetRow(i, dataset->x.Row(i * stride));
+    train_y.SetRow(i, dataset->y.Row(i * stride));
+  }
+
+  ModelOptions opts;
+  opts.num_series = series.size();
+  opts.hidden_dim = FastMode() ? 8 : 12;
+  opts.embedding_dim = 8;
+  opts.num_layers = 1;
+  opts.max_epochs = FastMode() ? 8 : 20;
+  opts.patience = 4;
+  auto lr = std::make_shared<LinearRegressionModel>(opts);
+  auto rnn = std::make_shared<RnnModel>(opts);
+  auto start = std::chrono::steady_clock::now();
+  if (!lr->Fit(train_x, train_y).ok() || !rnn->Fit(train_x, train_y).ok()) {
+    return cell;
+  }
+  cell.train_seconds =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - start)
+          .count();
+  EnsembleModel ensemble(lr, rnn);
+
+  // Score per *hour*: sum interval predictions within each hour (or split
+  // a super-hour interval evenly across its hours).
+  Vector actual_hourly, predicted_hourly;
+  double hour_scale = 1.0 / static_cast<double>(hours_per_step);
+  for (size_t i = train_n; i + steps_per_hour <= n; i += steps_per_hour) {
+    double actual_sum = 0, predicted_sum = 0;
+    bool ok = true;
+    for (size_t s = 0; s < steps_per_hour; ++s) {
+      auto pred = ensemble.Predict(dataset->x.Row(i + s));
+      if (!pred.ok()) {
+        ok = false;
+        break;
+      }
+      Vector pred_rates = ToArrivalRates(*pred);
+      Vector actual_rates = ToArrivalRates(dataset->y.Row(i + s));
+      for (size_t j = 0; j < pred_rates.size(); ++j) {
+        predicted_sum += pred_rates[j] * hour_scale;
+        actual_sum += actual_rates[j] * hour_scale;
+      }
+    }
+    if (!ok) continue;
+    actual_hourly.push_back(actual_sum);
+    predicted_hourly.push_back(predicted_sum);
+  }
+  cell.log_mse = LogSpaceMse(actual_hourly, predicted_hourly);
+  return cell;
+}
+
+}  // namespace
+
+int main() {
+  PrintHeader("Figure 10: Prediction Interval Evaluation",
+              "Figure 10 (ENSEMBLE accuracy & training time vs interval)");
+  // Long enough that the held-out tail spans a full week (weekday and
+  // weekend days), otherwise the day-ahead horizons are dominated by
+  // unpredictable weekday/weekend transitions.
+  int days = FastMode() ? 10 : 18;
+  auto prepared = Prepare(MakeBusTracker(), days, 5 * kSecondsPerMinute);
+
+  const int kIntervals[] = {10, 20, 30, 60, 120};
+  const int kHorizonHours[] = {1, 24, 72};
+  std::printf("\n(a) accuracy, log MSE of hourly totals (lower = better):\n");
+  std::printf("%-10s", "horizon");
+  for (int m : kIntervals) std::printf(" %7dm", m);
+  std::printf("\n");
+  std::vector<std::vector<CellResult>> cells;
+  for (int horizon : kHorizonHours) {
+    std::vector<CellResult> row;
+    std::printf("%-10s", (std::to_string(horizon) + " Hour").c_str());
+    for (int interval : kIntervals) {
+      row.push_back(EvaluateInterval(prepared.pre, prepared.clusterer,
+                                     prepared.end, interval, horizon));
+      std::printf(" %8.2f", row.back().log_mse);
+      std::fflush(stdout);
+    }
+    std::printf("\n");
+    cells.push_back(std::move(row));
+  }
+  std::printf("\n(b) training time, seconds (LR + RNN, CPU):\n");
+  std::printf("%-10s", "horizon");
+  for (int m : kIntervals) std::printf(" %7dm", m);
+  std::printf("\n");
+  for (size_t h = 0; h < cells.size(); ++h) {
+    std::printf("%-10s", (std::to_string(kHorizonHours[h]) + " Hour").c_str());
+    for (const auto& cell : cells[h]) std::printf(" %8.2f", cell.train_seconds);
+    std::printf("\n");
+  }
+  std::printf("\npaper shapes: accuracy improves as intervals shrink (most at\n"
+              "long horizons); training time drops ~2.5x from 10m to 120m and\n"
+              "is nearly flat across horizons.\n");
+  return 0;
+}

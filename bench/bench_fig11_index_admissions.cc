@@ -1,0 +1,34 @@
+// Figure 11: Index Selection (MySQL / Admissions) — throughput and p99
+// latency of the Admissions workload replayed against the mini-DBMS under
+// AUTO (forecast-driven), STATIC (history-driven, prebuilt), and
+// AUTO-LOGICAL (logical-feature clusters) index selection.
+//
+// The experiment starts on the first application deadline (day 334): the
+// workload then shifts from applicant-driven growth queries to faculty
+// review queries, which is exactly the shift a forecast-driven controller
+// can exploit and a static (pre-deadline) history sample cannot.
+//
+// Paper shapes: AUTO starts below STATIC (no indexes yet), overtakes or
+// matches it by the end; AUTO-LOGICAL trails AUTO by ~20% throughput.
+#include "bench_util.h"
+#include "index_experiment.h"
+
+using namespace qb5000;
+using namespace qb5000::bench;
+
+int main() {
+  PrintHeader("Figure 11: Index Selection (Admissions / 'MySQL')",
+              "Figure 11 (AUTO vs STATIC vs AUTO-LOGICAL)");
+  IndexExperimentOptions options;
+  options.t0 = 334 * kSecondsPerDay;  // first deadline day (spike at +12 h)
+  // The paper replays 16 hours at 600x; we extend to 36 trace-hours so the
+  // post-deadline shift to faculty-review queries (which starts at +12 h)
+  // has time to enter the top modeled clusters.
+  options.hours = FastMode() ? 20 : 36;
+  options.total_indexes = 8;  // paper builds 20 on a 216-table schema;
+                              // scaled to our 8-table schema (DESIGN.md)
+  options.row_scale = FastMode() ? 0.1 : 0.25;
+  options.replay_scale = FastMode() ? 0.004 : 0.01;
+  options.seed = 501;
+  return RunIndexSelectionExperiment(MakeAdmissions({.seed = 7}), options);
+}

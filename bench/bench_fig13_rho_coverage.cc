@@ -1,0 +1,64 @@
+// Figure 13 (Appendix A): Cluster Coverage vs rho — the fraction of
+// workload volume covered by the three largest clusters as the similarity
+// threshold rho sweeps 0.5..0.9. Expected shape: stable from 0.5 to 0.8,
+// dropping at 0.9 as clusters fragment.
+#include <cstdio>
+
+#include "bench_util.h"
+
+using namespace qb5000;
+using namespace qb5000::bench;
+
+namespace {
+
+struct RhoPoint {
+  double coverage = 0;
+  size_t clusters = 0;
+};
+
+RhoPoint Top3Coverage(const SyntheticWorkload& workload, int days, double rho) {
+  auto prepared = Prepare(workload, days, 10 * kSecondsPerMinute, rho);
+  RhoPoint point;
+  point.clusters = prepared.clusterer.clusters().size();
+  double total = prepared.clusterer.TotalVolume();
+  if (total <= 0) return point;
+  double covered = 0;
+  for (ClusterId id : prepared.clusterer.TopClustersByVolume(3)) {
+    covered += prepared.clusterer.clusters().at(id).volume;
+  }
+  point.coverage = covered / total;
+  return point;
+}
+
+}  // namespace
+
+int main() {
+  PrintHeader("Figure 13: Cluster Coverage vs rho",
+              "Appendix A Figure 13 (top-3 coverage across rho)");
+  int days = FastMode() ? 7 : 14;
+  const double kRhos[] = {0.5, 0.6, 0.7, 0.8, 0.9, 0.95};
+  std::printf("%-11s", "workload");
+  for (double rho : kRhos) std::printf("  rho=%.2f", rho);
+  std::printf("\n------------------------------------------------------------\n");
+  struct Job {
+    const char* name;
+    SyntheticWorkload workload;
+  } jobs[] = {{"Admissions", MakeAdmissions()},
+              {"BusTracker", MakeBusTracker()},
+              {"MOOC", MakeMooc()}};
+  for (auto& job : jobs) {
+    std::printf("%-11s", job.name);
+    for (double rho : kRhos) {
+      auto point = Top3Coverage(job.workload, days, rho);
+      std::printf(" %5.1f%%/%zu", 100.0 * point.coverage, point.clusters);
+    }
+    std::printf("\n");
+    std::fflush(stdout);
+  }
+  std::printf("\n(coverage%% / cluster count)\n");
+  std::printf("\npaper shape: coverage stable for rho in [0.5, 0.8], drops at\n"
+              "rho >= 0.9 as clusters split. Our scaled traces have far fewer\n"
+              "templates, so top-3 coverage saturates higher than the paper's;\n"
+              "the fragmentation trend shows in the cluster counts.\n");
+  return 0;
+}

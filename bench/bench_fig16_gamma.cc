@@ -1,0 +1,114 @@
+// Figure 16 (Appendix C): HYBRID gamma sensitivity — actual vs predicted
+// Admissions arrival rates around the year-2 deadlines with the KR
+// override threshold gamma at 100%, 150%, and 200%. All three capture the
+// major spikes; lower gamma uses KR more often (more spike sensitivity,
+// more false positives on quiet days).
+#include <algorithm>
+#include <cstdio>
+#include <memory>
+
+#include "bench_util.h"
+#include "forecaster/dataset.h"
+#include "forecaster/ensemble.h"
+#include "forecaster/kernel_regression.h"
+#include "forecaster/linear.h"
+#include "forecaster/neural.h"
+#include "math/stats.h"
+
+using namespace qb5000;
+using namespace qb5000::bench;
+
+namespace {
+
+Matrix SubMatrix(const Matrix& m, size_t rows) {
+  Matrix out(rows, m.cols());
+  for (size_t i = 0; i < rows; ++i) out.SetRow(i, m.Row(i));
+  return out;
+}
+
+}  // namespace
+
+int main() {
+  PrintHeader("Figure 16: HYBRID gamma sensitivity",
+              "Appendix C Figure 16 (gamma = 100% / 150% / 200%)");
+
+  auto workload = MakeAdmissions({.seed = 9, .volume_scale = 0.5});
+  PreProcessor pre;
+  Timestamp feed_end = 725 * kSecondsPerDay;
+  workload.FeedAggregated(pre, 0, feed_end, kSecondsPerHour, 2).ok();
+  TimeSeries total = TotalSeries(pre, kSecondsPerHour, 0, feed_end);
+
+  // ENSEMBLE inputs: last day; KR inputs: three weeks (Section 6.2).
+  const size_t kSmoothWindow = 24;
+  const size_t kKrWindow = 21 * 24;
+  const size_t kHorizon = 7 * 24;
+  Timestamp eval_from = 680 * kSecondsPerDay;
+  auto ds_smooth = BuildDataset({total}, kSmoothWindow, kHorizon);
+  auto ds_kr = BuildDataset({total}, kKrWindow, kHorizon);
+  if (!ds_smooth.ok() || !ds_kr.ok()) {
+    std::printf("dataset failed\n");
+    return 1;
+  }
+  const size_t kRowShift = kKrWindow - kSmoothWindow;
+  size_t eval_start_kr =
+      static_cast<size_t>(eval_from / kSecondsPerHour) - kKrWindow - kHorizon + 1;
+
+  Matrix smooth_x = SubMatrix(ds_smooth->x, eval_start_kr + kRowShift);
+  Matrix smooth_y = SubMatrix(ds_smooth->y, eval_start_kr + kRowShift);
+  Matrix kr_x = SubMatrix(ds_kr->x, eval_start_kr);
+  Matrix kr_y = SubMatrix(ds_kr->y, eval_start_kr);
+
+  ModelOptions opts;
+  opts.num_series = 1;
+  opts.hidden_dim = FastMode() ? 8 : 16;
+  opts.embedding_dim = 8;
+  opts.num_layers = 1;
+  opts.max_epochs = FastMode() ? 8 : 20;
+  auto lr = std::make_shared<LinearRegressionModel>(opts);
+  auto rnn = std::make_shared<RnnModel>(opts);
+  auto kr = std::make_shared<KernelRegressionModel>(opts);
+  if (!lr->Fit(smooth_x, smooth_y).ok() || !rnn->Fit(smooth_x, smooth_y).ok() ||
+      !kr->Fit(kr_x, kr_y).ok()) {
+    std::printf("fit failed\n");
+    return 1;
+  }
+  auto ensemble = std::make_shared<EnsembleModel>(lr, rnn);
+
+  size_t n = ds_kr->x.rows();
+  std::vector<double> actual;
+  for (size_t i = eval_start_kr; i < n; i += 24) {
+    actual.push_back(std::expm1(ds_kr->y(i, 0)));
+  }
+  std::printf("\ndaily samples, days 680.., predicting +7 days "
+              "(deadlines at 699 and 713):\n\n");
+  PrintSparkline("actual", actual);
+  PrintSeriesRow("fig16_actual", actual, 0);
+
+  for (double gamma : {1.0, 1.5, 2.0}) {
+    HybridModel hybrid(ensemble, kr, gamma);
+    std::vector<double> predicted;
+    size_t kr_used = 0;
+    for (size_t i = eval_start_kr; i < n; i += 24) {
+      Vector smooth_in = ds_smooth->x.Row(i + kRowShift);
+      auto p = hybrid.PredictWithKrInput(smooth_in, ds_kr->x.Row(i));
+      double rate =
+          p.ok() ? std::max(0.0, std::expm1(std::min((*p)[0], 50.0))) : 0.0;
+      predicted.push_back(rate);
+      auto e = ensemble->Predict(smooth_in);
+      if (e.ok() && rate > std::expm1(std::min((*e)[0], 50.0)) + 1e-6) ++kr_used;
+    }
+    Vector actual_v(actual.begin(), actual.end());
+    Vector pred_v(predicted.begin(), predicted.end());
+    std::printf("\n-- gamma = %.0f%% (KR override on %zu/%zu days, log MSE "
+                "%.2f) --\n",
+                100.0 * gamma, kr_used, predicted.size(),
+                LogSpaceMse(actual_v, pred_v));
+    PrintSparkline("HYBRID prediction", predicted);
+    char name[48];
+    std::snprintf(name, sizeof(name), "fig16_gamma%.0f", 100.0 * gamma);
+    PrintSeriesRow(name, predicted, 0);
+  }
+  std::printf("\npaper shape: all gammas capture the major spikes; lower\n"
+              "gamma fires the KR override more often.\n");
+  return 0;
+}

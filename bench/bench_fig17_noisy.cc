@@ -1,0 +1,90 @@
+// Figure 17 (Appendix D): Predicting Noisy Workloads — the OLTP-Bench
+// composite: eight benchmarks executed back-to-back (10 hours each) with
+// 50%-variance white noise and injected anomalies. QB5000 re-clusters when
+// it detects the shift (new-template trigger) and keeps predicting the
+// average volume; individual noise is unpredictable by construction.
+#include <cstdio>
+
+#include "bench_util.h"
+#include "core/qb5000.h"
+#include "math/stats.h"
+
+using namespace qb5000;
+using namespace qb5000::bench;
+
+int main() {
+  PrintHeader("Figure 17: Predicting Noisy Workloads",
+              "Appendix D Figure 17 (OLTP-Bench composite, 1-h horizon)");
+
+  auto workload = MakeNoisyComposite({.seed = 6});
+  QueryBot5000::Config config;
+  config.clusterer.feature.num_samples = FastMode() ? 96 : 192;
+  config.clusterer.feature.window_seconds = kSecondsPerDay;
+  config.clusterer.new_template_trigger_ratio = 0.1;
+  // Rank clusters by the last few hours so the freshly-active benchmark's
+  // clusters are the ones modeled right after a shift.
+  config.clusterer.volume_window_seconds = 4 * kSecondsPerHour;
+  config.forecaster.kind = ModelKind::kLr;  // short horizon, short history
+  config.forecaster.interval_seconds = 30 * kSecondsPerMinute;
+  config.forecaster.input_window = 6;  // three hours of context
+  config.forecaster.training_window_seconds = 12 * kSecondsPerHour;
+  // Heavy ridge: within a benchmark segment the right answer is "predict
+  // the current level"; strong regularization keeps LR from extrapolating
+  // across segment boundaries it has never seen.
+  config.forecaster.model.ridge_lambda = 2.0;
+  config.horizons = {kSecondsPerHour};
+  config.maintenance_period_seconds = 2 * kSecondsPerHour;
+  config.max_modeled_clusters = 5;
+  config.coverage_target = 0.99;
+  QueryBot5000 bot(config);
+
+  Timestamp end = 80 * kSecondsPerHour;
+  std::vector<double> actual, predicted;
+  std::vector<int> shift_marks;
+  PreProcessor reference;  // independent full view for the actual series
+  workload.FeedAggregated(reference, 0, end, 10 * kSecondsPerMinute, 3).ok();
+  TimeSeries actual_total =
+      TotalSeries(reference, 30 * kSecondsPerMinute, 0, end);
+
+  // Walk the trace: ingest each 30-minute slice, run maintenance (which
+  // fires on the benchmark shifts via the new-template trigger), forecast
+  // one hour ahead.
+  int64_t step = 30 * kSecondsPerMinute;
+  for (Timestamp now = 0; now + kSecondsPerHour < end; now += step) {
+    workload
+        .FeedAggregated(bot.mutable_preprocessor(), now, now + step,
+                        10 * kSecondsPerMinute, 3)
+        .ok();
+    if (bot.clusterer().ShouldTrigger(bot.preprocessor())) {
+      shift_marks.push_back(static_cast<int>(actual.size()));
+    }
+    bot.RunMaintenance(now + step).ok();
+    if (now < 6 * kSecondsPerHour) continue;  // warm-up
+    auto forecast = bot.Forecast(now + step, kSecondsPerHour);
+    double predicted_total = 0;
+    if (forecast.ok()) {
+      for (double v : forecast->queries_per_interval) predicted_total += v;
+    }
+    predicted.push_back(predicted_total);
+    actual.push_back(actual_total.ValueAt(now + step + kSecondsPerHour));
+  }
+
+  std::printf("\n30-minute samples, 1-hour-ahead predicted vs actual total "
+              "volume\n(benchmark switches every 10 h; %zu re-cluster "
+              "triggers fired):\n\n",
+              shift_marks.size());
+  PrintSparkline("actual", actual);
+  PrintSparkline("predicted", predicted);
+  PrintSeriesRow("fig17_actual", actual, 0);
+  PrintSeriesRow("fig17_predicted", predicted, 0);
+
+  Vector actual_v(actual.begin(), actual.end());
+  Vector pred_v(predicted.begin(), predicted.end());
+  std::printf("\nlog MSE %.2f; mean actual %.0f vs mean predicted %.0f per "
+              "30 min\n",
+              LogSpaceMse(actual_v, pred_v), Mean(actual_v), Mean(pred_v));
+  std::printf("\npaper shape: predictions track each benchmark's average\n"
+              "volume and re-lock quickly after every shift; the injected\n"
+              "noise and anomalies remain unpredictable (as intended).\n");
+  return 0;
+}

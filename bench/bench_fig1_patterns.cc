@@ -1,0 +1,60 @@
+// Figure 1: Workload Patterns — (a) BusTracker's 72-hour diurnal cycles,
+// (b) Admissions' growth + spike in the week before a deadline, and
+// (c) MOOC's accumulating distinct-template count around a feature release.
+#include <cstdio>
+
+#include "bench_util.h"
+
+using namespace qb5000;
+using namespace qb5000::bench;
+
+int main() {
+  PrintHeader("Figure 1: Workload Patterns", "Figure 1 (a)(b)(c)");
+
+  // (a) BusTracker: queries per hour over 72 weekday hours.
+  {
+    PreProcessor pre;
+    auto workload = MakeBusTracker();
+    workload.FeedAggregated(pre, 0, 3 * kSecondsPerDay, 10 * kSecondsPerMinute, 1)
+        .ok();
+    TimeSeries total = TotalSeries(pre, kSecondsPerHour, 0, 3 * kSecondsPerDay);
+    std::printf("\n(a) Cycles (BusTracker), 72 h, queries/hour:\n");
+    PrintSparkline("bustracker q/h", total.values());
+    PrintSeriesRow("fig1a_bustracker_qph", total.values(), 0);
+  }
+
+  // (b) Admissions: the week leading into the Dec-15-style deadline
+  // (day 348), queries per hour.
+  {
+    PreProcessor pre;
+    auto workload = MakeAdmissions();
+    Timestamp from = 341 * kSecondsPerDay;
+    Timestamp to = 349 * kSecondsPerDay;
+    workload.FeedAggregated(pre, from, to, 10 * kSecondsPerMinute, 2).ok();
+    TimeSeries total = TotalSeries(pre, kSecondsPerHour, from, to);
+    std::printf("\n(b) Growth and Spikes (Admissions), deadline week, queries/hour:\n");
+    PrintSparkline("admissions q/h", total.values());
+    PrintSeriesRow("fig1b_admissions_qph", total.values(), 0);
+  }
+
+  // (c) MOOC: cumulative distinct templates, daily, across the release.
+  {
+    PreProcessor pre;
+    auto workload = MakeMooc();
+    int days = FastMode() ? 60 : 90;
+    std::vector<double> cumulative;
+    for (int day = 0; day < days; ++day) {
+      workload
+          .FeedAggregated(pre, static_cast<Timestamp>(day) * kSecondsPerDay,
+                          static_cast<Timestamp>(day + 1) * kSecondsPerDay,
+                          kSecondsPerHour, 3)
+          .ok();
+      cumulative.push_back(static_cast<double>(pre.num_templates()));
+    }
+    std::printf("\n(c) Workload Evolution (MOOC), cumulative distinct templates per day\n");
+    std::printf("    (new release at day 45):\n");
+    PrintSparkline("mooc templates", cumulative);
+    PrintSeriesRow("fig1c_mooc_templates", cumulative, 0);
+  }
+  return 0;
+}

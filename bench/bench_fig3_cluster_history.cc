@@ -1,0 +1,53 @@
+// Figure 3: Arrival Rate History — the largest BusTracker cluster's center
+// plus its top member templates: distinct volumes, one shared cyclic shape
+// (the property that lets one model per cluster stand in for them all).
+#include <algorithm>
+#include <cstdio>
+
+#include "bench_util.h"
+
+using namespace qb5000;
+using namespace qb5000::bench;
+
+int main() {
+  PrintHeader("Figure 3: Arrival Rate History",
+              "Figure 3 (largest cluster center + top-4 members)");
+  int days = FastMode() ? 7 : 14;
+  auto prepared = Prepare(MakeBusTracker(), days, 10 * kSecondsPerMinute);
+
+  auto top = prepared.clusterer.TopClustersByVolume(1);
+  if (top.empty()) {
+    std::printf("no clusters formed\n");
+    return 1;
+  }
+  const auto& cluster = prepared.clusterer.clusters().at(top[0]);
+  Timestamp from = prepared.end - std::min<Timestamp>(prepared.end,
+                                                      12 * kSecondsPerDay);
+  auto center = prepared.clusterer.CenterSeries(prepared.pre, top[0],
+                                                kSecondsPerHour, from,
+                                                prepared.end);
+  if (!center.ok()) {
+    std::printf("center series failed: %s\n", center.status().ToString().c_str());
+    return 1;
+  }
+  std::printf("largest cluster: %zu templates, %.0f queries in the last day\n\n",
+              cluster.members.size(), cluster.volume);
+  PrintSparkline("cluster center", center->values());
+
+  // The four highest-volume member templates.
+  std::vector<std::pair<double, TemplateId>> members;
+  for (TemplateId id : cluster.members) {
+    const auto* info = prepared.pre.GetTemplate(id);
+    if (info != nullptr) members.emplace_back(info->total_queries, id);
+  }
+  std::sort(members.rbegin(), members.rend());
+  for (size_t i = 0; i < members.size() && i < 4; ++i) {
+    const auto* info = prepared.pre.GetTemplate(members[i].second);
+    auto series = info->history.Series(kSecondsPerHour, from, prepared.end);
+    if (!series.ok()) continue;
+    PrintSparkline("query " + std::to_string(i + 1), series->values());
+    std::printf("    %.60s...\n", info->text.c_str());
+  }
+  PrintSeriesRow("fig3_center_qph", center->values(), 0);
+  return 0;
+}

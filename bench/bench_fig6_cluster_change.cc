@@ -1,0 +1,74 @@
+// Figure 6: Cluster Change — how many of the five highest-volume clusters
+// change between consecutive days (stability of the online clustering).
+// The paper sees <= 1 change on >90% of days for Admissions/BusTracker and
+// more churn for MOOC (evolving workload).
+#include <cstdio>
+#include <set>
+
+#include "bench_util.h"
+
+using namespace qb5000;
+using namespace qb5000::bench;
+
+namespace {
+
+std::vector<double> ChangeHistogram(SyntheticWorkload workload, int start_day,
+                                    int days, int warmup_days) {
+  OnlineClusterer::Options opts;
+  opts.feature.num_samples = FastMode() ? 128 : 384;
+  opts.feature.window_seconds = 7 * kSecondsPerDay;
+  PreProcessor pre;
+  OnlineClusterer clusterer(opts);
+  std::vector<double> histogram(5, 0.0);
+  std::set<ClusterId> previous;
+  int counted = 0;
+  for (int day = start_day; day < start_day + days; ++day) {
+    workload
+        .FeedAggregated(pre, static_cast<Timestamp>(day) * kSecondsPerDay,
+                        static_cast<Timestamp>(day + 1) * kSecondsPerDay,
+                        10 * kSecondsPerMinute, 1)
+        .ok();
+    clusterer.Update(pre, static_cast<Timestamp>(day + 1) * kSecondsPerDay);
+    auto top = clusterer.TopClustersByVolume(5);
+    std::set<ClusterId> current(top.begin(), top.end());
+    if (day >= warmup_days && !previous.empty()) {
+      size_t changed = 0;
+      for (ClusterId id : current) {
+        if (!previous.count(id)) ++changed;
+      }
+      histogram[std::min<size_t>(changed, 4)] += 1.0;
+      ++counted;
+    }
+    previous = std::move(current);
+  }
+  for (double& h : histogram) h = counted > 0 ? 100.0 * h / counted : 0.0;
+  return histogram;
+}
+
+}  // namespace
+
+int main() {
+  PrintHeader("Figure 6: Cluster Change",
+              "Figure 6 (daily change count among the top-5 clusters)");
+  int days = FastMode() ? 12 : 30;
+  std::printf("%% of days with N cluster changes among the top five:\n");
+  std::printf("%-11s |   0    |   1    |   2    |   3    |  >=4\n", "workload");
+  std::printf("--------------------------------------------------------\n");
+  struct Job {
+    const char* name;
+    SyntheticWorkload workload;
+    int start_day;  // MOOC's window straddles its day-45 feature release
+  } jobs[] = {{"Admissions", MakeAdmissions(), 0},
+              {"BusTracker", MakeBusTracker(), 0},
+              {"MOOC", MakeMooc(), 35}};
+  for (auto& job : jobs) {
+    auto histogram =
+        ChangeHistogram(std::move(job.workload), job.start_day, days, 3);
+    std::printf("%-11s |", job.name);
+    for (double h : histogram) std::printf(" %5.1f%% |", h);
+    std::printf("\n");
+  }
+  std::printf("\npaper: Admissions/BusTracker have <= 1 change on > 90%% of\n"
+              "days; MOOC churns more as instructors launch new classes.\n");
+  return 0;
+}

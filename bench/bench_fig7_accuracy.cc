@@ -1,0 +1,176 @@
+// Figure 7: Forecasting Model Evaluation — average prediction accuracy
+// (log-space MSE; lower is better) of LR, KR, ARMA, FNN, RNN, PSRNN,
+// ENSEMBLE and HYBRID over horizons from 1 hour to 1 week on the three
+// workloads, with the top clusters (>= 95% coverage) modeled jointly.
+//
+// Expected shape (paper): LR competitive at short horizons; RNN overtakes
+// at >= 1 day; ENSEMBLE best overall and never worst; ARMA unstable;
+// HYBRID ~= ENSEMBLE on average accuracy.
+#include <cstdio>
+#include <map>
+#include <memory>
+
+#include "bench_util.h"
+#include "forecaster/dataset.h"
+#include "forecaster/ensemble.h"
+#include "forecaster/kernel_regression.h"
+#include "forecaster/linear.h"
+#include "forecaster/neural.h"
+#include "math/stats.h"
+
+using namespace qb5000;
+using namespace qb5000::bench;
+
+namespace {
+
+struct HorizonSpec {
+  const char* label;
+  int hours;
+};
+
+constexpr HorizonSpec kHorizons[] = {{"1 Hour", 1},  {"12 Hour", 12},
+                                     {"1 Day", 24},  {"2 Days", 48},
+                                     {"3 Days", 72}, {"5 Days", 120},
+                                     {"1 Week", 168}};
+
+Matrix SubMatrix(const Matrix& m, size_t rows) {
+  Matrix out(rows, m.cols());
+  for (size_t i = 0; i < rows; ++i) out.SetRow(i, m.Row(i));
+  return out;
+}
+
+ModelOptions NeuralOptions(size_t num_series) {
+  ModelOptions opts;
+  opts.num_series = num_series;
+  if (FastMode()) {
+    opts.hidden_dim = 10;
+    opts.embedding_dim = 8;
+    opts.num_layers = 1;
+    opts.max_epochs = 12;
+    opts.patience = 4;
+  } else {
+    opts.hidden_dim = 20;   // paper: two LSTM layers of 20 cells
+    opts.embedding_dim = 25;  // paper: embedding of size 25
+    opts.num_layers = 2;
+    opts.max_epochs = 40;
+    opts.patience = 6;
+  }
+  return opts;
+}
+
+/// Trains every base model once and scores all eight entries per horizon.
+std::map<std::string, double> EvaluateWorkload(
+    const std::vector<TimeSeries>& series, int horizon_hours) {
+  std::map<std::string, double> mse;
+  const size_t kWindow = 24;
+  size_t steps = static_cast<size_t>(horizon_hours);
+  auto dataset = BuildDataset(series, kWindow, steps);
+  if (!dataset.ok()) return mse;
+  size_t n = dataset->x.rows();
+  size_t train_n = static_cast<size_t>(0.7 * static_cast<double>(n));
+  if (train_n < 8 || train_n >= n) return mse;
+  Matrix train_x = SubMatrix(dataset->x, train_n);
+  Matrix train_y = SubMatrix(dataset->y, train_n);
+
+  ModelOptions opts = NeuralOptions(series.size());
+  auto lr = std::make_shared<LinearRegressionModel>(opts);
+  auto arma = std::make_shared<ArmaModel>(opts);
+  auto kr = std::make_shared<KernelRegressionModel>(opts);
+  auto fnn = std::make_shared<FnnModel>(opts);
+  auto rnn = std::make_shared<RnnModel>(opts);
+  auto psrnn = std::make_shared<PsrnnModel>(opts);
+  std::map<std::string, std::shared_ptr<ForecastModel>> models = {
+      {"LR", lr},   {"ARMA", arma},   {"KR", kr},
+      {"FNN", fnn}, {"RNN", rnn},     {"PSRNN", psrnn}};
+  for (auto& [name, model] : models) {
+    if (!model->Fit(train_x, train_y).ok()) return mse;
+  }
+  auto ensemble = std::make_shared<EnsembleModel>(lr, rnn);
+  auto hybrid = std::make_shared<HybridModel>(ensemble, kr, /*gamma=*/1.5);
+  models["ENSEMBLE"] = ensemble;
+  models["HYBRID"] = hybrid;
+
+  for (auto& [name, model] : models) {
+    Vector actual, predicted;
+    bool ok = true;
+    for (size_t i = train_n; i < n; ++i) {
+      auto pred = model->Predict(dataset->x.Row(i));
+      if (!pred.ok()) {
+        ok = false;
+        break;
+      }
+      Vector pred_rates = ToArrivalRates(*pred);
+      Vector actual_rates = ToArrivalRates(dataset->y.Row(i));
+      for (size_t j = 0; j < pred_rates.size(); ++j) {
+        predicted.push_back(pred_rates[j]);
+        actual.push_back(actual_rates[j]);
+      }
+    }
+    if (ok) mse[name] = LogSpaceMse(actual, predicted);
+  }
+  return mse;
+}
+
+void RunWorkload(const char* name, SyntheticWorkload workload, int start_day,
+                 int days) {
+  PreProcessor pre;
+  Timestamp from = static_cast<Timestamp>(start_day) * kSecondsPerDay;
+  Timestamp to = static_cast<Timestamp>(start_day + days) * kSecondsPerDay;
+  workload.FeedAggregated(pre, from, to, 10 * kSecondsPerMinute, 1).ok();
+  OnlineClusterer::Options copts;
+  copts.feature.num_samples = FastMode() ? 128 : 384;
+  copts.feature.window_seconds = 7 * kSecondsPerDay;
+  OnlineClusterer clusterer(copts);
+  clusterer.Update(pre, to);
+
+  // Top clusters covering >= 95% of volume, at most 5 (Section 7.2).
+  auto top = clusterer.TopClustersByVolume(5);
+  double total = clusterer.TotalVolume();
+  std::vector<TimeSeries> series;
+  double covered = 0;
+  for (ClusterId id : top) {
+    auto center = clusterer.CenterSeries(pre, id, kSecondsPerHour, from, to);
+    if (!center.ok()) continue;
+    series.push_back(std::move(*center));
+    covered += clusterer.clusters().at(id).volume;
+    if (total > 0 && covered / total >= 0.95) break;
+  }
+  std::printf("\n(%s) modeling %zu clusters, %.1f%% coverage\n", name,
+              series.size(), total > 0 ? 100.0 * covered / total : 0.0);
+  const char* kModels[] = {"LR",  "KR",    "ARMA",     "FNN",
+                           "RNN", "PSRNN", "ENSEMBLE", "HYBRID"};
+  std::printf("%-9s", "horizon");
+  for (const char* model : kModels) std::printf(" %9s", model);
+  std::printf("\n");
+  for (const auto& horizon : kHorizons) {
+    if (FastMode() && horizon.hours > 72) continue;
+    auto mse = EvaluateWorkload(series, horizon.hours);
+    std::printf("%-9s", horizon.label);
+    for (const char* model : kModels) {
+      auto it = mse.find(model);
+      if (it == mse.end()) {
+        std::printf(" %9s", "-");
+      } else {
+        std::printf(" %9.2f", it->second);
+      }
+    }
+    std::printf("\n");
+    std::fflush(stdout);
+  }
+}
+
+}  // namespace
+
+int main() {
+  PrintHeader("Figure 7: Forecasting Model Evaluation",
+              "Figure 7 (log MSE across 7 horizons x 8 models x 3 workloads)");
+  int days = FastMode() ? 21 : 35;
+  // Admissions evaluated in its growth window leading into the deadline.
+  RunWorkload("Admissions", MakeAdmissions(), 320 - days, days);
+  RunWorkload("BusTracker", MakeBusTracker(), 0, days);
+  RunWorkload("MOOC", MakeMooc(), 46, days);
+  std::printf(
+      "\npaper shapes to check: LR best/tied at <= 12 h; RNN beats LR at >= 1\n"
+      "day; ENSEMBLE lowest on average and never worst; HYBRID ~= ENSEMBLE.\n");
+  return 0;
+}

@@ -1,0 +1,108 @@
+// Figure 8: Prediction Results — actual vs predicted arrival rates for the
+// highest-volume BusTracker cluster at 1-hour and 1-week horizons. Both
+// horizons are scored over the SAME target dates (the final third of the
+// trace) so the comparison isolates horizon difficulty: the 1-hour
+// predictions should hug the actual curve, 1-week ones track the shape
+// with visibly more error.
+#include <algorithm>
+#include <cstdio>
+#include <memory>
+
+#include "bench_util.h"
+#include "forecaster/dataset.h"
+#include "forecaster/ensemble.h"
+#include "forecaster/kernel_regression.h"
+#include "forecaster/linear.h"
+#include "forecaster/neural.h"
+#include "math/stats.h"
+
+using namespace qb5000;
+using namespace qb5000::bench;
+
+namespace {
+
+Matrix SubMatrix(const Matrix& m, size_t rows) {
+  Matrix out(rows, m.cols());
+  for (size_t i = 0; i < rows; ++i) out.SetRow(i, m.Row(i));
+  return out;
+}
+
+}  // namespace
+
+int main() {
+  PrintHeader("Figure 8: Prediction Results (BusTracker)",
+              "Figure 8 (1-hour vs 1-week horizon, largest cluster)");
+  int days = FastMode() ? 21 : 35;
+  auto prepared = Prepare(MakeBusTracker(), days, 10 * kSecondsPerMinute);
+  auto series = TopClusterSeries(prepared, /*coverage=*/0.0, 1, kSecondsPerHour,
+                                 0, prepared.end);
+  if (series.empty()) {
+    std::printf("no clusters\n");
+    return 1;
+  }
+  const size_t kWindow = 24;
+  // Common evaluation range: targets in the final third of the trace.
+  size_t total_hours = series[0].size();
+  size_t eval_target_from = total_hours - total_hours / 3;
+
+  ModelOptions opts;
+  opts.num_series = 1;
+  if (FastMode()) {
+    opts.hidden_dim = 10;
+    opts.embedding_dim = 8;
+    opts.num_layers = 1;
+    opts.max_epochs = 12;
+  } else {
+    opts.max_epochs = 40;
+  }
+  for (int horizon_hours : {1, 168}) {
+    size_t h = static_cast<size_t>(horizon_hours);
+    auto dataset = BuildDataset(series, kWindow, h);
+    if (!dataset.ok()) {
+      std::printf("horizon %d h failed: %s\n", horizon_hours,
+                  dataset.status().ToString().c_str());
+      continue;
+    }
+    // Row i targets hour index i + kWindow + h - 1.
+    size_t n = dataset->x.rows();
+    size_t first_test_row = eval_target_from >= kWindow + h - 1
+                                ? eval_target_from - kWindow - h + 1
+                                : 0;
+    if (first_test_row < 8 || first_test_row >= n) {
+      std::printf("horizon %d h: not enough data\n", horizon_hours);
+      continue;
+    }
+    auto lr = std::make_shared<LinearRegressionModel>(opts);
+    auto rnn = std::make_shared<RnnModel>(opts);
+    if (!lr->Fit(SubMatrix(dataset->x, first_test_row),
+                 SubMatrix(dataset->y, first_test_row))
+             .ok() ||
+        !rnn->Fit(SubMatrix(dataset->x, first_test_row),
+                  SubMatrix(dataset->y, first_test_row))
+             .ok()) {
+      std::printf("horizon %d h: fit failed\n", horizon_hours);
+      continue;
+    }
+    EnsembleModel model(lr, rnn);
+    std::vector<double> actual, predicted;
+    for (size_t i = first_test_row; i < n; ++i) {
+      auto p = model.Predict(dataset->x.Row(i));
+      if (!p.ok()) break;
+      predicted.push_back(
+          std::max(0.0, std::expm1(std::min((*p)[0], 50.0))));
+      actual.push_back(std::expm1(dataset->y(i, 0)));
+    }
+    Vector av(actual.begin(), actual.end());
+    Vector pv(predicted.begin(), predicted.end());
+    std::printf("\n-- %d-hour horizon (log MSE %.2f over the common range) --\n",
+                horizon_hours, LogSpaceMse(av, pv));
+    PrintSparkline("actual q/h", actual);
+    PrintSparkline("predicted q/h", predicted);
+    PrintSeriesRow("fig8_actual_h" + std::to_string(horizon_hours), actual, 0);
+    PrintSeriesRow("fig8_predicted_h" + std::to_string(horizon_hours), predicted,
+                   0);
+  }
+  std::printf("\npaper shape: both horizons track the daily cycles; the\n"
+              "1-hour horizon is visibly tighter than the 1-week horizon.\n");
+  return 0;
+}

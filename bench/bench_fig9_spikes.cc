@@ -1,0 +1,138 @@
+// Figure 9: Spike Prediction — actual vs predicted Admissions arrival
+// rates around the annual application deadlines, one week ahead, for LR,
+// KR, RNN, and ENSEMBLE. Per the paper, LR/RNN/ENSEMBLE take the last
+// day's arrival rates as input while KR is trained on the full multi-year
+// history with three-week windows at one-hour intervals (Section 6.2) —
+// only KR should anticipate the deadline spikes.
+#include <algorithm>
+#include <cstdio>
+#include <memory>
+
+#include "bench_util.h"
+#include "forecaster/dataset.h"
+#include "forecaster/ensemble.h"
+#include "forecaster/kernel_regression.h"
+#include "forecaster/linear.h"
+#include "forecaster/neural.h"
+#include "math/stats.h"
+
+using namespace qb5000;
+using namespace qb5000::bench;
+
+namespace {
+
+Matrix SubMatrix(const Matrix& m, size_t rows) {
+  Matrix out(rows, m.cols());
+  for (size_t i = 0; i < rows; ++i) out.SetRow(i, m.Row(i));
+  return out;
+}
+
+}  // namespace
+
+int main() {
+  PrintHeader("Figure 9: Spike Prediction (Admissions)",
+              "Figure 9 (LR / KR / RNN / ENSEMBLE around the deadlines)");
+
+  // Two full years so the year-1 deadlines (days 334, 348) are training
+  // data for predicting the year-2 deadlines (days 699, 713).
+  auto workload = MakeAdmissions({.seed = 9, .volume_scale = 0.5});
+  PreProcessor pre;
+  Timestamp feed_end = 725 * kSecondsPerDay;
+  workload.FeedAggregated(pre, 0, feed_end, kSecondsPerHour, 2).ok();
+  TimeSeries total = TotalSeries(pre, kSecondsPerHour, 0, feed_end);
+
+  // Two input encodings over the same series and horizon:
+  //   * smooth models: last day (24 hourly rates),
+  //   * KR: three weeks (504 hourly rates).
+  const size_t kSmoothWindow = 24;
+  const size_t kKrWindow = 21 * 24;
+  const size_t kHorizon = 7 * 24;
+  Timestamp eval_from = 680 * kSecondsPerDay;
+  auto ds_smooth = BuildDataset({total}, kSmoothWindow, kHorizon);
+  auto ds_kr = BuildDataset({total}, kKrWindow, kHorizon);
+  if (!ds_smooth.ok() || !ds_kr.ok()) {
+    std::printf("dataset failed\n");
+    return 1;
+  }
+  // ds_kr row i targets index i + kKrWindow + kHorizon - 1; the ds_smooth
+  // row with the same target is i + (kKrWindow - kSmoothWindow).
+  const size_t kRowShift = kKrWindow - kSmoothWindow;
+  size_t eval_start_kr =
+      static_cast<size_t>(eval_from / kSecondsPerHour) - kKrWindow - kHorizon + 1;
+
+  Matrix smooth_x = SubMatrix(ds_smooth->x, eval_start_kr + kRowShift);
+  Matrix smooth_y = SubMatrix(ds_smooth->y, eval_start_kr + kRowShift);
+  Matrix kr_x = SubMatrix(ds_kr->x, eval_start_kr);
+  Matrix kr_y = SubMatrix(ds_kr->y, eval_start_kr);
+
+  ModelOptions opts;
+  opts.num_series = 1;
+  opts.hidden_dim = FastMode() ? 8 : 20;
+  opts.embedding_dim = FastMode() ? 8 : 25;
+  opts.num_layers = FastMode() ? 1 : 2;
+  opts.max_epochs = FastMode() ? 10 : 30;
+  auto lr = std::make_shared<LinearRegressionModel>(opts);
+  auto rnn = std::make_shared<RnnModel>(opts);
+  auto kr = std::make_shared<KernelRegressionModel>(opts);
+  if (!lr->Fit(smooth_x, smooth_y).ok() || !rnn->Fit(smooth_x, smooth_y).ok() ||
+      !kr->Fit(kr_x, kr_y).ok()) {
+    std::printf("fit failed\n");
+    return 1;
+  }
+  auto ensemble = std::make_shared<EnsembleModel>(lr, rnn);
+
+  struct Entry {
+    const char* name;
+    std::shared_ptr<ForecastModel> model;
+    bool uses_kr_window;
+  } entries[] = {{"LR", lr, false},
+                 {"KR", kr, true},
+                 {"RNN", rnn, false},
+                 {"ENSEMBLE", ensemble, false}};
+
+  // Walk daily through the eval window, predicting one week out.
+  std::vector<double> actual;
+  std::vector<std::vector<double>> preds(4);
+  size_t n = ds_kr->x.rows();
+  for (size_t i = eval_start_kr; i < n; i += 24) {
+    actual.push_back(std::expm1(ds_kr->y(i, 0)));
+    for (size_t m = 0; m < 4; ++m) {
+      Vector input = entries[m].uses_kr_window
+                         ? ds_kr->x.Row(i)
+                         : ds_smooth->x.Row(i + kRowShift);
+      auto p = entries[m].model->Predict(input);
+      preds[m].push_back(
+          p.ok() ? std::max(0.0, std::min(std::expm1(std::min((*p)[0], 50.0)),
+                                          1e12))
+                 : 0.0);
+    }
+  }
+  std::printf("\ndaily samples, days 680..%zu, predicting +7 days "
+              "(deadlines at 699 and 713):\n\n",
+              680 + actual.size() - 1);
+  PrintSparkline("actual", actual);
+  for (size_t m = 0; m < 4; ++m) PrintSparkline(entries[m].name, preds[m]);
+  PrintSeriesRow("fig9_actual", actual, 0);
+  for (size_t m = 0; m < 4; ++m) {
+    PrintSeriesRow(std::string("fig9_") + entries[m].name, preds[m], 0);
+  }
+
+  // Spike capture ratio: predicted/actual on the top-10% volume days.
+  double threshold = Quantile(actual, 0.9);
+  std::printf("\nspike capture (mean predicted/actual on days with actual >= "
+              "%.0f q/h):\n", threshold);
+  for (size_t m = 0; m < 4; ++m) {
+    double ratio_sum = 0;
+    int count = 0;
+    for (size_t i = 0; i < actual.size(); ++i) {
+      if (actual[i] < threshold || actual[i] <= 0) continue;
+      ratio_sum += preds[m][i] / actual[i];
+      ++count;
+    }
+    std::printf("  %-9s %.2f\n", entries[m].name,
+                count > 0 ? ratio_sum / count : 0.0);
+  }
+  std::printf("\npaper shape: only KR captures the deadline spikes; LR, RNN,\n"
+              "and ENSEMBLE stay near the smooth baseline.\n");
+  return 0;
+}

@@ -1,0 +1,49 @@
+// Table 1: Sample Workloads — per-trace summary (DBMS type, tables, trace
+// length, queries/day, statement-type breakdown). Our generators run at
+// laptop scale, so absolute volumes are smaller than the paper's; the
+// paper's values are printed alongside for comparison. The *mix* shape
+// (SELECT-dominated, small write fractions) is the reproduced property.
+#include <cstdio>
+
+#include "bench_util.h"
+
+using namespace qb5000;
+using namespace qb5000::bench;
+
+namespace {
+
+void Report(const SyntheticWorkload& workload, int days, const char* paper_row) {
+  PreProcessor pre;
+  workload
+      .FeedAggregated(pre, 0, static_cast<Timestamp>(days) * kSecondsPerDay,
+                      10 * kSecondsPerMinute, 1)
+      .ok();
+  auto stats = workload.Stats(pre, days);
+  double total = pre.total_queries();
+  auto pct = [total](double v) { return total > 0 ? 100.0 * v / total : 0.0; };
+  std::printf("%-11s | %-10s | %6zu | %5.0f | %11.0f | %5.1f%% | %5.1f%% | %5.1f%% | %5.1f%%\n",
+              stats.workload.c_str(), stats.dbms.c_str(), stats.num_tables,
+              stats.trace_days, stats.avg_queries_per_day, pct(stats.selects),
+              pct(stats.inserts), pct(stats.updates), pct(stats.deletes));
+  std::printf("  paper:    %s\n", paper_row);
+}
+
+}  // namespace
+
+int main() {
+  PrintHeader("Table 1: Sample Workloads",
+              "Table 1 (workload trace summaries)");
+  int scale = FastMode() ? 4 : 1;
+  std::printf("%-11s | %-10s | tables | days  |  queries/day |  SEL   |  INS   |  UPD   |  DEL\n",
+              "workload", "dbms");
+  std::printf("------------------------------------------------------------------------------------\n");
+  Report(MakeAdmissions(), 60 / scale,
+         "MySQL, 216 tables, 507 days, 5M/day, 99.8% / 0.07% / 0.1% / 0.02%");
+  Report(MakeBusTracker(), 58 / scale,
+         "PostgreSQL, 95 tables, 58 days, 19.9M/day, 98% / 0.8% / 1% / 0.2%");
+  Report(MakeMooc(), 60 / scale,
+         "MySQL, 454 tables, 85 days, 1.1M/day, 88% / 1.3% / 6% / 4.7%");
+  std::printf("\nNote: generators are volume-scaled; compare the SELECT-heavy mix\n"
+              "shape and relative magnitudes, not absolute counts (DESIGN.md).\n");
+  return 0;
+}

@@ -1,0 +1,35 @@
+// Table 3: Forecasting Models — the property matrix (linear / memory /
+// kernel) of the model families QB5000 considers (Section 6.1), generated
+// from the live trait functions so it cannot drift from the code.
+#include <cstdio>
+
+#include "bench_util.h"
+#include "forecaster/model.h"
+
+using namespace qb5000;
+using namespace qb5000::bench;
+
+int main() {
+  PrintHeader("Table 3: Forecasting Models", "Table 3 (model properties)");
+  const ModelKind kinds[] = {ModelKind::kLr,  ModelKind::kArma,
+                             ModelKind::kKr,  ModelKind::kRnn,
+                             ModelKind::kFnn, ModelKind::kPsrnn};
+  std::printf("%-8s", "");
+  for (ModelKind kind : kinds) {
+    std::printf(" %-6s", std::string(ModelKindName(kind)).c_str());
+  }
+  std::printf("\n");
+  auto row = [&](const char* label, bool ModelTraits::*field) {
+    std::printf("%-8s", label);
+    for (ModelKind kind : kinds) {
+      std::printf(" %-6s", TraitsOf(kind).*field ? "yes" : "-");
+    }
+    std::printf("\n");
+  };
+  row("Linear", &ModelTraits::linear);
+  row("Memory", &ModelTraits::memory);
+  row("Kernel", &ModelTraits::kernel);
+  std::printf("\npaper (Table 3): LR linear; ARMA linear+memory; KR kernel;\n"
+              "RNN memory; FNN none; PSRNN memory+kernel.\n");
+  return 0;
+}

@@ -1,0 +1,101 @@
+#include "bench_util.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <cstdlib>
+
+namespace qb5000::bench {
+
+bool FastMode() {
+  const char* env = std::getenv("QB_BENCH_FAST");
+  return env != nullptr && env[0] == '1';
+}
+
+void PrintHeader(const std::string& title, const std::string& paper_ref) {
+  std::printf("==============================================================\n");
+  std::printf("%s\n", title.c_str());
+  std::printf("reproduces: %s\n", paper_ref.c_str());
+  if (FastMode()) std::printf("(QB_BENCH_FAST=1: reduced scale)\n");
+  std::printf("==============================================================\n");
+}
+
+void PrintSparkline(const std::string& label, const std::vector<double>& values) {
+  static const char* kBars[] = {" ", "▁", "▂", "▃", "▄", "▅", "▆", "▇", "█"};
+  double peak = 0;
+  for (double v : values) {
+    if (std::isfinite(v)) peak = std::max(peak, v);
+  }
+  std::printf("%-24s ", label.c_str());
+  for (double v : values) {
+    int level = 0;
+    if (std::isfinite(v) && peak > 0) {
+      level = std::clamp(static_cast<int>(8.0 * v / peak), 0, 8);
+    } else if (!std::isfinite(v)) {
+      level = 8;
+    }
+    std::printf("%s", kBars[level]);
+  }
+  std::printf("  (peak %.0f)\n", peak);
+}
+
+void PrintSeriesRow(const std::string& name, const std::vector<double>& values,
+                    int precision) {
+  std::printf("%s", name.c_str());
+  for (double v : values) std::printf(", %.*f", precision, v);
+  std::printf("\n");
+}
+
+PreparedWorkload Prepare(SyntheticWorkload workload, int days,
+                         int64_t step_seconds, double rho,
+                         int feature_window_days) {
+  OnlineClusterer::Options opts;
+  opts.rho = rho;
+  opts.feature.num_samples = FastMode() ? 128 : 512;
+  opts.feature.window_seconds = feature_window_days * kSecondsPerDay;
+  PreparedWorkload out{std::move(workload), PreProcessor(),
+                       OnlineClusterer(opts),
+                       static_cast<Timestamp>(days) * kSecondsPerDay};
+  out.workload.FeedAggregated(out.pre, 0, out.end, step_seconds, 1).ok();
+  out.clusterer.Update(out.pre, out.end);
+  return out;
+}
+
+std::vector<TimeSeries> TopClusterSeries(const PreparedWorkload& prepared,
+                                         double coverage, size_t max_clusters,
+                                         int64_t interval_seconds,
+                                         Timestamp from, Timestamp to) {
+  auto top = prepared.clusterer.TopClustersByVolume(max_clusters);
+  double total = prepared.clusterer.TotalVolume();
+  std::vector<TimeSeries> series;
+  double covered = 0;
+  for (ClusterId id : top) {
+    auto center = prepared.clusterer.CenterSeries(prepared.pre, id,
+                                                  interval_seconds, from, to);
+    if (!center.ok()) continue;
+    series.push_back(std::move(*center));
+    covered += prepared.clusterer.clusters().at(id).volume;
+    if (total > 0 && covered / total >= coverage) break;
+  }
+  return series;
+}
+
+TimeSeries TotalSeries(const PreProcessor& pre, int64_t interval_seconds,
+                       Timestamp from, Timestamp to) {
+  TimeSeries total(AlignDown(from, interval_seconds), interval_seconds);
+  bool first = true;
+  for (TemplateId id : pre.TemplateIds()) {
+    const auto* info = pre.GetTemplate(id);
+    if (info == nullptr) continue;
+    auto series = info->history.Series(interval_seconds, from, to);
+    if (!series.ok()) continue;
+    if (first) {
+      total = std::move(*series);
+      first = false;
+    } else {
+      total.AddSeries(*series).ok();
+    }
+  }
+  return total;
+}
+
+}  // namespace qb5000::bench

@@ -1,0 +1,56 @@
+#ifndef QB5000_BENCH_BENCH_UTIL_H_
+#define QB5000_BENCH_BENCH_UTIL_H_
+
+#include <string>
+#include <vector>
+
+#include "clusterer/online_clusterer.h"
+#include "common/timeseries.h"
+#include "preprocessor/preprocessor.h"
+#include "workload/workload.h"
+
+namespace qb5000::bench {
+
+/// True when QB_BENCH_FAST=1: benches shrink trace lengths and model sizes
+/// so the whole suite smoke-runs quickly.
+bool FastMode();
+
+/// Prints a standard bench banner with the paper artifact being reproduced.
+void PrintHeader(const std::string& title, const std::string& paper_ref);
+
+/// Renders `values` as a unicode bar sparkline with a label and peak note.
+void PrintSparkline(const std::string& label, const std::vector<double>& values);
+
+/// Prints "name, v0, v1, ..." rows for machine-readable series output.
+void PrintSeriesRow(const std::string& name, const std::vector<double>& values,
+                    int precision = 1);
+
+/// A workload fed through the Pre-Processor with a clusterer updated at
+/// `end` (single pass; benches needing daily updates drive their own loop).
+struct PreparedWorkload {
+  SyntheticWorkload workload;
+  PreProcessor pre;
+  OnlineClusterer clusterer;
+  Timestamp end = 0;
+};
+
+/// Feeds `days` of the workload at `step_seconds` and runs one clustering
+/// pass at the end. `feature_window_days` bounds the similarity window.
+PreparedWorkload Prepare(SyntheticWorkload workload, int days,
+                         int64_t step_seconds, double rho = 0.8,
+                         int feature_window_days = 7);
+
+/// Aligned hourly (or other interval) center series for the top clusters
+/// covering >= `coverage` of volume (at most `max_clusters`).
+std::vector<TimeSeries> TopClusterSeries(const PreparedWorkload& prepared,
+                                         double coverage, size_t max_clusters,
+                                         int64_t interval_seconds,
+                                         Timestamp from, Timestamp to);
+
+/// Sums all templates' arrival series into one total-volume series.
+TimeSeries TotalSeries(const PreProcessor& pre, int64_t interval_seconds,
+                       Timestamp from, Timestamp to);
+
+}  // namespace qb5000::bench
+
+#endif  // QB5000_BENCH_BENCH_UTIL_H_

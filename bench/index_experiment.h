@@ -1,0 +1,38 @@
+#ifndef QB5000_BENCH_INDEX_EXPERIMENT_H_
+#define QB5000_BENCH_INDEX_EXPERIMENT_H_
+
+#include <string>
+
+#include "common/clock.h"
+#include "workload/workload.h"
+
+namespace qb5000::bench {
+
+/// Configuration for the Section 7.6/7.7 index-selection experiment: three
+/// copies of the same database run the same accelerated workload replay
+/// while different controllers choose their secondary indexes.
+///
+///  * AUTO        — QB5000 forecasts (arrival-rate clusters) drive an
+///                  AutoAdmin-style advisor; one build step per hour.
+///  * STATIC      — the same advisor over a fixed historical workload
+///                  sample; all indexes built before the run.
+///  * AUTO-LOGICAL— like AUTO but clustering on logical features (7.7).
+struct IndexExperimentOptions {
+  Timestamp t0 = 0;       ///< experiment start on the trace timeline
+  int hours = 16;         ///< experiment length (accelerated replay)
+  size_t total_indexes = 6;  ///< index budget per controller (paper: 20;
+                             ///< scaled to our smaller schemas)
+  double row_scale = 0.3;    ///< table size scale for the mini-DBMS
+  double replay_scale = 0.01;  ///< volume scale for measured replay
+  uint64_t seed = 77;
+  double logical_rho = 0.3;  ///< threshold for the logical-feature clusterer
+};
+
+/// Runs the experiment and prints per-hour throughput and p99 latency for
+/// the three controllers, plus the final index sets. Returns 0 on success.
+int RunIndexSelectionExperiment(const SyntheticWorkload& workload,
+                                const IndexExperimentOptions& options);
+
+}  // namespace qb5000::bench
+
+#endif  // QB5000_BENCH_INDEX_EXPERIMENT_H_

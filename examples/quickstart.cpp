@@ -1,0 +1,75 @@
+// Quickstart: feed queries into QueryBot 5000, run maintenance, and ask for
+// a workload forecast — the minimal end-to-end use of the public API.
+#include <cmath>
+#include <cstdio>
+
+#include "core/qb5000.h"
+
+using namespace qb5000;
+
+int main() {
+  // Configure the pipeline: hourly forecasting interval, a one-day input
+  // window, LR+RNN+KR hybrid models for 1-hour and 1-day horizons.
+  QueryBot5000::Config config;
+  config.forecaster.kind = ModelKind::kEnsemble;
+  config.forecaster.model.max_epochs = 20;  // quick demo training
+  config.horizons = {kSecondsPerHour, kSecondsPerDay};
+  QueryBot5000 bot(config);
+
+  // Simulate two weeks of an application issuing three query shapes with a
+  // shared diurnal pattern. In production you would call bot.Ingest() from
+  // the DBMS's query hook instead.
+  std::printf("Ingesting 14 days of synthetic query traffic...\n");
+  for (int hour = 0; hour < 14 * 24; ++hour) {
+    Timestamp ts = static_cast<Timestamp>(hour) * kSecondsPerHour;
+    double day_fraction = (hour % 24) / 24.0;
+    int volume = static_cast<int>(50.0 * (1.5 + std::sin(2 * M_PI * day_fraction)));
+    for (int i = 0; i < volume; ++i) {
+      int user = hour * 131 + i;
+      bot.Ingest("SELECT name FROM users WHERE user_id = " + std::to_string(user),
+                 ts)
+          .ok();
+      if (i % 3 == 0) {
+        bot.Ingest("UPDATE sessions SET last_seen = " + std::to_string(ts) +
+                       " WHERE user_id = " + std::to_string(user),
+                   ts)
+            .ok();
+      }
+      if (i % 10 == 0) {
+        bot.Ingest("INSERT INTO events (user_id, kind) VALUES (" +
+                       std::to_string(user) + ", 3)",
+                   ts)
+            .ok();
+      }
+    }
+  }
+  std::printf("  %zu distinct templates from %.0f queries\n",
+              bot.preprocessor().num_templates(),
+              bot.preprocessor().total_queries());
+
+  // Cluster templates and train forecasting models.
+  Timestamp now = 14 * kSecondsPerDay;
+  Status st = bot.RunMaintenance(now, /*force=*/true);
+  if (!st.ok()) {
+    std::printf("maintenance failed: %s\n", st.ToString().c_str());
+    return 1;
+  }
+  std::printf("Clustered into %zu clusters; modeling the top %zu.\n",
+              bot.clusterer().clusters().size(), bot.ModeledClusters().size());
+
+  // Forecast the next hour and the next day.
+  for (int64_t horizon : {kSecondsPerHour, kSecondsPerDay}) {
+    auto forecast = bot.Forecast(now, horizon);
+    if (!forecast.ok()) {
+      std::printf("forecast failed: %s\n", forecast.status().ToString().c_str());
+      return 1;
+    }
+    double total = 0;
+    for (double v : forecast->queries_per_interval) total += v;
+    std::printf("Forecast %+2ld h: %.0f queries/hour expected across %zu clusters\n",
+                static_cast<long>(horizon / kSecondsPerHour), total,
+                forecast->clusters.size());
+  }
+  std::printf("done.\n");
+  return 0;
+}

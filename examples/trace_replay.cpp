@@ -1,0 +1,113 @@
+// Trace replay: the file-based interface to QB5000. Feed it a trace file
+// of "epoch_seconds,sql" lines (as a DBMS query hook would produce) and it
+// runs the full pipeline and prints hourly forecasts for the trailing day.
+//
+// Usage:
+//   example_trace_replay --generate <file>   write a demo BusTracker trace
+//   example_trace_replay <file>              replay a trace and forecast
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <string>
+
+#include "core/qb5000.h"
+#include "workload/workload.h"
+
+using namespace qb5000;
+
+namespace {
+
+int GenerateTrace(const char* path) {
+  auto workload = MakeBusTracker({.seed = 3, .volume_scale = 0.5});
+  // Eight days of individual queries at a replayable volume.
+  auto events = workload.Materialize(0, 8 * kSecondsPerDay,
+                                     10 * kSecondsPerMinute, 11,
+                                     /*volume_scale=*/0.002);
+  std::ofstream out(path);
+  if (!out) {
+    std::printf("cannot write %s\n", path);
+    return 1;
+  }
+  for (const auto& event : events) {
+    out << event.timestamp << ',' << event.sql << '\n';
+  }
+  std::printf("wrote %zu events to %s\n", events.size(), path);
+  return 0;
+}
+
+int Replay(const char* path) {
+  std::ifstream in(path);
+  if (!in) {
+    std::printf("cannot read %s (hint: --generate %s first)\n", path, path);
+    return 1;
+  }
+  QueryBot5000::Config config;
+  config.forecaster.kind = ModelKind::kEnsemble;
+  config.forecaster.model.max_epochs = 20;
+  config.horizons = {kSecondsPerHour, kSecondsPerDay};
+  QueryBot5000 bot(config);
+
+  std::string line;
+  size_t accepted = 0, rejected = 0;
+  Timestamp last_ts = 0;
+  while (std::getline(in, line)) {
+    size_t comma = line.find(',');
+    if (comma == std::string::npos) {
+      ++rejected;
+      continue;
+    }
+    Timestamp ts = std::strtoll(line.substr(0, comma).c_str(), nullptr, 10);
+    std::string sql = line.substr(comma + 1);
+    if (bot.Ingest(sql, ts).ok()) {
+      ++accepted;
+      last_ts = std::max(last_ts, ts);
+    } else {
+      ++rejected;
+    }
+  }
+  std::printf("replayed %zu queries (%zu rejected), %zu templates, last at %s\n",
+              accepted, rejected, bot.preprocessor().num_templates(),
+              FormatTimestamp(last_ts).c_str());
+  if (accepted == 0) return 1;
+
+  Status st = bot.RunMaintenance(last_ts, /*force=*/true);
+  if (!st.ok()) {
+    std::printf("maintenance failed: %s\n", st.ToString().c_str());
+    return 1;
+  }
+  std::printf("%zu clusters; modeling %zu\n", bot.clusterer().clusters().size(),
+              bot.ModeledClusters().size());
+  for (int64_t horizon : {kSecondsPerHour, kSecondsPerDay}) {
+    auto forecast = bot.Forecast(last_ts, horizon);
+    if (!forecast.ok()) {
+      std::printf("forecast +%ldh failed: %s\n",
+                  static_cast<long>(horizon / kSecondsPerHour),
+                  forecast.status().ToString().c_str());
+      continue;
+    }
+    std::printf("forecast +%2ldh:", static_cast<long>(horizon / kSecondsPerHour));
+    double total = 0;
+    for (size_t i = 0; i < forecast->clusters.size(); ++i) {
+      std::printf("  cluster %ld -> %.0f q/h",
+                  static_cast<long>(forecast->clusters[i]),
+                  forecast->queries_per_interval[i]);
+      total += forecast->queries_per_interval[i];
+    }
+    std::printf("  (total %.0f q/h)\n", total);
+  }
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc == 3 && std::strcmp(argv[1], "--generate") == 0) {
+    return GenerateTrace(argv[2]);
+  }
+  if (argc == 2) return Replay(argv[1]);
+  std::printf("usage: %s [--generate] <trace-file>\n", argv[0]);
+  // With no arguments, run the full demo round trip in a temp file.
+  const char* demo = "/tmp/qb5000_demo_trace.csv";
+  if (GenerateTrace(demo) != 0) return 1;
+  return Replay(demo);
+}

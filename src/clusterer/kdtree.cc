@@ -1,0 +1,67 @@
+#include "clusterer/kdtree.h"
+
+#include <algorithm>
+#include <cassert>
+#include <limits>
+#include <numeric>
+
+#include "math/stats.h"
+
+namespace qb5000 {
+
+void KdTree::Build(std::vector<Vector> points) {
+  points_ = std::move(points);
+  nodes_.clear();
+  root_ = -1;
+  if (points_.empty()) return;
+  std::vector<int> idx(points_.size());
+  std::iota(idx.begin(), idx.end(), 0);
+  nodes_.reserve(points_.size());
+  root_ = BuildRange(idx, 0, idx.size(), 0);
+}
+
+int KdTree::BuildRange(std::vector<int>& idx, size_t begin, size_t end,
+                       size_t depth) {
+  if (begin >= end) return -1;
+  size_t dim = points_[0].size();
+  size_t axis = depth % dim;
+  size_t mid = begin + (end - begin) / 2;
+  std::nth_element(idx.begin() + begin, idx.begin() + mid, idx.begin() + end,
+                   [&](int a, int b) { return points_[a][axis] < points_[b][axis]; });
+  Node node;
+  node.point = idx[mid];
+  node.axis = axis;
+  int self = static_cast<int>(nodes_.size());
+  nodes_.push_back(node);
+  int left = BuildRange(idx, begin, mid, depth + 1);
+  int right = BuildRange(idx, mid + 1, end, depth + 1);
+  nodes_[self].left = left;
+  nodes_[self].right = right;
+  return self;
+}
+
+KdTree::Neighbor KdTree::Nearest(const Vector& query) const {
+  Neighbor best;
+  if (root_ < 0) return best;
+  assert(query.size() == points_[0].size());
+  best.distance_squared = std::numeric_limits<double>::infinity();
+  Search(root_, query, best);
+  return best;
+}
+
+void KdTree::Search(int node_id, const Vector& query, Neighbor& best) const {
+  if (node_id < 0) return;
+  const Node& node = nodes_[node_id];
+  double d = SquaredL2Distance(points_[node.point], query);
+  if (d < best.distance_squared) {
+    best.distance_squared = d;
+    best.index = node.point;
+  }
+  double delta = query[node.axis] - points_[node.point][node.axis];
+  int near = delta < 0 ? node.left : node.right;
+  int far = delta < 0 ? node.right : node.left;
+  Search(near, query, best);
+  if (delta * delta < best.distance_squared) Search(far, query, best);
+}
+
+}  // namespace qb5000

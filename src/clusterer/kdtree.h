@@ -1,0 +1,54 @@
+#ifndef QB5000_CLUSTERER_KDTREE_H_
+#define QB5000_CLUSTERER_KDTREE_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "math/matrix.h"
+
+namespace qb5000 {
+
+/// Static kd-tree over a set of points, used by the Clusterer to find the
+/// nearest existing cluster center for a template's (normalized) feature
+/// vector [Bentley 75]. The tree is rebuilt per clustering pass — cluster
+/// counts are small (hundreds) and cluster centers move between passes, so
+/// a static tree is both simpler and faster than incremental maintenance.
+class KdTree {
+ public:
+  KdTree() = default;
+
+  /// Builds the tree over `points` (all must share one dimension). Indices
+  /// returned by Nearest() refer to positions in this input vector.
+  void Build(std::vector<Vector> points);
+
+  /// Result of a nearest-neighbor query.
+  struct Neighbor {
+    int index = -1;              ///< index into the Build() input; -1 if empty
+    double distance_squared = 0; ///< squared Euclidean distance
+  };
+
+  /// Exact nearest neighbor of `query` (empty tree -> index -1).
+  Neighbor Nearest(const Vector& query) const;
+
+  size_t size() const { return points_.size(); }
+  bool empty() const { return points_.empty(); }
+
+ private:
+  struct Node {
+    int point = -1;  ///< index into points_
+    int left = -1;
+    int right = -1;
+    size_t axis = 0;
+  };
+
+  int BuildRange(std::vector<int>& idx, size_t begin, size_t end, size_t depth);
+  void Search(int node, const Vector& query, Neighbor& best) const;
+
+  std::vector<Vector> points_;
+  std::vector<Node> nodes_;
+  int root_ = -1;
+};
+
+}  // namespace qb5000
+
+#endif  // QB5000_CLUSTERER_KDTREE_H_

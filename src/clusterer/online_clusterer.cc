@@ -1,0 +1,355 @@
+#include "clusterer/online_clusterer.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "math/stats.h"
+
+namespace qb5000 {
+namespace {
+
+Vector Normalized(const Vector& v) {
+  double n = Norm(v);
+  if (n == 0.0) return v;
+  return ScaleVec(v, 1.0 / n);
+}
+
+/// Cosine similarity over positions [from, end); 0 if either restricted
+/// vector is all zeros.
+double MaskedCosine(const Vector& a, const Vector& b, size_t from) {
+  double dot = 0.0, na = 0.0, nb = 0.0;
+  for (size_t i = from; i < a.size(); ++i) {
+    dot += a[i] * b[i];
+    na += a[i] * a[i];
+    nb += b[i] * b[i];
+  }
+  if (na == 0.0 || nb == 0.0) return 0.0;
+  return dot / std::sqrt(na * nb);
+}
+
+double MaskedL2Similarity(const Vector& a, const Vector& b, size_t from) {
+  double sum = 0.0;
+  for (size_t i = from; i < a.size(); ++i) {
+    double d = a[i] - b[i];
+    sum += d * d;
+  }
+  return 1.0 / (1.0 + std::sqrt(sum));
+}
+
+}  // namespace
+
+double OnlineClusterer::Similarity(const Feature& feature,
+                                   const Vector& center) const {
+  if (feature.covered_from >= feature.values.size()) return 0.0;
+  if (options_.feature_mode == FeatureMode::kArrivalRate) {
+    return MaskedCosine(feature.values, center, feature.covered_from);
+  }
+  // Logical features: map L2 distance into (0, 1] so the same rho threshold
+  // semantics apply (identical features -> 1).
+  return MaskedL2Similarity(feature.values, center, feature.covered_from);
+}
+
+double OnlineClusterer::CenterSimilarity(const Vector& a, const Vector& b) const {
+  if (options_.feature_mode == FeatureMode::kArrivalRate) {
+    return CosineSimilarity(a, b);
+  }
+  return 1.0 / (1.0 + std::sqrt(SquaredL2Distance(a, b)));
+}
+
+void OnlineClusterer::RebuildSearchIndex() {
+  kdtree_ids_.clear();
+  std::vector<Vector> points;
+  points.reserve(clusters_.size());
+  for (const auto& [id, cluster] : clusters_) {
+    if (options_.feature_mode == FeatureMode::kArrivalRate &&
+        Norm(cluster.center) == 0.0) {
+      continue;  // zero centers cannot be normalized; matched exactly below
+    }
+    kdtree_ids_.push_back(id);
+    points.push_back(options_.feature_mode == FeatureMode::kArrivalRate
+                         ? Normalized(cluster.center)
+                         : cluster.center);
+  }
+  kdtree_.Build(std::move(points));
+}
+
+ClusterId OnlineClusterer::FindBestCluster(const Feature& feature,
+                                           ClusterId exclude) const {
+  if (clusters_.empty()) return -1;
+  if (feature.covered_from >= feature.values.size()) return -1;
+  bool full_coverage = feature.covered_from == 0;
+  bool is_zero = options_.feature_mode == FeatureMode::kArrivalRate &&
+                 Norm(feature.values) == 0.0;
+  if (is_zero) return -1;  // cosine similarity with everything is 0 < rho
+
+  // kd-tree fast path: only valid when the feature covers the full sample
+  // grid (masked similarity reorders neighbors otherwise). On the unit
+  // sphere |a-b|^2 = 2 - 2 cos(a,b), so the Euclidean nearest neighbor is
+  // the cosine-most-similar center. Logical features use raw L2 directly.
+  if (options_.use_kdtree && full_coverage && !kdtree_.empty()) {
+    Vector query = options_.feature_mode == FeatureMode::kArrivalRate
+                       ? Normalized(feature.values)
+                       : feature.values;
+    KdTree::Neighbor nn = kdtree_.Nearest(query);
+    if (nn.index >= 0) {
+      ClusterId best = kdtree_ids_[static_cast<size_t>(nn.index)];
+      if (best != exclude) {
+        auto it = clusters_.find(best);
+        if (it != clusters_.end() &&
+            Similarity(feature, it->second.center) > options_.rho) {
+          return best;
+        }
+      }
+      // The excluded cluster was nearest, or the nearest fails rho: fall
+      // through to the exact scan (rare path, keeps the result exact).
+    }
+  }
+  ClusterId best = -1;
+  double best_sim = options_.rho;
+  for (const auto& [id, cluster] : clusters_) {
+    if (id == exclude) continue;
+    double sim = Similarity(feature, cluster.center);
+    if (sim > best_sim) {
+      best_sim = sim;
+      best = id;
+    }
+  }
+  return best;
+}
+
+void OnlineClusterer::RecomputeCenter(Cluster& cluster) {
+  if (cluster.members.empty()) return;
+  auto first = features_.find(*cluster.members.begin());
+  if (first == features_.end()) return;
+  Vector center(first->second.values.size(), 0.0);
+  size_t counted = 0;
+  for (TemplateId member : cluster.members) {
+    auto it = features_.find(member);
+    if (it == features_.end()) continue;
+    for (size_t i = 0; i < center.size(); ++i) center[i] += it->second.values[i];
+    ++counted;
+  }
+  if (counted > 0) {
+    for (double& c : center) c /= static_cast<double>(counted);
+  }
+  cluster.center = std::move(center);
+}
+
+ClusterId OnlineClusterer::NewCluster(TemplateId member, const Feature& feature) {
+  ClusterId id = next_cluster_id_++;
+  Cluster cluster;
+  cluster.id = id;
+  cluster.center = feature.values;
+  cluster.members.insert(member);
+  clusters_.emplace(id, std::move(cluster));
+  assignment_[member] = id;
+  return id;
+}
+
+void OnlineClusterer::Update(const PreProcessor& pre, Timestamp now) {
+  last_update_moves_ = 0;
+
+  // Extract this pass's features (one shared sample grid) and volumes.
+  feature_.Resample(now);
+  features_.clear();
+  std::unordered_map<TemplateId, double> volumes;
+  std::vector<TemplateId> ids = pre.TemplateIds();
+  for (TemplateId id : ids) {
+    const auto* info = pre.GetTemplate(id);
+    if (info == nullptr) continue;
+    if (options_.feature_mode == FeatureMode::kArrivalRate) {
+      features_[id] = feature_.ExtractWithCoverage(info->history);
+    } else {
+      Feature f;
+      f.values = LogicalFeature::Extract(*info);
+      f.covered_from = 0;
+      features_[id] = std::move(f);
+    }
+    auto window = info->history.Series(kSecondsPerMinute,
+                                       now - options_.volume_window_seconds, now);
+    volumes[id] = window.ok() ? window->Total() : 0.0;
+  }
+
+  // Drop assignments for templates the Pre-Processor has evicted.
+  for (auto it = assignment_.begin(); it != assignment_.end();) {
+    if (features_.count(it->first) == 0) {
+      auto cluster_it = clusters_.find(it->second);
+      if (cluster_it != clusters_.end()) {
+        cluster_it->second.members.erase(it->first);
+        if (cluster_it->second.members.empty()) clusters_.erase(cluster_it);
+      }
+      it = assignment_.erase(it);
+    } else {
+      ++it;
+    }
+  }
+
+  // Centers move to this pass's feature space before matching.
+  for (auto& [id, cluster] : clusters_) {
+    (void)id;
+    RecomputeCenter(cluster);
+  }
+  RebuildSearchIndex();
+
+  // Step 1: place templates that have no cluster yet.
+  for (TemplateId id : ids) {
+    if (assignment_.count(id)) continue;
+    const Feature& feature = features_[id];
+    ClusterId target = FindBestCluster(feature, /*exclude=*/-1);
+    if (target < 0) {
+      NewCluster(id, feature);
+    } else {
+      Cluster& cluster = clusters_.at(target);
+      cluster.members.insert(id);
+      assignment_[id] = target;
+      RecomputeCenter(cluster);
+    }
+    ++last_update_moves_;
+    RebuildSearchIndex();
+  }
+
+  // Step 2: re-check existing members against their cluster center; move
+  // drifters. The check uses the leave-one-out center (the mean of the
+  // *other* members) so a drifting template cannot anchor itself in a small
+  // cluster. Changes are applied once (no recursive cascade), deferring
+  // knock-on effects to the next update period as the paper does.
+  for (TemplateId id : ids) {
+    auto assigned = assignment_.find(id);
+    if (assigned == assignment_.end()) continue;
+    ClusterId current = assigned->second;
+    Cluster& cluster = clusters_.at(current);
+    size_t n = cluster.members.size();
+    if (n == 1) continue;  // own center, trivially close
+    const Feature& feature = features_[id];
+    Vector loo_center(cluster.center.size());
+    double scale = static_cast<double>(n) / static_cast<double>(n - 1);
+    for (size_t i = 0; i < loo_center.size(); ++i) {
+      loo_center[i] =
+          scale * (cluster.center[i] - feature.values[i] / static_cast<double>(n));
+    }
+    if (Similarity(feature, loo_center) > options_.rho) continue;
+    cluster.members.erase(id);
+    RecomputeCenter(cluster);
+    ClusterId target = FindBestCluster(feature, /*exclude=*/current);
+    if (target < 0) {
+      assignment_.erase(assigned);
+      NewCluster(id, feature);
+    } else {
+      Cluster& next = clusters_.at(target);
+      next.members.insert(id);
+      assignment_[id] = target;
+      RecomputeCenter(next);
+    }
+    ++last_update_moves_;
+    RebuildSearchIndex();
+  }
+
+  // Step 3: merge clusters whose centers are mutually similar. The larger
+  // cluster keeps its id so day-over-day identity is stable.
+  bool merged = true;
+  while (merged) {
+    merged = false;
+    for (auto it_a = clusters_.begin(); it_a != clusters_.end() && !merged;
+         ++it_a) {
+      auto it_b = it_a;
+      for (++it_b; it_b != clusters_.end(); ++it_b) {
+        if (CenterSimilarity(it_a->second.center, it_b->second.center) <=
+            options_.rho) {
+          continue;
+        }
+        Cluster& keep = it_a->second.members.size() >= it_b->second.members.size()
+                            ? it_a->second
+                            : it_b->second;
+        Cluster& absorb = (&keep == &it_a->second) ? it_b->second : it_a->second;
+        for (TemplateId member : absorb.members) {
+          keep.members.insert(member);
+          assignment_[member] = keep.id;
+        }
+        ++last_update_moves_;
+        ClusterId dead = absorb.id;
+        RecomputeCenter(keep);
+        clusters_.erase(dead);
+        merged = true;
+        break;
+      }
+    }
+  }
+  RebuildSearchIndex();
+
+  // Refresh volumes.
+  for (auto& [id, cluster] : clusters_) {
+    (void)id;
+    cluster.volume = 0.0;
+    for (TemplateId member : cluster.members) {
+      cluster.volume += volumes[member];
+    }
+  }
+  last_update_time_ = now;
+}
+
+bool OnlineClusterer::ShouldTrigger(const PreProcessor& pre) const {
+  return pre.NewTemplateRatio(last_update_time_) >
+         options_.new_template_trigger_ratio;
+}
+
+std::vector<ClusterId> OnlineClusterer::TopClustersByVolume(size_t k) const {
+  std::vector<std::pair<double, ClusterId>> ranked;
+  ranked.reserve(clusters_.size());
+  for (const auto& [id, cluster] : clusters_) {
+    ranked.emplace_back(cluster.volume, id);
+  }
+  std::sort(ranked.begin(), ranked.end(), [](const auto& a, const auto& b) {
+    if (a.first != b.first) return a.first > b.first;
+    return a.second < b.second;
+  });
+  std::vector<ClusterId> top;
+  for (size_t i = 0; i < ranked.size() && i < k; ++i) top.push_back(ranked[i].second);
+  return top;
+}
+
+double OnlineClusterer::TotalVolume() const {
+  double total = 0.0;
+  for (const auto& [id, cluster] : clusters_) {
+    (void)id;
+    total += cluster.volume;
+  }
+  return total;
+}
+
+ClusterId OnlineClusterer::AssignmentOf(TemplateId id) const {
+  auto it = assignment_.find(id);
+  return it == assignment_.end() ? -1 : it->second;
+}
+
+Result<TimeSeries> OnlineClusterer::CenterSeries(const PreProcessor& pre,
+                                                 ClusterId id,
+                                                 int64_t interval_seconds,
+                                                 Timestamp from,
+                                                 Timestamp to) const {
+  auto it = clusters_.find(id);
+  if (it == clusters_.end()) return Status::NotFound("unknown cluster");
+  const Cluster& cluster = it->second;
+  if (cluster.members.empty()) return Status::FailedPrecondition("empty cluster");
+  TimeSeries sum(AlignDown(from, interval_seconds), interval_seconds);
+  bool first = true;
+  size_t counted = 0;
+  for (TemplateId member : cluster.members) {
+    const auto* info = pre.GetTemplate(member);
+    if (info == nullptr) continue;
+    auto series = info->history.Series(interval_seconds, from, to);
+    if (!series.ok()) return series.status();
+    if (first) {
+      sum = std::move(*series);
+      first = false;
+    } else {
+      auto st = sum.AddSeries(*series);
+      if (!st.ok()) return st;
+    }
+    ++counted;
+  }
+  if (counted == 0) return Status::FailedPrecondition("no member histories");
+  sum.Scale(1.0 / static_cast<double>(counted));
+  return sum;
+}
+
+}  // namespace qb5000

@@ -1,0 +1,24 @@
+#include "common/clock.h"
+
+#include <cstdio>
+
+namespace qb5000 {
+
+std::string FormatTimestamp(Timestamp ts) {
+  int64_t day = ts / kSecondsPerDay;
+  int64_t rem = ts % kSecondsPerDay;
+  if (rem < 0) {
+    rem += kSecondsPerDay;
+    --day;
+  }
+  int64_t hour = rem / kSecondsPerHour;
+  int64_t minute = (rem % kSecondsPerHour) / kSecondsPerMinute;
+  int64_t second = rem % kSecondsPerMinute;
+  char buf[40];
+  std::snprintf(buf, sizeof(buf), "%ld+%02ld:%02ld:%02ld",
+                static_cast<long>(day), static_cast<long>(hour),
+                static_cast<long>(minute), static_cast<long>(second));
+  return buf;
+}
+
+}  // namespace qb5000

@@ -1,0 +1,34 @@
+#ifndef QB5000_COMMON_CLOCK_H_
+#define QB5000_COMMON_CLOCK_H_
+
+#include <cstdint>
+#include <string>
+
+namespace qb5000 {
+
+/// Timestamps in this library are seconds since an arbitrary epoch. Traces
+/// and forecasting operate on a virtual timeline so experiments replay
+/// deterministically and much faster than wall-clock time.
+using Timestamp = int64_t;
+
+inline constexpr int64_t kSecondsPerMinute = 60;
+inline constexpr int64_t kSecondsPerHour = 3600;
+inline constexpr int64_t kSecondsPerDay = 86400;
+inline constexpr int64_t kSecondsPerWeek = 7 * kSecondsPerDay;
+
+/// Rounds `ts` down to the start of the interval containing it.
+inline Timestamp AlignDown(Timestamp ts, int64_t interval_seconds) {
+  if (interval_seconds <= 0) return ts;
+  Timestamp aligned = (ts / interval_seconds) * interval_seconds;
+  if (ts < 0 && aligned > ts) aligned -= interval_seconds;
+  return aligned;
+}
+
+/// Formats a timestamp as "D+HH:MM:SS" relative to the virtual epoch, e.g.
+/// day 3, 14:05:00 -> "3+14:05:00". Used by bench output so series align
+/// visually with the paper's time axes.
+std::string FormatTimestamp(Timestamp ts);
+
+}  // namespace qb5000
+
+#endif  // QB5000_COMMON_CLOCK_H_

@@ -1,0 +1,30 @@
+#ifndef QB5000_COMMON_STRINGS_H_
+#define QB5000_COMMON_STRINGS_H_
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace qb5000 {
+
+/// ASCII-only lowercase copy (SQL keywords are ASCII).
+std::string ToLower(std::string_view s);
+
+/// ASCII-only uppercase copy.
+std::string ToUpper(std::string_view s);
+
+/// Removes leading and trailing whitespace.
+std::string_view Trim(std::string_view s);
+
+/// Joins `parts` with `sep` between elements.
+std::string Join(const std::vector<std::string>& parts, std::string_view sep);
+
+/// Splits on a single character; empty pieces are kept.
+std::vector<std::string> Split(std::string_view s, char sep);
+
+/// True if `s` starts with `prefix` (case-sensitive).
+bool StartsWith(std::string_view s, std::string_view prefix);
+
+}  // namespace qb5000
+
+#endif  // QB5000_COMMON_STRINGS_H_

@@ -1,0 +1,76 @@
+#include "common/timeseries.h"
+
+#include <algorithm>
+
+namespace qb5000 {
+
+void TimeSeries::Add(Timestamp ts, double count) {
+  if (values_.empty()) {
+    start_ = AlignDown(ts, interval_seconds_);
+  }
+  if (ts < start_) {
+    // Extend the series backwards so late-arriving records keep their time.
+    Timestamp new_start = AlignDown(ts, interval_seconds_);
+    size_t shift = static_cast<size_t>((start_ - new_start) / interval_seconds_);
+    values_.insert(values_.begin(), shift, 0.0);
+    start_ = new_start;
+  }
+  size_t index = static_cast<size_t>((ts - start_) / interval_seconds_);
+  if (index >= values_.size()) values_.resize(index + 1, 0.0);
+  values_[index] += count;
+}
+
+double TimeSeries::ValueAt(Timestamp ts) const {
+  if (values_.empty() || ts < start_) return 0.0;
+  size_t index = static_cast<size_t>((ts - start_) / interval_seconds_);
+  if (index >= values_.size()) return 0.0;
+  return values_[index];
+}
+
+double TimeSeries::Total() const {
+  double total = 0.0;
+  for (double v : values_) total += v;
+  return total;
+}
+
+Result<TimeSeries> TimeSeries::Aggregate(int64_t coarser_interval_seconds) const {
+  if (coarser_interval_seconds <= 0 ||
+      coarser_interval_seconds % interval_seconds_ != 0) {
+    return Status::InvalidArgument(
+        "aggregate interval must be a positive multiple of the base interval");
+  }
+  TimeSeries out(AlignDown(start_, coarser_interval_seconds),
+                 coarser_interval_seconds);
+  for (size_t i = 0; i < values_.size(); ++i) {
+    out.Add(TimeAt(i), values_[i]);
+  }
+  return out;
+}
+
+TimeSeries TimeSeries::Slice(Timestamp from, Timestamp to) const {
+  from = AlignDown(from, interval_seconds_);
+  to = AlignDown(to + interval_seconds_ - 1, interval_seconds_);
+  TimeSeries out(from, interval_seconds_);
+  if (to <= from) return out;
+  size_t n = static_cast<size_t>((to - from) / interval_seconds_);
+  out.values_.assign(n, 0.0);
+  for (size_t i = 0; i < n; ++i) {
+    out.values_[i] = ValueAt(from + static_cast<int64_t>(i) * interval_seconds_);
+  }
+  return out;
+}
+
+Status TimeSeries::AddSeries(const TimeSeries& other) {
+  if (other.start_ != start_ || other.interval_seconds_ != interval_seconds_ ||
+      other.values_.size() != values_.size()) {
+    return Status::InvalidArgument("series shapes differ");
+  }
+  for (size_t i = 0; i < values_.size(); ++i) values_[i] += other.values_[i];
+  return Status::Ok();
+}
+
+void TimeSeries::Scale(double factor) {
+  for (double& v : values_) v *= factor;
+}
+
+}  // namespace qb5000

@@ -1,0 +1,77 @@
+#ifndef QB5000_COMMON_TIMESERIES_H_
+#define QB5000_COMMON_TIMESERIES_H_
+
+#include <cstddef>
+#include <vector>
+
+#include "common/clock.h"
+#include "common/status.h"
+
+namespace qb5000 {
+
+/// A regularly-spaced arrival-rate series: `values[i]` is the number of
+/// query arrivals in [start + i*interval, start + (i+1)*interval).
+///
+/// This is the currency of the whole pipeline: the Pre-Processor produces a
+/// per-minute TimeSeries per template, the Clusterer averages them into
+/// cluster centers, and the Forecaster trains on aggregated views of them.
+class TimeSeries {
+ public:
+  TimeSeries() : start_(0), interval_seconds_(kSecondsPerMinute) {}
+  TimeSeries(Timestamp start, int64_t interval_seconds)
+      : start_(start), interval_seconds_(interval_seconds) {}
+  TimeSeries(Timestamp start, int64_t interval_seconds,
+             std::vector<double> values)
+      : start_(start),
+        interval_seconds_(interval_seconds),
+        values_(std::move(values)) {}
+
+  Timestamp start() const { return start_; }
+  int64_t interval_seconds() const { return interval_seconds_; }
+  const std::vector<double>& values() const { return values_; }
+  std::vector<double>& mutable_values() { return values_; }
+  size_t size() const { return values_.size(); }
+  bool empty() const { return values_.empty(); }
+
+  /// Timestamp of the start of bucket `i`.
+  Timestamp TimeAt(size_t i) const {
+    return start_ + static_cast<int64_t>(i) * interval_seconds_;
+  }
+
+  /// End of the covered range (exclusive).
+  Timestamp end() const { return TimeAt(values_.size()); }
+
+  /// Adds `count` arrivals at time `ts`, growing the series as needed.
+  /// Timestamps before `start` are clamped into the first bucket.
+  void Add(Timestamp ts, double count);
+
+  /// Value of the bucket containing `ts`; 0 outside the covered range.
+  double ValueAt(Timestamp ts) const;
+
+  /// Sum of all bucket values.
+  double Total() const;
+
+  /// Returns a new series re-bucketed to `coarser_interval_seconds`, which
+  /// must be a positive multiple of the current interval. Bucket values are
+  /// summed (arrival counts are additive).
+  Result<TimeSeries> Aggregate(int64_t coarser_interval_seconds) const;
+
+  /// Returns the sub-series covering [from, to); buckets outside the stored
+  /// range are zero-filled so the result always spans the request exactly.
+  TimeSeries Slice(Timestamp from, Timestamp to) const;
+
+  /// Element-wise in-place sum. Series must share start/interval/size.
+  Status AddSeries(const TimeSeries& other);
+
+  /// Divides all values by `d` (no-op when d == 0).
+  void Scale(double factor);
+
+ private:
+  Timestamp start_;
+  int64_t interval_seconds_;
+  std::vector<double> values_;
+};
+
+}  // namespace qb5000
+
+#endif  // QB5000_COMMON_TIMESERIES_H_

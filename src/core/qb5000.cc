@@ -1,0 +1,85 @@
+#include "core/qb5000.h"
+
+namespace qb5000 {
+
+QueryBot5000::QueryBot5000(Config config)
+    : config_(config),
+      pre_(config.preprocessor),
+      clusterer_(config.clusterer),
+      forecaster_(config.forecaster) {}
+
+Status QueryBot5000::Ingest(const std::string& sql, Timestamp ts, double count) {
+  auto id = pre_.Ingest(sql, ts, count);
+  return id.ok() ? Status::Ok() : id.status();
+}
+
+void QueryBot5000::IngestTemplatized(const TemplatizeOutput& templatized,
+                                     Timestamp ts, double count) {
+  pre_.IngestTemplatized(templatized, ts, count);
+}
+
+std::vector<ClusterId> QueryBot5000::ModeledClusters() const {
+  // Take the highest-volume clusters until coverage_target of the total
+  // volume is covered, capped at max_modeled_clusters (Section 5.3).
+  std::vector<ClusterId> top =
+      clusterer_.TopClustersByVolume(config_.max_modeled_clusters);
+  double total = clusterer_.TotalVolume();
+  if (total <= 0.0) return top;
+  std::vector<ClusterId> chosen;
+  double covered = 0.0;
+  for (ClusterId id : top) {
+    chosen.push_back(id);
+    covered += clusterer_.clusters().at(id).volume;
+    if (covered / total >= config_.coverage_target) break;
+  }
+  return chosen;
+}
+
+Status QueryBot5000::RunMaintenance(Timestamp now, bool force) {
+  bool due = now - last_maintenance_ >= config_.maintenance_period_seconds;
+  bool triggered = clusterer_.ShouldTrigger(pre_);
+  if (!force && !due && !triggered) return Status::Ok();
+
+  pre_.EvictIdleTemplates(now - config_.template_eviction_seconds);
+  pre_.CompactBefore(now);
+  clusterer_.Update(pre_, now);
+
+  std::vector<ClusterId> clusters = ModeledClusters();
+  if (clusters.empty()) {
+    last_maintenance_ = now;
+    return Status::Ok();  // nothing to model yet
+  }
+  Status st = forecaster_.Train(pre_, clusterer_, clusters, now,
+                                config_.horizons);
+  if (!st.ok()) return st;
+  last_maintenance_ = now;
+  return Status::Ok();
+}
+
+Result<QueryBot5000::WorkloadForecast> QueryBot5000::Forecast(
+    Timestamp now, int64_t horizon_seconds) const {
+  if (!forecaster_.trained()) {
+    return Status::FailedPrecondition(
+        "no trained models; call RunMaintenance first");
+  }
+  auto rates = forecaster_.Forecast(pre_, clusterer_, now, horizon_seconds);
+  if (!rates.ok()) return rates.status();
+  WorkloadForecast forecast;
+  forecast.clusters = forecaster_.modeled_clusters();
+  forecast.queries_per_interval = std::move(*rates);
+  forecast.interval_seconds = config_.forecaster.interval_seconds;
+  // Models predict the cluster *center* (the members' average arrival
+  // rate); the planning-facing number is the cluster total.
+  for (size_t i = 0; i < forecast.clusters.size() &&
+                     i < forecast.queries_per_interval.size();
+       ++i) {
+    auto it = clusterer_.clusters().find(forecast.clusters[i]);
+    if (it != clusterer_.clusters().end()) {
+      forecast.queries_per_interval[i] *=
+          static_cast<double>(it->second.members.size());
+    }
+  }
+  return forecast;
+}
+
+}  // namespace qb5000

@@ -1,0 +1,86 @@
+#ifndef QB5000_CORE_QB5000_H_
+#define QB5000_CORE_QB5000_H_
+
+#include <vector>
+
+#include "clusterer/online_clusterer.h"
+#include "common/clock.h"
+#include "common/status.h"
+#include "forecaster/forecaster.h"
+#include "preprocessor/preprocessor.h"
+
+namespace qb5000 {
+
+/// The QueryBot 5000 controller (Figure 2): wires the Pre-Processor,
+/// Clusterer, and Forecaster into the pipeline a self-driving DBMS consumes.
+///
+/// Usage:
+///   QueryBot5000 bot(config);
+///   bot.Ingest(sql, now);              // continuously, per query
+///   bot.RunMaintenance(now);           // periodically (e.g. daily)
+///   auto f = bot.Forecast(now, kSecondsPerHour);  // per-cluster rates
+class QueryBot5000 {
+ public:
+  struct Config {
+    PreProcessor::Options preprocessor;
+    OnlineClusterer::Options clusterer;
+    Forecaster::Options forecaster;
+    /// Model the top clusters covering this fraction of workload volume...
+    double coverage_target = 0.95;
+    /// ...but never more than this many (Section 7.2 models 3-5 clusters).
+    size_t max_modeled_clusters = 5;
+    /// Horizons to maintain models for, in seconds.
+    std::vector<int64_t> horizons = {kSecondsPerHour, 12 * kSecondsPerHour,
+                                     kSecondsPerDay};
+    /// How often RunMaintenance() re-clusters and re-trains, unless the
+    /// new-template trigger fires earlier.
+    int64_t maintenance_period_seconds = kSecondsPerDay;
+    /// Templates idle longer than this are evicted (Section 5.2).
+    int64_t template_eviction_seconds = 30 * kSecondsPerDay;
+  };
+
+  QueryBot5000() : QueryBot5000(Config()) {}
+  explicit QueryBot5000(Config config);
+
+  /// Ingests one query arriving at `ts`.
+  Status Ingest(const std::string& sql, Timestamp ts, double count = 1.0);
+
+  /// Ingests an already-templatized arrival (bulk/generator path).
+  void IngestTemplatized(const TemplatizeOutput& templatized, Timestamp ts,
+                         double count = 1.0);
+
+  /// Re-clusters and re-trains if the maintenance period elapsed or the
+  /// workload-shift trigger fired. Call as often as you like; cheap when
+  /// nothing is due. `force` bypasses the period check.
+  Status RunMaintenance(Timestamp now, bool force = false);
+
+  /// A workload forecast: expected queries per forecasting interval for
+  /// each modeled cluster, `horizon_seconds` from `now`.
+  struct WorkloadForecast {
+    std::vector<ClusterId> clusters;
+    Vector queries_per_interval;  ///< parallel to `clusters`
+    int64_t interval_seconds = 0;
+  };
+  Result<WorkloadForecast> Forecast(Timestamp now, int64_t horizon_seconds) const;
+
+  /// The clusters currently modeled (top by volume under coverage_target).
+  std::vector<ClusterId> ModeledClusters() const;
+
+  const PreProcessor& preprocessor() const { return pre_; }
+  /// Mutable access for bulk feeders (e.g. SyntheticWorkload::FeedAggregated).
+  PreProcessor& mutable_preprocessor() { return pre_; }
+  const OnlineClusterer& clusterer() const { return clusterer_; }
+  const Forecaster& forecaster() const { return forecaster_; }
+  const Config& config() const { return config_; }
+
+ private:
+  Config config_;
+  PreProcessor pre_;
+  OnlineClusterer clusterer_;
+  Forecaster forecaster_;
+  Timestamp last_maintenance_ = std::numeric_limits<Timestamp>::min();
+};
+
+}  // namespace qb5000
+
+#endif  // QB5000_CORE_QB5000_H_

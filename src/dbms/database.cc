@@ -1,0 +1,713 @@
+#include "dbms/database.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "sql/parser.h"
+
+namespace qb5000::dbms {
+namespace {
+
+using sql::Expr;
+using sql::ExprKind;
+using sql::Statement;
+using sql::StatementType;
+
+// ---------------------------------------------------------------------------
+// Row binding: one or two (table, row) slots with qualified column lookup.
+// ---------------------------------------------------------------------------
+
+struct Binding {
+  struct Slot {
+    const Table* table = nullptr;
+    std::string qualifier;  ///< alias or table name
+    const Row* row = nullptr;
+  };
+  std::vector<Slot> slots;
+
+  /// Resolves `qualifier.column` (qualifier may be empty) to a value in the
+  /// bound rows. Returns NULL when unresolved.
+  Value Resolve(const std::string& qualifier, const std::string& column) const {
+    for (const auto& slot : slots) {
+      if (!qualifier.empty() && qualifier != slot.qualifier &&
+          qualifier != slot.table->name()) {
+        continue;
+      }
+      int col = slot.table->ColumnIndex(column);
+      if (col >= 0 && slot.row != nullptr) {
+        return (*slot.row)[static_cast<size_t>(col)];
+      }
+    }
+    return std::monostate{};
+  }
+
+  const Column* ResolveColumn(const std::string& qualifier,
+                              const std::string& column) const {
+    for (const auto& slot : slots) {
+      if (!qualifier.empty() && qualifier != slot.qualifier &&
+          qualifier != slot.table->name()) {
+        continue;
+      }
+      int col = slot.table->ColumnIndex(column);
+      if (col >= 0) return &slot.table->columns()[static_cast<size_t>(col)];
+    }
+    return nullptr;
+  }
+};
+
+/// SQL LIKE with % and _ wildcards.
+bool LikeMatch(const std::string& text, const std::string& pattern, size_t ti = 0,
+               size_t pi = 0) {
+  while (pi < pattern.size()) {
+    char pc = pattern[pi];
+    if (pc == '%') {
+      for (size_t skip = ti; skip <= text.size(); ++skip) {
+        if (LikeMatch(text, pattern, skip, pi + 1)) return true;
+      }
+      return false;
+    }
+    if (ti >= text.size()) return false;
+    if (pc != '_' && pc != text[ti]) return false;
+    ++ti;
+    ++pi;
+  }
+  return ti == text.size();
+}
+
+Value EvalScalar(const Expr& e, const Binding& binding) {
+  switch (e.kind) {
+    case ExprKind::kColumnRef: {
+      return binding.Resolve(e.table, e.column);
+    }
+    case ExprKind::kLiteral: {
+      const Column* col = nullptr;  // untyped literal: infer from content
+      (void)col;
+      if (e.literal.type == sql::LiteralType::kInteger ||
+          e.literal.type == sql::LiteralType::kBoolean) {
+        return ValueFromLiteral(e.literal, /*as_int=*/true);
+      }
+      return ValueFromLiteral(e.literal, /*as_int=*/false);
+    }
+    default:
+      return std::monostate{};
+  }
+}
+
+/// Compares possibly mixed int/string values by coercing the string side
+/// when the other side is an int (literals for int columns stay strings
+/// only in odd cases).
+int CompareValues(const Value& a, const Value& b) {
+  if (IsNull(a) || IsNull(b)) return 2;  // incomparable
+  if (a.index() == b.index()) {
+    if (ValueLess(a, b)) return -1;
+    if (ValueLess(b, a)) return 1;
+    return 0;
+  }
+  // Coerce string to int when compared against an int.
+  auto as_int = [](const Value& v) -> int64_t {
+    if (std::holds_alternative<int64_t>(v)) return std::get<int64_t>(v);
+    return std::strtoll(std::get<std::string>(v).c_str(), nullptr, 10);
+  };
+  int64_t ia = as_int(a);
+  int64_t ib = as_int(b);
+  if (ia < ib) return -1;
+  if (ia > ib) return 1;
+  return 0;
+}
+
+bool EvalPredicate(const Expr& e, const Binding& binding) {
+  switch (e.kind) {
+    case ExprKind::kBinary: {
+      if (e.op == "AND") {
+        return EvalPredicate(*e.left, binding) && EvalPredicate(*e.right, binding);
+      }
+      if (e.op == "OR") {
+        return EvalPredicate(*e.left, binding) || EvalPredicate(*e.right, binding);
+      }
+      if (e.op == "LIKE") {
+        Value text = EvalScalar(*e.left, binding);
+        Value pattern = EvalScalar(*e.right, binding);
+        if (!std::holds_alternative<std::string>(text) ||
+            !std::holds_alternative<std::string>(pattern)) {
+          return false;
+        }
+        bool match =
+            LikeMatch(std::get<std::string>(text), std::get<std::string>(pattern));
+        return e.negated ? !match : match;
+      }
+      int cmp = CompareValues(EvalScalar(*e.left, binding),
+                              EvalScalar(*e.right, binding));
+      if (cmp == 2) return false;
+      if (e.op == "=") return cmp == 0;
+      if (e.op == "<>") return cmp != 0;
+      if (e.op == "<") return cmp < 0;
+      if (e.op == "<=") return cmp <= 0;
+      if (e.op == ">") return cmp > 0;
+      if (e.op == ">=") return cmp >= 0;
+      return false;
+    }
+    case ExprKind::kUnary: {
+      if (e.op == "NOT") return !EvalPredicate(*e.left, binding);
+      Value v = EvalScalar(*e.left, binding);
+      if (e.op == "IS NULL") return IsNull(v);
+      if (e.op == "IS NOT NULL") return !IsNull(v);
+      return false;
+    }
+    case ExprKind::kInList: {
+      Value v = EvalScalar(*e.left, binding);
+      bool found = false;
+      for (const auto& item : e.list) {
+        if (CompareValues(v, EvalScalar(*item, binding)) == 0) {
+          found = true;
+          break;
+        }
+      }
+      return e.negated ? !found : found;
+    }
+    case ExprKind::kBetween: {
+      Value v = EvalScalar(*e.left, binding);
+      int lo = CompareValues(v, EvalScalar(*e.list[0], binding));
+      int hi = CompareValues(v, EvalScalar(*e.list[1], binding));
+      bool in = lo != 2 && hi != 2 && lo >= 0 && hi <= 0;
+      return e.negated ? !in : in;
+    }
+    case ExprKind::kLiteral:
+      return e.literal.type == sql::LiteralType::kBoolean &&
+             e.literal.text == "TRUE";
+    default:
+      return false;
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Access-path analysis.
+// ---------------------------------------------------------------------------
+
+/// A directly indexable predicate on a base column of the target table.
+/// `has_value` is false for prepared-statement placeholders: enough for
+/// cost estimation (what-if planning over templates), not for execution.
+struct SargablePredicate {
+  std::string column;
+  bool is_equality = false;
+  bool has_lo = false, has_hi = false;
+  bool lo_inclusive = false, hi_inclusive = false;
+  bool has_value = true;
+  Value equal_value, lo, hi;
+  /// For IN lists: every member value (probed individually by the index
+  /// path). `equal_value` holds the first member for estimation.
+  std::vector<Value> in_values;
+};
+
+/// Collects sargable conjuncts of `e` that reference `table` (qualifier
+/// empty or matching). OR subtrees are skipped (handled by the residual
+/// filter); this mirrors what a simple planner can push into an index.
+void CollectSargable(const Expr* e, const Table& table,
+                     const std::string& qualifier,
+                     std::vector<SargablePredicate>* out) {
+  if (e == nullptr) return;
+  if (e->kind == ExprKind::kBinary && e->op == "AND") {
+    CollectSargable(e->left.get(), table, qualifier, out);
+    CollectSargable(e->right.get(), table, qualifier, out);
+    return;
+  }
+  auto base_column = [&](const Expr* side) -> const char* {
+    if (side == nullptr || side->kind != ExprKind::kColumnRef) return nullptr;
+    if (!side->table.empty() && side->table != qualifier &&
+        side->table != table.name()) {
+      return nullptr;
+    }
+    if (table.ColumnIndex(side->column) < 0) return nullptr;
+    return side->column.c_str();
+  };
+  auto literal_value = [&](const Expr* side, const std::string& col) -> Value {
+    int ci = table.ColumnIndex(col);
+    bool as_int = ci >= 0 && table.columns()[static_cast<size_t>(ci)].is_int;
+    return ValueFromLiteral(side->literal, as_int);
+  };
+  if (e->kind == ExprKind::kBinary && !e->negated) {
+    const char* col = base_column(e->left.get());
+    bool is_placeholder =
+        e->right != nullptr && e->right->kind == ExprKind::kPlaceholder;
+    if (col != nullptr && e->right != nullptr &&
+        (e->right->kind == ExprKind::kLiteral || is_placeholder)) {
+      SargablePredicate p;
+      p.column = col;
+      p.has_value = !is_placeholder;
+      Value v = is_placeholder ? Value{} : literal_value(e->right.get(), p.column);
+      if (e->op == "=") {
+        p.is_equality = true;
+        p.equal_value = std::move(v);
+        out->push_back(std::move(p));
+      } else if (e->op == "<" || e->op == "<=") {
+        p.has_hi = true;
+        p.hi_inclusive = e->op == "<=";
+        p.hi = std::move(v);
+        out->push_back(std::move(p));
+      } else if (e->op == ">" || e->op == ">=") {
+        p.has_lo = true;
+        p.lo_inclusive = e->op == ">=";
+        p.lo = std::move(v);
+        out->push_back(std::move(p));
+      }
+    }
+    return;
+  }
+  auto value_or_placeholder = [](const Expr* side) {
+    return side->kind == ExprKind::kLiteral ||
+           side->kind == ExprKind::kPlaceholder;
+  };
+  if (e->kind == ExprKind::kBetween && !e->negated) {
+    const char* col = base_column(e->left.get());
+    if (col != nullptr && e->list.size() == 2 &&
+        value_or_placeholder(e->list[0].get()) &&
+        value_or_placeholder(e->list[1].get())) {
+      SargablePredicate p;
+      p.column = col;
+      p.has_lo = p.has_hi = true;
+      p.lo_inclusive = p.hi_inclusive = true;
+      p.has_value = e->list[0]->kind == ExprKind::kLiteral &&
+                    e->list[1]->kind == ExprKind::kLiteral;
+      if (p.has_value) {
+        p.lo = literal_value(e->list[0].get(), p.column);
+        p.hi = literal_value(e->list[1].get(), p.column);
+      }
+      out->push_back(std::move(p));
+    }
+    return;
+  }
+  if (e->kind == ExprKind::kInList && !e->negated) {
+    // Treated as an equality family; use the first element for estimation
+    // and let the residual filter do the exact work.
+    const char* col = base_column(e->left.get());
+    if (col != nullptr && !e->list.empty() &&
+        value_or_placeholder(e->list[0].get())) {
+      SargablePredicate p;
+      p.column = col;
+      p.is_equality = true;
+      p.has_value = true;
+      for (const auto& item : e->list) {
+        if (item->kind != ExprKind::kLiteral) {
+          p.has_value = false;
+          break;
+        }
+        p.in_values.push_back(literal_value(item.get(), p.column));
+      }
+      if (p.has_value) p.equal_value = p.in_values.front();
+      out->push_back(std::move(p));
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Cost formulas.
+// ---------------------------------------------------------------------------
+
+double TablePages(const CostModel& c, double rows) {
+  return std::max(1.0, std::ceil(rows / c.rows_per_page));
+}
+
+double PageCost(const CostModel& c, double table_rows) {
+  double pages = TablePages(c, table_rows);
+  double hit = std::min(1.0, c.buffer_pool_pages / pages);
+  return hit * c.page_hit_us + (1.0 - hit) * c.page_miss_us;
+}
+
+double ScanCost(const CostModel& c, double table_rows) {
+  return TablePages(c, table_rows) * PageCost(c, table_rows) +
+         table_rows * c.row_cpu_us;
+}
+
+double IndexCost(const CostModel& c, double table_rows, double matches) {
+  return c.index_probe_us + matches * PageCost(c, table_rows) +
+         matches * c.row_cpu_us;
+}
+
+double WriteCost(const CostModel& c, double rows_written, double num_indexes) {
+  return rows_written * (c.row_write_us + num_indexes * c.index_maintain_us);
+}
+
+double EstimateMatches(const Table& table, const SargablePredicate& p) {
+  double rows = static_cast<double>(table.live_rows());
+  int ci = table.ColumnIndex(p.column);
+  double ndv = ci >= 0 ? static_cast<double>(
+                             table.columns()[static_cast<size_t>(ci)].distinct_estimate)
+                       : 100.0;
+  if (p.is_equality) {
+    double probes = p.in_values.empty() ? 1.0 : static_cast<double>(p.in_values.size());
+    return std::max(1.0, probes * rows / std::max(1.0, ndv));
+  }
+  if (p.has_lo && p.has_hi) return std::max(1.0, rows * 0.05);
+  return std::max(1.0, rows * 0.33);
+}
+
+}  // namespace
+
+// ---------------------------------------------------------------------------
+// Catalog operations.
+// ---------------------------------------------------------------------------
+
+Status Database::CreateTable(const std::string& name,
+                             std::vector<Column> columns) {
+  if (tables_.count(name)) return Status::AlreadyExists("table " + name);
+  if (columns.empty()) return Status::InvalidArgument("table needs columns");
+  tables_.emplace(name, std::make_unique<Table>(name, std::move(columns)));
+  return Status::Ok();
+}
+
+Table* Database::GetTable(const std::string& name) {
+  auto it = tables_.find(name);
+  return it == tables_.end() ? nullptr : it->second.get();
+}
+
+const Table* Database::GetTable(const std::string& name) const {
+  auto it = tables_.find(name);
+  return it == tables_.end() ? nullptr : it->second.get();
+}
+
+std::vector<std::string> Database::TableNames() const {
+  std::vector<std::string> out;
+  for (const auto& [name, table] : tables_) {
+    (void)table;
+    out.push_back(name);
+  }
+  return out;
+}
+
+Status Database::CreateIndex(const std::string& table, const std::string& column) {
+  Table* t = GetTable(table);
+  if (t == nullptr) return Status::NotFound("no table " + table);
+  return t->CreateIndex(column);
+}
+
+Status Database::DropIndex(const std::string& table, const std::string& column) {
+  Table* t = GetTable(table);
+  if (t == nullptr) return Status::NotFound("no table " + table);
+  return t->DropIndex(column);
+}
+
+std::vector<std::string> Database::ListIndexes() const {
+  std::vector<std::string> out;
+  for (const auto& [name, table] : tables_) {
+    for (const auto& column : table->IndexedColumns()) {
+      out.push_back(name + "." + column);
+    }
+  }
+  return out;
+}
+
+size_t Database::NumIndexes() const { return ListIndexes().size(); }
+
+// ---------------------------------------------------------------------------
+// Execution.
+// ---------------------------------------------------------------------------
+
+Result<ExecStats> Database::Execute(const std::string& sql) {
+  auto stmt = sql::Parse(sql);
+  if (!stmt.ok()) return stmt.status();
+  return Execute(*stmt);
+}
+
+namespace {
+
+/// Rows matching the sargable predicates of `where` on `table`, using the
+/// cheapest real index, or a full scan. Fills examined/used_index stats.
+std::vector<RowId> AccessPath(const Table& table, const std::string& qualifier,
+                              const Expr* where, const CostModel& cost,
+                              ExecStats* stats) {
+  std::vector<SargablePredicate> preds;
+  CollectSargable(where, table, qualifier, &preds);
+  const SargablePredicate* best = nullptr;
+  double best_matches = 0;
+  for (const auto& p : preds) {
+    if (!p.has_value) continue;  // placeholders cannot drive a real probe
+    if (!table.HasIndex(p.column)) continue;
+    double est = EstimateMatches(table, p);
+    if (best == nullptr || est < best_matches) {
+      best = &p;
+      best_matches = est;
+    }
+  }
+  std::vector<RowId> candidates;
+  if (best != nullptr) {
+    const OrderedIndex* index = table.GetIndex(best->column);
+    if (best->is_equality) {
+      if (!best->in_values.empty()) {
+        for (const Value& v : best->in_values) {
+          for (RowId id : index->EqualMatches(v)) candidates.push_back(id);
+        }
+      } else {
+        candidates = index->EqualMatches(best->equal_value);
+      }
+    } else {
+      candidates = index->RangeMatches(best->has_lo ? &best->lo : nullptr,
+                                       best->lo_inclusive,
+                                       best->has_hi ? &best->hi : nullptr,
+                                       best->hi_inclusive);
+    }
+    stats->used_index = true;
+    stats->index_used = table.name() + "." + best->column;
+    stats->rows_examined += candidates.size();
+    stats->latency_us += IndexCost(cost, static_cast<double>(table.live_rows()),
+                                   static_cast<double>(candidates.size()));
+  } else {
+    for (RowId id = 0; id < table.allocated_rows(); ++id) {
+      if (table.IsLive(id)) candidates.push_back(id);
+    }
+    stats->rows_examined += candidates.size();
+    stats->latency_us += ScanCost(cost, static_cast<double>(table.live_rows()));
+  }
+  return candidates;
+}
+
+bool HasAggregate(const sql::SelectStatement& s) {
+  for (const auto& item : s.items) {
+    if (item.expr->kind == ExprKind::kFuncCall) return true;
+  }
+  return false;
+}
+
+}  // namespace
+
+Result<ExecStats> Database::Execute(const sql::Statement& stmt) {
+  ExecStats stats;
+  switch (stmt.type) {
+    case StatementType::kSelect: {
+      const auto& s = *stmt.select;
+      if (s.from.empty()) {  // e.g. SELECT 1
+        stats.rows_returned = 1;
+        return stats;
+      }
+      const Table* outer = GetTable(s.from[0].table);
+      if (outer == nullptr) return Status::NotFound("no table " + s.from[0].table);
+      if (s.from.size() > 1 || s.joins.size() > 1) {
+        return Status::InvalidArgument("executor supports at most one join");
+      }
+      std::string outer_alias =
+          s.from[0].alias.empty() ? s.from[0].table : s.from[0].alias;
+
+      std::vector<RowId> outer_rows =
+          AccessPath(*outer, outer_alias, s.where.get(), cost_, &stats);
+
+      size_t matched = 0;
+      if (s.joins.empty()) {
+        Binding binding;
+        binding.slots.push_back({outer, outer_alias, nullptr});
+        for (RowId id : outer_rows) {
+          binding.slots[0].row = &outer->GetRow(id);
+          if (s.where == nullptr || EvalPredicate(*s.where, binding)) ++matched;
+        }
+      } else {
+        const auto& join = s.joins[0];
+        const Table* inner = GetTable(join.table.table);
+        if (inner == nullptr) {
+          return Status::NotFound("no table " + join.table.table);
+        }
+        std::string inner_alias =
+            join.table.alias.empty() ? join.table.table : join.table.alias;
+        // Nested loop; probe the inner side per outer row (indexed through
+        // AccessPath when the ON column is indexed and constant-bound —
+        // otherwise inner scan per outer row).
+        Binding binding;
+        binding.slots.push_back({outer, outer_alias, nullptr});
+        binding.slots.push_back({inner, inner_alias, nullptr});
+        for (RowId oid : outer_rows) {
+          binding.slots[0].row = &outer->GetRow(oid);
+          if (s.where != nullptr) {
+            // Cheap pre-filter on outer columns only is skipped; the full
+            // predicate runs on the combined row below.
+          }
+          for (RowId iid = 0; iid < inner->allocated_rows(); ++iid) {
+            if (!inner->IsLive(iid)) continue;
+            binding.slots[1].row = &inner->GetRow(iid);
+            ++stats.rows_examined;
+            if (join.on != nullptr && !EvalPredicate(*join.on, binding)) continue;
+            if (s.where == nullptr || EvalPredicate(*s.where, binding)) ++matched;
+          }
+        }
+        stats.latency_us +=
+            static_cast<double>(outer_rows.size()) *
+            ScanCost(cost_, static_cast<double>(inner->live_rows())) * 0.1;
+      }
+      if (HasAggregate(s)) {
+        stats.rows_returned = 1;
+      } else {
+        stats.rows_returned = matched;
+        if (s.limit && static_cast<int64_t>(stats.rows_returned) > *s.limit) {
+          stats.rows_returned = static_cast<size_t>(*s.limit);
+        }
+      }
+      return stats;
+    }
+    case StatementType::kInsert: {
+      const auto& ins = *stmt.insert;
+      Table* table = GetTable(ins.table);
+      if (table == nullptr) return Status::NotFound("no table " + ins.table);
+      for (const auto& tuple : ins.rows) {
+        Row row(table->columns().size(), std::monostate{});
+        // Default auto-increment id in the first column.
+        if (table->columns()[0].is_int) {
+          row[0] = static_cast<int64_t>(table->allocated_rows() + 1);
+        }
+        if (!ins.columns.empty()) {
+          if (tuple.size() != ins.columns.size()) {
+            return Status::InvalidArgument("VALUES width mismatch");
+          }
+          for (size_t i = 0; i < ins.columns.size(); ++i) {
+            int ci = table->ColumnIndex(ins.columns[i]);
+            if (ci < 0) return Status::NotFound("no column " + ins.columns[i]);
+            if (tuple[i]->kind != ExprKind::kLiteral) continue;
+            row[static_cast<size_t>(ci)] = ValueFromLiteral(
+                tuple[i]->literal,
+                table->columns()[static_cast<size_t>(ci)].is_int);
+          }
+        } else {
+          for (size_t i = 0; i < tuple.size() && i < row.size(); ++i) {
+            if (tuple[i]->kind != ExprKind::kLiteral) continue;
+            row[i] = ValueFromLiteral(tuple[i]->literal, table->columns()[i].is_int);
+          }
+        }
+        auto id = table->Insert(std::move(row));
+        if (!id.ok()) return id.status();
+        ++stats.rows_written;
+      }
+      stats.latency_us += WriteCost(
+          cost_, static_cast<double>(stats.rows_written),
+          static_cast<double>(table->IndexedColumns().size()));
+      return stats;
+    }
+    case StatementType::kUpdate: {
+      const auto& upd = *stmt.update;
+      Table* table = GetTable(upd.table);
+      if (table == nullptr) return Status::NotFound("no table " + upd.table);
+      std::vector<RowId> candidates =
+          AccessPath(*table, upd.table, upd.where.get(), cost_, &stats);
+      Binding binding;
+      binding.slots.push_back({table, upd.table, nullptr});
+      for (RowId id : candidates) {
+        binding.slots[0].row = &table->GetRow(id);
+        if (upd.where != nullptr && !EvalPredicate(*upd.where, binding)) continue;
+        for (const auto& [column, value] : upd.assignments) {
+          int ci = table->ColumnIndex(column);
+          if (ci < 0) return Status::NotFound("no column " + column);
+          if (value->kind != ExprKind::kLiteral) continue;
+          Status st = table->UpdateCell(
+              id, static_cast<size_t>(ci),
+              ValueFromLiteral(value->literal,
+                               table->columns()[static_cast<size_t>(ci)].is_int));
+          if (!st.ok()) return st;
+        }
+        ++stats.rows_written;
+      }
+      stats.latency_us += WriteCost(
+          cost_, static_cast<double>(stats.rows_written),
+          static_cast<double>(table->IndexedColumns().size()));
+      return stats;
+    }
+    case StatementType::kDelete: {
+      const auto& del = *stmt.del;
+      Table* table = GetTable(del.table);
+      if (table == nullptr) return Status::NotFound("no table " + del.table);
+      std::vector<RowId> candidates =
+          AccessPath(*table, del.table, del.where.get(), cost_, &stats);
+      Binding binding;
+      binding.slots.push_back({table, del.table, nullptr});
+      std::vector<RowId> to_delete;
+      for (RowId id : candidates) {
+        binding.slots[0].row = &table->GetRow(id);
+        if (del.where == nullptr || EvalPredicate(*del.where, binding)) {
+          to_delete.push_back(id);
+        }
+      }
+      for (RowId id : to_delete) {
+        Status st = table->Delete(id);
+        if (!st.ok()) return st;
+        ++stats.rows_written;
+      }
+      stats.latency_us += WriteCost(
+          cost_, static_cast<double>(stats.rows_written),
+          static_cast<double>(table->IndexedColumns().size()));
+      return stats;
+    }
+  }
+  return Status::Internal("unreachable");
+}
+
+Result<double> Database::EstimateCost(
+    const sql::Statement& stmt, const std::set<std::string>& hypothetical) const {
+  auto has_index = [&](const Table& table, const std::string& column) {
+    return table.HasIndex(column) ||
+           hypothetical.count(table.name() + "." + column) > 0;
+  };
+  auto index_count = [&](const Table& table) {
+    double count = static_cast<double>(table.IndexedColumns().size());
+    for (const auto& hypo : hypothetical) {
+      if (hypo.rfind(table.name() + ".", 0) == 0 &&
+          !table.HasIndex(hypo.substr(table.name().size() + 1))) {
+        count += 1.0;
+      }
+    }
+    return count;
+  };
+  auto read_cost = [&](const Table& table, const std::string& qualifier,
+                       const Expr* where) {
+    std::vector<SargablePredicate> preds;
+    CollectSargable(where, table, qualifier, &preds);
+    double rows = static_cast<double>(table.live_rows());
+    double best = ScanCost(cost_, rows);
+    for (const auto& p : preds) {
+      if (!has_index(table, p.column)) continue;
+      best = std::min(best, IndexCost(cost_, rows, EstimateMatches(table, p)));
+    }
+    return best;
+  };
+
+  switch (stmt.type) {
+    case StatementType::kSelect: {
+      const auto& s = *stmt.select;
+      if (s.from.empty()) return 1.0;
+      const Table* outer = GetTable(s.from[0].table);
+      if (outer == nullptr) return Status::NotFound("no table " + s.from[0].table);
+      std::string alias = s.from[0].alias.empty() ? s.from[0].table : s.from[0].alias;
+      double cost = read_cost(*outer, alias, s.where.get());
+      for (const auto& join : s.joins) {
+        const Table* inner = GetTable(join.table.table);
+        if (inner == nullptr) continue;
+        cost += 0.1 * static_cast<double>(outer->live_rows()) *
+                ScanCost(cost_, static_cast<double>(inner->live_rows())) /
+                std::max(1.0, static_cast<double>(outer->live_rows()));
+      }
+      return cost;
+    }
+    case StatementType::kInsert: {
+      const Table* table = GetTable(stmt.insert->table);
+      if (table == nullptr) return Status::NotFound("no table");
+      double rows = static_cast<double>(stmt.insert->rows.size());
+      return WriteCost(cost_, rows, index_count(*table));
+    }
+    case StatementType::kUpdate: {
+      const Table* table = GetTable(stmt.update->table);
+      if (table == nullptr) return Status::NotFound("no table");
+      std::vector<SargablePredicate> preds;
+      CollectSargable(stmt.update->where.get(), *table, stmt.update->table, &preds);
+      double matches = preds.empty()
+                           ? static_cast<double>(table->live_rows())
+                           : EstimateMatches(*table, preds[0]);
+      return read_cost(*table, stmt.update->table, stmt.update->where.get()) +
+             WriteCost(cost_, matches, index_count(*table));
+    }
+    case StatementType::kDelete: {
+      const Table* table = GetTable(stmt.del->table);
+      if (table == nullptr) return Status::NotFound("no table");
+      std::vector<SargablePredicate> preds;
+      CollectSargable(stmt.del->where.get(), *table, stmt.del->table, &preds);
+      double matches = preds.empty()
+                           ? static_cast<double>(table->live_rows())
+                           : EstimateMatches(*table, preds[0]);
+      return read_cost(*table, stmt.del->table, stmt.del->where.get()) +
+             WriteCost(cost_, matches, index_count(*table));
+    }
+  }
+  return Status::Internal("unreachable");
+}
+
+}  // namespace qb5000::dbms

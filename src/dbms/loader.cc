@@ -1,0 +1,48 @@
+#include "dbms/loader.h"
+
+#include <algorithm>
+
+namespace qb5000::dbms {
+
+Status LoadWorkloadSchema(Database& db, const SyntheticWorkload& workload,
+                          Rng& rng, double row_scale) {
+  for (const auto& spec : workload.schema()) {
+    std::vector<Column> columns;
+    columns.reserve(spec.columns.size());
+    for (const auto& col : spec.columns) {
+      Column column;
+      column.name = col.name;
+      column.is_int = col.type == ColumnSpec::Type::kInt;
+      column.distinct_estimate = std::max<int64_t>(1, col.cardinality);
+      columns.push_back(std::move(column));
+    }
+    Status st = db.CreateTable(spec.name, std::move(columns));
+    if (!st.ok()) return st;
+
+    Table* table = db.GetTable(spec.name);
+    int64_t rows = std::max<int64_t>(
+        1, static_cast<int64_t>(static_cast<double>(spec.row_count) * row_scale));
+    for (int64_t r = 0; r < rows; ++r) {
+      Row row;
+      row.reserve(spec.columns.size());
+      for (size_t c = 0; c < spec.columns.size(); ++c) {
+        const auto& col = spec.columns[c];
+        if (c == 0 && col.type == ColumnSpec::Type::kInt) {
+          row.emplace_back(r + 1);  // primary-key-style id column
+          continue;
+        }
+        int64_t v = rng.UniformInt(1, std::max<int64_t>(1, col.cardinality));
+        if (col.type == ColumnSpec::Type::kInt) {
+          row.emplace_back(v);
+        } else {
+          row.emplace_back("v" + std::to_string(v));
+        }
+      }
+      auto id = table->Insert(std::move(row));
+      if (!id.ok()) return id.status();
+    }
+  }
+  return Status::Ok();
+}
+
+}  // namespace qb5000::dbms

@@ -1,0 +1,20 @@
+#ifndef QB5000_DBMS_LOADER_H_
+#define QB5000_DBMS_LOADER_H_
+
+#include "common/rng.h"
+#include "common/status.h"
+#include "dbms/database.h"
+#include "workload/workload.h"
+
+namespace qb5000::dbms {
+
+/// Creates and populates the tables described by a synthetic workload's
+/// schema. Column values are drawn uniformly from each column's cardinality
+/// so index selectivity matches the generators' predicates. `row_scale`
+/// scales every table's row count (1.0 = the schema's counts).
+Status LoadWorkloadSchema(Database& db, const SyntheticWorkload& workload,
+                          Rng& rng, double row_scale = 1.0);
+
+}  // namespace qb5000::dbms
+
+#endif  // QB5000_DBMS_LOADER_H_

@@ -1,0 +1,131 @@
+#include "dbms/table.h"
+
+#include <algorithm>
+
+namespace qb5000::dbms {
+
+void OrderedIndex::Insert(const Value& key, RowId row) {
+  entries_.emplace(key, row);
+}
+
+void OrderedIndex::Erase(const Value& key, RowId row) {
+  auto [lo, hi] = entries_.equal_range(key);
+  for (auto it = lo; it != hi; ++it) {
+    if (it->second == row) {
+      entries_.erase(it);
+      return;
+    }
+  }
+}
+
+std::vector<RowId> OrderedIndex::EqualMatches(const Value& v) const {
+  std::vector<RowId> out;
+  auto [lo, hi] = entries_.equal_range(v);
+  for (auto it = lo; it != hi; ++it) out.push_back(it->second);
+  return out;
+}
+
+std::vector<RowId> OrderedIndex::RangeMatches(const Value* lo, bool lo_inclusive,
+                                              const Value* hi,
+                                              bool hi_inclusive) const {
+  auto begin = lo != nullptr
+                   ? (lo_inclusive ? entries_.lower_bound(*lo)
+                                   : entries_.upper_bound(*lo))
+                   : entries_.begin();
+  auto end = hi != nullptr
+                 ? (hi_inclusive ? entries_.upper_bound(*hi)
+                                 : entries_.lower_bound(*hi))
+                 : entries_.end();
+  std::vector<RowId> out;
+  for (auto it = begin; it != end; ++it) out.push_back(it->second);
+  return out;
+}
+
+int Table::ColumnIndex(const std::string& name) const {
+  for (size_t i = 0; i < columns_.size(); ++i) {
+    if (columns_[i].name == name) return static_cast<int>(i);
+  }
+  return -1;
+}
+
+Result<RowId> Table::Insert(Row row) {
+  if (row.size() != columns_.size()) {
+    return Status::InvalidArgument("row width mismatch on " + name_);
+  }
+  RowId id = rows_.size();
+  for (auto& [column, index] : indexes_) {
+    index->Insert(row[index->column()], id);
+  }
+  rows_.push_back(std::move(row));
+  live_.push_back(true);
+  ++live_count_;
+  return id;
+}
+
+Status Table::Delete(RowId row) {
+  if (row >= rows_.size() || !live_[row]) {
+    return Status::NotFound("row not live");
+  }
+  for (auto& [column, index] : indexes_) {
+    index->Erase(rows_[row][index->column()], row);
+  }
+  live_[row] = false;
+  --live_count_;
+  return Status::Ok();
+}
+
+Status Table::UpdateCell(RowId row, size_t col, Value v) {
+  if (row >= rows_.size() || !live_[row]) {
+    return Status::NotFound("row not live");
+  }
+  if (col >= columns_.size()) return Status::OutOfRange("bad column");
+  for (auto& [column, index] : indexes_) {
+    if (index->column() == col) {
+      index->Erase(rows_[row][col], row);
+      index->Insert(v, row);
+    }
+  }
+  rows_[row][col] = std::move(v);
+  return Status::Ok();
+}
+
+Status Table::CreateIndex(const std::string& column) {
+  int col = ColumnIndex(column);
+  if (col < 0) return Status::NotFound("no column " + column + " on " + name_);
+  if (indexes_.count(column)) {
+    return Status::AlreadyExists("index exists on " + name_ + "." + column);
+  }
+  auto index = std::make_unique<OrderedIndex>(static_cast<size_t>(col));
+  for (RowId id = 0; id < rows_.size(); ++id) {
+    if (live_[id]) index->Insert(rows_[id][static_cast<size_t>(col)], id);
+  }
+  indexes_.emplace(column, std::move(index));
+  return Status::Ok();
+}
+
+Status Table::DropIndex(const std::string& column) {
+  if (indexes_.erase(column) == 0) {
+    return Status::NotFound("no index on " + name_ + "." + column);
+  }
+  return Status::Ok();
+}
+
+bool Table::HasIndex(const std::string& column) const {
+  return indexes_.count(column) > 0;
+}
+
+const OrderedIndex* Table::GetIndex(const std::string& column) const {
+  auto it = indexes_.find(column);
+  return it == indexes_.end() ? nullptr : it->second.get();
+}
+
+std::vector<std::string> Table::IndexedColumns() const {
+  std::vector<std::string> out;
+  for (const auto& [column, index] : indexes_) {
+    (void)index;
+    out.push_back(column);
+  }
+  return out;
+}
+
+}  // namespace qb5000::dbms

@@ -1,0 +1,95 @@
+#ifndef QB5000_DBMS_TABLE_H_
+#define QB5000_DBMS_TABLE_H_
+
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "dbms/value.h"
+
+namespace qb5000::dbms {
+
+/// Column metadata. `distinct_estimate` is the engine's (perfectly accurate
+/// in this simulator) NDV statistic used for selectivity estimation.
+struct Column {
+  std::string name;
+  bool is_int = true;
+  int64_t distinct_estimate = 1000;
+};
+
+using Row = std::vector<Value>;
+using RowId = size_t;
+
+/// Ordered secondary index over one column: a red-black-tree multimap, the
+/// in-memory analogue of the B+-tree secondary indexes the paper's DBMSs
+/// build. Maintained on every insert/update/delete.
+class OrderedIndex {
+ public:
+  explicit OrderedIndex(size_t column) : column_(column) {}
+
+  size_t column() const { return column_; }
+  void Insert(const Value& key, RowId row);
+  void Erase(const Value& key, RowId row);
+
+  /// Row ids with key == v.
+  std::vector<RowId> EqualMatches(const Value& v) const;
+
+  /// Row ids with lo <= key <= hi (either bound optional via nullptr).
+  std::vector<RowId> RangeMatches(const Value* lo, bool lo_inclusive,
+                                  const Value* hi, bool hi_inclusive) const;
+
+  size_t size() const { return entries_.size(); }
+
+ private:
+  size_t column_;
+  std::multimap<Value, RowId, ValueCompare> entries_;
+};
+
+/// Heap table: rows in insertion order with a deleted bitmap, plus any
+/// number of single-column secondary indexes.
+class Table {
+ public:
+  Table(std::string name, std::vector<Column> columns)
+      : name_(std::move(name)), columns_(std::move(columns)) {}
+
+  const std::string& name() const { return name_; }
+  const std::vector<Column>& columns() const { return columns_; }
+
+  /// Index of the column with `name`, or -1.
+  int ColumnIndex(const std::string& name) const;
+
+  /// Appends a row (width must match). Returns its RowId.
+  Result<RowId> Insert(Row row);
+
+  /// Marks a row deleted and removes it from all indexes.
+  Status Delete(RowId row);
+
+  /// Replaces column `col` of `row` with `v`, maintaining indexes.
+  Status UpdateCell(RowId row, size_t col, Value v);
+
+  bool IsLive(RowId row) const { return row < live_.size() && live_[row]; }
+  const Row& GetRow(RowId row) const { return rows_[row]; }
+  size_t live_rows() const { return live_count_; }
+  size_t allocated_rows() const { return rows_.size(); }
+
+  /// Creates a secondary index on `column` (no-op error if it exists).
+  Status CreateIndex(const std::string& column);
+  Status DropIndex(const std::string& column);
+  bool HasIndex(const std::string& column) const;
+  const OrderedIndex* GetIndex(const std::string& column) const;
+  std::vector<std::string> IndexedColumns() const;
+
+ private:
+  std::string name_;
+  std::vector<Column> columns_;
+  std::vector<Row> rows_;
+  std::vector<bool> live_;
+  size_t live_count_ = 0;
+  std::map<std::string, std::unique_ptr<OrderedIndex>> indexes_;
+};
+
+}  // namespace qb5000::dbms
+
+#endif  // QB5000_DBMS_TABLE_H_

@@ -1,0 +1,46 @@
+#include "dbms/value.h"
+
+#include <cstdlib>
+
+namespace qb5000::dbms {
+
+bool ValueLess(const Value& a, const Value& b) {
+  if (a.index() != b.index()) return a.index() < b.index();
+  if (std::holds_alternative<int64_t>(a)) {
+    return std::get<int64_t>(a) < std::get<int64_t>(b);
+  }
+  if (std::holds_alternative<std::string>(a)) {
+    return std::get<std::string>(a) < std::get<std::string>(b);
+  }
+  return false;  // both NULL
+}
+
+bool ValueEquals(const Value& a, const Value& b) {
+  return !ValueLess(a, b) && !ValueLess(b, a) && !IsNull(a) && !IsNull(b);
+}
+
+Value ValueFromLiteral(const sql::Literal& literal, bool as_int) {
+  switch (literal.type) {
+    case sql::LiteralType::kNull:
+      return std::monostate{};
+    case sql::LiteralType::kInteger:
+    case sql::LiteralType::kFloat:
+    case sql::LiteralType::kBoolean:
+      if (as_int) return std::strtoll(literal.text.c_str(), nullptr, 10);
+      return literal.text;
+    case sql::LiteralType::kString:
+      if (as_int) return std::strtoll(literal.text.c_str(), nullptr, 10);
+      return literal.text;
+  }
+  return std::monostate{};
+}
+
+std::string ValueToString(const Value& v) {
+  if (IsNull(v)) return "NULL";
+  if (std::holds_alternative<int64_t>(v)) {
+    return std::to_string(std::get<int64_t>(v));
+  }
+  return "'" + std::get<std::string>(v) + "'";
+}
+
+}  // namespace qb5000::dbms

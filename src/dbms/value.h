@@ -1,0 +1,42 @@
+#ifndef QB5000_DBMS_VALUE_H_
+#define QB5000_DBMS_VALUE_H_
+
+#include <cstdint>
+#include <string>
+#include <variant>
+
+#include "sql/ast.h"
+
+namespace qb5000::dbms {
+
+/// A cell value in the miniature engine: NULL, 64-bit integer, or string.
+/// (Floats from SQL literals are stored as strings by string columns and
+/// truncated by integer columns; the engine exists to model index
+/// selection cost, not numeric fidelity.)
+using Value = std::variant<std::monostate, int64_t, std::string>;
+
+inline bool IsNull(const Value& v) {
+  return std::holds_alternative<std::monostate>(v);
+}
+
+/// Total order across values: NULL < ints < strings; within a type, the
+/// natural order. Gives the ordered index a single comparator.
+bool ValueLess(const Value& a, const Value& b);
+bool ValueEquals(const Value& a, const Value& b);
+
+struct ValueCompare {
+  bool operator()(const Value& a, const Value& b) const {
+    return ValueLess(a, b);
+  }
+};
+
+/// Converts a SQL literal to a Value appropriate for an integer column
+/// (`as_int` = true) or a string column.
+Value ValueFromLiteral(const sql::Literal& literal, bool as_int);
+
+/// Debug/printing form.
+std::string ValueToString(const Value& v);
+
+}  // namespace qb5000::dbms
+
+#endif  // QB5000_DBMS_VALUE_H_

@@ -1,0 +1,99 @@
+#include "forecaster/dataset.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace qb5000 {
+namespace {
+
+Status ValidateAligned(const std::vector<TimeSeries>& series) {
+  if (series.empty()) return Status::InvalidArgument("no series");
+  for (const auto& s : series) {
+    if (s.start() != series[0].start() ||
+        s.interval_seconds() != series[0].interval_seconds() ||
+        s.size() != series[0].size()) {
+      return Status::InvalidArgument("series are not aligned");
+    }
+  }
+  return Status::Ok();
+}
+
+double Log1pClamped(double v) { return std::log1p(std::max(0.0, v)); }
+
+}  // namespace
+
+Result<ForecastDataset> BuildDataset(const std::vector<TimeSeries>& series,
+                                     size_t input_window, size_t horizon_steps) {
+  Status st = ValidateAligned(series);
+  if (!st.ok()) return st;
+  if (input_window == 0 || horizon_steps == 0) {
+    return Status::InvalidArgument("window and horizon must be positive");
+  }
+  size_t length = series[0].size();
+  size_t d = series.size();
+  if (length < input_window + horizon_steps) {
+    return Status::InvalidArgument("series too short for window + horizon");
+  }
+  size_t n = length - input_window - horizon_steps + 1;
+  ForecastDataset out;
+  out.input_window = input_window;
+  out.num_series = d;
+  out.horizon_steps = horizon_steps;
+  out.x = Matrix(n, input_window * d);
+  out.y = Matrix(n, d);
+  for (size_t i = 0; i < n; ++i) {
+    for (size_t t = 0; t < input_window; ++t) {
+      for (size_t s = 0; s < d; ++s) {
+        out.x(i, t * d + s) = Log1pClamped(series[s].values()[i + t]);
+      }
+    }
+    size_t target = i + input_window + horizon_steps - 1;
+    for (size_t s = 0; s < d; ++s) {
+      out.y(i, s) = Log1pClamped(series[s].values()[target]);
+    }
+  }
+  return out;
+}
+
+Result<Vector> LatestWindow(const std::vector<TimeSeries>& series,
+                            size_t input_window) {
+  Status st = ValidateAligned(series);
+  if (!st.ok()) return st;
+  size_t length = series[0].size();
+  size_t d = series.size();
+  if (length < input_window) {
+    return Status::InvalidArgument("series shorter than input window");
+  }
+  Vector window(input_window * d);
+  size_t begin = length - input_window;
+  for (size_t t = 0; t < input_window; ++t) {
+    for (size_t s = 0; s < d; ++s) {
+      window[t * d + s] = Log1pClamped(series[s].values()[begin + t]);
+    }
+  }
+  return window;
+}
+
+Vector ToArrivalRates(const Vector& log_space) {
+  Vector out(log_space.size());
+  for (size_t i = 0; i < out.size(); ++i) {
+    // Clamp before exponentiating: a model extrapolating on inputs far
+    // outside its training distribution (e.g. during a workload shift)
+    // must yield a large-but-finite rate, never inf/NaN.
+    double v = log_space[i];
+    if (!std::isfinite(v)) v = 0.0;
+    v = std::clamp(v, 0.0, 50.0);
+    out[i] = std::expm1(v);
+  }
+  return out;
+}
+
+Vector ToLogSpace(const Vector& rates) {
+  Vector out(rates.size());
+  for (size_t i = 0; i < out.size(); ++i) {
+    out[i] = std::log1p(std::max(0.0, rates[i]));
+  }
+  return out;
+}
+
+}  // namespace qb5000

@@ -1,0 +1,42 @@
+#ifndef QB5000_FORECASTER_DATASET_H_
+#define QB5000_FORECASTER_DATASET_H_
+
+#include <vector>
+
+#include "common/status.h"
+#include "common/timeseries.h"
+#include "math/matrix.h"
+
+namespace qb5000 {
+
+/// Sliding-window training data for the forecasting models. Built from the
+/// aligned cluster-center series: each example's input is the log1p arrival
+/// rates of all clusters over `input_window` consecutive intervals, and its
+/// target is the log1p rates `horizon_steps` intervals after the window.
+struct ForecastDataset {
+  Matrix x;  ///< n x (input_window * num_series), chronological rows
+  Matrix y;  ///< n x num_series
+  size_t input_window = 0;
+  size_t num_series = 0;
+  size_t horizon_steps = 0;
+};
+
+/// Builds a dataset from `series` (all must share start, interval, and
+/// length). Requires enough data for at least one example.
+Result<ForecastDataset> BuildDataset(const std::vector<TimeSeries>& series,
+                                     size_t input_window, size_t horizon_steps);
+
+/// The most recent input window of `series`, log1p-transformed — the vector
+/// passed to ForecastModel::Predict for a live forecast.
+Result<Vector> LatestWindow(const std::vector<TimeSeries>& series,
+                            size_t input_window);
+
+/// Maps a model output (log1p space) back to arrival rates.
+Vector ToArrivalRates(const Vector& log_space);
+
+/// Maps arrival rates into the models' log1p space.
+Vector ToLogSpace(const Vector& rates);
+
+}  // namespace qb5000
+
+#endif  // QB5000_FORECASTER_DATASET_H_

@@ -1,0 +1,65 @@
+#ifndef QB5000_FORECASTER_ENSEMBLE_H_
+#define QB5000_FORECASTER_ENSEMBLE_H_
+
+#include <memory>
+
+#include "forecaster/model.h"
+
+namespace qb5000 {
+
+/// ENSEMBLE (Section 6.1): the unweighted average of LR and RNN predictions.
+/// The paper found equal averaging beats history-weighted averaging (which
+/// overfits), so no weighting knob is exposed.
+class EnsembleModel : public ForecastModel {
+ public:
+  explicit EnsembleModel(const ModelOptions& options);
+
+  /// Constructs from already-trained components (lets benches share one
+  /// trained LR/RNN across ENSEMBLE and HYBRID instead of retraining).
+  EnsembleModel(std::shared_ptr<ForecastModel> lr,
+                std::shared_ptr<ForecastModel> rnn);
+
+  Status Fit(const Matrix& x, const Matrix& y) override;
+  Result<Vector> Predict(const Vector& x) const override;
+  std::string_view name() const override { return "ENSEMBLE"; }
+  ModelTraits traits() const override { return {false, true, false}; }
+
+ private:
+  std::shared_ptr<ForecastModel> lr_;
+  std::shared_ptr<ForecastModel> rnn_;
+  bool prefitted_ = false;
+};
+
+/// HYBRID (Section 6.1): uses ENSEMBLE's prediction unless KR forecasts a
+/// volume more than (1 + gamma) times higher — the spike-detection rule that
+/// lets QB5000 anticipate rare events like annual deadlines. Components may
+/// be trained on different datasets (the paper trains KR on the full history
+/// at one-hour intervals); use the prefitted constructor for that.
+class HybridModel : public ForecastModel {
+ public:
+  explicit HybridModel(const ModelOptions& options);
+
+  HybridModel(std::shared_ptr<ForecastModel> ensemble,
+              std::shared_ptr<ForecastModel> kr, double gamma);
+
+  Status Fit(const Matrix& x, const Matrix& y) override;
+  Result<Vector> Predict(const Vector& x) const override;
+
+  /// Predict with a dedicated KR input (when KR was trained with a different
+  /// window than the ensemble, per Section 6.2).
+  Result<Vector> PredictWithKrInput(const Vector& ensemble_x,
+                                    const Vector& kr_x) const;
+
+  std::string_view name() const override { return "HYBRID"; }
+  ModelTraits traits() const override { return {false, true, true}; }
+
+ private:
+  std::shared_ptr<ForecastModel> ensemble_;
+  std::shared_ptr<ForecastModel> kr_;
+  double gamma_;
+  bool prefitted_ = false;
+};
+
+}  // namespace qb5000
+
+#endif  // QB5000_FORECASTER_ENSEMBLE_H_

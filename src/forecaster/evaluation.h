@@ -1,0 +1,43 @@
+#ifndef QB5000_FORECASTER_EVALUATION_H_
+#define QB5000_FORECASTER_EVALUATION_H_
+
+#include <vector>
+
+#include "common/status.h"
+#include "common/timeseries.h"
+#include "forecaster/model.h"
+
+namespace qb5000 {
+
+/// Output of a walk-forward evaluation: a model trained on the leading
+/// fraction of the series and tested on every subsequent window.
+struct EvaluationResult {
+  /// The paper's metric: log of the MSE over log1p-space rates (Figure 7).
+  double log_mse = 0.0;
+  /// Per-test-point predictions and actuals in raw arrival-rate space,
+  /// flattened across series (sum across clusters for single-line plots).
+  std::vector<Vector> predicted;
+  std::vector<Vector> actual;
+  /// Timestamps of the predicted points.
+  std::vector<Timestamp> times;
+  /// Wall-clock seconds spent in Fit().
+  double train_seconds = 0.0;
+};
+
+/// Trains `kind` on the first `train_fraction` of the aligned `series` and
+/// evaluates one-shot predictions at `horizon_steps` over the remainder.
+/// HYBRID trains its KR component on the same training range but with
+/// options.kr_input_window (falling back to input_window when 0).
+Result<EvaluationResult> EvaluateModel(ModelKind kind,
+                                       const std::vector<TimeSeries>& series,
+                                       size_t input_window, size_t horizon_steps,
+                                       double train_fraction,
+                                       const ModelOptions& options);
+
+/// Sums a per-series vector sequence into one combined series (for plots of
+/// total cluster volume such as Figures 9 and 16).
+std::vector<double> SumAcrossSeries(const std::vector<Vector>& per_point);
+
+}  // namespace qb5000
+
+#endif  // QB5000_FORECASTER_EVALUATION_H_

@@ -1,0 +1,170 @@
+#include "forecaster/forecaster.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "forecaster/dataset.h"
+#include "forecaster/ensemble.h"
+#include "forecaster/kernel_regression.h"
+#include "forecaster/linear.h"
+#include "forecaster/neural.h"
+
+namespace qb5000 {
+
+Result<std::vector<TimeSeries>> Forecaster::GatherSeries(
+    const PreProcessor& pre, const OnlineClusterer& clusterer, int64_t interval,
+    Timestamp from, Timestamp to) const {
+  std::vector<TimeSeries> series;
+  series.reserve(clusters_.size());
+  for (ClusterId id : clusters_) {
+    auto center = clusterer.CenterSeries(pre, id, interval, from, to);
+    if (!center.ok()) return center.status();
+    series.push_back(std::move(*center));
+  }
+  return series;
+}
+
+Status Forecaster::Train(const PreProcessor& pre,
+                         const OnlineClusterer& clusterer,
+                         const std::vector<ClusterId>& clusters, Timestamp now,
+                         const std::vector<int64_t>& horizons_seconds) {
+  if (clusters.empty()) return Status::InvalidArgument("no clusters to model");
+  clusters_ = clusters;
+  models_.clear();
+
+  Timestamp train_from = now - options_.training_window_seconds;
+  auto series = GatherSeries(pre, clusterer, options_.interval_seconds,
+                             train_from, now);
+  if (!series.ok()) return series.status();
+
+  // Cap future predictions at 3x each cluster's training-history peak.
+  prediction_cap_log_.assign(clusters_.size(), 0.0);
+  for (size_t s = 0; s < series->size(); ++s) {
+    double peak = 0.0;
+    for (double v : (*series)[s].values()) peak = std::max(peak, v);
+    prediction_cap_log_[s] = std::log1p(3.0 * std::max(peak, 1.0));
+  }
+
+  for (int64_t horizon : horizons_seconds) {
+    if (horizon <= 0 || horizon % options_.interval_seconds != 0) {
+      return Status::InvalidArgument(
+          "horizon must be a positive multiple of the interval");
+    }
+    HorizonModel hm;
+    hm.horizon_steps = static_cast<size_t>(horizon / options_.interval_seconds);
+
+    ModelOptions model_options = options_.model;
+    model_options.input_window = options_.input_window;
+    model_options.num_series = clusters_.size();
+
+    auto dataset = BuildDataset(*series, options_.input_window, hm.horizon_steps);
+    if (!dataset.ok()) return dataset.status();
+
+    if (options_.kind == ModelKind::kHybrid) {
+      auto lr = std::make_shared<LinearRegressionModel>(model_options);
+      auto rnn = std::make_shared<RnnModel>(model_options);
+      Status st = lr->Fit(dataset->x, dataset->y);
+      if (!st.ok()) return st;
+      st = rnn->Fit(dataset->x, dataset->y);
+      if (!st.ok()) return st;
+      auto ensemble = std::make_shared<EnsembleModel>(lr, rnn);
+
+      // KR trains on the full recorded history at one-hour intervals
+      // (Section 6.2) so long-period spikes stay in reach of the kernel.
+      Timestamp first = now;
+      for (ClusterId id : clusters_) {
+        const auto& cluster = clusterer.clusters().at(id);
+        for (TemplateId member : cluster.members) {
+          const auto* info = pre.GetTemplate(member);
+          if (info != nullptr && info->history.FirstTime() < first) {
+            first = info->history.FirstTime();
+          }
+        }
+      }
+      size_t kr_window = model_options.kr_input_window > 0
+                             ? model_options.kr_input_window
+                             : options_.input_window;
+      size_t kr_steps = std::max<size_t>(
+          1, static_cast<size_t>(horizon / kSecondsPerHour));
+      auto full = GatherSeries(pre, clusterer, kSecondsPerHour, first, now);
+      std::shared_ptr<KernelRegressionModel> kr;
+      if (full.ok()) {
+        ModelOptions kr_options = model_options;
+        kr_options.input_window = kr_window;
+        auto kr_data = BuildDataset(*full, kr_window, kr_steps);
+        if (kr_data.ok()) {
+          kr = std::make_shared<KernelRegressionModel>(kr_options);
+          Status kr_st = kr->Fit(kr_data->x, kr_data->y);
+          if (!kr_st.ok()) kr.reset();
+        }
+      }
+      if (kr != nullptr) {
+        hm.model =
+            std::make_shared<HybridModel>(ensemble, kr, model_options.gamma);
+        hm.kr_window = kr_window;
+      } else {
+        hm.model = ensemble;  // not enough history for KR: fall back
+      }
+    } else {
+      std::shared_ptr<ForecastModel> model =
+          CreateModel(options_.kind, model_options);
+      if (model == nullptr) return Status::InvalidArgument("unknown model kind");
+      Status st = model->Fit(dataset->x, dataset->y);
+      if (!st.ok()) return st;
+      hm.model = std::move(model);
+    }
+    models_[horizon] = std::move(hm);
+  }
+  return Status::Ok();
+}
+
+Result<Vector> Forecaster::Forecast(const PreProcessor& pre,
+                                    const OnlineClusterer& clusterer,
+                                    Timestamp now,
+                                    int64_t horizon_seconds) const {
+  auto it = models_.find(horizon_seconds);
+  if (it == models_.end()) {
+    return Status::NotFound("no model trained for this horizon");
+  }
+  const HorizonModel& hm = it->second;
+
+  Timestamp from =
+      now - static_cast<int64_t>(options_.input_window) * options_.interval_seconds;
+  auto series = GatherSeries(pre, clusterer, options_.interval_seconds, from, now);
+  if (!series.ok()) return series.status();
+  auto window = LatestWindow(*series, options_.input_window);
+  if (!window.ok()) return window.status();
+
+  Result<Vector> pred = Status::Internal("unset");
+  auto* hybrid = dynamic_cast<HybridModel*>(hm.model.get());
+  if (hybrid != nullptr && hm.kr_window > 0) {
+    Timestamp kr_from =
+        now - static_cast<int64_t>(hm.kr_window) * kSecondsPerHour;
+    auto kr_series = GatherSeries(pre, clusterer, kSecondsPerHour, kr_from, now);
+    if (!kr_series.ok()) return kr_series.status();
+    auto kr_window = LatestWindow(*kr_series, hm.kr_window);
+    if (!kr_window.ok()) return kr_window.status();
+    pred = hybrid->PredictWithKrInput(*window, *kr_window);
+  } else {
+    pred = hm.model->Predict(*window);
+  }
+  if (!pred.ok()) return pred.status();
+  Vector capped = *pred;
+  for (size_t s = 0; s < capped.size() && s < prediction_cap_log_.size(); ++s) {
+    if (!std::isfinite(capped[s])) capped[s] = 0.0;
+    capped[s] = std::min(capped[s], prediction_cap_log_[s]);
+  }
+  return ToArrivalRates(capped);
+}
+
+std::vector<int64_t> Forecaster::horizons() const {
+  std::vector<int64_t> out;
+  out.reserve(models_.size());
+  for (const auto& [h, m] : models_) {
+    (void)m;
+    out.push_back(h);
+  }
+  return out;
+}
+
+}  // namespace qb5000

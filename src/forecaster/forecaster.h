@@ -1,0 +1,84 @@
+#ifndef QB5000_FORECASTER_FORECASTER_H_
+#define QB5000_FORECASTER_FORECASTER_H_
+
+#include <map>
+#include <memory>
+#include <vector>
+
+#include "clusterer/online_clusterer.h"
+#include "common/clock.h"
+#include "common/status.h"
+#include "forecaster/model.h"
+#include "preprocessor/preprocessor.h"
+
+namespace qb5000 {
+
+/// The Forecaster (Section 6): trains one model per prediction horizon on
+/// the arrival-rate series of the highest-volume clusters and answers
+/// "how many queries will each cluster receive at now + horizon?".
+///
+/// One model jointly predicts all modeled clusters (the paper shares
+/// information across clusters this way). The per-minute history is
+/// aggregated to `interval_seconds` for training, and HYBRID's KR component
+/// is trained on the full recorded history at one-hour intervals so it can
+/// recognize long-period spikes.
+class Forecaster {
+ public:
+  struct Options {
+    /// Prediction interval (Section 6.2); one hour by default.
+    int64_t interval_seconds = kSecondsPerHour;
+    /// Number of intervals per input window ("the last day's arrival rate").
+    size_t input_window = 24;
+    /// Training data span; the paper uses up to three weeks.
+    int64_t training_window_seconds = 21 * kSecondsPerDay;
+    /// Model family to deploy.
+    ModelKind kind = ModelKind::kHybrid;
+    ModelOptions model;
+  };
+
+  Forecaster() : Forecaster(Options()) {}
+  explicit Forecaster(Options options) : options_(options) {}
+
+  /// Trains models for every horizon (seconds) over the given clusters'
+  /// center series ending at `now`. Replaces any previously trained models.
+  Status Train(const PreProcessor& pre, const OnlineClusterer& clusterer,
+               const std::vector<ClusterId>& clusters, Timestamp now,
+               const std::vector<int64_t>& horizons_seconds);
+
+  /// Predicts each modeled cluster's arrival rate (queries per interval)
+  /// for the interval at `now + horizon`. `now` may be later than the
+  /// training time; the freshest history is used as input.
+  Result<Vector> Forecast(const PreProcessor& pre,
+                          const OnlineClusterer& clusterer, Timestamp now,
+                          int64_t horizon_seconds) const;
+
+  const std::vector<ClusterId>& modeled_clusters() const { return clusters_; }
+  std::vector<int64_t> horizons() const;
+  bool trained() const { return !models_.empty(); }
+
+ private:
+  /// Aligned center series for the modeled clusters over [from, to).
+  Result<std::vector<TimeSeries>> GatherSeries(const PreProcessor& pre,
+                                               const OnlineClusterer& clusterer,
+                                               int64_t interval, Timestamp from,
+                                               Timestamp to) const;
+
+  struct HorizonModel {
+    std::shared_ptr<ForecastModel> model;
+    size_t horizon_steps = 0;
+    size_t kr_window = 0;  ///< nonzero when the model is HYBRID
+  };
+
+  Options options_;
+  std::vector<ClusterId> clusters_;
+  std::map<int64_t, HorizonModel> models_;  ///< keyed by horizon seconds
+  /// Per-cluster cap on log-space predictions: the training-history peak
+  /// plus headroom. Guards against models extrapolating to absurd volumes
+  /// when live inputs fall outside the training distribution (e.g. during
+  /// a workload shift, Appendix D).
+  Vector prediction_cap_log_;
+};
+
+}  // namespace qb5000
+
+#endif  // QB5000_FORECASTER_FORECASTER_H_

@@ -1,0 +1,123 @@
+#include "forecaster/interval_selector.h"
+
+#include <algorithm>
+#include <chrono>
+#include <cmath>
+
+#include "forecaster/dataset.h"
+#include "math/stats.h"
+
+namespace qb5000 {
+namespace {
+
+Matrix SubMatrix(const Matrix& m, size_t rows) {
+  Matrix out(rows, m.cols());
+  for (size_t i = 0; i < rows; ++i) out.SetRow(i, m.Row(i));
+  return out;
+}
+
+}  // namespace
+
+Result<std::vector<IntervalSelector::Choice>> IntervalSelector::Evaluate(
+    const PreProcessor& pre, const OnlineClusterer& clusterer, Timestamp now,
+    const Options& options) {
+  auto top = clusterer.TopClustersByVolume(options.max_clusters);
+  if (top.empty()) return Status::FailedPrecondition("no clusters to model");
+  Timestamp from = now - options.history_seconds;
+
+  std::vector<Choice> choices;
+  for (int64_t interval : options.candidates) {
+    if (interval <= 0 || interval % kSecondsPerMinute != 0) continue;
+
+    std::vector<TimeSeries> series;
+    for (ClusterId id : top) {
+      auto center = clusterer.CenterSeries(pre, id, interval, from, now);
+      if (center.ok()) series.push_back(std::move(*center));
+    }
+    if (series.empty()) continue;
+
+    // Window/horizon in steps of this interval; hour-normalized scoring
+    // below keeps candidates comparable.
+    size_t window = static_cast<size_t>(
+        std::max<int64_t>(1, options.input_window_hours * kSecondsPerHour / interval));
+    size_t horizon_steps = static_cast<size_t>(
+        std::max<int64_t>(1, options.horizon_seconds / interval));
+    auto dataset = BuildDataset(series, window, horizon_steps);
+    if (!dataset.ok()) continue;
+    size_t n = dataset->x.rows();
+    size_t train_n =
+        static_cast<size_t>(options.train_fraction * static_cast<double>(n));
+    if (train_n < 8 || train_n >= n) continue;
+
+    ModelOptions model_options = options.model;
+    model_options.input_window = window;
+    model_options.num_series = series.size();
+    auto model = CreateModel(options.kind, model_options);
+    if (model == nullptr) return Status::InvalidArgument("unknown model kind");
+
+    auto start = std::chrono::steady_clock::now();
+    Status st = model->Fit(SubMatrix(dataset->x, train_n),
+                           SubMatrix(dataset->y, train_n));
+    if (!st.ok()) continue;
+    double train_seconds =
+        std::chrono::duration<double>(std::chrono::steady_clock::now() - start)
+            .count();
+
+    // Hour-normalized accuracy: group predictions into one-hour buckets
+    // (sum sub-hour steps; split super-hour steps evenly).
+    size_t steps_per_hour =
+        interval <= kSecondsPerHour
+            ? static_cast<size_t>(kSecondsPerHour / interval)
+            : 1;
+    double hour_scale =
+        interval <= kSecondsPerHour
+            ? 1.0
+            : static_cast<double>(kSecondsPerHour) / static_cast<double>(interval);
+    Vector actual, predicted;
+    bool failed = false;
+    for (size_t i = train_n; i + steps_per_hour <= n; i += steps_per_hour) {
+      double actual_sum = 0, predicted_sum = 0;
+      for (size_t s = 0; s < steps_per_hour && !failed; ++s) {
+        auto p = model->Predict(dataset->x.Row(i + s));
+        if (!p.ok()) {
+          failed = true;
+          break;
+        }
+        Vector pr = ToArrivalRates(*p);
+        Vector ar = ToArrivalRates(dataset->y.Row(i + s));
+        for (size_t j = 0; j < pr.size(); ++j) {
+          predicted_sum += pr[j] * hour_scale;
+          actual_sum += ar[j] * hour_scale;
+        }
+      }
+      if (failed) break;
+      actual.push_back(actual_sum);
+      predicted.push_back(predicted_sum);
+    }
+    if (failed || actual.empty()) continue;
+
+    Choice choice;
+    choice.interval_seconds = interval;
+    choice.log_mse = LogSpaceMse(actual, predicted);
+    choice.train_seconds = train_seconds;
+    choice.score =
+        choice.log_mse + options.time_weight * std::log1p(train_seconds);
+    choices.push_back(choice);
+  }
+  if (choices.empty()) {
+    return Status::FailedPrecondition("no interval candidate was evaluable");
+  }
+  std::sort(choices.begin(), choices.end(),
+            [](const Choice& a, const Choice& b) { return a.score < b.score; });
+  return choices;
+}
+
+Result<int64_t> IntervalSelector::Pick(const PreProcessor& pre,
+                                       const OnlineClusterer& clusterer,
+                                       Timestamp now, const Options& options) {
+  auto choices = Evaluate(pre, clusterer, now, options);
+  if (!choices.ok()) return choices.status();
+  return choices->front().interval_seconds;
+}
+
+}  // namespace qb5000

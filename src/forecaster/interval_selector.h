@@ -1,0 +1,66 @@
+#ifndef QB5000_FORECASTER_INTERVAL_SELECTOR_H_
+#define QB5000_FORECASTER_INTERVAL_SELECTOR_H_
+
+#include <vector>
+
+#include "clusterer/online_clusterer.h"
+#include "common/clock.h"
+#include "common/status.h"
+#include "forecaster/model.h"
+#include "preprocessor/preprocessor.h"
+
+namespace qb5000 {
+
+/// Automatic prediction-interval selection — the paper's Section 7.4
+/// future-work item. Evaluates candidate intervals by walk-forward
+/// accuracy on the cluster series, normalized to a common per-hour target
+/// (finer intervals must earn their extra training cost), and scores each
+/// candidate by accuracy plus a training-time penalty.
+class IntervalSelector {
+ public:
+  struct Options {
+    /// Candidate intervals, seconds. Must be minute multiples; intervals
+    /// above one hour are compared by even splitting (Section 7.4).
+    std::vector<int64_t> candidates = {10 * kSecondsPerMinute,
+                                       20 * kSecondsPerMinute,
+                                       30 * kSecondsPerMinute, kSecondsPerHour,
+                                       2 * kSecondsPerHour};
+    /// Horizon the deployment cares about, seconds.
+    int64_t horizon_seconds = kSecondsPerHour;
+    /// Input window expressed in hours (converted per interval).
+    int64_t input_window_hours = 24;
+    /// History used, ending at `now`.
+    int64_t history_seconds = 14 * kSecondsPerDay;
+    double train_fraction = 0.7;
+    /// Score = log_mse + time_weight * log1p(train_seconds): higher weight
+    /// biases toward cheaper (coarser) intervals.
+    double time_weight = 0.1;
+    /// Clusters to model (top by volume).
+    size_t max_clusters = 3;
+    ModelKind kind = ModelKind::kLr;
+    ModelOptions model;
+  };
+
+  struct Choice {
+    int64_t interval_seconds = 0;
+    double log_mse = 0.0;      ///< per-hour-normalized accuracy
+    double train_seconds = 0.0;
+    double score = 0.0;        ///< lower is better
+  };
+
+  /// Evaluates every candidate; returns choices sorted best-first.
+  /// Candidates that cannot produce a valid dataset are skipped.
+  static Result<std::vector<Choice>> Evaluate(const PreProcessor& pre,
+                                              const OnlineClusterer& clusterer,
+                                              Timestamp now,
+                                              const Options& options);
+
+  /// Convenience: the best interval, or an error if none evaluated.
+  static Result<int64_t> Pick(const PreProcessor& pre,
+                              const OnlineClusterer& clusterer, Timestamp now,
+                              const Options& options);
+};
+
+}  // namespace qb5000
+
+#endif  // QB5000_FORECASTER_INTERVAL_SELECTOR_H_

@@ -1,0 +1,39 @@
+#ifndef QB5000_FORECASTER_KERNEL_REGRESSION_H_
+#define QB5000_FORECASTER_KERNEL_REGRESSION_H_
+
+#include "forecaster/model.h"
+
+namespace qb5000 {
+
+/// Nadaraya-Watson kernel regression (Section 6.1's KR): the prediction is
+/// a kernel-weighted average of training targets, with RBF weights that
+/// decay exponentially in the distance between the query window and each
+/// training window. No iterative training; the model memorizes the data.
+///
+/// This is the only model in the paper able to predict rare repeating
+/// spikes (Section 7.3 / Appendix B): inputs preceding a spike sit far from
+/// "normal" inputs in kernel space, so when a spike-like window recurs the
+/// nearby (spiky) training targets dominate the average.
+class KernelRegressionModel : public ForecastModel {
+ public:
+  explicit KernelRegressionModel(const ModelOptions& options)
+      : options_(options) {}
+
+  Status Fit(const Matrix& x, const Matrix& y) override;
+  Result<Vector> Predict(const Vector& x) const override;
+  std::string_view name() const override { return "KR"; }
+  ModelTraits traits() const override { return {false, false, true}; }
+
+  double bandwidth() const { return bandwidth_; }
+
+ private:
+  ModelOptions options_;
+  Matrix train_x_;
+  Matrix train_y_;
+  double bandwidth_ = 1.0;
+  bool fitted_ = false;
+};
+
+}  // namespace qb5000
+
+#endif  // QB5000_FORECASTER_KERNEL_REGRESSION_H_

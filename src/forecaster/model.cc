@@ -1,0 +1,77 @@
+#include "forecaster/model.h"
+
+#include "forecaster/ensemble.h"
+#include "forecaster/kernel_regression.h"
+#include "forecaster/linear.h"
+#include "forecaster/neural.h"
+
+namespace qb5000 {
+
+std::unique_ptr<ForecastModel> CreateModel(ModelKind kind,
+                                           const ModelOptions& options) {
+  switch (kind) {
+    case ModelKind::kLr:
+      return std::make_unique<LinearRegressionModel>(options);
+    case ModelKind::kArma:
+      return std::make_unique<ArmaModel>(options);
+    case ModelKind::kKr:
+      return std::make_unique<KernelRegressionModel>(options);
+    case ModelKind::kFnn:
+      return std::make_unique<FnnModel>(options);
+    case ModelKind::kRnn:
+      return std::make_unique<RnnModel>(options);
+    case ModelKind::kPsrnn:
+      return std::make_unique<PsrnnModel>(options);
+    case ModelKind::kEnsemble:
+      return std::make_unique<EnsembleModel>(options);
+    case ModelKind::kHybrid:
+      return std::make_unique<HybridModel>(options);
+  }
+  return nullptr;
+}
+
+std::string_view ModelKindName(ModelKind kind) {
+  switch (kind) {
+    case ModelKind::kLr:
+      return "LR";
+    case ModelKind::kArma:
+      return "ARMA";
+    case ModelKind::kKr:
+      return "KR";
+    case ModelKind::kFnn:
+      return "FNN";
+    case ModelKind::kRnn:
+      return "RNN";
+    case ModelKind::kPsrnn:
+      return "PSRNN";
+    case ModelKind::kEnsemble:
+      return "ENSEMBLE";
+    case ModelKind::kHybrid:
+      return "HYBRID";
+  }
+  return "UNKNOWN";
+}
+
+ModelTraits TraitsOf(ModelKind kind) {
+  switch (kind) {
+    case ModelKind::kLr:
+      return {true, false, false};
+    case ModelKind::kArma:
+      return {true, true, false};
+    case ModelKind::kKr:
+      return {false, false, true};
+    case ModelKind::kFnn:
+      return {false, false, false};
+    case ModelKind::kRnn:
+      return {false, true, false};
+    case ModelKind::kPsrnn:
+      return {false, true, true};
+    case ModelKind::kEnsemble:
+      return {false, true, false};
+    case ModelKind::kHybrid:
+      return {false, true, true};
+  }
+  return {};
+}
+
+}  // namespace qb5000

@@ -1,0 +1,728 @@
+#include "forecaster/neural.h"
+
+#include <algorithm>
+#include <cmath>
+#include <functional>
+#include <numeric>
+
+#include "math/adam.h"
+#include "math/linalg.h"
+
+namespace qb5000 {
+
+Matrix Standardizer::FitTransform(const Matrix& data) {
+  size_t n = data.rows();
+  size_t d = data.cols();
+  mean_.assign(d, 0.0);
+  std_.assign(d, 0.0);
+  for (size_t i = 0; i < n; ++i) {
+    for (size_t j = 0; j < d; ++j) mean_[j] += data(i, j);
+  }
+  for (double& m : mean_) m /= static_cast<double>(n > 0 ? n : 1);
+  for (size_t i = 0; i < n; ++i) {
+    for (size_t j = 0; j < d; ++j) {
+      double diff = data(i, j) - mean_[j];
+      std_[j] += diff * diff;
+    }
+  }
+  for (double& s : std_) {
+    s = std::sqrt(s / static_cast<double>(n > 1 ? n : 1));
+    if (s < 1e-8) s = 1.0;  // constant column: leave centered only
+  }
+  Matrix out(n, d);
+  for (size_t i = 0; i < n; ++i) {
+    for (size_t j = 0; j < d; ++j) out(i, j) = (data(i, j) - mean_[j]) / std_[j];
+  }
+  return out;
+}
+
+Vector Standardizer::Transform(const Vector& row) const {
+  Vector out(row.size());
+  for (size_t j = 0; j < row.size() && j < mean_.size(); ++j) {
+    out[j] = (row[j] - mean_[j]) / std_[j];
+  }
+  return out;
+}
+
+Vector Standardizer::Inverse(const Vector& row) const {
+  Vector out(row.size());
+  for (size_t j = 0; j < row.size() && j < mean_.size(); ++j) {
+    out[j] = row[j] * std_[j] + mean_[j];
+  }
+  return out;
+}
+
+namespace {
+
+double Sigmoid(double x) { return 1.0 / (1.0 + std::exp(-x)); }
+
+/// Shared mini-batch Adam training loop with early stopping on a
+/// chronological validation tail. `loss_and_grad` computes the loss of one
+/// example and accumulates parameter gradients; `loss_only` evaluates
+/// without gradients.
+void TrainWithEarlyStopping(
+    const ModelOptions& options, size_t num_examples,
+    std::vector<double>& params,
+    const std::function<double(size_t, std::vector<double>&)>& loss_and_grad,
+    const std::function<double(size_t)>& loss_only) {
+  size_t val_count = std::max<size_t>(
+      1, static_cast<size_t>(static_cast<double>(num_examples) *
+                             options.validation_fraction));
+  if (val_count >= num_examples) val_count = num_examples / 2;
+  size_t train_count = num_examples - val_count;
+  if (train_count == 0) return;
+
+  AdamOptimizer::Options adam_opts;
+  adam_opts.learning_rate = options.learning_rate;
+  AdamOptimizer adam(params.size(), adam_opts);
+  Rng rng(options.seed);
+
+  std::vector<size_t> order(train_count);
+  std::iota(order.begin(), order.end(), 0);
+  std::vector<double> grads(params.size(), 0.0);
+  std::vector<double> best_params = params;
+  double best_val = std::numeric_limits<double>::infinity();
+  size_t since_best = 0;
+  const size_t kBatch = 32;
+
+  for (size_t epoch = 0; epoch < options.max_epochs; ++epoch) {
+    std::shuffle(order.begin(), order.end(), rng.engine());
+    for (size_t b = 0; b < train_count; b += kBatch) {
+      std::fill(grads.begin(), grads.end(), 0.0);
+      size_t batch_end = std::min(b + kBatch, train_count);
+      for (size_t k = b; k < batch_end; ++k) {
+        loss_and_grad(order[k], grads);
+      }
+      double scale = 1.0 / static_cast<double>(batch_end - b);
+      for (double& g : grads) g *= scale;
+      adam.Step(params, grads);
+    }
+    double val_loss = 0.0;
+    for (size_t i = train_count; i < num_examples; ++i) val_loss += loss_only(i);
+    val_loss /= static_cast<double>(val_count);
+    if (val_loss + 1e-9 < best_val) {
+      best_val = val_loss;
+      best_params = params;
+      since_best = 0;
+    } else if (++since_best >= options.patience) {
+      break;
+    }
+  }
+  params = best_params;
+}
+
+void RandomInit(std::vector<double>& params, size_t from, size_t count,
+                double scale, Rng& rng) {
+  for (size_t i = from; i < from + count; ++i) {
+    params[i] = rng.Gaussian(0.0, scale);
+  }
+}
+
+// ---------------------------------------------------------------------------
+// LSTM core: parameter layout and forward/backward passes shared by RnnModel.
+// ---------------------------------------------------------------------------
+
+/// Gate block order within the 4H pre-activation: input, forget, output, cell.
+struct LstmCore {
+  size_t in_dim = 0;     ///< raw per-step input dimension (num_series)
+  size_t embed = 0;      ///< linear embedding width
+  size_t hidden = 0;     ///< LSTM cells per layer
+  size_t layers = 0;
+  size_t out_dim = 0;
+  size_t seq_len = 0;
+
+  // Parameter offsets into the flat vector.
+  size_t off_e = 0, off_be = 0, off_wo = 0, off_bo = 0;
+  std::vector<size_t> off_w;  ///< per layer: 4H x (in_l + H)
+  std::vector<size_t> off_b;  ///< per layer: 4H
+
+  size_t LayerInput(size_t layer) const { return layer == 0 ? embed : hidden; }
+
+  size_t Layout() {
+    size_t offset = 0;
+    off_e = offset;
+    offset += embed * in_dim;
+    off_be = offset;
+    offset += embed;
+    off_w.resize(layers);
+    off_b.resize(layers);
+    for (size_t l = 0; l < layers; ++l) {
+      off_w[l] = offset;
+      offset += 4 * hidden * (LayerInput(l) + hidden);
+      off_b[l] = offset;
+      offset += 4 * hidden;
+    }
+    off_wo = offset;
+    offset += out_dim * hidden;
+    off_bo = offset;
+    offset += out_dim;
+    return offset;
+  }
+
+  void Init(std::vector<double>& params, uint64_t seed) const {
+    Rng rng(seed);
+    RandomInit(params, off_e, embed * in_dim,
+               1.0 / std::sqrt(static_cast<double>(in_dim)), rng);
+    for (size_t l = 0; l < layers; ++l) {
+      size_t in_l = LayerInput(l);
+      RandomInit(params, off_w[l], 4 * hidden * (in_l + hidden),
+                 1.0 / std::sqrt(static_cast<double>(in_l + hidden)), rng);
+      // Forget-gate bias of 1 keeps early memory open (standard practice).
+      for (size_t i = 0; i < hidden; ++i) params[off_b[l] + hidden + i] = 1.0;
+    }
+    RandomInit(params, off_wo, out_dim * hidden,
+               1.0 / std::sqrt(static_cast<double>(hidden)), rng);
+  }
+
+  /// Forward/backward scratch for one example.
+  struct Cache {
+    // [t][l] indexed flat: t * layers + l
+    std::vector<Vector> concat;  ///< [in_l + H] layer input with previous h
+    std::vector<Vector> gate_i, gate_f, gate_o, gate_g;
+    std::vector<Vector> cell, tanh_cell, hidden_state;
+    std::vector<Vector> embed_out;  ///< per t
+  };
+
+  Vector Forward(const double* params, const double* x_seq, Cache* cache) const {
+    if (cache != nullptr) {
+      size_t slots = seq_len * layers;
+      cache->concat.assign(slots, {});
+      cache->gate_i.assign(slots, {});
+      cache->gate_f.assign(slots, {});
+      cache->gate_o.assign(slots, {});
+      cache->gate_g.assign(slots, {});
+      cache->cell.assign(slots, {});
+      cache->tanh_cell.assign(slots, {});
+      cache->hidden_state.assign(slots, {});
+      cache->embed_out.assign(seq_len, {});
+    }
+    std::vector<Vector> h(layers, Vector(hidden, 0.0));
+    std::vector<Vector> c(layers, Vector(hidden, 0.0));
+    for (size_t t = 0; t < seq_len; ++t) {
+      // Linear embedding of the raw step input.
+      Vector e(embed, 0.0);
+      for (size_t i = 0; i < embed; ++i) {
+        double sum = params[off_be + i];
+        const double* row = params + off_e + i * in_dim;
+        for (size_t j = 0; j < in_dim; ++j) sum += row[j] * x_seq[t * in_dim + j];
+        e[i] = sum;
+      }
+      if (cache != nullptr) cache->embed_out[t] = e;
+      const Vector* input = &e;
+      for (size_t l = 0; l < layers; ++l) {
+        size_t in_l = LayerInput(l);
+        Vector concat(in_l + hidden);
+        std::copy(input->begin(), input->end(), concat.begin());
+        std::copy(h[l].begin(), h[l].end(), concat.begin() + in_l);
+        Vector zi(hidden), zf(hidden), zo(hidden), zg(hidden);
+        const double* w = params + off_w[l];
+        const double* b = params + off_b[l];
+        size_t width = in_l + hidden;
+        for (size_t i = 0; i < hidden; ++i) {
+          double si = b[i], sf = b[hidden + i], so = b[2 * hidden + i],
+                 sg = b[3 * hidden + i];
+          const double* wi = w + i * width;
+          const double* wf = w + (hidden + i) * width;
+          const double* wo = w + (2 * hidden + i) * width;
+          const double* wg = w + (3 * hidden + i) * width;
+          for (size_t j = 0; j < width; ++j) {
+            double cj = concat[j];
+            si += wi[j] * cj;
+            sf += wf[j] * cj;
+            so += wo[j] * cj;
+            sg += wg[j] * cj;
+          }
+          zi[i] = Sigmoid(si);
+          zf[i] = Sigmoid(sf);
+          zo[i] = Sigmoid(so);
+          zg[i] = std::tanh(sg);
+        }
+        Vector new_c(hidden), new_h(hidden), tanh_c(hidden);
+        for (size_t i = 0; i < hidden; ++i) {
+          new_c[i] = zf[i] * c[l][i] + zi[i] * zg[i];
+          tanh_c[i] = std::tanh(new_c[i]);
+          new_h[i] = zo[i] * tanh_c[i];
+        }
+        if (cache != nullptr) {
+          size_t slot = t * layers + l;
+          cache->concat[slot] = std::move(concat);
+          cache->gate_i[slot] = zi;
+          cache->gate_f[slot] = zf;
+          cache->gate_o[slot] = zo;
+          cache->gate_g[slot] = zg;
+          cache->cell[slot] = new_c;
+          cache->tanh_cell[slot] = tanh_c;
+          cache->hidden_state[slot] = new_h;
+        }
+        c[l] = std::move(new_c);
+        h[l] = std::move(new_h);
+        input = &h[l];
+      }
+    }
+    Vector y(out_dim, 0.0);
+    for (size_t i = 0; i < out_dim; ++i) {
+      double sum = params[off_bo + i];
+      const double* row = params + off_wo + i * hidden;
+      for (size_t j = 0; j < hidden; ++j) sum += row[j] * h[layers - 1][j];
+      y[i] = sum;
+    }
+    return y;
+  }
+
+  /// Accumulates gradients for one example given d(loss)/d(output).
+  void Backward(const double* params, const double* x_seq, const Cache& cache,
+                const Vector& dy, double* grads) const {
+    // Output head.
+    const Vector& h_last = cache.hidden_state[(seq_len - 1) * layers + (layers - 1)];
+    std::vector<Vector> dh(seq_len * layers, Vector(hidden, 0.0));
+    for (size_t i = 0; i < out_dim; ++i) {
+      grads[off_bo + i] += dy[i];
+      double* grow = grads + off_wo + i * hidden;
+      const double* prow = params + off_wo + i * hidden;
+      for (size_t j = 0; j < hidden; ++j) {
+        grow[j] += dy[i] * h_last[j];
+        dh[(seq_len - 1) * layers + (layers - 1)][j] += prow[j] * dy[i];
+      }
+    }
+    // dc carried backwards per layer.
+    std::vector<Vector> dc(layers, Vector(hidden, 0.0));
+    std::vector<Vector> dembed(seq_len, Vector(embed, 0.0));
+    for (size_t ti = seq_len; ti-- > 0;) {
+      for (size_t li = layers; li-- > 0;) {
+        size_t slot = ti * layers + li;
+        size_t in_l = LayerInput(li);
+        size_t width = in_l + hidden;
+        const Vector& zi = cache.gate_i[slot];
+        const Vector& zf = cache.gate_f[slot];
+        const Vector& zo = cache.gate_o[slot];
+        const Vector& zg = cache.gate_g[slot];
+        const Vector& tanh_c = cache.tanh_cell[slot];
+        const Vector& concat = cache.concat[slot];
+        // Previous cell state (zeros at t=0).
+        const Vector* c_prev = nullptr;
+        if (ti > 0) c_prev = &cache.cell[(ti - 1) * layers + li];
+        Vector dzi(hidden), dzf(hidden), dzo(hidden), dzg(hidden);
+        for (size_t i = 0; i < hidden; ++i) {
+          double dhi = dh[slot][i];
+          double dci = dc[li][i] + dhi * zo[i] * (1.0 - tanh_c[i] * tanh_c[i]);
+          double doi = dhi * tanh_c[i];
+          double cprev = c_prev != nullptr ? (*c_prev)[i] : 0.0;
+          dzi[i] = dci * zg[i] * zi[i] * (1.0 - zi[i]);
+          dzf[i] = dci * cprev * zf[i] * (1.0 - zf[i]);
+          dzo[i] = doi * zo[i] * (1.0 - zo[i]);
+          dzg[i] = dci * zi[i] * (1.0 - zg[i] * zg[i]);
+          dc[li][i] = dci * zf[i];  // carried to t-1
+        }
+        // Weight gradients and upstream deltas.
+        Vector dconcat(width, 0.0);
+        const double* w = params + off_w[li];
+        double* gw = grads + off_w[li];
+        double* gb = grads + off_b[li];
+        for (size_t i = 0; i < hidden; ++i) {
+          const double* wi = w + i * width;
+          const double* wf = w + (hidden + i) * width;
+          const double* wo = w + (2 * hidden + i) * width;
+          const double* wg = w + (3 * hidden + i) * width;
+          double* gi = gw + i * width;
+          double* gf = gw + (hidden + i) * width;
+          double* go = gw + (2 * hidden + i) * width;
+          double* gg = gw + (3 * hidden + i) * width;
+          for (size_t j = 0; j < width; ++j) {
+            double cj = concat[j];
+            gi[j] += dzi[i] * cj;
+            gf[j] += dzf[i] * cj;
+            go[j] += dzo[i] * cj;
+            gg[j] += dzg[i] * cj;
+            dconcat[j] += wi[j] * dzi[i] + wf[j] * dzf[i] + wo[j] * dzo[i] +
+                          wg[j] * dzg[i];
+          }
+          gb[i] += dzi[i];
+          gb[hidden + i] += dzf[i];
+          gb[2 * hidden + i] += dzo[i];
+          gb[3 * hidden + i] += dzg[i];
+        }
+        // Split dconcat into input delta and previous-hidden delta.
+        if (ti > 0) {
+          Vector& dh_prev = dh[(ti - 1) * layers + li];
+          for (size_t j = 0; j < hidden; ++j) dh_prev[j] += dconcat[in_l + j];
+        }
+        if (li > 0) {
+          Vector& dh_below = dh[ti * layers + (li - 1)];
+          for (size_t j = 0; j < hidden; ++j) dh_below[j] += dconcat[j];
+        } else {
+          for (size_t j = 0; j < embed; ++j) dembed[ti][j] += dconcat[j];
+        }
+      }
+    }
+    // Embedding gradients.
+    for (size_t t = 0; t < seq_len; ++t) {
+      for (size_t i = 0; i < embed; ++i) {
+        grads[off_be + i] += dembed[t][i];
+        double* row = grads + off_e + i * in_dim;
+        for (size_t j = 0; j < in_dim; ++j) {
+          row[j] += dembed[t][i] * x_seq[t * in_dim + j];
+        }
+      }
+    }
+  }
+};
+
+// ---------------------------------------------------------------------------
+// Vanilla RNN core for the PSRNN model.
+// ---------------------------------------------------------------------------
+
+struct VanillaRnnCore {
+  size_t in_dim = 0, hidden = 0, out_dim = 0, seq_len = 0;
+  size_t off_wx = 0, off_wh = 0, off_b = 0, off_wo = 0, off_bo = 0;
+
+  size_t Layout() {
+    size_t offset = 0;
+    off_wx = offset;
+    offset += hidden * in_dim;
+    off_wh = offset;
+    offset += hidden * hidden;
+    off_b = offset;
+    offset += hidden;
+    off_wo = offset;
+    offset += out_dim * hidden;
+    off_bo = offset;
+    offset += out_dim;
+    return offset;
+  }
+
+  struct Cache {
+    std::vector<Vector> pre_h;  ///< tanh outputs per step
+  };
+
+  Vector Forward(const double* params, const double* x_seq, Cache* cache) const {
+    Vector h(hidden, 0.0);
+    if (cache != nullptr) cache->pre_h.assign(seq_len, {});
+    for (size_t t = 0; t < seq_len; ++t) {
+      Vector nh(hidden);
+      for (size_t i = 0; i < hidden; ++i) {
+        double sum = params[off_b + i];
+        const double* wx = params + off_wx + i * in_dim;
+        for (size_t j = 0; j < in_dim; ++j) sum += wx[j] * x_seq[t * in_dim + j];
+        const double* wh = params + off_wh + i * hidden;
+        for (size_t j = 0; j < hidden; ++j) sum += wh[j] * h[j];
+        nh[i] = std::tanh(sum);
+      }
+      h = std::move(nh);
+      if (cache != nullptr) cache->pre_h[t] = h;
+    }
+    Vector y(out_dim);
+    for (size_t i = 0; i < out_dim; ++i) {
+      double sum = params[off_bo + i];
+      const double* row = params + off_wo + i * hidden;
+      for (size_t j = 0; j < hidden; ++j) sum += row[j] * h[j];
+      y[i] = sum;
+    }
+    return y;
+  }
+
+  void Backward(const double* params, const double* x_seq, const Cache& cache,
+                const Vector& dy, double* grads) const {
+    Vector dh(hidden, 0.0);
+    const Vector& h_last = cache.pre_h[seq_len - 1];
+    for (size_t i = 0; i < out_dim; ++i) {
+      grads[off_bo + i] += dy[i];
+      double* grow = grads + off_wo + i * hidden;
+      const double* prow = params + off_wo + i * hidden;
+      for (size_t j = 0; j < hidden; ++j) {
+        grow[j] += dy[i] * h_last[j];
+        dh[j] += prow[j] * dy[i];
+      }
+    }
+    for (size_t ti = seq_len; ti-- > 0;) {
+      const Vector& h = cache.pre_h[ti];
+      Vector dz(hidden);
+      for (size_t i = 0; i < hidden; ++i) dz[i] = dh[i] * (1.0 - h[i] * h[i]);
+      Vector dh_prev(hidden, 0.0);
+      const Vector* h_prev = ti > 0 ? &cache.pre_h[ti - 1] : nullptr;
+      for (size_t i = 0; i < hidden; ++i) {
+        grads[off_b + i] += dz[i];
+        double* gx = grads + off_wx + i * in_dim;
+        for (size_t j = 0; j < in_dim; ++j) gx[j] += dz[i] * x_seq[ti * in_dim + j];
+        double* gh = grads + off_wh + i * hidden;
+        const double* wh = params + off_wh + i * hidden;
+        for (size_t j = 0; j < hidden; ++j) {
+          if (h_prev != nullptr) gh[j] += dz[i] * (*h_prev)[j];
+          dh_prev[j] += wh[j] * dz[i];
+        }
+      }
+      dh = std::move(dh_prev);
+    }
+  }
+};
+
+double HalfSquaredError(const Vector& pred, const Matrix& y, size_t row,
+                        Vector* dy) {
+  double loss = 0.0;
+  if (dy != nullptr) dy->assign(pred.size(), 0.0);
+  for (size_t j = 0; j < pred.size(); ++j) {
+    double diff = pred[j] - y(row, j);
+    loss += 0.5 * diff * diff;
+    if (dy != nullptr) (*dy)[j] = diff;
+  }
+  return loss;
+}
+
+}  // namespace
+
+// ---------------------------------------------------------------------------
+// FNN
+// ---------------------------------------------------------------------------
+
+Status FnnModel::Fit(const Matrix& x_raw, const Matrix& y_raw) {
+  if (x_raw.rows() < 4 || x_raw.rows() != y_raw.rows()) {
+    return Status::InvalidArgument("FNN: insufficient or mismatched data");
+  }
+  Matrix x = x_std_.FitTransform(x_raw);
+  Matrix y = y_std_.FitTransform(y_raw);
+  in_dim_ = x.cols();
+  hidden_ = options_.hidden_dim;
+  out_dim_ = y.cols();
+  size_t num_params = hidden_ * in_dim_ + hidden_ + out_dim_ * hidden_ + out_dim_;
+  params_.assign(num_params, 0.0);
+  Rng rng(options_.seed);
+  RandomInit(params_, 0, hidden_ * in_dim_,
+             1.0 / std::sqrt(static_cast<double>(in_dim_)), rng);
+  RandomInit(params_, hidden_ * in_dim_ + hidden_, out_dim_ * hidden_,
+             1.0 / std::sqrt(static_cast<double>(hidden_)), rng);
+
+  size_t off_w1 = 0, off_b1 = hidden_ * in_dim_;
+  size_t off_w2 = off_b1 + hidden_, off_b2 = off_w2 + out_dim_ * hidden_;
+
+  auto forward = [&](const std::vector<double>& p, size_t row, Vector* hidden_out) {
+    Vector h(hidden_);
+    for (size_t i = 0; i < hidden_; ++i) {
+      double sum = p[off_b1 + i];
+      for (size_t j = 0; j < in_dim_; ++j) sum += p[off_w1 + i * in_dim_ + j] * x(row, j);
+      h[i] = std::tanh(sum);
+    }
+    Vector out(out_dim_);
+    for (size_t i = 0; i < out_dim_; ++i) {
+      double sum = p[off_b2 + i];
+      for (size_t j = 0; j < hidden_; ++j) sum += p[off_w2 + i * hidden_ + j] * h[j];
+      out[i] = sum;
+    }
+    if (hidden_out != nullptr) *hidden_out = std::move(h);
+    return out;
+  };
+
+  auto loss_and_grad = [&](size_t row, std::vector<double>& grads) {
+    Vector h;
+    Vector pred = forward(params_, row, &h);
+    Vector dy;
+    double loss = HalfSquaredError(pred, y, row, &dy);
+    Vector dh(hidden_, 0.0);
+    for (size_t i = 0; i < out_dim_; ++i) {
+      grads[off_b2 + i] += dy[i];
+      for (size_t j = 0; j < hidden_; ++j) {
+        grads[off_w2 + i * hidden_ + j] += dy[i] * h[j];
+        dh[j] += params_[off_w2 + i * hidden_ + j] * dy[i];
+      }
+    }
+    for (size_t i = 0; i < hidden_; ++i) {
+      double dz = dh[i] * (1.0 - h[i] * h[i]);
+      grads[off_b1 + i] += dz;
+      for (size_t j = 0; j < in_dim_; ++j) grads[off_w1 + i * in_dim_ + j] += dz * x(row, j);
+    }
+    return loss;
+  };
+  auto loss_only = [&](size_t row) {
+    Vector pred = forward(params_, row, nullptr);
+    return HalfSquaredError(pred, y, row, nullptr);
+  };
+
+  TrainWithEarlyStopping(options_, x.rows(), params_, loss_and_grad, loss_only);
+  fitted_ = true;
+  return Status::Ok();
+}
+
+Result<Vector> FnnModel::Predict(const Vector& raw_input) const {
+  if (!fitted_) return Status::FailedPrecondition("FNN model not fitted");
+  if (raw_input.size() != in_dim_) {
+    return Status::InvalidArgument("FNN input dimension mismatch");
+  }
+  Vector input = x_std_.Transform(raw_input);
+  size_t off_w1 = 0, off_b1 = hidden_ * in_dim_;
+  size_t off_w2 = off_b1 + hidden_, off_b2 = off_w2 + out_dim_ * hidden_;
+  Vector h(hidden_);
+  for (size_t i = 0; i < hidden_; ++i) {
+    double sum = params_[off_b1 + i];
+    for (size_t j = 0; j < in_dim_; ++j) sum += params_[off_w1 + i * in_dim_ + j] * input[j];
+    h[i] = std::tanh(sum);
+  }
+  Vector out(out_dim_);
+  for (size_t i = 0; i < out_dim_; ++i) {
+    double sum = params_[off_b2 + i];
+    for (size_t j = 0; j < hidden_; ++j) sum += params_[off_w2 + i * hidden_ + j] * h[j];
+    out[i] = sum;
+  }
+  return y_std_.Inverse(out);
+}
+
+// ---------------------------------------------------------------------------
+// RNN (LSTM)
+// ---------------------------------------------------------------------------
+
+Status RnnModel::Fit(const Matrix& x_raw, const Matrix& y_raw) {
+  if (x_raw.rows() < 4 || x_raw.rows() != y_raw.rows()) {
+    return Status::InvalidArgument("RNN: insufficient or mismatched data");
+  }
+  Matrix x = x_std_.FitTransform(x_raw);
+  Matrix y = y_std_.FitTransform(y_raw);
+  in_dim_ = options_.num_series;
+  if (in_dim_ == 0 || x.cols() % in_dim_ != 0) {
+    return Status::InvalidArgument("RNN: columns not divisible by num_series");
+  }
+  seq_len_ = x.cols() / in_dim_;
+
+  LstmCore core;
+  core.in_dim = in_dim_;
+  core.embed = options_.embedding_dim;
+  core.hidden = options_.hidden_dim;
+  core.layers = options_.num_layers;
+  core.out_dim = y.cols();
+  core.seq_len = seq_len_;
+  out_dim_ = y.cols();
+  size_t num_params = core.Layout();
+  params_.assign(num_params, 0.0);
+  core.Init(params_, options_.seed);
+
+  auto loss_and_grad = [&](size_t row, std::vector<double>& grads) {
+    LstmCore::Cache cache;
+    const double* x_seq = &x.data()[row * x.cols()];
+    Vector pred = core.Forward(params_.data(), x_seq, &cache);
+    Vector dy;
+    double loss = HalfSquaredError(pred, y, row, &dy);
+    core.Backward(params_.data(), x_seq, cache, dy, grads.data());
+    return loss;
+  };
+  auto loss_only = [&](size_t row) {
+    const double* x_seq = &x.data()[row * x.cols()];
+    Vector pred = core.Forward(params_.data(), x_seq, nullptr);
+    return HalfSquaredError(pred, y, row, nullptr);
+  };
+
+  TrainWithEarlyStopping(options_, x.rows(), params_, loss_and_grad, loss_only);
+  fitted_ = true;
+  return Status::Ok();
+}
+
+Result<Vector> RnnModel::Predict(const Vector& raw_input) const {
+  if (!fitted_) return Status::FailedPrecondition("RNN model not fitted");
+  if (raw_input.size() != seq_len_ * in_dim_) {
+    return Status::InvalidArgument("RNN input dimension mismatch");
+  }
+  Vector input = x_std_.Transform(raw_input);
+  LstmCore core;
+  core.in_dim = in_dim_;
+  core.embed = options_.embedding_dim;
+  core.hidden = options_.hidden_dim;
+  core.layers = options_.num_layers;
+  core.seq_len = seq_len_;
+  core.out_dim = out_dim_;
+  core.Layout();
+  return y_std_.Inverse(core.Forward(params_.data(), input.data(), nullptr));
+}
+
+// ---------------------------------------------------------------------------
+// PSRNN
+// ---------------------------------------------------------------------------
+
+Status PsrnnModel::Fit(const Matrix& x_raw, const Matrix& y_raw) {
+  if (x_raw.rows() < 4 || x_raw.rows() != y_raw.rows()) {
+    return Status::InvalidArgument("PSRNN: insufficient or mismatched data");
+  }
+  Matrix x = x_std_.FitTransform(x_raw);
+  Matrix y = y_std_.FitTransform(y_raw);
+  in_dim_ = options_.num_series;
+  if (in_dim_ == 0 || x.cols() % in_dim_ != 0) {
+    return Status::InvalidArgument("PSRNN: columns not divisible by num_series");
+  }
+  seq_len_ = x.cols() / in_dim_;
+  hidden_ = options_.hidden_dim;
+  out_dim_ = y.cols();
+
+  VanillaRnnCore core;
+  core.in_dim = in_dim_;
+  core.hidden = hidden_;
+  core.out_dim = out_dim_;
+  core.seq_len = seq_len_;
+  size_t num_params = core.Layout();
+  params_.assign(num_params, 0.0);
+
+  // Two-stage-regression initialization (the PSRNN idea, simplified): a
+  // ridge regression from the last observation to the target provides the
+  // initial observation->state and state->output maps, instead of random
+  // initialization.
+  {
+    Matrix last_step(x.rows(), in_dim_);
+    for (size_t i = 0; i < x.rows(); ++i) {
+      for (size_t j = 0; j < in_dim_; ++j) {
+        last_step(i, j) = x(i, (seq_len_ - 1) * in_dim_ + j);
+      }
+    }
+    auto w1 = RidgeRegression(last_step, y, options_.ridge_lambda);
+    Rng rng(options_.seed);
+    // Observation -> state: route each input into a dedicated state unit.
+    for (size_t i = 0; i < hidden_; ++i) {
+      for (size_t j = 0; j < in_dim_; ++j) {
+        params_[core.off_wx + i * in_dim_ + j] =
+            (i % in_dim_ == j) ? 0.5 : rng.Gaussian(0.0, 0.05);
+      }
+    }
+    // Weak recurrence to start (memory learned during refinement).
+    RandomInit(params_, core.off_wh, hidden_ * hidden_, 0.05, rng);
+    // State -> output from the stage-1 regression through the routed units.
+    if (w1.ok()) {
+      for (size_t o = 0; o < out_dim_; ++o) {
+        for (size_t i = 0; i < hidden_; ++i) {
+          params_[core.off_wo + o * hidden_ + i] =
+              2.0 * (*w1)(i % in_dim_, o) / std::ceil(static_cast<double>(hidden_) /
+                                                      static_cast<double>(in_dim_));
+        }
+      }
+    } else {
+      RandomInit(params_, core.off_wo, out_dim_ * hidden_, 0.1, rng);
+    }
+  }
+
+  auto loss_and_grad = [&](size_t row, std::vector<double>& grads) {
+    VanillaRnnCore::Cache cache;
+    const double* x_seq = &x.data()[row * x.cols()];
+    Vector pred = core.Forward(params_.data(), x_seq, &cache);
+    Vector dy;
+    double loss = HalfSquaredError(pred, y, row, &dy);
+    core.Backward(params_.data(), x_seq, cache, dy, grads.data());
+    return loss;
+  };
+  auto loss_only = [&](size_t row) {
+    const double* x_seq = &x.data()[row * x.cols()];
+    Vector pred = core.Forward(params_.data(), x_seq, nullptr);
+    return HalfSquaredError(pred, y, row, nullptr);
+  };
+
+  TrainWithEarlyStopping(options_, x.rows(), params_, loss_and_grad, loss_only);
+  fitted_ = true;
+  return Status::Ok();
+}
+
+Result<Vector> PsrnnModel::Predict(const Vector& raw_input) const {
+  if (!fitted_) return Status::FailedPrecondition("PSRNN model not fitted");
+  if (raw_input.size() != seq_len_ * in_dim_) {
+    return Status::InvalidArgument("PSRNN input dimension mismatch");
+  }
+  Vector input = x_std_.Transform(raw_input);
+  VanillaRnnCore core;
+  core.in_dim = in_dim_;
+  core.hidden = hidden_;
+  core.out_dim = out_dim_;
+  core.seq_len = seq_len_;
+  core.Layout();
+  return y_std_.Inverse(core.Forward(params_.data(), input.data(), nullptr));
+}
+
+}  // namespace qb5000

@@ -1,0 +1,100 @@
+#ifndef QB5000_FORECASTER_NEURAL_H_
+#define QB5000_FORECASTER_NEURAL_H_
+
+#include <vector>
+
+#include "common/rng.h"
+#include "forecaster/model.h"
+
+namespace qb5000 {
+
+/// Per-column z-scoring fitted on the training data. The neural models
+/// standardize inputs and targets (log1p arrival rates sit at magnitude
+/// ~10, which saturates tanh units) and invert the target transform on
+/// prediction.
+class Standardizer {
+ public:
+  /// Fits column statistics on `data` and returns the transformed copy.
+  Matrix FitTransform(const Matrix& data);
+  /// Applies fitted statistics to one row vector.
+  Vector Transform(const Vector& row) const;
+  /// Inverts the transform on one (predicted) row vector.
+  Vector Inverse(const Vector& row) const;
+  bool fitted() const { return !mean_.empty(); }
+
+ private:
+  Vector mean_;
+  Vector std_;
+};
+
+/// Feed-forward network (the paper's FNN baseline): one tanh hidden layer
+/// over the flattened input window, trained with Adam and early stopping on
+/// a held-out validation tail.
+class FnnModel : public ForecastModel {
+ public:
+  explicit FnnModel(const ModelOptions& options) : options_(options) {}
+
+  Status Fit(const Matrix& x, const Matrix& y) override;
+  Result<Vector> Predict(const Vector& x) const override;
+  std::string_view name() const override { return "FNN"; }
+  ModelTraits traits() const override { return {false, false, false}; }
+
+ private:
+  ModelOptions options_;
+  size_t in_dim_ = 0, hidden_ = 0, out_dim_ = 0;
+  std::vector<double> params_;
+  Standardizer x_std_;
+  Standardizer y_std_;
+  bool fitted_ = false;
+};
+
+/// LSTM recurrent network (the paper's RNN): linear embedding of each
+/// interval's per-cluster rates, a stack of LSTM layers, and a linear head
+/// from the final hidden state. Trained with truncated-to-window BPTT and
+/// Adam; training stops when validation loss stops improving (Section 7.5).
+class RnnModel : public ForecastModel {
+ public:
+  explicit RnnModel(const ModelOptions& options) : options_(options) {}
+
+  Status Fit(const Matrix& x, const Matrix& y) override;
+  Result<Vector> Predict(const Vector& x) const override;
+  std::string_view name() const override { return "RNN"; }
+  ModelTraits traits() const override { return {false, true, false}; }
+
+ private:
+  ModelOptions options_;
+  size_t seq_len_ = 0, in_dim_ = 0, out_dim_ = 0;
+  std::vector<double> params_;
+  Standardizer x_std_;
+  Standardizer y_std_;
+  bool fitted_ = false;
+};
+
+/// Predictive State RNN (simplified reproduction of [17]): a single-layer
+/// vanilla RNN whose parameters are initialized by a method-of-moments
+/// style two-stage ridge regression (past window -> future observation)
+/// before BPTT refinement, rather than randomly. This captures PSRNN's
+/// distinguishing property — a principled initialization that may or may
+/// not beat LSTM depending on data volume — without the full Hilbert-space
+/// embedding machinery (see DESIGN.md substitutions).
+class PsrnnModel : public ForecastModel {
+ public:
+  explicit PsrnnModel(const ModelOptions& options) : options_(options) {}
+
+  Status Fit(const Matrix& x, const Matrix& y) override;
+  Result<Vector> Predict(const Vector& x) const override;
+  std::string_view name() const override { return "PSRNN"; }
+  ModelTraits traits() const override { return {false, true, true}; }
+
+ private:
+  ModelOptions options_;
+  size_t seq_len_ = 0, in_dim_ = 0, hidden_ = 0, out_dim_ = 0;
+  std::vector<double> params_;
+  Standardizer x_std_;
+  Standardizer y_std_;
+  bool fitted_ = false;
+};
+
+}  // namespace qb5000
+
+#endif  // QB5000_FORECASTER_NEURAL_H_

@@ -1,0 +1,41 @@
+#include "math/adam.h"
+
+#include <cassert>
+#include <cmath>
+
+namespace qb5000 {
+
+AdamOptimizer::AdamOptimizer(size_t num_params, Options options)
+    : options_(options), m_(num_params, 0.0), v_(num_params, 0.0), t_(0) {}
+
+void AdamOptimizer::Step(std::vector<double>& params,
+                         std::vector<double>& grads) {
+  assert(params.size() == m_.size() && grads.size() == m_.size());
+  if (options_.gradient_clip > 0.0) {
+    double norm_sq = 0.0;
+    for (double g : grads) norm_sq += g * g;
+    double norm = std::sqrt(norm_sq);
+    if (norm > options_.gradient_clip) {
+      double scale = options_.gradient_clip / norm;
+      for (double& g : grads) g *= scale;
+    }
+  }
+  ++t_;
+  double bc1 = 1.0 - std::pow(options_.beta1, static_cast<double>(t_));
+  double bc2 = 1.0 - std::pow(options_.beta2, static_cast<double>(t_));
+  for (size_t i = 0; i < params.size(); ++i) {
+    m_[i] = options_.beta1 * m_[i] + (1.0 - options_.beta1) * grads[i];
+    v_[i] = options_.beta2 * v_[i] + (1.0 - options_.beta2) * grads[i] * grads[i];
+    double mhat = m_[i] / bc1;
+    double vhat = v_[i] / bc2;
+    params[i] -= options_.learning_rate * mhat / (std::sqrt(vhat) + options_.epsilon);
+  }
+}
+
+void AdamOptimizer::Reset() {
+  std::fill(m_.begin(), m_.end(), 0.0);
+  std::fill(v_.begin(), v_.end(), 0.0);
+  t_ = 0;
+}
+
+}  // namespace qb5000

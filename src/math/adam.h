@@ -1,0 +1,40 @@
+#ifndef QB5000_MATH_ADAM_H_
+#define QB5000_MATH_ADAM_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+namespace qb5000 {
+
+/// Adam optimizer over a flat parameter vector. The neural models keep all
+/// weights in one contiguous buffer so a single optimizer instance drives
+/// training.
+class AdamOptimizer {
+ public:
+  struct Options {
+    double learning_rate = 1e-3;
+    double beta1 = 0.9;
+    double beta2 = 0.999;
+    double epsilon = 1e-8;
+    double gradient_clip = 5.0;  ///< max L2 norm of the full gradient; 0 = off
+  };
+
+  explicit AdamOptimizer(size_t num_params) : AdamOptimizer(num_params, Options()) {}
+  AdamOptimizer(size_t num_params, Options options);
+
+  /// Applies one update of `params` using `grads` (same length).
+  void Step(std::vector<double>& params, std::vector<double>& grads);
+
+  void Reset();
+
+ private:
+  Options options_;
+  std::vector<double> m_;
+  std::vector<double> v_;
+  int64_t t_;
+};
+
+}  // namespace qb5000
+
+#endif  // QB5000_MATH_ADAM_H_

@@ -1,0 +1,176 @@
+#include "math/linalg.h"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+
+namespace qb5000 {
+namespace {
+
+/// In-place Cholesky factorization A = L L^T; returns false if A is not
+/// positive definite. On success the lower triangle of `a` holds L.
+bool CholeskyFactor(Matrix& a) {
+  size_t n = a.rows();
+  for (size_t j = 0; j < n; ++j) {
+    double d = a(j, j);
+    for (size_t k = 0; k < j; ++k) d -= a(j, k) * a(j, k);
+    if (d <= 0.0) return false;
+    a(j, j) = std::sqrt(d);
+    for (size_t i = j + 1; i < n; ++i) {
+      double s = a(i, j);
+      for (size_t k = 0; k < j; ++k) s -= a(i, k) * a(j, k);
+      a(i, j) = s / a(j, j);
+    }
+  }
+  return true;
+}
+
+Vector CholeskyBackSolve(const Matrix& l, const Vector& b) {
+  size_t n = l.rows();
+  Vector y(n);
+  for (size_t i = 0; i < n; ++i) {
+    double s = b[i];
+    for (size_t k = 0; k < i; ++k) s -= l(i, k) * y[k];
+    y[i] = s / l(i, i);
+  }
+  Vector x(n);
+  for (size_t ii = n; ii-- > 0;) {
+    double s = y[ii];
+    for (size_t k = ii + 1; k < n; ++k) s -= l(k, ii) * x[k];
+    x[ii] = s / l(ii, ii);
+  }
+  return x;
+}
+
+}  // namespace
+
+Result<Vector> CholeskySolve(const Matrix& a, const Vector& b) {
+  if (a.rows() != a.cols() || a.rows() != b.size()) {
+    return Status::InvalidArgument("CholeskySolve: shape mismatch");
+  }
+  Matrix l = a;
+  if (!CholeskyFactor(l)) {
+    return Status::FailedPrecondition("matrix is not positive definite");
+  }
+  return CholeskyBackSolve(l, b);
+}
+
+Result<Matrix> CholeskySolveMatrix(const Matrix& a, const Matrix& b) {
+  if (a.rows() != a.cols() || a.rows() != b.rows()) {
+    return Status::InvalidArgument("CholeskySolveMatrix: shape mismatch");
+  }
+  Matrix l = a;
+  if (!CholeskyFactor(l)) {
+    return Status::FailedPrecondition("matrix is not positive definite");
+  }
+  Matrix x(b.rows(), b.cols());
+  Vector col(b.rows());
+  for (size_t j = 0; j < b.cols(); ++j) {
+    for (size_t i = 0; i < b.rows(); ++i) col[i] = b(i, j);
+    Vector sol = CholeskyBackSolve(l, col);
+    for (size_t i = 0; i < b.rows(); ++i) x(i, j) = sol[i];
+  }
+  return x;
+}
+
+Result<Matrix> RidgeRegression(const Matrix& x, const Matrix& y, double lambda) {
+  if (x.rows() != y.rows()) {
+    return Status::InvalidArgument("RidgeRegression: row counts differ");
+  }
+  if (x.rows() == 0) {
+    return Status::InvalidArgument("RidgeRegression: empty training set");
+  }
+  Matrix xt = x.Transpose();
+  Matrix gram = xt.MatMul(x);
+  for (size_t i = 0; i < gram.rows(); ++i) gram(i, i) += lambda;
+  Matrix xty = xt.MatMul(y);
+  return CholeskySolveMatrix(gram, xty);
+}
+
+Result<EigenResult> SymmetricEigen(const Matrix& a, int max_sweeps) {
+  if (a.rows() != a.cols()) {
+    return Status::InvalidArgument("SymmetricEigen: matrix must be square");
+  }
+  size_t n = a.rows();
+  Matrix d = a;
+  Matrix v = Matrix::Identity(n);
+  for (int sweep = 0; sweep < max_sweeps; ++sweep) {
+    double off = 0.0;
+    for (size_t i = 0; i < n; ++i) {
+      for (size_t j = i + 1; j < n; ++j) off += d(i, j) * d(i, j);
+    }
+    if (off < 1e-20) break;
+    for (size_t p = 0; p < n; ++p) {
+      for (size_t q = p + 1; q < n; ++q) {
+        if (std::fabs(d(p, q)) < 1e-15) continue;
+        double theta = (d(q, q) - d(p, p)) / (2.0 * d(p, q));
+        double t = (theta >= 0 ? 1.0 : -1.0) /
+                   (std::fabs(theta) + std::sqrt(theta * theta + 1.0));
+        double c = 1.0 / std::sqrt(t * t + 1.0);
+        double s = t * c;
+        for (size_t k = 0; k < n; ++k) {
+          double dkp = d(k, p);
+          double dkq = d(k, q);
+          d(k, p) = c * dkp - s * dkq;
+          d(k, q) = s * dkp + c * dkq;
+        }
+        for (size_t k = 0; k < n; ++k) {
+          double dpk = d(p, k);
+          double dqk = d(q, k);
+          d(p, k) = c * dpk - s * dqk;
+          d(q, k) = s * dpk + c * dqk;
+        }
+        for (size_t k = 0; k < n; ++k) {
+          double vkp = v(k, p);
+          double vkq = v(k, q);
+          v(k, p) = c * vkp - s * vkq;
+          v(k, q) = s * vkp + c * vkq;
+        }
+      }
+    }
+  }
+  std::vector<size_t> order(n);
+  std::iota(order.begin(), order.end(), 0);
+  std::sort(order.begin(), order.end(),
+            [&](size_t i, size_t j) { return d(i, i) > d(j, j); });
+  EigenResult result;
+  result.eigenvalues.resize(n);
+  result.eigenvectors = Matrix(n, n);
+  for (size_t j = 0; j < n; ++j) {
+    result.eigenvalues[j] = d(order[j], order[j]);
+    for (size_t i = 0; i < n; ++i) result.eigenvectors(i, j) = v(i, order[j]);
+  }
+  return result;
+}
+
+Result<Matrix> PcaProject(const Matrix& data, size_t k) {
+  if (data.rows() == 0 || data.cols() == 0) {
+    return Status::InvalidArgument("PcaProject: empty data");
+  }
+  if (k == 0 || k > data.cols()) {
+    return Status::InvalidArgument("PcaProject: invalid component count");
+  }
+  size_t n = data.rows();
+  size_t d = data.cols();
+  Vector mean(d, 0.0);
+  for (size_t i = 0; i < n; ++i) {
+    for (size_t j = 0; j < d; ++j) mean[j] += data(i, j);
+  }
+  for (double& m : mean) m /= static_cast<double>(n);
+  Matrix centered(n, d);
+  for (size_t i = 0; i < n; ++i) {
+    for (size_t j = 0; j < d; ++j) centered(i, j) = data(i, j) - mean[j];
+  }
+  Matrix cov = centered.Transpose().MatMul(centered);
+  double scale = 1.0 / static_cast<double>(n > 1 ? n - 1 : 1);
+  for (double& c : cov.mutable_data()) c *= scale;
+  auto eig = SymmetricEigen(cov);
+  if (!eig.ok()) return eig.status();
+  Matrix components(d, k);
+  for (size_t j = 0; j < k; ++j) {
+    for (size_t i = 0; i < d; ++i) components(i, j) = eig->eigenvectors(i, j);
+  }
+  return centered.MatMul(components);
+}
+
+}  // namespace qb5000

@@ -1,0 +1,35 @@
+#ifndef QB5000_MATH_LINALG_H_
+#define QB5000_MATH_LINALG_H_
+
+#include "common/status.h"
+#include "math/matrix.h"
+
+namespace qb5000 {
+
+/// Solves A x = b for symmetric positive-definite A via Cholesky.
+Result<Vector> CholeskySolve(const Matrix& a, const Vector& b);
+
+/// Solves A X = B column-by-column for SPD A.
+Result<Matrix> CholeskySolveMatrix(const Matrix& a, const Matrix& b);
+
+/// Multi-output ridge regression: returns W (x_dim x y_dim) minimizing
+/// ||X W - Y||^2 + lambda ||W||^2. Rows of X are examples; the caller adds
+/// its own bias column if an intercept is wanted.
+Result<Matrix> RidgeRegression(const Matrix& x, const Matrix& y, double lambda);
+
+/// Eigendecomposition of a symmetric matrix by cyclic Jacobi rotations.
+/// Eigenvalues are sorted in decreasing order; `eigenvectors` columns match.
+struct EigenResult {
+  Vector eigenvalues;
+  Matrix eigenvectors;  // column i is the eigenvector for eigenvalues[i]
+};
+Result<EigenResult> SymmetricEigen(const Matrix& a, int max_sweeps = 64);
+
+/// Principal component analysis. Rows of `data` are observations. Returns
+/// the projection of each (mean-centered) row onto the top `k` principal
+/// components (an n x k matrix). Used to reproduce the paper's Figure 15.
+Result<Matrix> PcaProject(const Matrix& data, size_t k);
+
+}  // namespace qb5000
+
+#endif  // QB5000_MATH_LINALG_H_

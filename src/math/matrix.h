@@ -1,0 +1,76 @@
+#ifndef QB5000_MATH_MATRIX_H_
+#define QB5000_MATH_MATRIX_H_
+
+#include <cassert>
+#include <cstddef>
+#include <vector>
+
+namespace qb5000 {
+
+using Vector = std::vector<double>;
+
+/// Dense row-major matrix of doubles. Sized for the small models this
+/// library trains (input dims in the hundreds); no SIMD or blocking needed.
+class Matrix {
+ public:
+  Matrix() : rows_(0), cols_(0) {}
+  Matrix(size_t rows, size_t cols, double fill = 0.0)
+      : rows_(rows), cols_(cols), data_(rows * cols, fill) {}
+
+  size_t rows() const { return rows_; }
+  size_t cols() const { return cols_; }
+
+  double& operator()(size_t r, size_t c) {
+    assert(r < rows_ && c < cols_);
+    return data_[r * cols_ + c];
+  }
+  double operator()(size_t r, size_t c) const {
+    assert(r < rows_ && c < cols_);
+    return data_[r * cols_ + c];
+  }
+
+  const std::vector<double>& data() const { return data_; }
+  std::vector<double>& mutable_data() { return data_; }
+
+  /// Returns row `r` as a Vector copy.
+  Vector Row(size_t r) const;
+
+  /// Overwrites row `r` with `v` (v.size() must equal cols()).
+  void SetRow(size_t r, const Vector& v);
+
+  /// this * other; requires cols() == other.rows().
+  Matrix MatMul(const Matrix& other) const;
+
+  /// this * v; requires v.size() == cols().
+  Vector MatVec(const Vector& v) const;
+
+  /// Transposed copy.
+  Matrix Transpose() const;
+
+  /// Identity matrix of size n.
+  static Matrix Identity(size_t n);
+
+ private:
+  size_t rows_;
+  size_t cols_;
+  std::vector<double> data_;
+};
+
+/// v . w ; sizes must match.
+double Dot(const Vector& a, const Vector& b);
+
+/// Euclidean norm.
+double Norm(const Vector& v);
+
+/// a + b element-wise.
+Vector Add(const Vector& a, const Vector& b);
+
+/// a - b element-wise.
+Vector Sub(const Vector& a, const Vector& b);
+
+/// a * s element-wise.
+Vector ScaleVec(const Vector& a, double s);
+
+}  // namespace qb5000
+
+#endif  // QB5000_MATH_MATRIX_H_

@@ -1,0 +1,78 @@
+#include "math/stats.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+
+namespace qb5000 {
+
+double Mean(const Vector& v) {
+  if (v.empty()) return 0.0;
+  double sum = 0.0;
+  for (double x : v) sum += x;
+  return sum / static_cast<double>(v.size());
+}
+
+double Variance(const Vector& v) {
+  if (v.size() < 2) return 0.0;
+  double m = Mean(v);
+  double sum = 0.0;
+  for (double x : v) sum += (x - m) * (x - m);
+  return sum / static_cast<double>(v.size());
+}
+
+double MeanSquaredError(const Vector& actual, const Vector& predicted) {
+  assert(actual.size() == predicted.size());
+  if (actual.empty()) return 0.0;
+  double sum = 0.0;
+  for (size_t i = 0; i < actual.size(); ++i) {
+    double d = actual[i] - predicted[i];
+    sum += d * d;
+  }
+  return sum / static_cast<double>(actual.size());
+}
+
+double LogSpaceMse(const Vector& actual, const Vector& predicted) {
+  assert(actual.size() == predicted.size());
+  if (actual.empty()) return 0.0;
+  double sum = 0.0;
+  for (size_t i = 0; i < actual.size(); ++i) {
+    double a = std::log1p(std::max(0.0, actual[i]));
+    double p = std::log1p(std::max(0.0, predicted[i]));
+    sum += (a - p) * (a - p);
+  }
+  double mse = sum / static_cast<double>(actual.size());
+  // The paper reports log(MSE); clamp so an exact prediction stays finite.
+  return std::log(std::max(mse, 1e-12));
+}
+
+double CosineSimilarity(const Vector& a, const Vector& b) {
+  assert(a.size() == b.size());
+  double na = Norm(a);
+  double nb = Norm(b);
+  if (na == 0.0 || nb == 0.0) return 0.0;
+  return Dot(a, b) / (na * nb);
+}
+
+double SquaredL2Distance(const Vector& a, const Vector& b) {
+  assert(a.size() == b.size());
+  double sum = 0.0;
+  for (size_t i = 0; i < a.size(); ++i) {
+    double d = a[i] - b[i];
+    sum += d * d;
+  }
+  return sum;
+}
+
+double Quantile(std::vector<double> v, double q) {
+  if (v.empty()) return 0.0;
+  q = std::clamp(q, 0.0, 1.0);
+  std::sort(v.begin(), v.end());
+  double pos = q * static_cast<double>(v.size() - 1);
+  size_t lo = static_cast<size_t>(pos);
+  size_t hi = std::min(lo + 1, v.size() - 1);
+  double frac = pos - static_cast<double>(lo);
+  return v[lo] * (1.0 - frac) + v[hi] * frac;
+}
+
+}  // namespace qb5000

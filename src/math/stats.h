@@ -1,0 +1,34 @@
+#ifndef QB5000_MATH_STATS_H_
+#define QB5000_MATH_STATS_H_
+
+#include <vector>
+
+#include "math/matrix.h"
+
+namespace qb5000 {
+
+/// Arithmetic mean; 0 for empty input.
+double Mean(const Vector& v);
+
+/// Population variance; 0 for fewer than two elements.
+double Variance(const Vector& v);
+
+/// Mean squared error between two equally-sized vectors.
+double MeanSquaredError(const Vector& actual, const Vector& predicted);
+
+/// The paper's accuracy metric: log of the MSE computed in log1p space
+/// (arrival rates are log-transformed before training, Section 7.2).
+double LogSpaceMse(const Vector& actual, const Vector& predicted);
+
+/// Cosine similarity in [-1, 1]; 0 if either vector is all zeros.
+double CosineSimilarity(const Vector& a, const Vector& b);
+
+/// Squared L2 distance.
+double SquaredL2Distance(const Vector& a, const Vector& b);
+
+/// Quantile via linear interpolation on a copy of `v`; q in [0, 1].
+double Quantile(std::vector<double> v, double q);
+
+}  // namespace qb5000
+
+#endif  // QB5000_MATH_STATS_H_

@@ -1,0 +1,92 @@
+#include "preprocessor/arrival_history.h"
+
+#include <algorithm>
+
+namespace qb5000 {
+
+void ArrivalHistory::Record(Timestamp ts, double count) {
+  total_ += count;
+  last_arrival_ = std::max(last_arrival_, ts);
+  if (!archive_.empty() && ts < recent_.start()) {
+    // Late arrival for an already-compacted range goes to the archive.
+    archive_.Add(ts, count);
+    return;
+  }
+  recent_.Add(ts, count);
+}
+
+void ArrivalHistory::Compact(Timestamp before) {
+  before = AlignDown(before, kSecondsPerHour);
+  if (recent_.empty() || before <= recent_.start()) return;
+  Timestamp cutoff = std::min(before, recent_.end());
+  // Fold [recent_.start(), cutoff) into the archive.
+  size_t buckets =
+      static_cast<size_t>((cutoff - recent_.start()) / kSecondsPerMinute);
+  for (size_t i = 0; i < buckets && i < recent_.size(); ++i) {
+    if (recent_.values()[i] != 0.0) {
+      archive_.Add(recent_.TimeAt(i), recent_.values()[i]);
+    }
+  }
+  // Rebuild the recent series from the cutoff forward.
+  TimeSeries rebuilt(cutoff, kSecondsPerMinute);
+  for (size_t i = buckets; i < recent_.size(); ++i) {
+    if (recent_.values()[i] != 0.0) {
+      rebuilt.Add(recent_.TimeAt(i), recent_.values()[i]);
+    }
+  }
+  if (rebuilt.empty()) rebuilt = TimeSeries(cutoff, kSecondsPerMinute);
+  recent_ = std::move(rebuilt);
+}
+
+Result<TimeSeries> ArrivalHistory::Series(int64_t interval_seconds,
+                                          Timestamp from, Timestamp to) const {
+  if (interval_seconds <= 0 || interval_seconds % kSecondsPerMinute != 0) {
+    return Status::InvalidArgument(
+        "interval must be a positive multiple of one minute");
+  }
+  from = AlignDown(from, interval_seconds);
+  to = AlignDown(to + interval_seconds - 1, interval_seconds);
+  TimeSeries out(from, interval_seconds);
+  if (to <= from) return out;
+  size_t n = static_cast<size_t>((to - from) / interval_seconds);
+  out.mutable_values().assign(n, 0.0);
+
+  // Recent (minute) contribution.
+  for (size_t i = 0; i < recent_.size(); ++i) {
+    Timestamp t = recent_.TimeAt(i);
+    if (t < from || t >= to || recent_.values()[i] == 0.0) continue;
+    size_t bucket = static_cast<size_t>((t - from) / interval_seconds);
+    out.mutable_values()[bucket] += recent_.values()[i];
+  }
+
+  // Archive (hourly) contribution. When the requested interval is finer
+  // than an hour, spread each hourly total uniformly over its sub-buckets.
+  for (size_t i = 0; i < archive_.size(); ++i) {
+    double value = archive_.values()[i];
+    if (value == 0.0) continue;
+    Timestamp t = archive_.TimeAt(i);
+    if (t + kSecondsPerHour <= from || t >= to) continue;
+    if (interval_seconds >= kSecondsPerHour) {
+      size_t bucket = static_cast<size_t>((std::max(t, from) - from) / interval_seconds);
+      if (bucket < n) out.mutable_values()[bucket] += value;
+    } else {
+      int64_t sub = kSecondsPerHour / interval_seconds;
+      double share = value / static_cast<double>(sub);
+      for (int64_t s = 0; s < sub; ++s) {
+        Timestamp st = t + s * interval_seconds;
+        if (st < from || st >= to) continue;
+        size_t bucket = static_cast<size_t>((st - from) / interval_seconds);
+        out.mutable_values()[bucket] += share;
+      }
+    }
+  }
+  return out;
+}
+
+Timestamp ArrivalHistory::FirstTime() const {
+  if (!archive_.empty()) return archive_.start();
+  if (!recent_.empty()) return recent_.start();
+  return 0;
+}
+
+}  // namespace qb5000

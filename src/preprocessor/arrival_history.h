@@ -1,0 +1,72 @@
+#ifndef QB5000_PREPROCESSOR_ARRIVAL_HISTORY_H_
+#define QB5000_PREPROCESSOR_ARRIVAL_HISTORY_H_
+
+#include <cstdint>
+
+#include "common/clock.h"
+#include "common/status.h"
+#include "common/timeseries.h"
+
+namespace qb5000 {
+
+/// Per-template arrival-rate record keeper. Recent history is held at
+/// per-minute resolution (the finest interval QB5000 predicts at); records
+/// older than the compaction horizon are folded into an hourly archive to
+/// bound storage, mirroring the paper's "aggregate stale arrival rate
+/// records into larger intervals" behavior (Section 4).
+class ArrivalHistory {
+ public:
+  ArrivalHistory() : recent_(0, kSecondsPerMinute), archive_(0, kSecondsPerHour) {}
+
+  /// Records `count` arrivals at `ts`.
+  void Record(Timestamp ts, double count);
+
+  /// Moves minute-resolution buckets strictly before `before` into the
+  /// hourly archive and drops them from the recent series.
+  void Compact(Timestamp before);
+
+  /// Materializes the series over [from, to) at `interval_seconds`
+  /// (a multiple of one minute). Archived ranges contribute their hourly
+  /// totals spread uniformly across the finer buckets — the fine-grained
+  /// shape of stale data is intentionally lost, as in the paper.
+  Result<TimeSeries> Series(int64_t interval_seconds, Timestamp from,
+                            Timestamp to) const;
+
+  /// Total arrivals ever recorded.
+  double Total() const { return total_; }
+
+  /// Timestamp of the most recent recorded arrival (0 if none).
+  Timestamp last_arrival() const { return last_arrival_; }
+
+  /// First covered timestamp across archive + recent data (0 if empty).
+  Timestamp FirstTime() const;
+
+  /// Approximate storage footprint in bytes (bucket counts * 8).
+  size_t StorageBytes() const {
+    return (recent_.size() + archive_.size()) * sizeof(double);
+  }
+
+  /// Snapshot support: raw parts for serialization...
+  const TimeSeries& recent() const { return recent_; }
+  const TimeSeries& archive() const { return archive_; }
+  /// ...and reconstruction from serialized parts.
+  static ArrivalHistory FromParts(TimeSeries recent, TimeSeries archive,
+                                  double total, Timestamp last_arrival) {
+    ArrivalHistory h;
+    h.recent_ = std::move(recent);
+    h.archive_ = std::move(archive);
+    h.total_ = total;
+    h.last_arrival_ = last_arrival;
+    return h;
+  }
+
+ private:
+  TimeSeries recent_;   ///< minute resolution
+  TimeSeries archive_;  ///< hourly resolution, strictly before recent_.start()
+  double total_ = 0.0;
+  Timestamp last_arrival_ = 0;
+};
+
+}  // namespace qb5000
+
+#endif  // QB5000_PREPROCESSOR_ARRIVAL_HISTORY_H_

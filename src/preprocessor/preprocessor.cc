@@ -1,0 +1,126 @@
+#include "preprocessor/preprocessor.h"
+
+#include <algorithm>
+
+namespace qb5000 {
+
+Result<TemplateId> PreProcessor::Ingest(const std::string& sql, Timestamp ts,
+                                        double count) {
+  auto templatized = Templatize(sql);
+  if (!templatized.ok()) return templatized.status();
+  return IngestTemplatized(*templatized, ts, count);
+}
+
+TemplateId PreProcessor::IngestTemplatized(const TemplatizeOutput& templatized,
+                                           Timestamp ts, double count) {
+  auto [it, inserted] =
+      by_fingerprint_.try_emplace(templatized.fingerprint, next_id_);
+  TemplateId id = it->second;
+  if (inserted) {
+    ++next_id_;
+    TemplateInfo info(options_.param_sample_capacity);
+    info.id = id;
+    info.fingerprint = templatized.fingerprint;
+    info.text = templatized.template_text;
+    info.type = templatized.type;
+    info.tables = templatized.tables;
+    info.first_seen = ts;
+    templates_.emplace(id, std::move(info));
+  }
+  TemplateInfo& info = templates_.at(id);
+  info.history.Record(ts, count);
+  info.last_seen = std::max(info.last_seen, ts);
+  info.total_queries += count;
+  if (!templatized.parameters.empty()) {
+    info.param_samples.Add(templatized.parameters, rng_);
+  }
+  total_queries_ += count;
+  queries_by_type_[static_cast<int>(templatized.type)] += count;
+  return id;
+}
+
+void PreProcessor::CompactBefore(Timestamp now) {
+  Timestamp cutoff = now - options_.compaction_horizon_seconds;
+  for (auto& [id, info] : templates_) {
+    (void)id;
+    info.history.Compact(cutoff);
+  }
+}
+
+double PreProcessor::QueriesOfType(sql::StatementType type) const {
+  return queries_by_type_[static_cast<int>(type)];
+}
+
+const PreProcessor::TemplateInfo* PreProcessor::GetTemplate(TemplateId id) const {
+  auto it = templates_.find(id);
+  return it == templates_.end() ? nullptr : &it->second;
+}
+
+std::vector<TemplateId> PreProcessor::TemplateIds() const {
+  std::vector<TemplateId> ids;
+  ids.reserve(templates_.size());
+  for (const auto& [id, info] : templates_) {
+    (void)info;
+    ids.push_back(id);
+  }
+  return ids;
+}
+
+double PreProcessor::NewTemplateRatio(Timestamp since) const {
+  if (templates_.empty()) return 0.0;
+  size_t fresh = 0;
+  for (const auto& [id, info] : templates_) {
+    (void)id;
+    if (info.first_seen >= since) ++fresh;
+  }
+  return static_cast<double>(fresh) / static_cast<double>(templates_.size());
+}
+
+std::vector<TemplateId> PreProcessor::EvictIdleTemplates(Timestamp cutoff) {
+  std::vector<TemplateId> evicted;
+  for (auto it = templates_.begin(); it != templates_.end();) {
+    if (it->second.last_seen < cutoff) {
+      evicted.push_back(it->first);
+      it = templates_.erase(it);
+    } else {
+      ++it;
+    }
+  }
+  if (!evicted.empty()) {
+    for (auto fp_it = by_fingerprint_.begin(); fp_it != by_fingerprint_.end();) {
+      if (std::find(evicted.begin(), evicted.end(), fp_it->second) !=
+          evicted.end()) {
+        fp_it = by_fingerprint_.erase(fp_it);
+      } else {
+        ++fp_it;
+      }
+    }
+  }
+  return evicted;
+}
+
+Status PreProcessor::RestoreTemplate(TemplateInfo info) {
+  if (info.fingerprint.empty()) {
+    return Status::InvalidArgument("restored template needs a fingerprint");
+  }
+  if (by_fingerprint_.count(info.fingerprint) || templates_.count(info.id)) {
+    return Status::AlreadyExists("template already present");
+  }
+  by_fingerprint_.emplace(info.fingerprint, info.id);
+  total_queries_ += info.total_queries;
+  queries_by_type_[static_cast<int>(info.type)] += info.total_queries;
+  next_id_ = std::max(next_id_, info.id + 1);
+  templates_.emplace(info.id, std::move(info));
+  return Status::Ok();
+}
+
+size_t PreProcessor::HistoryStorageBytes() const {
+  size_t bytes = 0;
+  for (const auto& [id, info] : templates_) {
+    (void)id;
+    bytes += info.history.StorageBytes();
+  }
+  return bytes;
+}
+
+}  // namespace qb5000

@@ -1,0 +1,112 @@
+#ifndef QB5000_PREPROCESSOR_PREPROCESSOR_H_
+#define QB5000_PREPROCESSOR_PREPROCESSOR_H_
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "common/clock.h"
+#include "common/rng.h"
+#include "common/status.h"
+#include "preprocessor/arrival_history.h"
+#include "preprocessor/reservoir_sampler.h"
+#include "preprocessor/templatizer.h"
+
+namespace qb5000 {
+
+/// Identifier assigned to each distinct (post-equivalence) query template.
+using TemplateId = int64_t;
+
+/// The Pre-Processor (Section 4): converts raw queries into templates,
+/// aggregates semantically-equivalent templates, tracks per-template arrival
+/// rate history, and keeps a reservoir sample of original parameters.
+class PreProcessor {
+ public:
+  struct Options {
+    /// Reservoir capacity for per-template parameter samples.
+    size_t param_sample_capacity = 20;
+    /// Seed for the sampling RNG (determinism across runs).
+    uint64_t rng_seed = 42;
+    /// Minute-resolution history older than this is folded into hourly
+    /// archives on CompactBefore().
+    int64_t compaction_horizon_seconds = 7 * kSecondsPerDay;
+  };
+
+  /// Everything QB5000 knows about one template.
+  struct TemplateInfo {
+    TemplateId id = 0;
+    std::string fingerprint;  ///< semantic-equivalence key (grouping key)
+    std::string text;         ///< canonical template SQL
+    sql::StatementType type = sql::StatementType::kSelect;
+    std::vector<std::string> tables;
+    ArrivalHistory history;
+    ReservoirSampler<std::vector<sql::Literal>> param_samples;
+    Timestamp first_seen = 0;
+    Timestamp last_seen = 0;
+    double total_queries = 0;
+
+    explicit TemplateInfo(size_t sample_capacity)
+        : param_samples(sample_capacity) {}
+  };
+
+  PreProcessor() : PreProcessor(Options()) {}
+  explicit PreProcessor(Options options)
+      : options_(options), rng_(options.rng_seed) {}
+
+  /// Ingests one query arrival (or `count` identical arrivals at `ts`).
+  /// Returns the id of the template the query maps to.
+  Result<TemplateId> Ingest(const std::string& sql, Timestamp ts,
+                            double count = 1.0);
+
+  /// Ingests an already-templatized arrival. Trace generators use this to
+  /// feed high query volumes without materializing every SQL string.
+  TemplateId IngestTemplatized(const TemplatizeOutput& templatized,
+                               Timestamp ts, double count = 1.0);
+
+  /// Folds minute-level history older than the compaction horizon (relative
+  /// to `now`) into hourly archives for every template.
+  void CompactBefore(Timestamp now);
+
+  size_t num_templates() const { return templates_.size(); }
+  double total_queries() const { return total_queries_; }
+
+  /// Number of queries ingested per statement type (Table 1 rows).
+  double QueriesOfType(sql::StatementType type) const;
+
+  /// Lookup by id; nullptr if unknown.
+  const TemplateInfo* GetTemplate(TemplateId id) const;
+
+  /// All template ids, ascending (ascending == order of first appearance).
+  std::vector<TemplateId> TemplateIds() const;
+
+  /// Fraction of currently-known templates first seen at or after `since`.
+  /// The Clusterer re-clusters when this crosses its trigger threshold.
+  double NewTemplateRatio(Timestamp since) const;
+
+  /// Drops templates that have received no queries since `cutoff`
+  /// (Section 5.2 Step 2: stale template removal). Returns ids removed.
+  std::vector<TemplateId> EvictIdleTemplates(Timestamp cutoff);
+
+  /// Approximate storage footprint of all arrival histories, in bytes.
+  size_t HistoryStorageBytes() const;
+
+  /// Snapshot support: registers a fully-populated template record under
+  /// its fingerprint and folds its counts into the totals. Fails on a
+  /// duplicate fingerprint or id.
+  Status RestoreTemplate(TemplateInfo info);
+
+ private:
+  Options options_;
+  Rng rng_;
+  std::unordered_map<std::string, TemplateId> by_fingerprint_;
+  std::map<TemplateId, TemplateInfo> templates_;  ///< ordered for stable iteration
+  TemplateId next_id_ = 1;
+  double total_queries_ = 0;
+  double queries_by_type_[4] = {0, 0, 0, 0};
+};
+
+}  // namespace qb5000
+
+#endif  // QB5000_PREPROCESSOR_PREPROCESSOR_H_

@@ -1,0 +1,50 @@
+#ifndef QB5000_PREPROCESSOR_RESERVOIR_SAMPLER_H_
+#define QB5000_PREPROCESSOR_RESERVOIR_SAMPLER_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "common/rng.h"
+
+namespace qb5000 {
+
+/// Fixed-capacity uniform sample over a stream of unknown length (Vitter's
+/// Algorithm R [53]). QB5000 keeps a sample of each template's original
+/// parameters for the planning module's cost/benefit estimation.
+template <typename T>
+class ReservoirSampler {
+ public:
+  explicit ReservoirSampler(size_t capacity) : capacity_(capacity) {}
+
+  /// Offers one item; it is kept with probability capacity / items_seen.
+  void Add(T item, Rng& rng) {
+    ++seen_;
+    if (items_.size() < capacity_) {
+      items_.push_back(std::move(item));
+      return;
+    }
+    uint64_t slot = static_cast<uint64_t>(
+        rng.UniformInt(0, static_cast<int64_t>(seen_) - 1));
+    if (slot < capacity_) items_[slot] = std::move(item);
+  }
+
+  const std::vector<T>& items() const { return items_; }
+  uint64_t seen() const { return seen_; }
+  size_t capacity() const { return capacity_; }
+
+  /// Snapshot support: restores a previously serialized reservoir.
+  void Restore(std::vector<T> items, uint64_t seen) {
+    items_ = std::move(items);
+    if (items_.size() > capacity_) items_.resize(capacity_);
+    seen_ = seen;
+  }
+
+ private:
+  size_t capacity_;
+  uint64_t seen_ = 0;
+  std::vector<T> items_;
+};
+
+}  // namespace qb5000
+
+#endif  // QB5000_PREPROCESSOR_RESERVOIR_SAMPLER_H_

@@ -1,0 +1,264 @@
+#include "preprocessor/templatizer.h"
+
+#include <algorithm>
+#include <set>
+
+#include "common/strings.h"
+#include "sql/lexer.h"
+#include "sql/parser.h"
+#include "sql/printer.h"
+
+namespace qb5000 {
+namespace {
+
+using sql::Expr;
+using sql::ExprKind;
+using sql::ExprPtr;
+using sql::Statement;
+using sql::StatementType;
+
+/// Replaces every literal in the expression tree with a placeholder,
+/// appending the extracted constants to `params` in visit order.
+void ExtractConstants(ExprPtr& node, std::vector<sql::Literal>* params) {
+  if (!node) return;
+  if (node->kind == ExprKind::kLiteral) {
+    params->push_back(node->literal);
+    auto placeholder = sql::MakePlaceholder();
+    placeholder->negated = node->negated;
+    node = std::move(placeholder);
+    return;
+  }
+  ExtractConstants(node->left, params);
+  ExtractConstants(node->right, params);
+  for (auto& child : node->list) ExtractConstants(child, params);
+}
+
+/// Collects `column op` descriptors for all comparison predicates under
+/// `node`, used for the semantic fingerprint.
+void CollectPredicates(const Expr* node, std::set<std::string>* preds) {
+  if (node == nullptr) return;
+  auto column_of = [](const Expr* e) -> std::string {
+    if (e == nullptr || e->kind != ExprKind::kColumnRef) return "";
+    if (e->table.empty()) return e->column;
+    return e->table + "." + e->column;
+  };
+  switch (node->kind) {
+    case ExprKind::kBinary: {
+      if (node->op == "AND" || node->op == "OR") {
+        CollectPredicates(node->left.get(), preds);
+        CollectPredicates(node->right.get(), preds);
+        return;
+      }
+      std::string lhs = column_of(node->left.get());
+      std::string rhs = column_of(node->right.get());
+      if (!lhs.empty() || !rhs.empty()) {
+        std::string entry = lhs.empty() ? rhs : lhs;
+        entry += ' ';
+        if (node->negated) entry += "NOT ";
+        entry += node->op;
+        if (!lhs.empty() && !rhs.empty()) entry += " " + rhs;  // join predicate
+        preds->insert(entry);
+      }
+      return;
+    }
+    case ExprKind::kUnary:
+      if (node->op == "IS NULL" || node->op == "IS NOT NULL") {
+        preds->insert(column_of(node->left.get()) + " " + node->op);
+        return;
+      }
+      CollectPredicates(node->left.get(), preds);
+      return;
+    case ExprKind::kInList:
+      preds->insert(column_of(node->left.get()) +
+                    (node->negated ? " NOT IN" : " IN"));
+      return;
+    case ExprKind::kBetween:
+      preds->insert(column_of(node->left.get()) +
+                    (node->negated ? " NOT BETWEEN" : " BETWEEN"));
+      return;
+    default:
+      return;
+  }
+}
+
+std::string ProjectionKey(const Expr& e) {
+  // Use the canonical printed form; after constant extraction this is
+  // already parameter-independent.
+  return sql::PrintExpr(e);
+}
+
+/// Builds the semantic-equivalence fingerprint per Section 4: statement
+/// type + tables accessed + predicates used + projections returned.
+std::string BuildFingerprint(const Statement& stmt,
+                             const std::vector<std::string>& tables) {
+  std::string fp;
+  std::set<std::string> preds;
+  std::set<std::string> projections;
+  switch (stmt.type) {
+    case StatementType::kSelect: {
+      fp = "SELECT";
+      const auto& s = *stmt.select;
+      for (const auto& item : s.items) projections.insert(ProjectionKey(*item.expr));
+      CollectPredicates(s.where.get(), &preds);
+      CollectPredicates(s.having.get(), &preds);
+      for (const auto& join : s.joins) CollectPredicates(join.on.get(), &preds);
+      for (const auto& g : s.group_by) preds.insert("GROUP " + ProjectionKey(*g));
+      break;
+    }
+    case StatementType::kInsert: {
+      fp = "INSERT";
+      for (const auto& col : stmt.insert->columns) projections.insert(col);
+      break;
+    }
+    case StatementType::kUpdate: {
+      fp = "UPDATE";
+      for (const auto& [col, value] : stmt.update->assignments) {
+        (void)value;
+        projections.insert(col);
+      }
+      CollectPredicates(stmt.update->where.get(), &preds);
+      break;
+    }
+    case StatementType::kDelete: {
+      fp = "DELETE";
+      CollectPredicates(stmt.del->where.get(), &preds);
+      break;
+    }
+  }
+  fp += "|tables=";
+  fp += Join(tables, ",");
+  fp += "|cols=";
+  fp += Join(std::vector<std::string>(projections.begin(), projections.end()), ",");
+  fp += "|preds=";
+  fp += Join(std::vector<std::string>(preds.begin(), preds.end()), ",");
+  return fp;
+}
+
+std::vector<std::string> CollectTables(const Statement& stmt) {
+  std::set<std::string> tables;
+  switch (stmt.type) {
+    case StatementType::kSelect:
+      for (const auto& ref : stmt.select->from) tables.insert(ref.table);
+      for (const auto& join : stmt.select->joins) tables.insert(join.table.table);
+      break;
+    case StatementType::kInsert:
+      tables.insert(stmt.insert->table);
+      break;
+    case StatementType::kUpdate:
+      tables.insert(stmt.update->table);
+      break;
+    case StatementType::kDelete:
+      tables.insert(stmt.del->table);
+      break;
+  }
+  return {tables.begin(), tables.end()};
+}
+
+/// Token-level fallback for statements outside the parsed dialect: strip
+/// literal tokens, rebuild normalized text, and fingerprint on the token
+/// sequence. Keeps templatization total over arbitrary SQL.
+Result<TemplatizeOutput> TemplatizeFallback(const std::string& sql) {
+  auto tokens = sql::Tokenize(sql);
+  if (!tokens.ok()) return tokens.status();
+  if (tokens->size() <= 1) {  // only the end-of-input marker
+    return Status::InvalidArgument("empty statement");
+  }
+  TemplatizeOutput out;
+  out.used_fallback = true;
+  std::string text;
+  for (const auto& token : *tokens) {
+    if (token.type == sql::TokenType::kEnd) break;
+    std::string piece;
+    switch (token.type) {
+      case sql::TokenType::kInteger:
+        out.parameters.push_back({sql::LiteralType::kInteger, token.text});
+        piece = "?";
+        break;
+      case sql::TokenType::kFloat:
+        out.parameters.push_back({sql::LiteralType::kFloat, token.text});
+        piece = "?";
+        break;
+      case sql::TokenType::kString:
+        out.parameters.push_back({sql::LiteralType::kString, token.text});
+        piece = "?";
+        break;
+      default:
+        piece = token.text;
+        break;
+    }
+    if (!text.empty() && piece != "," && piece != ")" && piece != "." &&
+        piece != ";" && text.back() != '(' && text.back() != '.') {
+      text += ' ';
+    }
+    text += piece;
+  }
+  out.template_text = text;
+  out.fingerprint = "RAW|" + text;
+  if (!tokens->empty() && (*tokens)[0].type == sql::TokenType::kKeyword) {
+    const std::string& kw = (*tokens)[0].text;
+    if (kw == "INSERT") out.type = StatementType::kInsert;
+    else if (kw == "UPDATE") out.type = StatementType::kUpdate;
+    else if (kw == "DELETE") out.type = StatementType::kDelete;
+  }
+  return out;
+}
+
+}  // namespace
+
+Result<TemplatizeOutput> Templatize(const std::string& sql) {
+  auto parsed = sql::Parse(sql);
+  if (!parsed.ok()) return TemplatizeFallback(sql);
+  Statement stmt = std::move(parsed.value());
+
+  TemplatizeOutput out;
+  out.type = stmt.type;
+
+  switch (stmt.type) {
+    case StatementType::kSelect: {
+      auto& s = *stmt.select;
+      for (auto& item : s.items) ExtractConstants(item.expr, &out.parameters);
+      ExtractConstants(s.where, &out.parameters);
+      for (auto& g : s.group_by) ExtractConstants(g, &out.parameters);
+      ExtractConstants(s.having, &out.parameters);
+      for (auto& o : s.order_by) ExtractConstants(o.expr, &out.parameters);
+      for (auto& join : s.joins) ExtractConstants(join.on, &out.parameters);
+      break;
+    }
+    case StatementType::kInsert: {
+      auto& ins = *stmt.insert;
+      out.batch_size = ins.rows.size();
+      // Record the first tuple's constants, then collapse the batch to a
+      // single placeholder tuple so every batch size shares one template.
+      if (!ins.rows.empty()) {
+        ExtractConstants(ins.rows[0][0], &out.parameters);
+        for (size_t i = 1; i < ins.rows[0].size(); ++i) {
+          ExtractConstants(ins.rows[0][i], &out.parameters);
+        }
+        std::vector<ExprPtr> tuple = std::move(ins.rows[0]);
+        ins.rows.clear();
+        ins.rows.push_back(std::move(tuple));
+      }
+      break;
+    }
+    case StatementType::kUpdate: {
+      auto& upd = *stmt.update;
+      for (auto& [col, value] : upd.assignments) {
+        (void)col;
+        ExtractConstants(value, &out.parameters);
+      }
+      ExtractConstants(upd.where, &out.parameters);
+      break;
+    }
+    case StatementType::kDelete: {
+      ExtractConstants(stmt.del->where, &out.parameters);
+      break;
+    }
+  }
+
+  out.tables = CollectTables(stmt);
+  out.template_text = sql::Print(stmt);
+  out.fingerprint = BuildFingerprint(stmt, out.tables);
+  return out;
+}
+
+}  // namespace qb5000

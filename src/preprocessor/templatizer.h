@@ -1,0 +1,43 @@
+#ifndef QB5000_PREPROCESSOR_TEMPLATIZER_H_
+#define QB5000_PREPROCESSOR_TEMPLATIZER_H_
+
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "sql/ast.h"
+
+namespace qb5000 {
+
+/// The result of converting one raw SQL string into a generic template
+/// (Section 4 of the paper): constants become placeholders, formatting is
+/// normalized, and batched INSERT tuples collapse into one parameter row
+/// with the tuple count recorded.
+struct TemplatizeOutput {
+  /// Canonical template text (uppercase keywords, lowercase identifiers,
+  /// constants replaced by `?`).
+  std::string template_text;
+  sql::StatementType type = sql::StatementType::kSelect;
+  /// The constants extracted, in placeholder order (first VALUES tuple only
+  /// for batched INSERTs).
+  std::vector<sql::Literal> parameters;
+  /// Number of VALUES tuples in a batched INSERT; 1 otherwise.
+  size_t batch_size = 1;
+  /// Semantic-equivalence key: statements that access the same tables with
+  /// the same predicates and projections share a fingerprint (the paper's
+  /// heuristic approximation of query equivalence).
+  std::string fingerprint;
+  /// Tables referenced, sorted and deduplicated.
+  std::vector<std::string> tables;
+  /// True if the SQL failed to parse and token-level fallback was used.
+  bool used_fallback = false;
+};
+
+/// Templatizes a SQL statement. Falls back to token-level constant stripping
+/// when the statement does not parse under the supported dialect, so the
+/// Pre-Processor never drops a query on the floor.
+Result<TemplatizeOutput> Templatize(const std::string& sql);
+
+}  // namespace qb5000
+
+#endif  // QB5000_PREPROCESSOR_TEMPLATIZER_H_

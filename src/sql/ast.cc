@@ -1,0 +1,52 @@
+#include "sql/ast.h"
+
+namespace qb5000::sql {
+
+ExprPtr Expr::Clone() const {
+  auto out = std::make_unique<Expr>();
+  out->kind = kind;
+  out->table = table;
+  out->column = column;
+  out->literal = literal;
+  out->op = op;
+  out->func = func;
+  out->distinct = distinct;
+  out->negated = negated;
+  if (left) out->left = left->Clone();
+  if (right) out->right = right->Clone();
+  out->list.reserve(list.size());
+  for (const auto& e : list) out->list.push_back(e ? e->Clone() : nullptr);
+  return out;
+}
+
+ExprPtr MakeColumnRef(std::string table, std::string column) {
+  auto e = std::make_unique<Expr>();
+  e->kind = ExprKind::kColumnRef;
+  e->table = std::move(table);
+  e->column = std::move(column);
+  return e;
+}
+
+ExprPtr MakeLiteral(Literal literal) {
+  auto e = std::make_unique<Expr>();
+  e->kind = ExprKind::kLiteral;
+  e->literal = std::move(literal);
+  return e;
+}
+
+ExprPtr MakePlaceholder() {
+  auto e = std::make_unique<Expr>();
+  e->kind = ExprKind::kPlaceholder;
+  return e;
+}
+
+ExprPtr MakeBinary(std::string op, ExprPtr left, ExprPtr right) {
+  auto e = std::make_unique<Expr>();
+  e->kind = ExprKind::kBinary;
+  e->op = std::move(op);
+  e->left = std::move(left);
+  e->right = std::move(right);
+  return e;
+}
+
+}  // namespace qb5000::sql

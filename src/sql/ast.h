@@ -1,0 +1,134 @@
+#ifndef QB5000_SQL_AST_H_
+#define QB5000_SQL_AST_H_
+
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
+
+namespace qb5000::sql {
+
+/// Literal value kinds appearing in SQL text.
+enum class LiteralType { kInteger, kFloat, kString, kBoolean, kNull };
+
+struct Literal {
+  LiteralType type = LiteralType::kNull;
+  std::string text;  ///< source text (string value without quotes)
+};
+
+/// Expression node kinds. A single tagged struct keeps the tree walkable
+/// without a visitor hierarchy; only the fields relevant to `kind` are set.
+enum class ExprKind {
+  kColumnRef,    ///< table (optional) + column
+  kLiteral,      ///< constant; the Pre-Processor turns these into placeholders
+  kPlaceholder,  ///< `?` from an already-prepared statement or templatization
+  kBinary,       ///< op with left/right (=, <, AND, OR, LIKE, +, ...)
+  kUnary,        ///< op with operand in left (NOT, -, IS NULL, IS NOT NULL)
+  kFuncCall,     ///< aggregate or scalar function with args
+  kInList,       ///< left IN (list...)
+  kBetween,      ///< left BETWEEN list[0] AND list[1]
+  kStar,         ///< `*` in projections and COUNT(*)
+};
+
+struct Expr;
+using ExprPtr = std::unique_ptr<Expr>;
+
+struct Expr {
+  ExprKind kind = ExprKind::kLiteral;
+
+  // kColumnRef
+  std::string table;   ///< optional qualifier
+  std::string column;
+
+  // kLiteral
+  Literal literal;
+
+  // kBinary / kUnary: `op` plus children. For kUnary only `left` is set.
+  std::string op;
+  ExprPtr left;
+  ExprPtr right;
+
+  // kFuncCall
+  std::string func;       ///< uppercased function name
+  bool distinct = false;  ///< COUNT(DISTINCT x)
+
+  // kFuncCall args, kInList members, kBetween bounds
+  std::vector<ExprPtr> list;
+
+  bool negated = false;  ///< NOT IN / NOT BETWEEN / NOT LIKE
+
+  /// Deep copy.
+  ExprPtr Clone() const;
+};
+
+ExprPtr MakeColumnRef(std::string table, std::string column);
+ExprPtr MakeLiteral(Literal literal);
+ExprPtr MakePlaceholder();
+ExprPtr MakeBinary(std::string op, ExprPtr left, ExprPtr right);
+
+struct TableRef {
+  std::string table;
+  std::string alias;  ///< empty if none
+};
+
+struct JoinClause {
+  std::string join_type;  ///< "JOIN", "LEFT JOIN", ...
+  TableRef table;
+  ExprPtr on;  ///< may be null for CROSS JOIN
+};
+
+struct SelectItem {
+  ExprPtr expr;
+  std::string alias;  ///< empty if none
+};
+
+struct OrderItem {
+  ExprPtr expr;
+  bool descending = false;
+};
+
+struct SelectStatement {
+  bool distinct = false;
+  std::vector<SelectItem> items;
+  std::vector<TableRef> from;
+  std::vector<JoinClause> joins;
+  ExprPtr where;  ///< null when absent
+  std::vector<ExprPtr> group_by;
+  ExprPtr having;
+  std::vector<OrderItem> order_by;
+  std::optional<int64_t> limit;
+  std::optional<int64_t> offset;
+};
+
+struct InsertStatement {
+  std::string table;
+  std::vector<std::string> columns;        ///< may be empty (implicit order)
+  std::vector<std::vector<ExprPtr>> rows;  ///< one entry per VALUES tuple
+};
+
+struct UpdateStatement {
+  std::string table;
+  std::vector<std::pair<std::string, ExprPtr>> assignments;
+  ExprPtr where;
+};
+
+struct DeleteStatement {
+  std::string table;
+  ExprPtr where;
+};
+
+enum class StatementType { kSelect, kInsert, kUpdate, kDelete };
+
+/// A parsed SQL statement. Exactly one of the four bodies is non-null,
+/// matching `type`.
+struct Statement {
+  StatementType type = StatementType::kSelect;
+  std::unique_ptr<SelectStatement> select;
+  std::unique_ptr<InsertStatement> insert;
+  std::unique_ptr<UpdateStatement> update;
+  std::unique_ptr<DeleteStatement> del;
+};
+
+}  // namespace qb5000::sql
+
+#endif  // QB5000_SQL_AST_H_

@@ -1,0 +1,197 @@
+#include "sql/lexer.h"
+
+#include <cctype>
+#include <unordered_set>
+
+#include "common/strings.h"
+
+namespace qb5000::sql {
+namespace {
+
+const std::unordered_set<std::string>& KeywordSet() {
+  static const auto* kKeywords = new std::unordered_set<std::string>{
+      "SELECT",   "FROM",   "WHERE",  "INSERT",   "INTO",    "VALUES",
+      "UPDATE",   "SET",    "DELETE", "AND",      "OR",      "NOT",
+      "IN",       "IS",     "NULL",   "LIKE",     "BETWEEN", "JOIN",
+      "INNER",    "LEFT",   "RIGHT",  "OUTER",    "ON",      "AS",
+      "GROUP",    "BY",     "HAVING", "ORDER",    "ASC",     "DESC",
+      "LIMIT",    "OFFSET", "DISTINCT", "COUNT",  "SUM",     "AVG",
+      "MIN",      "MAX",    "TRUE",   "FALSE",    "EXISTS",  "UNION",
+      "ALL",      "CROSS",  "FULL",
+  };
+  return *kKeywords;
+}
+
+bool IsIdentStart(char c) {
+  return std::isalpha(static_cast<unsigned char>(c)) || c == '_';
+}
+
+bool IsIdentChar(char c) {
+  return std::isalnum(static_cast<unsigned char>(c)) || c == '_';
+}
+
+}  // namespace
+
+bool IsKeyword(const std::string& upper_word) {
+  return KeywordSet().count(upper_word) > 0;
+}
+
+Result<std::vector<Token>> Tokenize(const std::string& sql) {
+  std::vector<Token> tokens;
+  size_t i = 0;
+  size_t n = sql.size();
+  while (i < n) {
+    char c = sql[i];
+    if (std::isspace(static_cast<unsigned char>(c))) {
+      ++i;
+      continue;
+    }
+    // Comments.
+    if (c == '-' && i + 1 < n && sql[i + 1] == '-') {
+      while (i < n && sql[i] != '\n') ++i;
+      continue;
+    }
+    if (c == '/' && i + 1 < n && sql[i + 1] == '*') {
+      size_t close = sql.find("*/", i + 2);
+      if (close == std::string::npos) {
+        return Status::ParseError("unterminated block comment");
+      }
+      i = close + 2;
+      continue;
+    }
+    size_t start = i;
+    // Identifiers and keywords.
+    if (IsIdentStart(c)) {
+      while (i < n && IsIdentChar(sql[i])) ++i;
+      std::string word = sql.substr(start, i - start);
+      std::string upper = ToUpper(word);
+      if (IsKeyword(upper)) {
+        tokens.push_back({TokenType::kKeyword, upper, start});
+      } else {
+        tokens.push_back({TokenType::kIdentifier, ToLower(word), start});
+      }
+      continue;
+    }
+    // Quoted identifiers (treated as identifiers, normalized to lowercase).
+    if (c == '`' || c == '"') {
+      char quote = c;
+      ++i;
+      size_t qstart = i;
+      while (i < n && sql[i] != quote) ++i;
+      if (i >= n) return Status::ParseError("unterminated quoted identifier");
+      tokens.push_back(
+          {TokenType::kIdentifier, ToLower(sql.substr(qstart, i - qstart)), start});
+      ++i;
+      continue;
+    }
+    // String literals with '' escaping.
+    if (c == '\'') {
+      ++i;
+      std::string value;
+      bool closed = false;
+      while (i < n) {
+        if (sql[i] == '\'') {
+          if (i + 1 < n && sql[i + 1] == '\'') {
+            value += '\'';
+            i += 2;
+            continue;
+          }
+          closed = true;
+          ++i;
+          break;
+        }
+        if (sql[i] == '\\' && i + 1 < n) {
+          value += sql[i + 1];
+          i += 2;
+          continue;
+        }
+        value += sql[i];
+        ++i;
+      }
+      if (!closed) return Status::ParseError("unterminated string literal");
+      tokens.push_back({TokenType::kString, value, start});
+      continue;
+    }
+    // Numbers (with optional leading sign handled by the parser).
+    if (std::isdigit(static_cast<unsigned char>(c)) ||
+        (c == '.' && i + 1 < n && std::isdigit(static_cast<unsigned char>(sql[i + 1])))) {
+      bool is_float = false;
+      while (i < n && std::isdigit(static_cast<unsigned char>(sql[i]))) ++i;
+      if (i < n && sql[i] == '.') {
+        is_float = true;
+        ++i;
+        while (i < n && std::isdigit(static_cast<unsigned char>(sql[i]))) ++i;
+      }
+      if (i < n && (sql[i] == 'e' || sql[i] == 'E')) {
+        size_t save = i;
+        ++i;
+        if (i < n && (sql[i] == '+' || sql[i] == '-')) ++i;
+        if (i < n && std::isdigit(static_cast<unsigned char>(sql[i]))) {
+          is_float = true;
+          while (i < n && std::isdigit(static_cast<unsigned char>(sql[i]))) ++i;
+        } else {
+          i = save;
+        }
+      }
+      tokens.push_back({is_float ? TokenType::kFloat : TokenType::kInteger,
+                        sql.substr(start, i - start), start});
+      continue;
+    }
+    // Placeholders.
+    if (c == '?') {
+      tokens.push_back({TokenType::kPlaceholder, "?", start});
+      ++i;
+      continue;
+    }
+    if (c == '$' && i + 1 < n && std::isdigit(static_cast<unsigned char>(sql[i + 1]))) {
+      ++i;
+      while (i < n && std::isdigit(static_cast<unsigned char>(sql[i]))) ++i;
+      tokens.push_back({TokenType::kPlaceholder, "?", start});
+      continue;
+    }
+    // Multi-char operators.
+    if (i + 1 < n) {
+      std::string two = sql.substr(i, 2);
+      if (two == "<>" || two == "!=" || two == "<=" || two == ">=" || two == "||") {
+        tokens.push_back({TokenType::kOperator, two == "!=" ? "<>" : two, start});
+        i += 2;
+        continue;
+      }
+    }
+    switch (c) {
+      case ',':
+        tokens.push_back({TokenType::kComma, ",", start});
+        break;
+      case '(':
+        tokens.push_back({TokenType::kLeftParen, "(", start});
+        break;
+      case ')':
+        tokens.push_back({TokenType::kRightParen, ")", start});
+        break;
+      case '.':
+        tokens.push_back({TokenType::kDot, ".", start});
+        break;
+      case ';':
+        tokens.push_back({TokenType::kSemicolon, ";", start});
+        break;
+      case '=':
+      case '<':
+      case '>':
+      case '+':
+      case '-':
+      case '*':
+      case '/':
+      case '%':
+        tokens.push_back({TokenType::kOperator, std::string(1, c), start});
+        break;
+      default:
+        return Status::ParseError("unexpected character '" + std::string(1, c) +
+                                  "' at offset " + std::to_string(start));
+    }
+    ++i;
+  }
+  tokens.push_back({TokenType::kEnd, "", n});
+  return tokens;
+}
+
+}  // namespace qb5000::sql

@@ -1,0 +1,19 @@
+#ifndef QB5000_SQL_LEXER_H_
+#define QB5000_SQL_LEXER_H_
+
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "sql/token.h"
+
+namespace qb5000::sql {
+
+/// Tokenizes a SQL string. Normalization happens here: keywords are
+/// uppercased, identifiers lowercased, string quotes stripped. Comments
+/// (`--` to end of line, `/* */`) are skipped.
+Result<std::vector<Token>> Tokenize(const std::string& sql);
+
+}  // namespace qb5000::sql
+
+#endif  // QB5000_SQL_LEXER_H_

@@ -1,0 +1,575 @@
+#include "sql/parser.h"
+
+#include <cctype>
+#include <cstdlib>
+
+#include "sql/lexer.h"
+
+namespace qb5000::sql {
+namespace {
+
+/// Recursive-descent parser over the token stream. Grammar follows standard
+/// SQL precedence: OR < AND < NOT < comparison < additive < multiplicative.
+class Parser {
+ public:
+  explicit Parser(std::vector<Token> tokens) : tokens_(std::move(tokens)) {}
+
+  Result<Statement> ParseStatement() {
+    Statement stmt;
+    if (MatchKeyword("SELECT")) {
+      stmt.type = StatementType::kSelect;
+      auto select = ParseSelect();
+      if (!select.ok()) return select.status();
+      stmt.select = std::make_unique<SelectStatement>(std::move(select.value()));
+    } else if (MatchKeyword("INSERT")) {
+      stmt.type = StatementType::kInsert;
+      auto insert = ParseInsert();
+      if (!insert.ok()) return insert.status();
+      stmt.insert = std::make_unique<InsertStatement>(std::move(insert.value()));
+    } else if (MatchKeyword("UPDATE")) {
+      stmt.type = StatementType::kUpdate;
+      auto update = ParseUpdate();
+      if (!update.ok()) return update.status();
+      stmt.update = std::make_unique<UpdateStatement>(std::move(update.value()));
+    } else if (MatchKeyword("DELETE")) {
+      stmt.type = StatementType::kDelete;
+      auto del = ParseDelete();
+      if (!del.ok()) return del.status();
+      stmt.del = std::make_unique<DeleteStatement>(std::move(del.value()));
+    } else {
+      return Error("expected SELECT, INSERT, UPDATE, or DELETE");
+    }
+    Match(TokenType::kSemicolon);
+    if (!Check(TokenType::kEnd)) return Error("trailing tokens after statement");
+    return stmt;
+  }
+
+ private:
+  const Token& Peek() const { return tokens_[pos_]; }
+  const Token& Advance() { return tokens_[pos_++]; }
+  bool Check(TokenType type) const { return Peek().type == type; }
+  bool CheckKeyword(const char* kw) const {
+    return Peek().type == TokenType::kKeyword && Peek().text == kw;
+  }
+  bool Match(TokenType type) {
+    if (!Check(type)) return false;
+    ++pos_;
+    return true;
+  }
+  bool MatchKeyword(const char* kw) {
+    if (!CheckKeyword(kw)) return false;
+    ++pos_;
+    return true;
+  }
+  Status Error(const std::string& msg) const {
+    return Status::ParseError(msg + " near offset " +
+                              std::to_string(Peek().position));
+  }
+
+  Result<std::string> ExpectIdentifier() {
+    if (!Check(TokenType::kIdentifier)) return Error("expected identifier");
+    return Advance().text;
+  }
+
+  Status Expect(TokenType type, const char* what) {
+    if (!Match(type)) return Error(std::string("expected ") + what);
+    return Status::Ok();
+  }
+
+  Status ExpectKeyword(const char* kw) {
+    if (!MatchKeyword(kw)) return Error(std::string("expected ") + kw);
+    return Status::Ok();
+  }
+
+  // ---- expressions ------------------------------------------------------
+
+  Result<ExprPtr> ParseExpr() { return ParseOr(); }
+
+  Result<ExprPtr> ParseOr() {
+    auto left = ParseAnd();
+    if (!left.ok()) return left.status();
+    ExprPtr node = std::move(left.value());
+    while (MatchKeyword("OR")) {
+      auto right = ParseAnd();
+      if (!right.ok()) return right.status();
+      node = MakeBinary("OR", std::move(node), std::move(right.value()));
+    }
+    return node;
+  }
+
+  Result<ExprPtr> ParseAnd() {
+    auto left = ParseNot();
+    if (!left.ok()) return left.status();
+    ExprPtr node = std::move(left.value());
+    while (MatchKeyword("AND")) {
+      auto right = ParseNot();
+      if (!right.ok()) return right.status();
+      node = MakeBinary("AND", std::move(node), std::move(right.value()));
+    }
+    return node;
+  }
+
+  Result<ExprPtr> ParseNot() {
+    if (MatchKeyword("NOT")) {
+      auto operand = ParseNot();
+      if (!operand.ok()) return operand.status();
+      auto node = std::make_unique<Expr>();
+      node->kind = ExprKind::kUnary;
+      node->op = "NOT";
+      node->left = std::move(operand.value());
+      return node;
+    }
+    return ParseComparison();
+  }
+
+  Result<ExprPtr> ParseComparison() {
+    auto left = ParseAdditive();
+    if (!left.ok()) return left.status();
+    ExprPtr node = std::move(left.value());
+
+    bool negated = false;
+    if (CheckKeyword("NOT")) {
+      // lookahead: NOT IN / NOT BETWEEN / NOT LIKE
+      const Token& next = tokens_[pos_ + 1];
+      if (next.type == TokenType::kKeyword &&
+          (next.text == "IN" || next.text == "BETWEEN" || next.text == "LIKE")) {
+        ++pos_;
+        negated = true;
+      }
+    }
+
+    if (MatchKeyword("IN")) {
+      auto st = Expect(TokenType::kLeftParen, "(");
+      if (!st.ok()) return st;
+      auto in = std::make_unique<Expr>();
+      in->kind = ExprKind::kInList;
+      in->negated = negated;
+      in->left = std::move(node);
+      do {
+        auto item = ParseExpr();
+        if (!item.ok()) return item.status();
+        in->list.push_back(std::move(item.value()));
+      } while (Match(TokenType::kComma));
+      st = Expect(TokenType::kRightParen, ")");
+      if (!st.ok()) return st;
+      return ExprPtr(std::move(in));
+    }
+
+    if (MatchKeyword("BETWEEN")) {
+      auto lo = ParseAdditive();
+      if (!lo.ok()) return lo.status();
+      auto st = ExpectKeyword("AND");
+      if (!st.ok()) return st;
+      auto hi = ParseAdditive();
+      if (!hi.ok()) return hi.status();
+      auto between = std::make_unique<Expr>();
+      between->kind = ExprKind::kBetween;
+      between->negated = negated;
+      between->left = std::move(node);
+      between->list.push_back(std::move(lo.value()));
+      between->list.push_back(std::move(hi.value()));
+      return ExprPtr(std::move(between));
+    }
+
+    if (MatchKeyword("LIKE")) {
+      auto pattern = ParseAdditive();
+      if (!pattern.ok()) return pattern.status();
+      auto like = MakeBinary("LIKE", std::move(node), std::move(pattern.value()));
+      like->negated = negated;
+      return like;
+    }
+
+    if (MatchKeyword("IS")) {
+      bool is_not = MatchKeyword("NOT");
+      auto st = ExpectKeyword("NULL");
+      if (!st.ok()) return st;
+      auto is_null = std::make_unique<Expr>();
+      is_null->kind = ExprKind::kUnary;
+      is_null->op = is_not ? "IS NOT NULL" : "IS NULL";
+      is_null->left = std::move(node);
+      return ExprPtr(std::move(is_null));
+    }
+
+    if (Check(TokenType::kOperator)) {
+      const std::string& op = Peek().text;
+      if (op == "=" || op == "<>" || op == "<" || op == "<=" || op == ">" ||
+          op == ">=") {
+        std::string saved = op;
+        ++pos_;
+        auto right = ParseAdditive();
+        if (!right.ok()) return right.status();
+        return MakeBinary(saved, std::move(node), std::move(right.value()));
+      }
+    }
+    return node;
+  }
+
+  Result<ExprPtr> ParseAdditive() {
+    auto left = ParseMultiplicative();
+    if (!left.ok()) return left.status();
+    ExprPtr node = std::move(left.value());
+    while (Check(TokenType::kOperator) &&
+           (Peek().text == "+" || Peek().text == "-" || Peek().text == "||")) {
+      std::string op = Advance().text;
+      auto right = ParseMultiplicative();
+      if (!right.ok()) return right.status();
+      node = MakeBinary(op, std::move(node), std::move(right.value()));
+    }
+    return node;
+  }
+
+  Result<ExprPtr> ParseMultiplicative() {
+    auto left = ParsePrimary();
+    if (!left.ok()) return left.status();
+    ExprPtr node = std::move(left.value());
+    while (Check(TokenType::kOperator) &&
+           (Peek().text == "*" || Peek().text == "/" || Peek().text == "%")) {
+      std::string op = Advance().text;
+      auto right = ParsePrimary();
+      if (!right.ok()) return right.status();
+      node = MakeBinary(op, std::move(node), std::move(right.value()));
+    }
+    return node;
+  }
+
+  Result<ExprPtr> ParsePrimary() {
+    // Unary minus on a numeric literal folds into the literal.
+    if (Check(TokenType::kOperator) && Peek().text == "-") {
+      ++pos_;
+      auto operand = ParsePrimary();
+      if (!operand.ok()) return operand.status();
+      if (operand.value()->kind == ExprKind::kLiteral &&
+          (operand.value()->literal.type == LiteralType::kInteger ||
+           operand.value()->literal.type == LiteralType::kFloat)) {
+        operand.value()->literal.text = "-" + operand.value()->literal.text;
+        return std::move(operand.value());
+      }
+      auto node = std::make_unique<Expr>();
+      node->kind = ExprKind::kUnary;
+      node->op = "-";
+      node->left = std::move(operand.value());
+      return ExprPtr(std::move(node));
+    }
+    if (Match(TokenType::kLeftParen)) {
+      auto inner = ParseExpr();
+      if (!inner.ok()) return inner.status();
+      auto st = Expect(TokenType::kRightParen, ")");
+      if (!st.ok()) return st;
+      return std::move(inner.value());
+    }
+    if (Check(TokenType::kInteger) || Check(TokenType::kFloat)) {
+      const Token& tok = Advance();
+      Literal lit;
+      lit.type = tok.type == TokenType::kInteger ? LiteralType::kInteger
+                                                 : LiteralType::kFloat;
+      lit.text = tok.text;
+      return MakeLiteral(std::move(lit));
+    }
+    if (Check(TokenType::kString)) {
+      Literal lit;
+      lit.type = LiteralType::kString;
+      lit.text = Advance().text;
+      return MakeLiteral(std::move(lit));
+    }
+    if (Check(TokenType::kPlaceholder)) {
+      ++pos_;
+      return MakePlaceholder();
+    }
+    if (MatchKeyword("NULL")) {
+      Literal lit;
+      lit.type = LiteralType::kNull;
+      return MakeLiteral(std::move(lit));
+    }
+    if (CheckKeyword("TRUE") || CheckKeyword("FALSE")) {
+      Literal lit;
+      lit.type = LiteralType::kBoolean;
+      lit.text = Advance().text;
+      return MakeLiteral(std::move(lit));
+    }
+    if (Check(TokenType::kOperator) && Peek().text == "*") {
+      ++pos_;
+      auto star = std::make_unique<Expr>();
+      star->kind = ExprKind::kStar;
+      return ExprPtr(std::move(star));
+    }
+    // Aggregate functions lexed as keywords.
+    if (CheckKeyword("COUNT") || CheckKeyword("SUM") || CheckKeyword("AVG") ||
+        CheckKeyword("MIN") || CheckKeyword("MAX")) {
+      std::string func = Advance().text;
+      auto st = Expect(TokenType::kLeftParen, "(");
+      if (!st.ok()) return st;
+      auto call = std::make_unique<Expr>();
+      call->kind = ExprKind::kFuncCall;
+      call->func = func;
+      call->distinct = MatchKeyword("DISTINCT");
+      if (!Check(TokenType::kRightParen)) {
+        do {
+          auto arg = ParseExpr();
+          if (!arg.ok()) return arg.status();
+          call->list.push_back(std::move(arg.value()));
+        } while (Match(TokenType::kComma));
+      }
+      st = Expect(TokenType::kRightParen, ")");
+      if (!st.ok()) return st;
+      return ExprPtr(std::move(call));
+    }
+    if (Check(TokenType::kIdentifier)) {
+      std::string name = Advance().text;
+      // Scalar function call.
+      if (Check(TokenType::kLeftParen)) {
+        ++pos_;
+        auto call = std::make_unique<Expr>();
+        call->kind = ExprKind::kFuncCall;
+        std::string upper;
+        for (char c : name) upper += static_cast<char>(std::toupper(c));
+        call->func = upper;
+        if (!Check(TokenType::kRightParen)) {
+          do {
+            auto arg = ParseExpr();
+            if (!arg.ok()) return arg.status();
+            call->list.push_back(std::move(arg.value()));
+          } while (Match(TokenType::kComma));
+        }
+        auto st = Expect(TokenType::kRightParen, ")");
+        if (!st.ok()) return st;
+        return ExprPtr(std::move(call));
+      }
+      // table.column or table.* qualified reference.
+      if (Match(TokenType::kDot)) {
+        if (Check(TokenType::kOperator) && Peek().text == "*") {
+          ++pos_;
+          auto star = std::make_unique<Expr>();
+          star->kind = ExprKind::kStar;
+          star->table = name;
+          return ExprPtr(std::move(star));
+        }
+        auto col = ExpectIdentifier();
+        if (!col.ok()) return col.status();
+        return MakeColumnRef(name, std::move(col.value()));
+      }
+      return MakeColumnRef("", std::move(name));
+    }
+    return Error("unexpected token '" + Peek().text + "'");
+  }
+
+  // ---- clauses ----------------------------------------------------------
+
+  Result<TableRef> ParseTableRef() {
+    auto table = ExpectIdentifier();
+    if (!table.ok()) return table.status();
+    TableRef ref;
+    ref.table = std::move(table.value());
+    if (MatchKeyword("AS")) {
+      auto alias = ExpectIdentifier();
+      if (!alias.ok()) return alias.status();
+      ref.alias = std::move(alias.value());
+    } else if (Check(TokenType::kIdentifier)) {
+      ref.alias = Advance().text;
+    }
+    return ref;
+  }
+
+  Result<SelectStatement> ParseSelect() {
+    SelectStatement select;
+    select.distinct = MatchKeyword("DISTINCT");
+    do {
+      SelectItem item;
+      auto expr = ParseExpr();
+      if (!expr.ok()) return expr.status();
+      item.expr = std::move(expr.value());
+      if (MatchKeyword("AS")) {
+        auto alias = ExpectIdentifier();
+        if (!alias.ok()) return alias.status();
+        item.alias = std::move(alias.value());
+      } else if (Check(TokenType::kIdentifier)) {
+        item.alias = Advance().text;
+      }
+      select.items.push_back(std::move(item));
+    } while (Match(TokenType::kComma));
+
+    if (MatchKeyword("FROM")) {
+      auto first = ParseTableRef();
+      if (!first.ok()) return first.status();
+      select.from.push_back(std::move(first.value()));
+      while (true) {
+        if (Match(TokenType::kComma)) {
+          auto next = ParseTableRef();
+          if (!next.ok()) return next.status();
+          select.from.push_back(std::move(next.value()));
+          continue;
+        }
+        std::string join_type;
+        if (MatchKeyword("INNER")) {
+          join_type = "JOIN";
+          auto st = ExpectKeyword("JOIN");
+          if (!st.ok()) return st;
+        } else if (MatchKeyword("LEFT")) {
+          MatchKeyword("OUTER");
+          join_type = "LEFT JOIN";
+          auto st = ExpectKeyword("JOIN");
+          if (!st.ok()) return st;
+        } else if (MatchKeyword("RIGHT")) {
+          MatchKeyword("OUTER");
+          join_type = "RIGHT JOIN";
+          auto st = ExpectKeyword("JOIN");
+          if (!st.ok()) return st;
+        } else if (MatchKeyword("CROSS")) {
+          join_type = "CROSS JOIN";
+          auto st = ExpectKeyword("JOIN");
+          if (!st.ok()) return st;
+        } else if (MatchKeyword("JOIN")) {
+          join_type = "JOIN";
+        } else {
+          break;
+        }
+        JoinClause join;
+        join.join_type = join_type;
+        auto tref = ParseTableRef();
+        if (!tref.ok()) return tref.status();
+        join.table = std::move(tref.value());
+        if (join_type != "CROSS JOIN") {
+          auto st = ExpectKeyword("ON");
+          if (!st.ok()) return st;
+          auto on = ParseExpr();
+          if (!on.ok()) return on.status();
+          join.on = std::move(on.value());
+        }
+        select.joins.push_back(std::move(join));
+      }
+    }
+
+    if (MatchKeyword("WHERE")) {
+      auto where = ParseExpr();
+      if (!where.ok()) return where.status();
+      select.where = std::move(where.value());
+    }
+    if (MatchKeyword("GROUP")) {
+      auto st = ExpectKeyword("BY");
+      if (!st.ok()) return st;
+      do {
+        auto expr = ParseExpr();
+        if (!expr.ok()) return expr.status();
+        select.group_by.push_back(std::move(expr.value()));
+      } while (Match(TokenType::kComma));
+    }
+    if (MatchKeyword("HAVING")) {
+      auto having = ParseExpr();
+      if (!having.ok()) return having.status();
+      select.having = std::move(having.value());
+    }
+    if (MatchKeyword("ORDER")) {
+      auto st = ExpectKeyword("BY");
+      if (!st.ok()) return st;
+      do {
+        OrderItem item;
+        auto expr = ParseExpr();
+        if (!expr.ok()) return expr.status();
+        item.expr = std::move(expr.value());
+        if (MatchKeyword("DESC")) {
+          item.descending = true;
+        } else {
+          MatchKeyword("ASC");
+        }
+        select.order_by.push_back(std::move(item));
+      } while (Match(TokenType::kComma));
+    }
+    if (MatchKeyword("LIMIT")) {
+      if (!Check(TokenType::kInteger)) return Error("expected LIMIT count");
+      select.limit = std::strtoll(Advance().text.c_str(), nullptr, 10);
+    }
+    if (MatchKeyword("OFFSET")) {
+      if (!Check(TokenType::kInteger)) return Error("expected OFFSET count");
+      select.offset = std::strtoll(Advance().text.c_str(), nullptr, 10);
+    }
+    return select;
+  }
+
+  Result<InsertStatement> ParseInsert() {
+    auto st = ExpectKeyword("INTO");
+    if (!st.ok()) return st;
+    InsertStatement insert;
+    auto table = ExpectIdentifier();
+    if (!table.ok()) return table.status();
+    insert.table = std::move(table.value());
+    if (Match(TokenType::kLeftParen)) {
+      do {
+        auto col = ExpectIdentifier();
+        if (!col.ok()) return col.status();
+        insert.columns.push_back(std::move(col.value()));
+      } while (Match(TokenType::kComma));
+      st = Expect(TokenType::kRightParen, ")");
+      if (!st.ok()) return st;
+    }
+    st = ExpectKeyword("VALUES");
+    if (!st.ok()) return st;
+    do {
+      st = Expect(TokenType::kLeftParen, "(");
+      if (!st.ok()) return st;
+      std::vector<ExprPtr> row;
+      do {
+        auto value = ParseExpr();
+        if (!value.ok()) return value.status();
+        row.push_back(std::move(value.value()));
+      } while (Match(TokenType::kComma));
+      st = Expect(TokenType::kRightParen, ")");
+      if (!st.ok()) return st;
+      insert.rows.push_back(std::move(row));
+    } while (Match(TokenType::kComma));
+    return insert;
+  }
+
+  Result<UpdateStatement> ParseUpdate() {
+    UpdateStatement update;
+    auto table = ExpectIdentifier();
+    if (!table.ok()) return table.status();
+    update.table = std::move(table.value());
+    auto st = ExpectKeyword("SET");
+    if (!st.ok()) return st;
+    do {
+      auto col = ExpectIdentifier();
+      if (!col.ok()) return col.status();
+      if (!Match(TokenType::kOperator) || tokens_[pos_ - 1].text != "=") {
+        return Error("expected = in SET clause");
+      }
+      auto value = ParseExpr();
+      if (!value.ok()) return value.status();
+      update.assignments.emplace_back(std::move(col.value()),
+                                      std::move(value.value()));
+    } while (Match(TokenType::kComma));
+    if (MatchKeyword("WHERE")) {
+      auto where = ParseExpr();
+      if (!where.ok()) return where.status();
+      update.where = std::move(where.value());
+    }
+    return update;
+  }
+
+  Result<DeleteStatement> ParseDelete() {
+    auto st = ExpectKeyword("FROM");
+    if (!st.ok()) return st;
+    DeleteStatement del;
+    auto table = ExpectIdentifier();
+    if (!table.ok()) return table.status();
+    del.table = std::move(table.value());
+    if (MatchKeyword("WHERE")) {
+      auto where = ParseExpr();
+      if (!where.ok()) return where.status();
+      del.where = std::move(where.value());
+    }
+    return del;
+  }
+
+  std::vector<Token> tokens_;
+  size_t pos_ = 0;
+};
+
+}  // namespace
+
+Result<Statement> Parse(const std::string& sql) {
+  auto tokens = Tokenize(sql);
+  if (!tokens.ok()) return tokens.status();
+  Parser parser(std::move(tokens.value()));
+  return parser.ParseStatement();
+}
+
+}  // namespace qb5000::sql

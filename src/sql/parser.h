@@ -1,0 +1,18 @@
+#ifndef QB5000_SQL_PARSER_H_
+#define QB5000_SQL_PARSER_H_
+
+#include <string>
+
+#include "common/status.h"
+#include "sql/ast.h"
+
+namespace qb5000::sql {
+
+/// Parses one SQL statement (SELECT / INSERT / UPDATE / DELETE). A trailing
+/// semicolon is accepted. Returns a ParseError status on malformed input;
+/// the Pre-Processor falls back to token-level templatization in that case.
+Result<Statement> Parse(const std::string& sql);
+
+}  // namespace qb5000::sql
+
+#endif  // QB5000_SQL_PARSER_H_

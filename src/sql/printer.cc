@@ -1,0 +1,271 @@
+#include "sql/printer.h"
+
+namespace qb5000::sql {
+namespace {
+
+void PrintExprTo(const Expr& e, std::string& out);
+
+void PrintLiteral(const Literal& lit, std::string& out) {
+  switch (lit.type) {
+    case LiteralType::kInteger:
+    case LiteralType::kFloat:
+      out += lit.text;
+      break;
+    case LiteralType::kString:
+      out += '\'';
+      for (char c : lit.text) {
+        if (c == '\'') out += '\'';
+        out += c;
+      }
+      out += '\'';
+      break;
+    case LiteralType::kBoolean:
+      out += lit.text;
+      break;
+    case LiteralType::kNull:
+      out += "NULL";
+      break;
+  }
+}
+
+/// Parenthesizes nested boolean operators so precedence survives reparsing.
+bool NeedsParens(const Expr& parent, const Expr& child) {
+  if (child.kind != ExprKind::kBinary) return false;
+  bool child_bool = child.op == "AND" || child.op == "OR";
+  bool parent_bool = parent.op == "AND" || parent.op == "OR";
+  if (!child_bool) return false;
+  if (!parent_bool) return true;
+  return parent.op == "AND" && child.op == "OR";
+}
+
+void PrintChild(const Expr& parent, const Expr& child, std::string& out) {
+  bool parens = NeedsParens(parent, child);
+  if (parens) out += '(';
+  PrintExprTo(child, out);
+  if (parens) out += ')';
+}
+
+void PrintExprTo(const Expr& e, std::string& out) {
+  switch (e.kind) {
+    case ExprKind::kColumnRef:
+      if (!e.table.empty()) {
+        out += e.table;
+        out += '.';
+      }
+      out += e.column;
+      break;
+    case ExprKind::kLiteral:
+      PrintLiteral(e.literal, out);
+      break;
+    case ExprKind::kPlaceholder:
+      out += '?';
+      break;
+    case ExprKind::kStar:
+      if (!e.table.empty()) {
+        out += e.table;
+        out += '.';
+      }
+      out += '*';
+      break;
+    case ExprKind::kBinary:
+      PrintChild(e, *e.left, out);
+      out += ' ';
+      if (e.negated) out += "NOT ";
+      out += e.op;
+      out += ' ';
+      PrintChild(e, *e.right, out);
+      break;
+    case ExprKind::kUnary:
+      if (e.op == "IS NULL" || e.op == "IS NOT NULL") {
+        PrintExprTo(*e.left, out);
+        out += ' ';
+        out += e.op;
+      } else if (e.op == "-") {
+        out += '-';
+        PrintExprTo(*e.left, out);
+      } else {  // NOT
+        out += e.op;
+        out += ' ';
+        if (e.left->kind == ExprKind::kBinary) {
+          out += '(';
+          PrintExprTo(*e.left, out);
+          out += ')';
+        } else {
+          PrintExprTo(*e.left, out);
+        }
+      }
+      break;
+    case ExprKind::kFuncCall:
+      out += e.func;
+      out += '(';
+      if (e.distinct) out += "DISTINCT ";
+      for (size_t i = 0; i < e.list.size(); ++i) {
+        if (i > 0) out += ", ";
+        PrintExprTo(*e.list[i], out);
+      }
+      out += ')';
+      break;
+    case ExprKind::kInList:
+      PrintExprTo(*e.left, out);
+      out += e.negated ? " NOT IN (" : " IN (";
+      for (size_t i = 0; i < e.list.size(); ++i) {
+        if (i > 0) out += ", ";
+        PrintExprTo(*e.list[i], out);
+      }
+      out += ')';
+      break;
+    case ExprKind::kBetween:
+      PrintExprTo(*e.left, out);
+      out += e.negated ? " NOT BETWEEN " : " BETWEEN ";
+      PrintExprTo(*e.list[0], out);
+      out += " AND ";
+      PrintExprTo(*e.list[1], out);
+      break;
+  }
+}
+
+void PrintTableRef(const TableRef& ref, std::string& out) {
+  out += ref.table;
+  if (!ref.alias.empty()) {
+    out += " AS ";
+    out += ref.alias;
+  }
+}
+
+void PrintSelect(const SelectStatement& s, std::string& out) {
+  out += "SELECT ";
+  if (s.distinct) out += "DISTINCT ";
+  for (size_t i = 0; i < s.items.size(); ++i) {
+    if (i > 0) out += ", ";
+    PrintExprTo(*s.items[i].expr, out);
+    if (!s.items[i].alias.empty()) {
+      out += " AS ";
+      out += s.items[i].alias;
+    }
+  }
+  if (!s.from.empty()) {
+    out += " FROM ";
+    for (size_t i = 0; i < s.from.size(); ++i) {
+      if (i > 0) out += ", ";
+      PrintTableRef(s.from[i], out);
+    }
+    for (const auto& join : s.joins) {
+      out += ' ';
+      out += join.join_type;
+      out += ' ';
+      PrintTableRef(join.table, out);
+      if (join.on) {
+        out += " ON ";
+        PrintExprTo(*join.on, out);
+      }
+    }
+  }
+  if (s.where) {
+    out += " WHERE ";
+    PrintExprTo(*s.where, out);
+  }
+  if (!s.group_by.empty()) {
+    out += " GROUP BY ";
+    for (size_t i = 0; i < s.group_by.size(); ++i) {
+      if (i > 0) out += ", ";
+      PrintExprTo(*s.group_by[i], out);
+    }
+  }
+  if (s.having) {
+    out += " HAVING ";
+    PrintExprTo(*s.having, out);
+  }
+  if (!s.order_by.empty()) {
+    out += " ORDER BY ";
+    for (size_t i = 0; i < s.order_by.size(); ++i) {
+      if (i > 0) out += ", ";
+      PrintExprTo(*s.order_by[i].expr, out);
+      if (s.order_by[i].descending) out += " DESC";
+    }
+  }
+  if (s.limit) {
+    out += " LIMIT ";
+    out += std::to_string(*s.limit);
+  }
+  if (s.offset) {
+    out += " OFFSET ";
+    out += std::to_string(*s.offset);
+  }
+}
+
+void PrintInsert(const InsertStatement& s, std::string& out) {
+  out += "INSERT INTO ";
+  out += s.table;
+  if (!s.columns.empty()) {
+    out += " (";
+    for (size_t i = 0; i < s.columns.size(); ++i) {
+      if (i > 0) out += ", ";
+      out += s.columns[i];
+    }
+    out += ')';
+  }
+  out += " VALUES ";
+  for (size_t r = 0; r < s.rows.size(); ++r) {
+    if (r > 0) out += ", ";
+    out += '(';
+    for (size_t i = 0; i < s.rows[r].size(); ++i) {
+      if (i > 0) out += ", ";
+      PrintExprTo(*s.rows[r][i], out);
+    }
+    out += ')';
+  }
+}
+
+void PrintUpdate(const UpdateStatement& s, std::string& out) {
+  out += "UPDATE ";
+  out += s.table;
+  out += " SET ";
+  for (size_t i = 0; i < s.assignments.size(); ++i) {
+    if (i > 0) out += ", ";
+    out += s.assignments[i].first;
+    out += " = ";
+    PrintExprTo(*s.assignments[i].second, out);
+  }
+  if (s.where) {
+    out += " WHERE ";
+    PrintExprTo(*s.where, out);
+  }
+}
+
+void PrintDelete(const DeleteStatement& s, std::string& out) {
+  out += "DELETE FROM ";
+  out += s.table;
+  if (s.where) {
+    out += " WHERE ";
+    PrintExprTo(*s.where, out);
+  }
+}
+
+}  // namespace
+
+std::string Print(const Statement& stmt) {
+  std::string out;
+  switch (stmt.type) {
+    case StatementType::kSelect:
+      PrintSelect(*stmt.select, out);
+      break;
+    case StatementType::kInsert:
+      PrintInsert(*stmt.insert, out);
+      break;
+    case StatementType::kUpdate:
+      PrintUpdate(*stmt.update, out);
+      break;
+    case StatementType::kDelete:
+      PrintDelete(*stmt.del, out);
+      break;
+  }
+  return out;
+}
+
+std::string PrintExpr(const Expr& expr) {
+  std::string out;
+  PrintExprTo(expr, out);
+  return out;
+}
+
+}  // namespace qb5000::sql

@@ -1,0 +1,21 @@
+#ifndef QB5000_SQL_PRINTER_H_
+#define QB5000_SQL_PRINTER_H_
+
+#include <string>
+
+#include "sql/ast.h"
+
+namespace qb5000::sql {
+
+/// Renders a statement back to canonical SQL: uppercase keywords, lowercase
+/// identifiers, single spaces, normalized parentheses. Two statements that
+/// differ only in constants, casing, or whitespace print identically after
+/// templatization, which is exactly the property the Pre-Processor needs.
+std::string Print(const Statement& stmt);
+
+/// Renders a single expression (used in tests and template fingerprints).
+std::string PrintExpr(const Expr& expr);
+
+}  // namespace qb5000::sql
+
+#endif  // QB5000_SQL_PRINTER_H_

@@ -1,0 +1,36 @@
+#ifndef QB5000_SQL_TOKEN_H_
+#define QB5000_SQL_TOKEN_H_
+
+#include <string>
+
+namespace qb5000::sql {
+
+/// Lexical token categories for the SQL dialect the library parses.
+enum class TokenType {
+  kKeyword,     ///< SELECT, FROM, WHERE, ... (uppercased in `text`)
+  kIdentifier,  ///< table/column names (lowercased in `text`)
+  kInteger,     ///< integer literal
+  kFloat,       ///< floating-point literal
+  kString,      ///< quoted string literal, quotes stripped in `text`
+  kOperator,    ///< = <> != < <= > >= + - * / % ||
+  kComma,
+  kLeftParen,
+  kRightParen,
+  kDot,
+  kSemicolon,
+  kPlaceholder,  ///< ? or $N (already-prepared statements)
+  kEnd,
+};
+
+struct Token {
+  TokenType type;
+  std::string text;
+  size_t position;  ///< byte offset in the source string, for error messages
+};
+
+/// True if `word` (uppercase) is a reserved keyword of the dialect.
+bool IsKeyword(const std::string& upper_word);
+
+}  // namespace qb5000::sql
+
+#endif  // QB5000_SQL_TOKEN_H_

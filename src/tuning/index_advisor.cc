@@ -1,0 +1,138 @@
+#include "tuning/index_advisor.h"
+
+#include <set>
+
+#include "sql/parser.h"
+
+namespace qb5000 {
+namespace {
+
+/// Candidate single-column indexes for one statement: every sargable
+/// column referenced by its predicates. (CollectSargable lives inside the
+/// dbms module; here we re-derive candidates from the AST so the advisor
+/// stays independent of executor internals.)
+void CollectCandidates(const sql::Expr* e, const dbms::Database& db,
+                       const std::string& table, std::set<std::string>* out) {
+  if (e == nullptr) return;
+  using sql::ExprKind;
+  if (e->kind == ExprKind::kBinary && (e->op == "AND" || e->op == "OR")) {
+    CollectCandidates(e->left.get(), db, table, out);
+    CollectCandidates(e->right.get(), db, table, out);
+    return;
+  }
+  const sql::Expr* column_side = nullptr;
+  if (e->kind == ExprKind::kBinary || e->kind == ExprKind::kInList ||
+      e->kind == ExprKind::kBetween) {
+    column_side = e->left.get();
+  }
+  if (column_side == nullptr || column_side->kind != ExprKind::kColumnRef) return;
+  std::string target = column_side->table.empty() ? table : column_side->table;
+  const dbms::Table* t = db.GetTable(target);
+  if (t == nullptr || t->ColumnIndex(column_side->column) < 0) return;
+  if (t->HasIndex(column_side->column)) return;  // already built
+  out->insert(target + "." + column_side->column);
+}
+
+void CandidatesForStatement(const sql::Statement& stmt, const dbms::Database& db,
+                            std::set<std::string>* out) {
+  switch (stmt.type) {
+    case sql::StatementType::kSelect: {
+      const auto& s = *stmt.select;
+      std::string table = s.from.empty() ? "" : s.from[0].table;
+      CollectCandidates(s.where.get(), db, table, out);
+      for (const auto& join : s.joins) {
+        CollectCandidates(join.on.get(), db, table, out);
+      }
+      break;
+    }
+    case sql::StatementType::kUpdate:
+      CollectCandidates(stmt.update->where.get(), db, stmt.update->table, out);
+      break;
+    case sql::StatementType::kDelete:
+      CollectCandidates(stmt.del->where.get(), db, stmt.del->table, out);
+      break;
+    case sql::StatementType::kInsert:
+      break;  // inserts only ever pay for indexes
+  }
+}
+
+}  // namespace
+
+Result<double> IndexAdvisor::WorkloadCost(
+    const dbms::Database& db, const std::vector<AdvisorQuery>& workload,
+    const std::set<std::string>& hypothetical) {
+  double total = 0.0;
+  for (const auto& query : workload) {
+    if (query.stmt == nullptr) continue;
+    auto cost = db.EstimateCost(*query.stmt, hypothetical);
+    if (!cost.ok()) return cost.status();
+    total += query.weight * *cost;
+  }
+  return total;
+}
+
+Result<std::vector<std::string>> IndexAdvisor::Recommend(
+    const dbms::Database& db, const std::vector<AdvisorQuery>& workload,
+    size_t max_new) {
+  // Phase 1 (AutoAdmin candidate selection): the best index for each query
+  // in isolation forms the candidate set.
+  std::set<std::string> candidates;
+  for (const auto& query : workload) {
+    if (query.stmt == nullptr) continue;
+    std::set<std::string> per_query;
+    CandidatesForStatement(*query.stmt, db, &per_query);
+    if (per_query.empty()) continue;
+    auto base = db.EstimateCost(*query.stmt, {});
+    if (!base.ok()) return base.status();
+    std::string best;
+    double best_cost = *base;
+    for (const auto& candidate : per_query) {
+      auto cost = db.EstimateCost(*query.stmt, {candidate});
+      if (!cost.ok()) return cost.status();
+      if (*cost < best_cost) {
+        best_cost = *cost;
+        best = candidate;
+      }
+    }
+    if (!best.empty()) candidates.insert(best);
+  }
+
+  // Phase 2: greedy bounded subset search by total weighted cost.
+  std::vector<std::string> chosen;
+  std::set<std::string> selected;
+  auto current = WorkloadCost(db, workload, selected);
+  if (!current.ok()) return current.status();
+  double current_cost = *current;
+  while (chosen.size() < max_new) {
+    std::string best;
+    double best_cost = current_cost;
+    for (const auto& candidate : candidates) {
+      if (selected.count(candidate)) continue;
+      std::set<std::string> trial = selected;
+      trial.insert(candidate);
+      auto cost = WorkloadCost(db, workload, trial);
+      if (!cost.ok()) return cost.status();
+      if (*cost < best_cost - 1e-9) {
+        best_cost = *cost;
+        best = candidate;
+      }
+    }
+    if (best.empty()) break;  // no further improvement
+    selected.insert(best);
+    chosen.push_back(best);
+    current_cost = best_cost;
+  }
+  return chosen;
+}
+
+Result<AdvisorQuery> IndexAdvisor::MakeQuery(const std::string& sql,
+                                             double weight) {
+  auto stmt = sql::Parse(sql);
+  if (!stmt.ok()) return stmt.status();
+  AdvisorQuery query;
+  query.stmt = std::make_shared<sql::Statement>(std::move(*stmt));
+  query.weight = weight;
+  return query;
+}
+
+}  // namespace qb5000

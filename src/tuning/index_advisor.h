@@ -1,0 +1,46 @@
+#ifndef QB5000_TUNING_INDEX_ADVISOR_H_
+#define QB5000_TUNING_INDEX_ADVISOR_H_
+
+#include <memory>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "dbms/database.h"
+#include "sql/ast.h"
+
+namespace qb5000 {
+
+/// One entry of the (predicted or historical) workload handed to the
+/// advisor: a parsed query template and its expected execution volume.
+struct AdvisorQuery {
+  std::shared_ptr<sql::Statement> stmt;
+  double weight = 1.0;
+};
+
+/// AutoAdmin-style index advisor [12], as used in Section 7.6: per-query
+/// best-index candidates followed by a greedy bounded search over the
+/// candidate set using the engine's what-if cost estimates.
+class IndexAdvisor {
+ public:
+  /// Returns up to `max_new` secondary indexes ("table.column"), in the
+  /// order they should be built (largest weighted cost reduction first).
+  /// Existing indexes are respected and never re-recommended.
+  static Result<std::vector<std::string>> Recommend(
+      const dbms::Database& db, const std::vector<AdvisorQuery>& workload,
+      size_t max_new);
+
+  /// Total weighted estimated cost of the workload under the current
+  /// indexes plus `hypothetical`.
+  static Result<double> WorkloadCost(const dbms::Database& db,
+                                     const std::vector<AdvisorQuery>& workload,
+                                     const std::set<std::string>& hypothetical);
+
+  /// Parses SQL into an AdvisorQuery (convenience for benches/examples).
+  static Result<AdvisorQuery> MakeQuery(const std::string& sql, double weight);
+};
+
+}  // namespace qb5000
+
+#endif  // QB5000_TUNING_INDEX_ADVISOR_H_

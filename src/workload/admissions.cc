@@ -1,0 +1,249 @@
+#include <string>
+#include <vector>
+
+#include "workload/patterns.h"
+#include "workload/workload.h"
+
+namespace qb5000 {
+namespace {
+
+/// Application deadlines: two per simulated year, landing on days 334 and
+/// 348 of each year (the paper's Dec 1 / Dec 15 deadlines repeat annually,
+/// Figures 1b and 9).
+std::vector<Timestamp> Deadlines() {
+  std::vector<Timestamp> out;
+  for (int year = 0; year < 3; ++year) {
+    out.push_back((365 * year + 334) * kSecondsPerDay + 12 * kSecondsPerHour);
+    out.push_back((365 * year + 348) * kSecondsPerDay + 12 * kSecondsPerHour);
+  }
+  return out;
+}
+
+/// Applicant activity: diurnal base plus exponential pressure toward each
+/// deadline with a sharp spike on the deadline itself.
+double ApplicantShape(Timestamp ts) {
+  static const std::vector<Timestamp>& kDeadlines = *new auto(Deadlines());
+  double pressure = 0.0;
+  for (Timestamp deadline : kDeadlines) {
+    if (ts <= deadline) {
+      pressure += 4.0 * DeadlinePressure(ts, deadline, 5.0, 0.0);
+    }
+    pressure += 14.0 * SpikeAt(ts, deadline, 7.0);
+  }
+  return DiurnalShape(ts) * (0.12 + pressure);
+}
+
+/// Faculty review activity: switches on after each deadline and decays over
+/// roughly a month.
+double ReviewShape(Timestamp ts) {
+  static const std::vector<Timestamp>& kDeadlines = *new auto(Deadlines());
+  double level = 0.0;
+  for (Timestamp deadline : kDeadlines) {
+    if (ts <= deadline) continue;
+    double days_after = static_cast<double>(ts - deadline) /
+                        static_cast<double>(kSecondsPerDay);
+    level += std::exp(-days_after / 18.0);
+  }
+  return DiurnalShape(ts) * WeekdayFactor(ts, 0.3) * level;
+}
+
+}  // namespace
+
+SyntheticWorkload MakeAdmissions(const WorkloadOptions& options) {
+  double v = options.volume_scale;
+
+  std::vector<TableSpec> schema = {
+      {"applicants", {{"applicant_id"},
+                      {"email", ColumnSpec::Type::kString, 60000},
+                      {"country", ColumnSpec::Type::kString, 150},
+                      {"created_at", ColumnSpec::Type::kInt, 1000000}},
+       60000},
+      {"applications", {{"app_id"},
+                        {"applicant_id", ColumnSpec::Type::kInt, 60000},
+                        {"program_id", ColumnSpec::Type::kInt, 120},
+                        {"status", ColumnSpec::Type::kInt, 6},
+                        {"submitted_at", ColumnSpec::Type::kInt, 1000000}},
+       80000},
+      {"documents", {{"doc_id"},
+                     {"app_id", ColumnSpec::Type::kInt, 80000},
+                     {"doc_type", ColumnSpec::Type::kInt, 8},
+                     {"uploaded_at", ColumnSpec::Type::kInt, 1000000}},
+       200000},
+      {"recommendations", {{"rec_id"},
+                           {"app_id", ColumnSpec::Type::kInt, 80000},
+                           {"recommender_email", ColumnSpec::Type::kString, 40000},
+                           {"received", ColumnSpec::Type::kInt, 2}},
+       150000},
+      {"programs", {{"program_id"},
+                    {"dept_id", ColumnSpec::Type::kInt, 40},
+                    {"program_name", ColumnSpec::Type::kString, 120},
+                    {"deadline_day", ColumnSpec::Type::kInt, 365}},
+       120},
+      {"departments", {{"dept_id"},
+                       {"dept_name", ColumnSpec::Type::kString, 40}},
+       40},
+      {"reviews", {{"review_id"},
+                   {"app_id", ColumnSpec::Type::kInt, 80000},
+                   {"reviewer_id", ColumnSpec::Type::kInt, 400},
+                   {"score", ColumnSpec::Type::kInt, 10}},
+       120000},
+      {"decisions", {{"decision_id"},
+                     {"app_id", ColumnSpec::Type::kInt, 80000},
+                     {"outcome", ColumnSpec::Type::kInt, 3},
+                     {"decided_at", ColumnSpec::Type::kInt, 1000000}},
+       60000},
+  };
+
+  std::vector<TemplateStream> streams;
+
+  // Applicant group (deadline-driven, Figure 1b / 9 shapes).
+  streams.push_back(
+      {"check_status",
+       [](Rng& rng) {
+         return "SELECT status, submitted_at FROM applications WHERE "
+                "applicant_id = " +
+                std::to_string(rng.UniformInt(1, 60000));
+       },
+       [v](Timestamp ts) { return 180.0 * v * ApplicantShape(ts); }});
+  streams.push_back(
+      {"browse_programs",
+       [](Rng& rng) {
+         return "SELECT program_name, deadline_day FROM programs WHERE "
+                "dept_id = " +
+                std::to_string(rng.UniformInt(1, 40));
+       },
+       [v](Timestamp ts) { return 90.0 * v * ApplicantShape(ts); }});
+  streams.push_back(
+      {"upload_document",
+       [](Rng& rng) {
+         return "INSERT INTO documents (app_id, doc_type, uploaded_at) "
+                "VALUES (" +
+                std::to_string(rng.UniformInt(1, 80000)) + ", " +
+                std::to_string(rng.UniformInt(1, 8)) + ", " +
+                std::to_string(rng.UniformInt(0, 1000000)) + ")";
+       },
+       [v](Timestamp ts) { return 40.0 * v * ApplicantShape(ts); }});
+  streams.push_back(
+      {"update_application",
+       [](Rng& rng) {
+         return "UPDATE applications SET status = " +
+                std::to_string(rng.UniformInt(1, 6)) + ", submitted_at = " +
+                std::to_string(rng.UniformInt(0, 1000000)) +
+                " WHERE app_id = " + std::to_string(rng.UniformInt(1, 80000));
+       },
+       [v](Timestamp ts) { return 30.0 * v * ApplicantShape(ts); }});
+  streams.push_back(
+      {"check_recommendations",
+       [](Rng& rng) {
+         return "SELECT received FROM recommendations WHERE app_id = " +
+                std::to_string(rng.UniformInt(1, 80000));
+       },
+       [v](Timestamp ts) { return 60.0 * v * ApplicantShape(ts); }});
+  streams.push_back(
+      {"create_applicant",
+       [](Rng& rng) {
+         return "INSERT INTO applicants (email, country, created_at) VALUES "
+                "('a" +
+                std::to_string(rng.UniformInt(1, 999999)) +
+                "@mail.test', 'US', " +
+                std::to_string(rng.UniformInt(0, 1000000)) + ")";
+       },
+       [v](Timestamp ts) { return 8.0 * v * ApplicantShape(ts); }});
+
+  // Faculty review group (post-deadline).
+  streams.push_back(
+      {"review_queue",
+       [](Rng& rng) {
+         return "SELECT app_id, status FROM applications WHERE program_id = " +
+                std::to_string(rng.UniformInt(1, 120)) +
+                " AND status = 2 ORDER BY submitted_at LIMIT 25";
+       },
+       [v](Timestamp ts) { return 50.0 * v * ReviewShape(ts); }});
+  streams.push_back(
+      {"submit_review",
+       [](Rng& rng) {
+         return "INSERT INTO reviews (app_id, reviewer_id, score) VALUES (" +
+                std::to_string(rng.UniformInt(1, 80000)) + ", " +
+                std::to_string(rng.UniformInt(1, 400)) + ", " +
+                std::to_string(rng.UniformInt(1, 10)) + ")";
+       },
+       [v](Timestamp ts) { return 18.0 * v * ReviewShape(ts); }});
+  streams.push_back(
+      {"record_decision",
+       [](Rng& rng) {
+         return "UPDATE decisions SET outcome = " +
+                std::to_string(rng.UniformInt(1, 3)) + ", decided_at = " +
+                std::to_string(rng.UniformInt(0, 1000000)) +
+                " WHERE app_id = " + std::to_string(rng.UniformInt(1, 80000));
+       },
+       [v](Timestamp ts) { return 9.0 * v * ReviewShape(ts); }});
+
+  // Year-round administrative background load.
+  streams.push_back(
+      {"admin_dashboard",
+       [](Rng& rng) {
+         return "SELECT COUNT(*) FROM applications WHERE program_id = " +
+                std::to_string(rng.UniformInt(1, 120)) + " AND status = " +
+                std::to_string(rng.UniformInt(1, 6));
+       },
+       [v](Timestamp ts) {
+         return 6.0 * v * DiurnalShape(ts) * WeekdayFactor(ts, 0.2);
+       }});
+  streams.push_back(
+      {"purge_drafts",
+       [](Rng& rng) {
+         return "DELETE FROM applications WHERE status = 1 AND submitted_at < " +
+                std::to_string(rng.UniformInt(0, 1000000));
+       },
+       [v](Timestamp ts) { return 0.6 * v * HourBump(ts, 2.0, 0.7); }});
+
+  // Secondary features with their own shapes.
+  streams.push_back(
+      {"login_lookup",
+       [](Rng& rng) {
+         return "SELECT applicant_id FROM applicants WHERE email = 'a" +
+                std::to_string(rng.UniformInt(1, 999999)) + "@mail.test'";
+       },
+       [v](Timestamp ts) { return 25.0 * v * ApplicantShape(ts); }});
+  streams.push_back(
+      {"download_document",
+       [](Rng& rng) {
+         return "SELECT doc_type, uploaded_at FROM documents WHERE app_id = " +
+                std::to_string(rng.UniformInt(1, 80000)) + " AND doc_type = " +
+                std::to_string(rng.UniformInt(1, 8));
+       },
+       [v](Timestamp ts) { return 14.0 * v * ReviewShape(ts); }});
+  streams.push_back(
+      {"reviewer_scores",
+       [](Rng& rng) {
+         return "SELECT AVG(score), COUNT(*) FROM reviews WHERE app_id = " +
+                std::to_string(rng.UniformInt(1, 80000));
+       },
+       [v](Timestamp ts) { return 7.0 * v * ReviewShape(ts); }});
+  streams.push_back(
+      {"reminder_update",
+       [](Rng& rng) {
+         return "UPDATE recommendations SET received = 0 WHERE rec_id = " +
+                std::to_string(rng.UniformInt(1, 150000));
+       },
+       [v](Timestamp ts) {
+         // Reminder blasts go out nightly during application season only.
+         return 2.0 * v * ApplicantShape(ts) * HourBump(ts, 1.0, 0.6) * 8.0;
+       }});
+  streams.push_back(
+      {"dept_report",
+       [](Rng& rng) {
+         return "SELECT COUNT(*) FROM applications WHERE program_id IN (" +
+                std::to_string(rng.UniformInt(1, 40)) + ", " +
+                std::to_string(rng.UniformInt(41, 80)) + ", " +
+                std::to_string(rng.UniformInt(81, 120)) + ")";
+       },
+       [v](Timestamp ts) {
+         return 1.0 * v * WeekdayFactor(ts, 0.1) * HourBump(ts, 14.0, 2.0);
+       }});
+
+  return SyntheticWorkload("Admissions", "MySQL", std::move(schema),
+                           std::move(streams));
+}
+
+}  // namespace qb5000

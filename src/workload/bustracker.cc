@@ -1,0 +1,241 @@
+#include <string>
+
+#include "workload/patterns.h"
+#include "workload/workload.h"
+
+namespace qb5000 {
+namespace {
+
+/// Rush-hour shape shared by the rider-facing queries (Figure 1a): diurnal
+/// baseline with morning and evening commute peaks, quieter weekends, and
+/// a day-level demand drift (weather, events) that makes far-out horizons
+/// genuinely harder to predict than near ones.
+double RiderShape(Timestamp ts) {
+  double peaks = 1.6 * HourBump(ts, 8.0, 1.3) + 1.4 * HourBump(ts, 17.5, 1.6);
+  double drift =
+      1.0 + 0.25 * PseudoNoise(ts, /*salt=*/909, /*bucket=*/kSecondsPerDay);
+  return drift * WeekdayFactor(ts, 0.45) * (0.35 * DiurnalShape(ts) + peaks);
+}
+
+std::string RandomCoord(Rng& rng) {
+  return std::to_string(40.0 + rng.Uniform(0.0, 0.9)).substr(0, 8);
+}
+
+}  // namespace
+
+SyntheticWorkload MakeBusTracker(const WorkloadOptions& options) {
+  double v = options.volume_scale;
+
+  std::vector<TableSpec> schema = {
+      {"buses", {{"bus_id"}, {"route_id", ColumnSpec::Type::kInt, 80},
+                 {"lat", ColumnSpec::Type::kString, 100000},
+                 {"lon", ColumnSpec::Type::kString, 100000},
+                 {"updated_at", ColumnSpec::Type::kInt, 1000000}},
+       600},
+      {"bus_positions", {{"pos_id"}, {"bus_id", ColumnSpec::Type::kInt, 600},
+                         {"route_id", ColumnSpec::Type::kInt, 80},
+                         {"lat", ColumnSpec::Type::kString, 100000},
+                         {"lon", ColumnSpec::Type::kString, 100000},
+                         {"recorded_at", ColumnSpec::Type::kInt, 1000000}},
+       60000},
+      {"routes", {{"route_id"}, {"route_name", ColumnSpec::Type::kString, 80},
+                  {"is_active", ColumnSpec::Type::kInt, 2}},
+       80},
+      {"stops", {{"stop_id"}, {"route_id", ColumnSpec::Type::kInt, 80},
+                 {"stop_name", ColumnSpec::Type::kString, 2500},
+                 {"lat", ColumnSpec::Type::kString, 100000},
+                 {"lon", ColumnSpec::Type::kString, 100000}},
+       2500},
+      {"stop_times", {{"row_id"}, {"stop_id", ColumnSpec::Type::kInt, 2500},
+                      {"route_id", ColumnSpec::Type::kInt, 80},
+                      {"arrival_minute", ColumnSpec::Type::kInt, 1440}},
+       40000},
+      {"riders", {{"rider_id"}, {"email", ColumnSpec::Type::kString, 50000},
+                  {"created_at", ColumnSpec::Type::kInt, 1000000}},
+       50000},
+      {"favorites", {{"fav_id"}, {"rider_id", ColumnSpec::Type::kInt, 50000},
+                     {"stop_id", ColumnSpec::Type::kInt, 2500}},
+       120000},
+      {"alerts", {{"alert_id"}, {"route_id", ColumnSpec::Type::kInt, 80},
+                  {"severity", ColumnSpec::Type::kInt, 4},
+                  {"message", ColumnSpec::Type::kString, 500}},
+       500},
+  };
+
+  std::vector<TemplateStream> streams;
+
+  // Transit-feed ingest: steady, hardware-driven, day and night.
+  streams.push_back(
+      {"ingest_positions",
+       [](Rng& rng) {
+         return "INSERT INTO bus_positions (bus_id, route_id, lat, lon, "
+                "recorded_at) VALUES (" +
+                std::to_string(rng.UniformInt(1, 600)) + ", " +
+                std::to_string(rng.UniformInt(1, 80)) + ", '" + RandomCoord(rng) +
+                "', '" + RandomCoord(rng) + "', " +
+                std::to_string(rng.UniformInt(0, 1000000)) + ")";
+       },
+       [v](Timestamp) { return 60.0 * v; }});
+  streams.push_back(
+      {"refresh_bus",
+       [](Rng& rng) {
+         return "UPDATE buses SET lat = '" + RandomCoord(rng) + "', lon = '" +
+                RandomCoord(rng) + "', updated_at = " +
+                std::to_string(rng.UniformInt(0, 1000000)) +
+                " WHERE bus_id = " + std::to_string(rng.UniformInt(1, 600));
+       },
+       [v](Timestamp) { return 30.0 * v; }});
+
+  // Rider-facing group: these four share the rush-hour shape and should
+  // land in one cluster (the paper's Figure 3 cluster).
+  streams.push_back(
+      {"rider_next_arrivals",
+       [](Rng& rng) {
+         return "SELECT arrival_minute FROM stop_times WHERE stop_id = " +
+                std::to_string(rng.UniformInt(1, 2500)) +
+                " AND route_id = " + std::to_string(rng.UniformInt(1, 80)) +
+                " ORDER BY arrival_minute LIMIT 5";
+       },
+       [v](Timestamp ts) { return 220.0 * v * RiderShape(ts); }});
+  streams.push_back(
+      {"rider_bus_location",
+       [](Rng& rng) {
+         return "SELECT lat, lon, updated_at FROM buses WHERE route_id = " +
+                std::to_string(rng.UniformInt(1, 80));
+       },
+       [v](Timestamp ts) { return 150.0 * v * RiderShape(ts); }});
+  streams.push_back(
+      {"rider_nearby_stops",
+       [](Rng& rng) {
+         return "SELECT stop_id, stop_name, lat, lon FROM stops WHERE "
+                "route_id = " +
+                std::to_string(rng.UniformInt(1, 80)) + " LIMIT 10";
+       },
+       [v](Timestamp ts) { return 90.0 * v * RiderShape(ts); }});
+  streams.push_back(
+      {"rider_favorites",
+       [](Rng& rng) {
+         return "SELECT stop_id FROM favorites WHERE rider_id = " +
+                std::to_string(rng.UniformInt(1, 50000));
+       },
+       [v](Timestamp ts) { return 45.0 * v * RiderShape(ts); }});
+
+  // Alerts skew toward the evening commute.
+  streams.push_back(
+      {"rider_alerts",
+       [](Rng& rng) {
+         return "SELECT message, severity FROM alerts WHERE route_id = " +
+                std::to_string(rng.UniformInt(1, 80)) + " AND severity > 1";
+       },
+       [v](Timestamp ts) {
+         return 25.0 * v * WeekdayFactor(ts) *
+                (0.2 + 1.8 * HourBump(ts, 17.0, 2.5));
+       }});
+
+  // Registrations and favorites trickle in during the day.
+  streams.push_back(
+      {"signup",
+       [](Rng& rng) {
+         return "INSERT INTO riders (email, created_at) VALUES ('user" +
+                std::to_string(rng.UniformInt(1, 999999)) + "@example.com', " +
+                std::to_string(rng.UniformInt(0, 1000000)) + ")";
+       },
+       [v](Timestamp ts) { return 2.0 * v * DiurnalShape(ts); }});
+  streams.push_back(
+      {"add_favorite",
+       [](Rng& rng) {
+         return "INSERT INTO favorites (rider_id, stop_id) VALUES (" +
+                std::to_string(rng.UniformInt(1, 50000)) + ", " +
+                std::to_string(rng.UniformInt(1, 2500)) + ")";
+       },
+       [v](Timestamp ts) { return 4.0 * v * DiurnalShape(ts); }});
+
+  // Nightly retention job.
+  streams.push_back(
+      {"purge_stale_positions",
+       [](Rng& rng) {
+         return "DELETE FROM bus_positions WHERE recorded_at < " +
+                std::to_string(rng.UniformInt(0, 1000000));
+       },
+       [v](Timestamp ts) { return 1.5 * v * HourBump(ts, 3.0, 0.8); }});
+
+  // Long tail of secondary features with their own shapes: these form the
+  // small clusters behind the big rush-hour ones.
+  streams.push_back(
+      {"route_planner",
+       [](Rng& rng) {
+         return "SELECT stop_id, arrival_minute FROM stop_times WHERE "
+                "route_id = " +
+                std::to_string(rng.UniformInt(1, 80)) +
+                " AND arrival_minute BETWEEN " +
+                std::to_string(rng.UniformInt(0, 700)) + " AND " +
+                std::to_string(rng.UniformInt(701, 1439));
+       },
+       [v](Timestamp ts) {
+         return 12.0 * v * WeekdayFactor(ts) * HourBump(ts, 12.5, 3.0);
+       }});
+  streams.push_back(
+      {"driver_checkin",
+       [](Rng& rng) {
+         return "UPDATE buses SET updated_at = " +
+                std::to_string(rng.UniformInt(0, 1000000)) +
+                " WHERE route_id = " + std::to_string(rng.UniformInt(1, 80));
+       },
+       [v](Timestamp ts) {
+         return 8.0 * v * WeekdayFactor(ts, 0.7) * HourBump(ts, 5.0, 0.9);
+       }});
+  streams.push_back(
+      {"stop_detail_page",
+       [](Rng& rng) {
+         return "SELECT stop_name, lat, lon FROM stops WHERE stop_id = " +
+                std::to_string(rng.UniformInt(1, 2500));
+       },
+       [v](Timestamp ts) {
+         return 10.0 * v * (0.3 * DiurnalShape(ts) + HourBump(ts, 19.0, 2.2));
+       }});
+  streams.push_back(
+      {"weekend_schedule_browse",
+       [](Rng& rng) {
+         return "SELECT route_name FROM routes WHERE is_active = 1 AND "
+                "route_id > " +
+                std::to_string(rng.UniformInt(0, 79));
+       },
+       [v](Timestamp ts) {
+         // Inverse weekday pattern: leisure riders planning weekend trips.
+         double weekend = WeekdayFactor(ts, 2.5);
+         return 6.0 * v * DiurnalShape(ts) * weekend;
+       }});
+  streams.push_back(
+      {"ops_dashboard",
+       [](Rng& rng) {
+         return "SELECT COUNT(*), MAX(recorded_at) FROM bus_positions WHERE "
+                "route_id = " +
+                std::to_string(rng.UniformInt(1, 80));
+       },
+       [v](Timestamp ts) {
+         return 3.0 * v * WeekdayFactor(ts, 0.15) * HourBump(ts, 9.5, 3.5);
+       }});
+  streams.push_back(
+      {"remove_favorite",
+       [](Rng& rng) {
+         return "DELETE FROM favorites WHERE rider_id = " +
+                std::to_string(rng.UniformInt(1, 50000)) +
+                " AND stop_id = " + std::to_string(rng.UniformInt(1, 2500));
+       },
+       [v](Timestamp ts) { return 1.2 * v * DiurnalShape(ts); }});
+  streams.push_back(
+      {"alert_publish",
+       [](Rng& rng) {
+         return "INSERT INTO alerts (route_id, severity, message) VALUES (" +
+                std::to_string(rng.UniformInt(1, 80)) + ", " +
+                std::to_string(rng.UniformInt(1, 4)) + ", 'detour notice')";
+       },
+       [v](Timestamp ts) {
+         return 0.8 * v * WeekdayFactor(ts, 0.4) * DiurnalShape(ts);
+       }});
+
+  return SyntheticWorkload("BusTracker", "PostgreSQL", std::move(schema),
+                           std::move(streams));
+}
+
+}  // namespace qb5000

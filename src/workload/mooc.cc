@@ -1,0 +1,277 @@
+#include <string>
+
+#include "workload/patterns.h"
+#include "workload/workload.h"
+
+namespace qb5000 {
+namespace {
+
+/// Day the application ships its new feature (Figure 1c's "New Release").
+constexpr int64_t kReleaseDay = 45;
+constexpr Timestamp kRelease = kReleaseDay * kSecondsPerDay;
+
+double StudentShape(Timestamp ts) {
+  // Students work during the day with a strong late-evening bump before
+  // assignment due-times.
+  return WeekdayFactor(ts, 0.8) *
+         (0.5 * DiurnalShape(ts) + 1.2 * HourBump(ts, 21.0, 2.0));
+}
+
+/// Post-release adoption: ramps from 0 to 1 over ~10 days after launch.
+double AdoptionRamp(Timestamp ts) {
+  if (ts < kRelease) return 0.0;
+  double days = static_cast<double>(ts - kRelease) /
+                static_cast<double>(kSecondsPerDay);
+  return 1.0 - std::exp(-days / 10.0);
+}
+
+}  // namespace
+
+SyntheticWorkload MakeMooc(const WorkloadOptions& options) {
+  double v = options.volume_scale;
+
+  std::vector<TableSpec> schema = {
+      {"courses", {{"course_id"},
+                   {"title", ColumnSpec::Type::kString, 800},
+                   {"instructor_id", ColumnSpec::Type::kInt, 300}},
+       800},
+      {"students", {{"student_id"},
+                    {"email", ColumnSpec::Type::kString, 90000},
+                    {"joined_at", ColumnSpec::Type::kInt, 1000000}},
+       90000},
+      {"enrollments", {{"enroll_id"},
+                       {"student_id", ColumnSpec::Type::kInt, 90000},
+                       {"course_id", ColumnSpec::Type::kInt, 800},
+                       {"enrolled_at", ColumnSpec::Type::kInt, 1000000}},
+       250000},
+      {"materials", {{"material_id"},
+                     {"course_id", ColumnSpec::Type::kInt, 800},
+                     {"kind", ColumnSpec::Type::kInt, 6},
+                     {"title", ColumnSpec::Type::kString, 20000}},
+       20000},
+      {"assignments", {{"assignment_id"},
+                       {"course_id", ColumnSpec::Type::kInt, 800},
+                       {"due_at", ColumnSpec::Type::kInt, 1000000}},
+       8000},
+      {"submissions", {{"submission_id"},
+                       {"assignment_id", ColumnSpec::Type::kInt, 8000},
+                       {"student_id", ColumnSpec::Type::kInt, 90000},
+                       {"submitted_at", ColumnSpec::Type::kInt, 1000000},
+                       {"grade", ColumnSpec::Type::kInt, 101}},
+       400000},
+      {"forum_posts", {{"post_id"},
+                       {"course_id", ColumnSpec::Type::kInt, 800},
+                       {"student_id", ColumnSpec::Type::kInt, 90000},
+                       {"created_at", ColumnSpec::Type::kInt, 1000000},
+                       {"body", ColumnSpec::Type::kString, 500000}},
+       300000},
+      {"quiz_attempts", {{"attempt_id"},
+                         {"student_id", ColumnSpec::Type::kInt, 90000},
+                         {"quiz_id", ColumnSpec::Type::kInt, 4000},
+                         {"score", ColumnSpec::Type::kInt, 101},
+                         {"attempted_at", ColumnSpec::Type::kInt, 1000000}},
+       150000},
+  };
+
+  std::vector<TemplateStream> streams;
+
+  // Stable student group (always on).
+  streams.push_back(
+      {"view_materials",
+       [](Rng& rng) {
+         return "SELECT title, kind FROM materials WHERE course_id = " +
+                std::to_string(rng.UniformInt(1, 800)) + " ORDER BY material_id";
+       },
+       [v](Timestamp ts) { return 140.0 * v * StudentShape(ts); }});
+  streams.push_back(
+      {"list_assignments",
+       [](Rng& rng) {
+         return "SELECT assignment_id, due_at FROM assignments WHERE "
+                "course_id = " +
+                std::to_string(rng.UniformInt(1, 800));
+       },
+       [v](Timestamp ts) { return 70.0 * v * StudentShape(ts); }});
+  streams.push_back(
+      {"submit_assignment",
+       [](Rng& rng) {
+         return "INSERT INTO submissions (assignment_id, student_id, "
+                "submitted_at, grade) VALUES (" +
+                std::to_string(rng.UniformInt(1, 8000)) + ", " +
+                std::to_string(rng.UniformInt(1, 90000)) + ", " +
+                std::to_string(rng.UniformInt(0, 1000000)) + ", 0)";
+       },
+       [v](Timestamp ts) { return 25.0 * v * StudentShape(ts); }});
+  streams.push_back(
+      {"check_grades",
+       [](Rng& rng) {
+         return "SELECT grade FROM submissions WHERE student_id = " +
+                std::to_string(rng.UniformInt(1, 90000)) +
+                " AND assignment_id = " + std::to_string(rng.UniformInt(1, 8000));
+       },
+       [v](Timestamp ts) { return 55.0 * v * StudentShape(ts); }});
+  streams.push_back(
+      {"enroll",
+       [](Rng& rng) {
+         return "INSERT INTO enrollments (student_id, course_id, enrolled_at) "
+                "VALUES (" +
+                std::to_string(rng.UniformInt(1, 90000)) + ", " +
+                std::to_string(rng.UniformInt(1, 800)) + ", " +
+                std::to_string(rng.UniformInt(0, 1000000)) + ")";
+       },
+       [v](Timestamp ts) { return 6.0 * v * DiurnalShape(ts); }});
+
+  // Instructor group: mornings, weekdays.
+  streams.push_back(
+      {"grade_submissions",
+       [](Rng& rng) {
+         return "UPDATE submissions SET grade = " +
+                std::to_string(rng.UniformInt(0, 100)) +
+                " WHERE submission_id = " +
+                std::to_string(rng.UniformInt(1, 400000));
+       },
+       [v](Timestamp ts) {
+         return 20.0 * v * WeekdayFactor(ts, 0.25) * HourBump(ts, 10.0, 2.5);
+       }});
+  streams.push_back(
+      {"upload_material",
+       [](Rng& rng) {
+         return "INSERT INTO materials (course_id, kind, title) VALUES (" +
+                std::to_string(rng.UniformInt(1, 800)) + ", " +
+                std::to_string(rng.UniformInt(1, 6)) + ", 'lecture " +
+                std::to_string(rng.UniformInt(1, 9999)) + "')";
+       },
+       [v](Timestamp ts) {
+         return 3.0 * v * WeekdayFactor(ts, 0.25) * HourBump(ts, 10.0, 2.5);
+       }});
+
+  // Legacy feature retired at the release (workload evolution, out).
+  streams.push_back(
+      {"legacy_progress_page",
+       [](Rng& rng) {
+         return "SELECT submitted_at FROM submissions WHERE student_id = " +
+                std::to_string(rng.UniformInt(1, 90000)) +
+                " ORDER BY submitted_at DESC LIMIT 20";
+       },
+       [v](Timestamp ts) { return 35.0 * v * StudentShape(ts); },
+       0, kRelease});
+
+  // New feature launched at the release (workload evolution, in): quizzes
+  // and a redesigned forum.
+  streams.push_back(
+      {"quiz_attempt",
+       [](Rng& rng) {
+         return "INSERT INTO quiz_attempts (student_id, quiz_id, score, "
+                "attempted_at) VALUES (" +
+                std::to_string(rng.UniformInt(1, 90000)) + ", " +
+                std::to_string(rng.UniformInt(1, 4000)) + ", " +
+                std::to_string(rng.UniformInt(0, 100)) + ", " +
+                std::to_string(rng.UniformInt(0, 1000000)) + ")";
+       },
+       [v](Timestamp ts) { return 50.0 * v * StudentShape(ts) * AdoptionRamp(ts); },
+       kRelease});
+  streams.push_back(
+      {"quiz_leaderboard",
+       [](Rng& rng) {
+         return "SELECT student_id, MAX(score) FROM quiz_attempts WHERE "
+                "quiz_id = " +
+                std::to_string(rng.UniformInt(1, 4000)) +
+                " GROUP BY student_id ORDER BY MAX(score) DESC LIMIT 10";
+       },
+       [v](Timestamp ts) { return 30.0 * v * StudentShape(ts) * AdoptionRamp(ts); },
+       kRelease});
+  streams.push_back(
+      {"forum_feed",
+       [](Rng& rng) {
+         return "SELECT post_id, body FROM forum_posts WHERE course_id = " +
+                std::to_string(rng.UniformInt(1, 800)) +
+                " ORDER BY created_at DESC LIMIT 30";
+       },
+       [v](Timestamp ts) { return 45.0 * v * StudentShape(ts) * AdoptionRamp(ts); },
+       kRelease});
+  streams.push_back(
+      {"forum_post",
+       [](Rng& rng) {
+         return "INSERT INTO forum_posts (course_id, student_id, created_at, "
+                "body) VALUES (" +
+                std::to_string(rng.UniformInt(1, 800)) + ", " +
+                std::to_string(rng.UniformInt(1, 90000)) + ", " +
+                std::to_string(rng.UniformInt(0, 1000000)) + ", 'post text')";
+       },
+       [v](Timestamp ts) { return 12.0 * v * StudentShape(ts) * AdoptionRamp(ts); },
+       kRelease});
+
+  // Secondary student features with their own shapes.
+  streams.push_back(
+      {"course_search",
+       [](Rng& rng) {
+         return "SELECT course_id, title FROM courses WHERE instructor_id = " +
+                std::to_string(rng.UniformInt(1, 300)) + " LIMIT 20";
+       },
+       [v](Timestamp ts) { return 18.0 * v * DiurnalShape(ts); }});
+  streams.push_back(
+      {"deadline_rush_list",
+       [](Rng& rng) {
+         return "SELECT assignment_id FROM assignments WHERE due_at BETWEEN " +
+                std::to_string(rng.UniformInt(0, 500000)) + " AND " +
+                std::to_string(rng.UniformInt(500001, 1000000)) +
+                " ORDER BY due_at LIMIT 10";
+       },
+       [v](Timestamp ts) {
+         return 9.0 * v * HourBump(ts, 22.5, 1.2);  // last-minute checkers
+       }});
+  streams.push_back(
+      {"drop_enrollment",
+       [](Rng& rng) {
+         return "DELETE FROM enrollments WHERE student_id = " +
+                std::to_string(rng.UniformInt(1, 90000)) + " AND course_id = " +
+                std::to_string(rng.UniformInt(1, 800));
+       },
+       [v](Timestamp ts) { return 1.0 * v * DiurnalShape(ts); }});
+
+  // Long tail of instructor-built course dashboards appearing over time:
+  // drives the accumulating distinct-template curve of Figure 1c. Each
+  // stream is structurally unique (different table / aggregate / filter
+  // combination) so each one registers as a new template.
+  const char* kAggs[] = {"COUNT(*)", "AVG(grade)", "MAX(submitted_at)"};
+  const char* kTables[] = {"submissions", "quiz_attempts", "forum_posts",
+                           "enrollments"};
+  const char* kIdColumns[] = {"assignment_id", "quiz_id", "course_id",
+                              "course_id"};
+  const char* kAggsQuiz[] = {"COUNT(*)", "AVG(score)", "MAX(attempted_at)"};
+  const char* kAggsForum[] = {"COUNT(*)", "MIN(created_at)", "MAX(created_at)"};
+  const char* kAggsEnroll[] = {"COUNT(*)", "MIN(enrolled_at)",
+                               "MAX(enrolled_at)"};
+  for (int i = 0; i < 24; ++i) {
+    int table = i % 4;
+    int agg = (i / 4) % 3;
+    bool extra = (i / 12) % 2 == 1;
+    const char* agg_expr = table == 0   ? kAggs[agg]
+                           : table == 1 ? kAggsQuiz[agg]
+                           : table == 2 ? kAggsForum[agg]
+                                        : kAggsEnroll[agg];
+    std::string base = std::string("SELECT ") + agg_expr + " FROM " +
+                       kTables[table] + " WHERE " + kIdColumns[table] + " = ";
+    std::string extra_pred =
+        extra ? std::string(" AND student_id > ") : std::string();
+    Timestamp appears = (5 + 4 * i) * kSecondsPerDay;
+    streams.push_back(
+        {"custom_dashboard_" + std::to_string(i),
+         [base, extra_pred](Rng& rng) {
+           std::string sql = base + std::to_string(rng.UniformInt(1, 4000));
+           if (!extra_pred.empty()) {
+             sql += extra_pred + std::to_string(rng.UniformInt(1, 90000));
+           }
+           return sql;
+         },
+         [v, appears](Timestamp ts) {
+           if (ts < appears) return 0.0;
+           return 1.5 * v * DiurnalShape(ts);
+         },
+         appears});
+  }
+
+  return SyntheticWorkload("MOOC", "MySQL", std::move(schema),
+                           std::move(streams));
+}
+
+}  // namespace qb5000

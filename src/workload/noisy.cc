@@ -1,0 +1,97 @@
+#include <string>
+#include <vector>
+
+#include "workload/patterns.h"
+#include "workload/workload.h"
+
+namespace qb5000 {
+namespace {
+
+/// Appendix D runs eight OLTP-Bench benchmarks back-to-back, 10 hours each.
+constexpr int64_t kSegmentSeconds = 10 * kSecondsPerHour;
+
+struct BenchmarkSpec {
+  const char* name;
+  const char* table;
+  double mean_rate;  ///< queries/min at volume_scale 1
+};
+
+/// Mean arrival rates differ per benchmark so the segment boundaries are
+/// visible level shifts, as in Figure 17.
+constexpr BenchmarkSpec kBenchmarks[] = {
+    {"wikipedia", "wiki_page", 220.0}, {"tatp", "tatp_subscriber", 340.0},
+    {"ycsb", "ycsb_usertable", 160.0}, {"smallbank", "sb_accounts", 420.0},
+    {"tpcc", "tpcc_orders", 120.0},    {"twitter", "tw_tweets", 520.0},
+    {"epinions", "ep_reviews", 90.0},  {"voter", "vt_votes", 610.0},
+};
+
+/// White noise with variance equal to 50% of the mean, plus occasional
+/// anomaly spikes (Appendix D), all deterministic in the timestamp.
+double Noisy(double mean, Timestamp ts, uint64_t salt) {
+  double noise = PseudoNoise(ts, salt) * std::sqrt(0.5 * mean);
+  double spike = 0.0;
+  // ~1 anomaly per segment: minute buckets where the hash falls in a narrow
+  // band get a short multiplicative burst.
+  double h = PseudoNoise(ts, salt * 7919 + 13, 20 * kSecondsPerMinute);
+  if (h > 0.995) spike = 2.5 * mean;
+  double v = mean + noise + spike;
+  return v > 0.0 ? v : 0.0;
+}
+
+}  // namespace
+
+SyntheticWorkload MakeNoisyComposite(const WorkloadOptions& options) {
+  double v = options.volume_scale;
+
+  std::vector<TableSpec> schema;
+  std::vector<TemplateStream> streams;
+  int index = 0;
+  for (const BenchmarkSpec& bench : kBenchmarks) {
+    std::string table = bench.table;
+    schema.push_back({table,
+                      {{"id"},
+                       {"k", ColumnSpec::Type::kInt, 100000},
+                       {"v", ColumnSpec::Type::kString, 100000},
+                       {"t", ColumnSpec::Type::kInt, 1000000}},
+                      50000});
+    Timestamp begin = index * kSegmentSeconds;
+    Timestamp end = begin + kSegmentSeconds;
+    double mean = bench.mean_rate * v;
+    uint64_t salt = 1000 + static_cast<uint64_t>(index);
+
+    // Three templates per benchmark: point SELECT, write, scan-style read.
+    streams.push_back(
+        {std::string(bench.name) + "_read",
+         [table](Rng& rng) {
+           return "SELECT v FROM " + table +
+                  " WHERE id = " + std::to_string(rng.UniformInt(1, 50000));
+         },
+         [mean, salt](Timestamp ts) { return Noisy(0.6 * mean, ts, salt); },
+         begin, end});
+    streams.push_back(
+        {std::string(bench.name) + "_write",
+         [table](Rng& rng) {
+           return "UPDATE " + table + " SET v = 'x" +
+                  std::to_string(rng.UniformInt(1, 99999)) +
+                  "', t = " + std::to_string(rng.UniformInt(0, 1000000)) +
+                  " WHERE id = " + std::to_string(rng.UniformInt(1, 50000));
+         },
+         [mean, salt](Timestamp ts) { return Noisy(0.3 * mean, ts, salt + 1); },
+         begin, end});
+    streams.push_back(
+        {std::string(bench.name) + "_scan",
+         [table](Rng& rng) {
+           return "SELECT id, v FROM " + table + " WHERE k BETWEEN " +
+                  std::to_string(rng.UniformInt(1, 50000)) + " AND " +
+                  std::to_string(rng.UniformInt(50001, 100000)) + " LIMIT 50";
+         },
+         [mean, salt](Timestamp ts) { return Noisy(0.1 * mean, ts, salt + 2); },
+         begin, end});
+    ++index;
+  }
+
+  return SyntheticWorkload("NoisyComposite", "OLTP-Bench", std::move(schema),
+                           std::move(streams));
+}
+
+}  // namespace qb5000

@@ -1,0 +1,81 @@
+#ifndef QB5000_WORKLOAD_PATTERNS_H_
+#define QB5000_WORKLOAD_PATTERNS_H_
+
+#include <cmath>
+
+#include "common/clock.h"
+
+namespace qb5000 {
+
+/// Fraction of the day in [0, 1) at `ts`.
+inline double DayFraction(Timestamp ts) {
+  int64_t rem = ts % kSecondsPerDay;
+  if (rem < 0) rem += kSecondsPerDay;
+  return static_cast<double>(rem) / static_cast<double>(kSecondsPerDay);
+}
+
+/// Day index (0-based) of `ts`.
+inline int64_t DayIndex(Timestamp ts) {
+  int64_t day = ts / kSecondsPerDay;
+  if (ts < 0 && day * kSecondsPerDay > ts) --day;
+  return day;
+}
+
+/// Smooth bump centered at `center_hour` with the given width (hours),
+/// peaking at 1. Used to compose rush-hour peaks.
+inline double HourBump(Timestamp ts, double center_hour, double width_hours) {
+  double hour = DayFraction(ts) * 24.0;
+  double d = hour - center_hour;
+  // Wrap across midnight.
+  if (d > 12.0) d -= 24.0;
+  if (d < -12.0) d += 24.0;
+  return std::exp(-(d * d) / (2.0 * width_hours * width_hours));
+}
+
+/// Generic human diurnal curve: low overnight, high during the day.
+inline double DiurnalShape(Timestamp ts) {
+  double hour = DayFraction(ts) * 24.0;
+  return 0.25 + 0.75 * 0.5 * (1.0 - std::cos(2.0 * M_PI * (hour - 4.0) / 24.0));
+}
+
+/// Weekday factor: ~1 on weekdays, `weekend_level` on days 5 and 6 of each
+/// 7-day cycle.
+inline double WeekdayFactor(Timestamp ts, double weekend_level = 0.6) {
+  int64_t dow = DayIndex(ts) % 7;
+  if (dow < 0) dow += 7;
+  return (dow == 5 || dow == 6) ? weekend_level : 1.0;
+}
+
+/// Exponential pressure building toward a deadline at `deadline` with time
+/// constant `tau_days`, collapsing to `after_level` once passed (Figure 1b).
+inline double DeadlinePressure(Timestamp ts, Timestamp deadline, double tau_days,
+                               double after_level = 0.15) {
+  if (ts > deadline) return after_level;
+  double days_left =
+      static_cast<double>(deadline - ts) / static_cast<double>(kSecondsPerDay);
+  return std::exp(-days_left / tau_days);
+}
+
+/// Gaussian spike of height 1 centered at `center` with width `width_hours`.
+inline double SpikeAt(Timestamp ts, Timestamp center, double width_hours) {
+  double dh = static_cast<double>(ts - center) / static_cast<double>(kSecondsPerHour);
+  return std::exp(-(dh * dh) / (2.0 * width_hours * width_hours));
+}
+
+/// Deterministic pseudo-noise in [-1, 1] derived from (bucket, salt) via
+/// splitmix64. Lets rate functions carry reproducible white noise without
+/// threading an Rng through them.
+inline double PseudoNoise(Timestamp ts, uint64_t salt,
+                          int64_t bucket_seconds = kSecondsPerMinute) {
+  uint64_t z = static_cast<uint64_t>(ts / bucket_seconds) * 0x9E3779B97F4A7C15ULL +
+               salt * 0xBF58476D1CE4E5B9ULL;
+  z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ULL;
+  z = (z ^ (z >> 27)) * 0x94D049BB133111EBULL;
+  z ^= z >> 31;
+  return 2.0 * (static_cast<double>(z >> 11) /
+                static_cast<double>(1ULL << 53)) - 1.0;
+}
+
+}  // namespace qb5000
+
+#endif  // QB5000_WORKLOAD_PATTERNS_H_

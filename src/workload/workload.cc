@@ -1,0 +1,81 @@
+#include "workload/workload.h"
+
+#include <algorithm>
+#include <set>
+
+#include "preprocessor/templatizer.h"
+
+namespace qb5000 {
+
+Status SyntheticWorkload::FeedAggregated(PreProcessor& pre, Timestamp from,
+                                         Timestamp to, int64_t step_seconds,
+                                         uint64_t seed) const {
+  if (step_seconds <= 0) return Status::InvalidArgument("bad step");
+  Rng rng(seed);
+  double step_minutes =
+      static_cast<double>(step_seconds) / static_cast<double>(kSecondsPerMinute);
+  for (const auto& stream : streams_) {
+    // Templatize a representative materialization once per stream.
+    auto tmpl = Templatize(stream.make_sql(rng));
+    if (!tmpl.ok()) return tmpl.status();
+    Timestamp begin = std::max(from, stream.active_from);
+    Timestamp end = std::min(to, stream.active_until);
+    for (Timestamp ts = begin; ts < end; ts += step_seconds) {
+      double expected = stream.rate_per_minute(ts) * step_minutes;
+      if (expected <= 0.0) continue;
+      double count = expected < 50.0
+                         ? static_cast<double>(rng.Poisson(expected))
+                         : std::max(0.0, expected + rng.Gaussian(0.0, std::sqrt(expected)));
+      if (count <= 0.0) continue;
+      pre.IngestTemplatized(*tmpl, ts, count);
+    }
+  }
+  return Status::Ok();
+}
+
+std::vector<TraceEvent> SyntheticWorkload::Materialize(
+    Timestamp from, Timestamp to, int64_t step_seconds, uint64_t seed,
+    double volume_scale, int64_t max_per_step) const {
+  Rng rng(seed);
+  std::vector<TraceEvent> events;
+  double step_minutes =
+      static_cast<double>(step_seconds) / static_cast<double>(kSecondsPerMinute);
+  for (const auto& stream : streams_) {
+    Timestamp begin = std::max(from, stream.active_from);
+    Timestamp end = std::min(to, stream.active_until);
+    for (Timestamp ts = begin; ts < end; ts += step_seconds) {
+      double expected = stream.rate_per_minute(ts) * step_minutes * volume_scale;
+      if (expected <= 0.0) continue;
+      int64_t count = std::min(rng.Poisson(expected), max_per_step);
+      for (int64_t i = 0; i < count; ++i) {
+        Timestamp jitter = rng.UniformInt(0, step_seconds - 1);
+        events.push_back({ts + jitter, stream.make_sql(rng)});
+      }
+    }
+  }
+  std::sort(events.begin(), events.end(),
+            [](const TraceEvent& a, const TraceEvent& b) {
+              return a.timestamp < b.timestamp;
+            });
+  return events;
+}
+
+WorkloadStats SyntheticWorkload::Stats(const PreProcessor& pre,
+                                       double trace_days) const {
+  WorkloadStats stats;
+  stats.workload = label_;
+  stats.dbms = dbms_label_;
+  std::set<std::string> tables;
+  for (const auto& table : schema_) tables.insert(table.name);
+  stats.num_tables = tables.size();
+  stats.trace_days = trace_days;
+  stats.selects = pre.QueriesOfType(sql::StatementType::kSelect);
+  stats.inserts = pre.QueriesOfType(sql::StatementType::kInsert);
+  stats.updates = pre.QueriesOfType(sql::StatementType::kUpdate);
+  stats.deletes = pre.QueriesOfType(sql::StatementType::kDelete);
+  stats.avg_queries_per_day =
+      trace_days > 0 ? pre.total_queries() / trace_days : 0;
+  return stats;
+}
+
+}  // namespace qb5000

@@ -1,0 +1,368 @@
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "clusterer/feature.h"
+#include "clusterer/kdtree.h"
+#include "clusterer/online_clusterer.h"
+#include "math/stats.h"
+
+namespace qb5000 {
+namespace {
+
+TEST(KdTreeTest, EmptyTreeReturnsMinusOne) {
+  KdTree tree;
+  EXPECT_EQ(tree.Nearest({1.0, 2.0}).index, -1);
+}
+
+TEST(KdTreeTest, SinglePoint) {
+  KdTree tree;
+  tree.Build({{1.0, 2.0}});
+  auto nn = tree.Nearest({0.0, 0.0});
+  EXPECT_EQ(nn.index, 0);
+  EXPECT_DOUBLE_EQ(nn.distance_squared, 5.0);
+}
+
+TEST(KdTreeTest, MatchesLinearScan) {
+  Rng rng(5);
+  std::vector<Vector> points;
+  for (int i = 0; i < 200; ++i) {
+    points.push_back({rng.Uniform(-10, 10), rng.Uniform(-10, 10),
+                      rng.Uniform(-10, 10), rng.Uniform(-10, 10)});
+  }
+  KdTree tree;
+  tree.Build(points);
+  for (int q = 0; q < 50; ++q) {
+    Vector query = {rng.Uniform(-12, 12), rng.Uniform(-12, 12),
+                    rng.Uniform(-12, 12), rng.Uniform(-12, 12)};
+    auto nn = tree.Nearest(query);
+    // Exact linear scan.
+    int best = -1;
+    double best_d = 1e300;
+    for (size_t i = 0; i < points.size(); ++i) {
+      double d = SquaredL2Distance(points[i], query);
+      if (d < best_d) {
+        best_d = d;
+        best = static_cast<int>(i);
+      }
+    }
+    EXPECT_EQ(nn.index, best);
+    EXPECT_NEAR(nn.distance_squared, best_d, 1e-12);
+  }
+}
+
+// Feeds a sinusoidal arrival pattern into a history.
+ArrivalHistory MakePattern(double phase, double scale, int days) {
+  ArrivalHistory h;
+  for (int m = 0; m < days * 24 * 60; ++m) {
+    double t = static_cast<double>(m) / (24 * 60);
+    double rate = scale * (1.5 + std::sin(2 * M_PI * t + phase));
+    h.Record(static_cast<Timestamp>(m) * kSecondsPerMinute, rate);
+  }
+  return h;
+}
+
+TEST(ArrivalRateFeatureTest, SampledDimensionsAndDeterminism) {
+  ArrivalRateFeature::Options opts;
+  opts.num_samples = 64;
+  opts.window_seconds = 2 * kSecondsPerDay;
+  ArrivalRateFeature f1(opts);
+  ArrivalRateFeature f2(opts);
+  f1.Resample(3 * kSecondsPerDay);
+  f2.Resample(3 * kSecondsPerDay);
+  EXPECT_EQ(f1.sample_times(), f2.sample_times());
+  ArrivalHistory h = MakePattern(0.0, 10.0, 3);
+  EXPECT_EQ(f1.Extract(h).size(), 64u);
+  EXPECT_EQ(f1.Extract(h), f2.Extract(h));
+}
+
+TEST(ArrivalRateFeatureTest, ScaledPatternsAreCosineSimilar) {
+  ArrivalRateFeature::Options opts;
+  opts.num_samples = 128;
+  opts.window_seconds = 3 * kSecondsPerDay;
+  ArrivalRateFeature f(opts);
+  f.Resample(3 * kSecondsPerDay);
+  ArrivalHistory a = MakePattern(0.0, 10.0, 3);
+  ArrivalHistory b = MakePattern(0.0, 100.0, 3);   // same shape, 10x volume
+  ArrivalHistory c = MakePattern(M_PI, 10.0, 3);   // opposite phase
+  double sim_ab = CosineSimilarity(f.Extract(a), f.Extract(b));
+  double sim_ac = CosineSimilarity(f.Extract(a), f.Extract(c));
+  EXPECT_GT(sim_ab, 0.99);
+  EXPECT_LT(sim_ac, 0.9);
+}
+
+TEST(ArrivalRateFeatureTest, EmptyHistoryIsZeroVector) {
+  ArrivalRateFeature f;
+  f.Resample(kSecondsPerDay);
+  ArrivalHistory empty;
+  Vector v = f.Extract(empty);
+  EXPECT_DOUBLE_EQ(Norm(v), 0.0);
+}
+
+PreProcessor::TemplateInfo MakeTemplate(const std::string& sql) {
+  PreProcessor pre;
+  auto id = pre.Ingest(sql, 0);
+  EXPECT_TRUE(id.ok());
+  PreProcessor::TemplateInfo copy(1);
+  const auto* info = pre.GetTemplate(*id);
+  copy.text = info->text;
+  copy.type = info->type;
+  copy.tables = info->tables;
+  return copy;
+}
+
+TEST(LogicalFeatureTest, DistinguishesTypeAndTables) {
+  auto a = LogicalFeature::Extract(
+      MakeTemplate("SELECT x FROM alpha WHERE id = 1"));
+  auto b = LogicalFeature::Extract(
+      MakeTemplate("SELECT x FROM beta WHERE id = 1"));
+  auto c = LogicalFeature::Extract(
+      MakeTemplate("DELETE FROM alpha WHERE id = 1"));
+  EXPECT_GT(SquaredL2Distance(a, b), 0.0);
+  EXPECT_GT(SquaredL2Distance(a, c), 0.0);
+  EXPECT_EQ(a.size(), LogicalFeature::kDimension);
+}
+
+TEST(LogicalFeatureTest, IdenticalStructureIdenticalFeature) {
+  auto a = LogicalFeature::Extract(
+      MakeTemplate("SELECT x FROM alpha WHERE id = 5"));
+  auto b = LogicalFeature::Extract(
+      MakeTemplate("SELECT x FROM alpha WHERE id = 999"));
+  EXPECT_DOUBLE_EQ(SquaredL2Distance(a, b), 0.0);
+}
+
+TEST(LogicalFeatureTest, CountsJoinsAndAggregates) {
+  auto simple = LogicalFeature::Extract(MakeTemplate("SELECT x FROM t"));
+  auto fancy = LogicalFeature::Extract(MakeTemplate(
+      "SELECT COUNT(*), SUM(v) FROM t JOIN u ON t.id = u.id GROUP BY g"));
+  EXPECT_GT(SquaredL2Distance(simple, fancy), 1.0);
+}
+
+// Builds a PreProcessor with `n` templates per pattern group; patterns are
+// sinusoids with group-specific phase.
+void FillWorkload(PreProcessor& pre, int groups, int per_group, int days) {
+  for (int g = 0; g < groups; ++g) {
+    for (int k = 0; k < per_group; ++k) {
+      std::string sql = "SELECT c" + std::to_string(g) + "_" + std::to_string(k) +
+                        " FROM t" + std::to_string(g) + " WHERE id = 1";
+      auto tmpl = Templatize(sql);
+      ASSERT_TRUE(tmpl.ok());
+      double phase = g * 2.0 * M_PI / groups;
+      for (int h = 0; h < days * 24; ++h) {
+        double t = static_cast<double>(h) / 24.0;
+        double rate = (k + 1) * 50.0 * (1.5 + std::sin(2 * M_PI * t + phase));
+        // One aggregated record per hour keeps the test fast.
+        pre.IngestTemplatized(*tmpl, static_cast<Timestamp>(h) * kSecondsPerHour,
+                              rate);
+      }
+    }
+  }
+}
+
+OnlineClusterer::Options FastOptions() {
+  OnlineClusterer::Options opts;
+  opts.feature.num_samples = 96;
+  opts.feature.window_seconds = 3 * kSecondsPerDay;
+  return opts;
+}
+
+TEST(OnlineClustererTest, GroupsSimilarPatternsSeparatesDissimilar) {
+  PreProcessor pre;
+  FillWorkload(pre, 3, 4, 3);
+  OnlineClusterer clusterer(FastOptions());
+  clusterer.Update(pre, 3 * kSecondsPerDay);
+  EXPECT_EQ(clusterer.clusters().size(), 3u);
+  // Templates from one group share a cluster.
+  auto ids = pre.TemplateIds();
+  ASSERT_EQ(ids.size(), 12u);
+  for (int g = 0; g < 3; ++g) {
+    ClusterId first = clusterer.AssignmentOf(ids[g * 4]);
+    for (int k = 1; k < 4; ++k) {
+      EXPECT_EQ(clusterer.AssignmentOf(ids[g * 4 + k]), first);
+    }
+  }
+}
+
+TEST(OnlineClustererTest, VolumeRankingAndTotal) {
+  PreProcessor pre;
+  FillWorkload(pre, 2, 2, 2);
+  OnlineClusterer clusterer(FastOptions());
+  clusterer.Update(pre, 2 * kSecondsPerDay);
+  auto top = clusterer.TopClustersByVolume(5);
+  ASSERT_EQ(top.size(), 2u);
+  const auto& clusters = clusterer.clusters();
+  EXPECT_GE(clusters.at(top[0]).volume, clusters.at(top[1]).volume);
+  EXPECT_NEAR(clusterer.TotalVolume(),
+              clusters.at(top[0]).volume + clusters.at(top[1]).volume, 1e-9);
+}
+
+TEST(OnlineClustererTest, NewTemplateJoinsExistingCluster) {
+  PreProcessor pre;
+  FillWorkload(pre, 2, 3, 4);
+  OnlineClusterer clusterer(FastOptions());
+  clusterer.Update(pre, 3 * kSecondsPerDay);
+  ASSERT_EQ(clusterer.clusters().size(), 2u);
+  // A new template with group-0 phase first appears on day 3: it only has
+  // one day of history, so the coverage-masked similarity rule applies.
+  auto tmpl = Templatize("SELECT newcol FROM t0 WHERE id = 1");
+  ASSERT_TRUE(tmpl.ok());
+  for (int h = 3 * 24; h < 4 * 24; ++h) {
+    double t = static_cast<double>(h) / 24.0;
+    double rate = 80.0 * (1.5 + std::sin(2 * M_PI * t));
+    pre.IngestTemplatized(*tmpl, static_cast<Timestamp>(h) * kSecondsPerHour, rate);
+  }
+  auto ids = pre.TemplateIds();
+  TemplateId new_id = ids.back();
+  clusterer.Update(pre, 4 * kSecondsPerDay);
+  EXPECT_EQ(clusterer.clusters().size(), 2u);
+  // It must share a cluster with the first group-0 template.
+  EXPECT_EQ(clusterer.AssignmentOf(new_id), clusterer.AssignmentOf(ids[0]));
+}
+
+TEST(OnlineClustererTest, DriftingTemplateMoves) {
+  PreProcessor pre;
+  auto stable = Templatize("SELECT a FROM t0 WHERE id = 1");
+  auto stable2 = Templatize("SELECT b FROM t0 WHERE id = 1");
+  auto drifter = Templatize("SELECT c FROM t0 WHERE id = 1");
+  ASSERT_TRUE(stable.ok() && stable2.ok() && drifter.ok());
+  // Days 0-2: all three share the same diurnal pattern.
+  for (int h = 0; h < 3 * 24; ++h) {
+    double t = static_cast<double>(h) / 24.0;
+    double rate = 60.0 * (1.5 + std::sin(2 * M_PI * t));
+    Timestamp ts = static_cast<Timestamp>(h) * kSecondsPerHour;
+    pre.IngestTemplatized(*stable, ts, rate);
+    pre.IngestTemplatized(*stable2, ts, rate);
+    pre.IngestTemplatized(*drifter, ts, rate);
+  }
+  OnlineClusterer clusterer(FastOptions());
+  clusterer.Update(pre, 3 * kSecondsPerDay);
+  EXPECT_EQ(clusterer.clusters().size(), 1u);
+  // Days 3-5: the drifter flips phase.
+  for (int h = 3 * 24; h < 6 * 24; ++h) {
+    double t = static_cast<double>(h) / 24.0;
+    Timestamp ts = static_cast<Timestamp>(h) * kSecondsPerHour;
+    pre.IngestTemplatized(*stable, ts, 60.0 * (1.5 + std::sin(2 * M_PI * t)));
+    pre.IngestTemplatized(*stable2, ts, 60.0 * (1.5 + std::sin(2 * M_PI * t)));
+    pre.IngestTemplatized(*drifter, ts, 60.0 * (1.5 + std::sin(2 * M_PI * t + M_PI)));
+  }
+  clusterer.Update(pre, 6 * kSecondsPerDay);
+  auto ids = pre.TemplateIds();
+  EXPECT_EQ(clusterer.AssignmentOf(ids[0]), clusterer.AssignmentOf(ids[1]));
+  EXPECT_NE(clusterer.AssignmentOf(ids[0]), clusterer.AssignmentOf(ids[2]));
+}
+
+TEST(OnlineClustererTest, CenterSeriesAveragesMembers) {
+  PreProcessor pre;
+  auto a = Templatize("SELECT a FROM t WHERE id = 1");
+  auto b = Templatize("SELECT b FROM t WHERE id = 1");
+  ASSERT_TRUE(a.ok() && b.ok());
+  for (int h = 0; h < 48; ++h) {
+    Timestamp ts = static_cast<Timestamp>(h) * kSecondsPerHour;
+    double t = static_cast<double>(h) / 24.0;
+    double shape = 1.5 + std::sin(2 * M_PI * t);
+    pre.IngestTemplatized(*a, ts, 10.0 * shape);
+    pre.IngestTemplatized(*b, ts, 30.0 * shape);
+  }
+  OnlineClusterer clusterer(FastOptions());
+  clusterer.Update(pre, 2 * kSecondsPerDay);
+  ASSERT_EQ(clusterer.clusters().size(), 1u);
+  ClusterId cid = clusterer.clusters().begin()->first;
+  auto center = clusterer.CenterSeries(pre, cid, kSecondsPerHour, 0,
+                                       2 * kSecondsPerDay);
+  ASSERT_TRUE(center.ok());
+  // Center = average of the two members: 20 * shape at h=6 (peak: shape=2.5).
+  EXPECT_NEAR(center->values()[6], 20.0 * 2.5, 1.0);
+}
+
+TEST(OnlineClustererTest, ShouldTriggerOnNewTemplates) {
+  PreProcessor pre;
+  FillWorkload(pre, 1, 4, 1);
+  OnlineClusterer clusterer(FastOptions());
+  clusterer.Update(pre, kSecondsPerDay);
+  EXPECT_FALSE(clusterer.ShouldTrigger(pre));
+  // Add 4 brand-new templates (50% of workload is now new).
+  for (int k = 0; k < 4; ++k) {
+    auto tmpl = Templatize("SELECT brand_new" + std::to_string(k) +
+                           " FROM fresh WHERE id = 1");
+    ASSERT_TRUE(tmpl.ok());
+    pre.IngestTemplatized(*tmpl, kSecondsPerDay + 60, 5.0);
+  }
+  EXPECT_TRUE(clusterer.ShouldTrigger(pre));
+}
+
+TEST(OnlineClustererTest, MergesClustersWhenCentersConverge) {
+  PreProcessor pre;
+  auto a = Templatize("SELECT a FROM t WHERE id = 1");
+  auto b = Templatize("SELECT b FROM t WHERE id = 1");
+  ASSERT_TRUE(a.ok() && b.ok());
+  // Day 0-2: opposite phases -> two clusters.
+  for (int h = 0; h < 3 * 24; ++h) {
+    double t = static_cast<double>(h) / 24.0;
+    Timestamp ts = static_cast<Timestamp>(h) * kSecondsPerHour;
+    pre.IngestTemplatized(*a, ts, 60.0 * (1.5 + std::sin(2 * M_PI * t)));
+    pre.IngestTemplatized(*b, ts, 60.0 * (1.5 + std::sin(2 * M_PI * t + M_PI)));
+  }
+  auto opts = FastOptions();
+  OnlineClusterer clusterer(opts);
+  clusterer.Update(pre, 3 * kSecondsPerDay);
+  EXPECT_EQ(clusterer.clusters().size(), 2u);
+  // Days 3-8: identical phases; with a 3-day feature window the old
+  // disagreement ages out and the clusters merge.
+  for (int h = 3 * 24; h < 9 * 24; ++h) {
+    double t = static_cast<double>(h) / 24.0;
+    Timestamp ts = static_cast<Timestamp>(h) * kSecondsPerHour;
+    double rate = 60.0 * (1.5 + std::sin(2 * M_PI * t));
+    pre.IngestTemplatized(*a, ts, rate);
+    pre.IngestTemplatized(*b, ts, rate);
+  }
+  clusterer.Update(pre, 9 * kSecondsPerDay);
+  EXPECT_EQ(clusterer.clusters().size(), 1u);
+}
+
+TEST(OnlineClustererTest, LogicalModeClustersByStructure) {
+  PreProcessor pre;
+  // Two structural families with *identical* arrival patterns.
+  auto a1 = Templatize("SELECT a FROM users WHERE uid = 1");
+  auto a2 = Templatize("SELECT b FROM users WHERE uid = 2");
+  auto b1 = Templatize("INSERT INTO events (k, v, w, x) VALUES (1, 2, 3, 4)");
+  ASSERT_TRUE(a1.ok() && a2.ok() && b1.ok());
+  for (int h = 0; h < 24; ++h) {
+    Timestamp ts = static_cast<Timestamp>(h) * kSecondsPerHour;
+    pre.IngestTemplatized(*a1, ts, 10);
+    pre.IngestTemplatized(*a2, ts, 10);
+    pre.IngestTemplatized(*b1, ts, 10);
+  }
+  auto opts = FastOptions();
+  opts.feature_mode = OnlineClusterer::FeatureMode::kLogical;
+  opts.rho = 0.35;  // L2-mapped similarity threshold
+  OnlineClusterer clusterer(opts);
+  clusterer.Update(pre, kSecondsPerDay);
+  auto ids = pre.TemplateIds();
+  EXPECT_EQ(clusterer.AssignmentOf(ids[0]), clusterer.AssignmentOf(ids[1]));
+  EXPECT_NE(clusterer.AssignmentOf(ids[0]), clusterer.AssignmentOf(ids[2]));
+}
+
+TEST(OnlineClustererTest, KdTreeAndLinearScanAgree) {
+  PreProcessor pre;
+  FillWorkload(pre, 4, 3, 3);
+  auto opts = FastOptions();
+  opts.use_kdtree = true;
+  OnlineClusterer with_tree(opts);
+  with_tree.Update(pre, 3 * kSecondsPerDay);
+  opts.use_kdtree = false;
+  OnlineClusterer without_tree(opts);
+  without_tree.Update(pre, 3 * kSecondsPerDay);
+  EXPECT_EQ(with_tree.clusters().size(), without_tree.clusters().size());
+  for (TemplateId id : pre.TemplateIds()) {
+    // Same partition; cluster ids may differ, so compare co-membership.
+    for (TemplateId other : pre.TemplateIds()) {
+      bool same_a = with_tree.AssignmentOf(id) == with_tree.AssignmentOf(other);
+      bool same_b =
+          without_tree.AssignmentOf(id) == without_tree.AssignmentOf(other);
+      EXPECT_EQ(same_a, same_b);
+    }
+  }
+}
+
+}  // namespace
+}  // namespace qb5000

@@ -1,0 +1,170 @@
+#include <gtest/gtest.h>
+
+#include "common/clock.h"
+#include "common/rng.h"
+#include "common/status.h"
+#include "common/strings.h"
+#include "common/timeseries.h"
+
+namespace qb5000 {
+namespace {
+
+TEST(StatusTest, DefaultIsOk) {
+  Status s;
+  EXPECT_TRUE(s.ok());
+  EXPECT_EQ(s.ToString(), "OK");
+}
+
+TEST(StatusTest, ErrorCarriesCodeAndMessage) {
+  Status s = Status::ParseError("bad token");
+  EXPECT_FALSE(s.ok());
+  EXPECT_EQ(s.code(), StatusCode::kParseError);
+  EXPECT_EQ(s.message(), "bad token");
+  EXPECT_EQ(s.ToString(), "PARSE_ERROR: bad token");
+}
+
+TEST(ResultTest, HoldsValue) {
+  Result<int> r = 42;
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(*r, 42);
+  EXPECT_TRUE(r.status().ok());
+}
+
+TEST(ResultTest, HoldsError) {
+  Result<int> r = Status::NotFound("missing");
+  ASSERT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kNotFound);
+}
+
+TEST(RngTest, DeterministicForSameSeed) {
+  Rng a(7);
+  Rng b(7);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_DOUBLE_EQ(a.Uniform(), b.Uniform());
+  }
+}
+
+TEST(RngTest, UniformIntWithinBounds) {
+  Rng rng(1);
+  for (int i = 0; i < 1000; ++i) {
+    int64_t v = rng.UniformInt(-3, 3);
+    EXPECT_GE(v, -3);
+    EXPECT_LE(v, 3);
+  }
+}
+
+TEST(RngTest, PoissonOfNonPositiveMeanIsZero) {
+  Rng rng(1);
+  EXPECT_EQ(rng.Poisson(0.0), 0);
+  EXPECT_EQ(rng.Poisson(-5.0), 0);
+}
+
+TEST(RngTest, PoissonMeanRoughlyCorrect) {
+  Rng rng(11);
+  double sum = 0;
+  const int kDraws = 20000;
+  for (int i = 0; i < kDraws; ++i) sum += static_cast<double>(rng.Poisson(10.0));
+  EXPECT_NEAR(sum / kDraws, 10.0, 0.2);
+}
+
+TEST(ClockTest, AlignDown) {
+  EXPECT_EQ(AlignDown(125, 60), 120);
+  EXPECT_EQ(AlignDown(120, 60), 120);
+  EXPECT_EQ(AlignDown(0, 60), 0);
+  EXPECT_EQ(AlignDown(-1, 60), -60);
+}
+
+TEST(ClockTest, FormatTimestamp) {
+  EXPECT_EQ(FormatTimestamp(0), "0+00:00:00");
+  EXPECT_EQ(FormatTimestamp(kSecondsPerDay + 3 * kSecondsPerHour + 62),
+            "1+03:01:02");
+}
+
+TEST(StringsTest, CaseConversion) {
+  EXPECT_EQ(ToLower("SeLeCt * FROM t"), "select * from t");
+  EXPECT_EQ(ToUpper("select"), "SELECT");
+}
+
+TEST(StringsTest, Trim) {
+  EXPECT_EQ(Trim("  a b  "), "a b");
+  EXPECT_EQ(Trim("\t\n"), "");
+  EXPECT_EQ(Trim(""), "");
+}
+
+TEST(StringsTest, JoinAndSplit) {
+  EXPECT_EQ(Join({"a", "b", "c"}, ", "), "a, b, c");
+  EXPECT_EQ(Join({}, ","), "");
+  auto parts = Split("a,b,,c", ',');
+  ASSERT_EQ(parts.size(), 4u);
+  EXPECT_EQ(parts[2], "");
+}
+
+TEST(TimeSeriesTest, AddAndLookup) {
+  TimeSeries ts(0, 60);
+  ts.Add(0, 1);
+  ts.Add(59, 2);
+  ts.Add(60, 5);
+  ts.Add(180, 1);
+  EXPECT_EQ(ts.size(), 4u);
+  EXPECT_DOUBLE_EQ(ts.ValueAt(30), 3.0);
+  EXPECT_DOUBLE_EQ(ts.ValueAt(61), 5.0);
+  EXPECT_DOUBLE_EQ(ts.ValueAt(120), 0.0);
+  EXPECT_DOUBLE_EQ(ts.ValueAt(200), 1.0);
+  EXPECT_DOUBLE_EQ(ts.Total(), 9.0);
+}
+
+TEST(TimeSeriesTest, FirstAddSetsAlignedStart) {
+  TimeSeries ts(0, 60);
+  ts.Add(150, 4);
+  EXPECT_EQ(ts.start(), 120);
+  EXPECT_DOUBLE_EQ(ts.ValueAt(130), 4.0);
+}
+
+TEST(TimeSeriesTest, AggregateSumsBuckets) {
+  TimeSeries ts(0, 60);
+  for (int i = 0; i < 120; ++i) ts.Add(i * 60, 1.0);
+  auto hourly = ts.Aggregate(3600);
+  ASSERT_TRUE(hourly.ok());
+  ASSERT_EQ(hourly->size(), 2u);
+  EXPECT_DOUBLE_EQ(hourly->values()[0], 60.0);
+  EXPECT_DOUBLE_EQ(hourly->values()[1], 60.0);
+}
+
+TEST(TimeSeriesTest, AggregateRejectsNonMultiple) {
+  TimeSeries ts(0, 60);
+  ts.Add(0, 1);
+  EXPECT_FALSE(ts.Aggregate(90).ok());
+  EXPECT_FALSE(ts.Aggregate(0).ok());
+}
+
+TEST(TimeSeriesTest, SliceZeroFillsOutsideRange) {
+  TimeSeries ts(600, 60);
+  ts.Add(600, 2);
+  ts.Add(660, 3);
+  TimeSeries s = ts.Slice(480, 780);
+  ASSERT_EQ(s.size(), 5u);
+  EXPECT_DOUBLE_EQ(s.values()[0], 0.0);
+  EXPECT_DOUBLE_EQ(s.values()[2], 2.0);
+  EXPECT_DOUBLE_EQ(s.values()[3], 3.0);
+  EXPECT_DOUBLE_EQ(s.values()[4], 0.0);
+}
+
+TEST(TimeSeriesTest, AddSeriesShapeMismatch) {
+  TimeSeries a(0, 60);
+  a.Add(0, 1);
+  TimeSeries b(0, 120);
+  b.Add(0, 1);
+  EXPECT_FALSE(a.AddSeries(b).ok());
+}
+
+TEST(TimeSeriesTest, AddSeriesAndScale) {
+  TimeSeries a(0, 60, {1, 2, 3});
+  TimeSeries b(0, 60, {4, 5, 6});
+  ASSERT_TRUE(a.AddSeries(b).ok());
+  a.Scale(0.5);
+  EXPECT_DOUBLE_EQ(a.values()[0], 2.5);
+  EXPECT_DOUBLE_EQ(a.values()[2], 4.5);
+}
+
+}  // namespace
+}  // namespace qb5000

@@ -1,0 +1,248 @@
+// Additional coverage for paths the primary suites do not exercise:
+// printer edge shapes, executor corner statements, the Forecaster facade's
+// error handling and HYBRID wiring, and Result/Status ergonomics.
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "dbms/database.h"
+#include "forecaster/dataset.h"
+#include "forecaster/ensemble.h"
+#include "forecaster/forecaster.h"
+#include "preprocessor/templatizer.h"
+#include "sql/parser.h"
+#include "sql/printer.h"
+
+namespace qb5000 {
+namespace {
+
+std::string RoundTrip(const std::string& in) {
+  auto stmt = sql::Parse(in);
+  EXPECT_TRUE(stmt.ok()) << stmt.status().ToString() << " for: " << in;
+  if (!stmt.ok()) return "";
+  return sql::Print(*stmt);
+}
+
+TEST(PrinterEdgeTest, NotAndIsNotNull) {
+  EXPECT_EQ(RoundTrip("SELECT x FROM t WHERE NOT (a = 1 AND b = 2)"),
+            "SELECT x FROM t WHERE NOT (a = 1 AND b = 2)");
+  EXPECT_EQ(RoundTrip("SELECT x FROM t WHERE a IS NOT NULL"),
+            "SELECT x FROM t WHERE a IS NOT NULL");
+}
+
+TEST(PrinterEdgeTest, NegatedBetweenAndIn) {
+  EXPECT_EQ(RoundTrip("SELECT x FROM t WHERE a NOT BETWEEN 1 AND 2"),
+            "SELECT x FROM t WHERE a NOT BETWEEN 1 AND 2");
+}
+
+TEST(PrinterEdgeTest, CrossJoinAndQualifiedStar) {
+  EXPECT_EQ(RoundTrip("SELECT a.* FROM a CROSS JOIN b"),
+            "SELECT a.* FROM a CROSS JOIN b");
+}
+
+TEST(PrinterEdgeTest, ArithmeticAndConcat) {
+  EXPECT_EQ(RoundTrip("SELECT a + b * 2 FROM t"), "SELECT a + b * 2 FROM t");
+  EXPECT_EQ(RoundTrip("SELECT a || b FROM t"), "SELECT a || b FROM t");
+}
+
+TEST(PrinterEdgeTest, BooleanAndNullLiterals) {
+  EXPECT_EQ(RoundTrip("SELECT x FROM t WHERE a = TRUE AND b = NULL"),
+            "SELECT x FROM t WHERE a = TRUE AND b = NULL");
+}
+
+TEST(PrinterEdgeTest, ScalarFunctionCalls) {
+  // Scalar calls round-trip with uppercased function names.
+  EXPECT_EQ(RoundTrip("SELECT lower(name) FROM t WHERE length(name) > 3"),
+            "SELECT LOWER(name) FROM t WHERE LENGTH(name) > 3");
+}
+
+TEST(TemplatizerEdgeTest, OrderByAndHavingConstantsStripped) {
+  auto out = Templatize(
+      "SELECT dept, COUNT(*) FROM emp GROUP BY dept HAVING COUNT(*) > 3");
+  ASSERT_TRUE(out.ok());
+  EXPECT_EQ(out->template_text,
+            "SELECT dept, COUNT(*) FROM emp GROUP BY dept HAVING COUNT(*) > ?");
+  ASSERT_EQ(out->parameters.size(), 1u);
+}
+
+TEST(ExecutorEdgeTest, UnfilteredWrites) {
+  dbms::Database db;
+  ASSERT_TRUE(db.CreateTable("t", {{"id", true, 100}, {"v", true, 10}}).ok());
+  for (int i = 1; i <= 20; ++i) {
+    ASSERT_TRUE(db.GetTable("t")->Insert({int64_t{i}, int64_t{i % 10}}).ok());
+  }
+  auto update = db.Execute("UPDATE t SET v = 7");
+  ASSERT_TRUE(update.ok());
+  EXPECT_EQ(update->rows_written, 20u);
+  auto del = db.Execute("DELETE FROM t");
+  ASSERT_TRUE(del.ok());
+  EXPECT_EQ(del->rows_written, 20u);
+  EXPECT_EQ(db.GetTable("t")->live_rows(), 0u);
+}
+
+TEST(ExecutorEdgeTest, SelectWithoutFromAndLimitOffset) {
+  dbms::Database db;
+  ASSERT_TRUE(db.CreateTable("t", {{"id", true, 100}}).ok());
+  for (int i = 1; i <= 30; ++i) {
+    ASSERT_TRUE(db.GetTable("t")->Insert({int64_t{i}}).ok());
+  }
+  auto bare = db.Execute("SELECT 1");
+  ASSERT_TRUE(bare.ok());
+  EXPECT_EQ(bare->rows_returned, 1u);
+  auto limited = db.Execute("SELECT id FROM t LIMIT 7 OFFSET 3");
+  ASSERT_TRUE(limited.ok());
+  EXPECT_EQ(limited->rows_returned, 7u);
+}
+
+TEST(ExecutorEdgeTest, IndexListingAndDrop) {
+  dbms::Database db;
+  ASSERT_TRUE(db.CreateTable("t", {{"id", true, 100}, {"v", true, 10}}).ok());
+  ASSERT_TRUE(db.CreateIndex("t", "id").ok());
+  ASSERT_TRUE(db.CreateIndex("t", "v").ok());
+  auto indexes = db.ListIndexes();
+  ASSERT_EQ(indexes.size(), 2u);
+  EXPECT_EQ(indexes[0], "t.id");
+  EXPECT_EQ(db.NumIndexes(), 2u);
+  ASSERT_TRUE(db.DropIndex("t", "v").ok());
+  EXPECT_EQ(db.NumIndexes(), 1u);
+  EXPECT_FALSE(db.DropIndex("t", "v").ok());
+  EXPECT_FALSE(db.CreateIndex("missing", "id").ok());
+}
+
+TEST(ForecasterFacadeTest, RejectsBadHorizonsAndListsTrainedOnes) {
+  PreProcessor pre;
+  auto tmpl = Templatize("SELECT a FROM t WHERE id = 1");
+  ASSERT_TRUE(tmpl.ok());
+  for (int h = 0; h < 10 * 24; ++h) {
+    double t = static_cast<double>(h) / 24.0;
+    pre.IngestTemplatized(*tmpl, static_cast<Timestamp>(h) * kSecondsPerHour,
+                          100 * (1.5 + std::sin(2 * M_PI * t)));
+  }
+  OnlineClusterer::Options copts;
+  copts.feature.num_samples = 96;
+  copts.feature.window_seconds = 3 * kSecondsPerDay;
+  OnlineClusterer clusterer(copts);
+  clusterer.Update(pre, 10 * kSecondsPerDay);
+  ASSERT_FALSE(clusterer.clusters().empty());
+  ClusterId cluster = clusterer.clusters().begin()->first;
+
+  Forecaster::Options fopts;
+  fopts.kind = ModelKind::kLr;
+  fopts.training_window_seconds = 7 * kSecondsPerDay;
+  Forecaster forecaster(fopts);
+  // Horizon not a multiple of the interval: rejected.
+  EXPECT_FALSE(forecaster
+                   .Train(pre, clusterer, {cluster}, 10 * kSecondsPerDay,
+                          {90 * kSecondsPerMinute})
+                   .ok());
+  // Empty cluster list: rejected.
+  EXPECT_FALSE(forecaster
+                   .Train(pre, clusterer, {}, 10 * kSecondsPerDay,
+                          {kSecondsPerHour})
+                   .ok());
+  ASSERT_TRUE(forecaster
+                  .Train(pre, clusterer, {cluster}, 10 * kSecondsPerDay,
+                         {kSecondsPerHour, kSecondsPerDay})
+                  .ok());
+  EXPECT_TRUE(forecaster.trained());
+  auto horizons = forecaster.horizons();
+  ASSERT_EQ(horizons.size(), 2u);
+  EXPECT_EQ(horizons[0], kSecondsPerHour);
+  // Forecast for an untrained horizon fails cleanly.
+  EXPECT_FALSE(
+      forecaster.Forecast(pre, clusterer, 10 * kSecondsPerDay, 7777).ok());
+  // Trained horizon succeeds and is finite/non-negative.
+  auto rates =
+      forecaster.Forecast(pre, clusterer, 10 * kSecondsPerDay, kSecondsPerHour);
+  ASSERT_TRUE(rates.ok());
+  for (double r : *rates) {
+    EXPECT_GE(r, 0.0);
+    EXPECT_TRUE(std::isfinite(r));
+  }
+}
+
+TEST(ForecasterFacadeTest, HybridKindTrainsKrOnFullHistory) {
+  // 40 days of history with a weekly spike; HYBRID's KR component (trained
+  // on the full hourly history) must be wired through Train/Forecast.
+  PreProcessor pre;
+  auto tmpl = Templatize("SELECT a FROM t WHERE id = 1");
+  ASSERT_TRUE(tmpl.ok());
+  for (int h = 0; h < 40 * 24; ++h) {
+    double t = static_cast<double>(h) / 24.0;
+    double v = 100 * (1.5 + std::sin(2 * M_PI * t));
+    if ((h / 24) % 7 == 6) v *= 6.0;  // weekly blowup
+    pre.IngestTemplatized(*tmpl, static_cast<Timestamp>(h) * kSecondsPerHour, v);
+  }
+  OnlineClusterer::Options copts;
+  copts.feature.num_samples = 96;
+  copts.feature.window_seconds = 7 * kSecondsPerDay;
+  OnlineClusterer clusterer(copts);
+  clusterer.Update(pre, 40 * kSecondsPerDay);
+  ClusterId cluster = clusterer.clusters().begin()->first;
+
+  Forecaster::Options fopts;
+  fopts.kind = ModelKind::kHybrid;
+  fopts.training_window_seconds = 10 * kSecondsPerDay;
+  fopts.model.kr_input_window = 10 * 24;  // ten days of hourly history
+  fopts.model.hidden_dim = 8;
+  fopts.model.embedding_dim = 8;
+  fopts.model.num_layers = 1;
+  fopts.model.max_epochs = 8;
+  Forecaster forecaster(fopts);
+  ASSERT_TRUE(forecaster
+                  .Train(pre, clusterer, {cluster}, 40 * kSecondsPerDay,
+                         {kSecondsPerDay})
+                  .ok());
+  auto rates =
+      forecaster.Forecast(pre, clusterer, 40 * kSecondsPerDay, kSecondsPerDay);
+  ASSERT_TRUE(rates.ok()) << rates.status().ToString();
+  EXPECT_GT((*rates)[0], 0.0);
+}
+
+TEST(EnsembleFromScratchTest, FitTrainsBothComponents) {
+  // The non-prefitted EnsembleModel constructor must train LR+RNN itself.
+  TimeSeries ts(0, kSecondsPerHour);
+  for (int h = 0; h < 10 * 24; ++h) {
+    double t = static_cast<double>(h) / 24.0;
+    ts.Add(static_cast<Timestamp>(h) * kSecondsPerHour,
+           200 * (1.5 + std::sin(2 * M_PI * t)));
+  }
+  auto ds = BuildDataset({ts}, 24, 1);
+  ASSERT_TRUE(ds.ok());
+  ModelOptions opts;
+  opts.num_series = 1;
+  opts.hidden_dim = 8;
+  opts.embedding_dim = 8;
+  opts.num_layers = 1;
+  opts.max_epochs = 10;
+  EnsembleModel ensemble(opts);
+  ASSERT_TRUE(ensemble.Fit(ds->x, ds->y).ok());
+  auto pred = ensemble.Predict(ds->x.Row(5));
+  ASSERT_TRUE(pred.ok());
+  EXPECT_TRUE(std::isfinite((*pred)[0]));
+}
+
+TEST(ArrivalHistoryEdgeTest, FirstTimeAndLastArrival) {
+  ArrivalHistory h;
+  EXPECT_EQ(h.FirstTime(), 0);
+  h.Record(5 * kSecondsPerHour, 2);
+  h.Record(2 * kSecondsPerHour, 1);
+  h.Record(9 * kSecondsPerHour, 1);
+  EXPECT_EQ(h.FirstTime(), 2 * kSecondsPerHour);
+  EXPECT_EQ(h.last_arrival(), 9 * kSecondsPerHour);
+  h.Compact(6 * kSecondsPerHour);
+  EXPECT_EQ(h.FirstTime(), 2 * kSecondsPerHour);  // archive keeps the origin
+}
+
+TEST(ResultErgonomicsTest, MoveAndArrowAccess) {
+  Result<std::string> r = std::string("hello");
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r->size(), 5u);
+  std::string moved = *std::move(r);
+  EXPECT_EQ(moved, "hello");
+  Result<std::string> err = Status::OutOfRange("nope");
+  EXPECT_EQ(err.status().code(), StatusCode::kOutOfRange);
+}
+
+}  // namespace
+}  // namespace qb5000

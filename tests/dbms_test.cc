@@ -1,0 +1,276 @@
+#include <gtest/gtest.h>
+
+#include "dbms/database.h"
+#include "dbms/loader.h"
+#include "dbms/value.h"
+#include "sql/parser.h"
+
+namespace qb5000::dbms {
+namespace {
+
+TEST(ValueTest, OrderingAndEquality) {
+  Value null = std::monostate{};
+  Value one = int64_t{1};
+  Value two = int64_t{2};
+  Value abc = std::string("abc");
+  EXPECT_TRUE(ValueLess(null, one));
+  EXPECT_TRUE(ValueLess(one, two));
+  EXPECT_TRUE(ValueLess(two, abc));  // ints sort before strings
+  EXPECT_TRUE(ValueEquals(one, Value(int64_t{1})));
+  EXPECT_FALSE(ValueEquals(null, null));  // NULL != NULL
+  EXPECT_EQ(ValueToString(one), "1");
+  EXPECT_EQ(ValueToString(abc), "'abc'");
+  EXPECT_EQ(ValueToString(null), "NULL");
+}
+
+Database MakeUsersDb(int rows = 100) {
+  Database db;
+  EXPECT_TRUE(db.CreateTable("users", {{"id", true, 100000},
+                                       {"age", true, 50},
+                                       {"name", false, 100000}})
+                  .ok());
+  Table* t = db.GetTable("users");
+  for (int i = 1; i <= rows; ++i) {
+    EXPECT_TRUE(t->Insert({int64_t{i}, int64_t{i % 50}, "user" + std::to_string(i)})
+                    .ok());
+  }
+  return db;
+}
+
+TEST(TableTest, InsertDeleteUpdateMaintainIndexes) {
+  Database db = MakeUsersDb(10);
+  Table* t = db.GetTable("users");
+  ASSERT_TRUE(t->CreateIndex("age").ok());
+  const OrderedIndex* index = t->GetIndex("age");
+  ASSERT_NE(index, nullptr);
+  EXPECT_EQ(index->size(), 10u);
+  EXPECT_EQ(index->EqualMatches(int64_t{3}).size(), 1u);
+  // Update moves the row in the index: row 5 (id 6, age 6) becomes age 3.
+  ASSERT_TRUE(t->UpdateCell(5, 1, int64_t{3}).ok());
+  EXPECT_EQ(index->EqualMatches(int64_t{3}).size(), 2u);
+  EXPECT_EQ(index->EqualMatches(int64_t{6}).size(), 0u);
+  // Delete removes it.
+  ASSERT_TRUE(t->Delete(5).ok());
+  EXPECT_EQ(index->EqualMatches(int64_t{3}).size(), 1u);
+  EXPECT_EQ(t->live_rows(), 9u);
+  EXPECT_FALSE(t->Delete(5).ok());
+}
+
+TEST(TableTest, IndexLifecycle) {
+  Database db = MakeUsersDb(5);
+  Table* t = db.GetTable("users");
+  EXPECT_FALSE(t->HasIndex("age"));
+  ASSERT_TRUE(t->CreateIndex("age").ok());
+  EXPECT_TRUE(t->HasIndex("age"));
+  EXPECT_FALSE(t->CreateIndex("age").ok());      // duplicate
+  EXPECT_FALSE(t->CreateIndex("nosuch").ok());   // unknown column
+  ASSERT_TRUE(t->DropIndex("age").ok());
+  EXPECT_FALSE(t->DropIndex("age").ok());
+}
+
+TEST(IndexTest, RangeMatches) {
+  OrderedIndex index(0);
+  for (int i = 0; i < 10; ++i) index.Insert(int64_t{i}, static_cast<RowId>(i));
+  Value lo = int64_t{3};
+  Value hi = int64_t{6};
+  EXPECT_EQ(index.RangeMatches(&lo, true, &hi, true).size(), 4u);
+  EXPECT_EQ(index.RangeMatches(&lo, false, &hi, false).size(), 2u);
+  EXPECT_EQ(index.RangeMatches(nullptr, false, &hi, true).size(), 7u);
+  EXPECT_EQ(index.RangeMatches(&lo, true, nullptr, false).size(), 7u);
+}
+
+TEST(ExecutorTest, PointSelectUsesIndexWhenAvailable) {
+  Database db = MakeUsersDb(1000);
+  auto no_index = db.Execute("SELECT name FROM users WHERE id = 37");
+  ASSERT_TRUE(no_index.ok()) << no_index.status().ToString();
+  EXPECT_FALSE(no_index->used_index);
+  EXPECT_EQ(no_index->rows_returned, 1u);
+  EXPECT_EQ(no_index->rows_examined, 1000u);
+
+  ASSERT_TRUE(db.CreateIndex("users", "id").ok());
+  auto with_index = db.Execute("SELECT name FROM users WHERE id = 37");
+  ASSERT_TRUE(with_index.ok());
+  EXPECT_TRUE(with_index->used_index);
+  EXPECT_EQ(with_index->index_used, "users.id");
+  EXPECT_EQ(with_index->rows_returned, 1u);
+  EXPECT_EQ(with_index->rows_examined, 1u);
+  EXPECT_LT(with_index->latency_us, no_index->latency_us);
+}
+
+TEST(ExecutorTest, RangeAndBetween) {
+  Database db = MakeUsersDb(500);
+  ASSERT_TRUE(db.CreateIndex("users", "id").ok());
+  auto range = db.Execute("SELECT name FROM users WHERE id BETWEEN 10 AND 19");
+  ASSERT_TRUE(range.ok());
+  EXPECT_TRUE(range->used_index);
+  EXPECT_EQ(range->rows_returned, 10u);
+  auto open = db.Execute("SELECT name FROM users WHERE id > 490");
+  ASSERT_TRUE(open.ok());
+  EXPECT_EQ(open->rows_returned, 10u);
+}
+
+TEST(ExecutorTest, ResidualPredicateStillApplied) {
+  Database db = MakeUsersDb(200);
+  ASSERT_TRUE(db.CreateIndex("users", "age").ok());
+  // age = 7 matches ids 7, 57, 107, 157; residual id > 100 keeps 2.
+  auto result = db.Execute("SELECT id FROM users WHERE age = 7 AND id > 100");
+  ASSERT_TRUE(result.ok());
+  EXPECT_TRUE(result->used_index);
+  EXPECT_EQ(result->rows_returned, 2u);
+}
+
+TEST(ExecutorTest, InListAndLike) {
+  Database db = MakeUsersDb(100);
+  auto in_list = db.Execute("SELECT id FROM users WHERE id IN (5, 6, 999)");
+  ASSERT_TRUE(in_list.ok());
+  EXPECT_EQ(in_list->rows_returned, 2u);
+  auto like = db.Execute("SELECT id FROM users WHERE name LIKE 'user9_'");
+  ASSERT_TRUE(like.ok());
+  EXPECT_EQ(like->rows_returned, 10u);  // user90..user99
+}
+
+TEST(ExecutorTest, OrFallsBackToScanButIsCorrect) {
+  Database db = MakeUsersDb(100);
+  ASSERT_TRUE(db.CreateIndex("users", "id").ok());
+  auto result = db.Execute("SELECT id FROM users WHERE id = 5 OR id = 6");
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result->rows_returned, 2u);
+}
+
+TEST(ExecutorTest, AggregateAndLimit) {
+  Database db = MakeUsersDb(100);
+  auto agg = db.Execute("SELECT COUNT(*) FROM users WHERE age = 3");
+  ASSERT_TRUE(agg.ok());
+  EXPECT_EQ(agg->rows_returned, 1u);
+  auto limited = db.Execute("SELECT id FROM users WHERE age > 0 LIMIT 5");
+  ASSERT_TRUE(limited.ok());
+  EXPECT_EQ(limited->rows_returned, 5u);
+}
+
+TEST(ExecutorTest, InsertUpdateDelete) {
+  Database db = MakeUsersDb(10);
+  auto insert =
+      db.Execute("INSERT INTO users (age, name) VALUES (21, 'fresh')");
+  ASSERT_TRUE(insert.ok());
+  EXPECT_EQ(insert->rows_written, 1u);
+  EXPECT_EQ(db.GetTable("users")->live_rows(), 11u);
+
+  auto update = db.Execute("UPDATE users SET age = 99 WHERE name = 'fresh'");
+  ASSERT_TRUE(update.ok());
+  EXPECT_EQ(update->rows_written, 1u);
+  auto check = db.Execute("SELECT id FROM users WHERE age = 99");
+  ASSERT_TRUE(check.ok());
+  EXPECT_EQ(check->rows_returned, 1u);
+
+  auto del = db.Execute("DELETE FROM users WHERE age = 99");
+  ASSERT_TRUE(del.ok());
+  EXPECT_EQ(del->rows_written, 1u);
+  EXPECT_EQ(db.GetTable("users")->live_rows(), 10u);
+}
+
+TEST(ExecutorTest, BatchedInsert) {
+  Database db = MakeUsersDb(0);
+  auto insert = db.Execute(
+      "INSERT INTO users (age, name) VALUES (1, 'a'), (2, 'b'), (3, 'c')");
+  ASSERT_TRUE(insert.ok());
+  EXPECT_EQ(insert->rows_written, 3u);
+  EXPECT_EQ(db.GetTable("users")->live_rows(), 3u);
+}
+
+TEST(ExecutorTest, WritesCostMorePerIndex) {
+  Database db1 = MakeUsersDb(100);
+  Database db2 = MakeUsersDb(100);
+  ASSERT_TRUE(db2.CreateIndex("users", "id").ok());
+  ASSERT_TRUE(db2.CreateIndex("users", "age").ok());
+  auto cheap = db1.Execute("INSERT INTO users (age, name) VALUES (1, 'x')");
+  auto pricey = db2.Execute("INSERT INTO users (age, name) VALUES (1, 'x')");
+  ASSERT_TRUE(cheap.ok() && pricey.ok());
+  EXPECT_LT(cheap->latency_us, pricey->latency_us);
+}
+
+TEST(ExecutorTest, JoinReturnsMatches) {
+  Database db;
+  ASSERT_TRUE(db.CreateTable("a", {{"id", true, 10}, {"bid", true, 10}}).ok());
+  ASSERT_TRUE(db.CreateTable("b", {{"id", true, 10}, {"v", true, 10}}).ok());
+  for (int i = 1; i <= 5; ++i) {
+    ASSERT_TRUE(db.GetTable("a")->Insert({int64_t{i}, int64_t{i}}).ok());
+    ASSERT_TRUE(db.GetTable("b")->Insert({int64_t{i}, int64_t{i * 10}}).ok());
+  }
+  auto join = db.Execute(
+      "SELECT a.id FROM a JOIN b ON a.bid = b.id WHERE b.v > 20");
+  ASSERT_TRUE(join.ok()) << join.status().ToString();
+  EXPECT_EQ(join->rows_returned, 3u);  // b.v in {30, 40, 50}
+}
+
+TEST(ExecutorTest, ErrorsOnUnknownTableOrColumn) {
+  Database db = MakeUsersDb(1);
+  EXPECT_FALSE(db.Execute("SELECT x FROM nosuch WHERE id = 1").ok());
+  EXPECT_FALSE(db.Execute("INSERT INTO users (bogus) VALUES (1)").ok());
+}
+
+TEST(EstimateTest, HypotheticalIndexLowersSelectCost) {
+  Database db = MakeUsersDb(5000);
+  auto stmt = sql::Parse("SELECT name FROM users WHERE id = 42");
+  ASSERT_TRUE(stmt.ok());
+  auto without = db.EstimateCost(*stmt, {});
+  auto with = db.EstimateCost(*stmt, {"users.id"});
+  ASSERT_TRUE(without.ok() && with.ok());
+  EXPECT_LT(*with, *without * 0.1);
+}
+
+TEST(EstimateTest, HypotheticalIndexRaisesInsertCost) {
+  Database db = MakeUsersDb(100);
+  auto stmt = sql::Parse("INSERT INTO users (age, name) VALUES (1, 'x')");
+  ASSERT_TRUE(stmt.ok());
+  auto without = db.EstimateCost(*stmt, {});
+  auto with = db.EstimateCost(*stmt, {"users.id", "users.age"});
+  ASSERT_TRUE(without.ok() && with.ok());
+  EXPECT_GT(*with, *without);
+}
+
+TEST(EstimateTest, EstimateTracksActualOrdering) {
+  Database db = MakeUsersDb(2000);
+  ASSERT_TRUE(db.CreateIndex("users", "id").ok());
+  auto point = sql::Parse("SELECT name FROM users WHERE id = 9");
+  auto scan = sql::Parse("SELECT name FROM users WHERE age = 9");
+  ASSERT_TRUE(point.ok() && scan.ok());
+  auto point_cost = db.EstimateCost(*point, {});
+  auto scan_cost = db.EstimateCost(*scan, {});
+  ASSERT_TRUE(point_cost.ok() && scan_cost.ok());
+  EXPECT_LT(*point_cost, *scan_cost);
+  // And the executor agrees.
+  auto point_exec = db.Execute(*point);
+  auto scan_exec = db.Execute(*scan);
+  ASSERT_TRUE(point_exec.ok() && scan_exec.ok());
+  EXPECT_LT(point_exec->latency_us, scan_exec->latency_us);
+}
+
+TEST(LoaderTest, LoadsWorkloadSchemaAndServesQueries) {
+  Database db;
+  Rng rng(21);
+  auto workload = MakeBusTracker();
+  ASSERT_TRUE(LoadWorkloadSchema(db, workload, rng, /*row_scale=*/0.02).ok());
+  EXPECT_EQ(db.TableNames().size(), workload.schema().size());
+  // Every stream's SQL must execute against the loaded schema.
+  for (const auto& stream : workload.streams()) {
+    auto result = db.Execute(stream.make_sql(rng));
+    EXPECT_TRUE(result.ok()) << stream.name << ": " << result.status().ToString();
+  }
+}
+
+TEST(LoaderTest, AllWorkloadsExecutable) {
+  Rng rng(22);
+  for (const auto& workload :
+       {MakeAdmissions(), MakeMooc(), MakeNoisyComposite()}) {
+    Database db;
+    ASSERT_TRUE(LoadWorkloadSchema(db, workload, rng, 0.01).ok());
+    for (const auto& stream : workload.streams()) {
+      auto result = db.Execute(stream.make_sql(rng));
+      EXPECT_TRUE(result.ok()) << workload.label() << "/" << stream.name << ": "
+                               << result.status().ToString();
+    }
+  }
+}
+
+}  // namespace
+}  // namespace qb5000::dbms

@@ -1,0 +1,351 @@
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "forecaster/dataset.h"
+#include "forecaster/ensemble.h"
+#include "forecaster/evaluation.h"
+#include "forecaster/kernel_regression.h"
+#include "forecaster/linear.h"
+#include "forecaster/model.h"
+#include "forecaster/neural.h"
+
+namespace qb5000 {
+namespace {
+
+// A smooth daily pattern in raw arrival rates, hourly interval.
+TimeSeries DailyPattern(int days, double scale, double phase = 0.0) {
+  TimeSeries ts(0, kSecondsPerHour);
+  for (int h = 0; h < days * 24; ++h) {
+    double t = static_cast<double>(h) / 24.0;
+    ts.Add(static_cast<Timestamp>(h) * kSecondsPerHour,
+           scale * (1.5 + std::sin(2 * M_PI * t + phase)));
+  }
+  return ts;
+}
+
+ModelOptions FastNeuralOptions() {
+  ModelOptions opts;
+  opts.hidden_dim = 12;
+  opts.embedding_dim = 8;
+  opts.num_layers = 1;
+  opts.max_epochs = 30;
+  opts.patience = 5;
+  opts.learning_rate = 1e-2;
+  return opts;
+}
+
+TEST(DatasetTest, ShapesAndContent) {
+  std::vector<TimeSeries> series = {TimeSeries(0, 60, {1, 2, 3, 4, 5}),
+                                    TimeSeries(0, 60, {10, 20, 30, 40, 50})};
+  auto ds = BuildDataset(series, 2, 1);
+  ASSERT_TRUE(ds.ok());
+  EXPECT_EQ(ds->x.rows(), 3u);
+  EXPECT_EQ(ds->x.cols(), 4u);
+  EXPECT_EQ(ds->y.cols(), 2u);
+  // First example: window [1,10,2,20] -> target [3,30] (log1p space).
+  EXPECT_NEAR(ds->x(0, 0), std::log1p(1.0), 1e-12);
+  EXPECT_NEAR(ds->x(0, 1), std::log1p(10.0), 1e-12);
+  EXPECT_NEAR(ds->y(0, 0), std::log1p(3.0), 1e-12);
+  EXPECT_NEAR(ds->y(0, 1), std::log1p(30.0), 1e-12);
+}
+
+TEST(DatasetTest, HorizonShiftsTarget) {
+  std::vector<TimeSeries> series = {TimeSeries(0, 60, {1, 2, 3, 4, 5, 6})};
+  auto ds = BuildDataset(series, 2, 3);
+  ASSERT_TRUE(ds.ok());
+  EXPECT_EQ(ds->x.rows(), 2u);
+  // Window [1,2] with horizon 3 -> target index 4 (value 5).
+  EXPECT_NEAR(ds->y(0, 0), std::log1p(5.0), 1e-12);
+}
+
+TEST(DatasetTest, RejectsMisalignedOrShort) {
+  std::vector<TimeSeries> bad = {TimeSeries(0, 60, {1, 2, 3}),
+                                 TimeSeries(0, 120, {1, 2, 3})};
+  EXPECT_FALSE(BuildDataset(bad, 2, 1).ok());
+  std::vector<TimeSeries> tiny = {TimeSeries(0, 60, {1, 2})};
+  EXPECT_FALSE(BuildDataset(tiny, 2, 1).ok());
+  EXPECT_FALSE(BuildDataset({}, 2, 1).ok());
+}
+
+TEST(DatasetTest, RoundTripTransforms) {
+  Vector rates = {0, 1, 99.5, 1e6};
+  Vector back = ToArrivalRates(ToLogSpace(rates));
+  for (size_t i = 0; i < rates.size(); ++i) EXPECT_NEAR(back[i], rates[i], 1e-6);
+}
+
+TEST(DatasetTest, LatestWindow) {
+  std::vector<TimeSeries> series = {TimeSeries(0, 60, {1, 2, 3, 4})};
+  auto w = LatestWindow(series, 2);
+  ASSERT_TRUE(w.ok());
+  ASSERT_EQ(w->size(), 2u);
+  EXPECT_NEAR((*w)[0], std::log1p(3.0), 1e-12);
+  EXPECT_NEAR((*w)[1], std::log1p(4.0), 1e-12);
+  EXPECT_FALSE(LatestWindow(series, 9).ok());
+}
+
+TEST(LrModelTest, LearnsCyclicPattern) {
+  std::vector<TimeSeries> series = {DailyPattern(14, 1000.0)};
+  auto ds = BuildDataset(series, 24, 1);
+  ASSERT_TRUE(ds.ok());
+  LinearRegressionModel lr(ModelOptions{});
+  ASSERT_TRUE(lr.Fit(ds->x, ds->y).ok());
+  // Predict the last training example and compare.
+  size_t last = ds->x.rows() - 1;
+  auto pred = lr.Predict(ds->x.Row(last));
+  ASSERT_TRUE(pred.ok());
+  EXPECT_NEAR((*pred)[0], ds->y(last, 0), 0.05);
+}
+
+TEST(LrModelTest, RejectsBeforeFitAndBadDims) {
+  LinearRegressionModel lr(ModelOptions{});
+  EXPECT_FALSE(lr.Predict({1, 2, 3}).ok());
+  std::vector<TimeSeries> series = {DailyPattern(7, 100.0)};
+  auto ds = BuildDataset(series, 12, 1);
+  ASSERT_TRUE(ds.ok());
+  ASSERT_TRUE(lr.Fit(ds->x, ds->y).ok());
+  EXPECT_FALSE(lr.Predict({1.0}).ok());
+}
+
+TEST(ArmaModelTest, FitsAndPredicts) {
+  std::vector<TimeSeries> series = {DailyPattern(14, 500.0)};
+  auto ds = BuildDataset(series, 24, 1);
+  ASSERT_TRUE(ds.ok());
+  ArmaModel arma(ModelOptions{});
+  ASSERT_TRUE(arma.Fit(ds->x, ds->y).ok());
+  size_t last = ds->x.rows() - 1;
+  auto pred = arma.Predict(ds->x.Row(last));
+  ASSERT_TRUE(pred.ok());
+  EXPECT_NEAR((*pred)[0], ds->y(last, 0), 0.2);
+}
+
+TEST(KrModelTest, InterpolatesSeenPatterns) {
+  std::vector<TimeSeries> series = {DailyPattern(14, 800.0)};
+  auto ds = BuildDataset(series, 24, 1);
+  ASSERT_TRUE(ds.ok());
+  KernelRegressionModel kr(ModelOptions{});
+  ASSERT_TRUE(kr.Fit(ds->x, ds->y).ok());
+  EXPECT_GT(kr.bandwidth(), 0.0);
+  auto pred = kr.Predict(ds->x.Row(5));
+  ASSERT_TRUE(pred.ok());
+  EXPECT_NEAR((*pred)[0], ds->y(5, 0), 0.15);
+}
+
+TEST(KrModelTest, PredictsRecurringSpike) {
+  // 60-day series: quiet baseline with a 3-day spike every 20 days. After
+  // seeing two spikes, KR must anticipate the third from the pre-spike ramp.
+  TimeSeries ts(0, kSecondsPerHour);
+  for (int h = 0; h < 60 * 24; ++h) {
+    int day = h / 24;
+    double v = 100.0;
+    int cycle_day = day % 20;
+    if (cycle_day >= 15 && cycle_day < 18) v = 5000.0;   // spike
+    else if (cycle_day >= 13 && cycle_day < 15) v = 400.0;  // ramp
+    ts.Add(static_cast<Timestamp>(h) * kSecondsPerHour, v);
+  }
+  std::vector<TimeSeries> series = {ts};
+  // Input: last 3 days; horizon: 2 days ahead (prediction leads the spike).
+  auto ds = BuildDataset(series, 72, 48);
+  ASSERT_TRUE(ds.ok());
+  // Train on the first two cycles only (through day 40).
+  size_t train_n = 40 * 24 - 72 - 48 + 1;
+  Matrix tx(train_n, ds->x.cols());
+  Matrix ty(train_n, 1);
+  for (size_t i = 0; i < train_n; ++i) {
+    tx.SetRow(i, ds->x.Row(i));
+    ty(i, 0) = ds->y(i, 0);
+  }
+  KernelRegressionModel kr(ModelOptions{});
+  LinearRegressionModel lr(ModelOptions{});
+  ASSERT_TRUE(kr.Fit(tx, ty).ok());
+  ASSERT_TRUE(lr.Fit(tx, ty).ok());
+  // Query: window ending at day 55 (ramp of the third cycle, cycle_day 13-14
+  // visible), target day 57 = spike.
+  size_t query = 55 * 24 - 72;
+  auto kr_pred = kr.Predict(ds->x.Row(query));
+  ASSERT_TRUE(kr_pred.ok());
+  double kr_rate = std::expm1((*kr_pred)[0]);
+  double actual = std::expm1(ds->y(query, 0));
+  EXPECT_GT(actual, 4000.0);  // sanity: it is a spike
+  EXPECT_GT(kr_rate, 2000.0) << "KR must predict the spike";
+}
+
+TEST(FnnModelTest, LearnsPattern) {
+  std::vector<TimeSeries> series = {DailyPattern(14, 300.0)};
+  auto ds = BuildDataset(series, 24, 1);
+  ASSERT_TRUE(ds.ok());
+  auto opts = FastNeuralOptions();
+  opts.num_series = 1;
+  FnnModel fnn(opts);
+  ASSERT_TRUE(fnn.Fit(ds->x, ds->y).ok());
+  size_t probe = ds->x.rows() / 2;
+  auto pred = fnn.Predict(ds->x.Row(probe));
+  ASSERT_TRUE(pred.ok());
+  EXPECT_NEAR((*pred)[0], ds->y(probe, 0), 0.6);
+}
+
+TEST(RnnModelTest, LearnsPatternAndChecksDims) {
+  std::vector<TimeSeries> series = {DailyPattern(14, 300.0)};
+  auto ds = BuildDataset(series, 24, 1);
+  ASSERT_TRUE(ds.ok());
+  auto opts = FastNeuralOptions();
+  opts.num_series = 1;
+  RnnModel rnn(opts);
+  ASSERT_TRUE(rnn.Fit(ds->x, ds->y).ok());
+  size_t probe = ds->x.rows() / 2;
+  auto pred = rnn.Predict(ds->x.Row(probe));
+  ASSERT_TRUE(pred.ok());
+  EXPECT_NEAR((*pred)[0], ds->y(probe, 0), 0.6);
+  EXPECT_FALSE(rnn.Predict({1.0, 2.0}).ok());
+}
+
+TEST(RnnModelTest, JointMultiSeriesPrediction) {
+  std::vector<TimeSeries> series = {DailyPattern(10, 300.0),
+                                    DailyPattern(10, 900.0, M_PI / 2)};
+  auto ds = BuildDataset(series, 12, 1);
+  ASSERT_TRUE(ds.ok());
+  auto opts = FastNeuralOptions();
+  opts.num_series = 2;
+  RnnModel rnn(opts);
+  ASSERT_TRUE(rnn.Fit(ds->x, ds->y).ok());
+  auto pred = rnn.Predict(ds->x.Row(3));
+  ASSERT_TRUE(pred.ok());
+  EXPECT_EQ(pred->size(), 2u);
+}
+
+TEST(PsrnnModelTest, LearnsPattern) {
+  std::vector<TimeSeries> series = {DailyPattern(14, 300.0)};
+  auto ds = BuildDataset(series, 24, 1);
+  ASSERT_TRUE(ds.ok());
+  auto opts = FastNeuralOptions();
+  opts.num_series = 1;
+  PsrnnModel psrnn(opts);
+  ASSERT_TRUE(psrnn.Fit(ds->x, ds->y).ok());
+  size_t probe = ds->x.rows() / 2;
+  auto pred = psrnn.Predict(ds->x.Row(probe));
+  ASSERT_TRUE(pred.ok());
+  EXPECT_NEAR((*pred)[0], ds->y(probe, 0), 0.8);
+}
+
+TEST(EnsembleModelTest, AveragesComponents) {
+  std::vector<TimeSeries> series = {DailyPattern(10, 400.0)};
+  auto ds = BuildDataset(series, 12, 1);
+  ASSERT_TRUE(ds.ok());
+  auto opts = FastNeuralOptions();
+  opts.num_series = 1;
+  auto lr = std::make_shared<LinearRegressionModel>(opts);
+  auto rnn = std::make_shared<RnnModel>(opts);
+  ASSERT_TRUE(lr->Fit(ds->x, ds->y).ok());
+  ASSERT_TRUE(rnn->Fit(ds->x, ds->y).ok());
+  EnsembleModel ensemble(lr, rnn);
+  Vector x = ds->x.Row(4);
+  auto e = ensemble.Predict(x);
+  auto l = lr->Predict(x);
+  auto r = rnn->Predict(x);
+  ASSERT_TRUE(e.ok() && l.ok() && r.ok());
+  EXPECT_NEAR((*e)[0], 0.5 * ((*l)[0] + (*r)[0]), 1e-12);
+}
+
+TEST(HybridModelTest, GammaSwitchUsesKrOnSpikes) {
+  // Hand-built components: "ensemble" predicts low, "KR" predicts high.
+  class ConstantModel : public ForecastModel {
+   public:
+    explicit ConstantModel(double rate) : rate_(rate) {}
+    Status Fit(const Matrix&, const Matrix&) override { return Status::Ok(); }
+    Result<Vector> Predict(const Vector&) const override {
+      return Vector{std::log1p(rate_)};
+    }
+    std::string_view name() const override { return "CONST"; }
+    ModelTraits traits() const override { return {}; }
+
+   private:
+    double rate_;
+  };
+  auto low = std::make_shared<ConstantModel>(100.0);
+  auto high = std::make_shared<ConstantModel>(1000.0);
+  // gamma = 1.5: KR (1000) > 2.5 * 100 -> KR wins.
+  HybridModel hybrid_spike(low, high, 1.5);
+  auto pred = hybrid_spike.Predict({0.0});
+  ASSERT_TRUE(pred.ok());
+  EXPECT_NEAR(std::expm1((*pred)[0]), 1000.0, 1e-6);
+  // gamma = 12: KR (1000) < 13 * 100 -> ensemble wins.
+  HybridModel hybrid_calm(low, high, 12.0);
+  pred = hybrid_calm.Predict({0.0});
+  ASSERT_TRUE(pred.ok());
+  EXPECT_NEAR(std::expm1((*pred)[0]), 100.0, 1e-6);
+}
+
+TEST(ModelFactoryTest, CreatesEveryKindWithCorrectTraits) {
+  const ModelKind kinds[] = {ModelKind::kLr,   ModelKind::kArma,
+                             ModelKind::kKr,   ModelKind::kFnn,
+                             ModelKind::kRnn,  ModelKind::kPsrnn,
+                             ModelKind::kEnsemble, ModelKind::kHybrid};
+  for (ModelKind kind : kinds) {
+    auto model = CreateModel(kind, ModelOptions{});
+    ASSERT_NE(model, nullptr) << ModelKindName(kind);
+    EXPECT_EQ(model->name(), ModelKindName(kind));
+    ModelTraits t1 = model->traits();
+    ModelTraits t2 = TraitsOf(kind);
+    EXPECT_EQ(t1.linear, t2.linear);
+    EXPECT_EQ(t1.memory, t2.memory);
+    EXPECT_EQ(t1.kernel, t2.kernel);
+  }
+  // Table 3 spot checks.
+  EXPECT_TRUE(TraitsOf(ModelKind::kLr).linear);
+  EXPECT_FALSE(TraitsOf(ModelKind::kLr).memory);
+  EXPECT_TRUE(TraitsOf(ModelKind::kArma).memory);
+  EXPECT_TRUE(TraitsOf(ModelKind::kKr).kernel);
+  EXPECT_TRUE(TraitsOf(ModelKind::kRnn).memory);
+  EXPECT_TRUE(TraitsOf(ModelKind::kPsrnn).kernel);
+}
+
+TEST(EvaluationTest, LrBeatsNaiveOnLinearPattern) {
+  std::vector<TimeSeries> series = {DailyPattern(21, 600.0)};
+  auto eval = EvaluateModel(ModelKind::kLr, series, 24, 1, 0.7, ModelOptions{});
+  ASSERT_TRUE(eval.ok());
+  EXPECT_FALSE(eval->predicted.empty());
+  EXPECT_EQ(eval->predicted.size(), eval->actual.size());
+  EXPECT_EQ(eval->predicted.size(), eval->times.size());
+  // A daily pattern is almost perfectly linearly predictable at 1h horizon.
+  EXPECT_LT(eval->log_mse, -2.0);
+}
+
+TEST(EvaluationTest, LongerHorizonIsHarder) {
+  // A random-walk level component makes distant horizons genuinely harder
+  // (a pure sinusoid is equally predictable at every horizon).
+  Rng rng(9);
+  TimeSeries ts(0, kSecondsPerHour);
+  double walk = 0.0;
+  for (int h = 0; h < 21 * 24; ++h) {
+    double t = static_cast<double>(h) / 24.0;
+    walk += rng.Gaussian(0, 30.0);
+    double v = 500.0 * (1.5 + std::sin(2 * M_PI * t)) + walk;
+    ts.Add(static_cast<Timestamp>(h) * kSecondsPerHour, std::max(0.0, v));
+  }
+  std::vector<TimeSeries> series = {ts};
+  auto short_h = EvaluateModel(ModelKind::kLr, series, 24, 1, 0.7, ModelOptions{});
+  auto long_h = EvaluateModel(ModelKind::kLr, series, 24, 72, 0.7, ModelOptions{});
+  ASSERT_TRUE(short_h.ok());
+  ASSERT_TRUE(long_h.ok());
+  EXPECT_LT(short_h->log_mse, long_h->log_mse);
+}
+
+TEST(EvaluationTest, SumAcrossSeries) {
+  std::vector<Vector> pts = {{1, 2}, {3, 4}};
+  auto sums = SumAcrossSeries(pts);
+  ASSERT_EQ(sums.size(), 2u);
+  EXPECT_DOUBLE_EQ(sums[0], 3.0);
+  EXPECT_DOUBLE_EQ(sums[1], 7.0);
+}
+
+TEST(EvaluationTest, HybridRunsEndToEnd) {
+  std::vector<TimeSeries> series = {DailyPattern(21, 600.0)};
+  auto opts = FastNeuralOptions();
+  opts.kr_input_window = 48;
+  auto eval = EvaluateModel(ModelKind::kHybrid, series, 24, 1, 0.7, opts);
+  ASSERT_TRUE(eval.ok()) << eval.status().ToString();
+  EXPECT_LT(eval->log_mse, 0.0);
+}
+
+}  // namespace
+}  // namespace qb5000

@@ -1,0 +1,111 @@
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "forecaster/interval_selector.h"
+#include "preprocessor/templatizer.h"
+
+namespace qb5000 {
+namespace {
+
+/// Fills a preprocessor+clusterer with a predictable diurnal workload at
+/// five-minute recording resolution.
+void FillDiurnal(PreProcessor& pre, OnlineClusterer& clusterer, int days) {
+  auto a = Templatize("SELECT a FROM t WHERE id = 1");
+  auto b = Templatize("SELECT b FROM u WHERE id = 1");
+  ASSERT_TRUE(a.ok() && b.ok());
+  for (int m = 0; m < days * 24 * 12; ++m) {
+    Timestamp ts = static_cast<Timestamp>(m) * 5 * kSecondsPerMinute;
+    double t = static_cast<double>(ts) / kSecondsPerDay;
+    pre.IngestTemplatized(*a, ts, 30.0 * (1.5 + std::sin(2 * M_PI * t)));
+    pre.IngestTemplatized(*b, ts, 10.0 * (1.5 + std::cos(2 * M_PI * t)));
+  }
+  clusterer.Update(pre, days * kSecondsPerDay);
+}
+
+OnlineClusterer::Options FastClusterOptions() {
+  OnlineClusterer::Options opts;
+  opts.feature.num_samples = 96;
+  opts.feature.window_seconds = 3 * kSecondsPerDay;
+  return opts;
+}
+
+TEST(IntervalSelectorTest, EvaluatesAndRanksCandidates) {
+  PreProcessor pre;
+  OnlineClusterer clusterer(FastClusterOptions());
+  FillDiurnal(pre, clusterer, 10);
+  IntervalSelector::Options opts;
+  opts.history_seconds = 10 * kSecondsPerDay;
+  auto choices =
+      IntervalSelector::Evaluate(pre, clusterer, 10 * kSecondsPerDay, opts);
+  ASSERT_TRUE(choices.ok()) << choices.status().ToString();
+  EXPECT_GE(choices->size(), 3u);
+  // Best-first by score.
+  for (size_t i = 1; i < choices->size(); ++i) {
+    EXPECT_LE((*choices)[i - 1].score, (*choices)[i].score);
+  }
+  // Every evaluated candidate produced a finite accuracy.
+  for (const auto& choice : *choices) {
+    EXPECT_TRUE(std::isfinite(choice.log_mse));
+    EXPECT_GE(choice.train_seconds, 0.0);
+  }
+}
+
+TEST(IntervalSelectorTest, PickReturnsACandidate) {
+  PreProcessor pre;
+  OnlineClusterer clusterer(FastClusterOptions());
+  FillDiurnal(pre, clusterer, 10);
+  IntervalSelector::Options opts;
+  opts.history_seconds = 10 * kSecondsPerDay;
+  auto pick = IntervalSelector::Pick(pre, clusterer, 10 * kSecondsPerDay, opts);
+  ASSERT_TRUE(pick.ok());
+  bool known = false;
+  for (int64_t candidate : opts.candidates) known |= candidate == *pick;
+  EXPECT_TRUE(known);
+}
+
+TEST(IntervalSelectorTest, TimeWeightShiftsChoiceCoarser) {
+  PreProcessor pre;
+  OnlineClusterer clusterer(FastClusterOptions());
+  FillDiurnal(pre, clusterer, 10);
+  IntervalSelector::Options opts;
+  opts.history_seconds = 10 * kSecondsPerDay;
+  opts.time_weight = 0.0;
+  auto pure_accuracy =
+      IntervalSelector::Evaluate(pre, clusterer, 10 * kSecondsPerDay, opts);
+  opts.time_weight = 1e6;  // absurd weight: cheapest training must win
+  auto cost_dominated =
+      IntervalSelector::Evaluate(pre, clusterer, 10 * kSecondsPerDay, opts);
+  ASSERT_TRUE(pure_accuracy.ok() && cost_dominated.ok());
+  double min_train = 1e300;
+  for (const auto& choice : *cost_dominated) {
+    min_train = std::min(min_train, choice.train_seconds);
+  }
+  // LR trainings take fractions of a millisecond, so allow timing noise:
+  // the winner must be among the near-cheapest candidates.
+  EXPECT_LE(cost_dominated->front().train_seconds, min_train + 0.005);
+}
+
+TEST(IntervalSelectorTest, FailsWithoutClusters) {
+  PreProcessor pre;
+  OnlineClusterer clusterer(FastClusterOptions());
+  IntervalSelector::Options opts;
+  EXPECT_FALSE(IntervalSelector::Evaluate(pre, clusterer, 0, opts).ok());
+}
+
+TEST(IntervalSelectorTest, SkipsInvalidCandidates) {
+  PreProcessor pre;
+  OnlineClusterer clusterer(FastClusterOptions());
+  FillDiurnal(pre, clusterer, 10);
+  IntervalSelector::Options opts;
+  opts.history_seconds = 10 * kSecondsPerDay;
+  opts.candidates = {-60, 90, kSecondsPerHour};  // two invalid, one valid
+  auto choices =
+      IntervalSelector::Evaluate(pre, clusterer, 10 * kSecondsPerDay, opts);
+  ASSERT_TRUE(choices.ok());
+  ASSERT_EQ(choices->size(), 1u);
+  EXPECT_EQ(choices->front().interval_seconds, kSecondsPerHour);
+}
+
+}  // namespace
+}  // namespace qb5000

@@ -1,0 +1,156 @@
+// Numerical property tests for the math kernels: reconstruction and
+// consistency checks on random inputs, beyond the fixed-value unit tests.
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+#include "math/linalg.h"
+#include "math/matrix.h"
+#include "math/stats.h"
+
+namespace qb5000 {
+namespace {
+
+Matrix RandomSymmetric(size_t n, Rng& rng) {
+  Matrix a(n, n);
+  for (size_t i = 0; i < n; ++i) {
+    for (size_t j = i; j < n; ++j) {
+      double v = rng.Gaussian(0, 1);
+      a(i, j) = v;
+      a(j, i) = v;
+    }
+  }
+  return a;
+}
+
+class EigenProperty : public ::testing::TestWithParam<size_t> {};
+
+TEST_P(EigenProperty, ReconstructsMatrixAndOrthonormalVectors) {
+  size_t n = GetParam();
+  Rng rng(n * 7 + 1);
+  Matrix a = RandomSymmetric(n, rng);
+  auto eig = SymmetricEigen(a);
+  ASSERT_TRUE(eig.ok());
+  const Matrix& v = eig->eigenvectors;
+  // V diag(L) V^T == A.
+  Matrix vl(n, n);
+  for (size_t i = 0; i < n; ++i) {
+    for (size_t j = 0; j < n; ++j) vl(i, j) = v(i, j) * eig->eigenvalues[j];
+  }
+  Matrix reconstructed = vl.MatMul(v.Transpose());
+  for (size_t i = 0; i < n; ++i) {
+    for (size_t j = 0; j < n; ++j) {
+      EXPECT_NEAR(reconstructed(i, j), a(i, j), 1e-8) << i << "," << j;
+    }
+  }
+  // Columns orthonormal.
+  for (size_t c1 = 0; c1 < n; ++c1) {
+    for (size_t c2 = c1; c2 < n; ++c2) {
+      double dot = 0;
+      for (size_t i = 0; i < n; ++i) dot += v(i, c1) * v(i, c2);
+      EXPECT_NEAR(dot, c1 == c2 ? 1.0 : 0.0, 1e-8);
+    }
+  }
+  // Eigenvalues sorted descending.
+  for (size_t i = 1; i < n; ++i) {
+    EXPECT_GE(eig->eigenvalues[i - 1], eig->eigenvalues[i] - 1e-12);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Sizes, EigenProperty,
+                         ::testing::Values<size_t>(1, 2, 5, 12, 30));
+
+class CholeskyProperty : public ::testing::TestWithParam<size_t> {};
+
+TEST_P(CholeskyProperty, SolvesRandomSpdSystems) {
+  size_t n = GetParam();
+  Rng rng(n * 13 + 2);
+  // SPD via A = B^T B + eps I.
+  Matrix b(n, n);
+  for (auto& v : b.mutable_data()) v = rng.Gaussian(0, 1);
+  Matrix a = b.Transpose().MatMul(b);
+  for (size_t i = 0; i < n; ++i) a(i, i) += 0.5;
+  Vector x_true(n);
+  for (auto& v : x_true) v = rng.Gaussian(0, 2);
+  Vector rhs = a.MatVec(x_true);
+  auto x = CholeskySolve(a, rhs);
+  ASSERT_TRUE(x.ok());
+  for (size_t i = 0; i < n; ++i) EXPECT_NEAR((*x)[i], x_true[i], 1e-7);
+}
+
+INSTANTIATE_TEST_SUITE_P(Sizes, CholeskyProperty,
+                         ::testing::Values<size_t>(1, 3, 10, 40));
+
+TEST(RidgeProperty, ShrinksTowardZeroAsLambdaGrows) {
+  Rng rng(5);
+  Matrix x(60, 4);
+  Matrix y(60, 1);
+  for (size_t i = 0; i < 60; ++i) {
+    for (size_t j = 0; j < 4; ++j) x(i, j) = rng.Gaussian(0, 1);
+    y(i, 0) = 2 * x(i, 0) - x(i, 2) + rng.Gaussian(0, 0.1);
+  }
+  double previous_norm = 1e300;
+  for (double lambda : {1e-4, 1e-1, 10.0, 1e4}) {
+    auto w = RidgeRegression(x, y, lambda);
+    ASSERT_TRUE(w.ok());
+    double norm = 0;
+    for (size_t j = 0; j < 4; ++j) norm += (*w)(j, 0) * (*w)(j, 0);
+    EXPECT_LT(norm, previous_norm + 1e-12);
+    previous_norm = norm;
+  }
+}
+
+TEST(QuantileProperty, MonotoneAndBounded) {
+  Rng rng(6);
+  std::vector<double> v;
+  for (int i = 0; i < 500; ++i) v.push_back(rng.Gaussian(10, 4));
+  double lo = *std::min_element(v.begin(), v.end());
+  double hi = *std::max_element(v.begin(), v.end());
+  double previous = -1e300;
+  for (double q = 0.0; q <= 1.0; q += 0.05) {
+    double value = Quantile(v, q);
+    EXPECT_GE(value, lo - 1e-12);
+    EXPECT_LE(value, hi + 1e-12);
+    EXPECT_GE(value, previous - 1e-12);
+    previous = value;
+  }
+}
+
+TEST(CosineProperty, InvariantToPositiveScaling) {
+  Rng rng(8);
+  for (int trial = 0; trial < 50; ++trial) {
+    Vector a(16), b(16);
+    for (auto& v : a) v = rng.Gaussian(0, 1);
+    for (auto& v : b) v = rng.Gaussian(0, 1);
+    double base = CosineSimilarity(a, b);
+    double scale = rng.Uniform(0.01, 100.0);
+    EXPECT_NEAR(CosineSimilarity(ScaleVec(a, scale), b), base, 1e-9);
+    EXPECT_GE(base, -1.0 - 1e-12);
+    EXPECT_LE(base, 1.0 + 1e-12);
+  }
+}
+
+TEST(PcaProperty, ProjectionVarianceDecreasesByComponent) {
+  Rng rng(9);
+  Matrix data(200, 6);
+  for (size_t i = 0; i < 200; ++i) {
+    double t = static_cast<double>(i);
+    data(i, 0) = 3.0 * std::sin(0.1 * t) + rng.Gaussian(0, 0.1);
+    data(i, 1) = 2.0 * std::cos(0.1 * t) + rng.Gaussian(0, 0.1);
+    for (size_t j = 2; j < 6; ++j) data(i, j) = rng.Gaussian(0, 0.2);
+  }
+  auto proj = PcaProject(data, 3);
+  ASSERT_TRUE(proj.ok());
+  double previous = 1e300;
+  for (size_t c = 0; c < 3; ++c) {
+    Vector col(200);
+    for (size_t i = 0; i < 200; ++i) col[i] = (*proj)(i, c);
+    double var = Variance(col);
+    EXPECT_LE(var, previous + 1e-9);
+    previous = var;
+  }
+}
+
+}  // namespace
+}  // namespace qb5000

@@ -1,0 +1,213 @@
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "math/adam.h"
+#include "math/linalg.h"
+#include "math/matrix.h"
+#include "math/stats.h"
+
+namespace qb5000 {
+namespace {
+
+TEST(MatrixTest, MatMul) {
+  Matrix a(2, 3);
+  a(0, 0) = 1; a(0, 1) = 2; a(0, 2) = 3;
+  a(1, 0) = 4; a(1, 1) = 5; a(1, 2) = 6;
+  Matrix b(3, 2);
+  b(0, 0) = 7; b(0, 1) = 8;
+  b(1, 0) = 9; b(1, 1) = 10;
+  b(2, 0) = 11; b(2, 1) = 12;
+  Matrix c = a.MatMul(b);
+  EXPECT_DOUBLE_EQ(c(0, 0), 58);
+  EXPECT_DOUBLE_EQ(c(0, 1), 64);
+  EXPECT_DOUBLE_EQ(c(1, 0), 139);
+  EXPECT_DOUBLE_EQ(c(1, 1), 154);
+}
+
+TEST(MatrixTest, MatVecAndTranspose) {
+  Matrix a(2, 2);
+  a(0, 0) = 1; a(0, 1) = 2;
+  a(1, 0) = 3; a(1, 1) = 4;
+  Vector v = {1, 1};
+  Vector r = a.MatVec(v);
+  EXPECT_DOUBLE_EQ(r[0], 3);
+  EXPECT_DOUBLE_EQ(r[1], 7);
+  Matrix t = a.Transpose();
+  EXPECT_DOUBLE_EQ(t(0, 1), 3);
+  EXPECT_DOUBLE_EQ(t(1, 0), 2);
+}
+
+TEST(MatrixTest, RowRoundTrip) {
+  Matrix a(2, 3);
+  a.SetRow(1, {7, 8, 9});
+  Vector r = a.Row(1);
+  EXPECT_EQ(r, (Vector{7, 8, 9}));
+}
+
+TEST(LinalgTest, CholeskySolveIdentity) {
+  Matrix eye = Matrix::Identity(3);
+  auto x = CholeskySolve(eye, {1, 2, 3});
+  ASSERT_TRUE(x.ok());
+  EXPECT_DOUBLE_EQ((*x)[1], 2.0);
+}
+
+TEST(LinalgTest, CholeskySolveSpd) {
+  // A = [[4,2],[2,3]], b = [10, 9]; solution [1.5, 2].
+  Matrix a(2, 2);
+  a(0, 0) = 4; a(0, 1) = 2; a(1, 0) = 2; a(1, 1) = 3;
+  auto x = CholeskySolve(a, {10, 9});
+  ASSERT_TRUE(x.ok());
+  EXPECT_NEAR((*x)[0], 1.5, 1e-12);
+  EXPECT_NEAR((*x)[1], 2.0, 1e-12);
+}
+
+TEST(LinalgTest, CholeskyRejectsIndefinite) {
+  Matrix a(2, 2);
+  a(0, 0) = 0; a(0, 1) = 1; a(1, 0) = 1; a(1, 1) = 0;
+  EXPECT_FALSE(CholeskySolve(a, {1, 1}).ok());
+}
+
+TEST(LinalgTest, RidgeRecoversLinearMap) {
+  // y = 2*x0 - 3*x1 with plenty of samples and tiny lambda.
+  Matrix x(50, 2);
+  Matrix y(50, 1);
+  for (size_t i = 0; i < 50; ++i) {
+    double a = std::sin(0.1 * static_cast<double>(i));
+    double b = std::cos(0.3 * static_cast<double>(i));
+    x(i, 0) = a;
+    x(i, 1) = b;
+    y(i, 0) = 2 * a - 3 * b;
+  }
+  auto w = RidgeRegression(x, y, 1e-8);
+  ASSERT_TRUE(w.ok());
+  EXPECT_NEAR((*w)(0, 0), 2.0, 1e-4);
+  EXPECT_NEAR((*w)(1, 0), -3.0, 1e-4);
+}
+
+TEST(LinalgTest, RidgeRejectsShapeMismatch) {
+  Matrix x(3, 2);
+  Matrix y(4, 1);
+  EXPECT_FALSE(RidgeRegression(x, y, 0.1).ok());
+}
+
+TEST(LinalgTest, SymmetricEigenDiagonal) {
+  Matrix a(3, 3);
+  a(0, 0) = 3; a(1, 1) = 1; a(2, 2) = 2;
+  auto eig = SymmetricEigen(a);
+  ASSERT_TRUE(eig.ok());
+  EXPECT_NEAR(eig->eigenvalues[0], 3, 1e-10);
+  EXPECT_NEAR(eig->eigenvalues[1], 2, 1e-10);
+  EXPECT_NEAR(eig->eigenvalues[2], 1, 1e-10);
+}
+
+TEST(LinalgTest, SymmetricEigenKnownMatrix) {
+  // [[2,1],[1,2]] has eigenvalues 3 and 1.
+  Matrix a(2, 2);
+  a(0, 0) = 2; a(0, 1) = 1; a(1, 0) = 1; a(1, 1) = 2;
+  auto eig = SymmetricEigen(a);
+  ASSERT_TRUE(eig.ok());
+  EXPECT_NEAR(eig->eigenvalues[0], 3.0, 1e-10);
+  EXPECT_NEAR(eig->eigenvalues[1], 1.0, 1e-10);
+  // Eigenvector for 3 is (1,1)/sqrt(2) up to sign.
+  double v0 = eig->eigenvectors(0, 0);
+  double v1 = eig->eigenvectors(1, 0);
+  EXPECT_NEAR(std::fabs(v0), std::sqrt(0.5), 1e-8);
+  EXPECT_NEAR(v0, v1, 1e-8);
+}
+
+TEST(LinalgTest, PcaFindsDominantDirection) {
+  // Points spread along (1, 1) direction: first PC captures nearly all
+  // variance, so projected coordinate ~ +/- distance along the diagonal.
+  Matrix data(100, 2);
+  for (size_t i = 0; i < 100; ++i) {
+    double t = static_cast<double>(i) - 50.0;
+    data(i, 0) = t + 0.01 * std::sin(static_cast<double>(i));
+    data(i, 1) = t - 0.01 * std::sin(static_cast<double>(i));
+  }
+  auto proj = PcaProject(data, 1);
+  ASSERT_TRUE(proj.ok());
+  ASSERT_EQ(proj->rows(), 100u);
+  ASSERT_EQ(proj->cols(), 1u);
+  // Extremes project to roughly +/- 50*sqrt(2).
+  double lo = (*proj)(0, 0);
+  double hi = (*proj)(99, 0);
+  EXPECT_NEAR(std::fabs(lo), 50.0 * std::sqrt(2.0), 1.0);
+  EXPECT_NEAR(std::fabs(hi), 49.0 * std::sqrt(2.0), 1.0);
+  EXPECT_LT(lo * hi, 0.0);  // opposite signs
+}
+
+TEST(LinalgTest, PcaRejectsBadK) {
+  Matrix data(5, 2, 1.0);
+  EXPECT_FALSE(PcaProject(data, 0).ok());
+  EXPECT_FALSE(PcaProject(data, 3).ok());
+}
+
+TEST(StatsTest, MeanVariance) {
+  EXPECT_DOUBLE_EQ(Mean({1, 2, 3, 4}), 2.5);
+  EXPECT_DOUBLE_EQ(Variance({2, 2, 2}), 0.0);
+  EXPECT_DOUBLE_EQ(Variance({1, 3}), 1.0);
+  EXPECT_DOUBLE_EQ(Mean({}), 0.0);
+}
+
+TEST(StatsTest, Mse) {
+  EXPECT_DOUBLE_EQ(MeanSquaredError({1, 2}, {1, 4}), 2.0);
+  EXPECT_DOUBLE_EQ(MeanSquaredError({}, {}), 0.0);
+}
+
+TEST(StatsTest, LogSpaceMseExactPredictionIsFloored) {
+  Vector v = {10, 100, 1000};
+  double mse = LogSpaceMse(v, v);
+  EXPECT_DOUBLE_EQ(mse, std::log(1e-12));
+}
+
+TEST(StatsTest, LogSpaceMseOrdersByError) {
+  Vector actual = {100, 200, 300};
+  Vector close = {110, 190, 310};
+  Vector far = {10, 20, 3000};
+  EXPECT_LT(LogSpaceMse(actual, close), LogSpaceMse(actual, far));
+}
+
+TEST(StatsTest, CosineSimilarity) {
+  EXPECT_DOUBLE_EQ(CosineSimilarity({1, 0}, {0, 1}), 0.0);
+  EXPECT_DOUBLE_EQ(CosineSimilarity({1, 2}, {2, 4}), 1.0);
+  EXPECT_DOUBLE_EQ(CosineSimilarity({0, 0}, {1, 1}), 0.0);
+  EXPECT_NEAR(CosineSimilarity({1, 0}, {-1, 0}), -1.0, 1e-12);
+}
+
+TEST(StatsTest, Quantile) {
+  std::vector<double> v = {4, 1, 3, 2};
+  EXPECT_DOUBLE_EQ(Quantile(v, 0.0), 1.0);
+  EXPECT_DOUBLE_EQ(Quantile(v, 1.0), 4.0);
+  EXPECT_DOUBLE_EQ(Quantile(v, 0.5), 2.5);
+  EXPECT_DOUBLE_EQ(Quantile({}, 0.5), 0.0);
+}
+
+TEST(AdamTest, ConvergesOnQuadratic) {
+  // Minimize (x-3)^2 + (y+1)^2.
+  std::vector<double> params = {0.0, 0.0};
+  AdamOptimizer::Options opts;
+  opts.learning_rate = 0.05;
+  AdamOptimizer adam(2, opts);
+  for (int i = 0; i < 2000; ++i) {
+    std::vector<double> grads = {2 * (params[0] - 3), 2 * (params[1] + 1)};
+    adam.Step(params, grads);
+  }
+  EXPECT_NEAR(params[0], 3.0, 1e-3);
+  EXPECT_NEAR(params[1], -1.0, 1e-3);
+}
+
+TEST(AdamTest, GradientClipBoundsStep) {
+  std::vector<double> params = {0.0};
+  AdamOptimizer::Options opts;
+  opts.learning_rate = 1.0;
+  opts.gradient_clip = 1.0;
+  AdamOptimizer adam(1, opts);
+  std::vector<double> grads = {1e9};
+  adam.Step(params, grads);
+  // Clipped gradient yields a bounded first step (~lr).
+  EXPECT_LT(std::fabs(params[0]), 2.0);
+}
+
+}  // namespace
+}  // namespace qb5000

@@ -1,0 +1,297 @@
+#include <gtest/gtest.h>
+
+#include "preprocessor/arrival_history.h"
+#include "preprocessor/preprocessor.h"
+#include "preprocessor/reservoir_sampler.h"
+#include "preprocessor/templatizer.h"
+
+namespace qb5000 {
+namespace {
+
+TEST(TemplatizerTest, ExtractsWhereConstants) {
+  auto out = Templatize("SELECT name FROM users WHERE id = 42 AND age > 18");
+  ASSERT_TRUE(out.ok());
+  EXPECT_EQ(out->template_text,
+            "SELECT name FROM users WHERE id = ? AND age > ?");
+  ASSERT_EQ(out->parameters.size(), 2u);
+  EXPECT_EQ(out->parameters[0].text, "42");
+  EXPECT_EQ(out->parameters[1].text, "18");
+  EXPECT_FALSE(out->used_fallback);
+}
+
+TEST(TemplatizerTest, SameTemplateDifferentConstants) {
+  auto a = Templatize("SELECT name FROM users WHERE id = 1");
+  auto b = Templatize("select NAME from USERS where ID=99999");
+  ASSERT_TRUE(a.ok());
+  ASSERT_TRUE(b.ok());
+  EXPECT_EQ(a->template_text, b->template_text);
+  EXPECT_EQ(a->fingerprint, b->fingerprint);
+}
+
+TEST(TemplatizerTest, UpdateSetAndWhereConstants) {
+  auto out = Templatize("UPDATE accounts SET balance = 100.5 WHERE id = 7");
+  ASSERT_TRUE(out.ok());
+  EXPECT_EQ(out->template_text, "UPDATE accounts SET balance = ? WHERE id = ?");
+  ASSERT_EQ(out->parameters.size(), 2u);
+  EXPECT_EQ(out->parameters[0].type, sql::LiteralType::kFloat);
+}
+
+TEST(TemplatizerTest, BatchedInsertCollapsesAndCountsTuples) {
+  auto out = Templatize("INSERT INTO pos (x, y) VALUES (1, 2), (3, 4), (5, 6)");
+  ASSERT_TRUE(out.ok());
+  EXPECT_EQ(out->template_text, "INSERT INTO pos (x, y) VALUES (?, ?)");
+  EXPECT_EQ(out->batch_size, 3u);
+  ASSERT_EQ(out->parameters.size(), 2u);  // first tuple only
+  EXPECT_EQ(out->parameters[0].text, "1");
+}
+
+TEST(TemplatizerTest, BatchSizesShareOneTemplate) {
+  auto a = Templatize("INSERT INTO pos (x, y) VALUES (1, 2)");
+  auto b = Templatize("INSERT INTO pos (x, y) VALUES (1, 2), (3, 4)");
+  ASSERT_TRUE(a.ok());
+  ASSERT_TRUE(b.ok());
+  EXPECT_EQ(a->template_text, b->template_text);
+  EXPECT_EQ(a->fingerprint, b->fingerprint);
+}
+
+TEST(TemplatizerTest, InListConstantsExtracted) {
+  auto out = Templatize("SELECT x FROM t WHERE a IN (10, 20, 30)");
+  ASSERT_TRUE(out.ok());
+  EXPECT_EQ(out->template_text, "SELECT x FROM t WHERE a IN (?, ?, ?)");
+  EXPECT_EQ(out->parameters.size(), 3u);
+}
+
+TEST(TemplatizerTest, CollectsTablesSorted) {
+  auto out = Templatize(
+      "SELECT z.v FROM zebra z JOIN apple a ON z.id = a.id WHERE a.k = 1");
+  ASSERT_TRUE(out.ok());
+  ASSERT_EQ(out->tables.size(), 2u);
+  EXPECT_EQ(out->tables[0], "apple");
+  EXPECT_EQ(out->tables[1], "zebra");
+}
+
+TEST(TemplatizerTest, FingerprintDistinguishesPredicates) {
+  auto a = Templatize("SELECT x FROM t WHERE a = 1");
+  auto b = Templatize("SELECT x FROM t WHERE a > 1");
+  auto c = Templatize("SELECT x FROM t WHERE b = 1");
+  ASSERT_TRUE(a.ok() && b.ok() && c.ok());
+  EXPECT_NE(a->fingerprint, b->fingerprint);
+  EXPECT_NE(a->fingerprint, c->fingerprint);
+}
+
+TEST(TemplatizerTest, FingerprintDistinguishesProjections) {
+  auto a = Templatize("SELECT x FROM t WHERE a = 1");
+  auto b = Templatize("SELECT y FROM t WHERE a = 1");
+  ASSERT_TRUE(a.ok() && b.ok());
+  EXPECT_NE(a->fingerprint, b->fingerprint);
+}
+
+TEST(TemplatizerTest, FallbackOnUnsupportedSyntax) {
+  // CREATE is outside the dialect; fallback must still strip constants.
+  auto out = Templatize("CREATE INDEX idx ON t (c)");
+  ASSERT_TRUE(out.ok());
+  EXPECT_TRUE(out->used_fallback);
+  auto out2 = Templatize("VACUUM 42");
+  ASSERT_TRUE(out2.ok());
+  EXPECT_TRUE(out2->used_fallback);
+  EXPECT_EQ(out2->parameters.size(), 1u);
+}
+
+TEST(TemplatizerTest, FallbackStableAcrossConstants) {
+  auto a = Templatize("EXPLAIN SELECT 1");
+  auto b = Templatize("EXPLAIN SELECT 2");
+  ASSERT_TRUE(a.ok() && b.ok());
+  EXPECT_EQ(a->fingerprint, b->fingerprint);
+}
+
+TEST(ReservoirSamplerTest, KeepsAllUnderCapacity) {
+  ReservoirSampler<int> sampler(5);
+  Rng rng(1);
+  for (int i = 0; i < 3; ++i) sampler.Add(i, rng);
+  EXPECT_EQ(sampler.items().size(), 3u);
+  EXPECT_EQ(sampler.seen(), 3u);
+}
+
+TEST(ReservoirSamplerTest, CapacityBounded) {
+  ReservoirSampler<int> sampler(10);
+  Rng rng(2);
+  for (int i = 0; i < 10000; ++i) sampler.Add(i, rng);
+  EXPECT_EQ(sampler.items().size(), 10u);
+  EXPECT_EQ(sampler.seen(), 10000u);
+}
+
+TEST(ReservoirSamplerTest, ApproximatelyUniform) {
+  // Each of 100 items should land in a 10-slot reservoir ~10% of the time.
+  const int kTrials = 2000;
+  const int kStream = 100;
+  std::vector<int> hits(kStream, 0);
+  Rng rng(3);
+  for (int t = 0; t < kTrials; ++t) {
+    ReservoirSampler<int> sampler(10);
+    for (int i = 0; i < kStream; ++i) sampler.Add(i, rng);
+    for (int kept : sampler.items()) ++hits[kept];
+  }
+  // Expected hits per item = kTrials * 10 / 100 = 200. Allow wide slack.
+  for (int i = 0; i < kStream; ++i) {
+    EXPECT_GT(hits[i], 120) << "item " << i;
+    EXPECT_LT(hits[i], 280) << "item " << i;
+  }
+}
+
+TEST(ArrivalHistoryTest, RecordAndSeries) {
+  ArrivalHistory h;
+  h.Record(60, 5);
+  h.Record(120, 3);
+  auto series = h.Series(kSecondsPerMinute, 60, 180);
+  ASSERT_TRUE(series.ok());
+  ASSERT_EQ(series->size(), 2u);
+  EXPECT_DOUBLE_EQ(series->values()[0], 5);
+  EXPECT_DOUBLE_EQ(series->values()[1], 3);
+  EXPECT_DOUBLE_EQ(h.Total(), 8);
+}
+
+TEST(ArrivalHistoryTest, SeriesAggregatesToHours) {
+  ArrivalHistory h;
+  for (int m = 0; m < 120; ++m) h.Record(m * 60, 1);
+  auto series = h.Series(kSecondsPerHour, 0, 2 * kSecondsPerHour);
+  ASSERT_TRUE(series.ok());
+  ASSERT_EQ(series->size(), 2u);
+  EXPECT_DOUBLE_EQ(series->values()[0], 60);
+  EXPECT_DOUBLE_EQ(series->values()[1], 60);
+}
+
+TEST(ArrivalHistoryTest, CompactPreservesTotalsAndSpreads) {
+  ArrivalHistory h;
+  for (int m = 0; m < 60; ++m) h.Record(m * 60, 2);  // hour 0: 120 total
+  h.Record(2 * kSecondsPerHour, 7);
+  size_t before_bytes = h.StorageBytes();
+  h.Compact(kSecondsPerHour);
+  EXPECT_LT(h.StorageBytes(), before_bytes);
+  // Hourly view unchanged by compaction.
+  auto hourly = h.Series(kSecondsPerHour, 0, 3 * kSecondsPerHour);
+  ASSERT_TRUE(hourly.ok());
+  EXPECT_DOUBLE_EQ(hourly->values()[0], 120);
+  EXPECT_DOUBLE_EQ(hourly->values()[2], 7);
+  // Minute view of the archived hour spreads the total uniformly.
+  auto minutes = h.Series(kSecondsPerMinute, 0, kSecondsPerHour);
+  ASSERT_TRUE(minutes.ok());
+  EXPECT_NEAR(minutes->values()[0], 2.0, 1e-9);
+  EXPECT_NEAR(minutes->Total(), 120.0, 1e-9);
+}
+
+TEST(ArrivalHistoryTest, LateArrivalAfterCompactionGoesToArchive) {
+  ArrivalHistory h;
+  h.Record(10 * kSecondsPerHour, 1);
+  h.Compact(10 * kSecondsPerHour);  // nothing before that hour yet
+  h.Compact(11 * kSecondsPerHour);
+  h.Record(5 * kSecondsPerHour, 4);  // late, pre-cutoff arrival
+  auto hourly = h.Series(kSecondsPerHour, 0, 12 * kSecondsPerHour);
+  ASSERT_TRUE(hourly.ok());
+  EXPECT_DOUBLE_EQ(hourly->values()[5], 4);
+  EXPECT_DOUBLE_EQ(hourly->values()[10], 1);
+}
+
+TEST(ArrivalHistoryTest, RejectsBadInterval) {
+  ArrivalHistory h;
+  h.Record(0, 1);
+  EXPECT_FALSE(h.Series(90, 0, 600).ok());
+  EXPECT_FALSE(h.Series(0, 0, 600).ok());
+}
+
+TEST(PreProcessorTest, GroupsEquivalentQueries) {
+  PreProcessor pre;
+  auto id1 = pre.Ingest("SELECT name FROM users WHERE id = 1", 0);
+  auto id2 = pre.Ingest("SELECT name FROM users WHERE id = 2", 60);
+  auto id3 = pre.Ingest("SELECT email FROM users WHERE id = 3", 120);
+  ASSERT_TRUE(id1.ok() && id2.ok() && id3.ok());
+  EXPECT_EQ(*id1, *id2);
+  EXPECT_NE(*id1, *id3);
+  EXPECT_EQ(pre.num_templates(), 2u);
+  EXPECT_DOUBLE_EQ(pre.total_queries(), 3.0);
+}
+
+TEST(PreProcessorTest, TracksPerTypeCounts) {
+  PreProcessor pre;
+  ASSERT_TRUE(pre.Ingest("SELECT 1", 0).ok());
+  ASSERT_TRUE(pre.Ingest("INSERT INTO t (a) VALUES (1)", 0).ok());
+  ASSERT_TRUE(pre.Ingest("UPDATE t SET a = 2 WHERE a = 1", 0).ok());
+  ASSERT_TRUE(pre.Ingest("DELETE FROM t WHERE a = 2", 0).ok());
+  EXPECT_DOUBLE_EQ(pre.QueriesOfType(sql::StatementType::kSelect), 1);
+  EXPECT_DOUBLE_EQ(pre.QueriesOfType(sql::StatementType::kInsert), 1);
+  EXPECT_DOUBLE_EQ(pre.QueriesOfType(sql::StatementType::kUpdate), 1);
+  EXPECT_DOUBLE_EQ(pre.QueriesOfType(sql::StatementType::kDelete), 1);
+}
+
+TEST(PreProcessorTest, ArrivalHistoryPerTemplate) {
+  PreProcessor pre;
+  for (int m = 0; m < 10; ++m) {
+    ASSERT_TRUE(
+        pre.Ingest("SELECT name FROM users WHERE id = " + std::to_string(m),
+                   m * 60)
+            .ok());
+  }
+  auto ids = pre.TemplateIds();
+  ASSERT_EQ(ids.size(), 1u);
+  const auto* info = pre.GetTemplate(ids[0]);
+  ASSERT_NE(info, nullptr);
+  EXPECT_DOUBLE_EQ(info->total_queries, 10);
+  auto series = info->history.Series(kSecondsPerMinute, 0, 600);
+  ASSERT_TRUE(series.ok());
+  EXPECT_DOUBLE_EQ(series->Total(), 10);
+}
+
+TEST(PreProcessorTest, ParameterSamplesKept) {
+  PreProcessor pre;
+  for (int i = 0; i < 100; ++i) {
+    ASSERT_TRUE(
+        pre.Ingest("SELECT name FROM users WHERE id = " + std::to_string(i), 0)
+            .ok());
+  }
+  const auto* info = pre.GetTemplate(pre.TemplateIds()[0]);
+  ASSERT_NE(info, nullptr);
+  EXPECT_EQ(info->param_samples.items().size(), 20u);
+  EXPECT_EQ(info->param_samples.seen(), 100u);
+}
+
+TEST(PreProcessorTest, NewTemplateRatio) {
+  PreProcessor pre;
+  ASSERT_TRUE(pre.Ingest("SELECT a FROM t WHERE x = 1", 0).ok());
+  ASSERT_TRUE(pre.Ingest("SELECT b FROM t WHERE x = 1", 0).ok());
+  ASSERT_TRUE(pre.Ingest("SELECT c FROM t WHERE x = 1", 1000).ok());
+  ASSERT_TRUE(pre.Ingest("SELECT d FROM t WHERE x = 1", 1000).ok());
+  EXPECT_DOUBLE_EQ(pre.NewTemplateRatio(500), 0.5);
+  EXPECT_DOUBLE_EQ(pre.NewTemplateRatio(0), 1.0);
+  EXPECT_DOUBLE_EQ(pre.NewTemplateRatio(2000), 0.0);
+}
+
+TEST(PreProcessorTest, EvictIdleTemplates) {
+  PreProcessor pre;
+  ASSERT_TRUE(pre.Ingest("SELECT a FROM t WHERE x = 1", 0).ok());
+  ASSERT_TRUE(pre.Ingest("SELECT b FROM t WHERE x = 1", 5000).ok());
+  auto evicted = pre.EvictIdleTemplates(1000);
+  EXPECT_EQ(evicted.size(), 1u);
+  EXPECT_EQ(pre.num_templates(), 1u);
+  // Re-ingesting the evicted template creates a fresh id.
+  auto id = pre.Ingest("SELECT a FROM t WHERE x = 1", 6000);
+  ASSERT_TRUE(id.ok());
+  EXPECT_EQ(pre.num_templates(), 2u);
+}
+
+TEST(PreProcessorTest, IngestTemplatizedBatch) {
+  PreProcessor pre;
+  auto tmpl = Templatize("SELECT a FROM t WHERE x = 1");
+  ASSERT_TRUE(tmpl.ok());
+  TemplateId id = pre.IngestTemplatized(*tmpl, 0, 500.0);
+  EXPECT_DOUBLE_EQ(pre.total_queries(), 500.0);
+  const auto* info = pre.GetTemplate(id);
+  ASSERT_NE(info, nullptr);
+  EXPECT_DOUBLE_EQ(info->history.Total(), 500.0);
+}
+
+TEST(PreProcessorTest, MalformedSqlReturnsError) {
+  PreProcessor pre;
+  EXPECT_FALSE(pre.Ingest("SELECT 'unterminated", 0).ok());
+}
+
+}  // namespace
+}  // namespace qb5000

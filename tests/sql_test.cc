@@ -1,0 +1,203 @@
+#include <gtest/gtest.h>
+
+#include "sql/lexer.h"
+#include "sql/parser.h"
+#include "sql/printer.h"
+
+namespace qb5000::sql {
+namespace {
+
+std::string RoundTrip(const std::string& in) {
+  auto stmt = Parse(in);
+  EXPECT_TRUE(stmt.ok()) << stmt.status().ToString() << " for: " << in;
+  if (!stmt.ok()) return "";
+  return Print(*stmt);
+}
+
+TEST(LexerTest, NormalizesKeywordsAndIdentifiers) {
+  auto tokens = Tokenize("select Name FROM Users");
+  ASSERT_TRUE(tokens.ok());
+  EXPECT_EQ((*tokens)[0].type, TokenType::kKeyword);
+  EXPECT_EQ((*tokens)[0].text, "SELECT");
+  EXPECT_EQ((*tokens)[1].type, TokenType::kIdentifier);
+  EXPECT_EQ((*tokens)[1].text, "name");
+  EXPECT_EQ((*tokens)[3].text, "users");
+}
+
+TEST(LexerTest, StringLiteralEscapes) {
+  auto tokens = Tokenize("SELECT 'it''s' ");
+  ASSERT_TRUE(tokens.ok());
+  EXPECT_EQ((*tokens)[1].type, TokenType::kString);
+  EXPECT_EQ((*tokens)[1].text, "it's");
+}
+
+TEST(LexerTest, Numbers) {
+  auto tokens = Tokenize("1 2.5 3e4 .5");
+  ASSERT_TRUE(tokens.ok());
+  EXPECT_EQ((*tokens)[0].type, TokenType::kInteger);
+  EXPECT_EQ((*tokens)[1].type, TokenType::kFloat);
+  EXPECT_EQ((*tokens)[2].type, TokenType::kFloat);
+  EXPECT_EQ((*tokens)[3].type, TokenType::kFloat);
+}
+
+TEST(LexerTest, CommentsSkipped) {
+  auto tokens = Tokenize("SELECT 1 -- trailing\n/* block */ FROM t");
+  ASSERT_TRUE(tokens.ok());
+  ASSERT_EQ(tokens->size(), 5u);  // SELECT 1 FROM t END
+  EXPECT_EQ((*tokens)[2].text, "FROM");
+}
+
+TEST(LexerTest, OperatorNormalization) {
+  auto tokens = Tokenize("a != b <> c <= d");
+  ASSERT_TRUE(tokens.ok());
+  EXPECT_EQ((*tokens)[1].text, "<>");
+  EXPECT_EQ((*tokens)[3].text, "<>");
+  EXPECT_EQ((*tokens)[5].text, "<=");
+}
+
+TEST(LexerTest, PlaceholderForms) {
+  auto tokens = Tokenize("? $1 $23");
+  ASSERT_TRUE(tokens.ok());
+  for (int i = 0; i < 3; ++i) {
+    EXPECT_EQ((*tokens)[i].type, TokenType::kPlaceholder);
+    EXPECT_EQ((*tokens)[i].text, "?");
+  }
+}
+
+TEST(LexerTest, RejectsUnterminatedString) {
+  EXPECT_FALSE(Tokenize("SELECT 'oops").ok());
+  EXPECT_FALSE(Tokenize("SELECT /* oops").ok());
+}
+
+TEST(ParserTest, SimpleSelect) {
+  auto stmt = Parse("SELECT id, name FROM users WHERE id = 5");
+  ASSERT_TRUE(stmt.ok());
+  ASSERT_EQ(stmt->type, StatementType::kSelect);
+  const auto& s = *stmt->select;
+  ASSERT_EQ(s.items.size(), 2u);
+  EXPECT_EQ(s.items[0].expr->column, "id");
+  ASSERT_EQ(s.from.size(), 1u);
+  EXPECT_EQ(s.from[0].table, "users");
+  ASSERT_TRUE(s.where != nullptr);
+  EXPECT_EQ(s.where->op, "=");
+}
+
+TEST(ParserTest, SelectStarRoundTrip) {
+  EXPECT_EQ(RoundTrip("select * from T where a=1 and b='x'"),
+            "SELECT * FROM t WHERE a = 1 AND b = 'x'");
+}
+
+TEST(ParserTest, JoinRoundTrip) {
+  EXPECT_EQ(RoundTrip("SELECT u.id FROM users u JOIN orders o ON u.id = o.uid"),
+            "SELECT u.id FROM users AS u JOIN orders AS o ON u.id = o.uid");
+}
+
+TEST(ParserTest, LeftJoin) {
+  auto stmt = Parse(
+      "SELECT a.x FROM a LEFT OUTER JOIN b ON a.id = b.id WHERE b.id IS NULL");
+  ASSERT_TRUE(stmt.ok());
+  ASSERT_EQ(stmt->select->joins.size(), 1u);
+  EXPECT_EQ(stmt->select->joins[0].join_type, "LEFT JOIN");
+  EXPECT_EQ(stmt->select->where->op, "IS NULL");
+}
+
+TEST(ParserTest, GroupByHavingOrderByLimit) {
+  std::string out = RoundTrip(
+      "SELECT dept, COUNT(*) FROM emp GROUP BY dept HAVING COUNT(*) > 3 "
+      "ORDER BY dept DESC LIMIT 10 OFFSET 5");
+  EXPECT_EQ(out,
+            "SELECT dept, COUNT(*) FROM emp GROUP BY dept HAVING COUNT(*) > 3 "
+            "ORDER BY dept DESC LIMIT 10 OFFSET 5");
+}
+
+TEST(ParserTest, InListAndBetween) {
+  std::string out = RoundTrip(
+      "SELECT x FROM t WHERE a IN (1,2,3) AND b NOT IN ('p') AND c BETWEEN 1 AND 9");
+  EXPECT_EQ(out,
+            "SELECT x FROM t WHERE a IN (1, 2, 3) AND b NOT IN ('p') AND "
+            "c BETWEEN 1 AND 9");
+}
+
+TEST(ParserTest, LikeAndNotLike) {
+  std::string out = RoundTrip("SELECT x FROM t WHERE n LIKE 'a%' AND m NOT LIKE 'b_'");
+  EXPECT_EQ(out, "SELECT x FROM t WHERE n LIKE 'a%' AND m NOT LIKE 'b_'");
+}
+
+TEST(ParserTest, OrPrecedenceParenthesized) {
+  // (a=1 OR b=2) AND c=3 must keep its parentheses on print.
+  std::string out = RoundTrip("SELECT x FROM t WHERE (a=1 OR b=2) AND c=3");
+  EXPECT_EQ(out, "SELECT x FROM t WHERE (a = 1 OR b = 2) AND c = 3");
+  // Reparse the printed form and print again: must be stable.
+  EXPECT_EQ(RoundTrip(out), out);
+}
+
+TEST(ParserTest, AggregateDistinct) {
+  std::string out = RoundTrip("SELECT COUNT(DISTINCT uid) FROM visits");
+  EXPECT_EQ(out, "SELECT COUNT(DISTINCT uid) FROM visits");
+}
+
+TEST(ParserTest, NegativeNumbersFoldIntoLiteral) {
+  auto stmt = Parse("SELECT x FROM t WHERE a = -5");
+  ASSERT_TRUE(stmt.ok());
+  const Expr& where = *stmt->select->where;
+  EXPECT_EQ(where.right->kind, ExprKind::kLiteral);
+  EXPECT_EQ(where.right->literal.text, "-5");
+}
+
+TEST(ParserTest, InsertSingleRow) {
+  auto stmt = Parse("INSERT INTO logs (msg, level) VALUES ('hi', 3)");
+  ASSERT_TRUE(stmt.ok());
+  ASSERT_EQ(stmt->type, StatementType::kInsert);
+  EXPECT_EQ(stmt->insert->table, "logs");
+  ASSERT_EQ(stmt->insert->columns.size(), 2u);
+  ASSERT_EQ(stmt->insert->rows.size(), 1u);
+}
+
+TEST(ParserTest, InsertBatched) {
+  auto stmt = Parse("INSERT INTO t (a) VALUES (1), (2), (3)");
+  ASSERT_TRUE(stmt.ok());
+  EXPECT_EQ(stmt->insert->rows.size(), 3u);
+}
+
+TEST(ParserTest, UpdateRoundTrip) {
+  EXPECT_EQ(RoundTrip("update T set A = 2, b='x' where id=7"),
+            "UPDATE t SET a = 2, b = 'x' WHERE id = 7");
+}
+
+TEST(ParserTest, DeleteRoundTrip) {
+  EXPECT_EQ(RoundTrip("DELETE FROM sessions WHERE expires < 1234"),
+            "DELETE FROM sessions WHERE expires < 1234");
+}
+
+TEST(ParserTest, PlaceholdersAccepted) {
+  EXPECT_EQ(RoundTrip("SELECT x FROM t WHERE id = ? AND v > $2"),
+            "SELECT x FROM t WHERE id = ? AND v > ?");
+}
+
+TEST(ParserTest, TrailingSemicolonAccepted) {
+  EXPECT_EQ(RoundTrip("SELECT 1;"), "SELECT 1");
+}
+
+TEST(ParserTest, RejectsGarbage) {
+  EXPECT_FALSE(Parse("SELEKT * FROM t").ok());
+  EXPECT_FALSE(Parse("SELECT FROM").ok());
+  EXPECT_FALSE(Parse("INSERT INTO t VALUES").ok());
+  EXPECT_FALSE(Parse("SELECT 1 extra garbage (").ok());
+}
+
+TEST(ParserTest, WhitespaceAndCaseNormalization) {
+  // Differently formatted but identical statements print identically.
+  std::string a = RoundTrip("SELECT  name\nFROM users\tWHERE id=3");
+  std::string b = RoundTrip("select name from USERS where ID = 3");
+  EXPECT_EQ(a, b);
+}
+
+TEST(PrinterTest, ExprClone) {
+  auto stmt = Parse("SELECT x FROM t WHERE a IN (1,2) AND b BETWEEN 3 AND 4");
+  ASSERT_TRUE(stmt.ok());
+  ExprPtr clone = stmt->select->where->Clone();
+  EXPECT_EQ(PrintExpr(*clone), PrintExpr(*stmt->select->where));
+}
+
+}  // namespace
+}  // namespace qb5000::sql

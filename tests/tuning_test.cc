@@ -1,0 +1,175 @@
+#include <gtest/gtest.h>
+
+#include "dbms/loader.h"
+#include "tuning/index_advisor.h"
+#include "workload/workload.h"
+
+namespace qb5000 {
+namespace {
+
+dbms::Database MakeDb() {
+  dbms::Database db;
+  EXPECT_TRUE(db.CreateTable("orders", {{"order_id", true, 100000},
+                                        {"customer_id", true, 5000},
+                                        {"status", true, 5},
+                                        {"total", true, 10000}})
+                  .ok());
+  dbms::Table* t = db.GetTable("orders");
+  for (int i = 1; i <= 5000; ++i) {
+    EXPECT_TRUE(t->Insert({int64_t{i}, int64_t{i % 5000 + 1},
+                           int64_t{i % 5 + 1}, int64_t{i % 10000}})
+                    .ok());
+  }
+  return db;
+}
+
+TEST(IndexAdvisorTest, RecommendsSelectiveColumn) {
+  dbms::Database db = MakeDb();
+  std::vector<AdvisorQuery> workload;
+  auto q = IndexAdvisor::MakeQuery(
+      "SELECT total FROM orders WHERE customer_id = 42", 100.0);
+  ASSERT_TRUE(q.ok());
+  workload.push_back(std::move(*q));
+  auto rec = IndexAdvisor::Recommend(db, workload, 3);
+  ASSERT_TRUE(rec.ok());
+  ASSERT_EQ(rec->size(), 1u);
+  EXPECT_EQ((*rec)[0], "orders.customer_id");
+}
+
+TEST(IndexAdvisorTest, WorksOnTemplatesWithPlaceholders) {
+  dbms::Database db = MakeDb();
+  std::vector<AdvisorQuery> workload;
+  auto q = IndexAdvisor::MakeQuery(
+      "SELECT total FROM orders WHERE customer_id = ?", 100.0);
+  ASSERT_TRUE(q.ok());
+  workload.push_back(std::move(*q));
+  auto rec = IndexAdvisor::Recommend(db, workload, 3);
+  ASSERT_TRUE(rec.ok());
+  ASSERT_EQ(rec->size(), 1u);
+  EXPECT_EQ((*rec)[0], "orders.customer_id");
+}
+
+TEST(IndexAdvisorTest, WeighsQueriesByVolume) {
+  dbms::Database db = MakeDb();
+  std::vector<AdvisorQuery> workload;
+  auto hot = IndexAdvisor::MakeQuery(
+      "SELECT total FROM orders WHERE customer_id = ?", 1000.0);
+  auto cold = IndexAdvisor::MakeQuery(
+      "SELECT total FROM orders WHERE order_id = ?", 1.0);
+  ASSERT_TRUE(hot.ok() && cold.ok());
+  workload.push_back(std::move(*hot));
+  workload.push_back(std::move(*cold));
+  auto rec = IndexAdvisor::Recommend(db, workload, 1);
+  ASSERT_TRUE(rec.ok());
+  ASSERT_EQ(rec->size(), 1u);
+  EXPECT_EQ((*rec)[0], "orders.customer_id");
+}
+
+TEST(IndexAdvisorTest, SkipsUnselectiveAndExistingIndexes) {
+  dbms::Database db = MakeDb();
+  ASSERT_TRUE(db.CreateIndex("orders", "customer_id").ok());
+  std::vector<AdvisorQuery> workload;
+  auto q1 = IndexAdvisor::MakeQuery(
+      "SELECT total FROM orders WHERE customer_id = ?", 100.0);
+  // status has 5 distinct values over 5000 rows: an index barely helps, and
+  // never re-recommend customer_id.
+  auto q2 =
+      IndexAdvisor::MakeQuery("SELECT total FROM orders WHERE status = ?", 1.0);
+  ASSERT_TRUE(q1.ok() && q2.ok());
+  workload.push_back(std::move(*q1));
+  workload.push_back(std::move(*q2));
+  auto rec = IndexAdvisor::Recommend(db, workload, 5);
+  ASSERT_TRUE(rec.ok());
+  for (const auto& index : *rec) {
+    EXPECT_NE(index, "orders.customer_id");
+  }
+}
+
+TEST(IndexAdvisorTest, WriteHeavyWorkloadGetsFewerIndexes) {
+  dbms::Database db = MakeDb();
+  std::vector<AdvisorQuery> workload;
+  // Tiny read volume, huge write volume on the same table: index
+  // maintenance cost should suppress the recommendation.
+  auto read = IndexAdvisor::MakeQuery(
+      "SELECT total FROM orders WHERE total = ?", 1.0);
+  auto write = IndexAdvisor::MakeQuery(
+      "INSERT INTO orders (customer_id, status, total) VALUES (?, ?, ?)",
+      100000.0);
+  ASSERT_TRUE(read.ok() && write.ok());
+  workload.push_back(std::move(*read));
+  workload.push_back(std::move(*write));
+  auto rec = IndexAdvisor::Recommend(db, workload, 5);
+  ASSERT_TRUE(rec.ok());
+  EXPECT_TRUE(rec->empty());
+}
+
+TEST(IndexAdvisorTest, GreedyOrdersByBenefit) {
+  dbms::Database db = MakeDb();
+  std::vector<AdvisorQuery> workload;
+  auto big = IndexAdvisor::MakeQuery(
+      "SELECT total FROM orders WHERE customer_id = ?", 500.0);
+  auto small = IndexAdvisor::MakeQuery(
+      "SELECT total FROM orders WHERE order_id = ?", 50.0);
+  ASSERT_TRUE(big.ok() && small.ok());
+  workload.push_back(std::move(*big));
+  workload.push_back(std::move(*small));
+  auto rec = IndexAdvisor::Recommend(db, workload, 5);
+  ASSERT_TRUE(rec.ok());
+  ASSERT_EQ(rec->size(), 2u);
+  EXPECT_EQ((*rec)[0], "orders.customer_id");
+  EXPECT_EQ((*rec)[1], "orders.order_id");
+}
+
+TEST(IndexAdvisorTest, RecommendationsSpeedUpRealWorkload) {
+  // End-to-end: advise on BusTracker templates, build, measure.
+  dbms::Database db;
+  Rng rng(31);
+  auto workload_def = MakeBusTracker();
+  ASSERT_TRUE(dbms::LoadWorkloadSchema(db, workload_def, rng, 0.2).ok());
+
+  std::vector<AdvisorQuery> advisor_input;
+  for (const auto& stream : workload_def.streams()) {
+    // Weight each template by its midday arrival rate, as the real
+    // controller weights templates by forecast volume.
+    double weight =
+        std::max(0.1, stream.rate_per_minute(12 * kSecondsPerHour));
+    auto q = IndexAdvisor::MakeQuery(stream.make_sql(rng), weight);
+    ASSERT_TRUE(q.ok());
+    advisor_input.push_back(std::move(*q));
+  }
+  auto before = IndexAdvisor::WorkloadCost(db, advisor_input, {});
+  ASSERT_TRUE(before.ok());
+
+  auto rec = IndexAdvisor::Recommend(db, advisor_input, 5);
+  ASSERT_TRUE(rec.ok());
+  ASSERT_FALSE(rec->empty());
+  for (const auto& index : *rec) {
+    auto dot = index.find('.');
+    ASSERT_TRUE(db.CreateIndex(index.substr(0, dot), index.substr(dot + 1)).ok());
+  }
+  auto after = IndexAdvisor::WorkloadCost(db, advisor_input, {});
+  ASSERT_TRUE(after.ok());
+  EXPECT_LT(*after, *before * 0.8);
+
+  // Real execution agrees with the estimate's direction.
+  double slow = 0, fast = 0;
+  Rng rng2(32);
+  for (const auto& stream : workload_def.streams()) {
+    auto exec = db.Execute(stream.make_sql(rng2));
+    ASSERT_TRUE(exec.ok());
+    fast += exec->latency_us;
+  }
+  dbms::Database plain;
+  Rng rng3(31);
+  ASSERT_TRUE(dbms::LoadWorkloadSchema(plain, workload_def, rng3, 0.2).ok());
+  Rng rng4(32);
+  for (const auto& stream : workload_def.streams()) {
+    auto exec = plain.Execute(stream.make_sql(rng4));
+    ASSERT_TRUE(exec.ok());
+    slow += exec->latency_us;
+  }
+  EXPECT_LT(fast, slow);
+}
+
+}  // namespace
+}  // namespace qb5000

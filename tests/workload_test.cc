@@ -1,0 +1,205 @@
+#include <gtest/gtest.h>
+
+#include "workload/patterns.h"
+#include "workload/workload.h"
+
+namespace qb5000 {
+namespace {
+
+TEST(PatternsTest, DayFractionAndIndex) {
+  EXPECT_DOUBLE_EQ(DayFraction(0), 0.0);
+  EXPECT_DOUBLE_EQ(DayFraction(kSecondsPerDay / 2), 0.5);
+  EXPECT_EQ(DayIndex(3 * kSecondsPerDay + 5), 3);
+}
+
+TEST(PatternsTest, HourBumpPeaksAtCenter) {
+  Timestamp at_8am = 8 * kSecondsPerHour;
+  EXPECT_NEAR(HourBump(at_8am, 8.0, 1.0), 1.0, 1e-9);
+  EXPECT_LT(HourBump(at_8am + 3 * kSecondsPerHour, 8.0, 1.0), 0.05);
+  // Wraps across midnight: 23:00 vs center 1:00 is 2 hours apart.
+  Timestamp at_11pm = 23 * kSecondsPerHour;
+  EXPECT_GT(HourBump(at_11pm, 1.0, 2.0), 0.5);
+}
+
+TEST(PatternsTest, WeekdayFactor) {
+  EXPECT_DOUBLE_EQ(WeekdayFactor(0), 1.0);                       // day 0
+  EXPECT_DOUBLE_EQ(WeekdayFactor(5 * kSecondsPerDay, 0.5), 0.5); // day 5
+  EXPECT_DOUBLE_EQ(WeekdayFactor(6 * kSecondsPerDay, 0.5), 0.5); // day 6
+  EXPECT_DOUBLE_EQ(WeekdayFactor(7 * kSecondsPerDay), 1.0);      // wraps
+}
+
+TEST(PatternsTest, DeadlinePressureGrowsThenDrops) {
+  Timestamp deadline = 30 * kSecondsPerDay;
+  double week_out = DeadlinePressure(23 * kSecondsPerDay, deadline, 5.0);
+  double day_out = DeadlinePressure(29 * kSecondsPerDay, deadline, 5.0);
+  double after = DeadlinePressure(31 * kSecondsPerDay, deadline, 5.0, 0.1);
+  EXPECT_LT(week_out, day_out);
+  EXPECT_DOUBLE_EQ(after, 0.1);
+  EXPECT_NEAR(DeadlinePressure(deadline, deadline, 5.0), 1.0, 1e-9);
+}
+
+TEST(PatternsTest, PseudoNoiseDeterministicAndBounded) {
+  for (int i = 0; i < 1000; ++i) {
+    double n = PseudoNoise(i * 60, 42);
+    EXPECT_GE(n, -1.0);
+    EXPECT_LE(n, 1.0);
+    EXPECT_DOUBLE_EQ(n, PseudoNoise(i * 60, 42));
+  }
+  EXPECT_NE(PseudoNoise(0, 1), PseudoNoise(0, 2));
+}
+
+TEST(WorkloadTest, AllGeneratorsProduceValidSql) {
+  Rng rng(3);
+  for (const auto& workload :
+       {MakeBusTracker(), MakeAdmissions(), MakeMooc(), MakeNoisyComposite()}) {
+    EXPECT_FALSE(workload.streams().empty()) << workload.label();
+    EXPECT_FALSE(workload.schema().empty()) << workload.label();
+    for (const auto& stream : workload.streams()) {
+      std::string sql = stream.make_sql(rng);
+      auto tmpl = Templatize(sql);
+      ASSERT_TRUE(tmpl.ok()) << workload.label() << "/" << stream.name << ": "
+                             << sql;
+      EXPECT_FALSE(tmpl->used_fallback)
+          << workload.label() << "/" << stream.name << ": " << sql;
+    }
+  }
+}
+
+TEST(WorkloadTest, StreamsTemplatizeStably) {
+  // Two materializations of one stream must share a template.
+  Rng rng(4);
+  auto workload = MakeBusTracker();
+  for (const auto& stream : workload.streams()) {
+    auto a = Templatize(stream.make_sql(rng));
+    auto b = Templatize(stream.make_sql(rng));
+    ASSERT_TRUE(a.ok() && b.ok());
+    EXPECT_EQ(a->fingerprint, b->fingerprint) << stream.name;
+  }
+}
+
+TEST(WorkloadTest, DistinctStreamsDistinctTemplates) {
+  // MOOC's long-tail dashboards must all be distinct templates.
+  Rng rng(5);
+  auto workload = MakeMooc();
+  std::set<std::string> fingerprints;
+  size_t dashboards = 0;
+  for (const auto& stream : workload.streams()) {
+    if (stream.name.rfind("custom_dashboard_", 0) != 0) continue;
+    ++dashboards;
+    auto tmpl = Templatize(stream.make_sql(rng));
+    ASSERT_TRUE(tmpl.ok());
+    fingerprints.insert(tmpl->fingerprint);
+  }
+  EXPECT_EQ(dashboards, 24u);
+  EXPECT_EQ(fingerprints.size(), dashboards);
+}
+
+TEST(WorkloadTest, FeedAggregatedPopulatesPreProcessor) {
+  auto workload = MakeBusTracker({.seed = 1, .volume_scale = 0.2});
+  PreProcessor pre;
+  ASSERT_TRUE(workload
+                  .FeedAggregated(pre, 0, 2 * kSecondsPerDay,
+                                  10 * kSecondsPerMinute, 11)
+                  .ok());
+  EXPECT_GT(pre.num_templates(), 5u);
+  EXPECT_GT(pre.total_queries(), 1000.0);
+  auto stats = workload.Stats(pre, 2.0);
+  EXPECT_GT(stats.selects, stats.deletes);
+  EXPECT_GT(stats.avg_queries_per_day, 0.0);
+  EXPECT_EQ(stats.dbms, "PostgreSQL");
+}
+
+TEST(WorkloadTest, BusTrackerHasRushHourShape) {
+  auto workload = MakeBusTracker({.seed = 2, .volume_scale = 1.0});
+  PreProcessor pre;
+  ASSERT_TRUE(workload
+                  .FeedAggregated(pre, 0, kSecondsPerDay,
+                                  10 * kSecondsPerMinute, 12)
+                  .ok());
+  // Aggregate all templates; morning rush (8am) must beat 3am.
+  double rush = 0, night = 0;
+  for (TemplateId id : pre.TemplateIds()) {
+    const auto* info = pre.GetTemplate(id);
+    auto series =
+        info->history.Series(kSecondsPerHour, 0, kSecondsPerDay);
+    ASSERT_TRUE(series.ok());
+    rush += series->values()[8];
+    night += series->values()[3];
+  }
+  EXPECT_GT(rush, 2.0 * night);
+}
+
+TEST(WorkloadTest, AdmissionsSpikesAtDeadline) {
+  auto workload = MakeAdmissions({.seed = 3, .volume_scale = 1.0});
+  PreProcessor pre;
+  // Feed the two weeks around the first deadline (day 334).
+  ASSERT_TRUE(workload
+                  .FeedAggregated(pre, 320 * kSecondsPerDay,
+                                  340 * kSecondsPerDay, kSecondsPerHour, 13)
+                  .ok());
+  double early = 0, deadline_day = 0;
+  for (TemplateId id : pre.TemplateIds()) {
+    const auto* info = pre.GetTemplate(id);
+    auto series = info->history.Series(kSecondsPerDay, 320 * kSecondsPerDay,
+                                       340 * kSecondsPerDay);
+    ASSERT_TRUE(series.ok());
+    early += series->values()[1];      // day 321
+    deadline_day += series->values()[14];  // day 334
+  }
+  EXPECT_GT(deadline_day, 5.0 * early);
+}
+
+TEST(WorkloadTest, MoocTemplateCountGrowsOverTime) {
+  auto workload = MakeMooc({.seed = 4, .volume_scale = 1.0});
+  PreProcessor pre;
+  ASSERT_TRUE(workload
+                  .FeedAggregated(pre, 0, 20 * kSecondsPerDay, kSecondsPerHour, 14)
+                  .ok());
+  size_t at_day20 = pre.num_templates();
+  ASSERT_TRUE(workload
+                  .FeedAggregated(pre, 20 * kSecondsPerDay, 70 * kSecondsPerDay,
+                                  kSecondsPerHour, 15)
+                  .ok());
+  size_t at_day70 = pre.num_templates();
+  EXPECT_GT(at_day70, at_day20 + 10);  // release + long tail appeared
+}
+
+TEST(WorkloadTest, NoisyCompositeSegmentsShiftLevels) {
+  auto workload = MakeNoisyComposite({.seed = 5, .volume_scale = 1.0});
+  PreProcessor pre;
+  ASSERT_TRUE(workload
+                  .FeedAggregated(pre, 0, 80 * kSecondsPerHour,
+                                  10 * kSecondsPerMinute, 16)
+                  .ok());
+  // 8 benchmarks x 3 templates.
+  EXPECT_EQ(pre.num_templates(), 24u);
+  // Segment 5 (twitter, 520/min) must dwarf segment 6 (epinions, 90/min).
+  double total_twitter = 0, total_epinions = 0;
+  for (TemplateId id : pre.TemplateIds()) {
+    const auto* info = pre.GetTemplate(id);
+    auto series = info->history.Series(10 * kSecondsPerHour, 0,
+                                       80 * kSecondsPerHour);
+    ASSERT_TRUE(series.ok());
+    total_twitter += series->values()[5];
+    total_epinions += series->values()[6];
+  }
+  EXPECT_GT(total_twitter, 3.0 * total_epinions);
+}
+
+TEST(WorkloadTest, MaterializeProducesSortedBoundedEvents) {
+  auto workload = MakeBusTracker({.seed = 6, .volume_scale = 0.05});
+  auto events = workload.Materialize(0, 2 * kSecondsPerHour,
+                                     10 * kSecondsPerMinute, 17);
+  ASSERT_FALSE(events.empty());
+  for (size_t i = 1; i < events.size(); ++i) {
+    EXPECT_LE(events[i - 1].timestamp, events[i].timestamp);
+  }
+  for (const auto& event : events) {
+    EXPECT_GE(event.timestamp, 0);
+    EXPECT_LT(event.timestamp, 2 * kSecondsPerHour);
+    EXPECT_TRUE(Templatize(event.sql).ok());
+  }
+}
+
+}  // namespace
+}  // namespace qb5000
