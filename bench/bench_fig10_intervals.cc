@@ -19,12 +19,6 @@ using namespace qb5000::bench;
 
 namespace {
 
-Matrix SubMatrix(const Matrix& m, size_t rows) {
-  Matrix out(rows, m.cols());
-  for (size_t i = 0; i < rows; ++i) out.SetRow(i, m.Row(i));
-  return out;
-}
-
 struct CellResult {
   double log_mse = 0.0;
   double train_seconds = 0.0;

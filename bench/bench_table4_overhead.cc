@@ -40,10 +40,11 @@ void BM_PreProcessorIngest(benchmark::State& state) {
   PreProcessor pre;
   int i = 0;
   for (auto _ : state) {
+    int seq = i++;
     auto id = pre.Ingest(
         "SELECT status FROM applications WHERE applicant_id = " +
-            std::to_string(i++ % 10000),
-        (i % 100000) * 60);
+            std::to_string(seq % 10000),
+        (seq % 100000) * 60);
     benchmark::DoNotOptimize(id);
   }
 }

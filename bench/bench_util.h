@@ -1,5 +1,4 @@
-#ifndef QB5000_BENCH_BENCH_UTIL_H_
-#define QB5000_BENCH_BENCH_UTIL_H_
+#pragma once
 
 #include <string>
 #include <vector>
@@ -52,5 +51,3 @@ TimeSeries TotalSeries(const PreProcessor& pre, int64_t interval_seconds,
                        Timestamp from, Timestamp to);
 
 }  // namespace qb5000::bench
-
-#endif  // QB5000_BENCH_BENCH_UTIL_H_

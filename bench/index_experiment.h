@@ -1,5 +1,4 @@
-#ifndef QB5000_BENCH_INDEX_EXPERIMENT_H_
-#define QB5000_BENCH_INDEX_EXPERIMENT_H_
+#pragma once
 
 #include <string>
 
@@ -34,5 +33,3 @@ int RunIndexSelectionExperiment(const SyntheticWorkload& workload,
                                 const IndexExperimentOptions& options);
 
 }  // namespace qb5000::bench
-
-#endif  // QB5000_BENCH_INDEX_EXPERIMENT_H_

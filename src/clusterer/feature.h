@@ -1,5 +1,4 @@
-#ifndef QB5000_CLUSTERER_FEATURE_H_
-#define QB5000_CLUSTERER_FEATURE_H_
+#pragma once
 
 #include <vector>
 
@@ -82,5 +81,3 @@ class LogicalFeature {
 };
 
 }  // namespace qb5000
-
-#endif  // QB5000_CLUSTERER_FEATURE_H_

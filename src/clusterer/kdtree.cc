@@ -1,10 +1,10 @@
 #include "clusterer/kdtree.h"
 
 #include <algorithm>
-#include <cassert>
 #include <limits>
 #include <numeric>
 
+#include "common/check.h"
 #include "math/stats.h"
 
 namespace qb5000 {
@@ -14,6 +14,10 @@ void KdTree::Build(std::vector<Vector> points) {
   nodes_.clear();
   root_ = -1;
   if (points_.empty()) return;
+  QB_CHECK_GT(points_[0].size(), 0u);
+  for (const Vector& p : points_) {
+    QB_CHECK_EQ(p.size(), points_[0].size());
+  }
   std::vector<int> idx(points_.size());
   std::iota(idx.begin(), idx.end(), 0);
   nodes_.reserve(points_.size());
@@ -43,7 +47,7 @@ int KdTree::BuildRange(std::vector<int>& idx, size_t begin, size_t end,
 KdTree::Neighbor KdTree::Nearest(const Vector& query) const {
   Neighbor best;
   if (root_ < 0) return best;
-  assert(query.size() == points_[0].size());
+  QB_CHECK_EQ(query.size(), points_[0].size());
   best.distance_squared = std::numeric_limits<double>::infinity();
   Search(root_, query, best);
   return best;

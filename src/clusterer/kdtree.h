@@ -1,5 +1,4 @@
-#ifndef QB5000_CLUSTERER_KDTREE_H_
-#define QB5000_CLUSTERER_KDTREE_H_
+#pragma once
 
 #include <cstdint>
 #include <vector>
@@ -50,5 +49,3 @@ class KdTree {
 };
 
 }  // namespace qb5000
-
-#endif  // QB5000_CLUSTERER_KDTREE_H_

@@ -1,5 +1,4 @@
-#ifndef QB5000_CLUSTERER_ONLINE_CLUSTERER_H_
-#define QB5000_CLUSTERER_ONLINE_CLUSTERER_H_
+#pragma once
 
 #include <cstdint>
 #include <map>
@@ -125,5 +124,3 @@ class OnlineClusterer {
 };
 
 }  // namespace qb5000
-
-#endif  // QB5000_CLUSTERER_ONLINE_CLUSTERER_H_

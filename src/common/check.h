@@ -1,0 +1,111 @@
+#pragma once
+
+#include <cstdio>
+#include <cstdlib>
+#include <sstream>
+#include <string>
+#include <type_traits>
+
+/// Always-on invariant checks.
+///
+/// Raw assert() is compiled out by NDEBUG, which the default Release build
+/// defines — so every invariant it guarded silently disappears exactly where
+/// the forecaster runs in production. The QB_CHECK family stays active in
+/// every build type and prints file:line plus the failed expression before
+/// aborting, so a violated precondition produces an actionable crash report
+/// instead of undefined behavior several frames later.
+///
+/// Policy (see DESIGN.md "Verification & static analysis"):
+///   - QB_CHECK / QB_CHECK_<OP>: preconditions on public entry points and
+///     invariants whose failure would corrupt state or index out of bounds.
+///     Active in Release; use everywhere the check is O(1) and off the
+///     innermost hot loop.
+///   - QB_DCHECK / QB_DCHECK_<OP>: expensive or innermost-loop checks that
+///     Release builds cannot afford. Compiled out under NDEBUG (the
+///     expression is still type-checked, never evaluated).
+///
+/// Raw assert() is banned outside this header (enforced by tools/qb_lint.py).
+
+namespace qb5000::check_internal {
+
+[[noreturn]] inline void CheckFailed(const char* file, int line,
+                                     const char* expr,
+                                     const std::string& values = {}) {
+  if (values.empty()) {
+    std::fprintf(stderr, "QB_CHECK failed at %s:%d: %s\n", file, line, expr);
+  } else {
+    std::fprintf(stderr, "QB_CHECK failed at %s:%d: %s (%s)\n", file, line,
+                 expr, values.c_str());
+  }
+  std::fflush(stderr);
+  std::abort();
+}
+
+/// Renders "lhs=A rhs=B" when both operands are streamable arithmetic-ish
+/// types; returns an empty string otherwise so QB_CHECK_EQ works on any
+/// comparable type (Value, iterators, ...).
+template <typename A, typename B>
+std::string DescribeOperands(const A& a, const B& b) {
+  if constexpr (std::is_arithmetic_v<std::decay_t<A>> &&
+                std::is_arithmetic_v<std::decay_t<B>>) {
+    std::ostringstream oss;
+    oss << "lhs=" << +a << " rhs=" << +b;
+    return oss.str();
+  } else {
+    return {};
+  }
+}
+
+}  // namespace qb5000::check_internal
+
+#define QB_CHECK(cond)                                                   \
+  do {                                                                   \
+    if (!(cond)) {                                                       \
+      ::qb5000::check_internal::CheckFailed(__FILE__, __LINE__, #cond);  \
+    }                                                                    \
+  } while (false)
+
+#define QB_CHECK_OP_(a, b, op)                                              \
+  do {                                                                      \
+    const auto& qb_check_a_ = (a);                                          \
+    const auto& qb_check_b_ = (b);                                          \
+    if (!(qb_check_a_ op qb_check_b_)) {                                    \
+      ::qb5000::check_internal::CheckFailed(                                \
+          __FILE__, __LINE__, #a " " #op " " #b,                            \
+          ::qb5000::check_internal::DescribeOperands(qb_check_a_,           \
+                                                     qb_check_b_));         \
+    }                                                                       \
+  } while (false)
+
+#define QB_CHECK_EQ(a, b) QB_CHECK_OP_(a, b, ==)
+#define QB_CHECK_NE(a, b) QB_CHECK_OP_(a, b, !=)
+#define QB_CHECK_LT(a, b) QB_CHECK_OP_(a, b, <)
+#define QB_CHECK_LE(a, b) QB_CHECK_OP_(a, b, <=)
+#define QB_CHECK_GT(a, b) QB_CHECK_OP_(a, b, >)
+#define QB_CHECK_GE(a, b) QB_CHECK_OP_(a, b, >=)
+
+#ifdef NDEBUG
+// Type-check but never evaluate the condition; optimizes to nothing.
+#define QB_DCHECK(cond) \
+  do {                  \
+    if (false) {        \
+      (void)(cond);     \
+    }                   \
+  } while (false)
+#define QB_DCHECK_OP_(a, b, op) \
+  do {                          \
+    if (false) {                \
+      (void)((a)op(b));         \
+    }                           \
+  } while (false)
+#else
+#define QB_DCHECK(cond) QB_CHECK(cond)
+#define QB_DCHECK_OP_(a, b, op) QB_CHECK_OP_(a, b, op)
+#endif
+
+#define QB_DCHECK_EQ(a, b) QB_DCHECK_OP_(a, b, ==)
+#define QB_DCHECK_NE(a, b) QB_DCHECK_OP_(a, b, !=)
+#define QB_DCHECK_LT(a, b) QB_DCHECK_OP_(a, b, <)
+#define QB_DCHECK_LE(a, b) QB_DCHECK_OP_(a, b, <=)
+#define QB_DCHECK_GT(a, b) QB_DCHECK_OP_(a, b, >)
+#define QB_DCHECK_GE(a, b) QB_DCHECK_OP_(a, b, >=)

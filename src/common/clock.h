@@ -1,5 +1,4 @@
-#ifndef QB5000_COMMON_CLOCK_H_
-#define QB5000_COMMON_CLOCK_H_
+#pragma once
 
 #include <cstdint>
 #include <string>
@@ -30,5 +29,3 @@ inline Timestamp AlignDown(Timestamp ts, int64_t interval_seconds) {
 std::string FormatTimestamp(Timestamp ts);
 
 }  // namespace qb5000
-
-#endif  // QB5000_COMMON_CLOCK_H_

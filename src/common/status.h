@@ -1,9 +1,10 @@
-#ifndef QB5000_COMMON_STATUS_H_
-#define QB5000_COMMON_STATUS_H_
+#pragma once
 
 #include <string>
 #include <utility>
 #include <variant>
+
+#include "common/check.h"
 
 namespace qb5000 {
 
@@ -22,8 +23,10 @@ enum class StatusCode {
 };
 
 /// A lightweight success-or-error value. Cheap to copy on the success path
-/// (one enum); carries a message only on failure.
-class Status {
+/// (one enum); carries a message only on failure. [[nodiscard]] at class
+/// level: any call site that drops a returned Status on the floor is a
+/// compile warning (an error under QB5000_WERROR / CI).
+class [[nodiscard]] Status {
  public:
   /// Constructs an OK status.
   Status() : code_(StatusCode::kOk) {}
@@ -68,7 +71,7 @@ class Status {
 /// Holds either a value of type T or an error Status. Mirrors
 /// absl::StatusOr<T> semantics at the scale this project needs.
 template <typename T>
-class Result {
+class [[nodiscard]] Result {
  public:
   /// Implicit construction from a value or a Status keeps call sites terse:
   /// `return value;` or `return Status::ParseError(...)`.
@@ -83,10 +86,20 @@ class Result {
     return std::get<Status>(data_);
   }
 
-  /// Precondition: ok(). Accessing the value of a failed Result aborts.
-  const T& value() const& { return std::get<T>(data_); }
-  T& value() & { return std::get<T>(data_); }
-  T&& value() && { return std::get<T>(std::move(data_)); }
+  /// Precondition: ok(). Accessing the value of a failed Result aborts
+  /// (in every build type) with the error's ToString() on stderr.
+  const T& value() const& {
+    CheckOk();
+    return std::get<T>(data_);
+  }
+  T& value() & {
+    CheckOk();
+    return std::get<T>(data_);
+  }
+  T&& value() && {
+    CheckOk();
+    return std::get<T>(std::move(data_));
+  }
 
   const T& operator*() const& { return value(); }
   T& operator*() & { return value(); }
@@ -94,9 +107,15 @@ class Result {
   T* operator->() { return &value(); }
 
  private:
+  void CheckOk() const {
+    if (!ok()) {
+      check_internal::CheckFailed(__FILE__, __LINE__,
+                                  "Result::value() on error",
+                                  std::get<Status>(data_).ToString());
+    }
+  }
+
   std::variant<T, Status> data_;
 };
 
 }  // namespace qb5000
-
-#endif  // QB5000_COMMON_STATUS_H_

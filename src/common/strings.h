@@ -1,5 +1,4 @@
-#ifndef QB5000_COMMON_STRINGS_H_
-#define QB5000_COMMON_STRINGS_H_
+#pragma once
 
 #include <string>
 #include <string_view>
@@ -26,5 +25,3 @@ std::vector<std::string> Split(std::string_view s, char sep);
 bool StartsWith(std::string_view s, std::string_view prefix);
 
 }  // namespace qb5000
-
-#endif  // QB5000_COMMON_STRINGS_H_

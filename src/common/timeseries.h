@@ -1,9 +1,9 @@
-#ifndef QB5000_COMMON_TIMESERIES_H_
-#define QB5000_COMMON_TIMESERIES_H_
+#pragma once
 
 #include <cstddef>
 #include <vector>
 
+#include "common/check.h"
 #include "common/clock.h"
 #include "common/status.h"
 
@@ -18,13 +18,19 @@ namespace qb5000 {
 class TimeSeries {
  public:
   TimeSeries() : start_(0), interval_seconds_(kSecondsPerMinute) {}
+  /// Precondition: interval_seconds > 0 (every bucket computation divides
+  /// by it, so a zero interval would be UB on first Add/ValueAt).
   TimeSeries(Timestamp start, int64_t interval_seconds)
-      : start_(start), interval_seconds_(interval_seconds) {}
+      : start_(start), interval_seconds_(interval_seconds) {
+    QB_CHECK_GT(interval_seconds_, 0);
+  }
   TimeSeries(Timestamp start, int64_t interval_seconds,
              std::vector<double> values)
       : start_(start),
         interval_seconds_(interval_seconds),
-        values_(std::move(values)) {}
+        values_(std::move(values)) {
+    QB_CHECK_GT(interval_seconds_, 0);
+  }
 
   Timestamp start() const { return start_; }
   int64_t interval_seconds() const { return interval_seconds_; }
@@ -73,5 +79,3 @@ class TimeSeries {
 };
 
 }  // namespace qb5000
-
-#endif  // QB5000_COMMON_TIMESERIES_H_

@@ -36,7 +36,13 @@ std::vector<ClusterId> QueryBot5000::ModeledClusters() const {
 }
 
 Status QueryBot5000::RunMaintenance(Timestamp now, bool force) {
-  bool due = now - last_maintenance_ >= config_.maintenance_period_seconds;
+  // last_maintenance_ starts at Timestamp::min() meaning "never ran";
+  // `now - min()` is signed overflow (UB, UBSan-fatal), so test the
+  // sentinel before forming the difference.
+  bool never_ran =
+      last_maintenance_ == std::numeric_limits<Timestamp>::min();
+  bool due = never_ran ||
+             now - last_maintenance_ >= config_.maintenance_period_seconds;
   bool triggered = clusterer_.ShouldTrigger(pre_);
   if (!force && !due && !triggered) return Status::Ok();
 

@@ -1,6 +1,6 @@
-#ifndef QB5000_CORE_QB5000_H_
-#define QB5000_CORE_QB5000_H_
+#pragma once
 
+#include <limits>
 #include <vector>
 
 #include "clusterer/online_clusterer.h"
@@ -82,5 +82,3 @@ class QueryBot5000 {
 };
 
 }  // namespace qb5000
-
-#endif  // QB5000_CORE_QB5000_H_

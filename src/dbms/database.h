@@ -1,5 +1,4 @@
-#ifndef QB5000_DBMS_DATABASE_H_
-#define QB5000_DBMS_DATABASE_H_
+#pragma once
 
 #include <map>
 #include <memory>
@@ -77,5 +76,3 @@ class Database {
 };
 
 }  // namespace qb5000::dbms
-
-#endif  // QB5000_DBMS_DATABASE_H_

@@ -2,6 +2,8 @@
 
 #include <algorithm>
 
+#include "common/check.h"
+
 namespace qb5000::dbms {
 
 Status LoadWorkloadSchema(Database& db, const SyntheticWorkload& workload,
@@ -20,6 +22,7 @@ Status LoadWorkloadSchema(Database& db, const SyntheticWorkload& workload,
     if (!st.ok()) return st;
 
     Table* table = db.GetTable(spec.name);
+    QB_CHECK(table != nullptr);  // CreateTable just succeeded
     int64_t rows = std::max<int64_t>(
         1, static_cast<int64_t>(static_cast<double>(spec.row_count) * row_scale));
     for (int64_t r = 0; r < rows; ++r) {

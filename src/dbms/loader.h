@@ -1,5 +1,4 @@
-#ifndef QB5000_DBMS_LOADER_H_
-#define QB5000_DBMS_LOADER_H_
+#pragma once
 
 #include "common/rng.h"
 #include "common/status.h"
@@ -16,5 +15,3 @@ Status LoadWorkloadSchema(Database& db, const SyntheticWorkload& workload,
                           Rng& rng, double row_scale = 1.0);
 
 }  // namespace qb5000::dbms
-
-#endif  // QB5000_DBMS_LOADER_H_

@@ -1,11 +1,11 @@
-#ifndef QB5000_DBMS_TABLE_H_
-#define QB5000_DBMS_TABLE_H_
+#pragma once
 
 #include <map>
 #include <memory>
 #include <string>
 #include <vector>
 
+#include "common/check.h"
 #include "common/status.h"
 #include "dbms/value.h"
 
@@ -70,7 +70,13 @@ class Table {
   Status UpdateCell(RowId row, size_t col, Value v);
 
   bool IsLive(RowId row) const { return row < live_.size() && live_[row]; }
-  const Row& GetRow(RowId row) const { return rows_[row]; }
+
+  /// Precondition: row < allocated_rows(). Deleted rows remain readable
+  /// (callers filter with IsLive); out-of-range ids abort.
+  const Row& GetRow(RowId row) const {
+    QB_CHECK_LT(row, rows_.size());
+    return rows_[row];
+  }
   size_t live_rows() const { return live_count_; }
   size_t allocated_rows() const { return rows_.size(); }
 
@@ -91,5 +97,3 @@ class Table {
 };
 
 }  // namespace qb5000::dbms
-
-#endif  // QB5000_DBMS_TABLE_H_

@@ -1,5 +1,4 @@
-#ifndef QB5000_DBMS_VALUE_H_
-#define QB5000_DBMS_VALUE_H_
+#pragma once
 
 #include <cstdint>
 #include <string>
@@ -38,5 +37,3 @@ Value ValueFromLiteral(const sql::Literal& literal, bool as_int);
 std::string ValueToString(const Value& v);
 
 }  // namespace qb5000::dbms
-
-#endif  // QB5000_DBMS_VALUE_H_

@@ -1,5 +1,4 @@
-#ifndef QB5000_FORECASTER_DATASET_H_
-#define QB5000_FORECASTER_DATASET_H_
+#pragma once
 
 #include <vector>
 
@@ -38,5 +37,3 @@ Vector ToArrivalRates(const Vector& log_space);
 Vector ToLogSpace(const Vector& rates);
 
 }  // namespace qb5000
-
-#endif  // QB5000_FORECASTER_DATASET_H_

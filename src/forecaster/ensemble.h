@@ -1,5 +1,4 @@
-#ifndef QB5000_FORECASTER_ENSEMBLE_H_
-#define QB5000_FORECASTER_ENSEMBLE_H_
+#pragma once
 
 #include <memory>
 
@@ -61,5 +60,3 @@ class HybridModel : public ForecastModel {
 };
 
 }  // namespace qb5000
-
-#endif  // QB5000_FORECASTER_ENSEMBLE_H_

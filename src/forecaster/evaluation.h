@@ -1,5 +1,4 @@
-#ifndef QB5000_FORECASTER_EVALUATION_H_
-#define QB5000_FORECASTER_EVALUATION_H_
+#pragma once
 
 #include <vector>
 
@@ -39,5 +38,3 @@ Result<EvaluationResult> EvaluateModel(ModelKind kind,
 std::vector<double> SumAcrossSeries(const std::vector<Vector>& per_point);
 
 }  // namespace qb5000
-
-#endif  // QB5000_FORECASTER_EVALUATION_H_

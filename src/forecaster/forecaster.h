@@ -1,5 +1,4 @@
-#ifndef QB5000_FORECASTER_FORECASTER_H_
-#define QB5000_FORECASTER_FORECASTER_H_
+#pragma once
 
 #include <map>
 #include <memory>
@@ -80,5 +79,3 @@ class Forecaster {
 };
 
 }  // namespace qb5000
-
-#endif  // QB5000_FORECASTER_FORECASTER_H_

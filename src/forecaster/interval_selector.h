@@ -1,5 +1,4 @@
-#ifndef QB5000_FORECASTER_INTERVAL_SELECTOR_H_
-#define QB5000_FORECASTER_INTERVAL_SELECTOR_H_
+#pragma once
 
 #include <vector>
 
@@ -62,5 +61,3 @@ class IntervalSelector {
 };
 
 }  // namespace qb5000
-
-#endif  // QB5000_FORECASTER_INTERVAL_SELECTOR_H_

@@ -1,5 +1,4 @@
-#ifndef QB5000_FORECASTER_KERNEL_REGRESSION_H_
-#define QB5000_FORECASTER_KERNEL_REGRESSION_H_
+#pragma once
 
 #include "forecaster/model.h"
 
@@ -35,5 +34,3 @@ class KernelRegressionModel : public ForecastModel {
 };
 
 }  // namespace qb5000
-
-#endif  // QB5000_FORECASTER_KERNEL_REGRESSION_H_

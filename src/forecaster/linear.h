@@ -1,5 +1,4 @@
-#ifndef QB5000_FORECASTER_LINEAR_H_
-#define QB5000_FORECASTER_LINEAR_H_
+#pragma once
 
 #include <vector>
 
@@ -52,5 +51,3 @@ class ArmaModel : public ForecastModel {
 };
 
 }  // namespace qb5000
-
-#endif  // QB5000_FORECASTER_LINEAR_H_

@@ -1,5 +1,4 @@
-#ifndef QB5000_FORECASTER_MODEL_H_
-#define QB5000_FORECASTER_MODEL_H_
+#pragma once
 
 #include <memory>
 #include <string_view>
@@ -95,5 +94,3 @@ std::string_view ModelKindName(ModelKind kind);
 ModelTraits TraitsOf(ModelKind kind);
 
 }  // namespace qb5000
-
-#endif  // QB5000_FORECASTER_MODEL_H_

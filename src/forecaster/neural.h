@@ -1,5 +1,4 @@
-#ifndef QB5000_FORECASTER_NEURAL_H_
-#define QB5000_FORECASTER_NEURAL_H_
+#pragma once
 
 #include <vector>
 
@@ -96,5 +95,3 @@ class PsrnnModel : public ForecastModel {
 };
 
 }  // namespace qb5000
-
-#endif  // QB5000_FORECASTER_NEURAL_H_

@@ -1,7 +1,8 @@
 #include "math/adam.h"
 
-#include <cassert>
 #include <cmath>
+
+#include "common/check.h"
 
 namespace qb5000 {
 
@@ -10,7 +11,8 @@ AdamOptimizer::AdamOptimizer(size_t num_params, Options options)
 
 void AdamOptimizer::Step(std::vector<double>& params,
                          std::vector<double>& grads) {
-  assert(params.size() == m_.size() && grads.size() == m_.size());
+  QB_CHECK_EQ(params.size(), m_.size());
+  QB_CHECK_EQ(grads.size(), m_.size());
   if (options_.gradient_clip > 0.0) {
     double norm_sq = 0.0;
     for (double g : grads) norm_sq += g * g;

@@ -1,5 +1,4 @@
-#ifndef QB5000_MATH_ADAM_H_
-#define QB5000_MATH_ADAM_H_
+#pragma once
 
 #include <cstddef>
 #include <cstdint>
@@ -36,5 +35,3 @@ class AdamOptimizer {
 };
 
 }  // namespace qb5000
-
-#endif  // QB5000_MATH_ADAM_H_

@@ -1,5 +1,4 @@
-#ifndef QB5000_MATH_LINALG_H_
-#define QB5000_MATH_LINALG_H_
+#pragma once
 
 #include "common/status.h"
 #include "math/matrix.h"
@@ -31,5 +30,3 @@ Result<EigenResult> SymmetricEigen(const Matrix& a, int max_sweeps = 64);
 Result<Matrix> PcaProject(const Matrix& data, size_t k);
 
 }  // namespace qb5000
-
-#endif  // QB5000_MATH_LINALG_H_

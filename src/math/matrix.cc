@@ -2,20 +2,23 @@
 
 #include <cmath>
 
+#include "common/check.h"
+
 namespace qb5000 {
 
 Vector Matrix::Row(size_t r) const {
-  assert(r < rows_);
+  QB_CHECK_LT(r, rows_);
   return Vector(data_.begin() + r * cols_, data_.begin() + (r + 1) * cols_);
 }
 
 void Matrix::SetRow(size_t r, const Vector& v) {
-  assert(r < rows_ && v.size() == cols_);
+  QB_CHECK_LT(r, rows_);
+  QB_CHECK_EQ(v.size(), cols_);
   std::copy(v.begin(), v.end(), data_.begin() + r * cols_);
 }
 
 Matrix Matrix::MatMul(const Matrix& other) const {
-  assert(cols_ == other.rows_);
+  QB_CHECK_EQ(cols_, other.rows_);
   Matrix out(rows_, other.cols_);
   for (size_t i = 0; i < rows_; ++i) {
     for (size_t k = 0; k < cols_; ++k) {
@@ -30,7 +33,7 @@ Matrix Matrix::MatMul(const Matrix& other) const {
 }
 
 Vector Matrix::MatVec(const Vector& v) const {
-  assert(v.size() == cols_);
+  QB_CHECK_EQ(v.size(), cols_);
   Vector out(rows_, 0.0);
   for (size_t i = 0; i < rows_; ++i) {
     double sum = 0.0;
@@ -56,7 +59,7 @@ Matrix Matrix::Identity(size_t n) {
 }
 
 double Dot(const Vector& a, const Vector& b) {
-  assert(a.size() == b.size());
+  QB_CHECK_EQ(a.size(), b.size());
   double sum = 0.0;
   for (size_t i = 0; i < a.size(); ++i) sum += a[i] * b[i];
   return sum;
@@ -65,14 +68,14 @@ double Dot(const Vector& a, const Vector& b) {
 double Norm(const Vector& v) { return std::sqrt(Dot(v, v)); }
 
 Vector Add(const Vector& a, const Vector& b) {
-  assert(a.size() == b.size());
+  QB_CHECK_EQ(a.size(), b.size());
   Vector out(a.size());
   for (size_t i = 0; i < a.size(); ++i) out[i] = a[i] + b[i];
   return out;
 }
 
 Vector Sub(const Vector& a, const Vector& b) {
-  assert(a.size() == b.size());
+  QB_CHECK_EQ(a.size(), b.size());
   Vector out(a.size());
   for (size_t i = 0; i < a.size(); ++i) out[i] = a[i] - b[i];
   return out;

@@ -1,9 +1,9 @@
-#ifndef QB5000_MATH_MATRIX_H_
-#define QB5000_MATH_MATRIX_H_
+#pragma once
 
-#include <cassert>
 #include <cstddef>
 #include <vector>
+
+#include "common/check.h"
 
 namespace qb5000 {
 
@@ -20,12 +20,28 @@ class Matrix {
   size_t rows() const { return rows_; }
   size_t cols() const { return cols_; }
 
+  /// Unchecked-in-Release element access for inner loops. Debug builds
+  /// still bounds-check; cold callers should prefer at().
   double& operator()(size_t r, size_t c) {
-    assert(r < rows_ && c < cols_);
+    QB_DCHECK_LT(r, rows_);
+    QB_DCHECK_LT(c, cols_);
     return data_[r * cols_ + c];
   }
   double operator()(size_t r, size_t c) const {
-    assert(r < rows_ && c < cols_);
+    QB_DCHECK_LT(r, rows_);
+    QB_DCHECK_LT(c, cols_);
+    return data_[r * cols_ + c];
+  }
+
+  /// Bounds-checked element access; aborts on out-of-range even in Release.
+  double& at(size_t r, size_t c) {
+    QB_CHECK_LT(r, rows_);
+    QB_CHECK_LT(c, cols_);
+    return data_[r * cols_ + c];
+  }
+  double at(size_t r, size_t c) const {
+    QB_CHECK_LT(r, rows_);
+    QB_CHECK_LT(c, cols_);
     return data_[r * cols_ + c];
   }
 
@@ -72,5 +88,3 @@ Vector Sub(const Vector& a, const Vector& b);
 Vector ScaleVec(const Vector& a, double s);
 
 }  // namespace qb5000
-
-#endif  // QB5000_MATH_MATRIX_H_

@@ -1,8 +1,9 @@
 #include "math/stats.h"
 
 #include <algorithm>
-#include <cassert>
 #include <cmath>
+
+#include "common/check.h"
 
 namespace qb5000 {
 
@@ -22,7 +23,7 @@ double Variance(const Vector& v) {
 }
 
 double MeanSquaredError(const Vector& actual, const Vector& predicted) {
-  assert(actual.size() == predicted.size());
+  QB_CHECK_EQ(actual.size(), predicted.size());
   if (actual.empty()) return 0.0;
   double sum = 0.0;
   for (size_t i = 0; i < actual.size(); ++i) {
@@ -33,7 +34,7 @@ double MeanSquaredError(const Vector& actual, const Vector& predicted) {
 }
 
 double LogSpaceMse(const Vector& actual, const Vector& predicted) {
-  assert(actual.size() == predicted.size());
+  QB_CHECK_EQ(actual.size(), predicted.size());
   if (actual.empty()) return 0.0;
   double sum = 0.0;
   for (size_t i = 0; i < actual.size(); ++i) {
@@ -47,7 +48,7 @@ double LogSpaceMse(const Vector& actual, const Vector& predicted) {
 }
 
 double CosineSimilarity(const Vector& a, const Vector& b) {
-  assert(a.size() == b.size());
+  QB_CHECK_EQ(a.size(), b.size());
   double na = Norm(a);
   double nb = Norm(b);
   if (na == 0.0 || nb == 0.0) return 0.0;
@@ -55,7 +56,7 @@ double CosineSimilarity(const Vector& a, const Vector& b) {
 }
 
 double SquaredL2Distance(const Vector& a, const Vector& b) {
-  assert(a.size() == b.size());
+  QB_CHECK_EQ(a.size(), b.size());
   double sum = 0.0;
   for (size_t i = 0; i < a.size(); ++i) {
     double d = a[i] - b[i];

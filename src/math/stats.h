@@ -1,5 +1,4 @@
-#ifndef QB5000_MATH_STATS_H_
-#define QB5000_MATH_STATS_H_
+#pragma once
 
 #include <vector>
 
@@ -30,5 +29,3 @@ double SquaredL2Distance(const Vector& a, const Vector& b);
 double Quantile(std::vector<double> v, double q);
 
 }  // namespace qb5000
-
-#endif  // QB5000_MATH_STATS_H_

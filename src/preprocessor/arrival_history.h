@@ -1,5 +1,4 @@
-#ifndef QB5000_PREPROCESSOR_ARRIVAL_HISTORY_H_
-#define QB5000_PREPROCESSOR_ARRIVAL_HISTORY_H_
+#pragma once
 
 #include <cstdint>
 
@@ -68,5 +67,3 @@ class ArrivalHistory {
 };
 
 }  // namespace qb5000
-
-#endif  // QB5000_PREPROCESSOR_ARRIVAL_HISTORY_H_

@@ -1,5 +1,4 @@
-#ifndef QB5000_PREPROCESSOR_PREPROCESSOR_H_
-#define QB5000_PREPROCESSOR_PREPROCESSOR_H_
+#pragma once
 
 #include <cstdint>
 #include <map>
@@ -108,5 +107,3 @@ class PreProcessor {
 };
 
 }  // namespace qb5000
-
-#endif  // QB5000_PREPROCESSOR_PREPROCESSOR_H_

@@ -1,5 +1,4 @@
-#ifndef QB5000_PREPROCESSOR_RESERVOIR_SAMPLER_H_
-#define QB5000_PREPROCESSOR_RESERVOIR_SAMPLER_H_
+#pragma once
 
 #include <cstdint>
 #include <vector>
@@ -46,5 +45,3 @@ class ReservoirSampler {
 };
 
 }  // namespace qb5000
-
-#endif  // QB5000_PREPROCESSOR_RESERVOIR_SAMPLER_H_

@@ -1,5 +1,4 @@
-#ifndef QB5000_PREPROCESSOR_SNAPSHOT_H_
-#define QB5000_PREPROCESSOR_SNAPSHOT_H_
+#pragma once
 
 #include <iosfwd>
 #include <string>
@@ -35,5 +34,3 @@ class Snapshot {
 };
 
 }  // namespace qb5000
-
-#endif  // QB5000_PREPROCESSOR_SNAPSHOT_H_

@@ -1,5 +1,4 @@
-#ifndef QB5000_PREPROCESSOR_TEMPLATIZER_H_
-#define QB5000_PREPROCESSOR_TEMPLATIZER_H_
+#pragma once
 
 #include <string>
 #include <vector>
@@ -39,5 +38,3 @@ struct TemplatizeOutput {
 Result<TemplatizeOutput> Templatize(const std::string& sql);
 
 }  // namespace qb5000
-
-#endif  // QB5000_PREPROCESSOR_TEMPLATIZER_H_

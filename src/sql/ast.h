@@ -1,5 +1,4 @@
-#ifndef QB5000_SQL_AST_H_
-#define QB5000_SQL_AST_H_
+#pragma once
 
 #include <memory>
 #include <optional>
@@ -130,5 +129,3 @@ struct Statement {
 };
 
 }  // namespace qb5000::sql
-
-#endif  // QB5000_SQL_AST_H_

@@ -1,5 +1,4 @@
-#ifndef QB5000_SQL_LEXER_H_
-#define QB5000_SQL_LEXER_H_
+#pragma once
 
 #include <string>
 #include <vector>
@@ -15,5 +14,3 @@ namespace qb5000::sql {
 Result<std::vector<Token>> Tokenize(const std::string& sql);
 
 }  // namespace qb5000::sql
-
-#endif  // QB5000_SQL_LEXER_H_

@@ -1,5 +1,4 @@
-#ifndef QB5000_SQL_PARSER_H_
-#define QB5000_SQL_PARSER_H_
+#pragma once
 
 #include <string>
 
@@ -14,5 +13,3 @@ namespace qb5000::sql {
 Result<Statement> Parse(const std::string& sql);
 
 }  // namespace qb5000::sql
-
-#endif  // QB5000_SQL_PARSER_H_

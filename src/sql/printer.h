@@ -1,5 +1,4 @@
-#ifndef QB5000_SQL_PRINTER_H_
-#define QB5000_SQL_PRINTER_H_
+#pragma once
 
 #include <string>
 
@@ -17,5 +16,3 @@ std::string Print(const Statement& stmt);
 std::string PrintExpr(const Expr& expr);
 
 }  // namespace qb5000::sql
-
-#endif  // QB5000_SQL_PRINTER_H_

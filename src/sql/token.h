@@ -1,5 +1,4 @@
-#ifndef QB5000_SQL_TOKEN_H_
-#define QB5000_SQL_TOKEN_H_
+#pragma once
 
 #include <string>
 
@@ -32,5 +31,3 @@ struct Token {
 bool IsKeyword(const std::string& upper_word);
 
 }  // namespace qb5000::sql
-
-#endif  // QB5000_SQL_TOKEN_H_

@@ -1,5 +1,4 @@
-#ifndef QB5000_TUNING_INDEX_ADVISOR_H_
-#define QB5000_TUNING_INDEX_ADVISOR_H_
+#pragma once
 
 #include <memory>
 #include <set>
@@ -42,5 +41,3 @@ class IndexAdvisor {
 };
 
 }  // namespace qb5000
-
-#endif  // QB5000_TUNING_INDEX_ADVISOR_H_

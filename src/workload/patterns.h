@@ -1,5 +1,4 @@
-#ifndef QB5000_WORKLOAD_PATTERNS_H_
-#define QB5000_WORKLOAD_PATTERNS_H_
+#pragma once
 
 #include <cmath>
 
@@ -77,5 +76,3 @@ inline double PseudoNoise(Timestamp ts, uint64_t salt,
 }
 
 }  // namespace qb5000
-
-#endif  // QB5000_WORKLOAD_PATTERNS_H_

@@ -1,5 +1,4 @@
-#ifndef QB5000_WORKLOAD_WORKLOAD_H_
-#define QB5000_WORKLOAD_WORKLOAD_H_
+#pragma once
 
 #include <cstdint>
 #include <functional>
@@ -128,5 +127,3 @@ SyntheticWorkload MakeMooc(const WorkloadOptions& options = {});
 SyntheticWorkload MakeNoisyComposite(const WorkloadOptions& options = {});
 
 }  // namespace qb5000
-
-#endif  // QB5000_WORKLOAD_WORKLOAD_H_

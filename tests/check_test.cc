@@ -1,0 +1,102 @@
+// Proves the QB_CHECK family stays armed in every build type — most
+// importantly Release, where the default NDEBUG would have silenced the raw
+// assert() calls these macros replaced. Death tests exercise real public
+// entry points, not synthetic conditions, so a regression that re-routes any
+// of these paths through a compiled-out check fails here.
+
+#include <gtest/gtest.h>
+
+#include "common/check.h"
+#include "common/status.h"
+#include "dbms/table.h"
+#include "forecaster/dataset.h"
+#include "math/matrix.h"
+#include "math/stats.h"
+
+namespace qb5000 {
+namespace {
+
+using CheckDeathTest = ::testing::Test;
+
+TEST(CheckDeathTest, QbCheckFiresEvenWithNdebug) {
+#ifdef NDEBUG
+  // This is the Release configuration: raw assert() would be a no-op here.
+  EXPECT_DEATH(QB_CHECK(1 + 1 == 3), "QB_CHECK failed");
+#else
+  EXPECT_DEATH(QB_CHECK(1 + 1 == 3), "QB_CHECK failed");
+#endif
+}
+
+TEST(CheckDeathTest, QbCheckMessageNamesFileAndExpression) {
+  EXPECT_DEATH(QB_CHECK(false), "check_test\\.cc.*false");
+}
+
+TEST(CheckDeathTest, QbCheckOpReportsOperandValues) {
+  size_t small = 3;
+  size_t big = 7;
+  EXPECT_DEATH(QB_CHECK_LT(big, small), "lhs=7 rhs=3");
+}
+
+TEST(CheckDeathTest, QbDcheckMatchesBuildType) {
+  int calls = 0;
+  auto bump = [&calls]() {
+    ++calls;
+    return false;
+  };
+#ifdef NDEBUG
+  QB_DCHECK(bump());  // compiled out: must not evaluate, must not abort
+  EXPECT_EQ(calls, 0);
+#else
+  EXPECT_DEATH(QB_DCHECK(bump()), "QB_CHECK failed");
+#endif
+}
+
+TEST(CheckDeathTest, MatrixAtOutOfBoundsAborts) {
+  Matrix m(2, 3);
+  EXPECT_DEATH((void)m.at(2, 0), "QB_CHECK failed.*rows_");
+  EXPECT_DEATH((void)m.at(0, 3), "QB_CHECK failed.*cols_");
+}
+
+TEST(CheckDeathTest, MatrixShapeOpsAbortOnMismatch) {
+  Matrix a(2, 3);
+  Matrix b(2, 3);  // MatMul needs a.cols() == b.rows(): 3 != 2
+  EXPECT_DEATH((void)a.MatMul(b), "QB_CHECK failed");
+  EXPECT_DEATH((void)a.MatVec(Vector{1.0, 2.0}), "QB_CHECK failed");
+  EXPECT_DEATH(a.SetRow(0, Vector{1.0}), "QB_CHECK failed");
+  EXPECT_DEATH((void)a.Row(5), "QB_CHECK failed");
+}
+
+TEST(CheckDeathTest, StatsMismatchedLengthsAbort) {
+  Vector actual{1.0, 2.0, 3.0};
+  Vector predicted{1.0, 2.0};
+  EXPECT_DEATH((void)MeanSquaredError(actual, predicted), "QB_CHECK failed");
+  EXPECT_DEATH((void)CosineSimilarity(actual, predicted), "QB_CHECK failed");
+  EXPECT_DEATH((void)SquaredL2Distance(actual, predicted), "QB_CHECK failed");
+}
+
+TEST(CheckDeathTest, EmptyDatasetWindowingValueAborts) {
+  // BuildDataset reports empty input as a Status; forcing the value out of
+  // the failed Result is the invariant violation that must abort.
+  Result<ForecastDataset> ds = BuildDataset({}, /*input_window=*/4,
+                                            /*horizon_steps=*/1);
+  ASSERT_FALSE(ds.ok());
+  EXPECT_DEATH((void)ds.value(), "Result::value\\(\\) on error");
+}
+
+TEST(CheckDeathTest, TableGetRowOutOfRangeAborts) {
+  dbms::Table table("t", {{"id", true, 10}});
+  ASSERT_TRUE(table.Insert({dbms::Value{int64_t{1}}}).ok());
+  EXPECT_DEATH((void)table.GetRow(99), "QB_CHECK failed");
+}
+
+TEST(CheckTest, PassingChecksAreSilent) {
+  QB_CHECK(true);
+  QB_CHECK_EQ(2, 2);
+  QB_CHECK_LT(1u, 2u);
+  QB_DCHECK(true);
+  Matrix m(2, 2, 1.0);
+  EXPECT_DOUBLE_EQ(m.at(1, 1), 1.0);
+}
+
+}  // namespace
+}  // namespace qb5000

@@ -1,0 +1,285 @@
+#!/usr/bin/env python3
+"""qb_lint: repo-convention linter for the qb5000 codebase.
+
+Checks (stdlib-only, no compiler needed):
+  pragma-once        every header starts with `#pragma once` (legacy
+                     `#ifndef QB5000_*_H_` guards are rejected and fixable)
+  using-namespace    no `using namespace` at any scope inside headers
+  banned-function    no rand / strtok / gets / sprintf (use Rng, strings.h,
+                     or snprintf)
+  raw-assert         no raw assert() outside src/common/check.h — use
+                     QB_CHECK / QB_DCHECK so invariants survive Release
+  missing-include    files that use a known symbol must include its header
+                     (QB_CHECK -> common/check.h, assert -> <cassert>, ...)
+
+Usage:
+  tools/qb_lint.py [--fix] PATH [PATH ...]
+
+Exits 0 when clean, 1 when findings remain (after fixes, if --fix).
+"""
+
+import argparse
+import re
+import sys
+from pathlib import Path
+
+HEADER_SUFFIXES = {".h", ".hpp"}
+SOURCE_SUFFIXES = {".cc", ".cpp", ".cxx"} | HEADER_SUFFIXES
+
+# Files allowed to use raw assert() (the check machinery itself).
+RAW_ASSERT_ALLOWLIST = {"src/common/check.h"}
+
+BANNED_FUNCTIONS = {
+    "rand": "use qb5000::Rng (common/rng.h) for seedable, reproducible draws",
+    "strtok": "not reentrant; use qb5000 string helpers (common/strings.h)",
+    "gets": "unbounded write; removed from C11/C++ for good reason",
+    "sprintf": "unbounded write; use snprintf",
+}
+
+# (symbol name, symbol regex, required include regex, include to add)
+REQUIRED_INCLUDES = [
+    ("QB_CHECK",
+     re.compile(r"\bQB_D?CHECK(_EQ|_NE|_LT|_LE|_GT|_GE)?\s*\("),
+     re.compile(r'#include\s+"common/check\.h"'), '"common/check.h"'),
+    ("assert",
+     re.compile(r"(?<!_)\bassert\s*\("),
+     re.compile(r"#include\s+<cassert>"), "<cassert>"),
+    ("std::memcpy/memset/memmove",
+     re.compile(r"\bstd::mem(cpy|set|move)\s*\("),
+     re.compile(r"#include\s+<cstring>"), "<cstring>"),
+    ("std::printf/fprintf",
+     re.compile(r"\bstd::f?printf\s*\("),
+     re.compile(r"#include\s+<cstdio>"), "<cstdio>"),
+]
+
+GUARD_IFNDEF = re.compile(r"^#ifndef\s+(QB5000_\w+_H_)\s*$")
+
+
+class Finding:
+    def __init__(self, path, line, check, message):
+        self.path = path
+        self.line = line
+        self.check = check
+        self.message = message
+
+    def __str__(self):
+        return f"{self.path}:{self.line}: [{self.check}] {self.message}"
+
+
+def strip_noise(line):
+    """Removes // comments and string/char literal contents from a line so
+    symbol regexes do not fire on prose or quoted text. Heuristic, not a full
+    lexer, but sufficient for this codebase's style."""
+    out = []
+    i, n = 0, len(line)
+    in_str = None
+    while i < n:
+        ch = line[i]
+        if in_str:
+            if ch == "\\":
+                i += 2
+                continue
+            if ch == in_str:
+                in_str = None
+            i += 1
+            continue
+        if ch in ('"', "'"):
+            in_str = ch
+            out.append(ch)
+            i += 1
+            continue
+        if ch == "/" and i + 1 < n and line[i + 1] == "/":
+            break
+        out.append(ch)
+        i += 1
+    return "".join(out)
+
+
+def iter_code_lines(text):
+    """Yields (lineno, stripped_line) with block comments blanked out."""
+    in_block = False
+    for lineno, raw in enumerate(text.splitlines(), start=1):
+        line = raw
+        if in_block:
+            end = line.find("*/")
+            if end < 0:
+                continue
+            line = line[end + 2:]
+            in_block = False
+        # Blank any /* ... */ sections, possibly several per line.
+        while True:
+            start = line.find("/*")
+            if start < 0:
+                break
+            end = line.find("*/", start + 2)
+            if end < 0:
+                line = line[:start]
+                in_block = True
+                break
+            line = line[:start] + " " + line[end + 2:]
+        yield lineno, strip_noise(line)
+
+
+def check_pragma_once(path, text, fix):
+    """Headers must open with #pragma once. With --fix, converts a legacy
+    QB5000_*_H_ include guard in place. Returns (findings, new_text)."""
+    findings = []
+    lines = text.splitlines(keepends=True)
+    has_pragma = any(line.strip() == "#pragma once" for line in lines[:30])
+    if has_pragma:
+        return findings, text
+
+    guard = None
+    guard_idx = None
+    for idx, line in enumerate(lines[:30]):
+        m = GUARD_IFNDEF.match(line.strip())
+        if m:
+            guard, guard_idx = m.group(1), idx
+            break
+
+    if not fix or guard is None:
+        what = (f"legacy include guard {guard}" if guard
+                else "missing #pragma once")
+        findings.append(Finding(path, (guard_idx or 0) + 1, "pragma-once",
+                                f"{what}; headers must use #pragma once"))
+        return findings, text
+
+    # Rewrite: drop `#ifndef G` / `#define G`, the trailing `#endif`, and
+    # insert `#pragma once` where the guard began.
+    out = []
+    endif_re = re.compile(r"^#endif\b")
+    last_endif = None
+    for idx, line in enumerate(lines):
+        if idx == guard_idx:
+            out.append("#pragma once\n")
+            continue
+        if idx == guard_idx + 1 and line.strip() == f"#define {guard}":
+            continue
+        out.append(line)
+    for idx in range(len(out) - 1, -1, -1):
+        if endif_re.match(out[idx].lstrip()):
+            last_endif = idx
+            break
+    if last_endif is not None:
+        del out[last_endif]
+        while last_endif > 0 and out[last_endif - 1].strip() == "":
+            del out[last_endif - 1]
+            last_endif -= 1
+    return findings, "".join(out)
+
+
+def lint_file(path, rel, fix):
+    findings = []
+    text = path.read_text()
+    original = text
+
+    if path.suffix in HEADER_SUFFIXES:
+        pragma_findings, text = check_pragma_once(rel, text, fix)
+        findings.extend(pragma_findings)
+
+    banned_re = re.compile(
+        r"(?<![\w:.])(" + "|".join(BANNED_FUNCTIONS) + r")\s*\(")
+    assert_re = re.compile(r"(?<![\w_])assert\s*\(")
+
+    for lineno, line in iter_code_lines(text):
+        if path.suffix in HEADER_SUFFIXES and re.search(
+                r"\busing\s+namespace\b", line):
+            findings.append(Finding(
+                rel, lineno, "using-namespace",
+                "`using namespace` in a header leaks into every includer"))
+        for m in banned_re.finditer(line):
+            name = m.group(1)
+            findings.append(Finding(
+                rel, lineno, "banned-function",
+                f"{name}() is banned: {BANNED_FUNCTIONS[name]}"))
+        if rel not in RAW_ASSERT_ALLOWLIST:
+            for m in assert_re.finditer(line):
+                if line[:m.start()].rstrip().endswith(("static", "_")):
+                    continue
+                findings.append(Finding(
+                    rel, lineno, "raw-assert",
+                    "raw assert() vanishes under NDEBUG; use QB_CHECK "
+                    "(Release-safe) or QB_DCHECK (debug-only)"))
+
+    code = "\n".join(line for _, line in iter_code_lines(text))
+    for symbol_name, symbol_re, include_re, include_name in REQUIRED_INCLUDES:
+        if symbol_re.search(code) and not include_re.search(text):
+            if include_name == '"common/check.h"' and rel in RAW_ASSERT_ALLOWLIST:
+                continue
+            if fix:
+                text = insert_include(text, include_name)
+            else:
+                findings.append(Finding(
+                    rel, 1, "missing-include",
+                    f"uses {symbol_name} but does not include {include_name}"))
+
+    if fix and text != original:
+        path.write_text(text)
+    return findings
+
+
+def insert_include(text, include_name):
+    """Adds `#include X` after the last existing include (or the pragma)."""
+    directive = (f'#include {include_name}\n')
+    lines = text.splitlines(keepends=True)
+    last_include = None
+    for idx, line in enumerate(lines):
+        if line.lstrip().startswith("#include"):
+            last_include = idx
+    if last_include is not None:
+        lines.insert(last_include + 1, directive)
+    else:
+        for idx, line in enumerate(lines):
+            if line.strip() == "#pragma once":
+                lines.insert(idx + 1, "\n" + directive)
+                break
+        else:
+            lines.insert(0, directive)
+    return "".join(lines)
+
+
+def collect_files(roots):
+    for root in roots:
+        p = Path(root)
+        if p.is_file():
+            if p.suffix in SOURCE_SUFFIXES:
+                yield p
+        elif p.is_dir():
+            for child in sorted(p.rglob("*")):
+                if child.suffix in SOURCE_SUFFIXES and "build" not in child.parts:
+                    yield child
+        else:
+            print(f"qb_lint: no such path: {root}", file=sys.stderr)
+            sys.exit(2)
+
+
+def main():
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("paths", nargs="+", help="files or directories")
+    parser.add_argument("--fix", action="store_true",
+                        help="rewrite fixable findings in place")
+    args = parser.parse_args()
+
+    repo_root = Path(__file__).resolve().parent.parent
+    all_findings = []
+    count = 0
+    for path in collect_files(args.paths):
+        count += 1
+        try:
+            rel = str(path.resolve().relative_to(repo_root))
+        except ValueError:
+            rel = str(path)
+        all_findings.extend(lint_file(path, rel, args.fix))
+
+    for finding in all_findings:
+        print(finding)
+    if all_findings:
+        print(f"qb_lint: {len(all_findings)} finding(s) in {count} file(s)",
+              file=sys.stderr)
+        return 1
+    print(f"qb_lint: {count} file(s) clean")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
