@@ -5,11 +5,17 @@
 // Usage:
 //   example_trace_replay --generate <file>   write a demo BusTracker trace
 //   example_trace_replay <file>              replay a trace and forecast
+//   example_trace_replay --checkpoint <ckpt> <file>
+//       replay the first half, checkpoint, simulate a kill, restore from
+//       the checkpoint, replay the rest — demonstrating crash recovery
 #include <cstdio>
 #include <cstring>
-#include <fstream>
+#include <sstream>
 #include <string>
+#include <vector>
 
+#include "common/io.h"
+#include "core/checkpoint.h"
 #include "core/qb5000.h"
 #include "workload/workload.h"
 
@@ -23,53 +29,48 @@ int GenerateTrace(const char* path) {
   auto events = workload.Materialize(0, 8 * kSecondsPerDay,
                                      10 * kSecondsPerMinute, 11,
                                      /*volume_scale=*/0.002);
-  std::ofstream out(path);
-  if (!out) {
-    std::printf("cannot write %s\n", path);
-    return 1;
-  }
+  std::ostringstream out;
   for (const auto& event : events) {
     out << event.timestamp << ',' << event.sql << '\n';
+  }
+  Status st = WriteStringToFile(nullptr, out.str(), path);
+  if (!st.ok()) {
+    std::printf("cannot write %s: %s\n", path, st.ToString().c_str());
+    return 1;
   }
   std::printf("wrote %zu events to %s\n", events.size(), path);
   return 0;
 }
 
-int Replay(const char* path) {
-  std::ifstream in(path);
-  if (!in) {
-    std::printf("cannot read %s (hint: --generate %s first)\n", path, path);
-    return 1;
-  }
+QueryBot5000::Config ReplayConfig() {
   QueryBot5000::Config config;
   config.forecaster.kind = ModelKind::kEnsemble;
   config.forecaster.model.max_epochs = 20;
   config.horizons = {kSecondsPerHour, kSecondsPerDay};
-  QueryBot5000 bot(config);
+  return config;
+}
 
-  std::string line;
-  size_t accepted = 0, rejected = 0;
+struct ReplayCounts {
+  size_t accepted = 0;
+  size_t rejected = 0;
   Timestamp last_ts = 0;
-  while (std::getline(in, line)) {
-    size_t comma = line.find(',');
-    if (comma == std::string::npos) {
-      ++rejected;
-      continue;
-    }
-    Timestamp ts = std::strtoll(line.substr(0, comma).c_str(), nullptr, 10);
-    std::string sql = line.substr(comma + 1);
-    if (bot.Ingest(sql, ts).ok()) {
-      ++accepted;
-      last_ts = std::max(last_ts, ts);
+};
+
+ReplayCounts Feed(QueryBot5000& bot, const std::vector<TraceEvent>& events,
+                  size_t from, size_t to) {
+  ReplayCounts counts;
+  for (size_t i = from; i < to && i < events.size(); ++i) {
+    if (bot.Ingest(events[i].sql, events[i].timestamp).ok()) {
+      ++counts.accepted;
+      counts.last_ts = std::max(counts.last_ts, events[i].timestamp);
     } else {
-      ++rejected;
+      ++counts.rejected;
     }
   }
-  std::printf("replayed %zu queries (%zu rejected), %zu templates, last at %s\n",
-              accepted, rejected, bot.preprocessor().num_templates(),
-              FormatTimestamp(last_ts).c_str());
-  if (accepted == 0) return 1;
+  return counts;
+}
 
+int PrintForecasts(QueryBot5000& bot, Timestamp last_ts) {
   Status st = bot.RunMaintenance(last_ts, /*force=*/true);
   if (!st.ok()) {
     std::printf("maintenance failed: %s\n", st.ToString().c_str());
@@ -98,16 +99,108 @@ int Replay(const char* path) {
   return 0;
 }
 
+std::vector<TraceEvent> LoadTrace(const char* path) {
+  auto data = ReadFileToString(nullptr, path);
+  if (!data.ok()) {
+    std::printf("cannot read %s: %s (hint: --generate %s first)\n", path,
+                data.status().ToString().c_str(), path);
+    return {};
+  }
+  std::vector<TraceEvent> events;
+  std::istringstream in(*data);
+  std::string line;
+  while (std::getline(in, line)) {
+    size_t comma = line.find(',');
+    if (comma == std::string::npos) continue;
+    TraceEvent event;
+    event.timestamp = std::strtoll(line.substr(0, comma).c_str(), nullptr, 10);
+    event.sql = line.substr(comma + 1);
+    events.push_back(std::move(event));
+  }
+  return events;
+}
+
+int Replay(const char* path) {
+  std::vector<TraceEvent> events = LoadTrace(path);
+  if (events.empty()) return 1;
+  QueryBot5000 bot(ReplayConfig());
+  ReplayCounts counts = Feed(bot, events, 0, events.size());
+  std::printf("replayed %zu queries (%zu rejected), %zu templates, last at %s\n",
+              counts.accepted, counts.rejected,
+              bot.preprocessor().num_templates(),
+              FormatTimestamp(counts.last_ts).c_str());
+  if (counts.accepted == 0) return 1;
+  return PrintForecasts(bot, counts.last_ts);
+}
+
+/// Replays with a simulated crash in the middle: first half of the trace,
+/// RunMaintenance + Checkpoint, "kill" the process (drop the bot), Restore
+/// from the checkpoint, then the second half. The restored pipeline picks
+/// up where the dead one stopped — the point of the durability layer.
+int ReplayWithCheckpoint(const char* ckpt_path, const char* trace_path) {
+  std::vector<TraceEvent> events = LoadTrace(trace_path);
+  if (events.empty()) return 1;
+  size_t half = events.size() / 2;
+
+  ReplayCounts first;
+  {
+    QueryBot5000 bot(ReplayConfig());
+    first = Feed(bot, events, 0, half);
+    std::printf("first half: %zu queries, %zu templates\n", first.accepted,
+                bot.preprocessor().num_templates());
+    Status st = bot.RunMaintenance(first.last_ts, /*force=*/true);
+    if (!st.ok()) {
+      std::printf("maintenance failed: %s\n", st.ToString().c_str());
+      return 1;
+    }
+    st = bot.Checkpoint(ckpt_path);
+    if (!st.ok()) {
+      std::printf("checkpoint failed: %s\n", st.ToString().c_str());
+      return 1;
+    }
+    std::printf("checkpointed to %s at %s -- simulating a crash now\n",
+                ckpt_path, FormatTimestamp(first.last_ts).c_str());
+  }  // the process "dies" here: everything in memory is gone
+
+  RestoreReport report;
+  auto restored = QueryBot5000::Restore(ckpt_path, ReplayConfig(), nullptr,
+                                        &report);
+  if (!restored.ok()) {
+    std::printf("restore failed: %s\n", restored.status().ToString().c_str());
+    return 1;
+  }
+  std::printf("restored: %zu templates, %zu clusters%s%s%s\n",
+              restored->preprocessor().num_templates(),
+              restored->clusterer().clusters().size(),
+              report.used_backup ? " [from .bak]" : "",
+              report.reclustered ? " [re-clustered]" : "",
+              report.forecaster_trained ? " [models retrained]" : "");
+  if (!report.detail.empty()) {
+    std::printf("restore notes: %s\n", report.detail.c_str());
+  }
+
+  ReplayCounts second = Feed(*restored, events, half, events.size());
+  std::printf("second half: %zu queries, %zu templates, last at %s\n",
+              second.accepted, restored->preprocessor().num_templates(),
+              FormatTimestamp(second.last_ts).c_str());
+  return PrintForecasts(*restored, second.last_ts);
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
   if (argc == 3 && std::strcmp(argv[1], "--generate") == 0) {
     return GenerateTrace(argv[2]);
   }
+  if (argc == 4 && std::strcmp(argv[1], "--checkpoint") == 0) {
+    return ReplayWithCheckpoint(argv[2], argv[3]);
+  }
   if (argc == 2) return Replay(argv[1]);
-  std::printf("usage: %s [--generate] <trace-file>\n", argv[0]);
-  // With no arguments, run the full demo round trip in a temp file.
+  std::printf("usage: %s [--generate | --checkpoint <ckpt>] <trace-file>\n",
+              argv[0]);
+  // With no arguments, run the full demo round trip in a temp file,
+  // including the kill/restore cycle.
   const char* demo = "/tmp/qb5000_demo_trace.csv";
   if (GenerateTrace(demo) != 0) return 1;
-  return Replay(demo);
+  return ReplayWithCheckpoint("/tmp/qb5000_demo_ckpt.qbc", demo);
 }

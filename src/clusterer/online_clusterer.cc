@@ -316,6 +316,42 @@ double OnlineClusterer::TotalVolume() const {
   return total;
 }
 
+Status OnlineClusterer::RestoreState(std::map<ClusterId, Cluster> clusters,
+                                     ClusterId next_cluster_id,
+                                     Timestamp last_update_time) {
+  std::unordered_map<TemplateId, ClusterId> assignment;
+  for (const auto& [id, cluster] : clusters) {
+    if (id <= 0 || id >= next_cluster_id) {
+      return Status::InvalidArgument("cluster id out of range");
+    }
+    if (cluster.id != id) {
+      return Status::InvalidArgument("cluster id mismatch");
+    }
+    if (cluster.members.empty()) {
+      return Status::InvalidArgument("restored cluster has no members");
+    }
+    if (!std::isfinite(cluster.volume) || cluster.volume < 0.0) {
+      return Status::InvalidArgument("bad cluster volume");
+    }
+    for (double c : cluster.center) {
+      if (!std::isfinite(c)) return Status::InvalidArgument("bad center value");
+    }
+    for (TemplateId member : cluster.members) {
+      if (!assignment.emplace(member, id).second) {
+        return Status::InvalidArgument("template assigned to two clusters");
+      }
+    }
+  }
+  clusters_ = std::move(clusters);
+  assignment_ = std::move(assignment);
+  features_.clear();
+  next_cluster_id_ = next_cluster_id;
+  last_update_time_ = last_update_time;
+  last_update_moves_ = 0;
+  RebuildSearchIndex();
+  return Status::Ok();
+}
+
 ClusterId OnlineClusterer::AssignmentOf(TemplateId id) const {
   auto it = assignment_.find(id);
   return it == assignment_.end() ? -1 : it->second;

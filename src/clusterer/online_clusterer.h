@@ -91,6 +91,20 @@ class OnlineClusterer {
 
   Timestamp last_update_time() const { return last_update_time_; }
 
+  /// Checkpoint support: the next id a new cluster would receive. Persisted
+  /// so ids stay stable across restarts even when the newest cluster has
+  /// been merged away.
+  ClusterId next_cluster_id() const { return next_cluster_id_; }
+
+  /// Checkpoint support: replaces the whole clustering state (clusters with
+  /// centers/members/volumes, id counter, last update time) and rebuilds the
+  /// template->cluster index from the member sets. Validates internal
+  /// consistency — a template in two clusters, a non-positive id, an id at
+  /// or above `next_cluster_id`, or a non-finite volume is rejected and the
+  /// clusterer is left untouched.
+  Status RestoreState(std::map<ClusterId, Cluster> clusters,
+                      ClusterId next_cluster_id, Timestamp last_update_time);
+
  private:
   using Feature = ArrivalRateFeature::Feature;
 

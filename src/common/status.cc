@@ -21,6 +21,8 @@ const char* CodeName(StatusCode code) {
       return "FAILED_PRECONDITION";
     case StatusCode::kInternal:
       return "INTERNAL";
+    case StatusCode::kIOError:
+      return "IO_ERROR";
   }
   return "UNKNOWN";
 }

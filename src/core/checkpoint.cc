@@ -1,0 +1,415 @@
+// Checkpoint format v2: the durable representation of a whole QueryBot5000
+// pipeline. See core/checkpoint.h for the container layout and the recovery
+// ladder, and DESIGN.md "Durability & crash recovery" for the rationale.
+#include "core/checkpoint.h"
+
+#include <algorithm>
+#include <map>
+#include <sstream>
+#include <vector>
+
+#include "common/io.h"
+#include "core/qb5000.h"
+#include "preprocessor/snapshot.h"
+
+namespace qb5000 {
+namespace {
+
+constexpr char kSectionPreprocessor[] = "preprocessor";
+constexpr char kSectionClusterer[] = "clusterer";
+constexpr char kSectionController[] = "controller";
+
+// --- container --------------------------------------------------------------
+
+struct Section {
+  std::string payload;
+  bool crc_ok = false;
+};
+
+struct Container {
+  std::map<std::string, Section> sections;
+  bool complete = false;  ///< header parsed and `end` marker reached
+  std::string error;      ///< structural problem, when !complete
+};
+
+void AppendSection(AtomicFileWriter& writer, const std::string& name,
+                   const std::string& payload) {
+  std::ostringstream header;
+  header << "section " << name << ' ' << payload.size() << ' '
+         << Crc32(payload) << '\n';
+  (void)writer.Append(header.str()).ok();  // errors are sticky; Commit reports
+  (void)writer.Append(payload).ok();
+  (void)writer.Append("\n").ok();
+}
+
+/// Parses as much of the container as is structurally sound. Sections with a
+/// failing CRC are kept (flagged) so the caller can report *what* is corrupt;
+/// a truncated or garbled tail stops the parse with `complete == false`.
+Container ParseContainer(const std::string& data) {
+  Container out;
+  size_t pos = 0;
+  auto read_line = [&](std::string* line) {
+    size_t nl = data.find('\n', pos);
+    if (nl == std::string::npos) return false;
+    *line = data.substr(pos, nl - pos);
+    pos = nl + 1;
+    return true;
+  };
+
+  std::string line;
+  {
+    if (!read_line(&line)) {
+      out.error = "missing header";
+      return out;
+    }
+    std::istringstream header(line);
+    std::string magic;
+    int version = 0;
+    if (!(header >> magic >> version) || magic != kCheckpointMagic) {
+      out.error = "not a qb5000 checkpoint";
+      return out;
+    }
+    if (version != kCheckpointVersion) {
+      out.error = "unsupported checkpoint version";
+      return out;
+    }
+  }
+
+  while (true) {
+    if (!read_line(&line)) {
+      out.error = "truncated before end marker";
+      return out;
+    }
+    if (line == "end") {
+      out.complete = true;
+      return out;
+    }
+    std::istringstream header(line);
+    std::string keyword, name;
+    size_t length = 0;
+    uint32_t crc = 0;
+    if (!(header >> keyword >> name >> length >> crc) ||
+        keyword != "section") {
+      out.error = "garbled section header";
+      return out;
+    }
+    if (pos + length >= data.size() || data[pos + length] != '\n') {
+      out.error = "truncated section " + name;
+      return out;
+    }
+    Section section;
+    section.payload = data.substr(pos, length);
+    section.crc_ok = Crc32(section.payload) == crc;
+    pos += length + 1;
+    out.sections.emplace(std::move(name), std::move(section));
+  }
+}
+
+// --- clusterer section ------------------------------------------------------
+
+std::string SerializeClusterer(const OnlineClusterer& clusterer) {
+  std::ostringstream out;
+  out.precision(17);  // doubles must round-trip exactly
+  out << "clusterer-v1\n";
+  out << "next_id " << clusterer.next_cluster_id() << " last_update "
+      << clusterer.last_update_time() << " clusters "
+      << clusterer.clusters().size() << '\n';
+  for (const auto& [id, cluster] : clusterer.clusters()) {
+    out << "cluster " << id << ' ' << cluster.volume << ' '
+        << cluster.center.size() << ' ' << cluster.members.size() << '\n';
+    for (size_t i = 0; i < cluster.center.size(); ++i) {
+      if (i > 0) out << ' ';
+      out << cluster.center[i];
+    }
+    out << '\n';
+    bool first = true;
+    for (TemplateId member : cluster.members) {
+      if (!first) out << ' ';
+      out << member;
+      first = false;
+    }
+    out << '\n';
+  }
+  return out.str();
+}
+
+Status ParseClusterer(const std::string& payload, OnlineClusterer& clusterer) {
+  std::istringstream in(payload);
+  std::string tag;
+  if (!(in >> tag) || tag != "clusterer-v1") {
+    return Status::ParseError("bad clusterer section tag");
+  }
+  ClusterId next_id = 0;
+  Timestamp last_update = 0;
+  size_t count = 0;
+  std::string kw_next, kw_last, kw_clusters;
+  if (!(in >> kw_next >> next_id >> kw_last >> last_update >> kw_clusters >>
+        count) ||
+      kw_next != "next_id" || kw_last != "last_update" ||
+      kw_clusters != "clusters") {
+    return Status::ParseError("bad clusterer section header");
+  }
+  std::map<ClusterId, OnlineClusterer::Cluster> clusters;
+  for (size_t i = 0; i < count; ++i) {
+    std::string keyword;
+    OnlineClusterer::Cluster cluster;
+    size_t dim = 0, members = 0;
+    if (!(in >> keyword >> cluster.id >> cluster.volume >> dim >> members) ||
+        keyword != "cluster") {
+      return Status::ParseError("bad cluster record");
+    }
+    cluster.center.resize(dim);
+    for (size_t j = 0; j < dim; ++j) {
+      if (!(in >> cluster.center[j])) {
+        return Status::ParseError("truncated cluster center");
+      }
+    }
+    for (size_t j = 0; j < members; ++j) {
+      TemplateId member = 0;
+      if (!(in >> member)) return Status::ParseError("truncated member list");
+      cluster.members.insert(member);
+    }
+    ClusterId id = cluster.id;
+    if (!clusters.emplace(id, std::move(cluster)).second) {
+      return Status::ParseError("duplicate cluster id");
+    }
+  }
+  return clusterer.RestoreState(std::move(clusters), next_id, last_update);
+}
+
+// --- controller section -----------------------------------------------------
+
+struct ControllerState {
+  bool has_maintenance = false;
+  Timestamp last_maintenance = 0;
+  std::vector<ClusterId> modeled;
+};
+
+std::string SerializeController(const QueryBot5000& bot) {
+  std::ostringstream out;
+  out << "controller-v1\n";
+  out << "last_maintenance " << (bot.maintenance_has_run() ? 1 : 0) << ' '
+      << (bot.maintenance_has_run() ? bot.last_maintenance() : 0) << '\n';
+  const auto& modeled = bot.forecaster().modeled_clusters();
+  out << "modeled " << modeled.size();
+  for (ClusterId id : modeled) out << ' ' << id;
+  out << '\n';
+  return out.str();
+}
+
+Result<ControllerState> ParseController(const std::string& payload) {
+  std::istringstream in(payload);
+  std::string tag, keyword;
+  if (!(in >> tag) || tag != "controller-v1") {
+    return Status::ParseError("bad controller section tag");
+  }
+  ControllerState state;
+  int has = 0;
+  if (!(in >> keyword >> has >> state.last_maintenance) ||
+      keyword != "last_maintenance" || (has != 0 && has != 1)) {
+    return Status::ParseError("bad controller maintenance record");
+  }
+  state.has_maintenance = has == 1;
+  size_t count = 0;
+  if (!(in >> keyword >> count) || keyword != "modeled") {
+    return Status::ParseError("bad controller modeled record");
+  }
+  for (size_t i = 0; i < count; ++i) {
+    ClusterId id = 0;
+    if (!(in >> id)) return Status::ParseError("truncated modeled list");
+    state.modeled.push_back(id);
+  }
+  return state;
+}
+
+Timestamp MaxLastSeen(const PreProcessor& pre) {
+  Timestamp latest = 0;
+  for (TemplateId id : pre.TemplateIds()) {
+    const auto* info = pre.GetTemplate(id);
+    if (info != nullptr) latest = std::max(latest, info->last_seen);
+  }
+  return latest;
+}
+
+}  // namespace
+
+// --- QueryBot5000 entry points ----------------------------------------------
+
+Status QueryBot5000::Checkpoint(const std::string& path, Env* env) const {
+  std::ostringstream pre_payload;
+  pre_payload.precision(17);
+  Status st = Snapshot::Save(pre_, pre_payload);
+  if (!st.ok()) return st;
+
+  AtomicFileWriter writer(env, path);
+  std::ostringstream header;
+  header << kCheckpointMagic << ' ' << kCheckpointVersion << '\n';
+  (void)writer.Append(header.str()).ok();  // sticky errors; Commit reports
+  AppendSection(writer, kSectionPreprocessor, pre_payload.str());
+  AppendSection(writer, kSectionClusterer, SerializeClusterer(clusterer_));
+  AppendSection(writer, kSectionController, SerializeController(*this));
+  (void)writer.Append("end\n").ok();
+  return writer.Commit();
+}
+
+Result<QueryBot5000> QueryBot5000::RestoreFromData(const std::string& data,
+                                                   const Config& config,
+                                                   bool allow_degraded,
+                                                   RestoreReport& report) {
+  Container container = ParseContainer(data);
+  if (!container.complete && !allow_degraded) {
+    return Status::ParseError(container.error);
+  }
+
+  // The preprocessor section is the one piece that cannot be rebuilt from
+  // anywhere else; without it the document is unusable at any strictness.
+  auto pre_it = container.sections.find(kSectionPreprocessor);
+  if (pre_it == container.sections.end()) {
+    return Status::ParseError(container.error.empty()
+                                  ? "missing preprocessor section"
+                                  : container.error);
+  }
+  if (!pre_it->second.crc_ok) {
+    return Status::ParseError("preprocessor section checksum mismatch");
+  }
+  std::istringstream pre_stream(pre_it->second.payload);
+  auto pre = Snapshot::Load(pre_stream, config.preprocessor);
+  if (!pre.ok()) return pre.status();
+
+  QueryBot5000 bot(config);
+  bot.pre_ = std::move(*pre);
+
+  // Clusterer section: restore, or (degraded) rebuild from the histories.
+  bool clusterer_ok = false;
+  std::string clusterer_error;
+  auto clu_it = container.sections.find(kSectionClusterer);
+  if (clu_it == container.sections.end()) {
+    clusterer_error = "clusterer section missing";
+  } else if (!clu_it->second.crc_ok) {
+    clusterer_error = "clusterer section checksum mismatch";
+  } else {
+    Status st = ParseClusterer(clu_it->second.payload, bot.clusterer_);
+    if (st.ok()) {
+      clusterer_ok = true;
+    } else {
+      clusterer_error = st.ToString();
+    }
+  }
+  if (!clusterer_ok && !allow_degraded) {
+    return Status::ParseError(clusterer_error);
+  }
+
+  // Controller section: restore, or (degraded) fall back to defaults.
+  ControllerState controller;
+  bool controller_ok = false;
+  std::string controller_error;
+  auto ctl_it = container.sections.find(kSectionController);
+  if (ctl_it == container.sections.end()) {
+    controller_error = "controller section missing";
+  } else if (!ctl_it->second.crc_ok) {
+    controller_error = "controller section checksum mismatch";
+  } else {
+    auto parsed = ParseController(ctl_it->second.payload);
+    if (parsed.ok()) {
+      controller = std::move(*parsed);
+      controller_ok = true;
+    } else {
+      controller_error = parsed.status().ToString();
+    }
+  }
+  if (!controller_ok && !allow_degraded) {
+    return Status::ParseError(controller_error);
+  }
+
+  if (controller_ok && controller.has_maintenance) {
+    bot.last_maintenance_ = controller.last_maintenance;
+  }
+  if (!controller_ok) {
+    report.controller_defaults = true;
+    report.detail += controller_error + "; controller state reset. ";
+  }
+
+  // The reference time for rebuilding/retraining: the last maintenance run
+  // if we know it, else the newest arrival in the restored histories.
+  Timestamp now = bot.maintenance_has_run() ? bot.last_maintenance_
+                                            : MaxLastSeen(bot.pre_);
+  if (!clusterer_ok) {
+    report.reclustered = true;
+    report.detail += clusterer_error + "; re-clustered from histories. ";
+    bot.clusterer_.Update(bot.pre_, now);
+    controller.modeled = bot.ModeledClusters();
+  }
+
+  // Forecasting models are never persisted: retrain them from the restored
+  // histories (Table 4: seconds). An untrainable state (e.g. too little
+  // history) is not a restore failure — Forecast() stays unavailable until
+  // the next successful RunMaintenance(), exactly as on a cold start.
+  if (!controller.modeled.empty()) {
+    Status trained = bot.forecaster_.Train(bot.pre_, bot.clusterer_,
+                                           controller.modeled, now,
+                                           config.horizons);
+    if (trained.ok()) {
+      report.forecaster_trained = true;
+    } else {
+      report.detail += "forecaster retrain failed: " + trained.ToString() +
+                       "; models unavailable until next maintenance. ";
+    }
+  }
+  return bot;
+}
+
+Result<QueryBot5000> QueryBot5000::Restore(const std::string& path,
+                                           Config config, Env* env,
+                                           RestoreReport* report) {
+  RestoreReport local;
+  RestoreReport& rep = report != nullptr ? *report : local;
+  rep = RestoreReport();
+  if (env == nullptr) env = Env::Default();
+
+  // Recovery ladder: (1) primary, fully intact; (2) backup, fully intact;
+  // (3) primary, salvaging what validates; (4) backup, same. A complete
+  // older checkpoint beats a degraded newer one — degradation loses the
+  // clusterer's id stability, a complete .bak loses at most one period.
+  const std::string backup = AtomicFileWriter::BackupPath(path);
+  auto primary = ReadFileToString(env, path);
+  Status first_error =
+      primary.ok() ? Status::Ok() : primary.status();
+
+  if (primary.ok()) {
+    rep = RestoreReport();
+    auto bot = RestoreFromData(*primary, config, /*allow_degraded=*/false, rep);
+    if (bot.ok()) return bot;
+    first_error = bot.status();
+  }
+
+  auto fallback = ReadFileToString(env, backup);
+  if (fallback.ok()) {
+    rep = RestoreReport();
+    auto bot =
+        RestoreFromData(*fallback, config, /*allow_degraded=*/false, rep);
+    if (bot.ok()) {
+      rep.used_backup = true;
+      return bot;
+    }
+  }
+
+  if (primary.ok()) {
+    rep = RestoreReport();
+    auto bot = RestoreFromData(*primary, config, /*allow_degraded=*/true, rep);
+    if (bot.ok()) return bot;
+  }
+  if (fallback.ok()) {
+    rep = RestoreReport();
+    auto bot =
+        RestoreFromData(*fallback, config, /*allow_degraded=*/true, rep);
+    if (bot.ok()) {
+      rep.used_backup = true;
+      return bot;
+    }
+  }
+  return Status(first_error.code(),
+                "checkpoint unrecoverable (" + path + "): " +
+                    first_error.message());
+}
+
+}  // namespace qb5000

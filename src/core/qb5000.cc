@@ -41,6 +41,13 @@ Status QueryBot5000::RunMaintenance(Timestamp now, bool force) {
   // sentinel before forming the difference.
   bool never_ran =
       last_maintenance_ == std::numeric_limits<Timestamp>::min();
+  if (!never_ran && now < last_maintenance_) {
+    // The clock went backwards (NTP step, VM migration). Re-anchor the
+    // timer to the regressed clock: leaving last_maintenance_ in the future
+    // would silently disable periodic maintenance until the clock catches
+    // back up past it plus a full period.
+    last_maintenance_ = now;
+  }
   bool due = never_ran ||
              now - last_maintenance_ >= config_.maintenance_period_seconds;
   bool triggered = clusterer_.ShouldTrigger(pre_);

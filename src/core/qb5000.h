@@ -1,6 +1,7 @@
 #pragma once
 
 #include <limits>
+#include <string>
 #include <vector>
 
 #include "clusterer/online_clusterer.h"
@@ -10,6 +11,9 @@
 #include "preprocessor/preprocessor.h"
 
 namespace qb5000 {
+
+class Env;
+struct RestoreReport;
 
 /// The QueryBot 5000 controller (Figure 2): wires the Pre-Processor,
 /// Clusterer, and Forecaster into the pipeline a self-driving DBMS consumes.
@@ -66,6 +70,32 @@ class QueryBot5000 {
   /// The clusters currently modeled (top by volume under coverage_target).
   std::vector<ClusterId> ModeledClusters() const;
 
+  /// Writes a crash-safe checkpoint of the whole pipeline (format v2,
+  /// core/checkpoint.cc): the Pre-Processor's templates and histories, the
+  /// Clusterer's centers/assignments/volumes, and the controller's
+  /// maintenance state, each section CRC32-protected, committed with an
+  /// atomic write-temp/fsync/rename so the previous checkpoint survives a
+  /// crash at any point. Forecaster models are not persisted — Restore()
+  /// retrains them from history (Table 4: cheap). `env == nullptr` means
+  /// Env::Default(); tests pass a FaultInjectingEnv.
+  Status Checkpoint(const std::string& path, Env* env = nullptr) const;
+
+  /// Restores a pipeline from Checkpoint() output. Recovery ladder:
+  /// `path` first, then `path.bak` (the rotated last-good checkpoint); a
+  /// corrupt clusterer/controller section degrades to re-clustering from
+  /// restored histories rather than failing the restore, and the forecaster
+  /// is retrained from the restored state. `report` (optional) describes
+  /// any degradation taken.
+  static Result<QueryBot5000> Restore(const std::string& path, Config config,
+                                      Env* env = nullptr,
+                                      RestoreReport* report = nullptr);
+
+  /// When maintenance last ran; meaningful only if maintenance_has_run().
+  Timestamp last_maintenance() const { return last_maintenance_; }
+  bool maintenance_has_run() const {
+    return last_maintenance_ != std::numeric_limits<Timestamp>::min();
+  }
+
   const PreProcessor& preprocessor() const { return pre_; }
   /// Mutable access for bulk feeders (e.g. SyntheticWorkload::FeedAggregated).
   PreProcessor& mutable_preprocessor() { return pre_; }
@@ -74,6 +104,15 @@ class QueryBot5000 {
   const Config& config() const { return config_; }
 
  private:
+  /// Parses one checkpoint document (core/checkpoint.cc). `allow_degraded`
+  /// permits recovering with a rebuilt clusterer / default controller state
+  /// when those sections are unusable; a strict pass requires every section
+  /// intact so the ladder can prefer a complete `.bak` over a salvage.
+  static Result<QueryBot5000> RestoreFromData(const std::string& data,
+                                              const Config& config,
+                                              bool allow_degraded,
+                                              RestoreReport& report);
+
   Config config_;
   PreProcessor pre_;
   OnlineClusterer clusterer_;

@@ -1,9 +1,10 @@
 #include "preprocessor/snapshot.h"
 
-#include <fstream>
 #include <istream>
 #include <ostream>
 #include <sstream>
+
+#include "common/io.h"
 
 namespace qb5000 {
 namespace {
@@ -180,16 +181,28 @@ Result<PreProcessor> Snapshot::Load(std::istream& in,
   return pre;
 }
 
-Status Snapshot::SaveToFile(const PreProcessor& pre, const std::string& path) {
-  std::ofstream out(path);
-  if (!out) return Status::InvalidArgument("cannot open " + path);
-  return Save(pre, out);
+Status Snapshot::SaveToFile(const PreProcessor& pre, const std::string& path,
+                            Env* env) {
+  // Serialize in memory first (checking stream health), then hand the bytes
+  // to the atomic writer: temp file, flush, fsync, rename. A crash or a
+  // disk error mid-write leaves any previous snapshot untouched, and every
+  // failure (disk full, permissions) comes back as a Status.
+  std::ostringstream out;
+  Status st = Save(pre, out);
+  if (!st.ok()) return st;
+  if (out.fail()) return Status::Internal("snapshot serialization failed");
+  AtomicFileWriter writer(env, path);
+  st = writer.Append(out.str());
+  if (!st.ok()) return st;
+  return writer.Commit();
 }
 
 Result<PreProcessor> Snapshot::LoadFromFile(const std::string& path,
-                                            PreProcessor::Options options) {
-  std::ifstream in(path);
-  if (!in) return Status::NotFound("cannot open " + path);
+                                            PreProcessor::Options options,
+                                            Env* env) {
+  auto data = ReadFileToString(env, path);
+  if (!data.ok()) return data.status();
+  std::istringstream in(*data);
   return Load(in, options);
 }
 

@@ -8,6 +8,8 @@
 
 namespace qb5000 {
 
+class Env;
+
 /// Persistence for the Pre-Processor's state — the paper's "internal
 /// database" of templates, arrival-rate histories, and parameter samples
 /// (Section 3). Forecasting models are deliberately not persisted: they
@@ -27,10 +29,15 @@ class Snapshot {
   static Result<PreProcessor> Load(std::istream& in,
                                    PreProcessor::Options options);
 
-  /// File convenience wrappers.
-  static Status SaveToFile(const PreProcessor& pre, const std::string& path);
+  /// File convenience wrappers. Writes go through AtomicFileWriter
+  /// (common/io.h): binary mode, temp-file + fsync + rename, every stream
+  /// and disk error (full disk, permissions) surfaced as a Status instead
+  /// of silently succeeding. `env == nullptr` means Env::Default().
+  static Status SaveToFile(const PreProcessor& pre, const std::string& path,
+                           Env* env = nullptr);
   static Result<PreProcessor> LoadFromFile(const std::string& path,
-                                           PreProcessor::Options options);
+                                           PreProcessor::Options options,
+                                           Env* env = nullptr);
 };
 
 }  // namespace qb5000

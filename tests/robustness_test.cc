@@ -156,6 +156,43 @@ TEST(PipelineRobustness, OutOfOrderTimestampsAreAbsorbed) {
   EXPECT_NEAR(series->Total(), total, 1e-9);
 }
 
+TEST(PipelineRobustness, BackwardsClockDoesNotCorruptStateOrArmTimer) {
+  // NTP step / VM migration: the ingest clock jumps a day into the past.
+  QueryBot5000::Config config;
+  config.forecaster.kind = ModelKind::kLr;
+  config.forecaster.training_window_seconds = 2 * kSecondsPerDay;
+  QueryBot5000 bot(config);  // maintenance period: one day
+  auto tmpl = Templatize("SELECT a FROM t WHERE id = 1");
+  ASSERT_TRUE(tmpl.ok());
+  for (int h = 0; h < 3 * 24; ++h) {
+    double t = static_cast<double>(h) / 24.0;
+    bot.IngestTemplatized(*tmpl, static_cast<Timestamp>(h) * kSecondsPerHour,
+                          100 * (1.5 + std::sin(2 * M_PI * t)));
+  }
+  ASSERT_TRUE(bot.RunMaintenance(3 * kSecondsPerDay, true).ok());
+  ASSERT_EQ(bot.last_maintenance(), 3 * kSecondsPerDay);
+
+  // Ingest with a regressed timestamp: histories must absorb it, totals
+  // must stay exact, last_seen must not move backwards.
+  const auto* info = bot.preprocessor().GetTemplate(1);
+  ASSERT_NE(info, nullptr);
+  double total_before = info->history.Total();
+  Timestamp last_seen_before = info->last_seen;
+  bot.IngestTemplatized(*tmpl, 2 * kSecondsPerDay, 5.0);
+  EXPECT_NEAR(info->history.Total(), total_before + 5.0, 1e-9);
+  EXPECT_EQ(info->last_seen, last_seen_before);
+
+  // Maintenance with the regressed clock must not arm the timer into the
+  // future: it re-anchors to the regressed time...
+  ASSERT_TRUE(bot.RunMaintenance(2 * kSecondsPerDay).ok());
+  EXPECT_LE(bot.last_maintenance(), 2 * kSecondsPerDay);
+  // ...so one period after the regressed time, maintenance is due again
+  // (without the fix it would stay silent until 4d).
+  ASSERT_TRUE(bot.RunMaintenance(3 * kSecondsPerDay).ok());
+  EXPECT_EQ(bot.last_maintenance(), 3 * kSecondsPerDay);
+  EXPECT_TRUE(bot.Forecast(3 * kSecondsPerDay, kSecondsPerHour).ok());
+}
+
 TEST(PipelineRobustness, MaintenanceOnEmptyAndTinyStates) {
   QueryBot5000 bot;
   // Nothing ingested at all: maintenance is a no-op, not an error.

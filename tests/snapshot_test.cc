@@ -2,6 +2,7 @@
 
 #include <gtest/gtest.h>
 
+#include "common/io.h"
 #include "preprocessor/snapshot.h"
 #include "workload/workload.h"
 
@@ -118,6 +119,40 @@ TEST(SnapshotTest, RejectsGarbageAndMissingFiles) {
   EXPECT_FALSE(
       Snapshot::LoadFromFile("/nonexistent/path.qbss", PreProcessor::Options())
           .ok());
+}
+
+TEST(SnapshotTest, SaveToFileSurfacesDiskErrors) {
+  PreProcessor pre = MakePopulated();
+  // Unwritable destination: an error Status, not a silent success.
+  Status st = Snapshot::SaveToFile(pre, "/nonexistent_qb5000_dir/sub/s.qbss");
+  ASSERT_FALSE(st.ok());
+  EXPECT_EQ(st.code(), StatusCode::kIOError);
+
+  // Write failure mid-stream (disk full, I/O error): also surfaced.
+  FaultInjectingEnv env(nullptr);
+  env.InjectFault(FaultInjectingEnv::FaultKind::kCrash, 1);
+  EXPECT_FALSE(
+      Snapshot::SaveToFile(pre, "/tmp/qb5000_snapshot_err.qbss", &env).ok());
+}
+
+TEST(SnapshotTest, FailedSaveLeavesPreviousSnapshotIntact) {
+  const char* path = "/tmp/qb5000_snapshot_atomic.qbss";
+  PreProcessor original = MakePopulated();
+  ASSERT_TRUE(Snapshot::SaveToFile(original, path).ok());
+
+  // A second save that dies mid-write must not clobber the good file.
+  PreProcessor other;
+  ASSERT_TRUE(
+      other.Ingest("SELECT x FROM only_one WHERE id = 1", kSecondsPerDay).ok());
+  FaultInjectingEnv env(nullptr);
+  env.InjectFault(FaultInjectingEnv::FaultKind::kTornWrite, 1);
+  ASSERT_FALSE(Snapshot::SaveToFile(other, path, &env).ok());
+
+  auto reloaded = Snapshot::LoadFromFile(path, PreProcessor::Options());
+  ASSERT_TRUE(reloaded.ok()) << reloaded.status().ToString();
+  EXPECT_EQ(reloaded->num_templates(), original.num_templates());
+  EXPECT_NEAR(reloaded->total_queries(), original.total_queries(),
+              1e-6 * original.total_queries());
 }
 
 TEST(SnapshotTest, EmptyPreProcessorRoundTrips) {

@@ -9,6 +9,10 @@ Checks (stdlib-only, no compiler needed):
                      or snprintf)
   raw-assert         no raw assert() outside src/common/check.h — use
                      QB_CHECK / QB_DCHECK so invariants survive Release
+  raw-file-stream    no std::ofstream / std::ifstream / std::fstream outside
+                     src/common/io.cc — go through the Env / AtomicFileWriter
+                     layer (common/io.h) so writes stay atomic, fsynced, and
+                     fault-injectable
   missing-include    files that use a known symbol must include its header
                      (QB_CHECK -> common/check.h, assert -> <cassert>, ...)
 
@@ -28,6 +32,11 @@ SOURCE_SUFFIXES = {".cc", ".cpp", ".cxx"} | HEADER_SUFFIXES
 
 # Files allowed to use raw assert() (the check machinery itself).
 RAW_ASSERT_ALLOWLIST = {"src/common/check.h"}
+
+# Files allowed to open raw file streams (the io layer's own implementation).
+RAW_FILE_STREAM_ALLOWLIST = {"src/common/io.cc"}
+
+RAW_FILE_STREAM_RE = re.compile(r"\bstd::[oi]?fstream\b")
 
 BANNED_FUNCTIONS = {
     "rand": "use qb5000::Rng (common/rng.h) for seedable, reproducible draws",
@@ -192,6 +201,13 @@ def lint_file(path, rel, fix):
             findings.append(Finding(
                 rel, lineno, "banned-function",
                 f"{name}() is banned: {BANNED_FUNCTIONS[name]}"))
+        if rel not in RAW_FILE_STREAM_ALLOWLIST:
+            for _ in RAW_FILE_STREAM_RE.finditer(line):
+                findings.append(Finding(
+                    rel, lineno, "raw-file-stream",
+                    "raw std::fstream bypasses the durability layer; use "
+                    "Env / AtomicFileWriter from common/io.h (atomic "
+                    "replace, fsync, fault injection)"))
         if rel not in RAW_ASSERT_ALLOWLIST:
             for m in assert_re.finditer(line):
                 if line[:m.start()].rstrip().endswith(("static", "_")):
