@@ -120,9 +120,10 @@ void ComponentReport() {
   for (const auto& event : events) {
     pre_timing.Ingest(event.sql, event.timestamp).ok();
   }
-  double per_query_ms = events.empty()
-                            ? 0.0
-                            : 1000.0 * Seconds(start) / static_cast<double>(events.size());
+  double per_query_ms =
+      events.empty()
+          ? 0.0
+          : 1000.0 * Seconds(start) / static_cast<double>(events.size());
 
   auto prepared = Prepare(MakeBusTracker(), days, kSecondsPerMinute);
   double history_mb_per_day =
@@ -174,6 +175,18 @@ void ComponentReport() {
                                       (dataset->x.cols() + dataset->y.cols())) *
                                      sizeof(double)) /
                  (1024.0 * 1024.0);
+
+  // Machine-readable lines for tools/bench_to_json.py (BENCH_table4.json).
+  std::printf("#KV pre_ms_per_query %.4f\n", per_query_ms);
+  std::printf("#KV history_mb_per_day %.4f\n", history_mb_per_day);
+  std::printf("#KV cluster_update_seconds %.3f\n", cluster_seconds);
+  std::printf("#KV cluster_state_kb %.1f\n", cluster_kb);
+  std::printf("#KV lr_train_seconds %.3f\n", lr_train);
+  std::printf("#KV rnn_train_seconds %.3f\n", rnn_train);
+  std::printf("#KV kr_fit_seconds %.3f\n", kr_fit);
+  std::printf("#KV kr_predict_seconds %.5f\n", kr_predict);
+  std::printf("#KV lr_model_kb %.1f\n", lr_kb);
+  std::printf("#KV kr_data_mb %.1f\n", kr_mb);
 
   std::printf("%-28s %12s %14s\n", "component", "computation", "storage");
   std::printf("%-28s %9.3f ms/query %10.2f MB/day\n", "Pre-Processor",

@@ -1,0 +1,140 @@
+#include "common/thread_pool.h"
+
+#include <algorithm>
+#include <memory>
+
+#include "common/check.h"
+
+namespace qb5000 {
+
+ThreadPool::ThreadPool(size_t concurrency) {
+  size_t workers = concurrency > 1 ? concurrency - 1 : 0;
+  workers_.reserve(workers);
+  for (size_t i = 0; i < workers; ++i) {
+    workers_.emplace_back([this] { WorkerLoop(); });
+  }
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    shutdown_ = true;
+  }
+  work_cv_.notify_all();
+  for (std::thread& worker : workers_) worker.join();
+}
+
+void ThreadPool::RunTask(Batch* batch, size_t index) {
+  try {
+    (*batch->fn)(index);
+  } catch (...) {
+    // Own-slot write: no lock needed, slots are pre-sized and disjoint.
+    batch->errors[index] = std::current_exception();
+  }
+}
+
+bool ThreadPool::RunOnePending(std::unique_lock<std::mutex>& lock) {
+  if (pending_.empty()) return false;
+  Batch* batch = pending_.front();
+  size_t index = batch->next++;
+  if (batch->next >= batch->num_tasks) pending_.pop_front();
+  lock.unlock();
+  RunTask(batch, index);
+  lock.lock();
+  if (++batch->done == batch->num_tasks) done_cv_.notify_all();
+  return true;
+}
+
+void ThreadPool::WorkerLoop() {
+  std::unique_lock<std::mutex> lock(mu_);
+  for (;;) {
+    work_cv_.wait(lock, [this] { return shutdown_ || !pending_.empty(); });
+    if (pending_.empty()) return;  // shutdown with nothing left to claim
+    RunOnePending(lock);
+  }
+}
+
+void ThreadPool::Run(size_t num_tasks, const std::function<void(size_t)>& fn) {
+  if (num_tasks == 0) return;
+  if (workers_.empty() || num_tasks == 1) {
+    // Sequential fallback: exceptions propagate directly.
+    for (size_t i = 0; i < num_tasks; ++i) fn(i);
+    return;
+  }
+  Batch batch;
+  batch.fn = &fn;
+  batch.num_tasks = num_tasks;
+  batch.errors.assign(num_tasks, nullptr);
+
+  std::unique_lock<std::mutex> lock(mu_);
+  pending_.push_back(&batch);
+  work_cv_.notify_all();
+  while (batch.done < batch.num_tasks) {
+    // Help instead of blocking: run our own batch's tasks, or — when a task
+    // body submitted a nested batch — whatever else is pending, so a waiting
+    // thread can never deadlock the pool.
+    if (!RunOnePending(lock)) done_cv_.wait(lock);
+  }
+  lock.unlock();
+
+  for (size_t i = 0; i < num_tasks; ++i) {
+    if (batch.errors[i] != nullptr) std::rethrow_exception(batch.errors[i]);
+  }
+}
+
+namespace {
+
+std::mutex global_pool_mu;
+size_t global_thread_count = 0;  // 0 = not yet resolved
+std::unique_ptr<ThreadPool> global_pool;
+
+size_t ResolveCount(size_t count) {
+  if (count == 0) count = std::thread::hardware_concurrency();
+  return std::max<size_t>(1, count);
+}
+
+}  // namespace
+
+size_t SetThreadCount(size_t count) {
+  std::lock_guard<std::mutex> lock(global_pool_mu);
+  size_t resolved = ResolveCount(count);
+  if (resolved != global_thread_count) {
+    global_pool.reset();  // joins workers; next use rebuilds lazily
+    global_thread_count = resolved;
+  }
+  return resolved;
+}
+
+size_t GetThreadCount() {
+  std::lock_guard<std::mutex> lock(global_pool_mu);
+  if (global_thread_count == 0) global_thread_count = ResolveCount(0);
+  return global_thread_count;
+}
+
+ThreadPool& GlobalThreadPool() {
+  std::lock_guard<std::mutex> lock(global_pool_mu);
+  if (global_thread_count == 0) global_thread_count = ResolveCount(0);
+  if (global_pool == nullptr) {
+    global_pool = std::make_unique<ThreadPool>(global_thread_count);
+  }
+  return *global_pool;
+}
+
+void ParallelFor(size_t begin, size_t end, size_t grain,
+                 const std::function<void(size_t, size_t)>& fn) {
+  if (begin >= end) return;
+  if (grain == 0) grain = 1;
+  size_t range = end - begin;
+  size_t num_chunks = (range + grain - 1) / grain;
+  if (num_chunks == 1) {
+    fn(begin, end);
+    return;
+  }
+  GlobalThreadPool().Run(num_chunks, [&](size_t chunk) {
+    size_t lo = begin + chunk * grain;
+    size_t hi = std::min(lo + grain, end);
+    fn(lo, hi);
+  });
+}
+
+}  // namespace qb5000

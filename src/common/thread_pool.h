@@ -1,0 +1,98 @@
+#pragma once
+
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <exception>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace qb5000 {
+
+/// Fixed-size worker pool driving every parallel region in the library.
+///
+/// Design constraints (DESIGN.md §9):
+///   - Deterministic work decomposition: callers split work into tasks whose
+///     boundaries depend only on the problem, never on the thread count.
+///     The pool decides *who* runs a task, never *what* a task computes, so
+///     results are bit-identical at any concurrency.
+///   - Helping scheduler: a thread waiting for its batch executes pending
+///     tasks (its own batch's or a nested batch's) instead of blocking, so
+///     nested Run()/ParallelFor() calls from inside a task cannot deadlock
+///     and lose no parallelism.
+///   - Exception propagation: each task's exception is captured in its slot;
+///     Run() rethrows the lowest-index one after the batch drains, so the
+///     surfaced error is also independent of scheduling.
+///
+/// Raw std::thread spawns outside this translation unit are banned by
+/// tools/qb_lint.py; go through ParallelFor (or ThreadPool::Run) instead.
+class ThreadPool {
+ public:
+  /// A pool with `concurrency` total lanes: the calling thread participates
+  /// in every batch it submits, so `concurrency - 1` workers are spawned.
+  /// `concurrency <= 1` spawns nothing and Run() executes inline.
+  explicit ThreadPool(size_t concurrency);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  /// Total lanes (workers + the submitting caller); >= 1.
+  size_t concurrency() const { return workers_.size() + 1; }
+
+  /// Runs fn(0) ... fn(num_tasks - 1), possibly concurrently, and returns
+  /// when all calls finished. The caller executes tasks too. If any task
+  /// threw, rethrows the exception of the lowest task index after the whole
+  /// batch completed. Safe to call from multiple threads and from inside a
+  /// running task (nested batches interleave on the same workers).
+  void Run(size_t num_tasks, const std::function<void(size_t)>& fn);
+
+ private:
+  /// One submitted batch; lives on the submitter's stack for its duration.
+  struct Batch {
+    const std::function<void(size_t)>* fn = nullptr;
+    size_t num_tasks = 0;
+    size_t next = 0;  ///< next unclaimed task index; guarded by mu_
+    size_t done = 0;  ///< finished task count; guarded by mu_
+    std::vector<std::exception_ptr> errors;  ///< slot per task, own-slot writes
+  };
+
+  void WorkerLoop();
+  /// Claims and runs one task from the front pending batch. Returns false
+  /// if nothing was pending. `lock` is held on entry and exit.
+  bool RunOnePending(std::unique_lock<std::mutex>& lock);
+  static void RunTask(Batch* batch, size_t index);
+
+  std::mutex mu_;
+  std::condition_variable work_cv_;  ///< new batch or shutdown
+  std::condition_variable done_cv_;  ///< some batch finished a task
+  std::deque<Batch*> pending_;       ///< batches with unclaimed tasks
+  bool shutdown_ = false;
+  std::vector<std::thread> workers_;
+};
+
+/// Sets the process-wide concurrency used by ParallelFor. `count == 0`
+/// selects std::thread::hardware_concurrency(); `count == 1` is the fully
+/// sequential fallback (no workers, everything inline). Takes effect on the
+/// next parallel region; do not call while a ParallelFor is in flight.
+/// Returns the effective count.
+size_t SetThreadCount(size_t count);
+
+/// The currently configured process-wide concurrency (>= 1).
+size_t GetThreadCount();
+
+/// The process-wide pool at the configured concurrency.
+ThreadPool& GlobalThreadPool();
+
+/// Statically partitions [begin, end) into chunks of `grain` indices (the
+/// last chunk may be short) and invokes fn(chunk_begin, chunk_end) for each,
+/// possibly concurrently on the global pool. Chunk boundaries depend only on
+/// (begin, end, grain) — never on the thread count — which is what makes
+/// ordered reductions over per-chunk results deterministic. `grain == 0` is
+/// treated as 1. Empty ranges invoke nothing.
+void ParallelFor(size_t begin, size_t end, size_t grain,
+                 const std::function<void(size_t, size_t)>& fn);
+
+}  // namespace qb5000

@@ -5,6 +5,7 @@
 
 #include <algorithm>
 #include <map>
+#include <shared_mutex>
 #include <sstream>
 #include <vector>
 
@@ -236,18 +237,29 @@ Timestamp MaxLastSeen(const PreProcessor& pre) {
 // --- QueryBot5000 entry points ----------------------------------------------
 
 Status QueryBot5000::Checkpoint(const std::string& path, Env* env) const {
-  std::ostringstream pre_payload;
-  pre_payload.precision(17);
-  Status st = Snapshot::Save(pre_, pre_payload);
-  if (!st.ok()) return st;
+  // Serialize all three sections into memory under the shared state lock —
+  // a consistent snapshot that other readers (Forecast) can overlap with —
+  // then do the file I/O with the lock released so a slow disk never blocks
+  // the pipeline.
+  std::string pre_str, clusterer_str, controller_str;
+  {
+    std::shared_lock<std::shared_mutex> lock(*state_mu_);
+    std::ostringstream pre_payload;
+    pre_payload.precision(17);
+    Status st = Snapshot::Save(pre_, pre_payload);
+    if (!st.ok()) return st;
+    pre_str = pre_payload.str();
+    clusterer_str = SerializeClusterer(clusterer_);
+    controller_str = SerializeController(*this);
+  }
 
   AtomicFileWriter writer(env, path);
   std::ostringstream header;
   header << kCheckpointMagic << ' ' << kCheckpointVersion << '\n';
   (void)writer.Append(header.str()).ok();  // sticky errors; Commit reports
-  AppendSection(writer, kSectionPreprocessor, pre_payload.str());
-  AppendSection(writer, kSectionClusterer, SerializeClusterer(clusterer_));
-  AppendSection(writer, kSectionController, SerializeController(*this));
+  AppendSection(writer, kSectionPreprocessor, pre_str);
+  AppendSection(writer, kSectionClusterer, clusterer_str);
+  AppendSection(writer, kSectionController, controller_str);
   (void)writer.Append("end\n").ok();
   return writer.Commit();
 }

@@ -1,5 +1,8 @@
 #include "core/qb5000.h"
 
+#include <mutex>
+#include <shared_mutex>
+
 namespace qb5000 {
 
 QueryBot5000::QueryBot5000(Config config)
@@ -9,16 +12,23 @@ QueryBot5000::QueryBot5000(Config config)
       forecaster_(config.forecaster) {}
 
 Status QueryBot5000::Ingest(const std::string& sql, Timestamp ts, double count) {
+  std::unique_lock<std::shared_mutex> lock(*state_mu_);
   auto id = pre_.Ingest(sql, ts, count);
   return id.ok() ? Status::Ok() : id.status();
 }
 
 void QueryBot5000::IngestTemplatized(const TemplatizeOutput& templatized,
                                      Timestamp ts, double count) {
+  std::unique_lock<std::shared_mutex> lock(*state_mu_);
   pre_.IngestTemplatized(templatized, ts, count);
 }
 
 std::vector<ClusterId> QueryBot5000::ModeledClusters() const {
+  std::shared_lock<std::shared_mutex> lock(*state_mu_);
+  return ModeledClustersLocked();
+}
+
+std::vector<ClusterId> QueryBot5000::ModeledClustersLocked() const {
   // Take the highest-volume clusters until coverage_target of the total
   // volume is covered, capped at max_modeled_clusters (Section 5.3).
   std::vector<ClusterId> top =
@@ -36,6 +46,7 @@ std::vector<ClusterId> QueryBot5000::ModeledClusters() const {
 }
 
 Status QueryBot5000::RunMaintenance(Timestamp now, bool force) {
+  std::unique_lock<std::shared_mutex> lock(*state_mu_);
   // last_maintenance_ starts at Timestamp::min() meaning "never ran";
   // `now - min()` is signed overflow (UB, UBSan-fatal), so test the
   // sentinel before forming the difference.
@@ -57,7 +68,7 @@ Status QueryBot5000::RunMaintenance(Timestamp now, bool force) {
   pre_.CompactBefore(now);
   clusterer_.Update(pre_, now);
 
-  std::vector<ClusterId> clusters = ModeledClusters();
+  std::vector<ClusterId> clusters = ModeledClustersLocked();
   if (clusters.empty()) {
     last_maintenance_ = now;
     return Status::Ok();  // nothing to model yet
@@ -71,6 +82,7 @@ Status QueryBot5000::RunMaintenance(Timestamp now, bool force) {
 
 Result<QueryBot5000::WorkloadForecast> QueryBot5000::Forecast(
     Timestamp now, int64_t horizon_seconds) const {
+  std::shared_lock<std::shared_mutex> lock(*state_mu_);
   if (!forecaster_.trained()) {
     return Status::FailedPrecondition(
         "no trained models; call RunMaintenance first");

@@ -1,6 +1,8 @@
 #pragma once
 
 #include <limits>
+#include <memory>
+#include <shared_mutex>
 #include <string>
 #include <vector>
 
@@ -23,6 +25,13 @@ struct RestoreReport;
 ///   bot.Ingest(sql, now);              // continuously, per query
 ///   bot.RunMaintenance(now);           // periodically (e.g. daily)
 ///   auto f = bot.Forecast(now, kSecondsPerHour);  // per-cluster rates
+///
+/// Thread safety (DESIGN.md §9): mutators (Ingest, IngestTemplatized,
+/// RunMaintenance) take the state lock exclusively; readers (Forecast,
+/// ModeledClusters, Checkpoint) take it shared, so forecasting and
+/// checkpointing proceed concurrently with each other but never against a
+/// mutation. The unlocked accessors (preprocessor(), mutable_preprocessor(),
+/// ...) are for single-threaded setup and inspection only.
 class QueryBot5000 {
  public:
   struct Config {
@@ -113,11 +122,21 @@ class QueryBot5000 {
                                               bool allow_degraded,
                                               RestoreReport& report);
 
+  /// ModeledClusters body without locking, for callers already holding
+  /// state_mu_ (RunMaintenance holds it exclusively; std::shared_mutex is
+  /// not recursive).
+  std::vector<ClusterId> ModeledClustersLocked() const;
+
   Config config_;
   PreProcessor pre_;
   OnlineClusterer clusterer_;
   Forecaster forecaster_;
   Timestamp last_maintenance_ = std::numeric_limits<Timestamp>::min();
+  /// Guards pre_/clusterer_/forecaster_/last_maintenance_. Behind a
+  /// unique_ptr so the controller stays movable (Restore returns by value;
+  /// moves happen only before any concurrent use).
+  mutable std::unique_ptr<std::shared_mutex> state_mu_ =
+      std::make_unique<std::shared_mutex>();
 };
 
 }  // namespace qb5000

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cmath>
 
+#include "common/thread_pool.h"
 #include "forecaster/dataset.h"
 #include "forecaster/ensemble.h"
 #include "forecaster/kernel_regression.h"
@@ -50,71 +51,98 @@ Status Forecaster::Train(const PreProcessor& pre,
       return Status::InvalidArgument(
           "horizon must be a positive multiple of the interval");
     }
-    HorizonModel hm;
-    hm.horizon_steps = static_cast<size_t>(horizon / options_.interval_seconds);
-
-    ModelOptions model_options = options_.model;
-    model_options.input_window = options_.input_window;
-    model_options.num_series = clusters_.size();
-
-    auto dataset = BuildDataset(*series, options_.input_window, hm.horizon_steps);
-    if (!dataset.ok()) return dataset.status();
-
-    if (options_.kind == ModelKind::kHybrid) {
-      auto lr = std::make_shared<LinearRegressionModel>(model_options);
-      auto rnn = std::make_shared<RnnModel>(model_options);
-      Status st = lr->Fit(dataset->x, dataset->y);
-      if (!st.ok()) return st;
-      st = rnn->Fit(dataset->x, dataset->y);
-      if (!st.ok()) return st;
-      auto ensemble = std::make_shared<EnsembleModel>(lr, rnn);
-
-      // KR trains on the full recorded history at one-hour intervals
-      // (Section 6.2) so long-period spikes stay in reach of the kernel.
-      Timestamp first = now;
-      for (ClusterId id : clusters_) {
-        const auto& cluster = clusterer.clusters().at(id);
-        for (TemplateId member : cluster.members) {
-          const auto* info = pre.GetTemplate(member);
-          if (info != nullptr && info->history.FirstTime() < first) {
-            first = info->history.FirstTime();
-          }
-        }
-      }
-      size_t kr_window = model_options.kr_input_window > 0
-                             ? model_options.kr_input_window
-                             : options_.input_window;
-      size_t kr_steps = std::max<size_t>(
-          1, static_cast<size_t>(horizon / kSecondsPerHour));
-      auto full = GatherSeries(pre, clusterer, kSecondsPerHour, first, now);
-      std::shared_ptr<KernelRegressionModel> kr;
-      if (full.ok()) {
-        ModelOptions kr_options = model_options;
-        kr_options.input_window = kr_window;
-        auto kr_data = BuildDataset(*full, kr_window, kr_steps);
-        if (kr_data.ok()) {
-          kr = std::make_shared<KernelRegressionModel>(kr_options);
-          Status kr_st = kr->Fit(kr_data->x, kr_data->y);
-          if (!kr_st.ok()) kr.reset();
-        }
-      }
-      if (kr != nullptr) {
-        hm.model =
-            std::make_shared<HybridModel>(ensemble, kr, model_options.gamma);
-        hm.kr_window = kr_window;
-      } else {
-        hm.model = ensemble;  // not enough history for KR: fall back
-      }
-    } else {
-      std::shared_ptr<ForecastModel> model =
-          CreateModel(options_.kind, model_options);
-      if (model == nullptr) return Status::InvalidArgument("unknown model kind");
-      Status st = model->Fit(dataset->x, dataset->y);
-      if (!st.ok()) return st;
-      hm.model = std::move(model);
-    }
-    models_[horizon] = std::move(hm);
   }
+
+  // Fit all horizons concurrently: each FitHorizon call reads only const
+  // state and writes its own slot. Statuses are inspected in horizon order,
+  // so the reported error is independent of scheduling; the models_ map is
+  // assembled sequentially afterwards.
+  std::vector<HorizonModel> fitted(horizons_seconds.size());
+  std::vector<Status> statuses(horizons_seconds.size(), Status::Ok());
+  ParallelFor(0, horizons_seconds.size(), 1, [&](size_t lo, size_t hi) {
+    for (size_t i = lo; i < hi; ++i) {
+      statuses[i] = FitHorizon(pre, clusterer, *series, now,
+                               horizons_seconds[i], &fitted[i]);
+    }
+  });
+  for (const Status& st : statuses) {
+    if (!st.ok()) return st;
+  }
+  for (size_t i = 0; i < horizons_seconds.size(); ++i) {
+    models_[horizons_seconds[i]] = std::move(fitted[i]);
+  }
+  return Status::Ok();
+}
+
+Status Forecaster::FitHorizon(const PreProcessor& pre,
+                              const OnlineClusterer& clusterer,
+                              const std::vector<TimeSeries>& series,
+                              Timestamp now, int64_t horizon,
+                              HorizonModel* out) const {
+  HorizonModel hm;
+  hm.horizon_steps = static_cast<size_t>(horizon / options_.interval_seconds);
+
+  ModelOptions model_options = options_.model;
+  model_options.input_window = options_.input_window;
+  model_options.num_series = clusters_.size();
+
+  auto dataset = BuildDataset(series, options_.input_window, hm.horizon_steps);
+  if (!dataset.ok()) return dataset.status();
+
+  if (options_.kind == ModelKind::kHybrid) {
+    auto lr = std::make_shared<LinearRegressionModel>(model_options);
+    auto rnn = std::make_shared<RnnModel>(model_options);
+    Status st = lr->Fit(dataset->x, dataset->y);
+    if (!st.ok()) return st;
+    st = rnn->Fit(dataset->x, dataset->y);
+    if (!st.ok()) return st;
+    auto ensemble = std::make_shared<EnsembleModel>(lr, rnn);
+
+    // KR trains on the full recorded history at one-hour intervals
+    // (Section 6.2) so long-period spikes stay in reach of the kernel.
+    Timestamp first = now;
+    for (ClusterId id : clusters_) {
+      const auto& cluster = clusterer.clusters().at(id);
+      for (TemplateId member : cluster.members) {
+        const auto* info = pre.GetTemplate(member);
+        if (info != nullptr && info->history.FirstTime() < first) {
+          first = info->history.FirstTime();
+        }
+      }
+    }
+    size_t kr_window = model_options.kr_input_window > 0
+                           ? model_options.kr_input_window
+                           : options_.input_window;
+    size_t kr_steps =
+        std::max<size_t>(1, static_cast<size_t>(horizon / kSecondsPerHour));
+    auto full = GatherSeries(pre, clusterer, kSecondsPerHour, first, now);
+    std::shared_ptr<KernelRegressionModel> kr;
+    if (full.ok()) {
+      ModelOptions kr_options = model_options;
+      kr_options.input_window = kr_window;
+      auto kr_data = BuildDataset(*full, kr_window, kr_steps);
+      if (kr_data.ok()) {
+        kr = std::make_shared<KernelRegressionModel>(kr_options);
+        Status kr_st = kr->Fit(kr_data->x, kr_data->y);
+        if (!kr_st.ok()) kr.reset();
+      }
+    }
+    if (kr != nullptr) {
+      hm.model =
+          std::make_shared<HybridModel>(ensemble, kr, model_options.gamma);
+      hm.kr_window = kr_window;
+    } else {
+      hm.model = ensemble;  // not enough history for KR: fall back
+    }
+  } else {
+    std::shared_ptr<ForecastModel> model =
+        CreateModel(options_.kind, model_options);
+    if (model == nullptr) return Status::InvalidArgument("unknown model kind");
+    Status st = model->Fit(dataset->x, dataset->y);
+    if (!st.ok()) return st;
+    hm.model = std::move(model);
+  }
+  *out = std::move(hm);
   return Status::Ok();
 }
 

@@ -68,6 +68,12 @@ class Forecaster {
     size_t kr_window = 0;  ///< nonzero when the model is HYBRID
   };
 
+  /// Fits the model (or HYBRID stack) for one horizon into `out`. Touches
+  /// only const state plus `out`, so Train can fit horizons concurrently.
+  Status FitHorizon(const PreProcessor& pre, const OnlineClusterer& clusterer,
+                    const std::vector<TimeSeries>& series, Timestamp now,
+                    int64_t horizon, HorizonModel* out) const;
+
   Options options_;
   std::vector<ClusterId> clusters_;
   std::map<int64_t, HorizonModel> models_;  ///< keyed by horizon seconds

@@ -4,6 +4,7 @@
 #include <cmath>
 #include <vector>
 
+#include "common/thread_pool.h"
 #include "math/stats.h"
 
 namespace qb5000 {
@@ -46,25 +47,54 @@ Result<Vector> KernelRegressionModel::Predict(const Vector& x) const {
   size_t n = train_x_.rows();
   size_t d = train_y_.cols();
   double denom = 2.0 * bandwidth_ * bandwidth_;
+  const auto& xd = train_x_.data();
+
+  // Training rows are scanned in fixed chunks of kChunk (a partitioning
+  // that never depends on thread count), each chunk producing its own
+  // partial sums. Reducing the partials in chunk index order makes the
+  // result bit-identical at any concurrency; within a chunk the scan is
+  // the sequential loop.
+  constexpr size_t kChunk = 256;
+  struct Partial {
+    Vector numerator;
+    double weight_sum = 0.0;
+    double best_distance = std::numeric_limits<double>::infinity();
+    size_t nearest = 0;
+  };
+  size_t num_chunks = (n + kChunk - 1) / kChunk;
+  std::vector<Partial> partials(num_chunks);
+  ParallelFor(0, n, kChunk, [&](size_t lo, size_t hi) {
+    Partial& part = partials[lo / kChunk];
+    part.numerator.assign(d, 0.0);
+    for (size_t i = lo; i < hi; ++i) {
+      double dist_sq = 0.0;
+      const double* row = &xd[i * train_x_.cols()];
+      for (size_t j = 0; j < x.size(); ++j) {
+        double diff = row[j] - x[j];
+        dist_sq += diff * diff;
+      }
+      if (dist_sq < part.best_distance) {
+        part.best_distance = dist_sq;
+        part.nearest = i;
+      }
+      double w = std::exp(-dist_sq / denom);
+      part.weight_sum += w;
+      for (size_t j = 0; j < d; ++j) part.numerator[j] += w * train_y_(i, j);
+    }
+  });
   Vector numerator(d, 0.0);
   double weight_sum = 0.0;
   double best_distance = std::numeric_limits<double>::infinity();
   size_t nearest = 0;
-  const auto& xd = train_x_.data();
-  for (size_t i = 0; i < n; ++i) {
-    double dist_sq = 0.0;
-    const double* row = &xd[i * train_x_.cols()];
-    for (size_t j = 0; j < x.size(); ++j) {
-      double diff = row[j] - x[j];
-      dist_sq += diff * diff;
+  for (const Partial& part : partials) {
+    for (size_t j = 0; j < d; ++j) numerator[j] += part.numerator[j];
+    weight_sum += part.weight_sum;
+    // Strict < with chunks visited in index order keeps the lowest-index
+    // nearest row on ties, matching the sequential scan.
+    if (part.best_distance < best_distance) {
+      best_distance = part.best_distance;
+      nearest = part.nearest;
     }
-    if (dist_sq < best_distance) {
-      best_distance = dist_sq;
-      nearest = i;
-    }
-    double w = std::exp(-dist_sq / denom);
-    weight_sum += w;
-    for (size_t j = 0; j < d; ++j) numerator[j] += w * train_y_(i, j);
   }
   if (weight_sum < 1e-300) {
     // Query far outside the data: fall back to the nearest neighbor, the

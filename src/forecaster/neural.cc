@@ -2,10 +2,12 @@
 
 #include <algorithm>
 #include <cmath>
-#include <functional>
 #include <numeric>
 
+#include "common/check.h"
+#include "common/thread_pool.h"
 #include "math/adam.h"
+#include "math/kernels.h"
 #include "math/linalg.h"
 
 namespace qb5000 {
@@ -37,16 +39,18 @@ Matrix Standardizer::FitTransform(const Matrix& data) {
 }
 
 Vector Standardizer::Transform(const Vector& row) const {
+  QB_CHECK_EQ(row.size(), mean_.size());
   Vector out(row.size());
-  for (size_t j = 0; j < row.size() && j < mean_.size(); ++j) {
+  for (size_t j = 0; j < row.size(); ++j) {
     out[j] = (row[j] - mean_[j]) / std_[j];
   }
   return out;
 }
 
 Vector Standardizer::Inverse(const Vector& row) const {
+  QB_CHECK_EQ(row.size(), mean_.size());
   Vector out(row.size());
-  for (size_t j = 0; j < row.size() && j < mean_.size(); ++j) {
+  for (size_t j = 0; j < row.size(); ++j) {
     out[j] = row[j] * std_[j] + mean_[j];
   }
   return out;
@@ -56,15 +60,89 @@ namespace {
 
 double Sigmoid(double x) { return 1.0 / (1.0 + std::exp(-x)); }
 
-/// Shared mini-batch Adam training loop with early stopping on a
-/// chronological validation tail. `loss_and_grad` computes the loss of one
-/// example and accumulates parameter gradients; `loss_only` evaluates
-/// without gradients.
-void TrainWithEarlyStopping(
-    const ModelOptions& options, size_t num_examples,
-    std::vector<double>& params,
-    const std::function<double(size_t, std::vector<double>&)>& loss_and_grad,
-    const std::function<double(size_t)>& loss_only) {
+/// Adds `bias[j]` to every row of `m`.
+void AddRowBias(Matrix& m, const double* bias) {
+  for (size_t i = 0; i < m.rows(); ++i) {
+    double* row = &m.mutable_data()[i * m.cols()];
+    for (size_t j = 0; j < m.cols(); ++j) row[j] += bias[j];
+  }
+}
+
+/// out[j] += sum over rows of m(:, j) — the bias-gradient reduction,
+/// accumulated row-by-row in index order.
+void AccumulateColumnSums(const Matrix& m, double* out) {
+  for (size_t i = 0; i < m.rows(); ++i) {
+    AxpyInto(out, 1.0, &m.data()[i * m.cols()], m.cols());
+  }
+}
+
+/// Presents `count` rows of `src` (selected by `rows`) as a contiguous
+/// row-major block. A contiguous ascending run (the validation tail, or a
+/// single prediction) aliases `src` directly; shuffled training rows are
+/// gathered into `scratch`.
+const double* GatherRows(const Matrix& src, const size_t* rows, size_t count,
+                         Matrix& scratch) {
+  bool contiguous = true;
+  for (size_t i = 1; i < count; ++i) {
+    if (rows[i] != rows[0] + i) {
+      contiguous = false;
+      break;
+    }
+  }
+  if (contiguous && count > 0) return &src.data()[rows[0] * src.cols()];
+  scratch = Matrix(count, src.cols());
+  for (size_t i = 0; i < count; ++i) {
+    std::copy_n(&src.data()[rows[i] * src.cols()], src.cols(),
+                &scratch.mutable_data()[i * src.cols()]);
+  }
+  return scratch.data().data();
+}
+
+/// Sum of half-squared errors of the batch; fills dy = pred - y[rows] when
+/// given.
+double HalfSquaredErrorBatch(const Matrix& pred, const Matrix& y,
+                             const size_t* rows, size_t count, Matrix* dy) {
+  double loss = 0.0;
+  for (size_t b = 0; b < count; ++b) {
+    for (size_t j = 0; j < pred.cols(); ++j) {
+      double diff = pred(b, j) - y(rows[b], j);
+      loss += 0.5 * diff * diff;
+      if (dy != nullptr) (*dy)(b, j) = diff;
+    }
+  }
+  return loss;
+}
+
+/// A training objective evaluated over mini-batches of examples. Both
+/// methods must be safe to call concurrently (all scratch local): the
+/// trainer fans sub-batches of one mini-batch out across the thread pool.
+class BatchObjective {
+ public:
+  virtual ~BatchObjective() = default;
+
+  /// Sum of per-example losses over `rows[0..count)`; accumulates the
+  /// summed parameter gradient into `grads` (not scaled by 1/count).
+  virtual double BatchLossAndGrad(const size_t* rows, size_t count,
+                                  double* grads) const = 0;
+
+  /// Sum of per-example losses without gradients.
+  virtual double BatchLoss(const size_t* rows, size_t count) const = 0;
+};
+
+/// Mini-batch Adam training with early stopping on a chronological
+/// validation tail.
+///
+/// Parallel structure (DESIGN.md §9): each mini-batch is split into fixed
+/// sub-batches of kSubBatch examples — a decomposition that depends only on
+/// the batch size, never the thread count. Sub-batches accumulate gradients
+/// into their own buffers, possibly concurrently, and the buffers are
+/// reduced in sub-batch index order, so the update (and therefore the whole
+/// training trajectory) is bit-identical at any concurrency. The shuffle
+/// consumes the seed-derived Rng on the calling thread only (Rng stays
+/// thread-affine).
+void TrainWithEarlyStopping(const ModelOptions& options, size_t num_examples,
+                            std::vector<double>& params,
+                            const BatchObjective& objective) {
   size_t val_count = std::max<size_t>(
       1, static_cast<size_t>(static_cast<double>(num_examples) *
                              options.validation_fraction));
@@ -77,29 +155,62 @@ void TrainWithEarlyStopping(
   AdamOptimizer adam(params.size(), adam_opts);
   Rng rng(options.seed);
 
+  constexpr size_t kBatch = 32;
+  constexpr size_t kSubBatch = 8;   ///< fixed grain of the gradient fan-out
+  constexpr size_t kValBlock = 64;  ///< fixed grain of the validation fan-out
+
   std::vector<size_t> order(train_count);
   std::iota(order.begin(), order.end(), 0);
+  std::vector<size_t> val_rows(val_count);
+  std::iota(val_rows.begin(), val_rows.end(), train_count);
+
+  size_t max_sub = (kBatch + kSubBatch - 1) / kSubBatch;
+  std::vector<std::vector<double>> sub_grads(
+      max_sub, std::vector<double>(params.size(), 0.0));
   std::vector<double> grads(params.size(), 0.0);
+  size_t num_val_blocks = (val_count + kValBlock - 1) / kValBlock;
+  std::vector<double> val_parts(num_val_blocks, 0.0);
+
   std::vector<double> best_params = params;
   double best_val = std::numeric_limits<double>::infinity();
   size_t since_best = 0;
-  const size_t kBatch = 32;
 
   for (size_t epoch = 0; epoch < options.max_epochs; ++epoch) {
     std::shuffle(order.begin(), order.end(), rng.engine());
     for (size_t b = 0; b < train_count; b += kBatch) {
-      std::fill(grads.begin(), grads.end(), 0.0);
       size_t batch_end = std::min(b + kBatch, train_count);
-      for (size_t k = b; k < batch_end; ++k) {
-        loss_and_grad(order[k], grads);
+      size_t num_sub = (batch_end - b + kSubBatch - 1) / kSubBatch;
+      ParallelFor(0, num_sub, 1, [&](size_t lo, size_t hi) {
+        for (size_t s = lo; s < hi; ++s) {
+          size_t s_lo = b + s * kSubBatch;
+          size_t s_hi = std::min(s_lo + kSubBatch, batch_end);
+          std::fill(sub_grads[s].begin(), sub_grads[s].end(), 0.0);
+          objective.BatchLossAndGrad(&order[s_lo], s_hi - s_lo,
+                                     sub_grads[s].data());
+        }
+      });
+      // Ordered reduction: sub-batch 0, 1, 2, ... regardless of which
+      // thread produced which buffer.
+      std::copy(sub_grads[0].begin(), sub_grads[0].end(), grads.begin());
+      for (size_t s = 1; s < num_sub; ++s) {
+        AxpyInto(grads.data(), 1.0, sub_grads[s].data(), grads.size());
       }
       double scale = 1.0 / static_cast<double>(batch_end - b);
       for (double& g : grads) g *= scale;
       adam.Step(params, grads);
     }
+
+    ParallelFor(0, num_val_blocks, 1, [&](size_t lo, size_t hi) {
+      for (size_t vb = lo; vb < hi; ++vb) {
+        size_t v_lo = vb * kValBlock;
+        size_t v_hi = std::min(v_lo + kValBlock, val_count);
+        val_parts[vb] = objective.BatchLoss(&val_rows[v_lo], v_hi - v_lo);
+      }
+    });
     double val_loss = 0.0;
-    for (size_t i = train_count; i < num_examples; ++i) val_loss += loss_only(i);
+    for (double part : val_parts) val_loss += part;
     val_loss /= static_cast<double>(val_count);
+
     if (val_loss + 1e-9 < best_val) {
       best_val = val_loss;
       best_params = params;
@@ -119,7 +230,71 @@ void RandomInit(std::vector<double>& params, size_t from, size_t count,
 }
 
 // ---------------------------------------------------------------------------
-// LSTM core: parameter layout and forward/backward passes shared by RnnModel.
+// FNN core: batched forward/backward over a flat parameter vector.
+// ---------------------------------------------------------------------------
+
+struct FnnCore {
+  size_t in_dim = 0, hidden = 0, out_dim = 0;
+  size_t off_w1 = 0, off_b1 = 0, off_w2 = 0, off_b2 = 0;
+
+  size_t Layout() {
+    off_w1 = 0;
+    off_b1 = off_w1 + hidden * in_dim;
+    off_w2 = off_b1 + hidden;
+    off_b2 = off_w2 + out_dim * hidden;
+    return off_b2 + out_dim;
+  }
+
+  struct BatchCache {
+    Matrix h;  ///< batch x hidden tanh activations
+  };
+
+  /// xb: `batch` rows of `in_dim` features with row stride `xb_stride`.
+  /// Fills y (batch x out_dim); `cache`, when given, keeps the hidden
+  /// activations for the backward pass.
+  void ForwardBatch(const double* params, const double* xb, size_t xb_stride,
+                    size_t batch, Matrix& y, BatchCache* cache) const {
+    Matrix h(batch, hidden);
+    GemmTransBInto(xb, xb_stride, params + off_w1, in_dim,
+                   h.mutable_data().data(), hidden, batch, in_dim, hidden,
+                   /*accumulate=*/false);
+    AddRowBias(h, params + off_b1);
+    for (double& v : h.mutable_data()) v = std::tanh(v);
+    GemmTransBInto(h.data().data(), hidden, params + off_w2, hidden,
+                   y.mutable_data().data(), out_dim, batch, hidden, out_dim,
+                   /*accumulate=*/false);
+    AddRowBias(y, params + off_b2);
+    if (cache != nullptr) cache->h = std::move(h);
+  }
+
+  void BackwardBatch(const double* params, const double* xb, size_t xb_stride,
+                     size_t batch, const BatchCache& cache, const Matrix& dy,
+                     double* grads) const {
+    const Matrix& h = cache.h;
+    // Output layer: gb2 += colsum(dy), gW2 += dy^T h, dh = dy W2.
+    AccumulateColumnSums(dy, grads + off_b2);
+    GemmTransAInto(dy.data().data(), out_dim, h.data().data(), hidden,
+                   grads + off_w2, hidden, batch, out_dim, hidden,
+                   /*accumulate=*/true);
+    Matrix dh(batch, hidden);
+    GemmInto(dy.data().data(), out_dim, params + off_w2, hidden,
+             dh.mutable_data().data(), hidden, batch, out_dim, hidden,
+             /*accumulate=*/false);
+    // Through tanh.
+    for (size_t b = 0; b < batch; ++b) {
+      for (size_t j = 0; j < hidden; ++j) {
+        dh(b, j) *= 1.0 - h(b, j) * h(b, j);
+      }
+    }
+    AccumulateColumnSums(dh, grads + off_b1);
+    GemmTransAInto(dh.data().data(), hidden, xb, xb_stride, grads + off_w1,
+                   in_dim, batch, hidden, in_dim, /*accumulate=*/true);
+  }
+};
+
+// ---------------------------------------------------------------------------
+// LSTM core: batched parameter layout and forward/backward shared by
+// RnnModel. Every per-step, per-layer operation is a GEMM over the batch.
 // ---------------------------------------------------------------------------
 
 /// Gate block order within the 4H pre-activation: input, forget, output, cell.
@@ -174,16 +349,20 @@ struct LstmCore {
                1.0 / std::sqrt(static_cast<double>(hidden)), rng);
   }
 
-  /// Forward/backward scratch for one example.
-  struct Cache {
-    // [t][l] indexed flat: t * layers + l
-    std::vector<Vector> concat;  ///< [in_l + H] layer input with previous h
-    std::vector<Vector> gate_i, gate_f, gate_o, gate_g;
-    std::vector<Vector> cell, tanh_cell, hidden_state;
-    std::vector<Vector> embed_out;  ///< per t
+  /// Forward activations for one sub-batch, kept for the backward pass.
+  /// Slot index: t * layers + l.
+  struct BatchCache {
+    std::vector<Matrix> concat;  ///< batch x (in_l + H): layer input | h_prev
+    std::vector<Matrix> gate_i, gate_f, gate_o, gate_g;  ///< batch x H
+    std::vector<Matrix> cell, tanh_cell, hidden_state;   ///< batch x H
+    std::vector<Matrix> embed_out;                       ///< per t: batch x E
   };
 
-  Vector Forward(const double* params, const double* x_seq, Cache* cache) const {
+  /// xb: `batch` example sequences, row-major, row stride `xb_stride`
+  /// (each row is seq_len * in_dim features; step t occupies columns
+  /// [t*in_dim, (t+1)*in_dim)). Fills y (batch x out_dim).
+  void ForwardBatch(const double* params, const double* xb, size_t xb_stride,
+                    size_t batch, Matrix& y, BatchCache* cache) const {
     if (cache != nullptr) {
       size_t slots = seq_len * layers;
       cache->concat.assign(slots, {});
@@ -196,179 +375,168 @@ struct LstmCore {
       cache->hidden_state.assign(slots, {});
       cache->embed_out.assign(seq_len, {});
     }
-    std::vector<Vector> h(layers, Vector(hidden, 0.0));
-    std::vector<Vector> c(layers, Vector(hidden, 0.0));
+    std::vector<Matrix> h(layers, Matrix(batch, hidden));
+    std::vector<Matrix> c(layers, Matrix(batch, hidden));
     for (size_t t = 0; t < seq_len; ++t) {
-      // Linear embedding of the raw step input.
-      Vector e(embed, 0.0);
-      for (size_t i = 0; i < embed; ++i) {
-        double sum = params[off_be + i];
-        const double* row = params + off_e + i * in_dim;
-        for (size_t j = 0; j < in_dim; ++j) sum += row[j] * x_seq[t * in_dim + j];
-        e[i] = sum;
-      }
+      // Linear embedding of the raw step input: e = x_t E^T + be.
+      Matrix e(batch, embed);
+      GemmTransBInto(xb + t * in_dim, xb_stride, params + off_e, in_dim,
+                     e.mutable_data().data(), embed, batch, in_dim, embed,
+                     /*accumulate=*/false);
+      AddRowBias(e, params + off_be);
       if (cache != nullptr) cache->embed_out[t] = e;
-      const Vector* input = &e;
+      const Matrix* input = &e;
       for (size_t l = 0; l < layers; ++l) {
         size_t in_l = LayerInput(l);
-        Vector concat(in_l + hidden);
-        std::copy(input->begin(), input->end(), concat.begin());
-        std::copy(h[l].begin(), h[l].end(), concat.begin() + in_l);
-        Vector zi(hidden), zf(hidden), zo(hidden), zg(hidden);
-        const double* w = params + off_w[l];
-        const double* b = params + off_b[l];
         size_t width = in_l + hidden;
-        for (size_t i = 0; i < hidden; ++i) {
-          double si = b[i], sf = b[hidden + i], so = b[2 * hidden + i],
-                 sg = b[3 * hidden + i];
-          const double* wi = w + i * width;
-          const double* wf = w + (hidden + i) * width;
-          const double* wo = w + (2 * hidden + i) * width;
-          const double* wg = w + (3 * hidden + i) * width;
-          for (size_t j = 0; j < width; ++j) {
-            double cj = concat[j];
-            si += wi[j] * cj;
-            sf += wf[j] * cj;
-            so += wo[j] * cj;
-            sg += wg[j] * cj;
+        Matrix concat(batch, width);
+        for (size_t b = 0; b < batch; ++b) {
+          double* row = &concat.mutable_data()[b * width];
+          std::copy_n(&input->data()[b * in_l], in_l, row);
+          std::copy_n(&h[l].data()[b * hidden], hidden, row + in_l);
+        }
+        // All four gates in one GEMM: z = concat W_l^T + b_l (batch x 4H).
+        Matrix z(batch, 4 * hidden);
+        GemmTransBInto(concat.data().data(), width, params + off_w[l], width,
+                       z.mutable_data().data(), 4 * hidden, batch, width,
+                       4 * hidden, /*accumulate=*/false);
+        AddRowBias(z, params + off_b[l]);
+        Matrix zi(batch, hidden), zf(batch, hidden), zo(batch, hidden),
+            zg(batch, hidden);
+        Matrix new_c(batch, hidden), tanh_c(batch, hidden);
+        for (size_t b = 0; b < batch; ++b) {
+          const double* zrow = &z.data()[b * 4 * hidden];
+          for (size_t j = 0; j < hidden; ++j) {
+            double gi = Sigmoid(zrow[j]);
+            double gf = Sigmoid(zrow[hidden + j]);
+            double go = Sigmoid(zrow[2 * hidden + j]);
+            double gg = std::tanh(zrow[3 * hidden + j]);
+            zi(b, j) = gi;
+            zf(b, j) = gf;
+            zo(b, j) = go;
+            zg(b, j) = gg;
+            double nc = gf * c[l](b, j) + gi * gg;
+            double tc = std::tanh(nc);
+            new_c(b, j) = nc;
+            tanh_c(b, j) = tc;
+            h[l](b, j) = go * tc;
           }
-          zi[i] = Sigmoid(si);
-          zf[i] = Sigmoid(sf);
-          zo[i] = Sigmoid(so);
-          zg[i] = std::tanh(sg);
         }
-        Vector new_c(hidden), new_h(hidden), tanh_c(hidden);
-        for (size_t i = 0; i < hidden; ++i) {
-          new_c[i] = zf[i] * c[l][i] + zi[i] * zg[i];
-          tanh_c[i] = std::tanh(new_c[i]);
-          new_h[i] = zo[i] * tanh_c[i];
-        }
+        c[l] = std::move(new_c);
         if (cache != nullptr) {
           size_t slot = t * layers + l;
           cache->concat[slot] = std::move(concat);
-          cache->gate_i[slot] = zi;
-          cache->gate_f[slot] = zf;
-          cache->gate_o[slot] = zo;
-          cache->gate_g[slot] = zg;
-          cache->cell[slot] = new_c;
-          cache->tanh_cell[slot] = tanh_c;
-          cache->hidden_state[slot] = new_h;
+          cache->gate_i[slot] = std::move(zi);
+          cache->gate_f[slot] = std::move(zf);
+          cache->gate_o[slot] = std::move(zo);
+          cache->gate_g[slot] = std::move(zg);
+          cache->cell[slot] = c[l];
+          cache->tanh_cell[slot] = std::move(tanh_c);
+          cache->hidden_state[slot] = h[l];
         }
-        c[l] = std::move(new_c);
-        h[l] = std::move(new_h);
         input = &h[l];
       }
     }
-    Vector y(out_dim, 0.0);
-    for (size_t i = 0; i < out_dim; ++i) {
-      double sum = params[off_bo + i];
-      const double* row = params + off_wo + i * hidden;
-      for (size_t j = 0; j < hidden; ++j) sum += row[j] * h[layers - 1][j];
-      y[i] = sum;
-    }
-    return y;
+    GemmTransBInto(h[layers - 1].data().data(), hidden, params + off_wo, hidden,
+                   y.mutable_data().data(), out_dim, batch, hidden, out_dim,
+                   /*accumulate=*/false);
+    AddRowBias(y, params + off_bo);
   }
 
-  /// Accumulates gradients for one example given d(loss)/d(output).
-  void Backward(const double* params, const double* x_seq, const Cache& cache,
-                const Vector& dy, double* grads) const {
-    // Output head.
-    const Vector& h_last = cache.hidden_state[(seq_len - 1) * layers + (layers - 1)];
-    std::vector<Vector> dh(seq_len * layers, Vector(hidden, 0.0));
-    for (size_t i = 0; i < out_dim; ++i) {
-      grads[off_bo + i] += dy[i];
-      double* grow = grads + off_wo + i * hidden;
-      const double* prow = params + off_wo + i * hidden;
-      for (size_t j = 0; j < hidden; ++j) {
-        grow[j] += dy[i] * h_last[j];
-        dh[(seq_len - 1) * layers + (layers - 1)][j] += prow[j] * dy[i];
-      }
-    }
+  /// Accumulates the sub-batch's summed gradients given dy (batch x out_dim).
+  void BackwardBatch(const double* params, const double* xb, size_t xb_stride,
+                     size_t batch, const BatchCache& cache, const Matrix& dy,
+                     double* grads) const {
+    // Output head: gbo += colsum(dy), gWo += dy^T h_last, dh_last = dy Wo.
+    const Matrix& h_last =
+        cache.hidden_state[(seq_len - 1) * layers + (layers - 1)];
+    AccumulateColumnSums(dy, grads + off_bo);
+    GemmTransAInto(dy.data().data(), out_dim, h_last.data().data(), hidden,
+                   grads + off_wo, hidden, batch, out_dim, hidden,
+                   /*accumulate=*/true);
+    std::vector<Matrix> dh(seq_len * layers, Matrix(batch, hidden));
+    GemmInto(dy.data().data(), out_dim, params + off_wo, hidden,
+             dh[(seq_len - 1) * layers + (layers - 1)].mutable_data().data(),
+             hidden, batch, out_dim, hidden, /*accumulate=*/false);
+
     // dc carried backwards per layer.
-    std::vector<Vector> dc(layers, Vector(hidden, 0.0));
-    std::vector<Vector> dembed(seq_len, Vector(embed, 0.0));
+    std::vector<Matrix> dc(layers, Matrix(batch, hidden));
+    std::vector<Matrix> dembed(seq_len, Matrix(batch, embed));
+    Matrix dz(batch, 4 * hidden);
     for (size_t ti = seq_len; ti-- > 0;) {
       for (size_t li = layers; li-- > 0;) {
         size_t slot = ti * layers + li;
         size_t in_l = LayerInput(li);
         size_t width = in_l + hidden;
-        const Vector& zi = cache.gate_i[slot];
-        const Vector& zf = cache.gate_f[slot];
-        const Vector& zo = cache.gate_o[slot];
-        const Vector& zg = cache.gate_g[slot];
-        const Vector& tanh_c = cache.tanh_cell[slot];
-        const Vector& concat = cache.concat[slot];
+        const Matrix& zi = cache.gate_i[slot];
+        const Matrix& zf = cache.gate_f[slot];
+        const Matrix& zo = cache.gate_o[slot];
+        const Matrix& zg = cache.gate_g[slot];
+        const Matrix& tanh_c = cache.tanh_cell[slot];
+        const Matrix& concat = cache.concat[slot];
         // Previous cell state (zeros at t=0).
-        const Vector* c_prev = nullptr;
-        if (ti > 0) c_prev = &cache.cell[(ti - 1) * layers + li];
-        Vector dzi(hidden), dzf(hidden), dzo(hidden), dzg(hidden);
-        for (size_t i = 0; i < hidden; ++i) {
-          double dhi = dh[slot][i];
-          double dci = dc[li][i] + dhi * zo[i] * (1.0 - tanh_c[i] * tanh_c[i]);
-          double doi = dhi * tanh_c[i];
-          double cprev = c_prev != nullptr ? (*c_prev)[i] : 0.0;
-          dzi[i] = dci * zg[i] * zi[i] * (1.0 - zi[i]);
-          dzf[i] = dci * cprev * zf[i] * (1.0 - zf[i]);
-          dzo[i] = doi * zo[i] * (1.0 - zo[i]);
-          dzg[i] = dci * zi[i] * (1.0 - zg[i] * zg[i]);
-          dc[li][i] = dci * zf[i];  // carried to t-1
-        }
-        // Weight gradients and upstream deltas.
-        Vector dconcat(width, 0.0);
-        const double* w = params + off_w[li];
-        double* gw = grads + off_w[li];
-        double* gb = grads + off_b[li];
-        for (size_t i = 0; i < hidden; ++i) {
-          const double* wi = w + i * width;
-          const double* wf = w + (hidden + i) * width;
-          const double* wo = w + (2 * hidden + i) * width;
-          const double* wg = w + (3 * hidden + i) * width;
-          double* gi = gw + i * width;
-          double* gf = gw + (hidden + i) * width;
-          double* go = gw + (2 * hidden + i) * width;
-          double* gg = gw + (3 * hidden + i) * width;
-          for (size_t j = 0; j < width; ++j) {
-            double cj = concat[j];
-            gi[j] += dzi[i] * cj;
-            gf[j] += dzf[i] * cj;
-            go[j] += dzo[i] * cj;
-            gg[j] += dzg[i] * cj;
-            dconcat[j] += wi[j] * dzi[i] + wf[j] * dzf[i] + wo[j] * dzo[i] +
-                          wg[j] * dzg[i];
+        const Matrix* c_prev =
+            ti > 0 ? &cache.cell[(ti - 1) * layers + li] : nullptr;
+        for (size_t b = 0; b < batch; ++b) {
+          double* dzrow = &dz.mutable_data()[b * 4 * hidden];
+          for (size_t j = 0; j < hidden; ++j) {
+            double dhi = dh[slot](b, j);
+            double tc = tanh_c(b, j);
+            double dci = dc[li](b, j) + dhi * zo(b, j) * (1.0 - tc * tc);
+            double doi = dhi * tc;
+            double cprev = c_prev != nullptr ? (*c_prev)(b, j) : 0.0;
+            dzrow[j] = dci * zg(b, j) * zi(b, j) * (1.0 - zi(b, j));
+            dzrow[hidden + j] = dci * cprev * zf(b, j) * (1.0 - zf(b, j));
+            dzrow[2 * hidden + j] = doi * zo(b, j) * (1.0 - zo(b, j));
+            dzrow[3 * hidden + j] =
+                dci * zi(b, j) * (1.0 - zg(b, j) * zg(b, j));
+            dc[li](b, j) = dci * zf(b, j);  // carried to t-1
           }
-          gb[i] += dzi[i];
-          gb[hidden + i] += dzf[i];
-          gb[2 * hidden + i] += dzo[i];
-          gb[3 * hidden + i] += dzg[i];
         }
-        // Split dconcat into input delta and previous-hidden delta.
+        // Weight/bias gradients and the upstream delta, all as GEMMs:
+        // gW += dz^T concat, gb += colsum(dz), dconcat = dz W.
+        GemmTransAInto(dz.data().data(), 4 * hidden, concat.data().data(),
+                       width, grads + off_w[li], width, batch, 4 * hidden,
+                       width, /*accumulate=*/true);
+        AccumulateColumnSums(dz, grads + off_b[li]);
+        Matrix dconcat(batch, width);
+        GemmInto(dz.data().data(), 4 * hidden, params + off_w[li], width,
+                 dconcat.mutable_data().data(), width, batch, 4 * hidden,
+                 width, /*accumulate=*/false);
+        // Split dconcat into the below-layer/embedding delta and dh_prev.
         if (ti > 0) {
-          Vector& dh_prev = dh[(ti - 1) * layers + li];
-          for (size_t j = 0; j < hidden; ++j) dh_prev[j] += dconcat[in_l + j];
+          Matrix& dh_prev = dh[(ti - 1) * layers + li];
+          for (size_t b = 0; b < batch; ++b) {
+            AxpyInto(&dh_prev.mutable_data()[b * hidden], 1.0,
+                     &dconcat.data()[b * width + in_l], hidden);
+          }
         }
         if (li > 0) {
-          Vector& dh_below = dh[ti * layers + (li - 1)];
-          for (size_t j = 0; j < hidden; ++j) dh_below[j] += dconcat[j];
+          Matrix& dh_below = dh[ti * layers + (li - 1)];
+          for (size_t b = 0; b < batch; ++b) {
+            AxpyInto(&dh_below.mutable_data()[b * hidden], 1.0,
+                     &dconcat.data()[b * width], hidden);
+          }
         } else {
-          for (size_t j = 0; j < embed; ++j) dembed[ti][j] += dconcat[j];
+          for (size_t b = 0; b < batch; ++b) {
+            AxpyInto(&dembed[ti].mutable_data()[b * embed], 1.0,
+                     &dconcat.data()[b * width], embed);
+          }
         }
       }
     }
-    // Embedding gradients.
+    // Embedding gradients: gE += dembed_t^T x_t, gbe += colsum(dembed_t).
     for (size_t t = 0; t < seq_len; ++t) {
-      for (size_t i = 0; i < embed; ++i) {
-        grads[off_be + i] += dembed[t][i];
-        double* row = grads + off_e + i * in_dim;
-        for (size_t j = 0; j < in_dim; ++j) {
-          row[j] += dembed[t][i] * x_seq[t * in_dim + j];
-        }
-      }
+      AccumulateColumnSums(dembed[t], grads + off_be);
+      GemmTransAInto(dembed[t].data().data(), embed, xb + t * in_dim,
+                     xb_stride, grads + off_e, in_dim, batch, embed, in_dim,
+                     /*accumulate=*/true);
     }
   }
 };
 
 // ---------------------------------------------------------------------------
-// Vanilla RNN core for the PSRNN model.
+// Vanilla RNN core for the PSRNN model, batched the same way.
 // ---------------------------------------------------------------------------
 
 struct VanillaRnnCore {
@@ -390,82 +558,108 @@ struct VanillaRnnCore {
     return offset;
   }
 
-  struct Cache {
-    std::vector<Vector> pre_h;  ///< tanh outputs per step
+  struct BatchCache {
+    std::vector<Matrix> pre_h;  ///< per t: batch x H tanh outputs
   };
 
-  Vector Forward(const double* params, const double* x_seq, Cache* cache) const {
-    Vector h(hidden, 0.0);
+  void ForwardBatch(const double* params, const double* xb, size_t xb_stride,
+                    size_t batch, Matrix& y, BatchCache* cache) const {
     if (cache != nullptr) cache->pre_h.assign(seq_len, {});
+    Matrix h(batch, hidden);
     for (size_t t = 0; t < seq_len; ++t) {
-      Vector nh(hidden);
-      for (size_t i = 0; i < hidden; ++i) {
-        double sum = params[off_b + i];
-        const double* wx = params + off_wx + i * in_dim;
-        for (size_t j = 0; j < in_dim; ++j) sum += wx[j] * x_seq[t * in_dim + j];
-        const double* wh = params + off_wh + i * hidden;
-        for (size_t j = 0; j < hidden; ++j) sum += wh[j] * h[j];
-        nh[i] = std::tanh(sum);
-      }
+      Matrix nh(batch, hidden);
+      GemmTransBInto(xb + t * in_dim, xb_stride, params + off_wx, in_dim,
+                     nh.mutable_data().data(), hidden, batch, in_dim, hidden,
+                     /*accumulate=*/false);
+      GemmTransBInto(h.data().data(), hidden, params + off_wh, hidden,
+                     nh.mutable_data().data(), hidden, batch, hidden, hidden,
+                     /*accumulate=*/true);
+      AddRowBias(nh, params + off_b);
+      for (double& v : nh.mutable_data()) v = std::tanh(v);
       h = std::move(nh);
       if (cache != nullptr) cache->pre_h[t] = h;
     }
-    Vector y(out_dim);
-    for (size_t i = 0; i < out_dim; ++i) {
-      double sum = params[off_bo + i];
-      const double* row = params + off_wo + i * hidden;
-      for (size_t j = 0; j < hidden; ++j) sum += row[j] * h[j];
-      y[i] = sum;
-    }
-    return y;
+    GemmTransBInto(h.data().data(), hidden, params + off_wo, hidden,
+                   y.mutable_data().data(), out_dim, batch, hidden, out_dim,
+                   /*accumulate=*/false);
+    AddRowBias(y, params + off_bo);
   }
 
-  void Backward(const double* params, const double* x_seq, const Cache& cache,
-                const Vector& dy, double* grads) const {
-    Vector dh(hidden, 0.0);
-    const Vector& h_last = cache.pre_h[seq_len - 1];
-    for (size_t i = 0; i < out_dim; ++i) {
-      grads[off_bo + i] += dy[i];
-      double* grow = grads + off_wo + i * hidden;
-      const double* prow = params + off_wo + i * hidden;
-      for (size_t j = 0; j < hidden; ++j) {
-        grow[j] += dy[i] * h_last[j];
-        dh[j] += prow[j] * dy[i];
-      }
-    }
+  void BackwardBatch(const double* params, const double* xb, size_t xb_stride,
+                     size_t batch, const BatchCache& cache, const Matrix& dy,
+                     double* grads) const {
+    const Matrix& h_last = cache.pre_h[seq_len - 1];
+    AccumulateColumnSums(dy, grads + off_bo);
+    GemmTransAInto(dy.data().data(), out_dim, h_last.data().data(), hidden,
+                   grads + off_wo, hidden, batch, out_dim, hidden,
+                   /*accumulate=*/true);
+    Matrix dh(batch, hidden);
+    GemmInto(dy.data().data(), out_dim, params + off_wo, hidden,
+             dh.mutable_data().data(), hidden, batch, out_dim, hidden,
+             /*accumulate=*/false);
+    Matrix dz(batch, hidden);
     for (size_t ti = seq_len; ti-- > 0;) {
-      const Vector& h = cache.pre_h[ti];
-      Vector dz(hidden);
-      for (size_t i = 0; i < hidden; ++i) dz[i] = dh[i] * (1.0 - h[i] * h[i]);
-      Vector dh_prev(hidden, 0.0);
-      const Vector* h_prev = ti > 0 ? &cache.pre_h[ti - 1] : nullptr;
-      for (size_t i = 0; i < hidden; ++i) {
-        grads[off_b + i] += dz[i];
-        double* gx = grads + off_wx + i * in_dim;
-        for (size_t j = 0; j < in_dim; ++j) gx[j] += dz[i] * x_seq[ti * in_dim + j];
-        double* gh = grads + off_wh + i * hidden;
-        const double* wh = params + off_wh + i * hidden;
+      const Matrix& h = cache.pre_h[ti];
+      for (size_t b = 0; b < batch; ++b) {
         for (size_t j = 0; j < hidden; ++j) {
-          if (h_prev != nullptr) gh[j] += dz[i] * (*h_prev)[j];
-          dh_prev[j] += wh[j] * dz[i];
+          dz(b, j) = dh(b, j) * (1.0 - h(b, j) * h(b, j));
         }
       }
-      dh = std::move(dh_prev);
+      AccumulateColumnSums(dz, grads + off_b);
+      GemmTransAInto(dz.data().data(), hidden, xb + ti * in_dim, xb_stride,
+                     grads + off_wx, in_dim, batch, hidden, in_dim,
+                     /*accumulate=*/true);
+      if (ti > 0) {
+        const Matrix& h_prev = cache.pre_h[ti - 1];
+        GemmTransAInto(dz.data().data(), hidden, h_prev.data().data(), hidden,
+                       grads + off_wh, hidden, batch, hidden, hidden,
+                       /*accumulate=*/true);
+      }
+      GemmInto(dz.data().data(), hidden, params + off_wh, hidden,
+               dh.mutable_data().data(), hidden, batch, hidden, hidden,
+               /*accumulate=*/false);
     }
   }
 };
 
-double HalfSquaredError(const Vector& pred, const Matrix& y, size_t row,
-                        Vector* dy) {
-  double loss = 0.0;
-  if (dy != nullptr) dy->assign(pred.size(), 0.0);
-  for (size_t j = 0; j < pred.size(); ++j) {
-    double diff = pred[j] - y(row, j);
-    loss += 0.5 * diff * diff;
-    if (dy != nullptr) (*dy)[j] = diff;
+/// Objective adapter shared by the three cores: gathers the sub-batch rows,
+/// runs the batched forward/backward, and reports the summed loss. Keeping
+/// all scratch local makes concurrent sub-batch evaluation safe.
+template <typename Core>
+class CoreObjective final : public BatchObjective {
+ public:
+  CoreObjective(const Core& core, const Matrix& x, const Matrix& y,
+                const std::vector<double>& params)
+      : core_(core), x_(x), y_(y), params_(params) {}
+
+  double BatchLossAndGrad(const size_t* rows, size_t count,
+                          double* grads) const override {
+    Matrix scratch;
+    const double* xb = GatherRows(x_, rows, count, scratch);
+    typename Core::BatchCache cache;
+    Matrix pred(count, y_.cols());
+    core_.ForwardBatch(params_.data(), xb, x_.cols(), count, pred, &cache);
+    Matrix dy(count, y_.cols());
+    double loss = HalfSquaredErrorBatch(pred, y_, rows, count, &dy);
+    core_.BackwardBatch(params_.data(), xb, x_.cols(), count, cache, dy,
+                        grads);
+    return loss;
   }
-  return loss;
-}
+
+  double BatchLoss(const size_t* rows, size_t count) const override {
+    Matrix scratch;
+    const double* xb = GatherRows(x_, rows, count, scratch);
+    Matrix pred(count, y_.cols());
+    core_.ForwardBatch(params_.data(), xb, x_.cols(), count, pred, nullptr);
+    return HalfSquaredErrorBatch(pred, y_, rows, count, nullptr);
+  }
+
+ private:
+  const Core& core_;
+  const Matrix& x_;
+  const Matrix& y_;
+  const std::vector<double>& params_;
+};
 
 }  // namespace
 
@@ -482,60 +676,21 @@ Status FnnModel::Fit(const Matrix& x_raw, const Matrix& y_raw) {
   in_dim_ = x.cols();
   hidden_ = options_.hidden_dim;
   out_dim_ = y.cols();
-  size_t num_params = hidden_ * in_dim_ + hidden_ + out_dim_ * hidden_ + out_dim_;
+
+  FnnCore core;
+  core.in_dim = in_dim_;
+  core.hidden = hidden_;
+  core.out_dim = out_dim_;
+  size_t num_params = core.Layout();
   params_.assign(num_params, 0.0);
   Rng rng(options_.seed);
-  RandomInit(params_, 0, hidden_ * in_dim_,
+  RandomInit(params_, core.off_w1, hidden_ * in_dim_,
              1.0 / std::sqrt(static_cast<double>(in_dim_)), rng);
-  RandomInit(params_, hidden_ * in_dim_ + hidden_, out_dim_ * hidden_,
+  RandomInit(params_, core.off_w2, out_dim_ * hidden_,
              1.0 / std::sqrt(static_cast<double>(hidden_)), rng);
 
-  size_t off_w1 = 0, off_b1 = hidden_ * in_dim_;
-  size_t off_w2 = off_b1 + hidden_, off_b2 = off_w2 + out_dim_ * hidden_;
-
-  auto forward = [&](const std::vector<double>& p, size_t row, Vector* hidden_out) {
-    Vector h(hidden_);
-    for (size_t i = 0; i < hidden_; ++i) {
-      double sum = p[off_b1 + i];
-      for (size_t j = 0; j < in_dim_; ++j) sum += p[off_w1 + i * in_dim_ + j] * x(row, j);
-      h[i] = std::tanh(sum);
-    }
-    Vector out(out_dim_);
-    for (size_t i = 0; i < out_dim_; ++i) {
-      double sum = p[off_b2 + i];
-      for (size_t j = 0; j < hidden_; ++j) sum += p[off_w2 + i * hidden_ + j] * h[j];
-      out[i] = sum;
-    }
-    if (hidden_out != nullptr) *hidden_out = std::move(h);
-    return out;
-  };
-
-  auto loss_and_grad = [&](size_t row, std::vector<double>& grads) {
-    Vector h;
-    Vector pred = forward(params_, row, &h);
-    Vector dy;
-    double loss = HalfSquaredError(pred, y, row, &dy);
-    Vector dh(hidden_, 0.0);
-    for (size_t i = 0; i < out_dim_; ++i) {
-      grads[off_b2 + i] += dy[i];
-      for (size_t j = 0; j < hidden_; ++j) {
-        grads[off_w2 + i * hidden_ + j] += dy[i] * h[j];
-        dh[j] += params_[off_w2 + i * hidden_ + j] * dy[i];
-      }
-    }
-    for (size_t i = 0; i < hidden_; ++i) {
-      double dz = dh[i] * (1.0 - h[i] * h[i]);
-      grads[off_b1 + i] += dz;
-      for (size_t j = 0; j < in_dim_; ++j) grads[off_w1 + i * in_dim_ + j] += dz * x(row, j);
-    }
-    return loss;
-  };
-  auto loss_only = [&](size_t row) {
-    Vector pred = forward(params_, row, nullptr);
-    return HalfSquaredError(pred, y, row, nullptr);
-  };
-
-  TrainWithEarlyStopping(options_, x.rows(), params_, loss_and_grad, loss_only);
+  CoreObjective<FnnCore> objective(core, x, y, params_);
+  TrainWithEarlyStopping(options_, x.rows(), params_, objective);
   fitted_ = true;
   return Status::Ok();
 }
@@ -546,21 +701,15 @@ Result<Vector> FnnModel::Predict(const Vector& raw_input) const {
     return Status::InvalidArgument("FNN input dimension mismatch");
   }
   Vector input = x_std_.Transform(raw_input);
-  size_t off_w1 = 0, off_b1 = hidden_ * in_dim_;
-  size_t off_w2 = off_b1 + hidden_, off_b2 = off_w2 + out_dim_ * hidden_;
-  Vector h(hidden_);
-  for (size_t i = 0; i < hidden_; ++i) {
-    double sum = params_[off_b1 + i];
-    for (size_t j = 0; j < in_dim_; ++j) sum += params_[off_w1 + i * in_dim_ + j] * input[j];
-    h[i] = std::tanh(sum);
-  }
-  Vector out(out_dim_);
-  for (size_t i = 0; i < out_dim_; ++i) {
-    double sum = params_[off_b2 + i];
-    for (size_t j = 0; j < hidden_; ++j) sum += params_[off_w2 + i * hidden_ + j] * h[j];
-    out[i] = sum;
-  }
-  return y_std_.Inverse(out);
+  FnnCore core;
+  core.in_dim = in_dim_;
+  core.hidden = hidden_;
+  core.out_dim = out_dim_;
+  core.Layout();
+  Matrix pred(1, out_dim_);
+  core.ForwardBatch(params_.data(), input.data(), input.size(), 1, pred,
+                    nullptr);
+  return y_std_.Inverse(pred.Row(0));
 }
 
 // ---------------------------------------------------------------------------
@@ -591,22 +740,8 @@ Status RnnModel::Fit(const Matrix& x_raw, const Matrix& y_raw) {
   params_.assign(num_params, 0.0);
   core.Init(params_, options_.seed);
 
-  auto loss_and_grad = [&](size_t row, std::vector<double>& grads) {
-    LstmCore::Cache cache;
-    const double* x_seq = &x.data()[row * x.cols()];
-    Vector pred = core.Forward(params_.data(), x_seq, &cache);
-    Vector dy;
-    double loss = HalfSquaredError(pred, y, row, &dy);
-    core.Backward(params_.data(), x_seq, cache, dy, grads.data());
-    return loss;
-  };
-  auto loss_only = [&](size_t row) {
-    const double* x_seq = &x.data()[row * x.cols()];
-    Vector pred = core.Forward(params_.data(), x_seq, nullptr);
-    return HalfSquaredError(pred, y, row, nullptr);
-  };
-
-  TrainWithEarlyStopping(options_, x.rows(), params_, loss_and_grad, loss_only);
+  CoreObjective<LstmCore> objective(core, x, y, params_);
+  TrainWithEarlyStopping(options_, x.rows(), params_, objective);
   fitted_ = true;
   return Status::Ok();
 }
@@ -625,7 +760,10 @@ Result<Vector> RnnModel::Predict(const Vector& raw_input) const {
   core.seq_len = seq_len_;
   core.out_dim = out_dim_;
   core.Layout();
-  return y_std_.Inverse(core.Forward(params_.data(), input.data(), nullptr));
+  Matrix pred(1, out_dim_);
+  core.ForwardBatch(params_.data(), input.data(), input.size(), 1, pred,
+                    nullptr);
+  return y_std_.Inverse(pred.Row(0));
 }
 
 // ---------------------------------------------------------------------------
@@ -690,22 +828,8 @@ Status PsrnnModel::Fit(const Matrix& x_raw, const Matrix& y_raw) {
     }
   }
 
-  auto loss_and_grad = [&](size_t row, std::vector<double>& grads) {
-    VanillaRnnCore::Cache cache;
-    const double* x_seq = &x.data()[row * x.cols()];
-    Vector pred = core.Forward(params_.data(), x_seq, &cache);
-    Vector dy;
-    double loss = HalfSquaredError(pred, y, row, &dy);
-    core.Backward(params_.data(), x_seq, cache, dy, grads.data());
-    return loss;
-  };
-  auto loss_only = [&](size_t row) {
-    const double* x_seq = &x.data()[row * x.cols()];
-    Vector pred = core.Forward(params_.data(), x_seq, nullptr);
-    return HalfSquaredError(pred, y, row, nullptr);
-  };
-
-  TrainWithEarlyStopping(options_, x.rows(), params_, loss_and_grad, loss_only);
+  CoreObjective<VanillaRnnCore> objective(core, x, y, params_);
+  TrainWithEarlyStopping(options_, x.rows(), params_, objective);
   fitted_ = true;
   return Status::Ok();
 }
@@ -722,7 +846,10 @@ Result<Vector> PsrnnModel::Predict(const Vector& raw_input) const {
   core.out_dim = out_dim_;
   core.seq_len = seq_len_;
   core.Layout();
-  return y_std_.Inverse(core.Forward(params_.data(), input.data(), nullptr));
+  Matrix pred(1, out_dim_);
+  core.ForwardBatch(params_.data(), input.data(), input.size(), 1, pred,
+                    nullptr);
+  return y_std_.Inverse(pred.Row(0));
 }
 
 }  // namespace qb5000

@@ -1,0 +1,392 @@
+#include "math/kernels.h"
+
+#include <algorithm>
+
+#include "common/check.h"
+#include "common/thread_pool.h"
+
+// Per-function SIMD dispatch (x86-64 GCC/Clang): the AVX2+FMA micro-kernel
+// below is compiled with a target attribute and selected at runtime, so the
+// binary stays runnable on baseline x86-64 while using the wide units when
+// present. Determinism note: which kernel runs depends only on the host CPU,
+// never on the thread count, so results remain bit-identical across
+// concurrency on any one machine.
+#if defined(__x86_64__) && (defined(__GNUC__) || defined(__clang__))
+#define QB_KERNELS_X86_DISPATCH 1
+#include <immintrin.h>
+#else
+#define QB_KERNELS_X86_DISPATCH 0
+#endif
+
+namespace qb5000 {
+namespace {
+
+/// Rows of A and Bt touched per micro-tile. 2x4 keeps the eight running
+/// sums plus the six stream heads in registers on baseline x86-64 (sixteen
+/// xmm registers, no AVX assumed).
+constexpr size_t kMicroRowsA = 2;
+constexpr size_t kMicroRowsB = 4;
+
+/// K-dimension cache block: 6 concurrent streams of kKc doubles stay within
+/// L1 (6 * 512 * 8 B = 24 KB), so each micro-tile's inner loop runs out of
+/// cache even when the full operands do not fit.
+constexpr size_t kKc = 512;
+
+/// Row-dimension cache block: one A panel of kMc x kKc doubles (256 KB)
+/// stays L2-resident while the vector kernel streams every B tile past it,
+/// so B is re-read from beyond L2 only ceil(m / kMc) times.
+constexpr size_t kMc = 64;
+
+/// C[m x n] (+)= A[m x kb] * Bt[n x kb]^T over one k-block, 2x4 register
+/// tiling with scalar edge handling.
+void GemmTransBBlock(const double* a, size_t lda, const double* bt, size_t ldb,
+                     double* c, size_t ldc, size_t m, size_t kb, size_t n,
+                     bool accumulate) {
+  size_t i = 0;
+  for (; i + kMicroRowsA <= m; i += kMicroRowsA) {
+    const double* a0 = a + i * lda;
+    const double* a1 = a0 + lda;
+    double* c0 = c + i * ldc;
+    double* c1 = c0 + ldc;
+    size_t j = 0;
+    for (; j + kMicroRowsB <= n; j += kMicroRowsB) {
+      const double* b0 = bt + j * ldb;
+      const double* b1 = b0 + ldb;
+      const double* b2 = b1 + ldb;
+      const double* b3 = b2 + ldb;
+      double s00 = 0.0, s01 = 0.0, s02 = 0.0, s03 = 0.0;
+      double s10 = 0.0, s11 = 0.0, s12 = 0.0, s13 = 0.0;
+      for (size_t p = 0; p < kb; ++p) {
+        double av0 = a0[p], av1 = a1[p];
+        double bv0 = b0[p], bv1 = b1[p], bv2 = b2[p], bv3 = b3[p];
+        s00 += av0 * bv0;
+        s01 += av0 * bv1;
+        s02 += av0 * bv2;
+        s03 += av0 * bv3;
+        s10 += av1 * bv0;
+        s11 += av1 * bv1;
+        s12 += av1 * bv2;
+        s13 += av1 * bv3;
+      }
+      if (accumulate) {
+        c0[j] += s00, c0[j + 1] += s01, c0[j + 2] += s02, c0[j + 3] += s03;
+        c1[j] += s10, c1[j + 1] += s11, c1[j + 2] += s12, c1[j + 3] += s13;
+      } else {
+        c0[j] = s00, c0[j + 1] = s01, c0[j + 2] = s02, c0[j + 3] = s03;
+        c1[j] = s10, c1[j + 1] = s11, c1[j + 2] = s12, c1[j + 3] = s13;
+      }
+    }
+    for (; j < n; ++j) {
+      const double* bj = bt + j * ldb;
+      double s0 = 0.0, s1 = 0.0;
+      for (size_t p = 0; p < kb; ++p) {
+        s0 += a0[p] * bj[p];
+        s1 += a1[p] * bj[p];
+      }
+      if (accumulate) {
+        c0[j] += s0, c1[j] += s1;
+      } else {
+        c0[j] = s0, c1[j] = s1;
+      }
+    }
+  }
+  for (; i < m; ++i) {
+    const double* ai = a + i * lda;
+    double* ci = c + i * ldc;
+    size_t j = 0;
+    for (; j + kMicroRowsB <= n; j += kMicroRowsB) {
+      const double* b0 = bt + j * ldb;
+      const double* b1 = b0 + ldb;
+      const double* b2 = b1 + ldb;
+      const double* b3 = b2 + ldb;
+      double s0 = 0.0, s1 = 0.0, s2 = 0.0, s3 = 0.0;
+      for (size_t p = 0; p < kb; ++p) {
+        double av = ai[p];
+        s0 += av * b0[p];
+        s1 += av * b1[p];
+        s2 += av * b2[p];
+        s3 += av * b3[p];
+      }
+      if (accumulate) {
+        ci[j] += s0, ci[j + 1] += s1, ci[j + 2] += s2, ci[j + 3] += s3;
+      } else {
+        ci[j] = s0, ci[j + 1] = s1, ci[j + 2] = s2, ci[j + 3] = s3;
+      }
+    }
+    for (; j < n; ++j) {
+      const double* bj = bt + j * ldb;
+      double s = 0.0;
+      for (size_t p = 0; p < kb; ++p) s += ai[p] * bj[p];
+      if (accumulate) {
+        ci[j] += s;
+      } else {
+        ci[j] = s;
+      }
+    }
+  }
+}
+
+#if QB_KERNELS_X86_DISPATCH
+
+/// Lane sum of one 4-wide accumulator: low+high 128-bit halves, then the
+/// two remaining lanes. Fixed order — part of the kernel's deterministic
+/// summation contract.
+__attribute__((target("avx2,fma"))) inline double HorizontalSum(__m256d v) {
+  __m128d lo = _mm256_castpd256_pd128(v);
+  __m128d hi = _mm256_extractf128_pd(v, 1);
+  lo = _mm_add_pd(lo, hi);
+  __m128d swapped = _mm_unpackhi_pd(lo, lo);
+  return _mm_cvtsd_f64(_mm_add_sd(lo, swapped));
+}
+
+/// AVX2+FMA variant of GemmTransBBlock: same 2x4 tile, but each of the
+/// eight accumulators is a 4-lane vector (8 ymm accumulators + 2 A loads +
+/// 4 B loads = 14 of 16 ymm registers), reduced lane-wise at the tile edge
+/// with the scalar k-tail added last. The j-tile loop is OUTER and the row
+/// loop inner, so one 4-row B tile (4 * kb doubles, 16 KB at kb = 512)
+/// stays in L1 while every row pair of the A panel streams past it; the
+/// caller bounds m so the A panel itself stays in L2.
+__attribute__((target("avx2,fma"))) void GemmTransBBlockAvx2(
+    const double* a, size_t lda, const double* bt, size_t ldb, double* c,
+    size_t ldc, size_t m, size_t kb, size_t n, bool accumulate) {
+  size_t j = 0;
+  for (; j + kMicroRowsB <= n; j += kMicroRowsB) {
+    const double* b0 = bt + j * ldb;
+    const double* b1 = b0 + ldb;
+    const double* b2 = b1 + ldb;
+    const double* b3 = b2 + ldb;
+    size_t i = 0;
+    for (; i + 3 <= m; i += 3) {
+      const double* a0 = a + i * lda;
+      const double* a1 = a0 + lda;
+      const double* a2 = a1 + lda;
+      double* c0 = c + i * ldc;
+      double* c1 = c0 + ldc;
+      double* c2 = c1 + ldc;
+      // 3x4 vector tile: 12 accumulators + 3 A loads + 1 B temp fill the
+      // 16-register ymm file exactly; 12 FMAs amortize 7 loads per k-step.
+      __m256d s00 = _mm256_setzero_pd(), s01 = _mm256_setzero_pd();
+      __m256d s02 = _mm256_setzero_pd(), s03 = _mm256_setzero_pd();
+      __m256d s10 = _mm256_setzero_pd(), s11 = _mm256_setzero_pd();
+      __m256d s12 = _mm256_setzero_pd(), s13 = _mm256_setzero_pd();
+      __m256d s20 = _mm256_setzero_pd(), s21 = _mm256_setzero_pd();
+      __m256d s22 = _mm256_setzero_pd(), s23 = _mm256_setzero_pd();
+      size_t p = 0;
+      for (; p + 4 <= kb; p += 4) {
+        __m256d av0 = _mm256_loadu_pd(a0 + p);
+        __m256d av1 = _mm256_loadu_pd(a1 + p);
+        __m256d av2 = _mm256_loadu_pd(a2 + p);
+        __m256d bv = _mm256_loadu_pd(b0 + p);
+        s00 = _mm256_fmadd_pd(av0, bv, s00);
+        s10 = _mm256_fmadd_pd(av1, bv, s10);
+        s20 = _mm256_fmadd_pd(av2, bv, s20);
+        bv = _mm256_loadu_pd(b1 + p);
+        s01 = _mm256_fmadd_pd(av0, bv, s01);
+        s11 = _mm256_fmadd_pd(av1, bv, s11);
+        s21 = _mm256_fmadd_pd(av2, bv, s21);
+        bv = _mm256_loadu_pd(b2 + p);
+        s02 = _mm256_fmadd_pd(av0, bv, s02);
+        s12 = _mm256_fmadd_pd(av1, bv, s12);
+        s22 = _mm256_fmadd_pd(av2, bv, s22);
+        bv = _mm256_loadu_pd(b3 + p);
+        s03 = _mm256_fmadd_pd(av0, bv, s03);
+        s13 = _mm256_fmadd_pd(av1, bv, s13);
+        s23 = _mm256_fmadd_pd(av2, bv, s23);
+      }
+      double r00 = HorizontalSum(s00), r01 = HorizontalSum(s01);
+      double r02 = HorizontalSum(s02), r03 = HorizontalSum(s03);
+      double r10 = HorizontalSum(s10), r11 = HorizontalSum(s11);
+      double r12 = HorizontalSum(s12), r13 = HorizontalSum(s13);
+      double r20 = HorizontalSum(s20), r21 = HorizontalSum(s21);
+      double r22 = HorizontalSum(s22), r23 = HorizontalSum(s23);
+      for (; p < kb; ++p) {
+        double av0 = a0[p], av1 = a1[p], av2 = a2[p];
+        double bv0 = b0[p], bv1 = b1[p], bv2 = b2[p], bv3 = b3[p];
+        r00 += av0 * bv0;
+        r01 += av0 * bv1;
+        r02 += av0 * bv2;
+        r03 += av0 * bv3;
+        r10 += av1 * bv0;
+        r11 += av1 * bv1;
+        r12 += av1 * bv2;
+        r13 += av1 * bv3;
+        r20 += av2 * bv0;
+        r21 += av2 * bv1;
+        r22 += av2 * bv2;
+        r23 += av2 * bv3;
+      }
+      if (accumulate) {
+        c0[j] += r00, c0[j + 1] += r01, c0[j + 2] += r02, c0[j + 3] += r03;
+        c1[j] += r10, c1[j + 1] += r11, c1[j + 2] += r12, c1[j + 3] += r13;
+        c2[j] += r20, c2[j + 1] += r21, c2[j + 2] += r22, c2[j + 3] += r23;
+      } else {
+        c0[j] = r00, c0[j + 1] = r01, c0[j + 2] = r02, c0[j + 3] = r03;
+        c1[j] = r10, c1[j + 1] = r11, c1[j + 2] = r12, c1[j + 3] = r13;
+        c2[j] = r20, c2[j + 1] = r21, c2[j + 2] = r22, c2[j + 3] = r23;
+      }
+    }
+    if (i < m) {
+      // Row remainder (m % 3): scalar edge handling on the sub-panel.
+      GemmTransBBlock(a + i * lda, lda, b0, ldb, c + i * ldc + j, ldc, m - i,
+                      kb, kMicroRowsB, accumulate);
+    }
+  }
+  if (j < n) {
+    // Column remainder: scalar edge handling on the narrow sub-panel.
+    GemmTransBBlock(a, lda, bt + j * ldb, ldb, c + j, ldc, m, kb, n - j,
+                    accumulate);
+  }
+}
+
+#endif  // QB_KERNELS_X86_DISPATCH
+
+using GemmBlockFn = void (*)(const double*, size_t, const double*, size_t,
+                             double*, size_t, size_t, size_t, size_t, bool);
+
+GemmBlockFn PickGemmBlockFn() {
+#if QB_KERNELS_X86_DISPATCH
+  if (__builtin_cpu_supports("avx2") && __builtin_cpu_supports("fma")) {
+    return GemmTransBBlockAvx2;
+  }
+#endif
+  return GemmTransBBlock;
+}
+
+/// Resolved once at static-init time; constant for the process lifetime.
+const GemmBlockFn kGemmBlockFn = PickGemmBlockFn();
+
+/// Per-thread packing buffer for GemmInto's B transpose. Pool workers are
+/// long-lived, so steady-state calls never touch the allocator.
+std::vector<double>& PackScratch() {
+  thread_local std::vector<double> scratch;
+  return scratch;
+}
+
+}  // namespace
+
+void GemmTransBInto(const double* a, size_t lda, const double* bt, size_t ldb,
+                    double* c, size_t ldc, size_t m, size_t k, size_t n,
+                    bool accumulate) {
+  if (m == 0 || n == 0) return;
+  if (k == 0) {
+    if (!accumulate) {
+      for (size_t i = 0; i < m; ++i) std::fill_n(c + i * ldc, n, 0.0);
+    }
+    return;
+  }
+  for (size_t k0 = 0; k0 < k; k0 += kKc) {
+    size_t kb = std::min(kKc, k - k0);
+    for (size_t i0 = 0; i0 < m; i0 += kMc) {
+      size_t mb = std::min(kMc, m - i0);
+      kGemmBlockFn(a + i0 * lda + k0, lda, bt + k0, ldb, c + i0 * ldc, ldc,
+                   mb, kb, n, accumulate || k0 > 0);
+    }
+  }
+}
+
+void GemmInto(const double* a, size_t lda, const double* b, size_t ldb,
+              double* c, size_t ldc, size_t m, size_t k, size_t n,
+              bool accumulate) {
+  if (m == 0 || n == 0) return;
+  if (k == 0) {
+    if (!accumulate) {
+      for (size_t i = 0; i < m; ++i) std::fill_n(c + i * ldc, n, 0.0);
+    }
+    return;
+  }
+  std::vector<double>& bt = PackScratch();
+  bt.resize(k * n);
+  for (size_t p = 0; p < k; ++p) {
+    const double* brow = b + p * ldb;
+    for (size_t j = 0; j < n; ++j) bt[j * k + p] = brow[j];
+  }
+  GemmTransBInto(a, lda, bt.data(), k, c, ldc, m, k, n, accumulate);
+}
+
+void GemmTransAInto(const double* a, size_t lda, const double* b, size_t ldb,
+                    double* c, size_t ldc, size_t m, size_t k, size_t n,
+                    bool accumulate) {
+  if (!accumulate) {
+    for (size_t i = 0; i < k; ++i) std::fill_n(c + i * ldc, n, 0.0);
+  }
+  // Rank-1 updates in row order: C += a_row^T * b_row, r = 0..m-1. The
+  // summation order over m is fixed by the shape, keeping gradient
+  // accumulation deterministic.
+  for (size_t r = 0; r < m; ++r) {
+    const double* arow = a + r * lda;
+    const double* brow = b + r * ldb;
+    for (size_t i = 0; i < k; ++i) {
+      double av = arow[i];
+      double* crow = c + i * ldc;
+      for (size_t j = 0; j < n; ++j) crow[j] += av * brow[j];
+    }
+  }
+}
+
+void GemvInto(const double* a, size_t lda, const double* x, double* y,
+              size_t m, size_t n, bool accumulate) {
+  for (size_t i = 0; i < m; ++i) {
+    const double* row = a + i * lda;
+    double s = 0.0;
+    for (size_t j = 0; j < n; ++j) s += row[j] * x[j];
+    if (accumulate) {
+      y[i] += s;
+    } else {
+      y[i] = s;
+    }
+  }
+}
+
+void AxpyInto(double* y, double alpha, const double* x, size_t n) {
+  for (size_t j = 0; j < n; ++j) y[j] += alpha * x[j];
+}
+
+void MatMulInto(const Matrix& a, const Matrix& b, Matrix& out) {
+  QB_CHECK_EQ(a.cols(), b.rows());
+  QB_CHECK_EQ(out.rows(), a.rows());
+  QB_CHECK_EQ(out.cols(), b.cols());
+  GemmInto(a.data().data(), a.cols(), b.data().data(), b.cols(),
+           out.mutable_data().data(), out.cols(), a.rows(), a.cols(), b.cols(),
+           /*accumulate=*/false);
+}
+
+void MatMulTransBInto(const Matrix& a, const Matrix& bt, Matrix& out) {
+  QB_CHECK_EQ(a.cols(), bt.cols());
+  QB_CHECK_EQ(out.rows(), a.rows());
+  QB_CHECK_EQ(out.cols(), bt.rows());
+  GemmTransBInto(a.data().data(), a.cols(), bt.data().data(), bt.cols(),
+                 out.mutable_data().data(), out.cols(), a.rows(), a.cols(),
+                 bt.rows(), /*accumulate=*/false);
+}
+
+void MatMulTransAInto(const Matrix& a, const Matrix& b, Matrix& out,
+                      bool accumulate) {
+  QB_CHECK_EQ(a.rows(), b.rows());
+  QB_CHECK_EQ(out.rows(), a.cols());
+  QB_CHECK_EQ(out.cols(), b.cols());
+  GemmTransAInto(a.data().data(), a.cols(), b.data().data(), b.cols(),
+                 out.mutable_data().data(), out.cols(), a.rows(), a.cols(),
+                 b.cols(), accumulate);
+}
+
+void MatVecInto(const Matrix& a, const Vector& x, Vector& out) {
+  QB_CHECK_EQ(x.size(), a.cols());
+  QB_CHECK_EQ(out.size(), a.rows());
+  GemvInto(a.data().data(), a.cols(), x.data(), out.data(), a.rows(), a.cols(),
+           /*accumulate=*/false);
+}
+
+void AddScaledInPlace(Vector& y, double alpha, const Vector& x) {
+  QB_CHECK_EQ(y.size(), x.size());
+  AxpyInto(y.data(), alpha, x.data(), x.size());
+}
+
+void BatchedMatMulInto(const std::vector<GemmProblem>& problems) {
+  ParallelFor(0, problems.size(), 1, [&](size_t lo, size_t hi) {
+    for (size_t i = lo; i < hi; ++i) {
+      MatMulInto(*problems[i].a, *problems[i].b, *problems[i].c);
+    }
+  });
+}
+
+}  // namespace qb5000

@@ -1,0 +1,86 @@
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "math/matrix.h"
+
+namespace qb5000 {
+
+/// Dense kernels behind Matrix and the neural training loops.
+///
+/// Two tiers (DESIGN.md §9):
+///   - Raw strided primitives (Gemm*, GemvInto, AxpyInto) take pointers plus
+///     leading dimensions so callers can address sub-panels (e.g. one time
+///     step of a batched LSTM input) without gathering, and allocate nothing.
+///   - Matrix wrappers (MatMulInto, ...) add shape checks and reuse a
+///     thread-local packing buffer, so steady-state calls are allocation-free
+///     per thread.
+///
+/// All kernels accumulate in a fixed order that depends only on the operand
+/// shapes, never on concurrency — required by the determinism contract.
+
+/// C[m x n] (+)= A[m x k] * B[k x n]. Row strides lda/ldb/ldc; `accumulate`
+/// false overwrites C. Internally packs B transposed in a thread-local
+/// buffer and runs the register-blocked GemmTransB micro-kernel.
+void GemmInto(const double* a, size_t lda, const double* b, size_t ldb,
+              double* c, size_t ldc, size_t m, size_t k, size_t n,
+              bool accumulate);
+
+/// C[m x n] (+)= A[m x k] * Bt[n x k]^T. This is the fast path: both the A
+/// rows and the Bt rows are read contiguously, and a 2x4 register tile
+/// amortizes loads across eight accumulators. Neural layers store weights
+/// as [out x in] row-major, which is exactly Bt — forward passes hit this
+/// kernel with no packing at all.
+void GemmTransBInto(const double* a, size_t lda, const double* bt, size_t ldb,
+                    double* c, size_t ldc, size_t m, size_t k, size_t n,
+                    bool accumulate);
+
+/// C[k x n] (+)= A[m x k]^T * B[m x n], accumulated row-by-row over m in
+/// index order (rank-1 updates). This is the weight-gradient shape
+/// dW += dZ^T * X; `accumulate` true is the common case.
+void GemmTransAInto(const double* a, size_t lda, const double* b, size_t ldb,
+                    double* c, size_t ldc, size_t m, size_t k, size_t n,
+                    bool accumulate);
+
+/// y[m] (+)= A[m x n] * x[n].
+void GemvInto(const double* a, size_t lda, const double* x, double* y,
+              size_t m, size_t n, bool accumulate);
+
+/// y[n] += alpha * x[n] (AXPY).
+void AxpyInto(double* y, double alpha, const double* x, size_t n);
+
+// --- Matrix wrappers (shape-checked, output preallocated by caller) --------
+
+/// out = a * b; out must already be a.rows() x b.cols().
+void MatMulInto(const Matrix& a, const Matrix& b, Matrix& out);
+
+/// out = a * bt^T where bt holds B transposed (bt is n x k for a k x n B);
+/// out must already be a.rows() x bt.rows().
+void MatMulTransBInto(const Matrix& a, const Matrix& bt, Matrix& out);
+
+/// out (+)= a^T * b; out must already be a.cols() x b.cols().
+void MatMulTransAInto(const Matrix& a, const Matrix& b, Matrix& out,
+                      bool accumulate);
+
+/// out = a * x; out must already have a.rows() elements.
+void MatVecInto(const Matrix& a, const Vector& x, Vector& out);
+
+/// y += alpha * x; sizes must match.
+void AddScaledInPlace(Vector& y, double alpha, const Vector& x);
+
+// --- Batched entry points ---------------------------------------------------
+
+/// One independent GEMM in a batch: c = a * b (overwrite).
+struct GemmProblem {
+  const Matrix* a = nullptr;
+  const Matrix* b = nullptr;
+  Matrix* c = nullptr;
+};
+
+/// Runs every problem (each c_i = a_i * b_i) with the problems distributed
+/// over the global thread pool. Problems are independent, so this is
+/// deterministic regardless of thread count.
+void BatchedMatMulInto(const std::vector<GemmProblem>& problems);
+
+}  // namespace qb5000

@@ -3,6 +3,7 @@
 #include <cmath>
 
 #include "common/check.h"
+#include "math/kernels.h"
 
 namespace qb5000 {
 
@@ -20,27 +21,14 @@ void Matrix::SetRow(size_t r, const Vector& v) {
 Matrix Matrix::MatMul(const Matrix& other) const {
   QB_CHECK_EQ(cols_, other.rows_);
   Matrix out(rows_, other.cols_);
-  for (size_t i = 0; i < rows_; ++i) {
-    for (size_t k = 0; k < cols_; ++k) {
-      double a = data_[i * cols_ + k];
-      if (a == 0.0) continue;
-      const double* brow = &other.data_[k * other.cols_];
-      double* orow = &out.data_[i * other.cols_];
-      for (size_t j = 0; j < other.cols_; ++j) orow[j] += a * brow[j];
-    }
-  }
+  MatMulInto(*this, other, out);
   return out;
 }
 
 Vector Matrix::MatVec(const Vector& v) const {
   QB_CHECK_EQ(v.size(), cols_);
   Vector out(rows_, 0.0);
-  for (size_t i = 0; i < rows_; ++i) {
-    double sum = 0.0;
-    const double* row = &data_[i * cols_];
-    for (size_t j = 0; j < cols_; ++j) sum += row[j] * v[j];
-    out[i] = sum;
-  }
+  MatVecInto(*this, v, out);
   return out;
 }
 

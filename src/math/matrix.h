@@ -9,8 +9,9 @@ namespace qb5000 {
 
 using Vector = std::vector<double>;
 
-/// Dense row-major matrix of doubles. Sized for the small models this
-/// library trains (input dims in the hundreds); no SIMD or blocking needed.
+/// Dense row-major matrix of doubles. MatMul/MatVec delegate to the
+/// cache-blocked, register-tiled kernels in math/kernels.h; callers on hot
+/// paths should use the *Into variants there to avoid allocating results.
 class Matrix {
  public:
   Matrix() : rows_(0), cols_(0) {}

@@ -16,10 +16,12 @@
 #include <set>
 #include <sstream>
 #include <string>
+#include <vector>
 
 #include <gtest/gtest.h>
 
 #include "common/io.h"
+#include "common/thread_pool.h"
 #include "core/checkpoint.h"
 #include "core/qb5000.h"
 #include "workload/workload.h"
@@ -427,6 +429,60 @@ std::string WorkloadName(const ::testing::TestParamInfo<int>& info) {
 
 INSTANTIATE_TEST_SUITE_P(AllGenerators, CheckpointWorkloadSweep,
                          ::testing::Values(0, 1, 2, 3), WorkloadName);
+
+TEST(CheckpointTest, CheckpointConcurrentWithForecasting) {
+  // Checkpoint() and Forecast() both take the controller's state lock
+  // shared, so they may genuinely overlap. Drive one checkpointing lane
+  // against three forecasting lanes on the pool (raw std::thread is banned
+  // by qb_lint; ParallelFor tasks at concurrency >= 4 overlap the same
+  // way) and require every operation to succeed, forecasts to stay
+  // bit-identical to the quiescent answer, and the final checkpoint to
+  // restore cleanly. The TSan CI job proves the absence of data races on
+  // this same path.
+  const std::string path = TestDir() + "/concurrent.qbc";
+  RemoveAllVersions(Env::Default(), path);
+  size_t saved_threads = GetThreadCount();
+  SetThreadCount(4);
+  QueryBot5000::Config config = FastConfig();
+  QueryBot5000 bot = MakeTrainedBot(config, 3 * kSecondsPerDay, 11);
+
+  auto quiescent = bot.Forecast(3 * kSecondsPerDay, kSecondsPerHour);
+  ASSERT_TRUE(quiescent.ok());
+
+  constexpr size_t kLanes = 4;
+  constexpr size_t kOpsPerLane = 8;
+  std::vector<Status> lane_status(kLanes, Status::Ok());
+  ParallelFor(0, kLanes, 1, [&](size_t lo, size_t hi) {
+    for (size_t lane = lo; lane < hi; ++lane) {
+      for (size_t op = 0; op < kOpsPerLane && lane_status[lane].ok(); ++op) {
+        if (lane == 0) {
+          lane_status[lane] = bot.Checkpoint(path);
+        } else {
+          auto f = bot.Forecast(3 * kSecondsPerDay, kSecondsPerHour);
+          if (!f.ok()) {
+            lane_status[lane] = f.status();
+            continue;
+          }
+          if (f->queries_per_interval != quiescent->queries_per_interval) {
+            lane_status[lane] =
+                Status::Internal("forecast changed under concurrency");
+          }
+          (void)bot.ModeledClusters();
+        }
+      }
+    }
+  });
+  for (size_t lane = 0; lane < kLanes; ++lane) {
+    EXPECT_TRUE(lane_status[lane].ok())
+        << "lane " << lane << ": " << lane_status[lane].ToString();
+  }
+
+  RestoreReport report;
+  auto restored = QueryBot5000::Restore(path, config, nullptr, &report);
+  ASSERT_TRUE(restored.ok()) << restored.status().ToString();
+  ExpectSameState(*restored, bot, 3 * kSecondsPerDay);
+  SetThreadCount(saved_threads);
+}
 
 }  // namespace
 }  // namespace qb5000

@@ -1,0 +1,248 @@
+// The parallel runtime (common/thread_pool.h): deterministic static
+// partitioning, exception propagation, nested use via the helping
+// scheduler, the SetThreadCount knob — and the determinism contract the
+// rest of the library builds on: for a fixed seed, the full pipeline's
+// forecasts are bit-identical at 1, 2, and 8 threads, on all four workload
+// generators.
+#include "common/thread_pool.h"
+
+#include <atomic>
+#include <numeric>
+#include <stdexcept>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "common/clock.h"
+#include "core/qb5000.h"
+#include "workload/workload.h"
+
+namespace qb5000 {
+namespace {
+
+/// Restores the previous global thread count when the test exits, so tests
+/// are order-independent within the binary.
+class ThreadCountGuard {
+ public:
+  ThreadCountGuard() : saved_(GetThreadCount()) {}
+  ~ThreadCountGuard() { SetThreadCount(saved_); }
+
+ private:
+  size_t saved_;
+};
+
+TEST(ThreadPool, RunExecutesEveryTaskExactlyOnce) {
+  ThreadPool pool(4);
+  constexpr size_t kTasks = 257;
+  std::vector<std::atomic<int>> hits(kTasks);
+  pool.Run(kTasks, [&](size_t i) { hits[i].fetch_add(1); });
+  for (size_t i = 0; i < kTasks; ++i) EXPECT_EQ(hits[i].load(), 1);
+}
+
+TEST(ThreadPool, ZeroAndSingleTaskBatches) {
+  ThreadPool pool(4);
+  pool.Run(0, [&](size_t) { FAIL() << "no tasks should run"; });
+  size_t ran = 0;
+  pool.Run(1, [&](size_t i) {
+    EXPECT_EQ(i, 0u);
+    ++ran;
+  });
+  EXPECT_EQ(ran, 1u);
+}
+
+TEST(ThreadPool, SequentialPoolRunsInline) {
+  ThreadPool pool(1);
+  EXPECT_EQ(pool.concurrency(), 1u);
+  std::vector<size_t> order;
+  pool.Run(5, [&](size_t i) { order.push_back(i); });
+  EXPECT_EQ(order, (std::vector<size_t>{0, 1, 2, 3, 4}));
+}
+
+TEST(ThreadPool, RethrowsLowestTaskIndexException) {
+  ThreadPool pool(4);
+  std::vector<std::atomic<int>> hits(64);
+  auto run = [&] {
+    pool.Run(64, [&](size_t i) {
+      hits[i].fetch_add(1);
+      if (i == 17) throw std::runtime_error("task 17");
+      if (i == 41) throw std::runtime_error("task 41");
+    });
+  };
+  EXPECT_THROW(
+      {
+        try {
+          run();
+        } catch (const std::runtime_error& e) {
+          // The surfaced error is the lowest-index one regardless of which
+          // thread hit which failure first.
+          EXPECT_STREQ(e.what(), "task 17");
+          throw;
+        }
+      },
+      std::runtime_error);
+  // The whole batch still drained before the rethrow.
+  for (size_t i = 0; i < hits.size(); ++i) EXPECT_EQ(hits[i].load(), 1);
+}
+
+TEST(ThreadPool, SequentialExceptionPropagates) {
+  ThreadPool pool(1);
+  EXPECT_THROW(pool.Run(3,
+                        [&](size_t i) {
+                          if (i == 1) throw std::runtime_error("boom");
+                        }),
+               std::runtime_error);
+}
+
+TEST(ParallelFor, CoversRangeWithExactChunks) {
+  ThreadCountGuard guard;
+  SetThreadCount(4);
+  for (size_t grain : {1u, 3u, 7u, 100u, 1000u}) {
+    std::vector<std::atomic<int>> hits(100);
+    std::atomic<size_t> chunks{0};
+    ParallelFor(0, 100, grain, [&](size_t lo, size_t hi) {
+      ASSERT_LT(lo, hi);
+      ASSERT_LE(hi, 100u);
+      // Chunk boundaries are the static partition, never merged or split.
+      EXPECT_EQ(lo % grain, 0u);
+      EXPECT_TRUE(hi == 100 || hi - lo == grain);
+      chunks.fetch_add(1);
+      for (size_t i = lo; i < hi; ++i) hits[i].fetch_add(1);
+    });
+    for (size_t i = 0; i < hits.size(); ++i) EXPECT_EQ(hits[i].load(), 1);
+    EXPECT_EQ(chunks.load(), (100 + grain - 1) / grain);
+  }
+}
+
+TEST(ParallelFor, GrainEdgeCases) {
+  ThreadCountGuard guard;
+  SetThreadCount(4);
+  // Empty range: the body never runs.
+  ParallelFor(5, 5, 1, [&](size_t, size_t) { FAIL(); });
+  ParallelFor(7, 3, 1, [&](size_t, size_t) { FAIL(); });
+  // grain == 0 behaves as 1.
+  std::atomic<size_t> calls{0};
+  ParallelFor(0, 5, 0, [&](size_t lo, size_t hi) {
+    EXPECT_EQ(hi, lo + 1);
+    calls.fetch_add(1);
+  });
+  EXPECT_EQ(calls.load(), 5u);
+  // grain beyond the range: one inline chunk covering everything.
+  size_t single = 0;
+  ParallelFor(10, 20, 1000, [&](size_t lo, size_t hi) {
+    EXPECT_EQ(lo, 10u);
+    EXPECT_EQ(hi, 20u);
+    ++single;
+  });
+  EXPECT_EQ(single, 1u);
+  // Non-zero begin: chunks are anchored at begin.
+  std::vector<std::atomic<int>> hits(30);
+  ParallelFor(10, 30, 8, [&](size_t lo, size_t hi) {
+    EXPECT_EQ((lo - 10) % 8, 0u);
+    for (size_t i = lo; i < hi; ++i) hits[i].fetch_add(1);
+  });
+  for (size_t i = 10; i < 30; ++i) EXPECT_EQ(hits[i].load(), 1);
+}
+
+TEST(ParallelFor, NestedRegionsCompleteWithoutDeadlock) {
+  ThreadCountGuard guard;
+  SetThreadCount(4);
+  // Outer x inner x innermost: every level fans out on the same pool. The
+  // helping scheduler must keep claiming pending tasks while outer regions
+  // wait, or this would deadlock with 4 lanes and 8 outer tasks.
+  std::vector<long> outer_sums(8, 0);
+  ParallelFor(0, 8, 1, [&](size_t olo, size_t ohi) {
+    for (size_t o = olo; o < ohi; ++o) {
+      std::vector<long> inner_sums(4, 0);
+      ParallelFor(0, 4, 1, [&](size_t ilo, size_t ihi) {
+        for (size_t i = ilo; i < ihi; ++i) {
+          // Per-chunk partials reduced in chunk order — the same ordered
+          // reduction pattern the library's kernels use.
+          std::vector<long> partials((100 + 15) / 16, 0);
+          ParallelFor(0, 100, 16, [&partials](size_t lo, size_t hi) {
+            long local = 0;
+            for (size_t j = lo; j < hi; ++j) local += static_cast<long>(j);
+            partials[lo / 16] = local;
+          });
+          long s = 0;
+          for (long p : partials) s += p;
+          inner_sums[i] = s;
+        }
+      });
+      long total = 0;
+      for (long v : inner_sums) total += v;
+      outer_sums[o] = total;
+    }
+  });
+  for (long v : outer_sums) EXPECT_EQ(v, 4 * 4950);
+}
+
+TEST(ParallelFor, SetThreadCountKnob) {
+  ThreadCountGuard guard;
+  EXPECT_EQ(SetThreadCount(1), 1u);
+  EXPECT_EQ(GetThreadCount(), 1u);
+  EXPECT_EQ(SetThreadCount(6), 6u);
+  EXPECT_EQ(GetThreadCount(), 6u);
+  EXPECT_EQ(GlobalThreadPool().concurrency(), 6u);
+  // 0 selects hardware concurrency, clamped to >= 1.
+  size_t hw = SetThreadCount(0);
+  EXPECT_GE(hw, 1u);
+  EXPECT_EQ(GetThreadCount(), hw);
+}
+
+// --- End-to-end determinism ------------------------------------------------
+
+/// Trains the full pipeline on `workload` at the given concurrency and
+/// returns the one-hour forecast. Small model dimensions keep the three
+/// (threads) x four (workloads) grid fast; determinism does not depend on
+/// the sizes.
+Vector ForecastAtThreadCount(const SyntheticWorkload& workload,
+                             size_t threads) {
+  SetThreadCount(threads);
+  QueryBot5000::Config config;
+  config.forecaster.input_window = 12;
+  config.forecaster.model.embedding_dim = 6;
+  config.forecaster.model.hidden_dim = 8;
+  config.forecaster.model.max_epochs = 3;
+  config.horizons = {kSecondsPerHour};
+  QueryBot5000 bot(config);
+  Timestamp end = 4 * kSecondsPerDay;
+  Status fed = workload.FeedAggregated(bot.mutable_preprocessor(), 0, end,
+                                       kSecondsPerMinute, /*seed=*/5);
+  EXPECT_TRUE(fed.ok()) << fed.message();
+  Status maint = bot.RunMaintenance(end, /*force=*/true);
+  EXPECT_TRUE(maint.ok()) << maint.message();
+  auto forecast = bot.Forecast(end, kSecondsPerHour);
+  EXPECT_TRUE(forecast.ok()) << forecast.status().message();
+  return forecast.ok() ? forecast->queries_per_interval : Vector{};
+}
+
+TEST(Determinism, ForecastsBitIdenticalAcrossThreadCounts) {
+  ThreadCountGuard guard;
+  const struct {
+    const char* name;
+    SyntheticWorkload workload;
+  } cases[] = {
+      {"BusTracker", MakeBusTracker()},
+      {"Admissions", MakeAdmissions()},
+      {"MOOC", MakeMooc()},
+      {"NoisyComposite", MakeNoisyComposite()},
+  };
+  for (const auto& c : cases) {
+    SCOPED_TRACE(c.name);
+    Vector baseline = ForecastAtThreadCount(c.workload, 1);
+    ASSERT_FALSE(baseline.empty());
+    for (size_t threads : {2u, 8u}) {
+      SCOPED_TRACE(threads);
+      Vector got = ForecastAtThreadCount(c.workload, threads);
+      ASSERT_EQ(got.size(), baseline.size());
+      for (size_t i = 0; i < got.size(); ++i) {
+        // Bit-identical, not approximately equal: the decomposition and
+        // every reduction order are independent of the thread count.
+        EXPECT_EQ(got[i], baseline[i]) << "cluster " << i;
+      }
+    }
+  }
+}
+
+}  // namespace
+}  // namespace qb5000

@@ -1,0 +1,114 @@
+#!/usr/bin/env python3
+"""Runs a qb5000 bench binary and emits a JSON results file.
+
+Collects two result streams:
+  * the google-benchmark microbenchmarks, via --benchmark_out (clean JSON,
+    unpolluted by the benches' human-readable reports on stdout);
+  * the "#KV key value" lines the reports print for machine consumption
+    (speedups, per-component timings, scaling factors).
+
+Usage:
+  tools/bench_to_json.py build/bench/bench_kernels --out BENCH_kernels.json
+  tools/bench_to_json.py build/bench/bench_table4_overhead \
+      --out BENCH_table4.json
+
+Extra arguments after the binary are forwarded to it. QB_BENCH_FAST=1 in the
+environment is forwarded too (the benches shrink themselves).
+"""
+
+import argparse
+import json
+import os
+import subprocess
+import sys
+import tempfile
+
+
+def parse_kv_lines(text):
+    """Extracts {key: float-or-string} from '#KV key value' lines."""
+    report = {}
+    for line in text.splitlines():
+        line = line.strip()
+        if not line.startswith("#KV "):
+            continue
+        parts = line.split(None, 2)
+        if len(parts) != 3:
+            continue
+        _, key, value = parts
+        try:
+            report[key] = float(value)
+        except ValueError:
+            report[key] = value
+    return report
+
+
+def summarize_benchmarks(bench_json):
+    """Reduces google-benchmark's JSON to the fields worth diffing."""
+    out = []
+    for entry in bench_json.get("benchmarks", []):
+        out.append(
+            {
+                "name": entry.get("name"),
+                "real_time": entry.get("real_time"),
+                "cpu_time": entry.get("cpu_time"),
+                "time_unit": entry.get("time_unit"),
+                "iterations": entry.get("iterations"),
+                "items_per_second": entry.get("items_per_second"),
+            }
+        )
+    return out
+
+
+def main():
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("binary", help="bench executable to run")
+    parser.add_argument("--out", required=True, help="output JSON path")
+    parser.add_argument(
+        "bench_args", nargs="*", help="extra args forwarded to the binary"
+    )
+    args = parser.parse_args()
+
+    if not os.path.exists(args.binary):
+        sys.exit(f"error: no such binary: {args.binary}")
+
+    with tempfile.NamedTemporaryFile(
+        mode="r", suffix=".json", delete=False
+    ) as tmp:
+        gbench_path = tmp.name
+    try:
+        cmd = [
+            args.binary,
+            f"--benchmark_out={gbench_path}",
+            "--benchmark_out_format=json",
+            *args.bench_args,
+        ]
+        proc = subprocess.run(
+            cmd, capture_output=True, text=True, check=False
+        )
+        if proc.returncode != 0:
+            sys.stderr.write(proc.stdout)
+            sys.stderr.write(proc.stderr)
+            sys.exit(f"error: {cmd[0]} exited with {proc.returncode}")
+
+        bench_json = {}
+        if os.path.getsize(gbench_path) > 0:
+            with open(gbench_path) as f:
+                bench_json = json.load(f)
+    finally:
+        os.unlink(gbench_path)
+
+    result = {
+        "binary": os.path.basename(args.binary),
+        "context": bench_json.get("context", {}),
+        "benchmarks": summarize_benchmarks(bench_json),
+        "report": parse_kv_lines(proc.stdout),
+    }
+    with open(args.out, "w") as f:
+        json.dump(result, f, indent=2, sort_keys=True)
+        f.write("\n")
+    print(f"wrote {args.out}: {len(result['benchmarks'])} benchmarks, "
+          f"{len(result['report'])} report keys")
+
+
+if __name__ == "__main__":
+    main()

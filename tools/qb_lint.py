@@ -13,6 +13,10 @@ Checks (stdlib-only, no compiler needed):
                      src/common/io.cc — go through the Env / AtomicFileWriter
                      layer (common/io.h) so writes stay atomic, fsynced, and
                      fault-injectable
+  raw-thread         no std::thread outside src/common/thread_pool.{h,cc} —
+                     use ThreadPool / ParallelFor (common/thread_pool.h) so
+                     concurrency stays deterministic, bounded, and governed
+                     by the SetThreadCount knob
   missing-include    files that use a known symbol must include its header
                      (QB_CHECK -> common/check.h, assert -> <cassert>, ...)
 
@@ -37,6 +41,13 @@ RAW_ASSERT_ALLOWLIST = {"src/common/check.h"}
 RAW_FILE_STREAM_ALLOWLIST = {"src/common/io.cc"}
 
 RAW_FILE_STREAM_RE = re.compile(r"\bstd::[oi]?fstream\b")
+
+# Files allowed to touch std::thread (the pool's own implementation; the
+# header declares the worker vector and queries hardware_concurrency).
+RAW_THREAD_ALLOWLIST = {"src/common/thread_pool.h", "src/common/thread_pool.cc"}
+
+# std::thread the type — std::this_thread (sleep/yield) stays allowed.
+RAW_THREAD_RE = re.compile(r"\bstd::thread\b")
 
 BANNED_FUNCTIONS = {
     "rand": "use qb5000::Rng (common/rng.h) for seedable, reproducible draws",
@@ -208,6 +219,13 @@ def lint_file(path, rel, fix):
                     "raw std::fstream bypasses the durability layer; use "
                     "Env / AtomicFileWriter from common/io.h (atomic "
                     "replace, fsync, fault injection)"))
+        if rel not in RAW_THREAD_ALLOWLIST:
+            for _ in RAW_THREAD_RE.finditer(line):
+                findings.append(Finding(
+                    rel, lineno, "raw-thread",
+                    "raw std::thread bypasses the pool; use ThreadPool / "
+                    "ParallelFor (common/thread_pool.h) so thread count, "
+                    "determinism, and exception propagation stay governed"))
         if rel not in RAW_ASSERT_ALLOWLIST:
             for m in assert_re.finditer(line):
                 if line[:m.start()].rstrip().endswith(("static", "_")):
