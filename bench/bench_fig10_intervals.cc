@@ -3,11 +3,11 @@
 // 1-hour, 1-day, and 3-day horizons on BusTracker. Expected shape:
 // shorter intervals -> better per-hour accuracy but longer training; the
 // interval dominates training time, the horizon barely matters.
-#include <chrono>
 #include <cstdio>
 #include <memory>
 
 #include "bench_util.h"
+#include "common/metrics.h"
 #include "forecaster/dataset.h"
 #include "forecaster/ensemble.h"
 #include "forecaster/linear.h"
@@ -78,13 +78,11 @@ CellResult EvaluateInterval(const PreProcessor& pre,
   opts.patience = 4;
   auto lr = std::make_shared<LinearRegressionModel>(opts);
   auto rnn = std::make_shared<RnnModel>(opts);
-  auto start = std::chrono::steady_clock::now();
+  Stopwatch train_timer;
   if (!lr->Fit(train_x, train_y).ok() || !rnn->Fit(train_x, train_y).ok()) {
     return cell;
   }
-  cell.train_seconds =
-      std::chrono::duration<double>(std::chrono::steady_clock::now() - start)
-          .count();
+  cell.train_seconds = train_timer.ElapsedSeconds();
   EnsembleModel ensemble(lr, rnn);
 
   // Score per *hour*: sum interval predictions within each hour (or split

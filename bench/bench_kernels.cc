@@ -7,10 +7,10 @@
 // collects them (plus the google-benchmark JSON) into BENCH_kernels.json.
 #include <benchmark/benchmark.h>
 
-#include <chrono>
 #include <cstdio>
 
 #include "bench_util.h"
+#include "common/metrics.h"
 #include "common/thread_pool.h"
 #include "forecaster/dataset.h"
 #include "forecaster/forecaster.h"
@@ -142,19 +142,13 @@ BENCHMARK(BM_LstmTrain)->Arg(1)->Arg(4)->Unit(benchmark::kMillisecond);
 
 // --- Acceptance-criteria report --------------------------------------------
 
-double Seconds(std::chrono::steady_clock::time_point start) {
-  return std::chrono::duration<double>(std::chrono::steady_clock::now() -
-                                       start)
-      .count();
-}
-
 template <typename Fn>
 double TimeBest(int reps, const Fn& fn) {
   double best = 1e300;
   for (int r = 0; r < reps; ++r) {
-    auto start = std::chrono::steady_clock::now();
+    Stopwatch timer;
     fn();
-    best = std::min(best, Seconds(start));
+    best = std::min(best, timer.ElapsedSeconds());
   }
   return best;
 }
@@ -167,11 +161,11 @@ double RetrainSeconds(const PreparedWorkload& prepared, size_t threads) {
   Forecaster::Options options;
   options.model.max_epochs = FastMode() ? 2 : 6;
   Forecaster forecaster(options);
-  auto start = std::chrono::steady_clock::now();
+  Stopwatch timer;
   Status st = forecaster.Train(prepared.pre, prepared.clusterer, clusters,
                                prepared.end,
                                {kSecondsPerHour, 12 * kSecondsPerHour});
-  double elapsed = Seconds(start);
+  double elapsed = timer.ElapsedSeconds();
   SetThreadCount(1);
   if (!st.ok()) {
     std::printf("retrain failed: %s\n", std::string(st.message()).c_str());

@@ -6,11 +6,11 @@
 // ablation of the kd-tree vs linear-scan center lookup.
 #include <benchmark/benchmark.h>
 
-#include <chrono>
 #include <cstdio>
 #include <memory>
 
 #include "bench_util.h"
+#include "common/metrics.h"
 #include "clusterer/kdtree.h"
 #include "forecaster/dataset.h"
 #include "forecaster/kernel_regression.h"
@@ -100,11 +100,6 @@ BENCHMARK(BM_LinearScanNearest);
 
 // --- Table 4-style component report ----------------------------------------
 
-double Seconds(std::chrono::steady_clock::time_point start) {
-  return std::chrono::duration<double>(std::chrono::steady_clock::now() - start)
-      .count();
-}
-
 void ComponentReport() {
   std::printf("\n--- component overhead (BusTracker, %d days) ---\n",
               FastMode() ? 7 : 14);
@@ -116,14 +111,14 @@ void ComponentReport() {
       workload.Materialize(0, 2 * kSecondsPerHour, 10 * kSecondsPerMinute, 3,
                            /*volume_scale=*/0.05);
   PreProcessor pre_timing;
-  auto start = std::chrono::steady_clock::now();
+  Stopwatch ingest_timer;
   for (const auto& event : events) {
     pre_timing.Ingest(event.sql, event.timestamp).ok();
   }
   double per_query_ms =
-      events.empty()
-          ? 0.0
-          : 1000.0 * Seconds(start) / static_cast<double>(events.size());
+      events.empty() ? 0.0
+                     : 1000.0 * ingest_timer.ElapsedSeconds() /
+                           static_cast<double>(events.size());
 
   auto prepared = Prepare(MakeBusTracker(), days, kSecondsPerMinute);
   double history_mb_per_day =
@@ -131,9 +126,9 @@ void ComponentReport() {
       days;
 
   // Clusterer: one daily update.
-  start = std::chrono::steady_clock::now();
+  Stopwatch cluster_timer;
   prepared.clusterer.Update(prepared.pre, prepared.end);
-  double cluster_seconds = Seconds(start);
+  double cluster_seconds = cluster_timer.ElapsedSeconds();
   double cluster_kb = 0;
   for (const auto& [id, cluster] : prepared.clusterer.clusters()) {
     (void)id;
@@ -154,19 +149,19 @@ void ComponentReport() {
   LinearRegressionModel lr(opts);
   RnnModel rnn(opts);
   KernelRegressionModel kr(opts);
-  start = std::chrono::steady_clock::now();
+  Stopwatch model_timer;
   lr.Fit(dataset->x, dataset->y).ok();
-  double lr_train = Seconds(start);
-  start = std::chrono::steady_clock::now();
+  double lr_train = model_timer.ElapsedSeconds();
+  model_timer.Restart();
   rnn.Fit(dataset->x, dataset->y).ok();
-  double rnn_train = Seconds(start);
-  start = std::chrono::steady_clock::now();
+  double rnn_train = model_timer.ElapsedSeconds();
+  model_timer.Restart();
   kr.Fit(dataset->x, dataset->y).ok();
-  double kr_fit = Seconds(start);
+  double kr_fit = model_timer.ElapsedSeconds();
   Vector probe = dataset->x.Row(0);
-  start = std::chrono::steady_clock::now();
+  model_timer.Restart();
   for (int i = 0; i < 100; ++i) benchmark::DoNotOptimize(kr.Predict(probe));
-  double kr_predict = Seconds(start) / 100.0;
+  double kr_predict = model_timer.ElapsedSeconds() / 100.0;
 
   double lr_kb = static_cast<double>((dataset->x.cols() + 1) *
                                      dataset->y.cols() * sizeof(double)) /

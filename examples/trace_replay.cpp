@@ -8,6 +8,10 @@
 //   example_trace_replay --checkpoint <ckpt> <file>
 //       replay the first half, checkpoint, simulate a kill, restore from
 //       the checkpoint, replay the rest — demonstrating crash recovery
+//
+// Add --metrics-out <file> to any replay to dump the pipeline's metrics
+// registry (MetricsRegistry::ExportText, README "Observability") after the
+// run: per-stage counters, gauges, and latency histograms.
 #include <cstdio>
 #include <cstring>
 #include <sstream>
@@ -22,6 +26,21 @@
 using namespace qb5000;
 
 namespace {
+
+/// Set by --metrics-out; the finished pipeline's registry is dumped here.
+const char* g_metrics_out = nullptr;
+
+void DumpMetrics(const QueryBot5000& bot) {
+  if (g_metrics_out == nullptr) return;
+  Status st =
+      WriteStringToFile(nullptr, bot.Metrics().ExportText(), g_metrics_out);
+  if (!st.ok()) {
+    std::printf("cannot write metrics to %s: %s\n", g_metrics_out,
+                st.ToString().c_str());
+  } else {
+    std::printf("metrics written to %s\n", g_metrics_out);
+  }
+}
 
 int GenerateTrace(const char* path) {
   auto workload = MakeBusTracker({.seed = 3, .volume_scale = 0.5});
@@ -130,7 +149,9 @@ int Replay(const char* path) {
               bot.preprocessor().num_templates(),
               FormatTimestamp(counts.last_ts).c_str());
   if (counts.accepted == 0) return 1;
-  return PrintForecasts(bot, counts.last_ts);
+  int rc = PrintForecasts(bot, counts.last_ts);
+  DumpMetrics(bot);
+  return rc;
 }
 
 /// Replays with a simulated crash in the middle: first half of the trace,
@@ -183,21 +204,35 @@ int ReplayWithCheckpoint(const char* ckpt_path, const char* trace_path) {
   std::printf("second half: %zu queries, %zu templates, last at %s\n",
               second.accepted, restored->preprocessor().num_templates(),
               FormatTimestamp(second.last_ts).c_str());
-  return PrintForecasts(*restored, second.last_ts);
+  int rc = PrintForecasts(*restored, second.last_ts);
+  DumpMetrics(*restored);
+  return rc;
 }
 
 }  // namespace
 
 int main(int argc, char** argv) {
-  if (argc == 3 && std::strcmp(argv[1], "--generate") == 0) {
-    return GenerateTrace(argv[2]);
+  // Pull --metrics-out <file> out of the argument list; the remaining
+  // positional arguments keep their existing meanings.
+  std::vector<char*> args;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--metrics-out") == 0 && i + 1 < argc) {
+      g_metrics_out = argv[++i];
+    } else {
+      args.push_back(argv[i]);
+    }
   }
-  if (argc == 4 && std::strcmp(argv[1], "--checkpoint") == 0) {
-    return ReplayWithCheckpoint(argv[2], argv[3]);
+  if (args.size() == 2 && std::strcmp(args[0], "--generate") == 0) {
+    return GenerateTrace(args[1]);
   }
-  if (argc == 2) return Replay(argv[1]);
-  std::printf("usage: %s [--generate | --checkpoint <ckpt>] <trace-file>\n",
-              argv[0]);
+  if (args.size() == 3 && std::strcmp(args[0], "--checkpoint") == 0) {
+    return ReplayWithCheckpoint(args[1], args[2]);
+  }
+  if (args.size() == 1) return Replay(args[0]);
+  std::printf(
+      "usage: %s [--generate | --checkpoint <ckpt>] [--metrics-out <file>] "
+      "<trace-file>\n",
+      argv[0]);
   // With no arguments, run the full demo round trip in a temp file,
   // including the kill/restore cycle.
   const char* demo = "/tmp/qb5000_demo_trace.csv";

@@ -56,6 +56,7 @@ KdTree::Neighbor KdTree::Nearest(const Vector& query) const {
 void KdTree::Search(int node_id, const Vector& query, Neighbor& best) const {
   if (node_id < 0) return;
   const Node& node = nodes_[node_id];
+  ++best.nodes_probed;
   double d = SquaredL2Distance(points_[node.point], query);
   if (d < best.distance_squared) {
     best.distance_squared = d;

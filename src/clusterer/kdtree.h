@@ -24,6 +24,7 @@ class KdTree {
   struct Neighbor {
     int index = -1;              ///< index into the Build() input; -1 if empty
     double distance_squared = 0; ///< squared Euclidean distance
+    size_t nodes_probed = 0;     ///< tree nodes visited (pruning efficiency)
   };
 
   /// Exact nearest neighbor of `query` (empty tree -> index -1).

@@ -38,6 +38,21 @@ double MaskedL2Similarity(const Vector& a, const Vector& b, size_t from) {
 
 }  // namespace
 
+OnlineClusterer::OnlineClusterer(Options options)
+    : options_(options), feature_(options.feature) {
+  MetricsRegistry& m = options_.metrics != nullptr ? *options_.metrics
+                                                   : MetricsRegistry::Global();
+  updates_total_ = m.GetCounter("clusterer.updates_total");
+  clusters_created_total_ = m.GetCounter("clusterer.clusters_created_total");
+  clusters_merged_total_ = m.GetCounter("clusterer.clusters_merged_total");
+  templates_moved_total_ = m.GetCounter("clusterer.templates_moved_total");
+  kdtree_queries_total_ = m.GetCounter("clusterer.kdtree_queries_total");
+  kdtree_probes_total_ = m.GetCounter("clusterer.kdtree_probes_total");
+  clusters_gauge_ = m.GetGauge("clusterer.clusters");
+  last_update_moves_gauge_ = m.GetGauge("clusterer.last_update_moves");
+  update_seconds_ = m.GetHistogram("clusterer.update_seconds");
+}
+
 double OnlineClusterer::Similarity(const Feature& feature,
                                    const Vector& center) const {
   if (feature.covered_from >= feature.values.size()) return 0.0;
@@ -91,6 +106,8 @@ ClusterId OnlineClusterer::FindBestCluster(const Feature& feature,
                        ? Normalized(feature.values)
                        : feature.values;
     KdTree::Neighbor nn = kdtree_.Nearest(query);
+    kdtree_queries_total_->Add();
+    kdtree_probes_total_->Add(nn.nodes_probed);
     if (nn.index >= 0) {
       ClusterId best = kdtree_ids_[static_cast<size_t>(nn.index)];
       if (best != exclude) {
@@ -136,6 +153,7 @@ void OnlineClusterer::RecomputeCenter(Cluster& cluster) {
 }
 
 ClusterId OnlineClusterer::NewCluster(TemplateId member, const Feature& feature) {
+  clusters_created_total_->Add();
   ClusterId id = next_cluster_id_++;
   Cluster cluster;
   cluster.id = id;
@@ -147,6 +165,8 @@ ClusterId OnlineClusterer::NewCluster(TemplateId member, const Feature& feature)
 }
 
 void OnlineClusterer::Update(const PreProcessor& pre, Timestamp now) {
+  ScopedTimer update_timer(update_seconds_);
+  updates_total_->Add();
   last_update_moves_ = 0;
 
   // Extract this pass's features (one shared sample grid) and volumes.
@@ -266,6 +286,7 @@ void OnlineClusterer::Update(const PreProcessor& pre, Timestamp now) {
           assignment_[member] = keep.id;
         }
         ++last_update_moves_;
+        clusters_merged_total_->Add();
         ClusterId dead = absorb.id;
         RecomputeCenter(keep);
         clusters_.erase(dead);
@@ -285,6 +306,9 @@ void OnlineClusterer::Update(const PreProcessor& pre, Timestamp now) {
     }
   }
   last_update_time_ = now;
+  templates_moved_total_->Add(last_update_moves_);
+  clusters_gauge_->Set(static_cast<double>(clusters_.size()));
+  last_update_moves_gauge_->Set(static_cast<double>(last_update_moves_));
 }
 
 bool OnlineClusterer::ShouldTrigger(const PreProcessor& pre) const {
@@ -349,6 +373,7 @@ Status OnlineClusterer::RestoreState(std::map<ClusterId, Cluster> clusters,
   last_update_time_ = last_update_time;
   last_update_moves_ = 0;
   RebuildSearchIndex();
+  clusters_gauge_->Set(static_cast<double>(clusters_.size()));
   return Status::Ok();
 }
 

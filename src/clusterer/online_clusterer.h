@@ -9,6 +9,7 @@
 #include "clusterer/feature.h"
 #include "clusterer/kdtree.h"
 #include "common/clock.h"
+#include "common/metrics.h"
 #include "common/status.h"
 #include "common/timeseries.h"
 #include "preprocessor/preprocessor.h"
@@ -48,6 +49,9 @@ class OnlineClusterer {
     /// Use the kd-tree for nearest-center search (false = linear scan;
     /// exposed for the ablation benchmark).
     bool use_kdtree = true;
+    /// Registry receiving `clusterer.*` metrics; nullptr = the process
+    /// global. QueryBot5000 overrides this with its per-instance registry.
+    MetricsRegistry* metrics = nullptr;
   };
 
   struct Cluster {
@@ -58,8 +62,7 @@ class OnlineClusterer {
   };
 
   OnlineClusterer() : OnlineClusterer(Options()) {}
-  explicit OnlineClusterer(Options options)
-      : options_(options), feature_(options.feature) {}
+  explicit OnlineClusterer(Options options);
 
   /// Runs one incremental clustering pass over the templates in `pre`,
   /// with feature windows ending at `now`.
@@ -135,6 +138,17 @@ class OnlineClusterer {
   // Nearest-center search state, rebuilt per pass.
   KdTree kdtree_;
   std::vector<ClusterId> kdtree_ids_;
+
+  // Instrument handles (owned by the registry; see DESIGN.md §10).
+  Counter* updates_total_ = nullptr;
+  Counter* clusters_created_total_ = nullptr;
+  Counter* clusters_merged_total_ = nullptr;
+  Counter* templates_moved_total_ = nullptr;
+  Counter* kdtree_queries_total_ = nullptr;
+  Counter* kdtree_probes_total_ = nullptr;  ///< nodes visited across queries
+  Gauge* clusters_gauge_ = nullptr;
+  Gauge* last_update_moves_gauge_ = nullptr;
+  Histogram* update_seconds_ = nullptr;
 };
 
 }  // namespace qb5000

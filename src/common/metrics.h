@@ -1,0 +1,221 @@
+#pragma once
+
+#include <array>
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <deque>
+#include <map>
+#include <shared_mutex>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+
+namespace qb5000 {
+
+/// Pipeline self-monitoring (DESIGN.md §10): a lock-cheap registry of named
+/// counters, gauges, and bounded-memory histograms. Mutating an instrument is
+/// a relaxed atomic op (no lock, no allocation); the registry's shared_mutex
+/// is taken only on registration (Get*) and export. Metric names are a
+/// stability contract — the golden-trace suite (tests/golden_trace_test.cc)
+/// locks down the exported fingerprint, so renaming a metric is a breaking
+/// change that requires regenerating the goldens.
+///
+/// Compile-time kill switch: configuring with -DQB5000_METRICS=OFF defines
+/// QB5000_METRICS_DISABLED, which turns every instrument mutation into a
+/// no-op (instruments still register and export as zeros). The overhead of
+/// the enabled build is measured against that baseline in
+/// bench_table4_overhead (EXPERIMENTS.md: <= 3% budget).
+#if defined(QB5000_METRICS_DISABLED)
+inline constexpr bool kMetricsEnabled = false;
+#else
+inline constexpr bool kMetricsEnabled = true;
+#endif
+
+/// Monotonically increasing event count. Increments are relaxed atomics:
+/// totals are exact (no lost updates) but impose no ordering, which is all a
+/// statistic needs. Counter values are deterministic across thread counts
+/// whenever the work decomposition is (DESIGN.md §9), which is what lets the
+/// golden suite compare them byte-for-byte.
+class Counter {
+ public:
+  void Add(uint64_t n = 1) {
+    if constexpr (kMetricsEnabled) {
+      value_.fetch_add(n, std::memory_order_relaxed);
+    } else {
+      (void)n;
+    }
+  }
+  uint64_t value() const { return value_.load(std::memory_order_relaxed); }
+
+  /// Restore path only (checkpoint metrics section); not for live code.
+  void Set(uint64_t v) { value_.store(v, std::memory_order_relaxed); }
+
+ private:
+  std::atomic<uint64_t> value_{0};
+};
+
+/// Last-written double (coverage ratio, in-sample MSE, state bytes).
+class Gauge {
+ public:
+  void Set(double v) {
+    if constexpr (kMetricsEnabled) {
+      value_.store(v, std::memory_order_relaxed);
+    } else {
+      (void)v;
+    }
+  }
+  double value() const { return value_.load(std::memory_order_relaxed); }
+
+  /// Restore path only (checkpoint metrics section); bypasses the kill
+  /// switch so a restored registry round-trips even in a disabled build.
+  void Restore(double v) { value_.store(v, std::memory_order_relaxed); }
+
+ private:
+  std::atomic<double> value_{0.0};
+};
+
+/// Fixed-layout log-scale histogram: 64 buckets whose upper bounds are
+/// 1e-9 * 2^i (i = 0..62; the last bucket catches everything above ~4.6e9).
+/// For seconds that spans 1 ns to ~146 years, so one layout serves every
+/// latency in the pipeline and memory stays bounded at 64 atomics per
+/// instrument. Observations are relaxed atomics; `count` totals are exact
+/// and deterministic, bucket placement and `sum` depend on measured time.
+class Histogram {
+ public:
+  static constexpr size_t kNumBuckets = 64;
+
+  void Observe(double v);
+
+  uint64_t count() const { return count_.load(std::memory_order_relaxed); }
+  double sum() const { return sum_.load(std::memory_order_relaxed); }
+  uint64_t bucket(size_t i) const {
+    return buckets_[i].load(std::memory_order_relaxed);
+  }
+
+  /// Inclusive upper bound of bucket `i`; +inf for the last bucket.
+  static double UpperBound(size_t i);
+  /// The bucket a value lands in.
+  static size_t BucketIndex(double v);
+
+  /// Zeroes all state (registry Reset; atomics are not copy-assignable).
+  void Clear();
+
+ private:
+  std::atomic<uint64_t> count_{0};
+  std::atomic<double> sum_{0.0};
+  std::array<std::atomic<uint64_t>, kNumBuckets> buckets_{};
+};
+
+/// Elapsed-time measurement without a histogram attached. This is the one
+/// sanctioned wrapper around steady_clock for ad-hoc timing (bench report
+/// tables, evaluation train_seconds); hand-rolled steady_clock::now() pairs
+/// in src/ are banned by tools/qb_lint.py (raw-chrono-timing). Always
+/// measures, even in a QB5000_METRICS=OFF build.
+class Stopwatch {
+ public:
+  Stopwatch() : start_(std::chrono::steady_clock::now()) {}
+  void Restart() { start_ = std::chrono::steady_clock::now(); }
+  double ElapsedSeconds() const {
+    return std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                         start_)
+        .count();
+  }
+
+ private:
+  std::chrono::steady_clock::time_point start_;
+};
+
+/// RAII timer: observes the scope's wall time into `histogram` on
+/// destruction. `histogram == nullptr` (or a disabled build) records nothing
+/// and skips the clock reads entirely.
+class ScopedTimer {
+ public:
+  explicit ScopedTimer(Histogram* histogram) : histogram_(histogram) {
+    if (kMetricsEnabled && histogram_ != nullptr) {
+      start_ = std::chrono::steady_clock::now();
+    }
+  }
+  ~ScopedTimer() {
+    if (kMetricsEnabled && histogram_ != nullptr) {
+      histogram_->Observe(std::chrono::duration<double>(
+                              std::chrono::steady_clock::now() - start_)
+                              .count());
+    }
+  }
+  ScopedTimer(const ScopedTimer&) = delete;
+  ScopedTimer& operator=(const ScopedTimer&) = delete;
+
+ private:
+  Histogram* histogram_;
+  std::chrono::steady_clock::time_point start_{};  ///< set only when armed
+};
+
+/// Named-instrument registry. Get* registers on first use and returns a
+/// stable pointer (deque storage; instruments are never deleted, so cached
+/// pointers stay valid for the registry's lifetime). Lookup takes the mutex
+/// shared; only first-registration takes it exclusively — callers on hot
+/// paths should cache the pointer once at construction anyway.
+///
+/// Names use dotted lowercase: `<component>.<what>[_total|_seconds|_bytes]`,
+/// with a `.h<seconds>` suffix for per-horizon instruments
+/// (e.g. `forecaster.train_seconds.h3600`). See DESIGN.md §10.
+class MetricsRegistry {
+ public:
+  MetricsRegistry() = default;
+  MetricsRegistry(const MetricsRegistry&) = delete;
+  MetricsRegistry& operator=(const MetricsRegistry&) = delete;
+
+  Counter* GetCounter(const std::string& name);
+  Gauge* GetGauge(const std::string& name);
+  Histogram* GetHistogram(const std::string& name);
+
+  struct ExportOptions {
+    /// Emit only counter lines. Counters are the deterministic core: with a
+    /// deterministic work decomposition the counter section is byte-identical
+    /// across runs and thread counts (golden-suite contract).
+    bool counters_only = false;
+  };
+
+  /// Deterministic text export: one line per instrument, sorted by name.
+  ///   counter <name> <value>
+  ///   gauge <name> <value>            (%.9g)
+  ///   histogram <name> count=N sum=S buckets=i:n,j:m   (nonzero buckets)
+  std::string ExportText(const ExportOptions& options) const;
+  std::string ExportText() const { return ExportText(ExportOptions()); }
+
+  /// The same data as a single JSON object:
+  /// {"counters":{...},"gauges":{...},"histograms":{name:{count,sum,buckets}}}
+  std::string ExportJson() const;
+
+  /// Serializes counters and gauges for the checkpoint `metrics` section.
+  /// Histograms are not persisted: their interesting content (latency
+  /// distribution) describes the dead process, not the restored one.
+  std::string SerializeState() const;
+
+  /// Restores counters/gauges from SerializeState() output, overwriting
+  /// instruments of the same name and registering missing ones.
+  Status RestoreState(const std::string& data);
+
+  /// Zeroes every registered instrument (golden tests and benchmarks reset
+  /// the global registry between measured runs).
+  void Reset();
+
+  /// The process-wide registry: the default sink for components that were
+  /// not handed an explicit registry (standalone PreProcessor, Database in
+  /// the index experiments). QueryBot5000 instances own private registries.
+  static MetricsRegistry& Global();
+
+ private:
+  mutable std::shared_mutex mu_;
+  std::map<std::string, Counter*> counters_;
+  std::map<std::string, Gauge*> gauges_;
+  std::map<std::string, Histogram*> histograms_;
+  // Instrument storage. deque: stable addresses under growth.
+  std::deque<Counter> counter_storage_;
+  std::deque<Gauge> gauge_storage_;
+  std::deque<Histogram> histogram_storage_;
+};
+
+}  // namespace qb5000

@@ -1,0 +1,123 @@
+#include "common/tracing.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <utility>
+
+#include "common/metrics.h"
+
+namespace qb5000 {
+namespace {
+
+/// Innermost live span id on this thread (0 = none). One variable serves
+/// every tracer: a thread is inside at most one span stack at a time.
+thread_local uint64_t tls_current_span = 0;
+
+}  // namespace
+
+Tracer::Tracer(size_t capacity)
+    : epoch_(std::chrono::steady_clock::now()),
+      capacity_(std::max<size_t>(1, capacity)) {
+  ring_.reserve(capacity_);
+}
+
+void Tracer::SetSink(SpanSink* sink) {
+  std::lock_guard<std::mutex> lock(mu_);
+  sink_ = sink;
+}
+
+uint64_t Tracer::NextSpanId() {
+  std::lock_guard<std::mutex> lock(mu_);
+  return next_id_++;
+}
+
+double Tracer::Now() const {
+  return std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                       epoch_)
+      .count();
+}
+
+void Tracer::Record(SpanRecord span) {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (sink_ != nullptr) sink_->OnSpanEnd(span);
+  if (ring_.size() < capacity_) {
+    ring_.push_back(std::move(span));
+  } else {
+    ring_[(total_ - ring_base_) % capacity_] = std::move(span);
+  }
+  ++total_;
+}
+
+std::vector<SpanRecord> Tracer::Snapshot() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  uint64_t live = total_ - ring_base_;
+  if (ring_.size() < capacity_ || live % capacity_ == 0) {
+    return ring_;  // not yet wrapped (or wrapped an exact multiple): in order
+  }
+  std::vector<SpanRecord> out;
+  out.reserve(ring_.size());
+  size_t oldest = live % capacity_;
+  out.insert(out.end(), ring_.begin() + static_cast<ptrdiff_t>(oldest),
+             ring_.end());
+  out.insert(out.end(), ring_.begin(),
+             ring_.begin() + static_cast<ptrdiff_t>(oldest));
+  return out;
+}
+
+uint64_t Tracer::total_spans() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return total_;
+}
+
+void Tracer::Clear() {
+  std::lock_guard<std::mutex> lock(mu_);
+  ring_.clear();
+  ring_base_ = total_;  // lifetime total keeps counting
+}
+
+std::string Tracer::ExportJson() const {
+  std::vector<SpanRecord> spans = Snapshot();
+  std::string out = "{\"spans\":[";
+  char buf[160];
+  for (size_t i = 0; i < spans.size(); ++i) {
+    if (i > 0) out += ',';
+    std::snprintf(buf, sizeof(buf),
+                  "{\"name\":\"%s\",\"id\":%llu,\"parent\":%llu,"
+                  "\"start_s\":%.9f,\"dur_s\":%.9f}",
+                  spans[i].name.c_str(),
+                  static_cast<unsigned long long>(spans[i].id),
+                  static_cast<unsigned long long>(spans[i].parent_id),
+                  spans[i].start_seconds, spans[i].duration_seconds);
+    out += buf;
+  }
+  out += "]}";
+  return out;
+}
+
+Tracer& Tracer::Global() {
+  static Tracer* tracer = new Tracer();
+  return *tracer;
+}
+
+ScopedSpan::ScopedSpan(Tracer* tracer, std::string name)
+    : tracer_(kMetricsEnabled ? tracer : nullptr), name_(std::move(name)) {
+  if (tracer_ == nullptr) return;
+  id_ = tracer_->NextSpanId();
+  parent_id_ = tls_current_span;
+  tls_current_span = id_;
+  start_seconds_ = tracer_->Now();
+}
+
+ScopedSpan::~ScopedSpan() {
+  if (tracer_ == nullptr) return;
+  SpanRecord span;
+  span.name = std::move(name_);
+  span.id = id_;
+  span.parent_id = parent_id_;
+  span.start_seconds = start_seconds_;
+  span.duration_seconds = tracer_->Now() - start_seconds_;
+  tls_current_span = parent_id_;
+  tracer_->Record(std::move(span));
+}
+
+}  // namespace qb5000

@@ -1,0 +1,101 @@
+#pragma once
+
+#include <chrono>
+#include <cstdint>
+#include <mutex>
+#include <string>
+#include <vector>
+
+namespace qb5000 {
+
+/// One completed span. Times are seconds relative to the owning Tracer's
+/// construction (steady clock), so records from one process compare cleanly
+/// and nothing leaks wall-clock nondeterminism into tests.
+struct SpanRecord {
+  std::string name;
+  uint64_t id = 0;
+  uint64_t parent_id = 0;  ///< 0 = root span
+  double start_seconds = 0.0;
+  double duration_seconds = 0.0;
+};
+
+/// Pluggable destination for completed spans, called synchronously from the
+/// instrumented thread under the tracer lock — keep implementations cheap
+/// (forward to a queue / file buffer, don't block). The ring buffer keeps
+/// retaining spans whether or not a sink is attached.
+class SpanSink {
+ public:
+  virtual ~SpanSink() = default;
+  virtual void OnSpanEnd(const SpanRecord& span) = 0;
+};
+
+/// Scoped-span tracer with bounded ring-buffer retention (DESIGN.md §10).
+/// Spans are recorded on completion (post-order); nesting is tracked per
+/// thread so parent links are correct even when worker threads trace
+/// concurrently. Only cold paths are traced (maintenance, training,
+/// checkpointing — never per-query Ingest), so a mutex per span end is
+/// well inside the overhead budget.
+///
+/// In a QB5000_METRICS=OFF build every tracing call is a no-op.
+class Tracer {
+ public:
+  explicit Tracer(size_t capacity = 1024);
+
+  /// Attaches (or with nullptr detaches) the sink for completed spans.
+  void SetSink(SpanSink* sink);
+
+  /// The retained spans, oldest first. At most `capacity` entries; older
+  /// spans have been overwritten.
+  std::vector<SpanRecord> Snapshot() const;
+
+  /// Spans completed over the tracer's lifetime (including overwritten).
+  uint64_t total_spans() const;
+
+  /// Drops all retained spans (keeps the sink, capacity, epoch, and the
+  /// lifetime total_spans() count).
+  void Clear();
+
+  /// JSON export: {"spans":[{"name":...,"id":...,"parent":...,
+  /// "start_s":...,"dur_s":...},...]} oldest first.
+  std::string ExportJson() const;
+
+  /// The process-wide tracer for components without an owning QueryBot5000.
+  static Tracer& Global();
+
+ private:
+  friend class ScopedSpan;
+
+  uint64_t NextSpanId();
+  double Now() const;
+  void Record(SpanRecord span);
+
+  const std::chrono::steady_clock::time_point epoch_;
+  mutable std::mutex mu_;
+  /// Retained spans; slot = (total_ - ring_base_) % capacity_.
+  std::vector<SpanRecord> ring_;
+  size_t capacity_;
+  uint64_t total_ = 0;      ///< spans recorded over the tracer's lifetime
+  uint64_t ring_base_ = 0;  ///< total_ value at the last Clear()
+  uint64_t next_id_ = 1;
+  SpanSink* sink_ = nullptr;
+};
+
+/// RAII span: records [construction, destruction) into `tracer` under
+/// `name`. `tracer == nullptr` disables the span. Spans on one thread nest:
+/// the innermost live span is the parent of the next one constructed.
+class ScopedSpan {
+ public:
+  ScopedSpan(Tracer* tracer, std::string name);
+  ~ScopedSpan();
+  ScopedSpan(const ScopedSpan&) = delete;
+  ScopedSpan& operator=(const ScopedSpan&) = delete;
+
+ private:
+  Tracer* tracer_;
+  std::string name_;
+  uint64_t id_ = 0;
+  uint64_t parent_id_ = 0;
+  double start_seconds_ = 0.0;
+};
+
+}  // namespace qb5000

@@ -19,6 +19,7 @@ namespace {
 constexpr char kSectionPreprocessor[] = "preprocessor";
 constexpr char kSectionClusterer[] = "clusterer";
 constexpr char kSectionController[] = "controller";
+constexpr char kSectionMetrics[] = "metrics";
 
 // --- container --------------------------------------------------------------
 
@@ -237,13 +238,18 @@ Timestamp MaxLastSeen(const PreProcessor& pre) {
 // --- QueryBot5000 entry points ----------------------------------------------
 
 Status QueryBot5000::Checkpoint(const std::string& path, Env* env) const {
-  // Serialize all three sections into memory under the shared state lock —
-  // a consistent snapshot that other readers (Forecast) can overlap with —
+  ScopedTimer checkpoint_timer(
+      metrics_->GetHistogram("core.checkpoint_seconds"));
+  // Serialize the sections into memory under the shared state lock — a
+  // consistent snapshot that other readers (Forecast) can overlap with —
   // then do the file I/O with the lock released so a slow disk never blocks
   // the pipeline.
-  std::string pre_str, clusterer_str, controller_str;
+  std::string pre_str, clusterer_str, controller_str, metrics_str;
   {
+    Stopwatch lock_wait;
     std::shared_lock<std::shared_mutex> lock(*state_mu_);
+    lock_wait_seconds_->Observe(lock_wait.ElapsedSeconds());
+    ScopedSpan span(tracer_.get(), "checkpoint/serialize");
     std::ostringstream pre_payload;
     pre_payload.precision(17);
     Status st = Snapshot::Save(pre_, pre_payload);
@@ -251,8 +257,12 @@ Status QueryBot5000::Checkpoint(const std::string& path, Env* env) const {
     pre_str = pre_payload.str();
     clusterer_str = SerializeClusterer(clusterer_);
     controller_str = SerializeController(*this);
+    // Counters/gauges ride along in the checkpoint so totals survive a
+    // restart (histograms describe the dead process; they do not).
+    metrics_str = metrics_->SerializeState();
   }
 
+  ScopedSpan io_span(tracer_.get(), "checkpoint/io");
   AtomicFileWriter writer(env, path);
   std::ostringstream header;
   header << kCheckpointMagic << ' ' << kCheckpointVersion << '\n';
@@ -260,8 +270,16 @@ Status QueryBot5000::Checkpoint(const std::string& path, Env* env) const {
   AppendSection(writer, kSectionPreprocessor, pre_str);
   AppendSection(writer, kSectionClusterer, clusterer_str);
   AppendSection(writer, kSectionController, controller_str);
+  AppendSection(writer, kSectionMetrics, metrics_str);
   (void)writer.Append("end\n").ok();
-  return writer.Commit();
+  Status committed = writer.Commit();
+  if (committed.ok()) {
+    metrics_->GetCounter("checkpoint.writes_total")->Add();
+    metrics_->GetCounter("checkpoint.bytes_written_total")
+        ->Add(pre_str.size() + clusterer_str.size() + controller_str.size() +
+              metrics_str.size());
+  }
+  return committed;
 }
 
 Result<QueryBot5000> QueryBot5000::RestoreFromData(const std::string& data,
@@ -284,11 +302,34 @@ Result<QueryBot5000> QueryBot5000::RestoreFromData(const std::string& data,
   if (!pre_it->second.crc_ok) {
     return Status::ParseError("preprocessor section checksum mismatch");
   }
-  std::istringstream pre_stream(pre_it->second.payload);
-  auto pre = Snapshot::Load(pre_stream, config.preprocessor);
-  if (!pre.ok()) return pre.status();
 
   QueryBot5000 bot(config);
+  size_t crc_failures = 0;
+  for (const auto& [name, section] : container.sections) {
+    (void)name;
+    if (!section.crc_ok) ++crc_failures;
+  }
+  bot.metrics_->GetCounter("checkpoint.crc_failures_total")->Add(crc_failures);
+
+  // Restore persisted counters/gauges first: the rebuild work below (gauge
+  // refreshes, degraded re-clustering, retraining) then accumulates on top
+  // of the restored totals. A bad metrics section is never fatal — the
+  // pipeline state does not depend on its own statistics.
+  auto metrics_it = container.sections.find(kSectionMetrics);
+  if (metrics_it != container.sections.end() && metrics_it->second.crc_ok) {
+    Status st = bot.metrics_->RestoreState(metrics_it->second.payload);
+    if (!st.ok()) {
+      report.detail += "metrics section unusable: " + st.ToString() + ". ";
+    }
+  } else if (metrics_it != container.sections.end()) {
+    report.detail += "metrics section checksum mismatch; counters reset. ";
+  }
+
+  // Load into the bot's config copy so the restored PreProcessor writes to
+  // the bot's registry, not to whatever the caller's Options pointed at.
+  std::istringstream pre_stream(pre_it->second.payload);
+  auto pre = Snapshot::Load(pre_stream, bot.config_.preprocessor);
+  if (!pre.ok()) return pre.status();
   bot.pre_ = std::move(*pre);
 
   // Clusterer section: restore, or (degraded) rebuild from the histories.
@@ -378,6 +419,18 @@ Result<QueryBot5000> QueryBot5000::Restore(const std::string& path,
   rep = RestoreReport();
   if (env == nullptr) env = Env::Default();
 
+  // Stamps the surviving bot with which ladder rung recovered it (1-4) and
+  // how long the whole ladder took. Discarded attempts leave no trace: their
+  // registries die with their bots.
+  Stopwatch restore_timer;
+  auto finish = [&restore_timer](QueryBot5000& bot, int rung) {
+    bot.metrics_->GetCounter("checkpoint.restores_total")->Add();
+    bot.metrics_->GetGauge("checkpoint.recovery_rung")
+        ->Set(static_cast<double>(rung));
+    bot.metrics_->GetHistogram("core.restore_seconds")
+        ->Observe(restore_timer.ElapsedSeconds());
+  };
+
   // Recovery ladder: (1) primary, fully intact; (2) backup, fully intact;
   // (3) primary, salvaging what validates; (4) backup, same. A complete
   // older checkpoint beats a degraded newer one — degradation loses the
@@ -390,7 +443,10 @@ Result<QueryBot5000> QueryBot5000::Restore(const std::string& path,
   if (primary.ok()) {
     rep = RestoreReport();
     auto bot = RestoreFromData(*primary, config, /*allow_degraded=*/false, rep);
-    if (bot.ok()) return bot;
+    if (bot.ok()) {
+      finish(*bot, 1);
+      return bot;
+    }
     first_error = bot.status();
   }
 
@@ -401,6 +457,7 @@ Result<QueryBot5000> QueryBot5000::Restore(const std::string& path,
         RestoreFromData(*fallback, config, /*allow_degraded=*/false, rep);
     if (bot.ok()) {
       rep.used_backup = true;
+      finish(*bot, 2);
       return bot;
     }
   }
@@ -408,7 +465,10 @@ Result<QueryBot5000> QueryBot5000::Restore(const std::string& path,
   if (primary.ok()) {
     rep = RestoreReport();
     auto bot = RestoreFromData(*primary, config, /*allow_degraded=*/true, rep);
-    if (bot.ok()) return bot;
+    if (bot.ok()) {
+      finish(*bot, 3);
+      return bot;
+    }
   }
   if (fallback.ok()) {
     rep = RestoreReport();
@@ -416,6 +476,7 @@ Result<QueryBot5000> QueryBot5000::Restore(const std::string& path,
         RestoreFromData(*fallback, config, /*allow_degraded=*/true, rep);
     if (bot.ok()) {
       rep.used_backup = true;
+      finish(*bot, 4);
       return bot;
     }
   }

@@ -16,7 +16,10 @@ namespace qb5000 {
 /// Sections in write order: `preprocessor` (the Snapshot v1 stream for the
 /// Pre-Processor's templates/histories/samples), `clusterer` (centers,
 /// assignments, volumes, id counter), `controller` (maintenance state and
-/// modeled clusters). Each payload carries its own CRC32 so corruption is
+/// modeled clusters), `metrics` (the registry's counters and gauges, so
+/// lifetime totals survive a restart; histograms are not persisted, and a
+/// corrupt metrics section degrades to reset counters instead of failing
+/// the restore). Each payload carries its own CRC32 so corruption is
 /// detected per section; unknown section names are skipped on read for
 /// forward compatibility.
 inline constexpr char kCheckpointMagic[] = "qb5000-checkpoint";

@@ -5,11 +5,29 @@
 
 namespace qb5000 {
 
+QueryBot5000::Config QueryBot5000::BindObservability(Config config,
+                                                     MetricsRegistry* metrics) {
+  config.preprocessor.metrics = metrics;
+  config.clusterer.metrics = metrics;
+  config.forecaster.metrics = metrics;
+  return config;
+}
+
 QueryBot5000::QueryBot5000(Config config)
-    : config_(config),
-      pre_(config.preprocessor),
-      clusterer_(config.clusterer),
-      forecaster_(config.forecaster) {}
+    : config_(BindObservability(std::move(config), metrics_.get())),
+      pre_(config_.preprocessor),
+      clusterer_(config_.clusterer),
+      forecaster_(config_.forecaster) {
+  maintenance_runs_total_ = metrics_->GetCounter("core.maintenance_runs_total");
+  maintenance_skipped_total_ =
+      metrics_->GetCounter("core.maintenance_skipped_total");
+  forecasts_total_ = metrics_->GetCounter("core.forecasts_total");
+  coverage_gauge_ = metrics_->GetGauge("core.coverage");
+  modeled_clusters_gauge_ = metrics_->GetGauge("core.modeled_clusters");
+  maintenance_seconds_ = metrics_->GetHistogram("core.maintenance_seconds");
+  forecast_seconds_ = metrics_->GetHistogram("core.forecast_seconds");
+  lock_wait_seconds_ = metrics_->GetHistogram("core.lock_wait_seconds");
+}
 
 Status QueryBot5000::Ingest(const std::string& sql, Timestamp ts, double count) {
   std::unique_lock<std::shared_mutex> lock(*state_mu_);
@@ -46,7 +64,9 @@ std::vector<ClusterId> QueryBot5000::ModeledClustersLocked() const {
 }
 
 Status QueryBot5000::RunMaintenance(Timestamp now, bool force) {
+  Stopwatch lock_wait;
   std::unique_lock<std::shared_mutex> lock(*state_mu_);
+  lock_wait_seconds_->Observe(lock_wait.ElapsedSeconds());
   // last_maintenance_ starts at Timestamp::min() meaning "never ran";
   // `now - min()` is signed overflow (UB, UBSan-fatal), so test the
   // sentinel before forming the difference.
@@ -62,19 +82,48 @@ Status QueryBot5000::RunMaintenance(Timestamp now, bool force) {
   bool due = never_ran ||
              now - last_maintenance_ >= config_.maintenance_period_seconds;
   bool triggered = clusterer_.ShouldTrigger(pre_);
-  if (!force && !due && !triggered) return Status::Ok();
+  if (!force && !due && !triggered) {
+    maintenance_skipped_total_->Add();
+    return Status::Ok();
+  }
 
-  pre_.EvictIdleTemplates(now - config_.template_eviction_seconds);
-  pre_.CompactBefore(now);
-  clusterer_.Update(pre_, now);
+  maintenance_runs_total_->Add();
+  ScopedTimer maintenance_timer(maintenance_seconds_);
+  ScopedSpan maintenance_span(tracer_.get(), "maintenance");
+  {
+    ScopedSpan span(tracer_.get(), "maintenance/evict");
+    pre_.EvictIdleTemplates(now - config_.template_eviction_seconds);
+  }
+  {
+    ScopedSpan span(tracer_.get(), "maintenance/compact");
+    pre_.CompactBefore(now);
+  }
+  {
+    ScopedSpan span(tracer_.get(), "maintenance/cluster");
+    clusterer_.Update(pre_, now);
+  }
 
   std::vector<ClusterId> clusters = ModeledClustersLocked();
+  modeled_clusters_gauge_->Set(static_cast<double>(clusters.size()));
+  double total_volume = clusterer_.TotalVolume();
+  if (total_volume > 0.0) {
+    double covered = 0.0;
+    for (ClusterId id : clusters) {
+      covered += clusterer_.clusters().at(id).volume;
+    }
+    coverage_gauge_->Set(covered / total_volume);
+  } else {
+    coverage_gauge_->Set(0.0);
+  }
   if (clusters.empty()) {
     last_maintenance_ = now;
     return Status::Ok();  // nothing to model yet
   }
-  Status st = forecaster_.Train(pre_, clusterer_, clusters, now,
-                                config_.horizons);
+  Status st;
+  {
+    ScopedSpan span(tracer_.get(), "maintenance/train");
+    st = forecaster_.Train(pre_, clusterer_, clusters, now, config_.horizons);
+  }
   if (!st.ok()) return st;
   last_maintenance_ = now;
   return Status::Ok();
@@ -82,7 +131,12 @@ Status QueryBot5000::RunMaintenance(Timestamp now, bool force) {
 
 Result<QueryBot5000::WorkloadForecast> QueryBot5000::Forecast(
     Timestamp now, int64_t horizon_seconds) const {
+  Stopwatch lock_wait;
   std::shared_lock<std::shared_mutex> lock(*state_mu_);
+  lock_wait_seconds_->Observe(lock_wait.ElapsedSeconds());
+  forecasts_total_->Add();
+  ScopedTimer forecast_timer(forecast_seconds_);
+  ScopedSpan forecast_span(tracer_.get(), "forecast");
   if (!forecaster_.trained()) {
     return Status::FailedPrecondition(
         "no trained models; call RunMaintenance first");

@@ -8,7 +8,9 @@
 
 #include "clusterer/online_clusterer.h"
 #include "common/clock.h"
+#include "common/metrics.h"
 #include "common/status.h"
+#include "common/tracing.h"
 #include "forecaster/forecaster.h"
 #include "preprocessor/preprocessor.h"
 
@@ -112,6 +114,14 @@ class QueryBot5000 {
   const Forecaster& forecaster() const { return forecaster_; }
   const Config& config() const { return config_; }
 
+  /// This instance's metrics registry. Every pipeline component writes here
+  /// (the constructor overrides any registry set in the component Options).
+  /// Thread-safe: export concurrently with ingest/maintenance. DESIGN.md §10.
+  MetricsRegistry& Metrics() const { return *metrics_; }
+  /// This instance's tracer; records spans for the cold paths only
+  /// (maintenance, forecast, checkpoint, restore — never per-query Ingest).
+  Tracer& Trace() const { return *tracer_; }
+
  private:
   /// Parses one checkpoint document (core/checkpoint.cc). `allow_degraded`
   /// permits recovering with a rebuilt clusterer / default controller state
@@ -127,11 +137,32 @@ class QueryBot5000 {
   /// not recursive).
   std::vector<ClusterId> ModeledClustersLocked() const;
 
+  /// Returns `config` with every component Options pointed at `metrics`
+  /// (the per-instance registry always wins over caller-set registries).
+  static Config BindObservability(Config config, MetricsRegistry* metrics);
+
+  /// Observability owners. Declared before the components so the
+  /// constructor can bind the registry into their Options; shared_ptr keeps
+  /// cached instrument pointers valid across controller moves.
+  std::shared_ptr<MetricsRegistry> metrics_ =
+      std::make_shared<MetricsRegistry>();
+  std::shared_ptr<Tracer> tracer_ = std::make_shared<Tracer>();
+
   Config config_;
   PreProcessor pre_;
   OnlineClusterer clusterer_;
   Forecaster forecaster_;
   Timestamp last_maintenance_ = std::numeric_limits<Timestamp>::min();
+
+  // Controller instruments (owned by *metrics_; see DESIGN.md §10).
+  Counter* maintenance_runs_total_ = nullptr;
+  Counter* maintenance_skipped_total_ = nullptr;  ///< called but not due
+  Counter* forecasts_total_ = nullptr;
+  Gauge* coverage_gauge_ = nullptr;  ///< volume fraction covered by models
+  Gauge* modeled_clusters_gauge_ = nullptr;
+  Histogram* maintenance_seconds_ = nullptr;
+  Histogram* forecast_seconds_ = nullptr;
+  Histogram* lock_wait_seconds_ = nullptr;  ///< cold-path acquisitions only
   /// Guards pre_/clusterer_/forecaster_/last_maintenance_. Behind a
   /// unique_ptr so the controller stays movable (Restore returns by value;
   /// moves happen only before any concurrent use).

@@ -346,6 +346,16 @@ double EstimateMatches(const Table& table, const SargablePredicate& p) {
 // Catalog operations.
 // ---------------------------------------------------------------------------
 
+Database::Database(CostModel cost, MetricsRegistry* metrics) : cost_(cost) {
+  MetricsRegistry& m =
+      metrics != nullptr ? *metrics : MetricsRegistry::Global();
+  statements_total_ = m.GetCounter("dbms.statements_total");
+  rows_examined_total_ = m.GetCounter("dbms.rows_examined_total");
+  rows_written_total_ = m.GetCounter("dbms.rows_written_total");
+  index_builds_total_ = m.GetCounter("dbms.index_builds_total");
+  index_drops_total_ = m.GetCounter("dbms.index_drops_total");
+}
+
 Status Database::CreateTable(const std::string& name,
                              std::vector<Column> columns) {
   if (tables_.count(name)) return Status::AlreadyExists("table " + name);
@@ -376,13 +386,17 @@ std::vector<std::string> Database::TableNames() const {
 Status Database::CreateIndex(const std::string& table, const std::string& column) {
   Table* t = GetTable(table);
   if (t == nullptr) return Status::NotFound("no table " + table);
-  return t->CreateIndex(column);
+  Status st = t->CreateIndex(column);
+  if (st.ok()) index_builds_total_->Add();
+  return st;
 }
 
 Status Database::DropIndex(const std::string& table, const std::string& column) {
   Table* t = GetTable(table);
   if (t == nullptr) return Status::NotFound("no table " + table);
-  return t->DropIndex(column);
+  Status st = t->DropIndex(column);
+  if (st.ok()) index_drops_total_->Add();
+  return st;
 }
 
 std::vector<std::string> Database::ListIndexes() const {
@@ -469,6 +483,16 @@ bool HasAggregate(const sql::SelectStatement& s) {
 }  // namespace
 
 Result<ExecStats> Database::Execute(const sql::Statement& stmt) {
+  auto stats = ExecuteUncounted(stmt);
+  if (stats.ok()) {
+    statements_total_->Add();
+    rows_examined_total_->Add(stats->rows_examined);
+    rows_written_total_->Add(stats->rows_written);
+  }
+  return stats;
+}
+
+Result<ExecStats> Database::ExecuteUncounted(const sql::Statement& stmt) {
   ExecStats stats;
   switch (stmt.type) {
     case StatementType::kSelect: {

@@ -6,6 +6,7 @@
 #include <string>
 #include <vector>
 
+#include "common/metrics.h"
 #include "common/status.h"
 #include "dbms/table.h"
 #include "sql/ast.h"
@@ -44,8 +45,9 @@ struct ExecStats {
 /// index-selection experiments (see DESIGN.md substitutions).
 class Database {
  public:
-  Database() = default;
-  explicit Database(CostModel cost) : cost_(cost) {}
+  Database() : Database(CostModel()) {}
+  /// `metrics` receives `dbms.*` instruments; nullptr = the process global.
+  explicit Database(CostModel cost, MetricsRegistry* metrics = nullptr);
 
   Status CreateTable(const std::string& name, std::vector<Column> columns);
   Table* GetTable(const std::string& name);
@@ -71,8 +73,19 @@ class Database {
   const CostModel& cost_model() const { return cost_; }
 
  private:
+  /// Execute(stmt) body; the public wrapper folds the outcome into the
+  /// dbms.* counters.
+  Result<ExecStats> ExecuteUncounted(const sql::Statement& stmt);
+
   CostModel cost_;
   std::map<std::string, std::unique_ptr<Table>> tables_;
+
+  // Instrument handles (owned by the registry; see DESIGN.md §10).
+  Counter* statements_total_ = nullptr;  ///< Execute() calls that ran
+  Counter* rows_examined_total_ = nullptr;
+  Counter* rows_written_total_ = nullptr;
+  Counter* index_builds_total_ = nullptr;
+  Counter* index_drops_total_ = nullptr;
 };
 
 }  // namespace qb5000::dbms

@@ -1,8 +1,8 @@
 #include "forecaster/evaluation.h"
 
 #include <algorithm>
-#include <chrono>
 
+#include "common/metrics.h"
 #include "forecaster/dataset.h"
 #include "forecaster/ensemble.h"
 #include "forecaster/kernel_regression.h"
@@ -17,11 +17,6 @@ Matrix SubMatrix(const Matrix& m, size_t rows) {
   Matrix out(rows, m.cols());
   for (size_t i = 0; i < rows; ++i) out.SetRow(i, m.Row(i));
   return out;
-}
-
-double SecondsSince(std::chrono::steady_clock::time_point start) {
-  return std::chrono::duration<double>(std::chrono::steady_clock::now() - start)
-      .count();
 }
 
 }  // namespace
@@ -46,7 +41,7 @@ Result<EvaluationResult> EvaluateModel(ModelKind kind,
   Matrix train_y = SubMatrix(dataset->y, train_n);
 
   EvaluationResult result;
-  auto start = std::chrono::steady_clock::now();
+  Stopwatch train_timer;
 
   // HYBRID needs its KR component trained with a (possibly longer) window.
   std::shared_ptr<KernelRegressionModel> hybrid_kr;
@@ -95,7 +90,7 @@ Result<EvaluationResult> EvaluateModel(ModelKind kind,
     Status st = model->Fit(train_x, train_y);
     if (!st.ok()) return st;
   }
-  result.train_seconds = SecondsSince(start);
+  result.train_seconds = train_timer.ElapsedSeconds();
 
   // Walk-forward over the test rows.
   Vector actual_flat, predicted_flat;

@@ -11,6 +11,30 @@
 #include "forecaster/neural.h"
 
 namespace qb5000 {
+namespace {
+
+/// Newest dataset rows evaluated for the per-horizon train_mse gauge.
+constexpr size_t kMseSampleRows = 64;
+
+}  // namespace
+
+Forecaster::Forecaster(Options options) : options_(options) {
+  registry_ = options_.metrics != nullptr ? options_.metrics
+                                          : &MetricsRegistry::Global();
+  trainings_total_ = registry_->GetCounter("forecaster.trainings_total");
+  predictions_total_ = registry_->GetCounter("forecaster.predictions_total");
+}
+
+Histogram* Forecaster::HorizonHistogram(const char* what,
+                                        int64_t horizon) const {
+  return registry_->GetHistogram("forecaster." + std::string(what) + ".h" +
+                                 std::to_string(horizon));
+}
+
+Gauge* Forecaster::HorizonGauge(const char* what, int64_t horizon) const {
+  return registry_->GetGauge("forecaster." + std::string(what) + ".h" +
+                             std::to_string(horizon));
+}
 
 Result<std::vector<TimeSeries>> Forecaster::GatherSeries(
     const PreProcessor& pre, const OnlineClusterer& clusterer, int64_t interval,
@@ -30,6 +54,7 @@ Status Forecaster::Train(const PreProcessor& pre,
                          const std::vector<ClusterId>& clusters, Timestamp now,
                          const std::vector<int64_t>& horizons_seconds) {
   if (clusters.empty()) return Status::InvalidArgument("no clusters to model");
+  trainings_total_->Add();
   clusters_ = clusters;
   models_.clear();
 
@@ -79,6 +104,7 @@ Status Forecaster::FitHorizon(const PreProcessor& pre,
                               const std::vector<TimeSeries>& series,
                               Timestamp now, int64_t horizon,
                               HorizonModel* out) const {
+  ScopedTimer train_timer(HorizonHistogram("train_seconds", horizon));
   HorizonModel hm;
   hm.horizon_steps = static_cast<size_t>(horizon / options_.interval_seconds);
 
@@ -89,13 +115,23 @@ Status Forecaster::FitHorizon(const PreProcessor& pre,
   auto dataset = BuildDataset(series, options_.input_window, hm.horizon_steps);
   if (!dataset.ok()) return dataset.status();
 
+  // Evaluated for the train_mse gauge; the ensemble stands in for HYBRID
+  // (its KR component takes a differently-shaped input).
+  const ForecastModel* eval_model = nullptr;
+
   if (options_.kind == ModelKind::kHybrid) {
     auto lr = std::make_shared<LinearRegressionModel>(model_options);
     auto rnn = std::make_shared<RnnModel>(model_options);
-    Status st = lr->Fit(dataset->x, dataset->y);
-    if (!st.ok()) return st;
-    st = rnn->Fit(dataset->x, dataset->y);
-    if (!st.ok()) return st;
+    {
+      ScopedTimer t(HorizonHistogram("train_seconds.lr", horizon));
+      Status st = lr->Fit(dataset->x, dataset->y);
+      if (!st.ok()) return st;
+    }
+    {
+      ScopedTimer t(HorizonHistogram("train_seconds.rnn", horizon));
+      Status st = rnn->Fit(dataset->x, dataset->y);
+      if (!st.ok()) return st;
+    }
     auto ensemble = std::make_shared<EnsembleModel>(lr, rnn);
 
     // KR trains on the full recorded history at one-hour intervals
@@ -122,6 +158,7 @@ Status Forecaster::FitHorizon(const PreProcessor& pre,
       kr_options.input_window = kr_window;
       auto kr_data = BuildDataset(*full, kr_window, kr_steps);
       if (kr_data.ok()) {
+        ScopedTimer t(HorizonHistogram("train_seconds.kr", horizon));
         kr = std::make_shared<KernelRegressionModel>(kr_options);
         Status kr_st = kr->Fit(kr_data->x, kr_data->y);
         if (!kr_st.ok()) kr.reset();
@@ -134,6 +171,7 @@ Status Forecaster::FitHorizon(const PreProcessor& pre,
     } else {
       hm.model = ensemble;  // not enough history for KR: fall back
     }
+    eval_model = ensemble.get();
   } else {
     std::shared_ptr<ForecastModel> model =
         CreateModel(options_.kind, model_options);
@@ -141,6 +179,31 @@ Status Forecaster::FitHorizon(const PreProcessor& pre,
     Status st = model->Fit(dataset->x, dataset->y);
     if (!st.ok()) return st;
     hm.model = std::move(model);
+    eval_model = hm.model.get();
+  }
+
+  // In-sample log-space MSE over the newest examples (<= 64 rows keeps the
+  // cost a rounding error next to the fit itself) — the live analogue of
+  // the paper's Figure 8 training error.
+  if (eval_model != nullptr && dataset->x.rows() > 0) {
+    size_t rows = dataset->x.rows();
+    size_t start = rows > kMseSampleRows ? rows - kMseSampleRows : 0;
+    double se = 0.0;
+    size_t terms = 0;
+    for (size_t r = start; r < rows; ++r) {
+      auto pred = eval_model->Predict(dataset->x.Row(r));
+      if (!pred.ok()) break;
+      Vector truth = dataset->y.Row(r);
+      for (size_t c = 0; c < pred->size() && c < truth.size(); ++c) {
+        double d = (*pred)[c] - truth[c];
+        se += d * d;
+        ++terms;
+      }
+    }
+    if (terms > 0) {
+      HorizonGauge("train_mse", horizon)
+          ->Set(se / static_cast<double>(terms));
+    }
   }
   *out = std::move(hm);
   return Status::Ok();
@@ -154,6 +217,8 @@ Result<Vector> Forecaster::Forecast(const PreProcessor& pre,
   if (it == models_.end()) {
     return Status::NotFound("no model trained for this horizon");
   }
+  predictions_total_->Add();
+  ScopedTimer predict_timer(HorizonHistogram("predict_seconds", horizon_seconds));
   const HorizonModel& hm = it->second;
 
   Timestamp from =

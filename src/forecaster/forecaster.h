@@ -6,6 +6,7 @@
 
 #include "clusterer/online_clusterer.h"
 #include "common/clock.h"
+#include "common/metrics.h"
 #include "common/status.h"
 #include "forecaster/model.h"
 #include "preprocessor/preprocessor.h"
@@ -33,10 +34,13 @@ class Forecaster {
     /// Model family to deploy.
     ModelKind kind = ModelKind::kHybrid;
     ModelOptions model;
+    /// Registry receiving `forecaster.*` metrics; nullptr = the process
+    /// global. QueryBot5000 overrides this with its per-instance registry.
+    MetricsRegistry* metrics = nullptr;
   };
 
   Forecaster() : Forecaster(Options()) {}
-  explicit Forecaster(Options options) : options_(options) {}
+  explicit Forecaster(Options options);
 
   /// Trains models for every horizon (seconds) over the given clusters'
   /// center series ending at `now`. Replaces any previously trained models.
@@ -74,7 +78,16 @@ class Forecaster {
                     const std::vector<TimeSeries>& series, Timestamp now,
                     int64_t horizon, HorizonModel* out) const;
 
+  /// Registers (or looks up) a per-horizon instrument, e.g.
+  /// HorizonHistogram("train_seconds", 3600) -> forecaster.train_seconds.h3600.
+  /// Safe from ParallelFor workers: the registry handles concurrent lookups.
+  Histogram* HorizonHistogram(const char* what, int64_t horizon) const;
+  Gauge* HorizonGauge(const char* what, int64_t horizon) const;
+
   Options options_;
+  MetricsRegistry* registry_ = nullptr;  ///< resolved from Options::metrics
+  Counter* trainings_total_ = nullptr;   ///< Train() calls
+  Counter* predictions_total_ = nullptr; ///< Forecast() calls
   std::vector<ClusterId> clusters_;
   std::map<int64_t, HorizonModel> models_;  ///< keyed by horizon seconds
   /// Per-cluster cap on log-space predictions: the training-history peak

@@ -1,9 +1,9 @@
 #include "forecaster/interval_selector.h"
 
 #include <algorithm>
-#include <chrono>
 #include <cmath>
 
+#include "common/metrics.h"
 #include "forecaster/dataset.h"
 #include "math/stats.h"
 
@@ -55,13 +55,11 @@ Result<std::vector<IntervalSelector::Choice>> IntervalSelector::Evaluate(
     auto model = CreateModel(options.kind, model_options);
     if (model == nullptr) return Status::InvalidArgument("unknown model kind");
 
-    auto start = std::chrono::steady_clock::now();
+    Stopwatch train_timer;
     Status st = model->Fit(SubMatrix(dataset->x, train_n),
                            SubMatrix(dataset->y, train_n));
     if (!st.ok()) continue;
-    double train_seconds =
-        std::chrono::duration<double>(std::chrono::steady_clock::now() - start)
-            .count();
+    double train_seconds = train_timer.ElapsedSeconds();
 
     // Hour-normalized accuracy: group predictions into one-hour buckets
     // (sum sub-hour steps; split super-hour steps evenly).

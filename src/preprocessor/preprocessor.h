@@ -7,6 +7,7 @@
 #include <vector>
 
 #include "common/clock.h"
+#include "common/metrics.h"
 #include "common/rng.h"
 #include "common/status.h"
 #include "preprocessor/arrival_history.h"
@@ -31,6 +32,9 @@ class PreProcessor {
     /// Minute-resolution history older than this is folded into hourly
     /// archives on CompactBefore().
     int64_t compaction_horizon_seconds = 7 * kSecondsPerDay;
+    /// Registry receiving `preprocessor.*` metrics; nullptr = the process
+    /// global. QueryBot5000 overrides this with its per-instance registry.
+    MetricsRegistry* metrics = nullptr;
   };
 
   /// Everything QB5000 knows about one template.
@@ -51,8 +55,7 @@ class PreProcessor {
   };
 
   PreProcessor() : PreProcessor(Options()) {}
-  explicit PreProcessor(Options options)
-      : options_(options), rng_(options.rng_seed) {}
+  explicit PreProcessor(Options options);
 
   /// Ingests one query arrival (or `count` identical arrivals at `ts`).
   /// Returns the id of the template the query maps to.
@@ -97,6 +100,10 @@ class PreProcessor {
   Status RestoreTemplate(TemplateInfo info);
 
  private:
+  /// Every 2^k-th raw-SQL Ingest is latency-sampled (Table 4's
+  /// ms/query figure, live) so the two clock reads stay off most queries.
+  static constexpr uint64_t kTemplatizeSampleMask = 15;  ///< 1 in 16
+
   Options options_;
   Rng rng_;
   std::unordered_map<std::string, TemplateId> by_fingerprint_;
@@ -104,6 +111,18 @@ class PreProcessor {
   TemplateId next_id_ = 1;
   double total_queries_ = 0;
   double queries_by_type_[4] = {0, 0, 0, 0};
+
+  // Instrument handles (owned by the registry; see DESIGN.md §10).
+  Counter* queries_total_ = nullptr;        ///< arrivals, weighted by count
+  Counter* ingests_total_ = nullptr;        ///< Ingest/IngestTemplatized calls
+  Counter* templates_created_total_ = nullptr;
+  Counter* templates_evicted_total_ = nullptr;
+  Counter* parse_failures_total_ = nullptr;  ///< Templatize() rejected the SQL
+  Counter* parse_fallback_total_ = nullptr;  ///< token-level fallback used
+  Counter* compactions_total_ = nullptr;
+  Gauge* templates_gauge_ = nullptr;
+  Gauge* history_bytes_gauge_ = nullptr;
+  Histogram* templatize_seconds_ = nullptr;  ///< sampled (1 in 16)
 };
 
 }  // namespace qb5000

@@ -233,6 +233,19 @@ class Parser {
   }
 
   Result<ExprPtr> ParsePrimary() {
+    // Every deeply-nestable construct — parenthesized expressions, chained
+    // unary minus, function-call arguments — recurses through here, so one
+    // depth guard bounds the whole expression grammar. Without it an
+    // adversarial input like "SELECT ((((…1…))))" overflows the stack
+    // (found by tests/sql_fuzz_test.cc).
+    ++expr_depth_;
+    struct DepthGuard {
+      int* depth;
+      ~DepthGuard() { --*depth; }
+    } guard{&expr_depth_};
+    if (expr_depth_ > kMaxExprDepth) {
+      return Error("expression nested too deeply");
+    }
     // Unary minus on a numeric literal folds into the literal.
     if (Check(TokenType::kOperator) && Peek().text == "-") {
       ++pos_;
@@ -559,8 +572,15 @@ class Parser {
     return del;
   }
 
+  /// Bound on ParsePrimary recursion. Must admit 200 nested parens (the
+  /// executor-robustness contract) — each paren level re-enters ParsePrimary
+  /// through the full precedence chain — while keeping worst-case stack use
+  /// bounded against adversarial input (tests/sql_fuzz_test.cc).
+  static constexpr int kMaxExprDepth = 512;
+
   std::vector<Token> tokens_;
   size_t pos_ = 0;
+  int expr_depth_ = 0;
 };
 
 }  // namespace

@@ -1,0 +1,182 @@
+// Golden-trace regression suite: fixed-seed end-to-end pipeline runs over
+// all four synthetic workloads, fingerprinted by the metrics export and
+// compared against checked-in goldens (tests/golden/*.txt).
+//
+// Comparison rules (per line kind):
+//   counter   — exact. Counters are the deterministic core: same seed and
+//               decomposition => byte-identical values (DESIGN.md §9/§10).
+//   gauge     — 5% relative tolerance (they are deterministic today, but the
+//               band keeps harmless numeric drift from failing the suite).
+//   histogram — `count=` exact; `sum=`/`buckets=` ignored (wall time).
+// A metric appearing or disappearing is always a failure: the exported
+// names are a stability contract.
+//
+// Regenerating after an INTENTIONAL pipeline or metric change:
+//   QB_UPDATE_GOLDENS=1 build/qb5000_tests --gtest_filter='GoldenTrace.*'
+// then review the tests/golden/ diff like any other code change.
+#include <cmath>
+#include <cstdlib>
+#include <map>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "common/io.h"
+#include "common/metrics.h"
+#include "common/thread_pool.h"
+#include "core/qb5000.h"
+#include "workload/workload.h"
+
+namespace qb5000 {
+namespace {
+
+/// Restores the previous global thread count when the test exits.
+class ThreadCountGuard {
+ public:
+  ThreadCountGuard() : saved_(GetThreadCount()) {}
+  ~ThreadCountGuard() { SetThreadCount(saved_); }
+
+ private:
+  size_t saved_;
+};
+
+/// The fixed golden scenario: 4 simulated days fed at minute resolution
+/// with seed 5, LR models (closed form — fast and exactly reproducible),
+/// one-hour and one-day horizons, maintenance forced once at the end.
+QueryBot5000 RunGoldenPipeline(const SyntheticWorkload& workload) {
+  QueryBot5000::Config config;
+  config.forecaster.kind = ModelKind::kLr;
+  config.forecaster.input_window = 12;
+  config.horizons = {kSecondsPerHour, kSecondsPerDay};
+  QueryBot5000 bot(config);
+  Timestamp end = 4 * kSecondsPerDay;
+  Status fed = workload.FeedAggregated(bot.mutable_preprocessor(), 0, end,
+                                       kSecondsPerMinute, /*seed=*/5);
+  EXPECT_TRUE(fed.ok()) << fed.message();
+  Status maint = bot.RunMaintenance(end, /*force=*/true);
+  EXPECT_TRUE(maint.ok()) << maint.message();
+  for (int64_t horizon : config.horizons) {
+    auto forecast = bot.Forecast(end, horizon);
+    EXPECT_TRUE(forecast.ok()) << forecast.status().message();
+  }
+  return bot;
+}
+
+struct ParsedLine {
+  std::string kind;  ///< "counter" | "gauge" | "histogram"
+  std::string rest;  ///< everything after the name
+};
+
+std::map<std::string, ParsedLine> ParseExport(const std::string& text) {
+  std::map<std::string, ParsedLine> lines;
+  std::istringstream in(text);
+  std::string line;
+  while (std::getline(in, line)) {
+    if (line.empty()) continue;
+    size_t s1 = line.find(' ');
+    size_t s2 = line.find(' ', s1 + 1);
+    ParsedLine parsed;
+    parsed.kind = line.substr(0, s1);
+    std::string name = line.substr(s1 + 1, s2 - s1 - 1);
+    parsed.rest = line.substr(s2 + 1);
+    lines[name] = std::move(parsed);
+  }
+  return lines;
+}
+
+/// The `count=N` field of a histogram line's tail.
+std::string HistogramCount(const std::string& rest) {
+  size_t at = rest.find("count=");
+  if (at == std::string::npos) return "";
+  size_t end = rest.find(' ', at);
+  return rest.substr(at, end - at);
+}
+
+void CompareToGolden(const std::string& workload_name,
+                     const std::string& actual_text) {
+  std::string path =
+      std::string(QB5000_GOLDEN_DIR) + "/" + workload_name + ".txt";
+  if (std::getenv("QB_UPDATE_GOLDENS") != nullptr) {
+    Status st = WriteStringToFile(nullptr, actual_text, path);
+    ASSERT_TRUE(st.ok()) << st.ToString();
+    GTEST_SKIP() << "golden regenerated: " << path;
+  }
+  auto golden_text = ReadFileToString(nullptr, path);
+  ASSERT_TRUE(golden_text.ok())
+      << path << ": " << golden_text.status().ToString()
+      << " (regenerate with QB_UPDATE_GOLDENS=1)";
+
+  auto golden = ParseExport(*golden_text);
+  auto actual = ParseExport(actual_text);
+
+  for (const auto& [name, want] : golden) {
+    auto it = actual.find(name);
+    if (it == actual.end()) {
+      ADD_FAILURE() << "metric disappeared: " << name;
+      continue;
+    }
+    const ParsedLine& got = it->second;
+    EXPECT_EQ(got.kind, want.kind) << name;
+    if (want.kind == "counter") {
+      EXPECT_EQ(got.rest, want.rest) << "counter drifted: " << name;
+    } else if (want.kind == "gauge") {
+      double want_v = std::strtod(want.rest.c_str(), nullptr);
+      double got_v = std::strtod(got.rest.c_str(), nullptr);
+      double tolerance = 0.05 * std::max(std::fabs(want_v), 1e-9);
+      EXPECT_NEAR(got_v, want_v, tolerance) << "gauge drifted: " << name;
+    } else if (want.kind == "histogram") {
+      EXPECT_EQ(HistogramCount(got.rest), HistogramCount(want.rest))
+          << "histogram count drifted: " << name;
+    }
+  }
+  for (const auto& [name, line] : actual) {
+    (void)line;
+    EXPECT_TRUE(golden.count(name))
+        << "new metric not in golden (regenerate deliberately): " << name;
+  }
+}
+
+void RunGoldenCase(const char* file_name, const SyntheticWorkload& workload) {
+  if (!kMetricsEnabled) GTEST_SKIP() << "no metrics in this build";
+  ThreadCountGuard guard;
+  SetThreadCount(2);  // any count works (counters are thread-count
+                      // independent); pinned so the suite never depends on
+                      // the host's core count even if that contract breaks
+  QueryBot5000 bot = RunGoldenPipeline(workload);
+  CompareToGolden(file_name, bot.Metrics().ExportText());
+}
+
+TEST(GoldenTrace, BusTracker) { RunGoldenCase("bustracker", MakeBusTracker()); }
+
+TEST(GoldenTrace, Admissions) { RunGoldenCase("admissions", MakeAdmissions()); }
+
+TEST(GoldenTrace, Mooc) { RunGoldenCase("mooc", MakeMooc()); }
+
+TEST(GoldenTrace, NoisyComposite) {
+  RunGoldenCase("noisy_composite", MakeNoisyComposite());
+}
+
+// Acceptance gate for the observability layer: the counter-only export is
+// byte-identical across thread counts, because counters only ever count
+// work whose decomposition is thread-count independent.
+TEST(GoldenTrace, CounterExportByteIdenticalAcrossThreadCounts) {
+  if (!kMetricsEnabled) GTEST_SKIP() << "no metrics in this build";
+  ThreadCountGuard guard;
+  MetricsRegistry::ExportOptions counters_only;
+  counters_only.counters_only = true;
+
+  SetThreadCount(1);
+  std::string baseline =
+      RunGoldenPipeline(MakeBusTracker()).Metrics().ExportText(counters_only);
+  ASSERT_FALSE(baseline.empty());
+
+  SetThreadCount(8);
+  std::string at8 =
+      RunGoldenPipeline(MakeBusTracker()).Metrics().ExportText(counters_only);
+  EXPECT_EQ(baseline, at8);
+}
+
+}  // namespace
+}  // namespace qb5000

@@ -1,0 +1,288 @@
+// The observability core (common/metrics.h): instrument semantics, the
+// log-scale histogram's bucket math, registry registration and export
+// stability, checkpoint round-trips — and the lock-cheap concurrency
+// contract: writers on ThreadPool workers never lose an update and never
+// tear an export, verified with exact final counts (run under TSan in CI).
+#include "common/metrics.h"
+
+#include <atomic>
+#include <cmath>
+#include <limits>
+#include <string>
+
+#include <gtest/gtest.h>
+
+#include "common/thread_pool.h"
+
+namespace qb5000 {
+namespace {
+
+TEST(Metrics, CounterAddsAndReads) {
+  MetricsRegistry registry;
+  Counter* c = registry.GetCounter("test.events_total");
+  EXPECT_EQ(c->value(), 0u);
+  c->Add();
+  c->Add(41);
+  // In a QB5000_METRICS=OFF build Add() is a compiled-out no-op.
+  EXPECT_EQ(c->value(), kMetricsEnabled ? 42u : 0u);
+}
+
+TEST(Metrics, GaugeHoldsLastWrite) {
+  MetricsRegistry registry;
+  Gauge* g = registry.GetGauge("test.level");
+  EXPECT_EQ(g->value(), 0.0);
+  g->Set(0.25);
+  g->Set(-3.5);
+  EXPECT_EQ(g->value(), kMetricsEnabled ? -3.5 : 0.0);
+  // Restore() is the checkpoint path and works even with metrics off.
+  g->Restore(1.5);
+  EXPECT_EQ(g->value(), 1.5);
+}
+
+TEST(Metrics, RegistrationReturnsStableDistinctPointers) {
+  MetricsRegistry registry;
+  Counter* a = registry.GetCounter("test.a");
+  Counter* b = registry.GetCounter("test.b");
+  EXPECT_NE(a, b);
+  // Same name: same instrument, across many registrations (deque storage
+  // must not invalidate earlier pointers as the registry grows).
+  for (int i = 0; i < 100; ++i) {
+    registry.GetCounter("test.filler_" + std::to_string(i));
+  }
+  EXPECT_EQ(registry.GetCounter("test.a"), a);
+  // Counter / gauge / histogram namespaces are independent.
+  EXPECT_NE(static_cast<void*>(registry.GetGauge("test.a")),
+            static_cast<void*>(a));
+}
+
+TEST(Metrics, HistogramBucketMath) {
+  // Bucket i's inclusive upper bound is 1e-9 * 2^i; the last bucket is
+  // open-ended. This layout is a stability contract (DESIGN.md §10).
+  EXPECT_DOUBLE_EQ(Histogram::UpperBound(0), 1e-9);
+  EXPECT_DOUBLE_EQ(Histogram::UpperBound(10), 1e-9 * 1024);
+  EXPECT_TRUE(std::isinf(Histogram::UpperBound(Histogram::kNumBuckets - 1)));
+
+  EXPECT_EQ(Histogram::BucketIndex(1e-9), 0u);
+  EXPECT_EQ(Histogram::BucketIndex(1.5e-9), 1u);
+  // Exact bounds land in their own bucket, one past goes up.
+  for (size_t i = 0; i + 1 < Histogram::kNumBuckets; ++i) {
+    double bound = Histogram::UpperBound(i);
+    EXPECT_EQ(Histogram::BucketIndex(bound), i) << bound;
+    EXPECT_EQ(Histogram::BucketIndex(std::nextafter(
+                  bound, std::numeric_limits<double>::infinity())),
+              i + 1)
+        << bound;
+  }
+  // Degenerate observations never index out of range.
+  EXPECT_EQ(Histogram::BucketIndex(0.0), 0u);
+  EXPECT_EQ(Histogram::BucketIndex(-1.0), 0u);
+  EXPECT_EQ(Histogram::BucketIndex(std::nan("")), 0u);
+  EXPECT_EQ(Histogram::BucketIndex(std::numeric_limits<double>::infinity()),
+            Histogram::kNumBuckets - 1);
+}
+
+TEST(Metrics, HistogramObserveAccumulates) {
+  if (!kMetricsEnabled) GTEST_SKIP() << "instruments are no-ops";
+  MetricsRegistry registry;
+  Histogram* h = registry.GetHistogram("test.latency_seconds");
+  h->Observe(1e-9);
+  h->Observe(0.5);
+  h->Observe(0.5);
+  EXPECT_EQ(h->count(), 3u);
+  EXPECT_DOUBLE_EQ(h->sum(), 1.0 + 1e-9);
+  EXPECT_EQ(h->bucket(0), 1u);
+  EXPECT_EQ(h->bucket(Histogram::BucketIndex(0.5)), 2u);
+}
+
+TEST(Metrics, ScopedTimerObservesOnceAndNullIsInert) {
+  MetricsRegistry registry;
+  Histogram* h = registry.GetHistogram("test.scope_seconds");
+  { ScopedTimer timer(h); }
+  { ScopedTimer timer(nullptr); }
+  if (kMetricsEnabled) {
+    EXPECT_EQ(h->count(), 1u);
+    EXPECT_GE(h->sum(), 0.0);
+  } else {
+    EXPECT_EQ(h->count(), 0u);
+  }
+}
+
+TEST(Metrics, StopwatchMeasuresEvenWhenMetricsDisabled) {
+  // Stopwatch is the sanctioned ad-hoc timing API (qb_lint raw-chrono-timing
+  // bans steady_clock::now() elsewhere); it must work in every build.
+  Stopwatch sw;
+  double first = sw.ElapsedSeconds();
+  EXPECT_GE(first, 0.0);
+  EXPECT_GE(sw.ElapsedSeconds(), first);
+  sw.Restart();
+  EXPECT_GE(sw.ElapsedSeconds(), 0.0);
+}
+
+TEST(Metrics, ExportTextIsSortedAndRegistrationOrderIndependent) {
+  if (!kMetricsEnabled) GTEST_SKIP() << "instruments are no-ops";
+  MetricsRegistry forward;
+  forward.GetCounter("a.hits_total")->Add(3);
+  forward.GetGauge("b.level")->Set(1.5);
+  forward.GetHistogram("c.lat_seconds")->Observe(1e-9);
+
+  MetricsRegistry reverse;
+  reverse.GetHistogram("c.lat_seconds")->Observe(1e-9);
+  reverse.GetGauge("b.level")->Set(1.5);
+  reverse.GetCounter("a.hits_total")->Add(3);
+
+  std::string text = forward.ExportText();
+  EXPECT_EQ(text, reverse.ExportText());
+  EXPECT_EQ(text,
+            "counter a.hits_total 3\n"
+            "gauge b.level 1.5\n"
+            "histogram c.lat_seconds count=1 sum=1e-09 buckets=0:1\n");
+
+  MetricsRegistry::ExportOptions counters_only;
+  counters_only.counters_only = true;
+  EXPECT_EQ(forward.ExportText(counters_only), "counter a.hits_total 3\n");
+}
+
+TEST(Metrics, ExportJsonListsAllInstrumentKinds) {
+  if (!kMetricsEnabled) GTEST_SKIP() << "instruments are no-ops";
+  MetricsRegistry registry;
+  registry.GetCounter("x.n_total")->Add(7);
+  registry.GetGauge("x.ratio")->Set(0.5);
+  registry.GetHistogram("x.t_seconds")->Observe(1e-9);
+  EXPECT_EQ(registry.ExportJson(),
+            "{\"counters\":{\"x.n_total\":7},"
+            "\"gauges\":{\"x.ratio\":0.5},"
+            "\"histograms\":{\"x.t_seconds\":"
+            "{\"count\":1,\"sum\":1e-09,\"buckets\":{\"0\":1}}}}");
+}
+
+TEST(Metrics, SerializeRestoreRoundTripsCountersAndGauges) {
+  if (!kMetricsEnabled) GTEST_SKIP() << "instruments are no-ops";
+  MetricsRegistry source;
+  source.GetCounter("p.q_total")->Add(123456789);
+  source.GetGauge("p.ratio")->Set(0.123456789012345678);  // needs %.17g
+  source.GetHistogram("p.t_seconds")->Observe(1.0);  // must NOT persist
+
+  MetricsRegistry target;
+  Status st = target.RestoreState(source.SerializeState());
+  ASSERT_TRUE(st.ok()) << st.ToString();
+  EXPECT_EQ(target.GetCounter("p.q_total")->value(), 123456789u);
+  EXPECT_EQ(target.GetGauge("p.ratio")->value(),
+            source.GetGauge("p.ratio")->value());
+  EXPECT_EQ(target.GetHistogram("p.t_seconds")->count(), 0u);
+}
+
+TEST(Metrics, RestoreStateRejectsGarbageWithoutPartialApply) {
+  MetricsRegistry registry;
+  registry.GetCounter("keep.me_total")->Add(5);
+  EXPECT_FALSE(registry.RestoreState("not-metrics").ok());
+  EXPECT_FALSE(registry.RestoreState("metrics-v1\ncounters 2\na 1\n").ok());
+  // The failed restores parsed fully before applying: nothing changed.
+  EXPECT_EQ(registry.GetCounter("keep.me_total")->value(),
+            kMetricsEnabled ? 5u : 0u);
+}
+
+TEST(Metrics, ResetZeroesEverything) {
+  if (!kMetricsEnabled) GTEST_SKIP() << "instruments are no-ops";
+  MetricsRegistry registry;
+  Counter* c = registry.GetCounter("r.n_total");
+  Gauge* g = registry.GetGauge("r.level");
+  Histogram* h = registry.GetHistogram("r.t_seconds");
+  c->Add(9);
+  g->Set(2.0);
+  h->Observe(0.5);
+  registry.Reset();
+  EXPECT_EQ(c->value(), 0u);
+  EXPECT_EQ(g->value(), 0.0);
+  EXPECT_EQ(h->count(), 0u);
+  EXPECT_EQ(h->sum(), 0.0);
+  EXPECT_EQ(h->bucket(Histogram::BucketIndex(0.5)), 0u);
+}
+
+/// Restores the previous global thread count when the test exits.
+class ThreadCountGuard {
+ public:
+  ThreadCountGuard() : saved_(GetThreadCount()) {}
+  ~ThreadCountGuard() { SetThreadCount(saved_); }
+
+ private:
+  size_t saved_;
+};
+
+// The concurrency contract, with exact accounting: writers hammer shared
+// instruments from ThreadPool workers while another lane exports and
+// registers new instruments mid-flight. Relaxed atomics may reorder but
+// must not lose updates; the registry's shared_mutex must keep export and
+// registration safe against each other. CI runs this under TSan.
+TEST(Metrics, ConcurrentHammerLosesNoUpdates) {
+  if (!kMetricsEnabled) GTEST_SKIP() << "instruments are no-ops";
+  ThreadCountGuard guard;
+  constexpr size_t kWriters = 8;
+  constexpr uint64_t kOpsPerWriter = 20000;
+
+  MetricsRegistry registry;
+  Counter* hits = registry.GetCounter("hammer.hits_total");
+  Histogram* lat = registry.GetHistogram("hammer.lat_seconds");
+  Gauge* level = registry.GetGauge("hammer.level");
+
+  std::atomic<size_t> writers_done{0};
+  ThreadPool pool(kWriters + 1);
+  pool.Run(kWriters + 1, [&](size_t task) {
+    if (task == kWriters) {
+      // Reader lane: export and register new names until every writer
+      // finished, racing the hot-path mutations.
+      uint64_t exports = 0;
+      while (writers_done.load(std::memory_order_acquire) < kWriters) {
+        std::string text = registry.ExportText();
+        EXPECT_NE(text.find("counter hammer.hits_total "), std::string::npos);
+        registry.GetCounter("hammer.reader_" + std::to_string(exports % 32));
+        ++exports;
+      }
+      EXPECT_GT(exports, 0u);
+      return;
+    }
+    for (uint64_t i = 0; i < kOpsPerWriter; ++i) {
+      hits->Add();
+      lat->Observe(1e-6);
+      level->Set(static_cast<double>(i));
+    }
+    writers_done.fetch_add(1, std::memory_order_release);
+  });
+
+  // Exact final counts: every increment landed exactly once.
+  EXPECT_EQ(hits->value(), kWriters * kOpsPerWriter);
+  EXPECT_EQ(lat->count(), kWriters * kOpsPerWriter);
+  EXPECT_EQ(lat->bucket(Histogram::BucketIndex(1e-6)),
+            kWriters * kOpsPerWriter);
+  // sum accumulates 160k rounded additions; allow accumulation error but
+  // not a lost update (one miss would be off by a full 1e-6).
+  EXPECT_NEAR(lat->sum(),
+              1e-6 * static_cast<double>(kWriters) *
+                  static_cast<double>(kOpsPerWriter),
+              1e-7);
+  EXPECT_EQ(level->value(), static_cast<double>(kOpsPerWriter - 1));
+}
+
+// Racing first-registrations of the same name must agree on one instrument.
+TEST(Metrics, ConcurrentRegistrationConverges) {
+  ThreadCountGuard guard;
+  MetricsRegistry registry;
+  constexpr size_t kLanes = 8;
+  std::array<Counter*, kLanes> seen{};
+  ThreadPool pool(kLanes);
+  pool.Run(kLanes, [&](size_t lane) {
+    for (int name = 0; name < 64; ++name) {
+      Counter* c = registry.GetCounter("race." + std::to_string(name));
+      if (name == 0) seen[lane] = c;
+      c->Add();
+    }
+  });
+  for (size_t lane = 1; lane < kLanes; ++lane) {
+    EXPECT_EQ(seen[lane], seen[0]);
+  }
+  if (kMetricsEnabled) {
+    EXPECT_EQ(registry.GetCounter("race.0")->value(), kLanes);
+  }
+}
+
+}  // namespace
+}  // namespace qb5000

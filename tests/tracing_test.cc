@@ -1,0 +1,120 @@
+// The scoped-span tracer (common/tracing.h): span recording on scope exit,
+// per-thread nesting for parent links, bounded ring-buffer retention, the
+// pluggable sink, and JSON export.
+#include "common/tracing.h"
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "common/metrics.h"
+#include "common/thread_pool.h"
+
+namespace qb5000 {
+namespace {
+
+TEST(Tracing, SpansRecordOnScopeExitPostOrder) {
+  if (!kMetricsEnabled) GTEST_SKIP() << "tracing is compiled out";
+  Tracer tracer;
+  {
+    ScopedSpan outer(&tracer, "maintenance");
+    EXPECT_TRUE(tracer.Snapshot().empty()) << "live spans are not visible";
+    { ScopedSpan inner(&tracer, "maintenance/train"); }
+  }
+  auto spans = tracer.Snapshot();
+  ASSERT_EQ(spans.size(), 2u);
+  // Completion order: the inner span ends first.
+  EXPECT_EQ(spans[0].name, "maintenance/train");
+  EXPECT_EQ(spans[1].name, "maintenance");
+  EXPECT_EQ(spans[1].parent_id, 0u) << "outer span is a root";
+  EXPECT_EQ(spans[0].parent_id, spans[1].id);
+  EXPECT_GE(spans[0].start_seconds, spans[1].start_seconds);
+  EXPECT_LE(spans[0].duration_seconds, spans[1].duration_seconds);
+}
+
+TEST(Tracing, NullTracerDisablesSpans) {
+  // Instrumented code passes nullptr when tracing is off; must be inert.
+  ScopedSpan span(nullptr, "nothing");
+}
+
+TEST(Tracing, RingBufferBoundsRetention) {
+  if (!kMetricsEnabled) GTEST_SKIP() << "tracing is compiled out";
+  Tracer tracer(/*capacity=*/4);
+  for (int i = 0; i < 10; ++i) {
+    ScopedSpan span(&tracer, "s" + std::to_string(i));
+  }
+  EXPECT_EQ(tracer.total_spans(), 10u);
+  auto spans = tracer.Snapshot();
+  ASSERT_EQ(spans.size(), 4u);
+  // Oldest first, and only the newest four survive.
+  EXPECT_EQ(spans.front().name, "s6");
+  EXPECT_EQ(spans.back().name, "s9");
+
+  tracer.Clear();
+  EXPECT_TRUE(tracer.Snapshot().empty());
+  EXPECT_EQ(tracer.total_spans(), 10u) << "lifetime total survives Clear";
+}
+
+class RecordingSink : public SpanSink {
+ public:
+  void OnSpanEnd(const SpanRecord& span) override {
+    names.push_back(span.name);
+  }
+  std::vector<std::string> names;
+};
+
+TEST(Tracing, SinkSeesEverySpanEvenPastRingCapacity) {
+  if (!kMetricsEnabled) GTEST_SKIP() << "tracing is compiled out";
+  Tracer tracer(/*capacity=*/2);
+  RecordingSink sink;
+  tracer.SetSink(&sink);
+  for (int i = 0; i < 5; ++i) {
+    ScopedSpan span(&tracer, "evt");
+  }
+  tracer.SetSink(nullptr);
+  { ScopedSpan span(&tracer, "after-detach"); }
+  EXPECT_EQ(sink.names, std::vector<std::string>(5, "evt"));
+}
+
+TEST(Tracing, ParentLinksAreCorrectAcrossConcurrentThreads) {
+  if (!kMetricsEnabled) GTEST_SKIP() << "tracing is compiled out";
+  Tracer tracer(/*capacity=*/512);
+  constexpr size_t kLanes = 4;
+  ThreadPool pool(kLanes);
+  pool.Run(kLanes, [&](size_t lane) {
+    for (int i = 0; i < 8; ++i) {
+      ScopedSpan outer(&tracer, "outer" + std::to_string(lane));
+      ScopedSpan inner(&tracer, "inner" + std::to_string(lane));
+    }
+  });
+  // Nesting is tracked per thread: every inner span's parent must be an
+  // outer span from the SAME lane, never a concurrent other-lane span.
+  std::map<uint64_t, std::string> by_id;
+  for (const auto& span : tracer.Snapshot()) by_id[span.id] = span.name;
+  size_t inner_seen = 0;
+  for (const auto& span : tracer.Snapshot()) {
+    if (span.name.rfind("inner", 0) != 0) continue;
+    ++inner_seen;
+    ASSERT_NE(span.parent_id, 0u);
+    auto it = by_id.find(span.parent_id);
+    ASSERT_NE(it, by_id.end());
+    EXPECT_EQ(it->second, "outer" + span.name.substr(5));
+  }
+  EXPECT_EQ(inner_seen, kLanes * 8);
+  EXPECT_EQ(tracer.total_spans(), kLanes * 8 * 2);
+}
+
+TEST(Tracing, ExportJsonShape) {
+  if (!kMetricsEnabled) GTEST_SKIP() << "tracing is compiled out";
+  Tracer tracer;
+  { ScopedSpan span(&tracer, "only"); }
+  std::string json = tracer.ExportJson();
+  EXPECT_EQ(json.rfind("{\"spans\":[", 0), 0u) << json;
+  EXPECT_NE(json.find("\"name\":\"only\""), std::string::npos) << json;
+  EXPECT_EQ(json.back(), '}');
+}
+
+}  // namespace
+}  // namespace qb5000

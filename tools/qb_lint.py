@@ -17,6 +17,10 @@ Checks (stdlib-only, no compiler needed):
                      use ThreadPool / ParallelFor (common/thread_pool.h) so
                      concurrency stays deterministic, bounded, and governed
                      by the SetThreadCount knob
+  raw-chrono-timing  no hand-rolled steady_clock::now() pairs outside
+                     src/common/ — use Stopwatch / ScopedTimer
+                     (common/metrics.h) so timing feeds the metrics layer
+                     and respects the QB5000_METRICS kill switch
   missing-include    files that use a known symbol must include its header
                      (QB_CHECK -> common/check.h, assert -> <cassert>, ...)
 
@@ -48,6 +52,15 @@ RAW_THREAD_ALLOWLIST = {"src/common/thread_pool.h", "src/common/thread_pool.cc"}
 
 # std::thread the type — std::this_thread (sleep/yield) stays allowed.
 RAW_THREAD_RE = re.compile(r"\bstd::thread\b")
+
+# Ad-hoc wall-clock timing must go through Stopwatch / ScopedTimer
+# (common/metrics.h). Only the metrics/tracing layer itself touches the
+# clock directly; everywhere else a raw now() pair is invisible to the
+# observability layer and ignores the QB5000_METRICS kill switch.
+RAW_CHRONO_ALLOWLIST_PREFIX = "src/common/"
+
+RAW_CHRONO_RE = re.compile(
+    r"\bstd::chrono::(steady_clock|high_resolution_clock|system_clock)::now\b")
 
 BANNED_FUNCTIONS = {
     "rand": "use qb5000::Rng (common/rng.h) for seedable, reproducible draws",
@@ -226,6 +239,12 @@ def lint_file(path, rel, fix):
                     "raw std::thread bypasses the pool; use ThreadPool / "
                     "ParallelFor (common/thread_pool.h) so thread count, "
                     "determinism, and exception propagation stay governed"))
+        if not rel.startswith(RAW_CHRONO_ALLOWLIST_PREFIX):
+            for _ in RAW_CHRONO_RE.finditer(line):
+                findings.append(Finding(
+                    rel, lineno, "raw-chrono-timing",
+                    "hand-rolled clock::now() timing bypasses the metrics "
+                    "layer; use Stopwatch or ScopedTimer (common/metrics.h)"))
         if rel not in RAW_ASSERT_ALLOWLIST:
             for m in assert_re.finditer(line):
                 if line[:m.start()].rstrip().endswith(("static", "_")):
