@@ -29,10 +29,17 @@ QueryBot5000::QueryBot5000(Config config)
   lock_wait_seconds_ = metrics_->GetHistogram("core.lock_wait_seconds");
 }
 
-Status QueryBot5000::Ingest(const std::string& sql, Timestamp ts, double count) {
+Status QueryBot5000::Ingest(std::string_view sql, Timestamp ts, double count) {
   std::unique_lock<std::shared_mutex> lock(*state_mu_);
   auto id = pre_.Ingest(sql, ts, count);
   return id.ok() ? Status::Ok() : id.status();
+}
+
+std::vector<TemplateId> QueryBot5000::IngestBatch(
+    std::span<const QueryArrival> arrivals) {
+  // The PreProcessor takes the lock itself: shared for the cache probe,
+  // exclusive only for the merge; normalize/parse phases run unlocked.
+  return pre_.IngestBatch(arrivals, state_mu_.get());
 }
 
 void QueryBot5000::IngestTemplatized(const TemplatizeOutput& templatized,

@@ -3,7 +3,9 @@
 #include <limits>
 #include <memory>
 #include <shared_mutex>
+#include <span>
 #include <string>
+#include <string_view>
 #include <vector>
 
 #include "clusterer/online_clusterer.h"
@@ -58,7 +60,22 @@ class QueryBot5000 {
   explicit QueryBot5000(Config config);
 
   /// Ingests one query arriving at `ts`.
-  Status Ingest(const std::string& sql, Timestamp ts, double count = 1.0);
+  Status Ingest(std::string_view sql, Timestamp ts, double count = 1.0);
+  Status Ingest(const std::string& sql,  // lint:string-ref-ok
+                Timestamp ts, double count = 1.0) {
+    return Ingest(std::string_view(sql), ts, count);
+  }
+  Status Ingest(const char* sql, Timestamp ts, double count = 1.0) {
+    return Ingest(std::string_view(sql), ts, count);
+  }
+
+  /// Batched, sharded ingest (DESIGN.md §11): normalize/parse phases run on
+  /// the thread pool outside the state lock; the merge holds it exclusively
+  /// once per batch instead of once per query. Returns the TemplateId per
+  /// arrival (0 = rejected, counted in preprocessor.parse_failures_total).
+  /// Bit-identical ids/histories/counters to per-query Ingest at any thread
+  /// count for integer-valued counts.
+  std::vector<TemplateId> IngestBatch(std::span<const QueryArrival> arrivals);
 
   /// Ingests an already-templatized arrival (bulk/generator path).
   void IngestTemplatized(const TemplatizeOutput& templatized, Timestamp ts,

@@ -1,8 +1,12 @@
 #pragma once
 
 #include <cstdint>
+#include <list>
 #include <map>
+#include <shared_mutex>
+#include <span>
 #include <string>
+#include <string_view>
 #include <unordered_map>
 #include <vector>
 
@@ -13,15 +17,30 @@
 #include "preprocessor/arrival_history.h"
 #include "preprocessor/reservoir_sampler.h"
 #include "preprocessor/templatizer.h"
+#include "sql/lexer.h"
 
 namespace qb5000 {
 
 /// Identifier assigned to each distinct (post-equivalence) query template.
 using TemplateId = int64_t;
 
+/// One raw-SQL arrival for the batched ingest path. `sql` is borrowed: it
+/// must stay alive for the duration of the IngestBatch call (the batch
+/// never outlives the caller's buffers).
+struct QueryArrival {
+  std::string_view sql;
+  Timestamp ts = 0;
+  double count = 1.0;
+};
+
 /// The Pre-Processor (Section 4): converts raw queries into templates,
 /// aggregates semantically-equivalent templates, tracks per-template arrival
 /// rate history, and keeps a reservoir sample of original parameters.
+///
+/// Ingest fast path (DESIGN.md §11): raw SQL is first reduced to a
+/// parameter-insensitive normalized key (sql::NormalizeQuery) and looked up
+/// in a bounded LRU cache; a hit maps straight to the TemplateId without
+/// parsing. Only cache misses pay for the full AST templatization.
 class PreProcessor {
  public:
   struct Options {
@@ -32,6 +51,14 @@ class PreProcessor {
     /// Minute-resolution history older than this is folded into hourly
     /// archives on CompactBefore().
     int64_t compaction_horizon_seconds = 7 * kSecondsPerDay;
+    /// Capacity (entries) of the raw-SQL -> template LRU cache; 0 disables
+    /// it and every Ingest takes the full parse path. The cache is
+    /// rebuildable state: it is never checkpointed and restores cold.
+    size_t template_cache_capacity = 4096;
+    /// Expected number of distinct templates; pre-sizes the fingerprint
+    /// map and the cache's hash buckets so steady-state ingest never
+    /// rehashes.
+    size_t expected_templates = 1024;
     /// Registry receiving `preprocessor.*` metrics; nullptr = the process
     /// global. QueryBot5000 overrides this with its per-instance registry.
     MetricsRegistry* metrics = nullptr;
@@ -59,8 +86,37 @@ class PreProcessor {
 
   /// Ingests one query arrival (or `count` identical arrivals at `ts`).
   /// Returns the id of the template the query maps to.
-  Result<TemplateId> Ingest(const std::string& sql, Timestamp ts,
+  Result<TemplateId> Ingest(std::string_view sql, Timestamp ts,
                             double count = 1.0);
+  /// Delegating overloads for ABI comfort (std::string callers pre-sweep)
+  /// and to keep string literals unambiguous next to the primary overload.
+  Result<TemplateId> Ingest(const std::string& sql,  // lint:string-ref-ok
+                            Timestamp ts, double count = 1.0) {
+    return Ingest(std::string_view(sql), ts, count);
+  }
+  Result<TemplateId> Ingest(const char* sql, Timestamp ts,
+                            double count = 1.0) {
+    return Ingest(std::string_view(sql), ts, count);
+  }
+
+  /// Batched, sharded ingest (DESIGN.md §11): normalizes every arrival on
+  /// the thread pool, stages them into per-shard buffers striped by
+  /// normalization hash, parses one representative per unknown template
+  /// outside the lock, then merges in shard-index order. Returns the
+  /// TemplateId per arrival, parallel to `arrivals`; 0 marks a rejected
+  /// statement (counted in preprocessor.parse_failures_total).
+  ///
+  /// `state_mu` is the owning controller's state lock (QueryBot5000 passes
+  /// its own): held shared during the read-only cache probe and exclusively
+  /// during the merge; normalize/parse phases run unlocked. nullptr means
+  /// the caller guarantees exclusive access for the whole call.
+  ///
+  /// Equivalence with the per-query path: template ids, fingerprints,
+  /// arrival histories, and counter totals are bit-identical at any thread
+  /// count for integer-valued `count`s; only the parameter-reservoir RNG
+  /// consumption order differs (samples remain valid draws).
+  std::vector<TemplateId> IngestBatch(std::span<const QueryArrival> arrivals,
+                                      std::shared_mutex* state_mu = nullptr);
 
   /// Ingests an already-templatized arrival. Trace generators use this to
   /// feed high query volumes without materializing every SQL string.
@@ -73,6 +129,9 @@ class PreProcessor {
 
   size_t num_templates() const { return templates_.size(); }
   double total_queries() const { return total_queries_; }
+
+  /// Number of entries currently in the template cache (tests/benchmarks).
+  size_t cache_size() const { return cache_.size(); }
 
   /// Number of queries ingested per statement type (Table 1 rows).
   double QueriesOfType(sql::StatementType type) const;
@@ -89,6 +148,7 @@ class PreProcessor {
 
   /// Drops templates that have received no queries since `cutoff`
   /// (Section 5.2 Step 2: stale template removal). Returns ids removed.
+  /// Cache entries mapping to evicted templates are invalidated.
   std::vector<TemplateId> EvictIdleTemplates(Timestamp cutoff);
 
   /// Approximate storage footprint of all arrival histories, in bytes.
@@ -100,9 +160,68 @@ class PreProcessor {
   Status RestoreTemplate(TemplateInfo info);
 
  private:
-  /// Every 2^k-th raw-SQL Ingest is latency-sampled (Table 4's
-  /// ms/query figure, live) so the two clock reads stay off most queries.
-  static constexpr uint64_t kTemplatizeSampleMask = 15;  ///< 1 in 16
+  /// Every 2^k-th raw-SQL Ingest is latency-sampled (Table 4's ms/query
+  /// figure, live) so the two clock reads stay off most queries. The
+  /// sampled call lands in ingest_seconds.hit or .miss according to how it
+  /// resolved; the ticker advances per call, so over a steady mix each
+  /// class is sampled at 1/16 of its own rate.
+  static constexpr uint64_t kIngestSampleMask = 15;  ///< 1 in 16
+
+  /// One LRU node: the owned key bytes plus their NormalizeQuery hash, so
+  /// eviction can erase the map entry without rehashing the key.
+  struct CacheNode {
+    std::string key;
+    uint64_t hash = 0;
+  };
+
+  /// Map key for the template cache: a borrowed view plus the hash the
+  /// normalizer already computed. The hasher just returns it — the map
+  /// never re-reads key bytes except for the final equality memcmp.
+  struct HashedKey {
+    std::string_view key;
+    uint64_t hash = 0;
+  };
+  struct HashedKeyHasher {
+    size_t operator()(const HashedKey& k) const {
+      return static_cast<size_t>(k.hash);
+    }
+  };
+  struct HashedKeyEq {
+    bool operator()(const HashedKey& a, const HashedKey& b) const {
+      return a.key == b.key;
+    }
+  };
+
+  /// Value side of the template cache. `lru_it` points at the owning key
+  /// node in cache_lru_ (std::list iterators survive splicing). `info`
+  /// shortcuts the templates_ lookup on every hit: std::map nodes are
+  /// pointer-stable, and CacheEraseIds drops entries before their template
+  /// is destroyed, so the pointer can never dangle.
+  struct CacheEntry {
+    TemplateId id = 0;
+    uint32_t param_count = 0;  ///< |parameters| of the miss that filled it
+    TemplateInfo* info = nullptr;
+    std::list<CacheNode>::iterator lru_it;
+  };
+
+  /// Read-only probe: no LRU update (safe under a shared lock).
+  const CacheEntry* CacheProbe(std::string_view key, uint64_t hash) const;
+  /// Hit probe: moves the entry to the LRU front.
+  CacheEntry* CacheTouch(std::string_view key, uint64_t hash);
+  /// Inserts (evicting the LRU tail at capacity). `key` is consumed.
+  void CacheInsert(std::string&& key, uint64_t hash, TemplateId id,
+                   uint32_t param_count, TemplateInfo* info);
+  /// Drops every cache entry whose template id is in `ids`.
+  void CacheEraseIds(const std::vector<TemplateId>& ids);
+
+  /// The cache-hit arrival path: identical per-template bookkeeping to
+  /// IngestTemplatized minus template creation. Parameters are sampled
+  /// from the normalized literals (token order, truncated to the template's
+  /// parameter count) so the reservoir RNG advances exactly as on the miss
+  /// path.
+  TemplateId IngestHit(const CacheEntry& entry,
+                       const std::vector<sql::Literal>& literals,
+                       Timestamp ts, double count);
 
   Options options_;
   Rng rng_;
@@ -112,6 +231,16 @@ class PreProcessor {
   double total_queries_ = 0;
   double queries_by_type_[4] = {0, 0, 0, 0};
 
+  /// Raw-SQL template cache: key nodes live in cache_lru_ (front = most
+  /// recently used); the map's string_view keys alias those nodes, so
+  /// lookups by borrowed key never allocate.
+  std::list<CacheNode> cache_lru_;
+  std::unordered_map<HashedKey, CacheEntry, HashedKeyHasher, HashedKeyEq>
+      cache_;
+
+  uint64_t ingest_calls_ = 0;      ///< latency-sampling ticker (not persisted)
+  sql::NormalizedQuery norm_scratch_;  ///< reused per-Ingest key buffers
+
   // Instrument handles (owned by the registry; see DESIGN.md §10).
   Counter* queries_total_ = nullptr;        ///< arrivals, weighted by count
   Counter* ingests_total_ = nullptr;        ///< Ingest/IngestTemplatized calls
@@ -120,9 +249,15 @@ class PreProcessor {
   Counter* parse_failures_total_ = nullptr;  ///< Templatize() rejected the SQL
   Counter* parse_fallback_total_ = nullptr;  ///< token-level fallback used
   Counter* compactions_total_ = nullptr;
+  Counter* cache_hits_total_ = nullptr;      ///< raw ingests served by cache
+  Counter* cache_misses_total_ = nullptr;    ///< raw ingests that full-parsed
+  Counter* cache_evictions_total_ = nullptr; ///< LRU capacity evictions
+  Counter* batches_total_ = nullptr;         ///< IngestBatch calls
   Gauge* templates_gauge_ = nullptr;
   Gauge* history_bytes_gauge_ = nullptr;
-  Histogram* templatize_seconds_ = nullptr;  ///< sampled (1 in 16)
+  Histogram* ingest_hit_seconds_ = nullptr;   ///< sampled (1 in 16)
+  Histogram* ingest_miss_seconds_ = nullptr;  ///< sampled (1 in 16)
+  Histogram* batch_ingest_seconds_ = nullptr; ///< whole-batch latency
 };
 
 }  // namespace qb5000

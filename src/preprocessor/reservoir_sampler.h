@@ -17,14 +17,24 @@ class ReservoirSampler {
 
   /// Offers one item; it is kept with probability capacity / items_seen.
   void Add(T item, Rng& rng) {
+    AddLazy(rng, [&]() -> T&& { return std::move(item); });
+  }
+
+  /// Add() with deferred materialization: `make` is invoked only when the
+  /// item is actually kept, so a full reservoir (the steady state) skips
+  /// the item's construction cost entirely. Draw-for-draw identical to
+  /// Add(): the RNG advances exactly once per offer once the reservoir is
+  /// full, whether or not the item is kept.
+  template <typename MakeItem>
+  void AddLazy(Rng& rng, MakeItem&& make) {
     ++seen_;
     if (items_.size() < capacity_) {
-      items_.push_back(std::move(item));
+      items_.push_back(make());
       return;
     }
     uint64_t slot = static_cast<uint64_t>(
         rng.UniformInt(0, static_cast<int64_t>(seen_) - 1));
-    if (slot < capacity_) items_[slot] = std::move(item);
+    if (slot < capacity_) items_[slot] = make();
   }
 
   const std::vector<T>& items() const { return items_; }

@@ -33,11 +33,14 @@ class Snapshot {
   /// (common/io.h): binary mode, temp-file + fsync + rename, every stream
   /// and disk error (full disk, permissions) surfaced as a Status instead
   /// of silently succeeding. `env == nullptr` means Env::Default().
-  static Status SaveToFile(const PreProcessor& pre, const std::string& path,
+  // Paths stay const std::string&: the io layer's signatures take owned
+  // strings and this is a cold path (one call per checkpoint).
+  static Status SaveToFile(const PreProcessor& pre,
+                           const std::string& path,  // lint:string-ref-ok
                            Env* env = nullptr);
-  static Result<PreProcessor> LoadFromFile(const std::string& path,
-                                           PreProcessor::Options options,
-                                           Env* env = nullptr);
+  static Result<PreProcessor> LoadFromFile(
+      const std::string& path,  // lint:string-ref-ok
+      PreProcessor::Options options, Env* env = nullptr);
 };
 
 }  // namespace qb5000

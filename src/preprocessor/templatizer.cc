@@ -2,7 +2,9 @@
 
 #include <algorithm>
 #include <set>
+#include <string_view>
 
+#include "common/arena.h"
 #include "common/strings.h"
 #include "sql/lexer.h"
 #include "sql/parser.h"
@@ -157,8 +159,11 @@ std::vector<std::string> CollectTables(const Statement& stmt) {
 /// Token-level fallback for statements outside the parsed dialect: strip
 /// literal tokens, rebuild normalized text, and fingerprint on the token
 /// sequence. Keeps templatization total over arbitrary SQL.
-Result<TemplatizeOutput> TemplatizeFallback(const std::string& sql) {
-  auto tokens = sql::Tokenize(sql);
+Result<TemplatizeOutput> TemplatizeFallback(std::string_view sql) {
+  // The tokens only live for this function; a small local arena backs any
+  // rewritten token text.
+  Arena arena;
+  auto tokens = sql::Tokenize(sql, &arena);
   if (!tokens.ok()) return tokens.status();
   if (tokens->size() <= 1) {  // only the end-of-input marker
     return Status::InvalidArgument("empty statement");
@@ -171,19 +176,22 @@ Result<TemplatizeOutput> TemplatizeFallback(const std::string& sql) {
     std::string piece;
     switch (token.type) {
       case sql::TokenType::kInteger:
-        out.parameters.push_back({sql::LiteralType::kInteger, token.text});
+        out.parameters.push_back(
+            {sql::LiteralType::kInteger, std::string(token.text)});
         piece = "?";
         break;
       case sql::TokenType::kFloat:
-        out.parameters.push_back({sql::LiteralType::kFloat, token.text});
+        out.parameters.push_back(
+            {sql::LiteralType::kFloat, std::string(token.text)});
         piece = "?";
         break;
       case sql::TokenType::kString:
-        out.parameters.push_back({sql::LiteralType::kString, token.text});
+        out.parameters.push_back(
+            {sql::LiteralType::kString, std::string(token.text)});
         piece = "?";
         break;
       default:
-        piece = token.text;
+        piece = std::string(token.text);
         break;
     }
     if (!text.empty() && piece != "," && piece != ")" && piece != "." &&
@@ -195,7 +203,7 @@ Result<TemplatizeOutput> TemplatizeFallback(const std::string& sql) {
   out.template_text = text;
   out.fingerprint = "RAW|" + text;
   if (!tokens->empty() && (*tokens)[0].type == sql::TokenType::kKeyword) {
-    const std::string& kw = (*tokens)[0].text;
+    std::string_view kw = (*tokens)[0].text;
     if (kw == "INSERT") out.type = StatementType::kInsert;
     else if (kw == "UPDATE") out.type = StatementType::kUpdate;
     else if (kw == "DELETE") out.type = StatementType::kDelete;
@@ -205,7 +213,7 @@ Result<TemplatizeOutput> TemplatizeFallback(const std::string& sql) {
 
 }  // namespace
 
-Result<TemplatizeOutput> Templatize(const std::string& sql) {
+Result<TemplatizeOutput> Templatize(std::string_view sql) {
   auto parsed = sql::Parse(sql);
   if (!parsed.ok()) return TemplatizeFallback(sql);
   Statement stmt = std::move(parsed.value());

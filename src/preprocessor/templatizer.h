@@ -1,6 +1,7 @@
 #pragma once
 
 #include <string>
+#include <string_view>
 #include <vector>
 
 #include "common/status.h"
@@ -35,6 +36,6 @@ struct TemplatizeOutput {
 /// Templatizes a SQL statement. Falls back to token-level constant stripping
 /// when the statement does not parse under the supported dialect, so the
 /// Pre-Processor never drops a query on the floor.
-Result<TemplatizeOutput> Templatize(const std::string& sql);
+Result<TemplatizeOutput> Templatize(std::string_view sql);
 
 }  // namespace qb5000

@@ -1,9 +1,18 @@
 #include "sql/ast.h"
 
+#include "common/arena.h"
+
 namespace qb5000::sql {
 
+ExprPtr NewExpr(Arena* arena) {
+  if (arena == nullptr) return ExprPtr(new Expr());
+  Expr* e = arena->Make<Expr>();
+  e->arena_owned = true;
+  return ExprPtr(e);
+}
+
 ExprPtr Expr::Clone() const {
-  auto out = std::make_unique<Expr>();
+  ExprPtr out = NewExpr();
   out->kind = kind;
   out->table = table;
   out->column = column;
@@ -19,29 +28,29 @@ ExprPtr Expr::Clone() const {
   return out;
 }
 
-ExprPtr MakeColumnRef(std::string table, std::string column) {
-  auto e = std::make_unique<Expr>();
+ExprPtr MakeColumnRef(std::string table, std::string column, Arena* arena) {
+  ExprPtr e = NewExpr(arena);
   e->kind = ExprKind::kColumnRef;
   e->table = std::move(table);
   e->column = std::move(column);
   return e;
 }
 
-ExprPtr MakeLiteral(Literal literal) {
-  auto e = std::make_unique<Expr>();
+ExprPtr MakeLiteral(Literal literal, Arena* arena) {
+  ExprPtr e = NewExpr(arena);
   e->kind = ExprKind::kLiteral;
   e->literal = std::move(literal);
   return e;
 }
 
-ExprPtr MakePlaceholder() {
-  auto e = std::make_unique<Expr>();
+ExprPtr MakePlaceholder(Arena* arena) {
+  ExprPtr e = NewExpr(arena);
   e->kind = ExprKind::kPlaceholder;
   return e;
 }
 
-ExprPtr MakeBinary(std::string op, ExprPtr left, ExprPtr right) {
-  auto e = std::make_unique<Expr>();
+ExprPtr MakeBinary(std::string op, ExprPtr left, ExprPtr right, Arena* arena) {
+  ExprPtr e = NewExpr(arena);
   e->kind = ExprKind::kBinary;
   e->op = std::move(op);
   e->left = std::move(left);

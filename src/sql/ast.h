@@ -5,6 +5,10 @@
 #include <string>
 #include <vector>
 
+namespace qb5000 {
+class Arena;
+}  // namespace qb5000
+
 namespace qb5000::sql {
 
 /// Literal value kinds appearing in SQL text.
@@ -30,10 +34,22 @@ enum class ExprKind {
 };
 
 struct Expr;
-using ExprPtr = std::unique_ptr<Expr>;
+
+/// Deleter behind ExprPtr: heap nodes are deleted, arena nodes are left for
+/// their Arena to finalize (the arena registered ~Expr at creation and runs
+/// it exactly once at teardown). This lets the parser bump-allocate nodes
+/// while every existing ExprPtr consumer keeps ordinary ownership semantics.
+struct ExprDelete {
+  void operator()(Expr* e) const;
+};
+using ExprPtr = std::unique_ptr<Expr, ExprDelete>;
 
 struct Expr {
   ExprKind kind = ExprKind::kLiteral;
+
+  /// True when the node's storage and destructor belong to an Arena;
+  /// ExprDelete must not delete it. Set only by NewExpr(arena).
+  bool arena_owned = false;
 
   // kColumnRef
   std::string table;   ///< optional qualifier
@@ -56,14 +72,23 @@ struct Expr {
 
   bool negated = false;  ///< NOT IN / NOT BETWEEN / NOT LIKE
 
-  /// Deep copy.
+  /// Deep copy (always heap-allocated, even when `this` is arena-owned).
   ExprPtr Clone() const;
 };
 
-ExprPtr MakeColumnRef(std::string table, std::string column);
-ExprPtr MakeLiteral(Literal literal);
-ExprPtr MakePlaceholder();
-ExprPtr MakeBinary(std::string op, ExprPtr left, ExprPtr right);
+inline void ExprDelete::operator()(Expr* e) const {
+  if (e != nullptr && !e->arena_owned) delete e;
+}
+
+/// Allocates a blank node from `arena`, or from the heap when nullptr.
+ExprPtr NewExpr(Arena* arena = nullptr);
+
+ExprPtr MakeColumnRef(std::string table, std::string column,
+                      Arena* arena = nullptr);
+ExprPtr MakeLiteral(Literal literal, Arena* arena = nullptr);
+ExprPtr MakePlaceholder(Arena* arena = nullptr);
+ExprPtr MakeBinary(std::string op, ExprPtr left, ExprPtr right,
+                   Arena* arena = nullptr);
 
 struct TableRef {
   std::string table;
@@ -121,6 +146,11 @@ enum class StatementType { kSelect, kInsert, kUpdate, kDelete };
 /// A parsed SQL statement. Exactly one of the four bodies is non-null,
 /// matching `type`.
 struct Statement {
+  /// The arena owning this statement's Expr nodes (null for trees built
+  /// entirely on the heap). Declared first: members are destroyed in
+  /// reverse declaration order, so the bodies — and every ExprPtr they
+  /// hold — go away before the arena finalizes the nodes' storage.
+  std::shared_ptr<Arena> arena;
   StatementType type = StatementType::kSelect;
   std::unique_ptr<SelectStatement> select;
   std::unique_ptr<InsertStatement> insert;

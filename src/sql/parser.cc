@@ -1,8 +1,9 @@
 #include "sql/parser.h"
 
 #include <cctype>
-#include <cstdlib>
+#include <charconv>
 
+#include "common/arena.h"
 #include "sql/lexer.h"
 
 namespace qb5000::sql {
@@ -12,7 +13,8 @@ namespace {
 /// SQL precedence: OR < AND < NOT < comparison < additive < multiplicative.
 class Parser {
  public:
-  explicit Parser(std::vector<Token> tokens) : tokens_(std::move(tokens)) {}
+  Parser(std::vector<Token> tokens, Arena* arena)
+      : tokens_(std::move(tokens)), arena_(arena) {}
 
   Result<Statement> ParseStatement() {
     Statement stmt;
@@ -68,7 +70,7 @@ class Parser {
 
   Result<std::string> ExpectIdentifier() {
     if (!Check(TokenType::kIdentifier)) return Error("expected identifier");
-    return Advance().text;
+    return std::string(Advance().text);
   }
 
   Status Expect(TokenType type, const char* what) {
@@ -92,7 +94,7 @@ class Parser {
     while (MatchKeyword("OR")) {
       auto right = ParseAnd();
       if (!right.ok()) return right.status();
-      node = MakeBinary("OR", std::move(node), std::move(right.value()));
+      node = MakeBinary("OR", std::move(node), std::move(right.value()), arena_);
     }
     return node;
   }
@@ -104,7 +106,7 @@ class Parser {
     while (MatchKeyword("AND")) {
       auto right = ParseNot();
       if (!right.ok()) return right.status();
-      node = MakeBinary("AND", std::move(node), std::move(right.value()));
+      node = MakeBinary("AND", std::move(node), std::move(right.value()), arena_);
     }
     return node;
   }
@@ -113,7 +115,7 @@ class Parser {
     if (MatchKeyword("NOT")) {
       auto operand = ParseNot();
       if (!operand.ok()) return operand.status();
-      auto node = std::make_unique<Expr>();
+      ExprPtr node = NewExpr(arena_);
       node->kind = ExprKind::kUnary;
       node->op = "NOT";
       node->left = std::move(operand.value());
@@ -141,7 +143,7 @@ class Parser {
     if (MatchKeyword("IN")) {
       auto st = Expect(TokenType::kLeftParen, "(");
       if (!st.ok()) return st;
-      auto in = std::make_unique<Expr>();
+      ExprPtr in = NewExpr(arena_);
       in->kind = ExprKind::kInList;
       in->negated = negated;
       in->left = std::move(node);
@@ -162,7 +164,7 @@ class Parser {
       if (!st.ok()) return st;
       auto hi = ParseAdditive();
       if (!hi.ok()) return hi.status();
-      auto between = std::make_unique<Expr>();
+      ExprPtr between = NewExpr(arena_);
       between->kind = ExprKind::kBetween;
       between->negated = negated;
       between->left = std::move(node);
@@ -174,7 +176,7 @@ class Parser {
     if (MatchKeyword("LIKE")) {
       auto pattern = ParseAdditive();
       if (!pattern.ok()) return pattern.status();
-      auto like = MakeBinary("LIKE", std::move(node), std::move(pattern.value()));
+      auto like = MakeBinary("LIKE", std::move(node), std::move(pattern.value()), arena_);
       like->negated = negated;
       return like;
     }
@@ -183,7 +185,7 @@ class Parser {
       bool is_not = MatchKeyword("NOT");
       auto st = ExpectKeyword("NULL");
       if (!st.ok()) return st;
-      auto is_null = std::make_unique<Expr>();
+      ExprPtr is_null = NewExpr(arena_);
       is_null->kind = ExprKind::kUnary;
       is_null->op = is_not ? "IS NOT NULL" : "IS NULL";
       is_null->left = std::move(node);
@@ -191,14 +193,14 @@ class Parser {
     }
 
     if (Check(TokenType::kOperator)) {
-      const std::string& op = Peek().text;
+      std::string_view op = Peek().text;
       if (op == "=" || op == "<>" || op == "<" || op == "<=" || op == ">" ||
           op == ">=") {
-        std::string saved = op;
+        std::string saved(op);
         ++pos_;
         auto right = ParseAdditive();
         if (!right.ok()) return right.status();
-        return MakeBinary(saved, std::move(node), std::move(right.value()));
+        return MakeBinary(saved, std::move(node), std::move(right.value()), arena_);
       }
     }
     return node;
@@ -210,10 +212,10 @@ class Parser {
     ExprPtr node = std::move(left.value());
     while (Check(TokenType::kOperator) &&
            (Peek().text == "+" || Peek().text == "-" || Peek().text == "||")) {
-      std::string op = Advance().text;
+      std::string op(Advance().text);
       auto right = ParseMultiplicative();
       if (!right.ok()) return right.status();
-      node = MakeBinary(op, std::move(node), std::move(right.value()));
+      node = MakeBinary(op, std::move(node), std::move(right.value()), arena_);
     }
     return node;
   }
@@ -224,10 +226,10 @@ class Parser {
     ExprPtr node = std::move(left.value());
     while (Check(TokenType::kOperator) &&
            (Peek().text == "*" || Peek().text == "/" || Peek().text == "%")) {
-      std::string op = Advance().text;
+      std::string op(Advance().text);
       auto right = ParsePrimary();
       if (!right.ok()) return right.status();
-      node = MakeBinary(op, std::move(node), std::move(right.value()));
+      node = MakeBinary(op, std::move(node), std::move(right.value()), arena_);
     }
     return node;
   }
@@ -257,7 +259,7 @@ class Parser {
         operand.value()->literal.text = "-" + operand.value()->literal.text;
         return std::move(operand.value());
       }
-      auto node = std::make_unique<Expr>();
+      ExprPtr node = NewExpr(arena_);
       node->kind = ExprKind::kUnary;
       node->op = "-";
       node->left = std::move(operand.value());
@@ -276,42 +278,42 @@ class Parser {
       lit.type = tok.type == TokenType::kInteger ? LiteralType::kInteger
                                                  : LiteralType::kFloat;
       lit.text = tok.text;
-      return MakeLiteral(std::move(lit));
+      return MakeLiteral(std::move(lit), arena_);
     }
     if (Check(TokenType::kString)) {
       Literal lit;
       lit.type = LiteralType::kString;
       lit.text = Advance().text;
-      return MakeLiteral(std::move(lit));
+      return MakeLiteral(std::move(lit), arena_);
     }
     if (Check(TokenType::kPlaceholder)) {
       ++pos_;
-      return MakePlaceholder();
+      return MakePlaceholder(arena_);
     }
     if (MatchKeyword("NULL")) {
       Literal lit;
       lit.type = LiteralType::kNull;
-      return MakeLiteral(std::move(lit));
+      return MakeLiteral(std::move(lit), arena_);
     }
     if (CheckKeyword("TRUE") || CheckKeyword("FALSE")) {
       Literal lit;
       lit.type = LiteralType::kBoolean;
       lit.text = Advance().text;
-      return MakeLiteral(std::move(lit));
+      return MakeLiteral(std::move(lit), arena_);
     }
     if (Check(TokenType::kOperator) && Peek().text == "*") {
       ++pos_;
-      auto star = std::make_unique<Expr>();
+      ExprPtr star = NewExpr(arena_);
       star->kind = ExprKind::kStar;
       return ExprPtr(std::move(star));
     }
     // Aggregate functions lexed as keywords.
     if (CheckKeyword("COUNT") || CheckKeyword("SUM") || CheckKeyword("AVG") ||
         CheckKeyword("MIN") || CheckKeyword("MAX")) {
-      std::string func = Advance().text;
+      std::string func(Advance().text);
       auto st = Expect(TokenType::kLeftParen, "(");
       if (!st.ok()) return st;
-      auto call = std::make_unique<Expr>();
+      ExprPtr call = NewExpr(arena_);
       call->kind = ExprKind::kFuncCall;
       call->func = func;
       call->distinct = MatchKeyword("DISTINCT");
@@ -327,11 +329,11 @@ class Parser {
       return ExprPtr(std::move(call));
     }
     if (Check(TokenType::kIdentifier)) {
-      std::string name = Advance().text;
+      std::string name(Advance().text);
       // Scalar function call.
       if (Check(TokenType::kLeftParen)) {
         ++pos_;
-        auto call = std::make_unique<Expr>();
+        ExprPtr call = NewExpr(arena_);
         call->kind = ExprKind::kFuncCall;
         std::string upper;
         for (char c : name) upper += static_cast<char>(std::toupper(c));
@@ -351,18 +353,18 @@ class Parser {
       if (Match(TokenType::kDot)) {
         if (Check(TokenType::kOperator) && Peek().text == "*") {
           ++pos_;
-          auto star = std::make_unique<Expr>();
+          ExprPtr star = NewExpr(arena_);
           star->kind = ExprKind::kStar;
           star->table = name;
           return ExprPtr(std::move(star));
         }
         auto col = ExpectIdentifier();
         if (!col.ok()) return col.status();
-        return MakeColumnRef(name, std::move(col.value()));
+        return MakeColumnRef(name, std::move(col.value()), arena_);
       }
-      return MakeColumnRef("", std::move(name));
+      return MakeColumnRef("", std::move(name), arena_);
     }
-    return Error("unexpected token '" + Peek().text + "'");
+    return Error("unexpected token '" + std::string(Peek().text) + "'");
   }
 
   // ---- clauses ----------------------------------------------------------
@@ -488,11 +490,11 @@ class Parser {
     }
     if (MatchKeyword("LIMIT")) {
       if (!Check(TokenType::kInteger)) return Error("expected LIMIT count");
-      select.limit = std::strtoll(Advance().text.c_str(), nullptr, 10);
+      select.limit = ParseInt64(Advance().text);
     }
     if (MatchKeyword("OFFSET")) {
       if (!Check(TokenType::kInteger)) return Error("expected OFFSET count");
-      select.offset = std::strtoll(Advance().text.c_str(), nullptr, 10);
+      select.offset = ParseInt64(Advance().text);
     }
     return select;
   }
@@ -572,6 +574,12 @@ class Parser {
     return del;
   }
 
+  static int64_t ParseInt64(std::string_view digits) {
+    int64_t value = 0;
+    std::from_chars(digits.data(), digits.data() + digits.size(), value);
+    return value;
+  }
+
   /// Bound on ParsePrimary recursion. Must admit 200 nested parens (the
   /// executor-robustness contract) — each paren level re-enters ParsePrimary
   /// through the full precedence chain — while keeping worst-case stack use
@@ -579,17 +587,26 @@ class Parser {
   static constexpr int kMaxExprDepth = 512;
 
   std::vector<Token> tokens_;
+  Arena* arena_ = nullptr;
   size_t pos_ = 0;
   int expr_depth_ = 0;
 };
 
 }  // namespace
 
-Result<Statement> Parse(const std::string& sql) {
-  auto tokens = Tokenize(sql);
+Result<Statement> Parse(std::string_view sql) {
+  // One arena per parse: the lexer's rewritten token text and every AST
+  // node the parser builds live there, so a cold parse does O(blocks)
+  // allocations instead of one per node. The statement keeps the arena
+  // alive for as long as its nodes are reachable.
+  auto arena = std::make_shared<Arena>();
+  auto tokens = Tokenize(sql, arena.get());
   if (!tokens.ok()) return tokens.status();
-  Parser parser(std::move(tokens.value()));
-  return parser.ParseStatement();
+  Parser parser(std::move(tokens.value()), arena.get());
+  auto stmt = parser.ParseStatement();
+  if (!stmt.ok()) return stmt.status();
+  stmt.value().arena = std::move(arena);
+  return std::move(stmt.value());
 }
 
 }  // namespace qb5000::sql

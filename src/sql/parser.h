@@ -1,6 +1,6 @@
 #pragma once
 
-#include <string>
+#include <string_view>
 
 #include "common/status.h"
 #include "sql/ast.h"
@@ -10,6 +10,8 @@ namespace qb5000::sql {
 /// Parses one SQL statement (SELECT / INSERT / UPDATE / DELETE). A trailing
 /// semicolon is accepted. Returns a ParseError status on malformed input;
 /// the Pre-Processor falls back to token-level templatization in that case.
-Result<Statement> Parse(const std::string& sql);
+/// The returned Statement owns the per-parse Arena its Expr nodes live in;
+/// `sql` itself is not referenced after Parse returns.
+Result<Statement> Parse(std::string_view sql);
 
 }  // namespace qb5000::sql

@@ -1,6 +1,7 @@
 #pragma once
 
-#include <string>
+#include <cstddef>
+#include <string_view>
 
 namespace qb5000::sql {
 
@@ -21,13 +22,18 @@ enum class TokenType {
   kEnd,
 };
 
+/// A lexed token. `text` is zero-copy: it aliases either the source SQL
+/// (already-normalized spans), a static canonical string (keywords,
+/// placeholders), or the Arena passed to Tokenize (spans that needed
+/// rewriting, e.g. mixed-case identifiers or escaped string literals). It is
+/// valid only while both the source string and that arena are alive.
 struct Token {
   TokenType type;
-  std::string text;
+  std::string_view text;
   size_t position;  ///< byte offset in the source string, for error messages
 };
 
 /// True if `word` (uppercase) is a reserved keyword of the dialect.
-bool IsKeyword(const std::string& upper_word);
+bool IsKeyword(std::string_view upper_word);
 
 }  // namespace qb5000::sql

@@ -484,5 +484,53 @@ TEST(CheckpointTest, CheckpointConcurrentWithForecasting) {
   SetThreadCount(saved_threads);
 }
 
+// The raw-SQL template cache (DESIGN.md §11) is rebuildable state: it is
+// never serialized, restores cold regardless of the configured capacity,
+// and rebuilds transparently — re-ingested SQL maps to the restored
+// template ids, so RestoreReport semantics are unchanged by the cache.
+TEST(CheckpointTest, TemplateCacheRestoresColdAndRebuilds) {
+  const std::string path = TestDir() + "/cache_cold.qbc";
+  RemoveAllVersions(Env::Default(), path);
+  QueryBot5000::Config config = FastConfig();
+  config.preprocessor.template_cache_capacity = 128;
+  config.preprocessor.expected_templates = 64;
+  QueryBot5000 original = MakeTrainedBot(config, 3 * kSecondsPerDay, 11);
+
+  // Populate the cache through the raw-SQL path and remember the mapping.
+  const std::string sql = "SELECT route_name FROM routes WHERE route_id = 5";
+  auto id = original.mutable_preprocessor().Ingest(sql, 3 * kSecondsPerDay);
+  ASSERT_TRUE(id.ok());
+  ASSERT_GT(original.preprocessor().cache_size(), 0u);
+
+  ASSERT_TRUE(original.Checkpoint(path).ok());
+  RestoreReport report;
+  auto restored = QueryBot5000::Restore(path, config, nullptr, &report);
+  ASSERT_TRUE(restored.ok()) << restored.status().ToString();
+  // A clean restore stays clean: the cache adds no degradation modes.
+  EXPECT_FALSE(report.used_backup);
+  EXPECT_FALSE(report.reclustered);
+  EXPECT_FALSE(report.controller_defaults);
+  EXPECT_TRUE(report.forecaster_trained) << report.detail;
+
+  // Cold cache, intact templates.
+  EXPECT_EQ(restored->preprocessor().cache_size(), 0u);
+  EXPECT_EQ(restored->preprocessor().num_templates(),
+            original.preprocessor().num_templates());
+
+  // The first re-ingest misses and refills the cache with the restored id;
+  // a literal-rewritten repeat then hits and maps to the same template.
+  auto remiss = restored->mutable_preprocessor().Ingest(
+      sql, 3 * kSecondsPerDay + kSecondsPerMinute);
+  ASSERT_TRUE(remiss.ok());
+  EXPECT_EQ(remiss.value(), id.value());
+  EXPECT_EQ(restored->preprocessor().cache_size(), 1u);
+  auto rehit = restored->mutable_preprocessor().Ingest(
+      "SELECT route_name FROM routes WHERE route_id = 99",
+      3 * kSecondsPerDay + 2 * kSecondsPerMinute);
+  ASSERT_TRUE(rehit.ok());
+  EXPECT_EQ(rehit.value(), id.value());
+  EXPECT_EQ(restored->preprocessor().cache_size(), 1u);
+}
+
 }  // namespace
 }  // namespace qb5000

@@ -13,6 +13,7 @@
 #include <gtest/gtest.h>
 
 #include "common/thread_pool.h"
+#include "preprocessor/preprocessor.h"
 
 namespace qb5000 {
 namespace {
@@ -282,6 +283,75 @@ TEST(Metrics, ConcurrentRegistrationConverges) {
   if (kMetricsEnabled) {
     EXPECT_EQ(registry.GetCounter("race.0")->value(), kLanes);
   }
+}
+
+// ---------------------------------------------------------------------------
+// Ingest instrumentation (DESIGN.md §11): hit/miss counters are exact, and
+// the 1-in-16 latency sampling ticks per Ingest call — not per metric value
+// — so each resolution class lands in its own histogram at the right rate.
+// ---------------------------------------------------------------------------
+
+TEST(Metrics, IngestHitMissCountersAreExact) {
+  if (!kMetricsEnabled) GTEST_SKIP() << "metrics disabled at compile time";
+  MetricsRegistry registry;
+  PreProcessor::Options options;
+  options.metrics = &registry;
+  PreProcessor pre(options);
+
+  // 1 miss (first sight) + 32 hits of the same template; literal values
+  // vary so the raw strings differ while the normalized key does not.
+  ASSERT_TRUE(pre.Ingest("SELECT * FROM t WHERE x = 0", 0).ok());
+  for (int i = 1; i <= 32; ++i) {
+    std::string sql = "SELECT * FROM t WHERE x = " + std::to_string(i);
+    ASSERT_TRUE(pre.Ingest(sql, i).ok());
+  }
+  EXPECT_EQ(registry.GetCounter("preprocessor.cache_misses_total")->value(), 1u);
+  EXPECT_EQ(registry.GetCounter("preprocessor.cache_hits_total")->value(), 32u);
+  EXPECT_EQ(registry.GetCounter("preprocessor.ingests_total")->value(), 33u);
+  // One reject: normalization fails, neither hit nor miss moves.
+  EXPECT_FALSE(pre.Ingest("SELECT 'oops", 40).ok());
+  EXPECT_EQ(registry.GetCounter("preprocessor.parse_failures_total")->value(), 1u);
+  EXPECT_EQ(registry.GetCounter("preprocessor.cache_misses_total")->value(), 1u);
+  EXPECT_EQ(registry.GetCounter("preprocessor.cache_hits_total")->value(), 32u);
+
+  // Sampling: calls 0, 16, 32 were measured (ticker & 15 == 0). Call 0 was
+  // the miss; calls 16 and 32 were hits. The reject at call 33 ticked the
+  // ticker but observed nothing.
+  EXPECT_EQ(registry.GetHistogram("preprocessor.ingest_seconds.miss")->count(), 1u);
+  EXPECT_EQ(registry.GetHistogram("preprocessor.ingest_seconds.hit")->count(), 2u);
+}
+
+TEST(Metrics, IngestMissSamplingCoversAllMissWorkloads) {
+  if (!kMetricsEnabled) GTEST_SKIP() << "metrics disabled at compile time";
+  MetricsRegistry registry;
+  PreProcessor::Options options;
+  options.metrics = &registry;
+  PreProcessor pre(options);
+
+  // 33 distinct templates: every ingest is a miss; ticks 0, 16, 32 sampled.
+  for (int i = 0; i < 33; ++i) {
+    std::string sql = "SELECT * FROM t" + std::to_string(i) + " WHERE x = 1";
+    ASSERT_TRUE(pre.Ingest(sql, i).ok());
+  }
+  EXPECT_EQ(registry.GetCounter("preprocessor.cache_misses_total")->value(), 33u);
+  EXPECT_EQ(registry.GetCounter("preprocessor.cache_hits_total")->value(), 0u);
+  EXPECT_EQ(registry.GetHistogram("preprocessor.ingest_seconds.miss")->count(), 3u);
+  EXPECT_EQ(registry.GetHistogram("preprocessor.ingest_seconds.hit")->count(), 0u);
+}
+
+TEST(Metrics, CacheDisabledCountsEverythingAsMiss) {
+  if (!kMetricsEnabled) GTEST_SKIP() << "metrics disabled at compile time";
+  MetricsRegistry registry;
+  PreProcessor::Options options;
+  options.metrics = &registry;
+  options.template_cache_capacity = 0;
+  PreProcessor pre(options);
+  for (int i = 0; i < 5; ++i) {
+    ASSERT_TRUE(pre.Ingest("SELECT * FROM t WHERE x = 1", i).ok());
+  }
+  EXPECT_EQ(registry.GetCounter("preprocessor.cache_misses_total")->value(), 5u);
+  EXPECT_EQ(registry.GetCounter("preprocessor.cache_hits_total")->value(), 0u);
+  EXPECT_EQ(pre.cache_size(), 0u);
 }
 
 }  // namespace

@@ -5,6 +5,7 @@
 
 #include <gtest/gtest.h>
 
+#include "common/arena.h"
 #include "common/rng.h"
 #include "core/qb5000.h"
 #include "dbms/database.h"
@@ -73,7 +74,8 @@ TEST_P(ParserFuzz, MutatedValidSqlNeverCrashes) {
           break;
       }
     }
-    auto tokens = sql::Tokenize(sql);  // must not crash
+    Arena arena;
+    auto tokens = sql::Tokenize(sql, &arena);  // must not crash
     auto result = sql::Parse(sql);     // must not crash
     (void)tokens;
     (void)result;

@@ -1,11 +1,24 @@
+#include <memory>
+#include <vector>
+
 #include <gtest/gtest.h>
 
+#include "common/arena.h"
 #include "sql/lexer.h"
 #include "sql/parser.h"
 #include "sql/printer.h"
 
 namespace qb5000::sql {
 namespace {
+
+/// Test shim: tokens returned here view a per-call Arena kept alive for the
+/// test process (token text is only valid while its arena lives).
+Result<std::vector<Token>> Tokenize(std::string_view sql) {
+  static std::vector<std::unique_ptr<Arena>>* arenas =
+      new std::vector<std::unique_ptr<Arena>>();
+  arenas->push_back(std::make_unique<Arena>());
+  return sql::Tokenize(sql, arenas->back().get());
+}
 
 std::string RoundTrip(const std::string& in) {
   auto stmt = Parse(in);

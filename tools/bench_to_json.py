@@ -66,7 +66,11 @@ def main():
     parser.add_argument(
         "bench_args", nargs="*", help="extra args forwarded to the binary"
     )
-    args = parser.parse_args()
+    # parse_known_args so option-like extras (--benchmark_min_time=0.1x)
+    # forward to the binary instead of tripping argparse; a leading "--"
+    # separator is accepted and dropped.
+    args, unknown = parser.parse_known_args()
+    args.bench_args = [a for a in args.bench_args if a != "--"] + unknown
 
     if not os.path.exists(args.binary):
         sys.exit(f"error: no such binary: {args.binary}")

@@ -21,6 +21,11 @@ Checks (stdlib-only, no compiler needed):
                      src/common/ — use Stopwatch / ScopedTimer
                      (common/metrics.h) so timing feeds the metrics layer
                      and respects the QB5000_METRICS kill switch
+  string-ref-param   no `const std::string&` parameters in headers under
+                     src/sql/ or src/preprocessor/ (the ingest hot path) —
+                     take std::string_view so callers with borrowed bytes
+                     never materialize a std::string; suppress deliberate
+                     exceptions with a `lint:string-ref-ok` comment
   missing-include    files that use a known symbol must include its header
                      (QB_CHECK -> common/check.h, assert -> <cassert>, ...)
 
@@ -61,6 +66,14 @@ RAW_CHRONO_ALLOWLIST_PREFIX = "src/common/"
 
 RAW_CHRONO_RE = re.compile(
     r"\bstd::chrono::(steady_clock|high_resolution_clock|system_clock)::now\b")
+
+# Headers on the ingest hot path must not force callers to own a
+# std::string. Matches a `const std::string&` followed by a parameter name
+# (a return type is followed by `(` and is not matched). Suppress a
+# deliberate exception with a `lint:string-ref-ok` comment on the line.
+STRING_REF_PARAM_DIRS = ("src/sql/", "src/preprocessor/")
+STRING_REF_PARAM_RE = re.compile(r"const\s+std::string\s*&\s*\w+(?![\w(])")
+STRING_REF_SUPPRESS = "lint:string-ref-ok"
 
 BANNED_FUNCTIONS = {
     "rand": "use qb5000::Rng (common/rng.h) for seedable, reproducible draws",
@@ -214,7 +227,18 @@ def lint_file(path, rel, fix):
         r"(?<![\w:.])(" + "|".join(BANNED_FUNCTIONS) + r")\s*\(")
     assert_re = re.compile(r"(?<![\w_])assert\s*\(")
 
+    raw_lines = text.splitlines()
+    check_string_ref = (path.suffix in HEADER_SUFFIXES
+                        and rel.startswith(STRING_REF_PARAM_DIRS))
+
     for lineno, line in iter_code_lines(text):
+        if (check_string_ref and STRING_REF_PARAM_RE.search(line)
+                and STRING_REF_SUPPRESS not in raw_lines[lineno - 1]):
+            findings.append(Finding(
+                rel, lineno, "string-ref-param",
+                "const std::string& parameter on the ingest hot path; take "
+                "std::string_view (borrowed) or std::string by value "
+                f"(owned), or suppress with `{STRING_REF_SUPPRESS}`"))
         if path.suffix in HEADER_SUFFIXES and re.search(
                 r"\busing\s+namespace\b", line):
             findings.append(Finding(
