@@ -5,6 +5,7 @@
 #include <cstdio>
 #include <cstring>
 #include <sys/stat.h>
+#include <system_error>
 #include <unistd.h>
 
 namespace qb5000 {
@@ -32,7 +33,11 @@ uint32_t Crc32(std::string_view data, uint32_t crc) {
 namespace {
 
 Status ErrnoStatus(const std::string& op, const std::string& path) {
-  return Status::IOError(op + " " + path + ": " + std::strerror(errno));
+  // Not strerror(): its static buffer is a data race when two I/O paths fail
+  // concurrently (clang-tidy concurrency-mt-unsafe). error_code::message()
+  // renders the same text into a private string.
+  std::error_code ec(errno, std::generic_category());
+  return Status::IOError(op + " " + path + ": " + ec.message());
 }
 
 class PosixWritableFile : public WritableFile {

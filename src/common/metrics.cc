@@ -4,10 +4,11 @@
 #include <cmath>
 #include <cstdio>
 #include <limits>
-#include <mutex>
 #include <sstream>
 #include <utility>
 #include <vector>
+
+#include "common/mutex.h"
 
 namespace qb5000 {
 
@@ -51,23 +52,6 @@ void Histogram::Clear() {
 
 namespace {
 
-template <typename T>
-T* GetOrRegister(std::shared_mutex& mu, std::map<std::string, T*>& index,
-                 std::deque<T>& storage, const std::string& name) {
-  {
-    std::shared_lock<std::shared_mutex> lock(mu);
-    auto it = index.find(name);
-    if (it != index.end()) return it->second;
-  }
-  std::unique_lock<std::shared_mutex> lock(mu);
-  auto it = index.find(name);  // raced registration
-  if (it != index.end()) return it->second;
-  storage.emplace_back();
-  T* instrument = &storage.back();
-  index.emplace(name, instrument);
-  return instrument;
-}
-
 std::string FormatDouble(double v) {
   char buf[64];
   std::snprintf(buf, sizeof(buf), "%.9g", v);
@@ -76,20 +60,60 @@ std::string FormatDouble(double v) {
 
 }  // namespace
 
+// Get* use double-checked registration: a shared-lock fast path for the
+// common already-registered case, then an exclusive lock that re-checks
+// (another thread may have registered between the two acquisitions). Spelled
+// out per method rather than through a helper template because Thread Safety
+// Analysis cannot track guarded members passed by reference
+// (-Wthread-safety-reference).
+
 Counter* MetricsRegistry::GetCounter(const std::string& name) {
-  return GetOrRegister(mu_, counters_, counter_storage_, name);
+  {
+    ReaderLock lock(&mu_);
+    auto it = counters_.find(name);
+    if (it != counters_.end()) return it->second;
+  }
+  WriterLock lock(&mu_);
+  auto it = counters_.find(name);  // raced registration
+  if (it != counters_.end()) return it->second;
+  counter_storage_.emplace_back();
+  Counter* instrument = &counter_storage_.back();
+  counters_.emplace(name, instrument);
+  return instrument;
 }
 
 Gauge* MetricsRegistry::GetGauge(const std::string& name) {
-  return GetOrRegister(mu_, gauges_, gauge_storage_, name);
+  {
+    ReaderLock lock(&mu_);
+    auto it = gauges_.find(name);
+    if (it != gauges_.end()) return it->second;
+  }
+  WriterLock lock(&mu_);
+  auto it = gauges_.find(name);  // raced registration
+  if (it != gauges_.end()) return it->second;
+  gauge_storage_.emplace_back();
+  Gauge* instrument = &gauge_storage_.back();
+  gauges_.emplace(name, instrument);
+  return instrument;
 }
 
 Histogram* MetricsRegistry::GetHistogram(const std::string& name) {
-  return GetOrRegister(mu_, histograms_, histogram_storage_, name);
+  {
+    ReaderLock lock(&mu_);
+    auto it = histograms_.find(name);
+    if (it != histograms_.end()) return it->second;
+  }
+  WriterLock lock(&mu_);
+  auto it = histograms_.find(name);  // raced registration
+  if (it != histograms_.end()) return it->second;
+  histogram_storage_.emplace_back();
+  Histogram* instrument = &histogram_storage_.back();
+  histograms_.emplace(name, instrument);
+  return instrument;
 }
 
 std::string MetricsRegistry::ExportText(const ExportOptions& options) const {
-  std::shared_lock<std::shared_mutex> lock(mu_);
+  ReaderLock lock(&mu_);
   // One sorted line stream across all instrument kinds. The three maps are
   // each name-sorted; merge by name so the export is globally sorted and
   // byte-stable regardless of registration order.
@@ -126,7 +150,7 @@ std::string MetricsRegistry::ExportText(const ExportOptions& options) const {
 }
 
 std::string MetricsRegistry::ExportJson() const {
-  std::shared_lock<std::shared_mutex> lock(mu_);
+  ReaderLock lock(&mu_);
   std::ostringstream out;
   out << "{\"counters\":{";
   bool first = true;
@@ -164,7 +188,7 @@ std::string MetricsRegistry::ExportJson() const {
 }
 
 std::string MetricsRegistry::SerializeState() const {
-  std::shared_lock<std::shared_mutex> lock(mu_);
+  ReaderLock lock(&mu_);
   std::ostringstream out;
   out.precision(17);  // gauges must round-trip exactly
   out << "metrics-v1\n";
@@ -212,7 +236,7 @@ Status MetricsRegistry::RestoreState(const std::string& data) {
 }
 
 void MetricsRegistry::Reset() {
-  std::unique_lock<std::shared_mutex> lock(mu_);
+  WriterLock lock(&mu_);
   for (auto& counter : counter_storage_) counter.Set(0);
   for (auto& gauge : gauge_storage_) gauge.Restore(0.0);
   for (auto& histogram : histogram_storage_) histogram.Clear();

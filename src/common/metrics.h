@@ -6,11 +6,12 @@
 #include <cstdint>
 #include <deque>
 #include <map>
-#include <shared_mutex>
 #include <string>
 #include <vector>
 
+#include "common/mutex.h"
 #include "common/status.h"
+#include "common/thread_annotations.h"
 
 namespace qb5000 {
 
@@ -208,14 +209,16 @@ class MetricsRegistry {
   static MetricsRegistry& Global();
 
  private:
-  mutable std::shared_mutex mu_;
-  std::map<std::string, Counter*> counters_;
-  std::map<std::string, Gauge*> gauges_;
-  std::map<std::string, Histogram*> histograms_;
-  // Instrument storage. deque: stable addresses under growth.
-  std::deque<Counter> counter_storage_;
-  std::deque<Gauge> gauge_storage_;
-  std::deque<Histogram> histogram_storage_;
+  mutable SharedMutex mu_{lock_level::kMetricsRegistry, "metrics.registry"};
+  std::map<std::string, Counter*> counters_ QB_GUARDED_BY(mu_);
+  std::map<std::string, Gauge*> gauges_ QB_GUARDED_BY(mu_);
+  std::map<std::string, Histogram*> histograms_ QB_GUARDED_BY(mu_);
+  // Instrument storage. deque: stable addresses under growth, so the
+  // pointers handed out by Get* outlive any later registration (the maps
+  // are guarded; the instruments themselves are internally atomic).
+  std::deque<Counter> counter_storage_ QB_GUARDED_BY(mu_);
+  std::deque<Gauge> gauge_storage_ QB_GUARDED_BY(mu_);
+  std::deque<Histogram> histogram_storage_ QB_GUARDED_BY(mu_);
 };
 
 }  // namespace qb5000

@@ -1,0 +1,93 @@
+#include "common/mutex.h"
+
+#ifndef NDEBUG
+
+#include <cstddef>
+#include <string>
+
+#include "common/check.h"
+
+namespace qb5000::mutex_internal {
+
+namespace {
+
+struct HeldLock {
+  const void* mu;
+  int level;
+  const char* name;
+};
+
+// Per-thread stack of currently held locks, in acquisition order. Fixed
+// capacity so the record is *trivially destructible*: thread-local
+// destructors run before static destructors, and the process-global pool
+// locks its mutexes from a static destructor at exit — a std::vector here
+// would be a use-after-destroy at that point. Depth 8 is far beyond the
+// hierarchy's deepest real nesting (3).
+constexpr size_t kMaxHeldLocks = 8;
+
+struct HeldStack {
+  HeldLock locks[kMaxHeldLocks];
+  size_t count;
+};
+
+thread_local constinit HeldStack held_stack{};
+
+}  // namespace
+
+void OnAcquire(const void* mu, int level, const char* name) {
+  HeldStack& held = held_stack;
+  for (size_t i = 0; i < held.count; ++i) {
+    const HeldLock& h = held.locks[i];
+    // Strictly increasing: an equal level is also an error, since two locks
+    // at the same level have no defined order (and h.mu == mu would be a
+    // self-deadlock for Mutex, UB for recursive SharedMutex use).
+    if (h.level >= level) {
+      std::string detail = std::string("acquiring \"") + name + "\" (level " +
+                           std::to_string(level) + ") while holding \"" +
+                           h.name + "\" (level " + std::to_string(h.level) +
+                           ")";
+      check_internal::CheckFailed(__FILE__, __LINE__, "lock hierarchy order",
+                                  detail);
+    }
+  }
+  if (held.count == kMaxHeldLocks) {
+    check_internal::CheckFailed(__FILE__, __LINE__, "lock hierarchy depth",
+                                std::string("acquiring \"") + name +
+                                    "\" would exceed the held-lock record");
+  }
+  // Recorded before the blocking lock() call: if the acquisition deadlocks
+  // anyway (a bug this checker cannot see, e.g. cross-process), the record
+  // still names the lock in a debugger.
+  held.locks[held.count++] = HeldLock{mu, level, name};
+}
+
+void OnRelease(const void* mu, const char* name) {
+  HeldStack& held = held_stack;
+  // Scan from the top: releases are almost always LIFO, but out-of-order
+  // release (hand-over-hand) is legal and must not confuse the record.
+  for (size_t i = held.count; i-- > 0;) {
+    if (held.locks[i].mu == mu) {
+      for (size_t j = i + 1; j < held.count; ++j) {
+        held.locks[j - 1] = held.locks[j];
+      }
+      --held.count;
+      return;
+    }
+  }
+  check_internal::CheckFailed(__FILE__, __LINE__, "lock release bookkeeping",
+                              std::string("releasing \"") + name +
+                                  "\" which this thread does not hold");
+}
+
+}  // namespace qb5000::mutex_internal
+
+#else  // NDEBUG
+
+// Release builds compile the checker out; this TU is intentionally empty.
+// (A non-empty namespace keeps some linkers from warning about an empty
+// object file.)
+namespace qb5000::mutex_internal {
+[[maybe_unused]] const int kCheckerCompiledOut = 1;
+}  // namespace qb5000::mutex_internal
+
+#endif  // NDEBUG

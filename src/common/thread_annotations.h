@@ -1,0 +1,91 @@
+#pragma once
+
+/// Clang Thread Safety Analysis annotations (DESIGN.md §12).
+///
+/// These macros attach compile-time locking requirements to types, fields,
+/// and functions: which mutex guards a field, which lock a function expects
+/// its caller to hold, and which locks a function acquires or releases.
+/// Under Clang, `-Wthread-safety -Wthread-safety-beta` (enabled for every
+/// Clang configuration by the top-level CMakeLists, `-Werror` in the
+/// `clang-tsa` preset/CI job) turns a violated annotation into a build
+/// failure, so the Ingest/Forecast/Checkpoint locking discipline is proven
+/// by the compiler instead of hoped-for by TSan. Under GCC (which has no
+/// such analysis) every macro expands to nothing.
+///
+/// The vocabulary mirrors Abseil's thread_annotations.h, the de-facto
+/// standard spelling of these attributes:
+///   - QB_GUARDED_BY(mu)        field may only be touched while holding mu
+///   - QB_PT_GUARDED_BY(mu)     pointee of a pointer field guarded by mu
+///   - QB_REQUIRES(mu)          function requires mu held exclusively
+///   - QB_REQUIRES_SHARED(mu)   function requires mu held (shared suffices)
+///   - QB_ACQUIRE / QB_ACQUIRE_SHARED / QB_RELEASE / QB_RELEASE_SHARED
+///                              function acquires/releases mu itself
+///   - QB_EXCLUDES(mu)          function must be entered with mu NOT held
+///   - QB_CAPABILITY / QB_SCOPED_CAPABILITY  mark lock / RAII-guard types
+///   - QB_NO_THREAD_SAFETY_ANALYSIS  opt a definition out (justify in a
+///                              comment; the lint discourages casual use)
+///
+/// Only `src/common/mutex.h` types carry capability attributes; annotate
+/// everything else in terms of those wrappers.
+
+#if defined(__clang__)
+#define QB_THREAD_ANNOTATION_ATTRIBUTE_(x) __attribute__((x))
+#else
+#define QB_THREAD_ANNOTATION_ATTRIBUTE_(x)  // no-op outside Clang
+#endif
+
+#define QB_CAPABILITY(x) QB_THREAD_ANNOTATION_ATTRIBUTE_(capability(x))
+
+#define QB_SCOPED_CAPABILITY QB_THREAD_ANNOTATION_ATTRIBUTE_(scoped_lockable)
+
+#define QB_GUARDED_BY(x) QB_THREAD_ANNOTATION_ATTRIBUTE_(guarded_by(x))
+
+#define QB_PT_GUARDED_BY(x) QB_THREAD_ANNOTATION_ATTRIBUTE_(pt_guarded_by(x))
+
+#define QB_ACQUIRED_BEFORE(...) \
+  QB_THREAD_ANNOTATION_ATTRIBUTE_(acquired_before(__VA_ARGS__))
+
+#define QB_ACQUIRED_AFTER(...) \
+  QB_THREAD_ANNOTATION_ATTRIBUTE_(acquired_after(__VA_ARGS__))
+
+#define QB_REQUIRES(...) \
+  QB_THREAD_ANNOTATION_ATTRIBUTE_(requires_capability(__VA_ARGS__))
+
+#define QB_REQUIRES_SHARED(...) \
+  QB_THREAD_ANNOTATION_ATTRIBUTE_(requires_shared_capability(__VA_ARGS__))
+
+#define QB_ACQUIRE(...) \
+  QB_THREAD_ANNOTATION_ATTRIBUTE_(acquire_capability(__VA_ARGS__))
+
+#define QB_ACQUIRE_SHARED(...) \
+  QB_THREAD_ANNOTATION_ATTRIBUTE_(acquire_shared_capability(__VA_ARGS__))
+
+#define QB_RELEASE(...) \
+  QB_THREAD_ANNOTATION_ATTRIBUTE_(release_capability(__VA_ARGS__))
+
+#define QB_RELEASE_SHARED(...) \
+  QB_THREAD_ANNOTATION_ATTRIBUTE_(release_shared_capability(__VA_ARGS__))
+
+#define QB_RELEASE_GENERIC(...) \
+  QB_THREAD_ANNOTATION_ATTRIBUTE_(release_generic_capability(__VA_ARGS__))
+
+#define QB_TRY_ACQUIRE(...) \
+  QB_THREAD_ANNOTATION_ATTRIBUTE_(try_acquire_capability(__VA_ARGS__))
+
+#define QB_TRY_ACQUIRE_SHARED(...) \
+  QB_THREAD_ANNOTATION_ATTRIBUTE_(try_acquire_shared_capability(__VA_ARGS__))
+
+#define QB_EXCLUDES(...) \
+  QB_THREAD_ANNOTATION_ATTRIBUTE_(locks_excluded(__VA_ARGS__))
+
+#define QB_ASSERT_CAPABILITY(x) \
+  QB_THREAD_ANNOTATION_ATTRIBUTE_(assert_capability(x))
+
+#define QB_ASSERT_SHARED_CAPABILITY(x) \
+  QB_THREAD_ANNOTATION_ATTRIBUTE_(assert_shared_capability(x))
+
+#define QB_RETURN_CAPABILITY(x) \
+  QB_THREAD_ANNOTATION_ATTRIBUTE_(lock_returned(x))
+
+#define QB_NO_THREAD_SAFETY_ANALYSIS \
+  QB_THREAD_ANNOTATION_ATTRIBUTE_(no_thread_safety_analysis)

@@ -17,10 +17,10 @@ ThreadPool::ThreadPool(size_t concurrency) {
 
 ThreadPool::~ThreadPool() {
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(&mu_);
     shutdown_ = true;
   }
-  work_cv_.notify_all();
+  work_cv_.NotifyAll();
   for (std::thread& worker : workers_) worker.join();
 }
 
@@ -33,25 +33,26 @@ void ThreadPool::RunTask(Batch* batch, size_t index) {
   }
 }
 
-bool ThreadPool::RunOnePending(std::unique_lock<std::mutex>& lock) {
+bool ThreadPool::RunOnePending() {
   if (pending_.empty()) return false;
   Batch* batch = pending_.front();
   size_t index = batch->next++;
   if (batch->next >= batch->num_tasks) pending_.pop_front();
-  lock.unlock();
+  mu_.Unlock();
   RunTask(batch, index);
-  lock.lock();
-  if (++batch->done == batch->num_tasks) done_cv_.notify_all();
+  mu_.Lock();
+  if (++batch->done == batch->num_tasks) done_cv_.NotifyAll();
   return true;
 }
 
 void ThreadPool::WorkerLoop() {
-  std::unique_lock<std::mutex> lock(mu_);
+  mu_.Lock();
   for (;;) {
-    work_cv_.wait(lock, [this] { return shutdown_ || !pending_.empty(); });
-    if (pending_.empty()) return;  // shutdown with nothing left to claim
-    RunOnePending(lock);
+    while (!shutdown_ && pending_.empty()) work_cv_.Wait(&mu_);
+    if (pending_.empty()) break;  // shutdown with nothing left to claim
+    RunOnePending();
   }
+  mu_.Unlock();
 }
 
 void ThreadPool::Run(size_t num_tasks, const std::function<void(size_t)>& fn) {
@@ -66,16 +67,16 @@ void ThreadPool::Run(size_t num_tasks, const std::function<void(size_t)>& fn) {
   batch.num_tasks = num_tasks;
   batch.errors.assign(num_tasks, nullptr);
 
-  std::unique_lock<std::mutex> lock(mu_);
+  mu_.Lock();
   pending_.push_back(&batch);
-  work_cv_.notify_all();
+  work_cv_.NotifyAll();
   while (batch.done < batch.num_tasks) {
     // Help instead of blocking: run our own batch's tasks, or — when a task
     // body submitted a nested batch — whatever else is pending, so a waiting
     // thread can never deadlock the pool.
-    if (!RunOnePending(lock)) done_cv_.wait(lock);
+    if (!RunOnePending()) done_cv_.Wait(&mu_);
   }
-  lock.unlock();
+  mu_.Unlock();
 
   for (size_t i = 0; i < num_tasks; ++i) {
     if (batch.errors[i] != nullptr) std::rethrow_exception(batch.errors[i]);
@@ -84,9 +85,11 @@ void ThreadPool::Run(size_t num_tasks, const std::function<void(size_t)>& fn) {
 
 namespace {
 
-std::mutex global_pool_mu;
-size_t global_thread_count = 0;  // 0 = not yet resolved
-std::unique_ptr<ThreadPool> global_pool;
+// constinit-safe: Mutex's constructor is constexpr, so this is initialized
+// at load time, before any static-initialization-order races can reach it.
+Mutex global_pool_mu{lock_level::kThreadPoolGlobal, "threadpool.global"};
+size_t global_thread_count QB_GUARDED_BY(global_pool_mu) = 0;  // 0 = unset
+std::unique_ptr<ThreadPool> global_pool QB_GUARDED_BY(global_pool_mu);
 
 size_t ResolveCount(size_t count) {
   if (count == 0) count = std::thread::hardware_concurrency();
@@ -96,7 +99,7 @@ size_t ResolveCount(size_t count) {
 }  // namespace
 
 size_t SetThreadCount(size_t count) {
-  std::lock_guard<std::mutex> lock(global_pool_mu);
+  MutexLock lock(&global_pool_mu);
   size_t resolved = ResolveCount(count);
   if (resolved != global_thread_count) {
     global_pool.reset();  // joins workers; next use rebuilds lazily
@@ -106,13 +109,13 @@ size_t SetThreadCount(size_t count) {
 }
 
 size_t GetThreadCount() {
-  std::lock_guard<std::mutex> lock(global_pool_mu);
+  MutexLock lock(&global_pool_mu);
   if (global_thread_count == 0) global_thread_count = ResolveCount(0);
   return global_thread_count;
 }
 
 ThreadPool& GlobalThreadPool() {
-  std::lock_guard<std::mutex> lock(global_pool_mu);
+  MutexLock lock(&global_pool_mu);
   if (global_thread_count == 0) global_thread_count = ResolveCount(0);
   if (global_pool == nullptr) {
     global_pool = std::make_unique<ThreadPool>(global_thread_count);

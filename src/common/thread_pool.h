@@ -1,13 +1,14 @@
 #pragma once
 
-#include <condition_variable>
 #include <cstddef>
 #include <deque>
 #include <exception>
 #include <functional>
-#include <mutex>
 #include <thread>
 #include <vector>
+
+#include "common/mutex.h"
+#include "common/thread_annotations.h"
 
 namespace qb5000 {
 
@@ -47,10 +48,14 @@ class ThreadPool {
   /// threw, rethrows the exception of the lowest task index after the whole
   /// batch completed. Safe to call from multiple threads and from inside a
   /// running task (nested batches interleave on the same workers).
-  void Run(size_t num_tasks, const std::function<void(size_t)>& fn);
+  void Run(size_t num_tasks, const std::function<void(size_t)>& fn)
+      QB_EXCLUDES(mu_);
 
  private:
   /// One submitted batch; lives on the submitter's stack for its duration.
+  /// `next`/`done` are guarded by the owning pool's mu_ (a Batch cannot name
+  /// it in an annotation; every access site is inside a QB_REQUIRES(mu_)
+  /// member, which is what the analysis actually checks).
   struct Batch {
     const std::function<void(size_t)>* fn = nullptr;
     size_t num_tasks = 0;
@@ -59,17 +64,18 @@ class ThreadPool {
     std::vector<std::exception_ptr> errors;  ///< slot per task, own-slot writes
   };
 
-  void WorkerLoop();
+  void WorkerLoop() QB_EXCLUDES(mu_);
   /// Claims and runs one task from the front pending batch. Returns false
-  /// if nothing was pending. `lock` is held on entry and exit.
-  bool RunOnePending(std::unique_lock<std::mutex>& lock);
+  /// if nothing was pending. mu_ is held on entry and exit but released
+  /// around the task body itself (tasks never run under the queue lock).
+  bool RunOnePending() QB_REQUIRES(mu_);
   static void RunTask(Batch* batch, size_t index);
 
-  std::mutex mu_;
-  std::condition_variable work_cv_;  ///< new batch or shutdown
-  std::condition_variable done_cv_;  ///< some batch finished a task
-  std::deque<Batch*> pending_;       ///< batches with unclaimed tasks
-  bool shutdown_ = false;
+  Mutex mu_{lock_level::kThreadPoolQueue, "threadpool.queue"};
+  CondVar work_cv_;  ///< new batch or shutdown
+  CondVar done_cv_;  ///< some batch finished a task
+  std::deque<Batch*> pending_ QB_GUARDED_BY(mu_);  ///< unclaimed batches
+  bool shutdown_ QB_GUARDED_BY(mu_) = false;
   std::vector<std::thread> workers_;
 };
 

@@ -22,12 +22,12 @@ Tracer::Tracer(size_t capacity)
 }
 
 void Tracer::SetSink(SpanSink* sink) {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   sink_ = sink;
 }
 
 uint64_t Tracer::NextSpanId() {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   return next_id_++;
 }
 
@@ -38,7 +38,7 @@ double Tracer::Now() const {
 }
 
 void Tracer::Record(SpanRecord span) {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   if (sink_ != nullptr) sink_->OnSpanEnd(span);
   if (ring_.size() < capacity_) {
     ring_.push_back(std::move(span));
@@ -49,7 +49,7 @@ void Tracer::Record(SpanRecord span) {
 }
 
 std::vector<SpanRecord> Tracer::Snapshot() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   uint64_t live = total_ - ring_base_;
   if (ring_.size() < capacity_ || live % capacity_ == 0) {
     return ring_;  // not yet wrapped (or wrapped an exact multiple): in order
@@ -65,12 +65,12 @@ std::vector<SpanRecord> Tracer::Snapshot() const {
 }
 
 uint64_t Tracer::total_spans() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   return total_;
 }
 
 void Tracer::Clear() {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   ring_.clear();
   ring_base_ = total_;  // lifetime total keeps counting
 }

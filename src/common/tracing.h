@@ -2,9 +2,11 @@
 
 #include <chrono>
 #include <cstdint>
-#include <mutex>
 #include <string>
 #include <vector>
+
+#include "common/mutex.h"
+#include "common/thread_annotations.h"
 
 namespace qb5000 {
 
@@ -70,14 +72,16 @@ class Tracer {
   void Record(SpanRecord span);
 
   const std::chrono::steady_clock::time_point epoch_;
-  mutable std::mutex mu_;
+  mutable Mutex mu_{lock_level::kTracerRing, "tracer.ring"};
   /// Retained spans; slot = (total_ - ring_base_) % capacity_.
-  std::vector<SpanRecord> ring_;
-  size_t capacity_;
-  uint64_t total_ = 0;      ///< spans recorded over the tracer's lifetime
-  uint64_t ring_base_ = 0;  ///< total_ value at the last Clear()
-  uint64_t next_id_ = 1;
-  SpanSink* sink_ = nullptr;
+  std::vector<SpanRecord> ring_ QB_GUARDED_BY(mu_);
+  const size_t capacity_;  ///< fixed at construction
+  /// Spans recorded over the tracer's lifetime.
+  uint64_t total_ QB_GUARDED_BY(mu_) = 0;
+  /// total_ value at the last Clear().
+  uint64_t ring_base_ QB_GUARDED_BY(mu_) = 0;
+  uint64_t next_id_ QB_GUARDED_BY(mu_) = 1;
+  SpanSink* sink_ QB_GUARDED_BY(mu_) = nullptr;
 };
 
 /// RAII span: records [construction, destruction) into `tracer` under

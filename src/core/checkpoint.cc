@@ -4,12 +4,13 @@
 #include "core/checkpoint.h"
 
 #include <algorithm>
+#include <limits>
 #include <map>
-#include <shared_mutex>
 #include <sstream>
 #include <vector>
 
 #include "common/io.h"
+#include "common/mutex.h"
 #include "core/qb5000.h"
 #include "preprocessor/snapshot.h"
 
@@ -187,18 +188,6 @@ struct ControllerState {
   std::vector<ClusterId> modeled;
 };
 
-std::string SerializeController(const QueryBot5000& bot) {
-  std::ostringstream out;
-  out << "controller-v1\n";
-  out << "last_maintenance " << (bot.maintenance_has_run() ? 1 : 0) << ' '
-      << (bot.maintenance_has_run() ? bot.last_maintenance() : 0) << '\n';
-  const auto& modeled = bot.forecaster().modeled_clusters();
-  out << "modeled " << modeled.size();
-  for (ClusterId id : modeled) out << ' ' << id;
-  out << '\n';
-  return out.str();
-}
-
 Result<ControllerState> ParseController(const std::string& payload) {
   std::istringstream in(payload);
   std::string tag, keyword;
@@ -237,6 +226,25 @@ Timestamp MaxLastSeen(const PreProcessor& pre) {
 
 // --- QueryBot5000 entry points ----------------------------------------------
 
+// Defined here rather than in qb5000.cc because it is half of the checkpoint
+// format. QB_REQUIRES_SHARED(state_mu_) (declaration, qb5000.h): Checkpoint()
+// already holds the shared lock when it serializes, and SharedMutex is not
+// recursive, so this must read the guarded fields directly — the annotation
+// makes an unlocked call a compile error instead of a latent deadlock.
+std::string QueryBot5000::SerializeControllerLocked() const {
+  std::ostringstream out;
+  bool has_run =
+      last_maintenance_ != std::numeric_limits<Timestamp>::min();
+  out << "controller-v1\n";
+  out << "last_maintenance " << (has_run ? 1 : 0) << ' '
+      << (has_run ? last_maintenance_ : 0) << '\n';
+  const auto& modeled = forecaster_.modeled_clusters();
+  out << "modeled " << modeled.size();
+  for (ClusterId id : modeled) out << ' ' << id;
+  out << '\n';
+  return out.str();
+}
+
 Status QueryBot5000::Checkpoint(const std::string& path, Env* env) const {
   ScopedTimer checkpoint_timer(
       metrics_->GetHistogram("core.checkpoint_seconds"));
@@ -247,7 +255,7 @@ Status QueryBot5000::Checkpoint(const std::string& path, Env* env) const {
   std::string pre_str, clusterer_str, controller_str, metrics_str;
   {
     Stopwatch lock_wait;
-    std::shared_lock<std::shared_mutex> lock(*state_mu_);
+    ReaderLock lock(state_mu_);
     lock_wait_seconds_->Observe(lock_wait.ElapsedSeconds());
     ScopedSpan span(tracer_.get(), "checkpoint/serialize");
     std::ostringstream pre_payload;
@@ -256,7 +264,7 @@ Status QueryBot5000::Checkpoint(const std::string& path, Env* env) const {
     if (!st.ok()) return st;
     pre_str = pre_payload.str();
     clusterer_str = SerializeClusterer(clusterer_);
-    controller_str = SerializeController(*this);
+    controller_str = SerializeControllerLocked();
     // Counters/gauges ride along in the checkpoint so totals survive a
     // restart (histograms describe the dead process; they do not).
     metrics_str = metrics_->SerializeState();
@@ -304,6 +312,12 @@ Result<QueryBot5000> QueryBot5000::RestoreFromData(const std::string& data,
   }
 
   QueryBot5000 bot(config);
+  // The bot is local, but the restore ladder below writes straight into its
+  // guarded fields; holding the writer lock keeps those accesses provable
+  // by Thread Safety Analysis (and costs nothing — it is uncontended).
+  // Released by scope exit on every return path, before the caller can
+  // publish the bot to other threads.
+  WriterLock state_lock(bot.state_mu_);
   size_t crc_failures = 0;
   for (const auto& [name, section] : container.sections) {
     (void)name;
@@ -384,13 +398,13 @@ Result<QueryBot5000> QueryBot5000::RestoreFromData(const std::string& data,
 
   // The reference time for rebuilding/retraining: the last maintenance run
   // if we know it, else the newest arrival in the restored histories.
-  Timestamp now = bot.maintenance_has_run() ? bot.last_maintenance_
-                                            : MaxLastSeen(bot.pre_);
+  bool has_run = bot.last_maintenance_ != std::numeric_limits<Timestamp>::min();
+  Timestamp now = has_run ? bot.last_maintenance_ : MaxLastSeen(bot.pre_);
   if (!clusterer_ok) {
     report.reclustered = true;
     report.detail += clusterer_error + "; re-clustered from histories. ";
     bot.clusterer_.Update(bot.pre_, now);
-    controller.modeled = bot.ModeledClusters();
+    controller.modeled = bot.ModeledClustersLocked();
   }
 
   // Forecasting models are never persisted: retrain them from the restored

@@ -2,7 +2,6 @@
 
 #include <limits>
 #include <memory>
-#include <shared_mutex>
 #include <span>
 #include <string>
 #include <string_view>
@@ -11,7 +10,9 @@
 #include "clusterer/online_clusterer.h"
 #include "common/clock.h"
 #include "common/metrics.h"
+#include "common/mutex.h"
 #include "common/status.h"
+#include "common/thread_annotations.h"
 #include "common/tracing.h"
 #include "forecaster/forecaster.h"
 #include "preprocessor/preprocessor.h"
@@ -119,16 +120,33 @@ class QueryBot5000 {
                                       RestoreReport* report = nullptr);
 
   /// When maintenance last ran; meaningful only if maintenance_has_run().
-  Timestamp last_maintenance() const { return last_maintenance_; }
-  bool maintenance_has_run() const {
+  /// Unlocked by design (single-threaded setup/inspection only, like the
+  /// component accessors below); concurrent callers must hold state_mu_
+  /// through a public reader instead.
+  Timestamp last_maintenance() const QB_NO_THREAD_SAFETY_ANALYSIS {
+    return last_maintenance_;
+  }
+  bool maintenance_has_run() const QB_NO_THREAD_SAFETY_ANALYSIS {
     return last_maintenance_ != std::numeric_limits<Timestamp>::min();
   }
 
-  const PreProcessor& preprocessor() const { return pre_; }
+  // Component accessors. Deliberately unlocked — they hand out references
+  // into guarded state for single-threaded setup and test inspection, so
+  // they opt out of the analysis rather than pretend to a capability the
+  // caller cannot name. Do not call them concurrently with mutators.
+  const PreProcessor& preprocessor() const QB_NO_THREAD_SAFETY_ANALYSIS {
+    return pre_;
+  }
   /// Mutable access for bulk feeders (e.g. SyntheticWorkload::FeedAggregated).
-  PreProcessor& mutable_preprocessor() { return pre_; }
-  const OnlineClusterer& clusterer() const { return clusterer_; }
-  const Forecaster& forecaster() const { return forecaster_; }
+  PreProcessor& mutable_preprocessor() QB_NO_THREAD_SAFETY_ANALYSIS {
+    return pre_;
+  }
+  const OnlineClusterer& clusterer() const QB_NO_THREAD_SAFETY_ANALYSIS {
+    return clusterer_;
+  }
+  const Forecaster& forecaster() const QB_NO_THREAD_SAFETY_ANALYSIS {
+    return forecaster_;
+  }
   const Config& config() const { return config_; }
 
   /// This instance's metrics registry. Every pipeline component writes here
@@ -149,10 +167,18 @@ class QueryBot5000 {
                                               bool allow_degraded,
                                               RestoreReport& report);
 
-  /// ModeledClusters body without locking, for callers already holding
-  /// state_mu_ (RunMaintenance holds it exclusively; std::shared_mutex is
-  /// not recursive).
-  std::vector<ClusterId> ModeledClustersLocked() const;
+  /// ModeledClusters body for callers already holding state_mu_
+  /// (RunMaintenance holds it exclusively; SharedMutex is not recursive).
+  /// The annotation is what lets Thread Safety Analysis prove the
+  /// public/`...Locked()` split: the public reader acquires and delegates,
+  /// and any unlocked call of the helper is a compile error under Clang.
+  std::vector<ClusterId> ModeledClustersLocked() const
+      QB_REQUIRES_SHARED(state_mu_);
+
+  /// Controller checkpoint section (core/checkpoint.cc). A `...Locked()`
+  /// member rather than a free function so Checkpoint() can serialize under
+  /// the shared lock it already holds without a recursive acquisition.
+  std::string SerializeControllerLocked() const QB_REQUIRES_SHARED(state_mu_);
 
   /// Returns `config` with every component Options pointed at `metrics`
   /// (the per-instance registry always wins over caller-set registries).
@@ -165,11 +191,22 @@ class QueryBot5000 {
       std::make_shared<MetricsRegistry>();
   std::shared_ptr<Tracer> tracer_ = std::make_shared<Tracer>();
 
+  /// Guards pre_/clusterer_/forecaster_/last_maintenance_. Heap-allocated so
+  /// the controller stays movable (Restore returns by value; moves happen
+  /// only before any concurrent use). All annotations name the raw alias
+  /// `state_mu_` — Thread Safety Analysis unifies raw-pointer capability
+  /// expressions but cannot see through a unique_ptr dereference — and the
+  /// alias survives moves because the heap mutex address is stable.
+  std::unique_ptr<SharedMutex> state_mu_owner_ = std::make_unique<SharedMutex>(
+      lock_level::kControllerState, "core.state");
+  SharedMutex* state_mu_ = state_mu_owner_.get();  // non-const: keeps moves
+
   Config config_;
-  PreProcessor pre_;
-  OnlineClusterer clusterer_;
-  Forecaster forecaster_;
-  Timestamp last_maintenance_ = std::numeric_limits<Timestamp>::min();
+  PreProcessor pre_ QB_GUARDED_BY(state_mu_);
+  OnlineClusterer clusterer_ QB_GUARDED_BY(state_mu_);
+  Forecaster forecaster_ QB_GUARDED_BY(state_mu_);
+  Timestamp last_maintenance_ QB_GUARDED_BY(state_mu_) =
+      std::numeric_limits<Timestamp>::min();
 
   // Controller instruments (owned by *metrics_; see DESIGN.md §10).
   Counter* maintenance_runs_total_ = nullptr;
@@ -180,11 +217,6 @@ class QueryBot5000 {
   Histogram* maintenance_seconds_ = nullptr;
   Histogram* forecast_seconds_ = nullptr;
   Histogram* lock_wait_seconds_ = nullptr;  ///< cold-path acquisitions only
-  /// Guards pre_/clusterer_/forecaster_/last_maintenance_. Behind a
-  /// unique_ptr so the controller stays movable (Restore returns by value;
-  /// moves happen only before any concurrent use).
-  mutable std::unique_ptr<std::shared_mutex> state_mu_ =
-      std::make_unique<std::shared_mutex>();
 };
 
 }  // namespace qb5000

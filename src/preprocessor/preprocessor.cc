@@ -3,7 +3,6 @@
 #include <algorithm>
 #include <array>
 #include <cmath>
-#include <mutex>
 #include <optional>
 #include <unordered_set>
 #include <utility>
@@ -179,7 +178,7 @@ void PreProcessor::CacheEraseIds(const std::vector<TemplateId>& ids) {
 }
 
 std::vector<TemplateId> PreProcessor::IngestBatch(
-    std::span<const QueryArrival> arrivals, std::shared_mutex* state_mu) {
+    std::span<const QueryArrival> arrivals, SharedMutex* state_mu) {
   const size_t n = arrivals.size();
   std::vector<TemplateId> ids(n, 0);
   if (n == 0) return ids;
@@ -275,8 +274,7 @@ std::vector<TemplateId> PreProcessor::IngestBatch(
   };
   std::vector<Rep> reps;
   {
-    std::shared_lock<std::shared_mutex> read_lock;
-    if (state_mu != nullptr) read_lock = std::shared_lock(*state_mu);
+    ReaderLockMaybe read_lock(state_mu);
     for (auto& groups : shard_groups) {
       for (Group& g : groups) {
         if (CacheProbe(g.key, g.hash) == nullptr) {
@@ -305,8 +303,7 @@ std::vector<TemplateId> PreProcessor::IngestBatch(
   uint64_t hit_ops = 0;
   uint64_t hit_queries = 0;
   {
-    std::unique_lock<std::shared_mutex> write_lock;
-    if (state_mu != nullptr) write_lock = std::unique_lock(*state_mu);
+    WriterLockMaybe write_lock(state_mu);
 
     // 6a: miss groups in global first-arrival order.
     for (size_t r = 0; r < reps.size(); ++r) {

@@ -3,7 +3,6 @@
 #include <cstdint>
 #include <list>
 #include <map>
-#include <shared_mutex>
 #include <span>
 #include <string>
 #include <string_view>
@@ -12,6 +11,7 @@
 
 #include "common/clock.h"
 #include "common/metrics.h"
+#include "common/mutex.h"
 #include "common/rng.h"
 #include "common/status.h"
 #include "preprocessor/arrival_history.h"
@@ -116,7 +116,7 @@ class PreProcessor {
   /// count for integer-valued `count`s; only the parameter-reservoir RNG
   /// consumption order differs (samples remain valid draws).
   std::vector<TemplateId> IngestBatch(std::span<const QueryArrival> arrivals,
-                                      std::shared_mutex* state_mu = nullptr);
+                                      SharedMutex* state_mu = nullptr);
 
   /// Ingests an already-templatized arrival. Trace generators use this to
   /// feed high query volumes without materializing every SQL string.

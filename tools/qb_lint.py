@@ -17,6 +17,12 @@ Checks (stdlib-only, no compiler needed):
                      use ThreadPool / ParallelFor (common/thread_pool.h) so
                      concurrency stays deterministic, bounded, and governed
                      by the SetThreadCount knob
+  raw-mutex          no std::mutex / std::shared_mutex (nor their lock RAII
+                     types, condition_variable, or lowercase .lock() calls)
+                     outside src/common/mutex.{h,cc} — use qb5000::Mutex /
+                     SharedMutex and the annotated RAII guards
+                     (common/mutex.h) so Clang Thread Safety Analysis and
+                     the Debug lock-order checker see every acquisition
   raw-chrono-timing  no hand-rolled steady_clock::now() pairs outside
                      src/common/ — use Stopwatch / ScopedTimer
                      (common/metrics.h) so timing feeds the metrics layer
@@ -57,6 +63,22 @@ RAW_THREAD_ALLOWLIST = {"src/common/thread_pool.h", "src/common/thread_pool.cc"}
 
 # std::thread the type — std::this_thread (sleep/yield) stays allowed.
 RAW_THREAD_RE = re.compile(r"\bstd::thread\b")
+
+# Files allowed to touch the std locking primitives (the annotated wrapper's
+# own implementation).
+RAW_MUTEX_ALLOWLIST = {"src/common/mutex.h", "src/common/mutex.cc"}
+
+# The std lock vocabulary, plus the lowercase lock()/unlock() method family
+# (the qb5000 wrappers use capitalized Lock()/Unlock(), so a lowercase call
+# can only be a std primitive or an ad-hoc lockable slipping past the types).
+RAW_MUTEX_RE = re.compile(
+    r"\bstd::(mutex|shared_mutex|recursive_mutex|recursive_timed_mutex|"
+    r"timed_mutex|shared_timed_mutex|lock_guard|unique_lock|shared_lock|"
+    r"scoped_lock|condition_variable(?:_any)?)\b")
+
+RAW_MUTEX_CALL_RE = re.compile(
+    r"(?:\.|->)(?:lock|unlock|try_lock|lock_shared|unlock_shared|"
+    r"try_lock_shared)\s*\(")
 
 # Ad-hoc wall-clock timing must go through Stopwatch / ScopedTimer
 # (common/metrics.h). Only the metrics/tracing layer itself touches the
@@ -263,6 +285,13 @@ def lint_file(path, rel, fix):
                     "raw std::thread bypasses the pool; use ThreadPool / "
                     "ParallelFor (common/thread_pool.h) so thread count, "
                     "determinism, and exception propagation stay governed"))
+        if rel not in RAW_MUTEX_ALLOWLIST:
+            if RAW_MUTEX_RE.search(line) or RAW_MUTEX_CALL_RE.search(line):
+                findings.append(Finding(
+                    rel, lineno, "raw-mutex",
+                    "raw std locking primitive is invisible to Thread Safety "
+                    "Analysis and the lock-order checker; use qb5000::Mutex "
+                    "/ SharedMutex with the RAII guards (common/mutex.h)"))
         if not rel.startswith(RAW_CHRONO_ALLOWLIST_PREFIX):
             for _ in RAW_CHRONO_RE.finditer(line):
                 findings.append(Finding(
