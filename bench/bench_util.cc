@@ -4,6 +4,8 @@
 #include <cstdio>
 #include <cstdlib>
 
+#include "common/finite.h"
+
 namespace qb5000::bench {
 
 bool FastMode() {
@@ -23,14 +25,14 @@ void PrintSparkline(const std::string& label, const std::vector<double>& values)
   static const char* kBars[] = {" ", "▁", "▂", "▃", "▄", "▅", "▆", "▇", "█"};
   double peak = 0;
   for (double v : values) {
-    if (std::isfinite(v)) peak = std::max(peak, v);
+    if (IsFinite(v)) peak = std::max(peak, v);
   }
   std::printf("%-24s ", label.c_str());
   for (double v : values) {
     int level = 0;
-    if (std::isfinite(v) && peak > 0) {
+    if (IsFinite(v) && peak > 0) {
       level = std::clamp(static_cast<int>(8.0 * v / peak), 0, 8);
-    } else if (!std::isfinite(v)) {
+    } else if (!IsFinite(v)) {
       level = 8;
     }
     std::printf("%s", kBars[level]);

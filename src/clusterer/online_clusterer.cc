@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <cmath>
 
+#include "common/finite.h"
+
 #include "math/stats.h"
 
 namespace qb5000 {
@@ -354,11 +356,11 @@ Status OnlineClusterer::RestoreState(std::map<ClusterId, Cluster> clusters,
     if (cluster.members.empty()) {
       return Status::InvalidArgument("restored cluster has no members");
     }
-    if (!std::isfinite(cluster.volume) || cluster.volume < 0.0) {
+    if (!IsFinite(cluster.volume) || cluster.volume < 0.0) {
       return Status::InvalidArgument("bad cluster volume");
     }
     for (double c : cluster.center) {
-      if (!std::isfinite(c)) return Status::InvalidArgument("bad center value");
+      if (!IsFinite(c)) return Status::InvalidArgument("bad center value");
     }
     for (TemplateId member : cluster.members) {
       if (!assignment.emplace(member, id).second) {

@@ -1,0 +1,67 @@
+#include "common/chaos.h"
+
+#include <chrono>
+#include <thread>
+
+namespace qb5000 {
+
+ChaosHarness& ChaosHarness::Global() {
+  static ChaosHarness* harness = new ChaosHarness();
+  return *harness;
+}
+
+void ChaosHarness::Arm(OpKind kind, std::string_view site, int64_t nth,
+                       double param) {
+  MutexLock lock(&mu_);
+  ArmedFault fault;
+  fault.kind = kind;
+  fault.site = std::string(site);
+  fault.fire_at = nth;
+  fault.param = param;
+  faults_.push_back(std::move(fault));
+  enabled_.store(true, std::memory_order_release);
+}
+
+void ChaosHarness::Reset() {
+  MutexLock lock(&mu_);
+  faults_.clear();
+  enabled_.store(false, std::memory_order_release);
+  fires_total_.store(0, std::memory_order_relaxed);
+}
+
+bool ChaosHarness::Fire(OpKind kind, std::string_view site, double* param) {
+  if (!enabled_.load(std::memory_order_acquire)) return false;
+  MutexLock lock(&mu_);
+  bool fired = false;
+  for (ArmedFault& fault : faults_) {
+    if (fault.kind != kind || fault.site != site) continue;
+    int64_t index = fault.probes++;
+    if (!fired && !fault.fired && index == fault.fire_at) {
+      fault.fired = true;
+      fired = true;
+      if (param != nullptr) *param = fault.param;
+      fires_total_.fetch_add(1, std::memory_order_relaxed);
+    }
+  }
+  return fired;
+}
+
+void ChaosHarness::MaybeStall(std::string_view site) {
+  double seconds = 0.0;
+  if (!Fire(OpKind::kStall, site, &seconds) || seconds <= 0.0) return;
+  // Sleep outside the armed-state mutex so concurrent probes (and Reset in
+  // a panicking test) never wait behind a stall. sleep_for yields the core:
+  // on a single-CPU host the threads this fault is meant to victimize still
+  // run, which is exactly the "stage wedged, service alive" scenario.
+  stalls_active_.fetch_add(1, std::memory_order_acq_rel);
+  std::this_thread::sleep_for(std::chrono::duration<double>(seconds));
+  stalls_active_.fetch_sub(1, std::memory_order_acq_rel);
+}
+
+Timestamp ChaosHarness::MaybeJumpClock(std::string_view site, Timestamp now) {
+  double delta = 0.0;
+  if (!Fire(OpKind::kClockJump, site, &delta)) return now;
+  return now + static_cast<Timestamp>(delta);
+}
+
+}  // namespace qb5000

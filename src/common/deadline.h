@@ -1,0 +1,56 @@
+#pragma once
+
+#include <limits>
+
+#include "common/metrics.h"
+
+namespace qb5000 {
+
+/// A wall-clock time budget for one operation (DESIGN.md §13). Constructed
+/// at the operation's entry point and passed down by pointer; stages check
+/// `Exceeded()` at their degradation points and fall to a cheaper rung
+/// instead of blowing the budget. Built on Stopwatch — the one sanctioned
+/// steady-clock wrapper — so budgeted paths stay visible to the same
+/// timing discipline as everything else.
+///
+/// An unbounded (default) deadline never reports exceeded; passing
+/// `nullptr` where a `const Deadline*` is expected means the same thing,
+/// so legacy call sites stay budget-free without a sentinel object.
+class Deadline {
+ public:
+  /// Unbounded: Exceeded() is always false.
+  Deadline() = default;
+
+  /// Expires `budget_seconds` of wall-clock time after construction.
+  /// Non-positive budgets are already expired (useful in tests).
+  explicit Deadline(double budget_seconds)
+      : bounded_(true), budget_seconds_(budget_seconds) {}
+
+  bool bounded() const { return bounded_; }
+
+  /// True once the budget is spent. Each call re-reads the clock.
+  bool Exceeded() const {
+    return bounded_ && watch_.ElapsedSeconds() >= budget_seconds_;
+  }
+
+  /// Seconds left before expiry; +infinity when unbounded, clamped at 0.
+  double remaining_seconds() const {
+    if (!bounded_) return std::numeric_limits<double>::infinity();
+    double left = budget_seconds_ - watch_.ElapsedSeconds();
+    return left > 0.0 ? left : 0.0;
+  }
+
+  double budget_seconds() const { return budget_seconds_; }
+
+ private:
+  Stopwatch watch_;
+  bool bounded_ = false;
+  double budget_seconds_ = 0.0;
+};
+
+/// Convenience for call sites holding a possibly-null deadline pointer.
+inline bool DeadlineExceeded(const Deadline* deadline) {
+  return deadline != nullptr && deadline->Exceeded();
+}
+
+}  // namespace qb5000

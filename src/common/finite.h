@@ -1,0 +1,46 @@
+#pragma once
+
+#include <cmath>
+
+namespace qb5000 {
+
+/// Floating-point classification helpers (DESIGN.md §13).
+///
+/// This header is the single sanctioned home of `std::isfinite` /
+/// `std::isnan` in the library: tools/qb_lint.py (`raw-finite`) bans the
+/// raw spellings everywhere else. Centralizing them buys two things:
+///
+///  1. **Auditability.** "Where do non-finite values get classified?" has
+///     one answer; the resilience layer's no-NaN-escapes guarantee (health
+///     gate, Standardizer hardening, prediction capping) is reviewable by
+///     reading the call sites of these four functions.
+///  2. **A single seam.** If a build ever needs -ffast-math-compatible
+///     classification (bit tricks instead of the libm calls the optimizer
+///     is allowed to fold to `false`), only this file changes.
+///
+/// All helpers are branch-free wrappers — identical codegen to the raw
+/// calls under the default flags.
+
+/// True iff `v` is neither NaN nor +/-infinity.
+inline bool IsFinite(double v) { return std::isfinite(v); }
+
+/// True iff `v` is NaN.
+inline bool IsNaN(double v) { return std::isnan(v); }
+
+/// True iff every element of the range (Vector, std::span, Matrix::data(),
+/// any double range) is finite. Empty ranges are vacuously finite.
+template <typename Range>
+inline bool AllFinite(const Range& values) {
+  for (double v : values) {
+    if (!std::isfinite(v)) return false;
+  }
+  return true;
+}
+
+/// Returns `v` if finite, else `fallback` — the canonical "scrub one
+/// suspect value" idiom for outputs that must never carry NaN/Inf.
+inline double FiniteOr(double v, double fallback) {
+  return std::isfinite(v) ? v : fallback;
+}
+
+}  // namespace qb5000

@@ -1,8 +1,10 @@
 #pragma once
 
+#include <chrono>
 #include <condition_variable>
 #include <mutex>
 #include <shared_mutex>
+#include <thread>
 
 #include "common/thread_annotations.h"
 
@@ -142,6 +144,35 @@ class QB_CAPABILITY("shared_mutex") SharedMutex {
     mu_.unlock_shared();
   }
 
+  /// Bounded-wait shared acquisition for deadline-bounded readers
+  /// (DESIGN.md §13): yield-spins on the native try-lock until it succeeds
+  /// or `timeout_seconds` of wall time elapses. Returns whether the lock
+  /// was acquired; the Debug order checker records the hold only on
+  /// success (a failed try acquires nothing). Spinning (vs. a native timed
+  /// lock) keeps std::shared_mutex — std::shared_timed_mutex trades fast
+  /// uncontended paths for a capability unused everywhere else — and the
+  /// yield means a writer mid-critical-section still gets the core.
+  bool ReaderTryLockFor(double timeout_seconds)
+      QB_TRY_ACQUIRE_SHARED(true) {
+    if (mu_.try_lock_shared()) {
+      mutex_internal::NoteAcquire(this, level_, name_);
+      return true;
+    }
+    if (timeout_seconds <= 0.0) return false;
+    auto give_up =
+        std::chrono::steady_clock::now() +
+        std::chrono::duration_cast<std::chrono::steady_clock::duration>(
+            std::chrono::duration<double>(timeout_seconds));
+    do {
+      std::this_thread::yield();
+      if (mu_.try_lock_shared()) {
+        mutex_internal::NoteAcquire(this, level_, name_);
+        return true;
+      }
+    } while (std::chrono::steady_clock::now() < give_up);
+    return false;
+  }
+
   int level() const { return level_; }
   const char* name() const { return name_; }
 
@@ -215,6 +246,33 @@ class QB_SCOPED_CAPABILITY ReaderLock {
 
  private:
   SharedMutex* const mu_;
+};
+
+/// RAII shared lock with a bounded wait: tries for `timeout_seconds`, then
+/// gives up. `held()` reports the outcome; the destructor releases only on
+/// a successful acquisition. Like the Maybe guards below, it is annotated
+/// as if it always acquires — the Abseil MutexLockMaybe contract — because
+/// the analysis has no conditional-capability vocabulary; callers on the
+/// !held() branch must confine themselves to state the capability does not
+/// actually guard (the degraded-rung path reads only its own snapshot).
+class QB_SCOPED_CAPABILITY TimedReaderLock {
+ public:
+  TimedReaderLock(SharedMutex* mu, double timeout_seconds)
+      QB_ACQUIRE_SHARED(mu)
+      : mu_(mu), held_(mu->ReaderTryLockFor(timeout_seconds)) {}
+  ~TimedReaderLock() QB_RELEASE() {
+    if (held_) mu_->ReaderUnlock();
+  }
+
+  /// Whether the shared lock was actually acquired.
+  bool held() const { return held_; }
+
+  TimedReaderLock(const TimedReaderLock&) = delete;
+  TimedReaderLock& operator=(const TimedReaderLock&) = delete;
+
+ private:
+  SharedMutex* const mu_;
+  const bool held_;
 };
 
 /// Like WriterLock, but `mu == nullptr` locks nothing — for call protocols

@@ -23,6 +23,10 @@ const char* CodeName(StatusCode code) {
       return "INTERNAL";
     case StatusCode::kIOError:
       return "IO_ERROR";
+    case StatusCode::kOverloaded:
+      return "OVERLOADED";
+    case StatusCode::kDeadlineExceeded:
+      return "DEADLINE_EXCEEDED";
   }
   return "UNKNOWN";
 }

@@ -21,6 +21,8 @@ enum class StatusCode {
   kFailedPrecondition,
   kInternal,
   kIOError,
+  kOverloaded,         ///< backpressure: shed now, safe to retry with backoff
+  kDeadlineExceeded,   ///< time budget spent before the work could finish
 };
 
 /// A lightweight success-or-error value. Cheap to copy on the success path
@@ -58,6 +60,12 @@ class [[nodiscard]] Status {
   }
   static Status IOError(std::string msg) {
     return Status(StatusCode::kIOError, std::move(msg));
+  }
+  static Status Overloaded(std::string msg) {
+    return Status(StatusCode::kOverloaded, std::move(msg));
+  }
+  static Status DeadlineExceeded(std::string msg) {
+    return Status(StatusCode::kDeadlineExceeded, std::move(msg));
   }
 
   bool ok() const { return code_ == StatusCode::kOk; }

@@ -1,5 +1,7 @@
 #include "core/qb5000.h"
 
+#include "common/chaos.h"
+#include "common/finite.h"
 #include "common/mutex.h"
 
 namespace qb5000 {
@@ -21,6 +23,11 @@ QueryBot5000::QueryBot5000(Config config)
   maintenance_skipped_total_ =
       metrics_->GetCounter("core.maintenance_skipped_total");
   forecasts_total_ = metrics_->GetCounter("core.forecasts_total");
+  sheds_total_ = metrics_->GetCounter("core.sheds_total");
+  rung_full_total_ = metrics_->GetCounter("core.forecast_rung_full_total");
+  rung_linear_total_ = metrics_->GetCounter("core.forecast_rung_linear_total");
+  rung_fallback_total_ =
+      metrics_->GetCounter("core.forecast_rung_fallback_total");
   coverage_gauge_ = metrics_->GetGauge("core.coverage");
   modeled_clusters_gauge_ = metrics_->GetGauge("core.modeled_clusters");
   maintenance_seconds_ = metrics_->GetHistogram("core.maintenance_seconds");
@@ -28,10 +35,43 @@ QueryBot5000::QueryBot5000(Config config)
   lock_wait_seconds_ = metrics_->GetHistogram("core.lock_wait_seconds");
 }
 
+bool QueryBot5000::AdmitArrivals(size_t n) {
+  if (config_.max_pending_arrivals == 0 || n == 0) return true;
+  auto& pending = resilience_->pending_arrivals;
+  int64_t limit = static_cast<int64_t>(config_.max_pending_arrivals);
+  // Backlog-bound semantics: admit while the backlog is below the limit,
+  // whatever the increment — so one oversized batch against an idle
+  // pipeline is admitted (and briefly overshoots) rather than being
+  // unservable at any capacity. Shedding starts only under sustained
+  // concurrent pressure, which is what the gate exists to bound.
+  int64_t before = pending.fetch_add(static_cast<int64_t>(n),
+                                     std::memory_order_acq_rel);
+  if (before >= limit) {
+    pending.fetch_sub(static_cast<int64_t>(n), std::memory_order_acq_rel);
+    sheds_total_->Add(static_cast<uint64_t>(n));
+    return false;
+  }
+  return true;
+}
+
+void QueryBot5000::ReleaseArrivals(size_t n) {
+  if (config_.max_pending_arrivals == 0 || n == 0) return;
+  resilience_->pending_arrivals.fetch_sub(static_cast<int64_t>(n),
+                                          std::memory_order_acq_rel);
+}
+
 Status QueryBot5000::Ingest(std::string_view sql, Timestamp ts, double count) {
-  WriterLock lock(state_mu_);
-  auto id = pre_.Ingest(sql, ts, count);
-  return id.ok() ? Status::Ok() : id.status();
+  if (!AdmitArrivals(1)) {
+    return Status::Overloaded("ingest backlog full; retry with backoff");
+  }
+  Status out;
+  {
+    WriterLock lock(state_mu_);
+    auto id = pre_.Ingest(sql, ts, count);
+    out = id.ok() ? Status::Ok() : id.status();
+  }
+  ReleaseArrivals(1);
+  return out;
 }
 
 // The PreProcessor takes the lock itself: shared for the cache probe,
@@ -39,9 +79,19 @@ Status QueryBot5000::Ingest(std::string_view sql, Timestamp ts, double count) {
 // hand-off protocol — pre_ touched only inside the phases IngestBatch locks —
 // is beyond what Thread Safety Analysis can follow, so this one entry point
 // opts out and tests/tsan carry the proof instead.
-std::vector<TemplateId> QueryBot5000::IngestBatch(
+Result<std::vector<TemplateId>> QueryBot5000::IngestBatch(
     std::span<const QueryArrival> arrivals) QB_NO_THREAD_SAFETY_ANALYSIS {
-  return pre_.IngestBatch(arrivals, state_mu_);
+  if (!AdmitArrivals(arrivals.size())) {
+    return Status::Overloaded(
+        "ingest backlog full; batch shed, retry with backoff");
+  }
+  // Chaos probe: parks the batch *after* admission, holding its backlog
+  // reservation, so tests can deterministically drive concurrent arrivals
+  // into the shed path while this batch is "in flight".
+  ChaosHarness::Global().MaybeStall("ingest.batch");
+  std::vector<TemplateId> ids = pre_.IngestBatch(arrivals, state_mu_);
+  ReleaseArrivals(arrivals.size());
+  return ids;
 }
 
 void QueryBot5000::IngestTemplatized(const TemplatizeOutput& templatized,
@@ -73,6 +123,9 @@ std::vector<ClusterId> QueryBot5000::ModeledClustersLocked() const {
 }
 
 Status QueryBot5000::RunMaintenance(Timestamp now, bool force) {
+  // Chaos probe: a clock step (NTP, VM resume) reaches maintenance through
+  // its real entry value — timestamps are virtual, so this is the seam.
+  now = ChaosHarness::Global().MaybeJumpClock("maintenance.clock", now);
   Stopwatch lock_wait;
   WriterLock lock(state_mu_);
   lock_wait_seconds_->Observe(lock_wait.ElapsedSeconds());
@@ -99,13 +152,28 @@ Status QueryBot5000::RunMaintenance(Timestamp now, bool force) {
   maintenance_runs_total_->Add();
   ScopedTimer maintenance_timer(maintenance_seconds_);
   ScopedSpan maintenance_span(tracer_.get(), "maintenance");
+  // Forward-jump clamp, mirroring the backwards re-anchor above: after a
+  // forward clock step the apparent gap since the last pass can dwarf any
+  // real elapsed time, and anchoring housekeeping at the stepped `now`
+  // would mass-evict live templates and compact still-fresh history. Cap
+  // the housekeeping anchor at the tolerated step past the last pass;
+  // training and the maintenance timer still use the live clock (after the
+  // step, the new time *is* the time — only the gap was fictitious).
+  Timestamp housekeep_now = now;
+  if (!never_ran) {
+    int64_t tolerated =
+        config_.maintenance_period_seconds + config_.max_clock_step_seconds;
+    if (now - last_maintenance_ > tolerated) {
+      housekeep_now = last_maintenance_ + tolerated;
+    }
+  }
   {
     ScopedSpan span(tracer_.get(), "maintenance/evict");
-    pre_.EvictIdleTemplates(now - config_.template_eviction_seconds);
+    pre_.EvictIdleTemplates(housekeep_now - config_.template_eviction_seconds);
   }
   {
     ScopedSpan span(tracer_.get(), "maintenance/compact");
-    pre_.CompactBefore(now);
+    pre_.CompactBefore(housekeep_now);
   }
   {
     ScopedSpan span(tracer_.get(), "maintenance/cluster");
@@ -128,9 +196,14 @@ Status QueryBot5000::RunMaintenance(Timestamp now, bool force) {
     last_maintenance_ = now;
     return Status::Ok();  // nothing to model yet
   }
+  // Refresh the forecast fallback snapshot *before* training: if the train
+  // below stalls or fails, bounded Forecasts still degrade onto current
+  // history instead of a snapshot from the previous period.
+  RefreshFallbackLocked(clusters, now);
   Status st;
   {
     ScopedSpan span(tracer_.get(), "maintenance/train");
+    ChaosHarness::Global().MaybeStall("maintenance.train");
     st = forecaster_.Train(pre_, clusterer_, clusters, now, config_.horizons);
   }
   if (!st.ok()) return st;
@@ -138,20 +211,55 @@ Status QueryBot5000::RunMaintenance(Timestamp now, bool force) {
   return Status::Ok();
 }
 
-Result<QueryBot5000::WorkloadForecast> QueryBot5000::Forecast(
-    Timestamp now, int64_t horizon_seconds) const {
-  Stopwatch lock_wait;
-  ReaderLock lock(state_mu_);
-  lock_wait_seconds_->Observe(lock_wait.ElapsedSeconds());
-  forecasts_total_->Add();
-  ScopedTimer forecast_timer(forecast_seconds_);
-  ScopedSpan forecast_span(tracer_.get(), "forecast");
+void QueryBot5000::RefreshFallbackLocked(
+    const std::vector<ClusterId>& clusters, Timestamp now) {
+  WorkloadForecast snapshot;
+  snapshot.interval_seconds = config_.forecaster.interval_seconds;
+  int64_t interval = config_.forecaster.interval_seconds;
+  Timestamp from =
+      now - static_cast<int64_t>(config_.forecaster.input_window) * interval;
+  for (ClusterId id : clusters) {
+    auto center = clusterer_.CenterSeries(pre_, id, interval, from, now);
+    if (!center.ok()) continue;
+    double sum = 0.0;
+    size_t n = center->values().size();
+    for (double v : center->values()) sum += v;
+    double avg = n > 0 ? sum / static_cast<double>(n) : 0.0;
+    auto it = clusterer_.clusters().find(id);
+    double members =
+        it != clusterer_.clusters().end()
+            ? static_cast<double>(it->second.members.size())
+            : 1.0;
+    snapshot.clusters.push_back(id);
+    snapshot.queries_per_interval.push_back(FiniteOr(avg, 0.0) * members);
+  }
+  MutexLock fb(&resilience_->fallback_mu);
+  resilience_->fallback = std::move(snapshot);
+  resilience_->fallback_valid = !resilience_->fallback.clusters.empty();
+}
+
+Result<QueryBot5000::WorkloadForecast> QueryBot5000::FallbackForecast() const {
+  MutexLock fb(&resilience_->fallback_mu);
+  if (!resilience_->fallback_valid) {
+    return Status::FailedPrecondition(
+        "no fallback snapshot; maintenance has not selected clusters yet");
+  }
+  return resilience_->fallback;
+}
+
+Result<QueryBot5000::WorkloadForecast> QueryBot5000::ForecastLocked(
+    Timestamp now, int64_t horizon_seconds, const Deadline* deadline,
+    ForecastRung* rung_used) const {
   if (!forecaster_.trained()) {
     return Status::FailedPrecondition(
         "no trained models; call RunMaintenance first");
   }
-  auto rates = forecaster_.Forecast(pre_, clusterer_, now, horizon_seconds);
+  ForecastRung rung = ForecastRung::kFull;
+  auto rates = forecaster_.Forecast(pre_, clusterer_, now, horizon_seconds,
+                                    deadline, &rung);
   if (!rates.ok()) return rates.status();
+  if (rung_used != nullptr) *rung_used = rung;
+  (rung == ForecastRung::kFull ? rung_full_total_ : rung_linear_total_)->Add();
   WorkloadForecast forecast;
   forecast.clusters = forecaster_.modeled_clusters();
   forecast.queries_per_interval = std::move(*rates);
@@ -168,6 +276,64 @@ Result<QueryBot5000::WorkloadForecast> QueryBot5000::Forecast(
     }
   }
   return forecast;
+}
+
+Result<QueryBot5000::WorkloadForecast> QueryBot5000::Forecast(
+    Timestamp now, int64_t horizon_seconds) const {
+  Stopwatch lock_wait;
+  ReaderLock lock(state_mu_);
+  lock_wait_seconds_->Observe(lock_wait.ElapsedSeconds());
+  forecasts_total_->Add();
+  ScopedTimer forecast_timer(forecast_seconds_);
+  ScopedSpan forecast_span(tracer_.get(), "forecast");
+  return ForecastLocked(now, horizon_seconds, /*deadline=*/nullptr,
+                        /*rung_used=*/nullptr);
+}
+
+Result<QueryBot5000::WorkloadForecast> QueryBot5000::Forecast(
+    Timestamp now, int64_t horizon_seconds, double budget_seconds,
+    ForecastRung* rung_used) const {
+  if (budget_seconds <= 0.0) {
+    // Unbounded, but still reporting the rung for symmetric call sites.
+    Stopwatch lock_wait;
+    ReaderLock lock(state_mu_);
+    lock_wait_seconds_->Observe(lock_wait.ElapsedSeconds());
+    forecasts_total_->Add();
+    ScopedTimer forecast_timer(forecast_seconds_);
+    ScopedSpan forecast_span(tracer_.get(), "forecast");
+    return ForecastLocked(now, horizon_seconds, nullptr, rung_used);
+  }
+  Deadline deadline(budget_seconds);
+  Stopwatch lock_wait;
+  // Spend at most half the budget waiting for the state lock; the
+  // remainder is for gathering inputs and predicting. A writer that holds
+  // the lock longer than that (maintenance mid-train, or wedged) must not
+  // make Forecast miss its bound — the fallback rung serves lock-free.
+  TimedReaderLock lock(state_mu_, budget_seconds * 0.5);
+  lock_wait_seconds_->Observe(lock_wait.ElapsedSeconds());
+  forecasts_total_->Add();
+  ScopedTimer forecast_timer(forecast_seconds_);
+  ScopedSpan forecast_span(tracer_.get(), "forecast");
+  if (lock.held()) {
+    auto result = ForecastLocked(now, horizon_seconds, &deadline, rung_used);
+    StatusCode code = result.ok() ? StatusCode::kOk : result.status().code();
+    bool degrade_to_fallback = code == StatusCode::kDeadlineExceeded ||
+                               code == StatusCode::kFailedPrecondition;
+    if (!degrade_to_fallback) return result;
+    // Budget spent before any model could run, or no trained models at
+    // all (e.g. the first training round was rejected by the health
+    // gate): the history-average snapshot is the documented last rung.
+    auto fallback = FallbackForecast();
+    if (!fallback.ok()) return result;  // surface the original verdict
+    if (rung_used != nullptr) *rung_used = ForecastRung::kFallback;
+    rung_fallback_total_->Add();
+    return fallback;
+  }
+  auto fallback = FallbackForecast();
+  if (!fallback.ok()) return fallback.status();
+  if (rung_used != nullptr) *rung_used = ForecastRung::kFallback;
+  rung_fallback_total_->Add();
+  return fallback;
 }
 
 }  // namespace qb5000

@@ -1,5 +1,6 @@
 #pragma once
 
+#include <atomic>
 #include <limits>
 #include <memory>
 #include <span>
@@ -9,6 +10,7 @@
 
 #include "clusterer/online_clusterer.h"
 #include "common/clock.h"
+#include "common/deadline.h"
 #include "common/metrics.h"
 #include "common/mutex.h"
 #include "common/status.h"
@@ -55,12 +57,28 @@ class QueryBot5000 {
     int64_t maintenance_period_seconds = kSecondsPerDay;
     /// Templates idle longer than this are evicted (Section 5.2).
     int64_t template_eviction_seconds = 30 * kSecondsPerDay;
+    /// Forward clock steps are tolerated up to maintenance_period plus this
+    /// slack; a larger apparent gap between maintenance passes (an NTP
+    /// step, a resumed VM) is treated as a clock jump and the housekeeping
+    /// anchors (template eviction, history compaction) advance by only the
+    /// tolerated amount, so a stepped clock cannot mass-evict live
+    /// templates or compact fresh history (DESIGN.md §13).
+    int64_t max_clock_step_seconds = kSecondsPerDay;
+    /// Admission gate (DESIGN.md §13): Ingest/IngestBatch arrivals in
+    /// flight may not exceed this backlog; excess arrivals are shed with
+    /// kOverloaded (counted in core.sheds_total) for the caller to retry
+    /// with backoff (common/retry.h). Generous by default — the gate
+    /// exists to bound memory and lock convoys under ingest storms, not to
+    /// police steady-state traffic. 0 turns the gate off (unbounded).
+    size_t max_pending_arrivals = size_t{1} << 20;
   };
 
   QueryBot5000() : QueryBot5000(Config()) {}
   explicit QueryBot5000(Config config);
 
-  /// Ingests one query arriving at `ts`.
+  /// Ingests one query arriving at `ts`. Returns kOverloaded (without
+  /// touching any state) when the admission gate's backlog bound is hit;
+  /// that failure is retryable — see common/retry.h.
   Status Ingest(std::string_view sql, Timestamp ts, double count = 1.0);
   Status Ingest(const std::string& sql,  // lint:string-ref-ok
                 Timestamp ts, double count = 1.0) {
@@ -75,10 +93,15 @@ class QueryBot5000 {
   /// once per batch instead of once per query. Returns the TemplateId per
   /// arrival (0 = rejected, counted in preprocessor.parse_failures_total).
   /// Bit-identical ids/histories/counters to per-query Ingest at any thread
-  /// count for integer-valued counts.
-  std::vector<TemplateId> IngestBatch(std::span<const QueryArrival> arrivals);
+  /// count for integer-valued counts. The whole batch is admitted or shed
+  /// as a unit: kOverloaded (retryable, core.sheds_total) means no arrival
+  /// in it was ingested.
+  Result<std::vector<TemplateId>> IngestBatch(
+      std::span<const QueryArrival> arrivals);
 
-  /// Ingests an already-templatized arrival (bulk/generator path).
+  /// Ingests an already-templatized arrival (bulk/generator path). Not
+  /// admission-gated: generators feed synthetic volume deliberately and own
+  /// their own pacing.
   void IngestTemplatized(const TemplatizeOutput& templatized, Timestamp ts,
                          double count = 1.0);
 
@@ -95,6 +118,18 @@ class QueryBot5000 {
     int64_t interval_seconds = 0;
   };
   Result<WorkloadForecast> Forecast(Timestamp now, int64_t horizon_seconds) const;
+
+  /// Deadline-bounded forecast (DESIGN.md §13): spends at most
+  /// `budget_seconds` of wall time, degrading down the ladder instead of
+  /// blocking — full model stack, then linear-only once the budget is
+  /// nearly spent, then the precomputed history-average snapshot when even
+  /// the state lock cannot be had in time (e.g. maintenance is mid-train
+  /// or wedged). Per-rung accounting in core.forecast_rung_*_total;
+  /// `rung_used` (optional) reports the serving rung. A non-positive
+  /// budget is unbounded (identical to the overload above).
+  Result<WorkloadForecast> Forecast(Timestamp now, int64_t horizon_seconds,
+                                    double budget_seconds,
+                                    ForecastRung* rung_used = nullptr) const;
 
   /// The clusters currently modeled (top by volume under coverage_target).
   std::vector<ClusterId> ModeledClusters() const;
@@ -180,6 +215,34 @@ class QueryBot5000 {
   /// the shared lock it already holds without a recursive acquisition.
   std::string SerializeControllerLocked() const QB_REQUIRES_SHARED(state_mu_);
 
+  /// Shared Forecast body for the bounded and unbounded entry points;
+  /// callers hold state_mu_ (shared suffices). Increments the full/linear
+  /// rung counters; the fallback rung is the callers' business (it runs
+  /// precisely when this body cannot).
+  Result<WorkloadForecast> ForecastLocked(Timestamp now,
+                                          int64_t horizon_seconds,
+                                          const Deadline* deadline,
+                                          ForecastRung* rung_used) const
+      QB_REQUIRES_SHARED(state_mu_);
+
+  /// Serves the degradation ladder's last rung from the published
+  /// history-average snapshot. Never touches state_mu_ — this is what
+  /// keeps bounded Forecasts answerable while maintenance holds the state
+  /// lock for seconds at a time.
+  Result<WorkloadForecast> FallbackForecast() const;
+
+  /// Recomputes and publishes the fallback snapshot for `clusters`.
+  /// RunMaintenance calls it after cluster selection but *before*
+  /// training, so even a training round that stalls or fails leaves a
+  /// fresh snapshot behind.
+  void RefreshFallbackLocked(const std::vector<ClusterId>& clusters,
+                             Timestamp now) QB_REQUIRES_SHARED(state_mu_);
+
+  /// Admission gate: reserves backlog for `n` arrivals. False = shed (the
+  /// caller returns kOverloaded and counts core.sheds_total).
+  bool AdmitArrivals(size_t n);
+  void ReleaseArrivals(size_t n);
+
   /// Returns `config` with every component Options pointed at `metrics`
   /// (the per-instance registry always wins over caller-set registries).
   static Config BindObservability(Config config, MetricsRegistry* metrics);
@@ -201,6 +264,22 @@ class QueryBot5000 {
       lock_level::kControllerState, "core.state");
   SharedMutex* state_mu_ = state_mu_owner_.get();  // non-const: keeps moves
 
+  /// Resilience state (DESIGN.md §13), heap-allocated for the same
+  /// movability reason as the state mutex: atomics and mutexes pin their
+  /// addresses, and the controller must stay movable for Restore().
+  /// `fallback_mu` is leaf-level so publishing under the exclusively-held
+  /// state lock (maintenance) and reading with *no* state lock (the shed
+  /// path of a bounded Forecast) are both legal acquisitions.
+  struct ResilienceState {
+    /// Arrivals currently admitted into Ingest/IngestBatch.
+    std::atomic<int64_t> pending_arrivals{0};
+    Mutex fallback_mu{lock_level::kLeaf, "core.fallback"};
+    WorkloadForecast fallback QB_GUARDED_BY(fallback_mu);
+    bool fallback_valid QB_GUARDED_BY(fallback_mu) = false;
+  };
+  std::unique_ptr<ResilienceState> resilience_ =
+      std::make_unique<ResilienceState>();
+
   Config config_;
   PreProcessor pre_ QB_GUARDED_BY(state_mu_);
   OnlineClusterer clusterer_ QB_GUARDED_BY(state_mu_);
@@ -212,6 +291,10 @@ class QueryBot5000 {
   Counter* maintenance_runs_total_ = nullptr;
   Counter* maintenance_skipped_total_ = nullptr;  ///< called but not due
   Counter* forecasts_total_ = nullptr;
+  Counter* sheds_total_ = nullptr;  ///< arrivals rejected by the gate
+  Counter* rung_full_total_ = nullptr;      ///< forecasts: full model stack
+  Counter* rung_linear_total_ = nullptr;    ///< forecasts: linear-only rung
+  Counter* rung_fallback_total_ = nullptr;  ///< forecasts: history average
   Gauge* coverage_gauge_ = nullptr;  ///< volume fraction covered by models
   Gauge* modeled_clusters_gauge_ = nullptr;
   Histogram* maintenance_seconds_ = nullptr;

@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <cmath>
 
+#include "common/finite.h"
+
 namespace qb5000 {
 namespace {
 
@@ -81,7 +83,7 @@ Vector ToArrivalRates(const Vector& log_space) {
     // outside its training distribution (e.g. during a workload shift)
     // must yield a large-but-finite rate, never inf/NaN.
     double v = log_space[i];
-    if (!std::isfinite(v)) v = 0.0;
+    if (!IsFinite(v)) v = 0.0;
     v = std::clamp(v, 0.0, 50.0);
     out[i] = std::expm1(v);
   }

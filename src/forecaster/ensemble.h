@@ -22,6 +22,14 @@ class EnsembleModel : public ForecastModel {
   Result<Vector> Predict(const Vector& x) const override;
   std::string_view name() const override { return "ENSEMBLE"; }
   ModelTraits traits() const override { return {false, true, false}; }
+  bool ParametersFinite() const override {
+    return (lr_ == nullptr || lr_->ParametersFinite()) &&
+           (rnn_ == nullptr || rnn_->ParametersFinite());
+  }
+
+  /// The LR component — the degradation ladder's linear-only rung predicts
+  /// through it when the budget cannot afford the RNN/KR components.
+  const std::shared_ptr<ForecastModel>& lr() const { return lr_; }
 
  private:
   std::shared_ptr<ForecastModel> lr_;
@@ -51,6 +59,10 @@ class HybridModel : public ForecastModel {
 
   std::string_view name() const override { return "HYBRID"; }
   ModelTraits traits() const override { return {false, true, true}; }
+  bool ParametersFinite() const override {
+    return (ensemble_ == nullptr || ensemble_->ParametersFinite()) &&
+           (kr_ == nullptr || kr_->ParametersFinite());
+  }
 
  private:
   std::shared_ptr<ForecastModel> ensemble_;

@@ -2,7 +2,10 @@
 
 #include <algorithm>
 #include <cmath>
+#include <utility>
 
+#include "common/chaos.h"
+#include "common/finite.h"
 #include "common/thread_pool.h"
 #include "forecaster/dataset.h"
 #include "forecaster/ensemble.h"
@@ -16,6 +19,11 @@ namespace {
 /// Newest dataset rows evaluated for the per-horizon train_mse gauge.
 constexpr size_t kMseSampleRows = 64;
 
+/// MSE comparison floor: previous-round MSEs below this are treated as
+/// this, so a near-perfect previous fit does not make every successor
+/// "worse by more than the multiple" on noise alone.
+constexpr double kMseFloor = 1e-6;
+
 }  // namespace
 
 Forecaster::Forecaster(Options options) : options_(options) {
@@ -23,6 +31,9 @@ Forecaster::Forecaster(Options options) : options_(options) {
                                           : &MetricsRegistry::Global();
   trainings_total_ = registry_->GetCounter("forecaster.trainings_total");
   predictions_total_ = registry_->GetCounter("forecaster.predictions_total");
+  rollbacks_total_ = registry_->GetCounter("forecaster.rollbacks_total");
+  health_failures_total_ =
+      registry_->GetCounter("forecaster.health_failures_total");
 }
 
 Histogram* Forecaster::HorizonHistogram(const char* what,
@@ -37,11 +48,12 @@ Gauge* Forecaster::HorizonGauge(const char* what, int64_t horizon) const {
 }
 
 Result<std::vector<TimeSeries>> Forecaster::GatherSeries(
-    const PreProcessor& pre, const OnlineClusterer& clusterer, int64_t interval,
-    Timestamp from, Timestamp to) const {
+    const PreProcessor& pre, const OnlineClusterer& clusterer,
+    const std::vector<ClusterId>& clusters, int64_t interval, Timestamp from,
+    Timestamp to) const {
   std::vector<TimeSeries> series;
-  series.reserve(clusters_.size());
-  for (ClusterId id : clusters_) {
+  series.reserve(clusters.size());
+  for (ClusterId id : clusters) {
     auto center = clusterer.CenterSeries(pre, id, interval, from, to);
     if (!center.ok()) return center.status();
     series.push_back(std::move(*center));
@@ -49,26 +61,57 @@ Result<std::vector<TimeSeries>> Forecaster::GatherSeries(
   return series;
 }
 
+bool Forecaster::HorizonHealthy(const HorizonModel& staged, int64_t horizon,
+                                bool same_clusters) const {
+  if (staged.model == nullptr) return false;
+  if (!staged.model->ParametersFinite()) return false;
+  // An evaluated MSE must at least be a number; NaN here means the model
+  // emits non-finite predictions even on its own training data.
+  if (staged.train_mse >= 0.0 && !IsFinite(staged.train_mse)) return false;
+  if (staged.train_mse < 0.0 && staged.train_mse != -1.0) return false;
+  // Regression check against the previous round — only meaningful when the
+  // modeled cluster set is unchanged (after a workload shift the series
+  // themselves change and a bigger in-sample error is expected, not sick).
+  if (same_clusters && staged.train_mse >= 0.0) {
+    auto prev = models_.find(horizon);
+    if (prev != models_.end() && prev->second.train_mse >= 0.0 &&
+        IsFinite(prev->second.train_mse)) {
+      double bound = options_.health_mse_multiple *
+                     std::max(prev->second.train_mse, kMseFloor);
+      if (staged.train_mse > bound) return false;
+    }
+  }
+  return true;
+}
+
 Status Forecaster::Train(const PreProcessor& pre,
                          const OnlineClusterer& clusterer,
                          const std::vector<ClusterId>& clusters, Timestamp now,
-                         const std::vector<int64_t>& horizons_seconds) {
+                         const std::vector<int64_t>& horizons_seconds,
+                         RecoveryReport* report) {
   if (clusters.empty()) return Status::InvalidArgument("no clusters to model");
   trainings_total_->Add();
-  clusters_ = clusters;
-  models_.clear();
+  last_recovery_ = RecoveryReport();
+  // Everything below stages into locals and commits at the very end: any
+  // early return — gather failure, fit error, health-gate rejection —
+  // leaves the previously committed (last-good) models serving untouched.
+  auto fail_round = [&](Status st,
+                        std::vector<int64_t> failed) -> Status {
+    last_recovery_.failed_horizons = std::move(failed);
+    last_recovery_.detail = st.ToString();
+    if (trained()) {
+      last_recovery_.rolled_back = true;
+      rollbacks_total_->Add();
+    } else {
+      last_recovery_.discarded = true;
+    }
+    if (report != nullptr) *report = last_recovery_;
+    return st;
+  };
 
-  Timestamp train_from = now - options_.training_window_seconds;
-  auto series = GatherSeries(pre, clusterer, options_.interval_seconds,
-                             train_from, now);
-  if (!series.ok()) return series.status();
-
-  // Cap future predictions at 3x each cluster's training-history peak.
-  prediction_cap_log_.assign(clusters_.size(), 0.0);
-  for (size_t s = 0; s < series->size(); ++s) {
-    double peak = 0.0;
-    for (double v : (*series)[s].values()) peak = std::max(peak, v);
-    prediction_cap_log_[s] = std::log1p(3.0 * std::max(peak, 1.0));
+  if (ChaosHarness::Global().FailAlloc("forecaster.train")) {
+    return fail_round(
+        Status::Internal("chaos: training allocation denied"), {});
   }
 
   for (int64_t horizon : horizons_seconds) {
@@ -76,6 +119,19 @@ Status Forecaster::Train(const PreProcessor& pre,
       return Status::InvalidArgument(
           "horizon must be a positive multiple of the interval");
     }
+  }
+
+  Timestamp train_from = now - options_.training_window_seconds;
+  auto series = GatherSeries(pre, clusterer, clusters,
+                             options_.interval_seconds, train_from, now);
+  if (!series.ok()) return fail_round(series.status(), {});
+
+  // Cap future predictions at 3x each cluster's training-history peak.
+  Vector staged_cap_log(clusters.size(), 0.0);
+  for (size_t s = 0; s < series->size(); ++s) {
+    double peak = 0.0;
+    for (double v : (*series)[s].values()) peak = std::max(peak, v);
+    staged_cap_log[s] = std::log1p(3.0 * std::max(peak, 1.0));
   }
 
   // Fit all horizons concurrently: each FitHorizon call reads only const
@@ -86,21 +142,62 @@ Status Forecaster::Train(const PreProcessor& pre,
   std::vector<Status> statuses(horizons_seconds.size(), Status::Ok());
   ParallelFor(0, horizons_seconds.size(), 1, [&](size_t lo, size_t hi) {
     for (size_t i = lo; i < hi; ++i) {
-      statuses[i] = FitHorizon(pre, clusterer, *series, now,
+      statuses[i] = FitHorizon(pre, clusterer, clusters, *series, now,
                                horizons_seconds[i], &fitted[i]);
     }
   });
-  for (const Status& st : statuses) {
-    if (!st.ok()) return st;
+  for (size_t i = 0; i < statuses.size(); ++i) {
+    if (!statuses[i].ok()) {
+      return fail_round(statuses[i], {horizons_seconds[i]});
+    }
   }
+
+  // The health gate: every staged horizon must be sane before any of them
+  // deploys — a half-swapped model set would mix cluster orderings.
+  if (options_.health_gate) {
+    bool same_clusters = clusters == clusters_;
+    std::vector<int64_t> failed;
+    for (size_t i = 0; i < fitted.size(); ++i) {
+      if (!HorizonHealthy(fitted[i], horizons_seconds[i], same_clusters)) {
+        failed.push_back(horizons_seconds[i]);
+        health_failures_total_->Add();
+      }
+    }
+    if (!failed.empty()) {
+      bool had_last_good = trained();
+      Status verdict = fail_round(
+          Status::Internal("health gate rejected staged models"),
+          std::move(failed));
+      last_recovery_.health_check_failed = true;
+      if (report != nullptr) *report = last_recovery_;
+      // With a last-good set still serving this round is a degraded
+      // success — reporting an error would make the controller retry
+      // training on every maintenance pass (a retrain storm) for a
+      // condition the rollback already contained.
+      if (had_last_good) return Status::Ok();
+      return verdict;
+    }
+  }
+
+  // Commit: the staged set becomes the last-good set.
+  clusters_ = clusters;
+  prediction_cap_log_ = std::move(staged_cap_log);
+  models_.clear();
   for (size_t i = 0; i < horizons_seconds.size(); ++i) {
     models_[horizons_seconds[i]] = std::move(fitted[i]);
   }
+  for (const auto& [horizon, hm] : models_) {
+    if (hm.train_mse >= 0.0) {
+      HorizonGauge("train_mse", horizon)->Set(hm.train_mse);
+    }
+  }
+  if (report != nullptr) *report = last_recovery_;
   return Status::Ok();
 }
 
 Status Forecaster::FitHorizon(const PreProcessor& pre,
                               const OnlineClusterer& clusterer,
+                              const std::vector<ClusterId>& clusters,
                               const std::vector<TimeSeries>& series,
                               Timestamp now, int64_t horizon,
                               HorizonModel* out) const {
@@ -110,7 +207,7 @@ Status Forecaster::FitHorizon(const PreProcessor& pre,
 
   ModelOptions model_options = options_.model;
   model_options.input_window = options_.input_window;
-  model_options.num_series = clusters_.size();
+  model_options.num_series = clusters.size();
 
   auto dataset = BuildDataset(series, options_.input_window, hm.horizon_steps);
   if (!dataset.ok()) return dataset.status();
@@ -133,11 +230,12 @@ Status Forecaster::FitHorizon(const PreProcessor& pre,
       if (!st.ok()) return st;
     }
     auto ensemble = std::make_shared<EnsembleModel>(lr, rnn);
+    hm.linear = lr;
 
     // KR trains on the full recorded history at one-hour intervals
     // (Section 6.2) so long-period spikes stay in reach of the kernel.
     Timestamp first = now;
-    for (ClusterId id : clusters_) {
+    for (ClusterId id : clusters) {
       const auto& cluster = clusterer.clusters().at(id);
       for (TemplateId member : cluster.members) {
         const auto* info = pre.GetTemplate(member);
@@ -151,7 +249,8 @@ Status Forecaster::FitHorizon(const PreProcessor& pre,
                            : options_.input_window;
     size_t kr_steps =
         std::max<size_t>(1, static_cast<size_t>(horizon / kSecondsPerHour));
-    auto full = GatherSeries(pre, clusterer, kSecondsPerHour, first, now);
+    auto full =
+        GatherSeries(pre, clusterer, clusters, kSecondsPerHour, first, now);
     std::shared_ptr<KernelRegressionModel> kr;
     if (full.ok()) {
       ModelOptions kr_options = model_options;
@@ -180,11 +279,19 @@ Status Forecaster::FitHorizon(const PreProcessor& pre,
     if (!st.ok()) return st;
     hm.model = std::move(model);
     eval_model = hm.model.get();
+    // The linear-only rung: linear kinds serve themselves; an ENSEMBLE
+    // exposes its LR component.
+    if (hm.model->traits().linear) {
+      hm.linear = hm.model;
+    } else if (auto* ens = dynamic_cast<EnsembleModel*>(hm.model.get())) {
+      hm.linear = ens->lr();
+    }
   }
 
   // In-sample log-space MSE over the newest examples (<= 64 rows keeps the
   // cost a rounding error next to the fit itself) — the live analogue of
-  // the paper's Figure 8 training error.
+  // the paper's Figure 8 training error, and the health gate's regression
+  // signal across training rounds.
   if (eval_model != nullptr && dataset->x.rows() > 0) {
     size_t rows = dataset->x.rows();
     size_t start = rows > kMseSampleRows ? rows - kMseSampleRows : 0;
@@ -201,8 +308,7 @@ Status Forecaster::FitHorizon(const PreProcessor& pre,
       }
     }
     if (terms > 0) {
-      HorizonGauge("train_mse", horizon)
-          ->Set(se / static_cast<double>(terms));
+      hm.train_mse = se / static_cast<double>(terms);
     }
   }
   *out = std::move(hm);
@@ -211,8 +317,9 @@ Status Forecaster::FitHorizon(const PreProcessor& pre,
 
 Result<Vector> Forecaster::Forecast(const PreProcessor& pre,
                                     const OnlineClusterer& clusterer,
-                                    Timestamp now,
-                                    int64_t horizon_seconds) const {
+                                    Timestamp now, int64_t horizon_seconds,
+                                    const Deadline* deadline,
+                                    ForecastRung* rung_used) const {
   auto it = models_.find(horizon_seconds);
   if (it == models_.end()) {
     return Status::NotFound("no model trained for this horizon");
@@ -220,31 +327,55 @@ Result<Vector> Forecaster::Forecast(const PreProcessor& pre,
   predictions_total_->Add();
   ScopedTimer predict_timer(HorizonHistogram("predict_seconds", horizon_seconds));
   const HorizonModel& hm = it->second;
+  if (rung_used != nullptr) *rung_used = ForecastRung::kFull;
 
+  ChaosHarness::Global().MaybeStall("forecast.gather");
   Timestamp from =
       now - static_cast<int64_t>(options_.input_window) * options_.interval_seconds;
-  auto series = GatherSeries(pre, clusterer, options_.interval_seconds, from, now);
+  auto series = GatherSeries(pre, clusterer, clusters_,
+                             options_.interval_seconds, from, now);
   if (!series.ok()) return series.status();
   auto window = LatestWindow(*series, options_.input_window);
   if (!window.ok()) return window.status();
 
+  // Ladder checkpoint: the input window is in hand. If the budget is gone,
+  // one closed-form LR mat-vec is all we can still afford; without an LR
+  // component the controller's history-average fallback takes over.
+  bool degrade = DeadlineExceeded(deadline);
+
   Result<Vector> pred = Status::Internal("unset");
   auto* hybrid = dynamic_cast<HybridModel*>(hm.model.get());
-  if (hybrid != nullptr && hm.kr_window > 0) {
-    Timestamp kr_from =
-        now - static_cast<int64_t>(hm.kr_window) * kSecondsPerHour;
-    auto kr_series = GatherSeries(pre, clusterer, kSecondsPerHour, kr_from, now);
-    if (!kr_series.ok()) return kr_series.status();
-    auto kr_window = LatestWindow(*kr_series, hm.kr_window);
-    if (!kr_window.ok()) return kr_window.status();
-    pred = hybrid->PredictWithKrInput(*window, *kr_window);
-  } else {
+  if (!degrade && hybrid != nullptr && hm.kr_window > 0) {
+    ChaosHarness::Global().MaybeStall("forecast.kr");
+    // The KR gather walks the full recorded history — the expensive part.
+    // Re-check the budget right before paying for it.
+    if (DeadlineExceeded(deadline)) {
+      degrade = true;
+    } else {
+      Timestamp kr_from =
+          now - static_cast<int64_t>(hm.kr_window) * kSecondsPerHour;
+      auto kr_series = GatherSeries(pre, clusterer, clusters_,
+                                    kSecondsPerHour, kr_from, now);
+      if (!kr_series.ok()) return kr_series.status();
+      auto kr_window = LatestWindow(*kr_series, hm.kr_window);
+      if (!kr_window.ok()) return kr_window.status();
+      pred = hybrid->PredictWithKrInput(*window, *kr_window);
+    }
+  } else if (!degrade) {
     pred = hm.model->Predict(*window);
+  }
+  if (degrade) {
+    if (hm.linear == nullptr) {
+      return Status::DeadlineExceeded(
+          "forecast: budget spent and no linear rung for this model kind");
+    }
+    if (rung_used != nullptr) *rung_used = ForecastRung::kLinearOnly;
+    pred = hm.linear->Predict(*window);
   }
   if (!pred.ok()) return pred.status();
   Vector capped = *pred;
   for (size_t s = 0; s < capped.size() && s < prediction_cap_log_.size(); ++s) {
-    if (!std::isfinite(capped[s])) capped[s] = 0.0;
+    if (!IsFinite(capped[s])) capped[s] = 0.0;
     capped[s] = std::min(capped[s], prediction_cap_log_[s]);
   }
   return ToArrivalRates(capped);

@@ -1,5 +1,6 @@
 #pragma once
 
+#include "common/finite.h"
 #include "forecaster/model.h"
 
 namespace qb5000 {
@@ -22,6 +23,10 @@ class KernelRegressionModel : public ForecastModel {
   Result<Vector> Predict(const Vector& x) const override;
   std::string_view name() const override { return "KR"; }
   ModelTraits traits() const override { return {false, false, true}; }
+  bool ParametersFinite() const override {
+    return IsFinite(bandwidth_) && bandwidth_ > 0.0 &&
+           AllFinite(train_x_.data()) && AllFinite(train_y_.data());
+  }
 
   double bandwidth() const { return bandwidth_; }
 

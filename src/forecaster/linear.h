@@ -2,6 +2,7 @@
 
 #include <vector>
 
+#include "common/finite.h"
 #include "forecaster/model.h"
 
 namespace qb5000 {
@@ -18,6 +19,9 @@ class LinearRegressionModel : public ForecastModel {
   Result<Vector> Predict(const Vector& x) const override;
   std::string_view name() const override { return "LR"; }
   ModelTraits traits() const override { return {true, false, false}; }
+  bool ParametersFinite() const override {
+    return AllFinite(weights_.data());
+  }
 
   /// Learned weights ((input_dim + 1) x output_dim, last row = bias).
   const Matrix& weights() const { return weights_; }
@@ -41,6 +45,15 @@ class ArmaModel : public ForecastModel {
   Result<Vector> Predict(const Vector& x) const override;
   std::string_view name() const override { return "ARMA"; }
   ModelTraits traits() const override { return {true, true, false}; }
+  bool ParametersFinite() const override {
+    if (!AllFinite(ar_weights_.data()) || !AllFinite(ma_weights_.data())) {
+      return false;
+    }
+    for (const Vector& r : recent_residuals_) {
+      if (!AllFinite(r)) return false;
+    }
+    return true;
+  }
 
  private:
   ModelOptions options_;

@@ -79,6 +79,13 @@ class ForecastModel {
   /// Predicts the target vector for one input window.
   virtual Result<Vector> Predict(const Vector& x) const = 0;
 
+  /// Health-gate hook (DESIGN.md §13): true iff every learned parameter is
+  /// finite. A diverged fit (NaN/Inf anywhere in the learned state) fails
+  /// this check and the Forecaster rolls back to its last-good models
+  /// instead of deploying. The default covers models with no learned state;
+  /// every concrete model overrides it over its own parameters.
+  virtual bool ParametersFinite() const { return true; }
+
   virtual std::string_view name() const = 0;
   virtual ModelTraits traits() const = 0;
 };

@@ -5,6 +5,7 @@
 #include <numeric>
 
 #include "common/check.h"
+#include "common/finite.h"
 #include "common/thread_pool.h"
 #include "math/adam.h"
 #include "math/kernels.h"
@@ -20,7 +21,13 @@ Matrix Standardizer::FitTransform(const Matrix& data) {
   for (size_t i = 0; i < n; ++i) {
     for (size_t j = 0; j < d; ++j) mean_[j] += data(i, j);
   }
-  for (double& m : mean_) m /= static_cast<double>(n > 0 ? n : 1);
+  for (double& m : mean_) {
+    m /= static_cast<double>(n > 0 ? n : 1);
+    // A poisoned column (NaN/Inf upstream) must not poison the transform:
+    // degrade that column to the identity rather than spread the NaN into
+    // every standardized feature.
+    if (!IsFinite(m)) m = 0.0;
+  }
   for (size_t i = 0; i < n; ++i) {
     for (size_t j = 0; j < d; ++j) {
       double diff = data(i, j) - mean_[j];
@@ -29,7 +36,10 @@ Matrix Standardizer::FitTransform(const Matrix& data) {
   }
   for (double& s : std_) {
     s = std::sqrt(s / static_cast<double>(n > 1 ? n : 1));
-    if (s < 1e-8) s = 1.0;  // constant column: leave centered only
+    // Constant column (zero variance — a degenerate single-template
+    // cluster flatlines every window) or poisoned column: unit scale, so
+    // the transform is centering-only / identity instead of 0/0 = NaN.
+    if (!IsFinite(s) || s < 1e-8) s = 1.0;
   }
   Matrix out(n, d);
   for (size_t i = 0; i < n; ++i) {
@@ -140,15 +150,23 @@ class BatchObjective {
 /// training trajectory) is bit-identical at any concurrency. The shuffle
 /// consumes the seed-derived Rng on the calling thread only (Rng stays
 /// thread-affine).
-void TrainWithEarlyStopping(const ModelOptions& options, size_t num_examples,
-                            std::vector<double>& params,
-                            const BatchObjective& objective) {
+///
+/// Divergence (DESIGN.md §13): early stopping restores the best-validation
+/// snapshot, which quietly absorbs a *transient* bad epoch — but when no
+/// epoch ever produced a finite validation loss (a NaN gradient poisoned
+/// the very first step, or the loss overflowed immediately), the "best"
+/// snapshot is just the random init. Returning that as a trained model
+/// would hand the health gate a finite-but-garbage fit, so the divergence
+/// is surfaced as an error and the Forecaster's rollback keeps last-good.
+Status TrainWithEarlyStopping(const ModelOptions& options, size_t num_examples,
+                              std::vector<double>& params,
+                              const BatchObjective& objective) {
   size_t val_count = std::max<size_t>(
       1, static_cast<size_t>(static_cast<double>(num_examples) *
                              options.validation_fraction));
   if (val_count >= num_examples) val_count = num_examples / 2;
   size_t train_count = num_examples - val_count;
-  if (train_count == 0) return;
+  if (train_count == 0) return Status::Ok();
 
   AdamOptimizer::Options adam_opts;
   adam_opts.learning_rate = options.learning_rate;
@@ -174,8 +192,10 @@ void TrainWithEarlyStopping(const ModelOptions& options, size_t num_examples,
   std::vector<double> best_params = params;
   double best_val = std::numeric_limits<double>::infinity();
   size_t since_best = 0;
+  size_t epochs_run = 0;
 
   for (size_t epoch = 0; epoch < options.max_epochs; ++epoch) {
+    ++epochs_run;
     std::shuffle(order.begin(), order.end(), rng.engine());
     for (size_t b = 0; b < train_count; b += kBatch) {
       size_t batch_end = std::min(b + kBatch, train_count);
@@ -220,6 +240,14 @@ void TrainWithEarlyStopping(const ModelOptions& options, size_t num_examples,
     }
   }
   params = best_params;
+  // With a validation signal, any sane epoch leaves a finite best_val
+  // (anything finite beats infinity). Still-infinite after running epochs
+  // means every one was NaN/overflow — diverged, not trained.
+  if (val_count > 0 && epochs_run > 0 && !IsFinite(best_val)) {
+    return Status::Internal(
+        "training diverged: no epoch produced a finite validation loss");
+  }
+  return Status::Ok();
 }
 
 void RandomInit(std::vector<double>& params, size_t from, size_t count,
@@ -690,7 +718,8 @@ Status FnnModel::Fit(const Matrix& x_raw, const Matrix& y_raw) {
              1.0 / std::sqrt(static_cast<double>(hidden_)), rng);
 
   CoreObjective<FnnCore> objective(core, x, y, params_);
-  TrainWithEarlyStopping(options_, x.rows(), params_, objective);
+  Status trained = TrainWithEarlyStopping(options_, x.rows(), params_, objective);
+  if (!trained.ok()) return trained;
   fitted_ = true;
   return Status::Ok();
 }
@@ -741,7 +770,8 @@ Status RnnModel::Fit(const Matrix& x_raw, const Matrix& y_raw) {
   core.Init(params_, options_.seed);
 
   CoreObjective<LstmCore> objective(core, x, y, params_);
-  TrainWithEarlyStopping(options_, x.rows(), params_, objective);
+  Status trained = TrainWithEarlyStopping(options_, x.rows(), params_, objective);
+  if (!trained.ok()) return trained;
   fitted_ = true;
   return Status::Ok();
 }
@@ -829,7 +859,8 @@ Status PsrnnModel::Fit(const Matrix& x_raw, const Matrix& y_raw) {
   }
 
   CoreObjective<VanillaRnnCore> objective(core, x, y, params_);
-  TrainWithEarlyStopping(options_, x.rows(), params_, objective);
+  Status trained = TrainWithEarlyStopping(options_, x.rows(), params_, objective);
+  if (!trained.ok()) return trained;
   fitted_ = true;
   return Status::Ok();
 }

@@ -2,6 +2,7 @@
 
 #include <vector>
 
+#include "common/finite.h"
 #include "common/rng.h"
 #include "forecaster/model.h"
 
@@ -21,6 +22,11 @@ class Standardizer {
   Vector Inverse(const Vector& row) const;
   bool fitted() const { return !mean_.empty(); }
 
+  /// True iff the fitted statistics are usable (all finite). FitTransform
+  /// scrubs poisoned columns to the identity transform, so this holds after
+  /// any fit; it exists so model health checks cover the transform state.
+  bool Finite() const { return AllFinite(mean_) && AllFinite(std_); }
+
  private:
   Vector mean_;
   Vector std_;
@@ -37,6 +43,9 @@ class FnnModel : public ForecastModel {
   Result<Vector> Predict(const Vector& x) const override;
   std::string_view name() const override { return "FNN"; }
   ModelTraits traits() const override { return {false, false, false}; }
+  bool ParametersFinite() const override {
+    return AllFinite(params_) && x_std_.Finite() && y_std_.Finite();
+  }
 
  private:
   ModelOptions options_;
@@ -59,6 +68,9 @@ class RnnModel : public ForecastModel {
   Result<Vector> Predict(const Vector& x) const override;
   std::string_view name() const override { return "RNN"; }
   ModelTraits traits() const override { return {false, true, false}; }
+  bool ParametersFinite() const override {
+    return AllFinite(params_) && x_std_.Finite() && y_std_.Finite();
+  }
 
  private:
   ModelOptions options_;
@@ -84,6 +96,9 @@ class PsrnnModel : public ForecastModel {
   Result<Vector> Predict(const Vector& x) const override;
   std::string_view name() const override { return "PSRNN"; }
   ModelTraits traits() const override { return {false, true, true}; }
+  bool ParametersFinite() const override {
+    return AllFinite(params_) && x_std_.Finite() && y_std_.Finite();
+  }
 
  private:
   ModelOptions options_;

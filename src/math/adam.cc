@@ -1,7 +1,9 @@
 #include "math/adam.h"
 
 #include <cmath>
+#include <limits>
 
+#include "common/chaos.h"
 #include "common/check.h"
 
 namespace qb5000 {
@@ -13,6 +15,14 @@ void AdamOptimizer::Step(std::vector<double>& params,
                          std::vector<double>& grads) {
   QB_CHECK_EQ(params.size(), m_.size());
   QB_CHECK_EQ(grads.size(), m_.size());
+  // Chaos probe (DESIGN.md §13): a diverged backward pass hands the
+  // optimizer a NaN gradient. Injected here — the one funnel every neural
+  // fit's updates pass through — so the poison propagates into the moment
+  // estimates and parameters exactly as a real divergence would, and the
+  // Forecaster's health gate is what has to catch it.
+  if (ChaosHarness::Global().PoisonGradient("adam.step") && !grads.empty()) {
+    grads[0] = std::numeric_limits<double>::quiet_NaN();
+  }
   if (options_.gradient_clip > 0.0) {
     double norm_sq = 0.0;
     for (double g : grads) norm_sq += g * g;

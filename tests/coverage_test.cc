@@ -3,6 +3,8 @@
 // error handling and HYBRID wiring, and Result/Status ergonomics.
 #include <cmath>
 
+#include "common/finite.h"
+
 #include <gtest/gtest.h>
 
 #include "dbms/database.h"
@@ -157,7 +159,7 @@ TEST(ForecasterFacadeTest, RejectsBadHorizonsAndListsTrainedOnes) {
   ASSERT_TRUE(rates.ok());
   for (double r : *rates) {
     EXPECT_GE(r, 0.0);
-    EXPECT_TRUE(std::isfinite(r));
+    EXPECT_TRUE(qb5000::IsFinite(r));
   }
 }
 
@@ -219,7 +221,7 @@ TEST(EnsembleFromScratchTest, FitTrainsBothComponents) {
   ASSERT_TRUE(ensemble.Fit(ds->x, ds->y).ok());
   auto pred = ensemble.Predict(ds->x.Row(5));
   ASSERT_TRUE(pred.ok());
-  EXPECT_TRUE(std::isfinite((*pred)[0]));
+  EXPECT_TRUE(qb5000::IsFinite((*pred)[0]));
 }
 
 TEST(ArrivalHistoryEdgeTest, FirstTimeAndLastArrival) {

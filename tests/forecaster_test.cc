@@ -1,7 +1,9 @@
 #include <cmath>
+#include <limits>
 
 #include <gtest/gtest.h>
 
+#include "common/finite.h"
 #include "forecaster/dataset.h"
 #include "forecaster/ensemble.h"
 #include "forecaster/evaluation.h"
@@ -168,6 +170,58 @@ TEST(KrModelTest, PredictsRecurringSpike) {
   double actual = std::expm1(ds->y(query, 0));
   EXPECT_GT(actual, 4000.0);  // sanity: it is a spike
   EXPECT_GT(kr_rate, 2000.0) << "KR must predict the spike";
+}
+
+TEST(StandardizerTest, ZeroVarianceColumnBecomesIdentityTransform) {
+  // A degenerate cluster (e.g. a single template with a constant rate)
+  // yields a zero-variance input column; dividing by its std would produce
+  // NaN/Inf in every standardized row (DESIGN.md §13). The guard treats
+  // such columns as identity (std := 1), so values pass through centered.
+  Matrix data(6, 2);
+  for (size_t r = 0; r < data.rows(); ++r) {
+    data(r, 0) = 5.0;                          // constant column
+    data(r, 1) = static_cast<double>(r) * 2.0; // varying column
+  }
+  Standardizer std_izer;
+  Matrix transformed = std_izer.FitTransform(data);
+  ASSERT_TRUE(std_izer.fitted());
+  EXPECT_TRUE(std_izer.Finite());
+  for (size_t r = 0; r < transformed.rows(); ++r) {
+    EXPECT_TRUE(qb5000::IsFinite(transformed(r, 0)));
+    EXPECT_TRUE(qb5000::IsFinite(transformed(r, 1)));
+    EXPECT_DOUBLE_EQ(transformed(r, 0), 0.0);  // centered, identity scale
+  }
+  // Round trip restores the original values exactly for both columns.
+  Vector row = {5.0, 4.0};
+  Vector restored = std_izer.Inverse(std_izer.Transform(row));
+  ASSERT_EQ(restored.size(), 2u);
+  EXPECT_DOUBLE_EQ(restored[0], 5.0);
+  EXPECT_DOUBLE_EQ(restored[1], 4.0);
+}
+
+TEST(StandardizerTest, PoisonedColumnStatisticsAreScrubbed) {
+  // A NaN in the input (a poisoned upstream series) would classically make
+  // the whole column's mean/std NaN and every transformed row NaN. The
+  // scrub resets a non-finite mean to 0 and a non-finite std to 1, so the
+  // transform stays usable and Finite() holds for health checks.
+  Matrix data(4, 2);
+  for (size_t r = 0; r < data.rows(); ++r) {
+    data(r, 0) = std::numeric_limits<double>::quiet_NaN();
+    data(r, 1) = static_cast<double>(r);
+  }
+  Standardizer std_izer;
+  Matrix transformed = std_izer.FitTransform(data);
+  EXPECT_TRUE(std_izer.Finite());
+  // The healthy column standardizes normally.
+  for (size_t r = 0; r < transformed.rows(); ++r) {
+    EXPECT_TRUE(qb5000::IsFinite(transformed(r, 1)));
+  }
+  // Statistics are finite even for the poisoned column, so a finite input
+  // through Transform stays finite (the NaN *data* is the caller's bug;
+  // the transform must not amplify it into the statistics).
+  Vector probe = std_izer.Transform({1.0, 1.0});
+  EXPECT_TRUE(qb5000::IsFinite(probe[0]));
+  EXPECT_TRUE(qb5000::IsFinite(probe[1]));
 }
 
 TEST(FnnModelTest, LearnsPattern) {

@@ -1,5 +1,7 @@
 #include <cmath>
 
+#include "common/finite.h"
+
 #include <gtest/gtest.h>
 
 #include "forecaster/interval_selector.h"
@@ -46,7 +48,7 @@ TEST(IntervalSelectorTest, EvaluatesAndRanksCandidates) {
   }
   // Every evaluated candidate produced a finite accuracy.
   for (const auto& choice : *choices) {
-    EXPECT_TRUE(std::isfinite(choice.log_mse));
+    EXPECT_TRUE(qb5000::IsFinite(choice.log_mse));
     EXPECT_GE(choice.train_seconds, 0.0);
   }
 }

@@ -7,6 +7,8 @@
 
 #include <atomic>
 #include <cmath>
+
+#include "common/finite.h"
 #include <limits>
 #include <string>
 
@@ -61,7 +63,8 @@ TEST(Metrics, HistogramBucketMath) {
   // open-ended. This layout is a stability contract (DESIGN.md §10).
   EXPECT_DOUBLE_EQ(Histogram::UpperBound(0), 1e-9);
   EXPECT_DOUBLE_EQ(Histogram::UpperBound(10), 1e-9 * 1024);
-  EXPECT_TRUE(std::isinf(Histogram::UpperBound(Histogram::kNumBuckets - 1)));
+  EXPECT_FALSE(
+      qb5000::IsFinite(Histogram::UpperBound(Histogram::kNumBuckets - 1)));
 
   EXPECT_EQ(Histogram::BucketIndex(1e-9), 0u);
   EXPECT_EQ(Histogram::BucketIndex(1.5e-9), 1u);

@@ -1,0 +1,174 @@
+// Retry/backoff helpers (common/retry.h) and the Deadline primitive
+// (common/deadline.h): both are deterministic by construction — the backoff
+// schedule is a pure function of options and attempt index, and the sleep
+// is injectable — so these tests assert exact schedules without waiting.
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "common/deadline.h"
+#include "common/retry.h"
+#include "common/status.h"
+
+namespace qb5000 {
+namespace {
+
+TEST(RetryTest, BackoffScheduleIsGeometricAndCapped) {
+  RetryOptions options;
+  options.initial_backoff_seconds = 0.010;
+  options.backoff_multiplier = 2.0;
+  options.max_backoff_seconds = 0.100;
+  EXPECT_DOUBLE_EQ(BackoffForAttempt(options, 0), 0.010);
+  EXPECT_DOUBLE_EQ(BackoffForAttempt(options, 1), 0.020);
+  EXPECT_DOUBLE_EQ(BackoffForAttempt(options, 2), 0.040);
+  EXPECT_DOUBLE_EQ(BackoffForAttempt(options, 3), 0.080);
+  EXPECT_DOUBLE_EQ(BackoffForAttempt(options, 4), 0.100);  // capped
+  EXPECT_DOUBLE_EQ(BackoffForAttempt(options, 40), 0.100);  // no overflow
+}
+
+TEST(RetryTest, RetriesOverloadedUntilSuccessWithExactSchedule) {
+  RetryOptions options;
+  options.max_attempts = 5;
+  options.initial_backoff_seconds = 0.010;
+  options.backoff_multiplier = 2.0;
+  options.max_backoff_seconds = 1.0;
+  std::vector<double> slept;
+  options.sleep = [&slept](double s) { slept.push_back(s); };
+
+  int calls = 0;
+  Status st = RetryWithBackoff(
+      [&calls]() {
+        ++calls;
+        return calls < 3 ? Status::Overloaded("shed") : Status::Ok();
+      },
+      options);
+  EXPECT_TRUE(st.ok());
+  EXPECT_EQ(calls, 3);
+  ASSERT_EQ(slept.size(), 2u);  // two failures -> two sleeps, none trailing
+  EXPECT_DOUBLE_EQ(slept[0], 0.010);
+  EXPECT_DOUBLE_EQ(slept[1], 0.020);
+}
+
+TEST(RetryTest, TerminalErrorReturnsImmediately) {
+  RetryOptions options;
+  std::vector<double> slept;
+  options.sleep = [&slept](double s) { slept.push_back(s); };
+  int calls = 0;
+  Status st = RetryWithBackoff(
+      [&calls]() {
+        ++calls;
+        return Status::InvalidArgument("not retryable");
+      },
+      options);
+  EXPECT_EQ(st.code(), StatusCode::kInvalidArgument);
+  EXPECT_EQ(calls, 1);
+  EXPECT_TRUE(slept.empty());
+}
+
+TEST(RetryTest, ExhaustedAttemptsReturnLastFailureWithoutTrailingSleep) {
+  RetryOptions options;
+  options.max_attempts = 3;
+  std::vector<double> slept;
+  options.sleep = [&slept](double s) { slept.push_back(s); };
+  int calls = 0;
+  Status st = RetryWithBackoff(
+      [&calls]() {
+        ++calls;
+        return Status::Overloaded("still shedding");
+      },
+      options);
+  EXPECT_EQ(st.code(), StatusCode::kOverloaded);
+  EXPECT_EQ(calls, 3);
+  EXPECT_EQ(slept.size(), 2u);  // never sleeps after the final attempt
+}
+
+TEST(RetryTest, CustomRetryablePredicateWins) {
+  RetryOptions options;
+  options.max_attempts = 4;
+  options.sleep = [](double) {};
+  options.retryable = [](const Status& s) {
+    return s.code() == StatusCode::kIOError;
+  };
+  int calls = 0;
+  Status st = RetryWithBackoff(
+      [&calls]() {
+        ++calls;
+        return calls < 2 ? Status::IOError("transient") : Status::Ok();
+      },
+      options);
+  EXPECT_TRUE(st.ok());
+  EXPECT_EQ(calls, 2);
+  // And kOverloaded is now terminal under the custom predicate.
+  calls = 0;
+  st = RetryWithBackoff(
+      [&calls]() {
+        ++calls;
+        return Status::Overloaded("shed");
+      },
+      options);
+  EXPECT_EQ(st.code(), StatusCode::kOverloaded);
+  EXPECT_EQ(calls, 1);
+}
+
+TEST(RetryTest, ResultVariantReturnsValueAfterRetries) {
+  RetryOptions options;
+  options.max_attempts = 4;
+  std::vector<double> slept;
+  options.sleep = [&slept](double s) { slept.push_back(s); };
+  int calls = 0;
+  Result<int> r = RetryWithBackoff<int>(
+      [&calls]() -> Result<int> {
+        ++calls;
+        if (calls < 3) return Status::Overloaded("shed");
+        return 42;
+      },
+      options);
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(*r, 42);
+  EXPECT_EQ(calls, 3);
+  EXPECT_EQ(slept.size(), 2u);
+}
+
+TEST(RetryTest, SingleAttemptMeansNoRetryLoop) {
+  RetryOptions options;
+  options.max_attempts = 1;
+  std::vector<double> slept;
+  options.sleep = [&slept](double s) { slept.push_back(s); };
+  int calls = 0;
+  Status st = RetryWithBackoff(
+      [&calls]() {
+        ++calls;
+        return Status::Overloaded("shed");
+      },
+      options);
+  EXPECT_EQ(st.code(), StatusCode::kOverloaded);
+  EXPECT_EQ(calls, 1);
+  EXPECT_TRUE(slept.empty());
+}
+
+TEST(DeadlineTest, DefaultIsUnbounded) {
+  Deadline unbounded;
+  EXPECT_FALSE(unbounded.bounded());
+  EXPECT_FALSE(unbounded.Exceeded());
+  EXPECT_FALSE(DeadlineExceeded(&unbounded));
+  EXPECT_FALSE(DeadlineExceeded(nullptr));  // nullptr = unbounded by contract
+}
+
+TEST(DeadlineTest, ZeroBudgetIsImmediatelyExceeded) {
+  Deadline spent(0.0);
+  EXPECT_TRUE(spent.bounded());
+  EXPECT_TRUE(spent.Exceeded());
+  EXPECT_TRUE(DeadlineExceeded(&spent));
+  EXPECT_LE(spent.remaining_seconds(), 0.0);
+}
+
+TEST(DeadlineTest, GenerousBudgetIsNotExceededYet) {
+  Deadline generous(3600.0);
+  EXPECT_TRUE(generous.bounded());
+  EXPECT_FALSE(generous.Exceeded());
+  EXPECT_GT(generous.remaining_seconds(), 0.0);
+  EXPECT_DOUBLE_EQ(generous.budget_seconds(), 3600.0);
+}
+
+}  // namespace
+}  // namespace qb5000

@@ -27,6 +27,12 @@ Checks (stdlib-only, no compiler needed):
                      src/common/ — use Stopwatch / ScopedTimer
                      (common/metrics.h) so timing feeds the metrics layer
                      and respects the QB5000_METRICS kill switch
+  raw-finite         no std::isnan / std::isfinite outside
+                     src/common/finite.h — use IsFinite / IsNaN /
+                     AllFinite / FiniteOr (common/finite.h) so finiteness
+                     checks stay greppable and NaN handling is centralized
+                     (DESIGN.md §13: the health gate and output scrubbing
+                     depend on these being the only finiteness vocabulary)
   string-ref-param   no `const std::string&` parameters in headers under
                      src/sql/ or src/preprocessor/ (the ingest hot path) —
                      take std::string_view so callers with borrowed bytes
@@ -88,6 +94,14 @@ RAW_CHRONO_ALLOWLIST_PREFIX = "src/common/"
 
 RAW_CHRONO_RE = re.compile(
     r"\bstd::chrono::(steady_clock|high_resolution_clock|system_clock)::now\b")
+
+# Finiteness checks must go through common/finite.h (IsFinite / IsNaN /
+# AllFinite / FiniteOr). Scattered std::isfinite calls are how NaN-handling
+# policy drifts: the resilience layer (DESIGN.md §13) audits every scrub and
+# health-gate site by grepping for the finite.h vocabulary.
+RAW_FINITE_ALLOWLIST = {"src/common/finite.h"}
+
+RAW_FINITE_RE = re.compile(r"\bstd::is(nan|finite|inf)\b")
 
 # Headers on the ingest hot path must not force callers to own a
 # std::string. Matches a `const std::string&` followed by a parameter name
@@ -298,6 +312,13 @@ def lint_file(path, rel, fix):
                     rel, lineno, "raw-chrono-timing",
                     "hand-rolled clock::now() timing bypasses the metrics "
                     "layer; use Stopwatch or ScopedTimer (common/metrics.h)"))
+        if rel not in RAW_FINITE_ALLOWLIST:
+            for _ in RAW_FINITE_RE.finditer(line):
+                findings.append(Finding(
+                    rel, lineno, "raw-finite",
+                    "raw std::isnan/std::isfinite scatters NaN policy; use "
+                    "IsFinite / IsNaN / AllFinite / FiniteOr from "
+                    "common/finite.h (the audited finiteness vocabulary)"))
         if rel not in RAW_ASSERT_ALLOWLIST:
             for m in assert_re.finditer(line):
                 if line[:m.start()].rstrip().endswith(("static", "_")):

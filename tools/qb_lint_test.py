@@ -105,6 +105,35 @@ std::mutex raw_;
             "src/core/widget.cc",
             "void f() { std::this_thread::yield(); }\n")), [])
 
+    # --- raw-finite --------------------------------------------------------
+
+    def test_raw_finite_flags_std_isnan_isfinite_isinf(self):
+        findings = self.run_lint("src/core/widget.cc", """void f(double v) {
+  if (std::isnan(v)) return;
+  if (!std::isfinite(v)) return;
+  if (std::isinf(v)) return;
+}
+""")
+        raw_finite = [f for f in findings if f.check == "raw-finite"]
+        self.assertEqual(len(raw_finite), 3)
+
+    def test_raw_finite_allows_finite_h_and_wrappers(self):
+        # The wrapper header itself is the one sanctioned home.
+        self.assertEqual(self.checks(self.run_lint(
+            "src/common/finite.h", """#pragma once
+#include <cmath>
+inline bool IsFinite(double v) { return std::isfinite(v); }
+inline bool IsNaN(double v) { return std::isnan(v); }
+""")), [])
+        # Everywhere else, the finite.h vocabulary passes without findings.
+        self.assertEqual(self.checks(self.run_lint(
+            "src/core/widget.cc", """void f(double v) {
+  if (!IsFinite(v)) return;        // common/finite.h
+  double safe = FiniteOr(v, 0.0);  /* std::isnan only in prose */
+  (void)safe;
+}
+""")), [])
+
     # --- string-ref-param --------------------------------------------------
 
     def test_string_ref_param_flags_hot_path_headers(self):
@@ -146,7 +175,8 @@ void f() {}
         # The shipped implementation must satisfy its own allowlist (guards
         # against renaming mutex.{h,cc} without updating the lint).
         repo = Path(__file__).resolve().parent.parent
-        for rel in sorted(qb_lint.RAW_MUTEX_ALLOWLIST):
+        for rel in sorted(qb_lint.RAW_MUTEX_ALLOWLIST
+                          | qb_lint.RAW_FINITE_ALLOWLIST):
             path = repo / rel
             self.assertTrue(path.is_file(), f"{rel} missing on disk")
             findings = qb_lint.lint_file(path, rel, fix=False)
