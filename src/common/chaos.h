@@ -25,9 +25,15 @@ namespace qb5000 {
 ///                 poisoned model and roll back.
 ///   kStall        the probing stage sleeps for the armed duration
 ///                 (stuck I/O, page-cache miss storm, noisy neighbor);
-///                 deadline-bounded callers must degrade, not block.
+///                 deadline-bounded callers must degrade, not block. The
+///                 `service.drain` site wedges the background queue drain:
+///                 the ring must absorb producers and EnqueueBatch must
+///                 shed with kOverloaded, never block.
 ///   kAllocFail    the probing stage fails as if an allocation was denied;
-///                 callers must surface a Status, never crash.
+///                 callers must surface a Status, never crash. The
+///                 `checkpoint.delta` site denies the delta-serialization
+///                 buffer: the write fails Internal, the in-memory delta
+///                 log survives, and the next period retries.
 ///   kClockJump    the probed timestamp is shifted by the armed delta
 ///                 (NTP step, VM migration) — timestamps are virtual here,
 ///                 so this is how a clock step reaches production code

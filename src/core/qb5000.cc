@@ -18,7 +18,7 @@ QueryBot5000::QueryBot5000(Config config)
     : config_(BindObservability(std::move(config), metrics_.get())),
       pre_(config_.preprocessor),
       clusterer_(config_.clusterer),
-      forecaster_(config_.forecaster) {
+      forecaster_(std::make_shared<const Forecaster>(config_.forecaster)) {
   maintenance_runs_total_ = metrics_->GetCounter("core.maintenance_runs_total");
   maintenance_skipped_total_ =
       metrics_->GetCounter("core.maintenance_skipped_total");
@@ -33,6 +33,15 @@ QueryBot5000::QueryBot5000(Config config)
   maintenance_seconds_ = metrics_->GetHistogram("core.maintenance_seconds");
   forecast_seconds_ = metrics_->GetHistogram("core.forecast_seconds");
   lock_wait_seconds_ = metrics_->GetHistogram("core.lock_wait_seconds");
+  queue_depth_gauge_ = metrics_->GetGauge("core.queue_depth");
+  queue_stalls_total_ =
+      metrics_->GetCounter("core.queue_enqueue_stalls_total");
+  bg_rounds_total_ = metrics_->GetCounter("core.bg_rounds_total");
+  model_epoch_gauge_ = metrics_->GetGauge("core.model_epoch");
+}
+
+QueryBot5000::~QueryBot5000() {
+  if (service_ != nullptr) (void)StopService();
 }
 
 bool QueryBot5000::AdmitArrivals(size_t n) {
@@ -122,13 +131,7 @@ std::vector<ClusterId> QueryBot5000::ModeledClustersLocked() const {
   return chosen;
 }
 
-Status QueryBot5000::RunMaintenance(Timestamp now, bool force) {
-  // Chaos probe: a clock step (NTP, VM resume) reaches maintenance through
-  // its real entry value — timestamps are virtual, so this is the seam.
-  now = ChaosHarness::Global().MaybeJumpClock("maintenance.clock", now);
-  Stopwatch lock_wait;
-  WriterLock lock(state_mu_);
-  lock_wait_seconds_->Observe(lock_wait.ElapsedSeconds());
+bool QueryBot5000::MaintenanceDueLocked(Timestamp now, bool force) {
   // last_maintenance_ starts at Timestamp::min() meaning "never ran";
   // `now - min()` is signed overflow (UB, UBSan-fatal), so test the
   // sentinel before forming the difference.
@@ -146,19 +149,23 @@ Status QueryBot5000::RunMaintenance(Timestamp now, bool force) {
   bool triggered = clusterer_.ShouldTrigger(pre_);
   if (!force && !due && !triggered) {
     maintenance_skipped_total_->Add();
-    return Status::Ok();
+    return false;
   }
-
   maintenance_runs_total_->Add();
-  ScopedTimer maintenance_timer(maintenance_seconds_);
-  ScopedSpan maintenance_span(tracer_.get(), "maintenance");
-  // Forward-jump clamp, mirroring the backwards re-anchor above: after a
-  // forward clock step the apparent gap since the last pass can dwarf any
-  // real elapsed time, and anchoring housekeeping at the stepped `now`
-  // would mass-evict live templates and compact still-fresh history. Cap
-  // the housekeeping anchor at the tolerated step past the last pass;
+  return true;
+}
+
+std::vector<ClusterId> QueryBot5000::MaintenanceHousekeepLocked(
+    Timestamp now, Timestamp* evict_cutoff) {
+  // Forward-jump clamp, mirroring the backwards re-anchor in the due check:
+  // after a forward clock step the apparent gap since the last pass can
+  // dwarf any real elapsed time, and anchoring housekeeping at the stepped
+  // `now` would mass-evict live templates and compact still-fresh history.
+  // Cap the housekeeping anchor at the tolerated step past the last pass;
   // training and the maintenance timer still use the live clock (after the
   // step, the new time *is* the time — only the gap was fictitious).
+  bool never_ran =
+      last_maintenance_ == std::numeric_limits<Timestamp>::min();
   Timestamp housekeep_now = now;
   if (!never_ran) {
     int64_t tolerated =
@@ -167,9 +174,11 @@ Status QueryBot5000::RunMaintenance(Timestamp now, bool force) {
       housekeep_now = last_maintenance_ + tolerated;
     }
   }
+  Timestamp cutoff = housekeep_now - config_.template_eviction_seconds;
+  if (evict_cutoff != nullptr) *evict_cutoff = cutoff;
   {
     ScopedSpan span(tracer_.get(), "maintenance/evict");
-    pre_.EvictIdleTemplates(housekeep_now - config_.template_eviction_seconds);
+    pre_.EvictIdleTemplates(cutoff);
   }
   {
     ScopedSpan span(tracer_.get(), "maintenance/compact");
@@ -193,19 +202,48 @@ Status QueryBot5000::RunMaintenance(Timestamp now, bool force) {
     coverage_gauge_->Set(0.0);
   }
   if (clusters.empty()) {
-    last_maintenance_ = now;
-    return Status::Ok();  // nothing to model yet
+    last_maintenance_ = now;  // nothing to model yet
+    return clusters;
   }
   // Refresh the forecast fallback snapshot *before* training: if the train
-  // below stalls or fails, bounded Forecasts still degrade onto current
-  // history instead of a snapshot from the previous period.
+  // that follows stalls or fails, bounded Forecasts still degrade onto
+  // current history instead of a snapshot from the previous period.
   RefreshFallbackLocked(clusters, now);
+  return clusters;
+}
+
+void QueryBot5000::PublishModelsLocked(Forecaster&& staged) {
+  forecaster_ = std::make_shared<const Forecaster>(std::move(staged));
+  uint64_t epoch = resilience_->model_epoch.fetch_add(
+                       1, std::memory_order_acq_rel) + 1;
+  model_epoch_gauge_->Set(static_cast<double>(epoch));
+}
+
+Status QueryBot5000::RunMaintenance(Timestamp now, bool force) {
+  // Chaos probe: a clock step (NTP, VM resume) reaches maintenance through
+  // its real entry value — timestamps are virtual, so this is the seam.
+  now = ChaosHarness::Global().MaybeJumpClock("maintenance.clock", now);
+  Stopwatch lock_wait;
+  WriterLock lock(state_mu_);
+  lock_wait_seconds_->Observe(lock_wait.ElapsedSeconds());
+  if (!MaintenanceDueLocked(now, force)) return Status::Ok();
+
+  ScopedTimer maintenance_timer(maintenance_seconds_);
+  ScopedSpan maintenance_span(tracer_.get(), "maintenance");
+  std::vector<ClusterId> clusters =
+      MaintenanceHousekeepLocked(now, /*evict_cutoff=*/nullptr);
+  if (clusters.empty()) return Status::Ok();
+  // Train a staged copy and swap it in whole — the synchronous path pays
+  // the copy too so its observable state (rollback bookkeeping included)
+  // stays bit-identical to the service path's off-lock training.
+  Forecaster staged = *forecaster_;
   Status st;
   {
     ScopedSpan span(tracer_.get(), "maintenance/train");
     ChaosHarness::Global().MaybeStall("maintenance.train");
-    st = forecaster_.Train(pre_, clusterer_, clusters, now, config_.horizons);
+    st = staged.Train(pre_, clusterer_, clusters, now, config_.horizons);
   }
+  PublishModelsLocked(std::move(staged));
   if (!st.ok()) return st;
   last_maintenance_ = now;
   return Status::Ok();
@@ -250,18 +288,18 @@ Result<QueryBot5000::WorkloadForecast> QueryBot5000::FallbackForecast() const {
 Result<QueryBot5000::WorkloadForecast> QueryBot5000::ForecastLocked(
     Timestamp now, int64_t horizon_seconds, const Deadline* deadline,
     ForecastRung* rung_used) const {
-  if (!forecaster_.trained()) {
+  if (!forecaster_->trained()) {
     return Status::FailedPrecondition(
         "no trained models; call RunMaintenance first");
   }
   ForecastRung rung = ForecastRung::kFull;
-  auto rates = forecaster_.Forecast(pre_, clusterer_, now, horizon_seconds,
+  auto rates = forecaster_->Forecast(pre_, clusterer_, now, horizon_seconds,
                                     deadline, &rung);
   if (!rates.ok()) return rates.status();
   if (rung_used != nullptr) *rung_used = rung;
   (rung == ForecastRung::kFull ? rung_full_total_ : rung_linear_total_)->Add();
   WorkloadForecast forecast;
-  forecast.clusters = forecaster_.modeled_clusters();
+  forecast.clusters = forecaster_->modeled_clusters();
   forecast.queries_per_interval = std::move(*rates);
   forecast.interval_seconds = config_.forecaster.interval_seconds;
   // Models predict the cluster *center* (the members' average arrival
@@ -334,6 +372,244 @@ Result<QueryBot5000::WorkloadForecast> QueryBot5000::Forecast(
   if (rung_used != nullptr) *rung_used = ForecastRung::kFallback;
   rung_fallback_total_->Add();
   return fallback;
+}
+
+// --- Always-on service mode (DESIGN.md §14) --------------------------------
+
+Status QueryBot5000::StartService(ServiceOptions options) {
+  if (service_ != nullptr) {
+    return Status::FailedPrecondition("service already running");
+  }
+  if (options.queue_capacity == 0) {
+    return Status::InvalidArgument("queue_capacity must be positive");
+  }
+  if (options.compact_every == 0) options.compact_every = 1;
+  service_ = std::make_unique<ServiceState>(std::move(options));
+  queue_depth_gauge_->Set(0.0);
+  if (service_->options.background) {
+    service_->thread.Start([this] { return ServiceRound(); });
+  }
+  return Status::Ok();
+}
+
+Status QueryBot5000::StopService() {
+  if (service_ == nullptr) {
+    return Status::FailedPrecondition("service not running");
+  }
+  ServiceState& svc = *service_;
+  // Shutdown ordering: producers have quiesced (caller's contract), so
+  // stopping the thread — which drains to idle before joining — leaves the
+  // queue empty and the consumer-only state single-threaded again.
+  if (svc.options.background) {
+    svc.thread.Stop();
+  } else {
+    while (ServiceRound()) {
+    }
+  }
+  // Final durability flush: anything applied since the last periodic write.
+  Status st = Status::Ok();
+  if (svc.checkpointing()) {
+    if (!svc.delta.base_valid) {
+      st = ServiceFullCheckpoint();
+    } else if (svc.dirty) {
+      st = WriteDeltaCheckpoint();
+    }
+  }
+  service_.reset();
+  queue_depth_gauge_->Set(0.0);
+  return st;
+}
+
+Status QueryBot5000::EnqueueBatch(std::span<const QueryArrival> arrivals) {
+  ServiceState* svc = service_.get();
+  if (svc == nullptr) {
+    return Status::FailedPrecondition("service not running; StartService first");
+  }
+  if (arrivals.empty()) return Status::Ok();
+  ArrivalChunk chunk;
+  size_t total_bytes = 0;
+  for (const QueryArrival& a : arrivals) total_bytes += a.sql.size();
+  chunk.bytes.reserve(total_bytes);
+  chunk.items.reserve(arrivals.size());
+  for (const QueryArrival& a : arrivals) {
+    ArrivalChunk::Item item;
+    item.offset = static_cast<uint32_t>(chunk.bytes.size());
+    item.length = static_cast<uint32_t>(a.sql.size());
+    item.ts = a.ts;
+    item.count = a.count;
+    chunk.bytes.append(a.sql);
+    chunk.items.push_back(item);
+  }
+  if (!svc->queue.TryPush(std::move(chunk))) {
+    queue_stalls_total_->Add();
+    return Status::Overloaded("service ingest queue full; retry with backoff");
+  }
+  queue_depth_gauge_->Set(static_cast<double>(svc->queue.ApproxSize()));
+  if (svc->options.background) svc->thread.Wake();
+  return Status::Ok();
+}
+
+void QueryBot5000::DrainForTest() {
+  if (service_ == nullptr) return;
+  if (service_->options.background) {
+    service_->thread.WaitIdle();
+    return;
+  }
+  while (ServiceRound()) {
+  }
+}
+
+bool QueryBot5000::ServiceRound() {
+  ServiceState& svc = *service_;
+  bool did_work = false;
+  ArrivalChunk chunk;
+  while (svc.queue.TryPop(&chunk)) {
+    // Chaos probe: a wedged drain (slow page-in, noisy neighbor) — the
+    // queue must absorb producers meanwhile, and EnqueueBatch must shed
+    // with kOverloaded once it fills, never block.
+    ChaosHarness::Global().MaybeStall("service.drain");
+    ApplyChunk(chunk);
+    queue_depth_gauge_->Set(static_cast<double>(svc.queue.ApproxSize()));
+    did_work = true;
+  }
+  if (MaybeServiceMaintenance()) did_work = true;
+  if (MaybeDeltaCheckpoint()) did_work = true;
+  if (did_work) bg_rounds_total_->Add();
+  return did_work;
+}
+
+// Same hand-off protocol (and the same analysis opt-out) as IngestBatch:
+// pre_ is touched only inside the phases IngestBatch locks internally.
+void QueryBot5000::ApplyChunk(const ArrivalChunk& chunk)
+    QB_NO_THREAD_SAFETY_ANALYSIS {
+  ServiceState& svc = *service_;
+  std::vector<QueryArrival> arrivals;
+  arrivals.reserve(chunk.items.size());
+  for (const ArrivalChunk::Item& item : chunk.items) {
+    QueryArrival a;
+    a.sql = std::string_view(chunk.bytes.data() + item.offset, item.length);
+    a.ts = item.ts;
+    a.count = item.count;
+    arrivals.push_back(a);
+  }
+  std::vector<TemplateId> ids = pre_.IngestBatch(arrivals, state_mu_);
+  bool log_delta = svc.checkpointing();
+  for (size_t i = 0; i < chunk.items.size(); ++i) {
+    if (chunk.items[i].ts > svc.highwater) svc.highwater = chunk.items[i].ts;
+    if (log_delta && i < ids.size() && ids[i] != 0) {
+      DeltaLog::Arrival rec;
+      rec.id = ids[i];
+      rec.ts = chunk.items[i].ts;
+      rec.count = chunk.items[i].count;
+      svc.delta.arrivals.push_back(rec);
+    }
+  }
+  if (!chunk.items.empty()) {
+    svc.dirty = true;
+    ++svc.chunks_applied;
+  }
+}
+
+bool QueryBot5000::MaybeServiceMaintenance() {
+  ServiceState& svc = *service_;
+  if (!svc.options.auto_maintenance) return false;
+  if (svc.highwater == std::numeric_limits<Timestamp>::min()) return false;
+  // Retry gate: nothing new arrived since the last attempt, so a re-run
+  // could only reproduce the same outcome (or spin on a failing train).
+  if (svc.maintenance_attempt_chunks == svc.chunks_applied) return false;
+  {
+    // Cheap pre-check under the shared lock so idle rounds neither take the
+    // exclusive lock nor churn the skipped counter. The service thread is
+    // the only mutator of last_maintenance_ while the service runs, so the
+    // verdict cannot go stale between this check and the pass itself.
+    ReaderLock lock(state_mu_);
+    bool never_ran =
+        last_maintenance_ == std::numeric_limits<Timestamp>::min();
+    bool due = never_ran ||
+               svc.highwater - last_maintenance_ >=
+                   config_.maintenance_period_seconds ||
+               svc.highwater < last_maintenance_;
+    if (!due && !clusterer_.ShouldTrigger(pre_)) return false;
+  }
+  svc.maintenance_attempt_chunks = svc.chunks_applied;
+  (void)ServiceMaintenance(svc.highwater);
+  return true;
+}
+
+Status QueryBot5000::ServiceMaintenance(Timestamp now) {
+  ServiceState& svc = *service_;
+  now = ChaosHarness::Global().MaybeJumpClock("maintenance.clock", now);
+  ScopedTimer maintenance_timer(maintenance_seconds_);
+  ScopedSpan maintenance_span(tracer_.get(), "maintenance");
+  // Phase 1 (exclusive, brief): housekeeping, clustering, selection, and a
+  // copy of the published models to stage the train on.
+  Forecaster staged(config_.forecaster);
+  std::vector<ClusterId> clusters;
+  {
+    Stopwatch lock_wait;
+    WriterLock lock(state_mu_);
+    lock_wait_seconds_->Observe(lock_wait.ElapsedSeconds());
+    if (!MaintenanceDueLocked(now, /*force=*/false)) return Status::Ok();
+    Timestamp evict_cutoff = std::numeric_limits<Timestamp>::min();
+    clusters = MaintenanceHousekeepLocked(now, &evict_cutoff);
+    if (evict_cutoff > svc.delta.evict_cutoff) {
+      svc.delta.evict_cutoff = evict_cutoff;
+    }
+    if (clusters.empty()) return Status::Ok();
+    staged = *forecaster_;
+  }
+  // Phase 2 (shared): the expensive train runs on the staged copy while
+  // Forecast readers proceed concurrently — this is the lock-hold the old
+  // synchronous path paid exclusively and the degradation ladder had to
+  // absorb on every retrain.
+  Status st;
+  {
+    ReaderLock lock(state_mu_);
+    ScopedSpan span(tracer_.get(), "maintenance/train");
+    ChaosHarness::Global().MaybeStall("maintenance.train");
+    st = staged.Train(pre_, clusterer_, clusters, now, config_.horizons);
+  }
+  // Phase 3 (exclusive, O(1)): pointer-swap the snapshot in. Published even
+  // when the train failed or was health-gate rejected, exactly like the
+  // synchronous path — the rollback bookkeeping (last_recovery) must be
+  // observable, and a rejected train kept the previous models anyway.
+  {
+    WriterLock lock(state_mu_);
+    PublishModelsLocked(std::move(staged));
+    if (st.ok()) last_maintenance_ = now;
+  }
+  return st;
+}
+
+bool QueryBot5000::MaybeDeltaCheckpoint() {
+  ServiceState& svc = *service_;
+  if (!svc.checkpointing()) return false;
+  if (svc.highwater == std::numeric_limits<Timestamp>::min()) return false;
+  if (!svc.delta.base_valid) {
+    // First write of this service session establishes the delta's base.
+    (void)ServiceFullCheckpoint();
+    svc.last_checkpoint = svc.highwater;
+    return true;
+  }
+  bool has_last =
+      svc.last_checkpoint != std::numeric_limits<Timestamp>::min();
+  if (has_last && svc.highwater - svc.last_checkpoint <
+                      svc.options.checkpoint_period_seconds) {
+    return false;
+  }
+  if (!svc.dirty) {
+    svc.last_checkpoint = svc.highwater;
+    return false;
+  }
+  // Failures leave the log intact and retry next period (the arrival clock
+  // advanced past this attempt either way, so there is no busy-loop).
+  if (svc.deltas_since_full + 1 >= svc.options.compact_every) {
+    (void)ServiceFullCheckpoint();
+  } else {
+    (void)WriteDeltaCheckpoint();
+  }
+  svc.last_checkpoint = svc.highwater;
+  return true;
 }
 
 }  // namespace qb5000

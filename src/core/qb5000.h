@@ -1,6 +1,7 @@
 #pragma once
 
 #include <atomic>
+#include <cstdint>
 #include <limits>
 #include <memory>
 #include <span>
@@ -12,7 +13,9 @@
 #include "common/clock.h"
 #include "common/deadline.h"
 #include "common/metrics.h"
+#include "common/mpsc_queue.h"
 #include "common/mutex.h"
+#include "common/service.h"
 #include "common/status.h"
 #include "common/thread_annotations.h"
 #include "common/tracing.h"
@@ -75,6 +78,85 @@ class QueryBot5000 {
 
   QueryBot5000() : QueryBot5000(Config()) {}
   explicit QueryBot5000(Config config);
+  /// Stops a running service (see StartService) before tearing down state.
+  ~QueryBot5000();
+  /// Movable while quiescent only: the service round captures `this`, so a
+  /// controller must never be moved between StartService and StopService.
+  QueryBot5000(QueryBot5000&&) = default;
+  QueryBot5000& operator=(QueryBot5000&&) = default;
+
+  /// Always-on service mode (DESIGN.md §14). StartService turns this
+  /// controller into the paper's embedded deployment shape: producers hand
+  /// arrivals to EnqueueBatch, which copies them into a bounded lock-free
+  /// ring and returns without ever touching the state lock; a dedicated
+  /// background thread drains the ring, merges templates, runs maintenance
+  /// when it falls due against the *arrival* clock (timestamps are virtual),
+  /// trains on a staged model copy under a shared lock so Forecast stays
+  /// concurrent, and publishes the result by pointer swap (model_epoch()
+  /// counts publications). With a checkpoint path configured it also keeps
+  /// durability incremental: arrival deltas accrue into `path + ".delta"`
+  /// between periodic full-snapshot compactions, so neither training nor
+  /// checkpointing ever stalls the producers.
+  struct ServiceOptions {
+    /// Ring capacity in enqueued chunks (one EnqueueBatch call = one
+    /// chunk), rounded up to a power of two. A full ring makes EnqueueBatch
+    /// return kOverloaded — the queue *is* the service-mode admission gate.
+    size_t queue_capacity = 256;
+    /// False runs no thread: work queues up until DrainForTest() applies it
+    /// inline on the caller. That is the deterministic mode tests use for
+    /// exact-count metric assertions; production wants the default.
+    bool background = true;
+    /// False leaves maintenance caller-driven (RunMaintenance), making the
+    /// service a pure buffered-ingest layer — what the sync-equivalence
+    /// tests compare, and what deployments owning their own maintenance
+    /// schedule want. True runs maintenance from the drain loop whenever
+    /// it falls due against the arrival clock; a failed pass is retried
+    /// only after new work arrives, so an untrainable workload can never
+    /// busy-loop the service thread.
+    bool auto_maintenance = true;
+    /// Incremental checkpointing (empty path disables it): the service
+    /// rewrites `checkpoint_path + ".delta"` atomically once per
+    /// `checkpoint_period_seconds` of virtual (arrival-clock) time, and
+    /// compacts into a fresh full checkpoint every `compact_every`-th
+    /// write. Restore() picks the delta up automatically.
+    std::string checkpoint_path;
+    int64_t checkpoint_period_seconds = 0;
+    size_t compact_every = 16;
+    Env* env = nullptr;  ///< filesystem seam; nullptr = Env::Default()
+  };
+
+  /// Starts service mode. Fails if the service is already running. Not
+  /// thread-safe against other lifecycle calls or producers.
+  Status StartService(ServiceOptions options);
+
+  /// Drains the queue, stops the background thread (if any), flushes a
+  /// final delta/full checkpoint when checkpointing is configured, and
+  /// returns the controller to synchronous mode. Producers must have
+  /// quiesced first (shutdown ordering, DESIGN.md §14). Returns the flush
+  /// status; the service is torn down either way.
+  Status StopService();
+
+  /// Producer-side ingest for service mode: copies the arrivals (SQL bytes
+  /// included) into one owned chunk and enqueues it. Lock-free: never takes
+  /// state_mu_, never blocks on maintenance. kOverloaded (counted in
+  /// core.queue_enqueue_stalls_total) means the ring is full — true
+  /// backpressure, retryable with backoff. kFailedPrecondition when the
+  /// service is not running.
+  Status EnqueueBatch(std::span<const QueryArrival> arrivals);
+
+  /// Blocks until everything enqueued before this call has been applied and
+  /// the service is idle. In background mode this waits on the service
+  /// thread; in manual mode (background=false) it runs the drain inline.
+  void DrainForTest();
+
+  bool service_running() const { return service_ != nullptr; }
+
+  /// Number of model publications (epoch-style pointer swaps) so far; also
+  /// exported as the core.model_epoch gauge. Starts at 0; each maintenance
+  /// pass that reaches training bumps it exactly once.
+  uint64_t model_epoch() const {
+    return resilience_->model_epoch.load(std::memory_order_acquire);
+  }
 
   /// Ingests one query arriving at `ts`. Returns kOverloaded (without
   /// touching any state) when the admission gate's backlog bound is hit;
@@ -108,6 +190,13 @@ class QueryBot5000 {
   /// Re-clusters and re-trains if the maintenance period elapsed or the
   /// workload-shift trigger fired. Call as often as you like; cheap when
   /// nothing is due. `force` bypasses the period check.
+  ///
+  /// Service-mode caveat: while a service with incremental checkpointing is
+  /// running, maintenance belongs to the service (auto_maintenance) — a
+  /// direct call here may evict templates without recording the cutoff in
+  /// the delta log, and a restore would then resurrect them. Without
+  /// checkpointing, direct calls are safe (the equivalence tests rely on
+  /// that).
   Status RunMaintenance(Timestamp now, bool force = false);
 
   /// A workload forecast: expected queries per forecasting interval for
@@ -180,7 +269,7 @@ class QueryBot5000 {
     return clusterer_;
   }
   const Forecaster& forecaster() const QB_NO_THREAD_SAFETY_ANALYSIS {
-    return forecaster_;
+    return *forecaster_;
   }
   const Config& config() const { return config_; }
 
@@ -193,14 +282,18 @@ class QueryBot5000 {
   Tracer& Trace() const { return *tracer_; }
 
  private:
+  struct ArrivalChunk;
+  struct ServiceState;
+
   /// Parses one checkpoint document (core/checkpoint.cc). `allow_degraded`
   /// permits recovering with a rebuilt clusterer / default controller state
   /// when those sections are unusable; a strict pass requires every section
   /// intact so the ladder can prefer a complete `.bak` over a salvage.
-  static Result<QueryBot5000> RestoreFromData(const std::string& data,
-                                              const Config& config,
-                                              bool allow_degraded,
-                                              RestoreReport& report);
+  /// `deltas` (optional): delta-sidecar candidates in preference order; the
+  /// first one that parses and whose base CRC matches `data` is replayed.
+  static Result<QueryBot5000> RestoreFromData(
+      const std::string& data, const Config& config, bool allow_degraded,
+      RestoreReport& report, const std::vector<std::string>* deltas = nullptr);
 
   /// ModeledClusters body for callers already holding state_mu_
   /// (RunMaintenance holds it exclusively; SharedMutex is not recursive).
@@ -243,6 +336,47 @@ class QueryBot5000 {
   bool AdmitArrivals(size_t n);
   void ReleaseArrivals(size_t n);
 
+  /// Maintenance phase A: backwards clock re-anchor plus the due/trigger
+  /// check. False ⇒ not due (skip counter bumped); true ⇒ the pass runs
+  /// (runs counter bumped).
+  bool MaintenanceDueLocked(Timestamp now, bool force) QB_REQUIRES(state_mu_);
+
+  /// Maintenance phases B–D: forward-clamped housekeeping (eviction,
+  /// compaction), re-clustering, cluster selection + coverage gauges, and
+  /// the fallback-snapshot refresh. Returns the clusters to model; empty ⇒
+  /// nothing to model yet (last_maintenance_ already advanced). The
+  /// eviction cutoff used is reported through `evict_cutoff` (if non-null)
+  /// so the service's delta checkpoint can replay it on restore.
+  std::vector<ClusterId> MaintenanceHousekeepLocked(
+      Timestamp now, Timestamp* evict_cutoff) QB_REQUIRES(state_mu_);
+
+  /// Maintenance phase F: swaps the staged (freshly trained or rolled-back)
+  /// model snapshot in as the published one and bumps the model epoch.
+  void PublishModelsLocked(Forecaster&& staged) QB_REQUIRES(state_mu_);
+
+  /// One unit of service work: drain the ring, then maintenance if due
+  /// against the arrival clock, then a delta/full checkpoint if due. True ⇒
+  /// something was done. Runs on the service thread (background mode) or
+  /// the DrainForTest caller (manual mode) — never both.
+  bool ServiceRound();
+
+  /// Applies one dequeued chunk through the batched-ingest merge path and
+  /// accrues the returned template ids into the delta log.
+  void ApplyChunk(const ArrivalChunk& chunk);
+
+  /// Due check + the three-phase service maintenance pass (exclusive
+  /// housekeeping, staged training under the *shared* lock, exclusive
+  /// publish). True ⇒ a pass ran.
+  bool MaybeServiceMaintenance();
+  Status ServiceMaintenance(Timestamp now);
+
+  /// Incremental durability (core/checkpoint.cc): rewrite the delta file,
+  /// or compact to a full snapshot every compact_every-th write. True ⇒ a
+  /// write was attempted.
+  bool MaybeDeltaCheckpoint();
+  Status WriteDeltaCheckpoint();   ///< path + ".delta", atomic old-or-new
+  Status ServiceFullCheckpoint();  ///< full snapshot; rebases the delta log
+
   /// Returns `config` with every component Options pointed at `metrics`
   /// (the per-instance registry always wins over caller-set registries).
   static Config BindObservability(Config config, MetricsRegistry* metrics);
@@ -272,7 +406,10 @@ class QueryBot5000 {
   /// path of a bounded Forecast) are both legal acquisitions.
   struct ResilienceState {
     /// Arrivals currently admitted into Ingest/IngestBatch.
-    std::atomic<int64_t> pending_arrivals{0};
+    std::atomic<int64_t> pending_arrivals{0};  // lint:raw-atomic-ok (gate)
+    /// Model publications so far; written under the exclusive state lock,
+    /// readable without any lock (monitoring, model_epoch()).
+    std::atomic<uint64_t> model_epoch{0};  // lint:raw-atomic-ok (epoch)
     Mutex fallback_mu{lock_level::kLeaf, "core.fallback"};
     WorkloadForecast fallback QB_GUARDED_BY(fallback_mu);
     bool fallback_valid QB_GUARDED_BY(fallback_mu) = false;
@@ -280,10 +417,88 @@ class QueryBot5000 {
   std::unique_ptr<ResilienceState> resilience_ =
       std::make_unique<ResilienceState>();
 
+  /// One EnqueueBatch call, copied into owned storage: producers may reuse
+  /// their buffers the moment EnqueueBatch returns, so the SQL bytes are
+  /// concatenated here and each item borrows a (offset, length) window.
+  struct ArrivalChunk {
+    struct Item {
+      uint32_t offset = 0;
+      uint32_t length = 0;
+      Timestamp ts = 0;
+      double count = 1.0;
+    };
+    std::string bytes;
+    std::vector<Item> items;
+  };
+
+  /// The arrival deltas accrued since the last *full* checkpoint. Owned by
+  /// the service consumer (single-threaded by the ServiceThread contract);
+  /// serialized by WriteDeltaCheckpoint (core/checkpoint.cc).
+  struct DeltaLog {
+    struct Arrival {
+      TemplateId id = 0;
+      Timestamp ts = 0;
+      double count = 1.0;
+    };
+    std::vector<Arrival> arrivals;
+    /// Template ids >= this were created after the full snapshot; the delta
+    /// carries their shells (text/fingerprint/type) so replay can rebuild.
+    TemplateId base_next_id = 1;
+    /// CRC32 of the full-checkpoint file the delta builds on. Restore
+    /// applies a delta only when this matches the snapshot it actually
+    /// loaded — a crash between compaction steps degrades to old-or-new,
+    /// never to a delta replayed onto the wrong base.
+    uint32_t base_crc = 0;
+    bool base_valid = false;
+    /// Latest eviction cutoff maintenance used; replayed after the arrivals
+    /// so restore does not resurrect templates the live process evicted.
+    Timestamp evict_cutoff = std::numeric_limits<Timestamp>::min();
+  };
+
+  /// Everything service mode owns. Fields below the queue are consumer-only
+  /// state: touched by ServiceRound (on the service thread or the manual
+  /// DrainForTest caller) and by StopService after the thread has joined.
+  struct ServiceState {
+    explicit ServiceState(ServiceOptions opts)
+        : options(std::move(opts)), queue(options.queue_capacity) {}
+    ServiceOptions options;
+    MpscRingQueue<ArrivalChunk> queue;
+    ServiceThread thread;
+
+    /// High-watermark arrival timestamp — the service's virtual "now" for
+    /// maintenance and checkpoint due-checks.
+    Timestamp highwater = std::numeric_limits<Timestamp>::min();
+    Timestamp last_checkpoint = std::numeric_limits<Timestamp>::min();
+    size_t deltas_since_full = 0;
+    bool dirty = false;  ///< un-checkpointed work since the last write
+    DeltaLog delta;
+
+    /// Maintenance retry gate: chunks applied so far, and the value of that
+    /// counter when maintenance was last *attempted*. A pass whose training
+    /// failed leaves last_maintenance_ unmoved (still due), so without this
+    /// gate an idle drain loop would re-attempt it forever; gating on new
+    /// chunks retries exactly when new data could change the outcome.
+    uint64_t chunks_applied = 0;
+    uint64_t maintenance_attempt_chunks =
+        std::numeric_limits<uint64_t>::max();
+
+    bool checkpointing() const {
+      return !options.checkpoint_path.empty() &&
+             options.checkpoint_period_seconds > 0;
+    }
+  };
+  std::unique_ptr<ServiceState> service_;
+
   Config config_;
   PreProcessor pre_ QB_GUARDED_BY(state_mu_);
   OnlineClusterer clusterer_ QB_GUARDED_BY(state_mu_);
-  Forecaster forecaster_ QB_GUARDED_BY(state_mu_);
+  /// The published model snapshot (DESIGN.md §14): immutable once swapped
+  /// in, so a maintenance pass trains a *copy* off the exclusive lock and
+  /// PublishModelsLocked replaces the pointer in O(1). Readers holding the
+  /// shared lock dereference it for the duration of one forecast; the
+  /// shared_ptr keeps a superseded snapshot alive until its last reader
+  /// returns.
+  std::shared_ptr<const Forecaster> forecaster_ QB_GUARDED_BY(state_mu_);
   Timestamp last_maintenance_ QB_GUARDED_BY(state_mu_) =
       std::numeric_limits<Timestamp>::min();
 
@@ -300,6 +515,11 @@ class QueryBot5000 {
   Histogram* maintenance_seconds_ = nullptr;
   Histogram* forecast_seconds_ = nullptr;
   Histogram* lock_wait_seconds_ = nullptr;  ///< cold-path acquisitions only
+  // Service health (DESIGN.md §14).
+  Gauge* queue_depth_gauge_ = nullptr;   ///< ring occupancy, approximate
+  Counter* queue_stalls_total_ = nullptr;  ///< EnqueueBatch hit a full ring
+  Counter* bg_rounds_total_ = nullptr;   ///< service rounds that did work
+  Gauge* model_epoch_gauge_ = nullptr;   ///< publications, mirrors epoch
 };
 
 }  // namespace qb5000

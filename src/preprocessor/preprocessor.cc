@@ -532,6 +532,18 @@ Status PreProcessor::RestoreTemplate(TemplateInfo info) {
   return Status::Ok();
 }
 
+bool PreProcessor::ReplayArrival(TemplateId id, Timestamp ts, double count) {
+  auto it = templates_.find(id);
+  if (it == templates_.end()) return false;
+  TemplateInfo& info = it->second;
+  info.history.Record(ts, count);
+  info.last_seen = std::max(info.last_seen, ts);
+  info.total_queries += count;
+  total_queries_ += count;
+  queries_by_type_[static_cast<int>(info.type)] += count;
+  return true;
+}
+
 size_t PreProcessor::HistoryStorageBytes() const {
   size_t bytes = 0;
   for (const auto& [id, info] : templates_) {

@@ -159,6 +159,20 @@ class PreProcessor {
   /// duplicate fingerprint or id.
   Status RestoreTemplate(TemplateInfo info);
 
+  /// Delta-checkpoint replay (core/checkpoint.cc): re-applies one recorded
+  /// arrival to an existing template with the same per-template bookkeeping
+  /// as ingest (history, last_seen, totals, per-type counts) but without
+  /// metric counters or parameter sampling — replay must not advance the
+  /// sampling RNG, and the lifetime instruments already carry their
+  /// as-of-snapshot values from the restored metrics section. False ⇒
+  /// unknown id (the template was evicted after the delta recorded it);
+  /// the arrival is skipped.
+  bool ReplayArrival(TemplateId id, Timestamp ts, double count);
+
+  /// The id the next new template will get. The delta checkpoint records
+  /// this at full-snapshot time as the new-template baseline.
+  TemplateId next_template_id() const { return next_id_; }
+
  private:
   /// Every 2^k-th raw-SQL Ingest is latency-sampled (Table 4's ms/query
   /// figure, live) so the two clock reads stay off most queries. The

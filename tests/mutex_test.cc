@@ -49,7 +49,7 @@ TEST(MutexTest, WriterLockExcludesAndReadersObserveConsistentPairs) {
   // torn write (two overlapping writers) shows up as a mismatched pair.
   int64_t a QB_GUARDED_BY(mu) = 0;
   int64_t b QB_GUARDED_BY(mu) = 0;
-  std::atomic<int64_t> mismatches{0};
+  std::atomic<int64_t> mismatches{0};  // lint:raw-atomic-ok (test scaffolding)
   constexpr size_t kTasks = 32;
   ThreadPool pool(4);
   pool.Run(kTasks, [&](size_t task) {
@@ -74,8 +74,8 @@ TEST(MutexTest, WriterLockExcludesAndReadersObserveConsistentPairs) {
 
 TEST(MutexTest, SharedMutexAdmitsConcurrentReaders) {
   SharedMutex mu(lock_level::kLeaf, "test.readers");
-  std::atomic<int> active{0};
-  std::atomic<int> high_water{0};
+  std::atomic<int> active{0};  // lint:raw-atomic-ok (test scaffolding)
+  std::atomic<int> high_water{0};  // lint:raw-atomic-ok (test scaffolding)
   ThreadPool pool(2);
   if (pool.concurrency() < 2) GTEST_SKIP() << "needs >= 2 lanes";
   // Each reader holds the shared lock while yielding until it sees the other

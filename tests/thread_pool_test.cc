@@ -34,7 +34,7 @@ class ThreadCountGuard {
 TEST(ThreadPool, RunExecutesEveryTaskExactlyOnce) {
   ThreadPool pool(4);
   constexpr size_t kTasks = 257;
-  std::vector<std::atomic<int>> hits(kTasks);
+  std::vector<std::atomic<int>> hits(kTasks);  // lint:raw-atomic-ok (test scaffolding)
   pool.Run(kTasks, [&](size_t i) { hits[i].fetch_add(1); });
   for (size_t i = 0; i < kTasks; ++i) EXPECT_EQ(hits[i].load(), 1);
 }
@@ -60,7 +60,7 @@ TEST(ThreadPool, SequentialPoolRunsInline) {
 
 TEST(ThreadPool, RethrowsLowestTaskIndexException) {
   ThreadPool pool(4);
-  std::vector<std::atomic<int>> hits(64);
+  std::vector<std::atomic<int>> hits(64);  // lint:raw-atomic-ok (test scaffolding)
   auto run = [&] {
     pool.Run(64, [&](size_t i) {
       hits[i].fetch_add(1);
@@ -97,8 +97,8 @@ TEST(ParallelFor, CoversRangeWithExactChunks) {
   ThreadCountGuard guard;
   SetThreadCount(4);
   for (size_t grain : {1u, 3u, 7u, 100u, 1000u}) {
-    std::vector<std::atomic<int>> hits(100);
-    std::atomic<size_t> chunks{0};
+    std::vector<std::atomic<int>> hits(100);  // lint:raw-atomic-ok (test scaffolding)
+    std::atomic<size_t> chunks{0};  // lint:raw-atomic-ok (test scaffolding)
     ParallelFor(0, 100, grain, [&](size_t lo, size_t hi) {
       ASSERT_LT(lo, hi);
       ASSERT_LE(hi, 100u);
@@ -120,7 +120,7 @@ TEST(ParallelFor, GrainEdgeCases) {
   ParallelFor(5, 5, 1, [&](size_t, size_t) { FAIL(); });
   ParallelFor(7, 3, 1, [&](size_t, size_t) { FAIL(); });
   // grain == 0 behaves as 1.
-  std::atomic<size_t> calls{0};
+  std::atomic<size_t> calls{0};  // lint:raw-atomic-ok (test scaffolding)
   ParallelFor(0, 5, 0, [&](size_t lo, size_t hi) {
     EXPECT_EQ(hi, lo + 1);
     calls.fetch_add(1);
@@ -135,7 +135,7 @@ TEST(ParallelFor, GrainEdgeCases) {
   });
   EXPECT_EQ(single, 1u);
   // Non-zero begin: chunks are anchored at begin.
-  std::vector<std::atomic<int>> hits(30);
+  std::vector<std::atomic<int>> hits(30);  // lint:raw-atomic-ok (test scaffolding)
   ParallelFor(10, 30, 8, [&](size_t lo, size_t hi) {
     EXPECT_EQ((lo - 10) % 8, 0u);
     for (size_t i = lo; i < hi; ++i) hits[i].fetch_add(1);

@@ -17,6 +17,11 @@ Checks (stdlib-only, no compiler needed):
                      use ThreadPool / ParallelFor (common/thread_pool.h) so
                      concurrency stays deterministic, bounded, and governed
                      by the SetThreadCount knob
+  raw-atomic         no std::atomic (nor atomic_* helpers / fences) outside
+                     src/common/ — lock-free code stays corralled behind
+                     reviewed primitives (MpscRingQueue, Mutex, the metrics
+                     registry); suppress a deliberate exception with a
+                     `lint:raw-atomic-ok` comment on the line
   raw-mutex          no std::mutex / std::shared_mutex (nor their lock RAII
                      types, condition_variable, or lowercase .lock() calls)
                      outside src/common/mutex.{h,cc} — use qb5000::Mutex /
@@ -64,8 +69,18 @@ RAW_FILE_STREAM_ALLOWLIST = {"src/common/io.cc"}
 RAW_FILE_STREAM_RE = re.compile(r"\bstd::[oi]?fstream\b")
 
 # Files allowed to touch std::thread (the pool's own implementation; the
-# header declares the worker vector and queries hardware_concurrency).
-RAW_THREAD_ALLOWLIST = {"src/common/thread_pool.h", "src/common/thread_pool.cc"}
+# header declares the worker vector and queries hardware_concurrency; the
+# service lifecycle owns the one background maintenance thread).
+RAW_THREAD_ALLOWLIST = {"src/common/thread_pool.h", "src/common/thread_pool.cc",
+                        "src/common/service.h", "src/common/service.cc"}
+
+# Lock-free code is corralled: std::atomic (including std::atomic_bool,
+# std::atomic_thread_fence, ...) is reviewed-primitive territory. Outside
+# src/common/ use MpscRingQueue / Mutex / the metrics instruments, or carry a
+# justification on the line with the suppression comment.
+RAW_ATOMIC_ALLOWLIST_PREFIX = "src/common/"
+RAW_ATOMIC_RE = re.compile(r"\bstd::atomic\w*\b")
+RAW_ATOMIC_SUPPRESS = "lint:raw-atomic-ok"
 
 # std::thread the type — std::this_thread (sleep/yield) stays allowed.
 RAW_THREAD_RE = re.compile(r"\bstd::thread\b")
@@ -299,6 +314,15 @@ def lint_file(path, rel, fix):
                     "raw std::thread bypasses the pool; use ThreadPool / "
                     "ParallelFor (common/thread_pool.h) so thread count, "
                     "determinism, and exception propagation stay governed"))
+        if not rel.startswith(RAW_ATOMIC_ALLOWLIST_PREFIX):
+            if (RAW_ATOMIC_RE.search(line)
+                    and RAW_ATOMIC_SUPPRESS not in raw_lines[lineno - 1]):
+                findings.append(Finding(
+                    rel, lineno, "raw-atomic",
+                    "raw std::atomic outside src/common/; use the reviewed "
+                    "primitives (MpscRingQueue, Mutex, metrics instruments) "
+                    "or justify the exception with a "
+                    f"`{RAW_ATOMIC_SUPPRESS}` comment"))
         if rel not in RAW_MUTEX_ALLOWLIST:
             if RAW_MUTEX_RE.search(line) or RAW_MUTEX_CALL_RE.search(line):
                 findings.append(Finding(

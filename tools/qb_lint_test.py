@@ -4,8 +4,8 @@
 Each case writes a fixture to a temp directory and calls lint_file() with a
 controlled repo-relative path, so allowlists and directory-scoped rules are
 exercised exactly as they resolve in the real tree. Covers the raw-mutex,
-raw-thread, and string-ref-param rules with positive and negative fixtures,
-plus the comment/string stripping those rules depend on.
+raw-thread, raw-atomic, and string-ref-param rules with positive and
+negative fixtures, plus the comment/string stripping those rules depend on.
 """
 
 import sys
@@ -105,6 +105,38 @@ std::mutex raw_;
             "src/core/widget.cc",
             "void f() { std::this_thread::yield(); }\n")), [])
 
+    # --- raw-atomic --------------------------------------------------------
+
+    def test_raw_atomic_flags_use_outside_common(self):
+        findings = self.run_lint("src/core/widget.h", """#pragma once
+#include <atomic>
+class Widget {
+  std::atomic<int64_t> pending_{0};
+  std::atomic_bool flag_{false};
+};
+void Fence() { std::atomic_thread_fence(std::memory_order_acquire); }
+""")
+        raw_atomic = [f for f in findings if f.check == "raw-atomic"]
+        self.assertEqual(len(raw_atomic), 3)
+
+    def test_raw_atomic_allows_common_and_suppressions(self):
+        # src/common/ is the reviewed home for lock-free primitives.
+        self.assertEqual(self.checks(self.run_lint(
+            "src/common/mpsc_queue.h",
+            "#pragma once\nstd::atomic<uint64_t> seq{0};\n")), [])
+        # Elsewhere a justified suppression on the line passes.
+        self.assertEqual(self.checks(self.run_lint(
+            "src/core/widget.h", """#pragma once
+class Widget {
+  std::atomic<uint64_t> epoch_{0};  // lint:raw-atomic-ok (movable counter)
+};
+""")), [])
+        # Prose and comments never fire.
+        self.assertEqual(self.checks(self.run_lint(
+            "src/core/widget.cc",
+            "// std::atomic is banned here\nconst char* s = \"std::atomic\";\n"
+        )), [])
+
     # --- raw-finite --------------------------------------------------------
 
     def test_raw_finite_flags_std_isnan_isfinite_isinf(self):
@@ -176,7 +208,8 @@ void f() {}
         # against renaming mutex.{h,cc} without updating the lint).
         repo = Path(__file__).resolve().parent.parent
         for rel in sorted(qb_lint.RAW_MUTEX_ALLOWLIST
-                          | qb_lint.RAW_FINITE_ALLOWLIST):
+                          | qb_lint.RAW_FINITE_ALLOWLIST
+                          | qb_lint.RAW_THREAD_ALLOWLIST):
             path = repo / rel
             self.assertTrue(path.is_file(), f"{rel} missing on disk")
             findings = qb_lint.lint_file(path, rel, fix=False)
