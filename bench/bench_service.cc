@@ -258,6 +258,46 @@ void ReportSummary() {
       static_cast<unsigned long long>(delta_writes));
 }
 
+/// Drain-worker sweep (DESIGN.md §14): the same standalone feed at widths
+/// 0 (classic inline drain), 1, 2, 4, 8. Width 1 prices the prepare/merge
+/// hand-off itself — the acceptance bar is ≤10% under inline; wider runs
+/// can only show scaling when the host has cores for the workers, so the
+/// committed numbers carry hardware_threads next to them and single-core
+/// hosts are expected to report flat (or slightly inverted) curves.
+void ReportDrainWorkerSweep() {
+  size_t n = bench::FastMode() ? 16384 : 131072;
+  auto trace = MakeTrace(n, 8, 17);
+  constexpr Timestamp kStep = 30;
+  double inline_qps = 0.0;
+  for (size_t workers : {size_t{0}, size_t{1}, size_t{2}, size_t{4},
+                         size_t{8}}) {
+    QueryBot5000 bot(ServiceConfig(/*maintenance_period=*/365 *
+                                   kSecondsPerDay));
+    QueryBot5000::ServiceOptions opts;
+    opts.queue_capacity = 1024;
+    opts.background = true;
+    opts.auto_maintenance = false;
+    opts.drain_workers = workers;
+    if (!bot.StartService(opts).ok()) return;
+    (void)FeedTimed(bot, MakeTrace(4096, 8, 17), 0, kStep);  // warm cache
+    double seconds = FeedTimed(bot, trace, kSecondsPerDay, kStep);
+    uint64_t merge_waits =
+        bot.Metrics().GetCounter("core.drain_merge_waits_total")->value();
+    (void)bot.StopService();
+    double qps = static_cast<double>(n) / seconds;
+    if (workers == 0) inline_qps = qps;
+    std::printf("#KV drain_workers_%zu_qps %.0f\n", workers, qps);
+    std::printf("#KV drain_workers_%zu_merge_waits %llu\n", workers,
+                static_cast<unsigned long long>(merge_waits));
+    if (workers == 1 && inline_qps > 0.0) {
+      std::printf("#KV drain1_over_inline %.4f\n", qps / inline_qps);
+    }
+    std::printf("sharded drain, %zu worker(s): %.2fM q/s (%llu merge waits)\n",
+                workers, qps / 1e6,
+                static_cast<unsigned long long>(merge_waits));
+  }
+}
+
 /// Producer+consumer cost of one batch through the ring in foreground
 /// mode — the queue-layer overhead a caller pays over calling IngestBatch
 /// directly (BM_ServiceSyncIngestBatch below).
@@ -315,6 +355,7 @@ BENCHMARK(BM_ServiceSyncIngestBatch);
 int main(int argc, char** argv) {
   benchmark::Initialize(&argc, argv);
   ReportSummary();
+  ReportDrainWorkerSweep();
   benchmark::RunSpecifiedBenchmarks();
   benchmark::Shutdown();
   return 0;

@@ -6,16 +6,19 @@
 //   example_trace_replay --generate <file>   write a demo BusTracker trace
 //   example_trace_replay <file>              replay a trace and forecast
 //   example_trace_replay --checkpoint <ckpt> <file>
-//       replay the first half, checkpoint, simulate a kill, restore from
-//       the checkpoint, replay the rest — demonstrating crash recovery
+//       replay the first half through an always-on checkpointing service
+//       (full base + .delta sidecar), simulate a kill, restore from the
+//       checkpoint pair, replay the rest — demonstrating crash recovery
 //
 // Add --metrics-out <file> to any replay to dump the pipeline's metrics
 // registry (MetricsRegistry::ExportText, README "Observability") after the
 // run: per-stage counters, gauges, and latency histograms.
+#include <algorithm>
 #include <cstdio>
 #include <cstring>
 #include <sstream>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "common/io.h"
@@ -154,10 +157,44 @@ int Replay(const char* path) {
   return rc;
 }
 
-/// Replays with a simulated crash in the middle: first half of the trace,
-/// RunMaintenance + Checkpoint, "kill" the process (drop the bot), Restore
-/// from the checkpoint, then the second half. The restored pipeline picks
-/// up where the dead one stopped — the point of the durability layer.
+/// Feeds a slice of the trace through the producer-side service API in
+/// 64-query chunks, retrying kOverloaded — the documented backpressure
+/// contract for the always-on deployment.
+ReplayCounts FeedService(QueryBot5000& bot,
+                         const std::vector<TraceEvent>& events, size_t from,
+                         size_t to) {
+  ReplayCounts counts;
+  constexpr size_t kChunk = 64;
+  std::vector<QueryArrival> batch;
+  for (size_t i = from; i < to && i < events.size(); i += kChunk) {
+    batch.clear();
+    for (size_t j = i; j < to && j < events.size() && j < i + kChunk; ++j) {
+      batch.push_back({events[j].sql, events[j].timestamp, 1.0});
+    }
+    while (true) {
+      Status st = bot.EnqueueBatch(batch);
+      if (st.ok()) {
+        counts.accepted += batch.size();
+        counts.last_ts = std::max(counts.last_ts, batch.back().ts);
+        break;
+      }
+      if (st.code() != StatusCode::kOverloaded) {
+        counts.rejected += batch.size();
+        break;
+      }
+      std::this_thread::yield();  // ring full: let the drain catch up
+    }
+  }
+  return counts;
+}
+
+/// Replays with a simulated crash in the middle — in always-on service
+/// mode. The first process runs a background-checkpointing service: the
+/// first periodic write is the full base, later writes append to the
+/// `.delta` sidecar, and a direct RunMaintenance call mid-session shows the
+/// delta log also carrying eviction cutoffs (DESIGN.md §14). The process
+/// then "dies"; Restore replays base + sidecar and the second half resumes
+/// where the dead service stopped.
 int ReplayWithCheckpoint(const char* ckpt_path, const char* trace_path) {
   std::vector<TraceEvent> events = LoadTrace(trace_path);
   if (events.empty()) return 1;
@@ -166,20 +203,36 @@ int ReplayWithCheckpoint(const char* ckpt_path, const char* trace_path) {
   ReplayCounts first;
   {
     QueryBot5000 bot(ReplayConfig());
-    first = Feed(bot, events, 0, half);
-    std::printf("first half: %zu queries, %zu templates\n", first.accepted,
-                bot.preprocessor().num_templates());
-    Status st = bot.RunMaintenance(first.last_ts, /*force=*/true);
+    QueryBot5000::ServiceOptions opts;
+    opts.queue_capacity = 256;
+    opts.background = true;
+    opts.auto_maintenance = false;  // we drive maintenance directly below
+    opts.checkpoint_path = ckpt_path;
+    opts.checkpoint_period_seconds = 6 * kSecondsPerHour;
+    opts.compact_every = 1000;  // keep the sidecar a sidecar for the demo
+    Status st = bot.StartService(opts);
+    if (!st.ok()) {
+      std::printf("start service failed: %s\n", st.ToString().c_str());
+      return 1;
+    }
+    first = FeedService(bot, events, 0, half);
+    bot.DrainForTest();  // settle the queue so the printed counts are final
+    std::printf("first half: %zu queries, %zu templates (service mode)\n",
+                first.accepted, bot.preprocessor().num_templates());
+    // Caller-driven maintenance while the checkpointing service runs: any
+    // eviction cutoff lands in the delta log, so the restore below cannot
+    // resurrect evicted templates.
+    st = bot.RunMaintenance(first.last_ts, /*force=*/true);
     if (!st.ok()) {
       std::printf("maintenance failed: %s\n", st.ToString().c_str());
       return 1;
     }
-    st = bot.Checkpoint(ckpt_path);
+    st = bot.StopService();  // flushes the final delta append
     if (!st.ok()) {
-      std::printf("checkpoint failed: %s\n", st.ToString().c_str());
+      std::printf("stop service failed: %s\n", st.ToString().c_str());
       return 1;
     }
-    std::printf("checkpointed to %s at %s -- simulating a crash now\n",
+    std::printf("service checkpointed to %s at %s -- simulating a crash now\n",
                 ckpt_path, FormatTimestamp(first.last_ts).c_str());
   }  // the process "dies" here: everything in memory is gone
 
@@ -190,10 +243,11 @@ int ReplayWithCheckpoint(const char* ckpt_path, const char* trace_path) {
     std::printf("restore failed: %s\n", restored.status().ToString().c_str());
     return 1;
   }
-  std::printf("restored: %zu templates, %zu clusters%s%s%s\n",
+  std::printf("restored: %zu templates, %zu clusters%s%s%s%s\n",
               restored->preprocessor().num_templates(),
               restored->clusterer().clusters().size(),
               report.used_backup ? " [from .bak]" : "",
+              report.delta_applied ? " [delta sidecar replayed]" : "",
               report.reclustered ? " [re-clustered]" : "",
               report.forecaster_trained ? " [models retrained]" : "");
   if (!report.detail.empty()) {

@@ -38,6 +38,9 @@ QueryBot5000::QueryBot5000(Config config)
       metrics_->GetCounter("core.queue_enqueue_stalls_total");
   bg_rounds_total_ = metrics_->GetCounter("core.bg_rounds_total");
   model_epoch_gauge_ = metrics_->GetGauge("core.model_epoch");
+  drain_workers_gauge_ = metrics_->GetGauge("core.drain_workers");
+  drain_merge_waits_total_ =
+      metrics_->GetCounter("core.drain_merge_waits_total");
 }
 
 QueryBot5000::~QueryBot5000() {
@@ -230,8 +233,24 @@ Status QueryBot5000::RunMaintenance(Timestamp now, bool force) {
 
   ScopedTimer maintenance_timer(maintenance_seconds_);
   ScopedSpan maintenance_span(tracer_.get(), "maintenance");
+  Timestamp evict_cutoff = std::numeric_limits<Timestamp>::min();
   std::vector<ClusterId> clusters =
-      MaintenanceHousekeepLocked(now, /*evict_cutoff=*/nullptr);
+      MaintenanceHousekeepLocked(now, &evict_cutoff);
+  if (service_ != nullptr && service_->checkpointing() &&
+      evict_cutoff != std::numeric_limits<Timestamp>::min()) {
+    // A caller-driven pass while a checkpointing service runs: publish the
+    // cutoff (monotonic max) for the consumer to fold into the delta log —
+    // delta state itself is consumer-owned, so it is never written here.
+    // Publishing under the exclusive lock means any delta write serialized
+    // after this pass observes both the evictions and the cutoff.
+    auto& ext = service_->external_evict_cutoff;
+    Timestamp cur = ext.load(std::memory_order_relaxed);
+    while (evict_cutoff > cur &&
+           !ext.compare_exchange_weak(cur, evict_cutoff,
+                                      std::memory_order_release,
+                                      std::memory_order_relaxed)) {
+    }
+  }
   if (clusters.empty()) return Status::Ok();
   // Train a staged copy and swap it in whole — the synchronous path pays
   // the copy too so its observable state (rollback bookkeeping included)
@@ -386,6 +405,11 @@ Status QueryBot5000::StartService(ServiceOptions options) {
   if (options.compact_every == 0) options.compact_every = 1;
   service_ = std::make_unique<ServiceState>(std::move(options));
   queue_depth_gauge_->Set(0.0);
+  drain_workers_gauge_->Set(
+      static_cast<double>(service_->options.drain_workers));
+  if (service_->options.drain_workers > 0) {
+    service_->pool.Start(service_->options.drain_workers);
+  }
   if (service_->options.background) {
     service_->thread.Start([this] { return ServiceRound(); });
   }
@@ -406,9 +430,14 @@ Status QueryBot5000::StopService() {
     while (ServiceRound()) {
     }
   }
-  // Final durability flush: anything applied since the last periodic write.
+  // The drain reached idle, so the retry stash drained with the ring and
+  // the prep pool has no run in flight — safe to retire the workers.
+  svc.pool.Stop();
+  // Final durability flush: anything applied since the last periodic write,
+  // caller-driven eviction cutoffs included.
   Status st = Status::Ok();
   if (svc.checkpointing()) {
+    FoldExternalEvictCutoff();
     if (!svc.delta.base_valid) {
       st = ServiceFullCheckpoint();
     } else if (svc.dirty) {
@@ -417,6 +446,7 @@ Status QueryBot5000::StopService() {
   }
   service_.reset();
   queue_depth_gauge_->Set(0.0);
+  drain_workers_gauge_->Set(0.0);
   return st;
 }
 
@@ -462,15 +492,19 @@ void QueryBot5000::DrainForTest() {
 bool QueryBot5000::ServiceRound() {
   ServiceState& svc = *service_;
   bool did_work = false;
-  ArrivalChunk chunk;
-  while (svc.queue.TryPop(&chunk)) {
-    // Chaos probe: a wedged drain (slow page-in, noisy neighbor) — the
-    // queue must absorb producers meanwhile, and EnqueueBatch must shed
-    // with kOverloaded once it fills, never block.
-    ChaosHarness::Global().MaybeStall("service.drain");
-    ApplyChunk(chunk);
-    queue_depth_gauge_->Set(static_cast<double>(svc.queue.ApproxSize()));
-    did_work = true;
+  if (svc.pool.workers() > 0) {
+    did_work = DrainSharded();
+  } else {
+    ArrivalChunk chunk;
+    while (svc.queue.TryPop(&chunk)) {
+      // Chaos probe: a wedged drain (slow page-in, noisy neighbor) — the
+      // queue must absorb producers meanwhile, and EnqueueBatch must shed
+      // with kOverloaded once it fills, never block.
+      ChaosHarness::Global().MaybeStall("service.drain");
+      ApplyChunk(chunk);
+      queue_depth_gauge_->Set(static_cast<double>(svc.queue.ApproxSize()));
+      did_work = true;
+    }
   }
   if (MaybeServiceMaintenance()) did_work = true;
   if (MaybeDeltaCheckpoint()) did_work = true;
@@ -478,11 +512,7 @@ bool QueryBot5000::ServiceRound() {
   return did_work;
 }
 
-// Same hand-off protocol (and the same analysis opt-out) as IngestBatch:
-// pre_ is touched only inside the phases IngestBatch locks internally.
-void QueryBot5000::ApplyChunk(const ArrivalChunk& chunk)
-    QB_NO_THREAD_SAFETY_ANALYSIS {
-  ServiceState& svc = *service_;
+std::vector<QueryArrival> QueryBot5000::ChunkViews(const ArrivalChunk& chunk) {
   std::vector<QueryArrival> arrivals;
   arrivals.reserve(chunk.items.size());
   for (const ArrivalChunk::Item& item : chunk.items) {
@@ -492,7 +522,12 @@ void QueryBot5000::ApplyChunk(const ArrivalChunk& chunk)
     a.count = item.count;
     arrivals.push_back(a);
   }
-  std::vector<TemplateId> ids = pre_.IngestBatch(arrivals, state_mu_);
+  return arrivals;
+}
+
+void QueryBot5000::RecordChunkApplied(const ArrivalChunk& chunk,
+                                      const std::vector<TemplateId>& ids) {
+  ServiceState& svc = *service_;
   bool log_delta = svc.checkpointing();
   for (size_t i = 0; i < chunk.items.size(); ++i) {
     if (chunk.items[i].ts > svc.highwater) svc.highwater = chunk.items[i].ts;
@@ -507,6 +542,110 @@ void QueryBot5000::ApplyChunk(const ArrivalChunk& chunk)
   if (!chunk.items.empty()) {
     svc.dirty = true;
     ++svc.chunks_applied;
+  }
+}
+
+// Same hand-off protocol (and the same analysis opt-out) as IngestBatch:
+// pre_ is touched only inside the phases IngestBatch locks internally.
+void QueryBot5000::ApplyChunk(const ArrivalChunk& chunk)
+    QB_NO_THREAD_SAFETY_ANALYSIS {
+  std::vector<QueryArrival> arrivals = ChunkViews(chunk);
+  std::vector<TemplateId> ids = pre_.IngestBatch(arrivals, state_mu_);
+  RecordChunkApplied(chunk, ids);
+}
+
+namespace {
+/// Run-size cap for the sharded drain: enough claimed chunks to keep every
+/// prep worker busy ahead of the merge without materializing the whole ring
+/// at once. Claim order == pop order == the order the inline drain applies,
+/// so the cap affects pipelining only, never results.
+constexpr size_t kDrainRunChunks = 16;
+}  // namespace
+
+bool QueryBot5000::DrainSharded() {
+  ServiceState& svc = *service_;
+  bool did_work = false;
+  for (;;) {
+    // Assemble a run: chunks stashed by a cut-short merge first (they were
+    // claimed earlier, so they stay ahead of anything still in the ring).
+    std::vector<ArrivalChunk> run;
+    run.reserve(kDrainRunChunks);
+    while (run.size() < kDrainRunChunks && !svc.retry.empty()) {
+      run.push_back(std::move(svc.retry.front()));
+      svc.retry.pop_front();
+    }
+    size_t base = run.size();
+    run.resize(kDrainRunChunks);
+    size_t got =
+        svc.queue.TryPopBatch(run.data() + base, kDrainRunChunks - base);
+    run.resize(base + got);
+    if (run.empty()) return did_work;
+    did_work = true;
+    // Chaos probe: same wedged-drain seam as the inline path, once per run.
+    ChaosHarness::Global().MaybeStall("service.drain");
+    size_t merged = ApplyRunSharded(std::span<ArrivalChunk>(run));
+    queue_depth_gauge_->Set(static_cast<double>(svc.queue.ApproxSize()));
+    if (merged < run.size()) {
+      // The service.merge alloc-fail probe cut the run short: stash the
+      // unmerged tail in order and let the next round retry it. Previously
+      // published models keep serving; nothing is lost or reordered.
+      for (size_t i = run.size(); i-- > merged;) {
+        svc.retry.push_front(std::move(run[i]));
+      }
+      return true;
+    }
+  }
+}
+
+// Prep runs on the DrainPool workers (shared-lock cache probe inside
+// PrepareBatch), the ordered merge on this thread (exclusive lock inside
+// MergePrepared) — the same phased hand-off protocol, and the same analysis
+// opt-out, as IngestBatch.
+size_t QueryBot5000::ApplyRunSharded(std::span<ArrivalChunk> run)
+    QB_NO_THREAD_SAFETY_ANALYSIS {
+  ServiceState& svc = *service_;
+  struct PreparedChunk {
+    std::vector<QueryArrival> arrivals;  ///< views into the chunk's bytes
+    PreProcessor::PreparedBatch batch;
+  };
+  std::vector<PreparedChunk> prepped(run.size());
+  svc.pool.BeginRun(run.size(), [&](size_t i) {
+    // Chaos probe: one slow shard worker (page-in, noisy neighbor) must
+    // delay the ordered merge, never reorder it.
+    ChaosHarness::Global().MaybeStall("service.shard");
+    prepped[i].arrivals = ChunkViews(run[i]);
+    prepped[i].batch = pre_.PrepareBatch(prepped[i].arrivals, state_mu_);
+  });
+  size_t merged = 0;
+  bool aborted = false;
+  for (size_t i = 0; i < run.size(); ++i) {
+    // Await in claim order even after an abort: EndRun requires every job
+    // retired, and the stalled-worker chaos test relies on the wait.
+    bool waited = svc.pool.AwaitPrepared(i);
+    if (aborted) continue;
+    if (waited) drain_merge_waits_total_->Add();
+    if (ChaosHarness::Global().FailAlloc("service.merge")) {
+      aborted = true;
+      continue;
+    }
+    std::vector<TemplateId> ids = pre_.MergePrepared(
+        std::move(prepped[i].batch), prepped[i].arrivals, state_mu_);
+    RecordChunkApplied(run[i], ids);
+    ++merged;
+  }
+  svc.pool.EndRun();
+  return merged;
+}
+
+void QueryBot5000::FoldExternalEvictCutoff() {
+  ServiceState& svc = *service_;
+  Timestamp ext = svc.external_evict_cutoff.exchange(
+      std::numeric_limits<Timestamp>::min(), std::memory_order_acq_rel);
+  if (ext == std::numeric_limits<Timestamp>::min()) return;
+  if (ext > svc.delta.evict_cutoff) {
+    svc.delta.evict_cutoff = ext;
+    // An eviction with no new arrivals still changes restorable state.
+    svc.dirty = true;
   }
 }
 
@@ -584,6 +723,9 @@ Status QueryBot5000::ServiceMaintenance(Timestamp now) {
 bool QueryBot5000::MaybeDeltaCheckpoint() {
   ServiceState& svc = *service_;
   if (!svc.checkpointing()) return false;
+  // Caller-driven maintenance may have evicted templates since the last
+  // write; fold its cutoff in so the dirty check below sees it.
+  FoldExternalEvictCutoff();
   if (svc.highwater == std::numeric_limits<Timestamp>::min()) return false;
   if (!svc.delta.base_valid) {
     // First write of this service session establishes the delta's base.

@@ -2,6 +2,7 @@
 
 #include <atomic>
 #include <cstdint>
+#include <deque>
 #include <limits>
 #include <memory>
 #include <span>
@@ -122,6 +123,17 @@ class QueryBot5000 {
     std::string checkpoint_path;
     int64_t checkpoint_period_seconds = 0;
     size_t compact_every = 16;
+    /// Sharded drain width (DESIGN.md §14): number of DrainPool workers
+    /// that run the off-lock prepare phases (normalize, hash-stripe
+    /// sharding, speculative parse) of claimed chunks in parallel. 0 (the
+    /// default) keeps the classic inline drain — the consumer prepares and
+    /// merges each chunk itself. N >= 1 starts N workers at StartService;
+    /// the consumer claims a bounded run of chunks from the ring, hands
+    /// their preparation to the pool, and merges strictly in queue (pop)
+    /// order — so template ids, histories, and exact counters stay
+    /// bit-identical to the inline drain (and to synchronous ingest) at any
+    /// width. Exported as the core.drain_workers gauge.
+    size_t drain_workers = 0;
     Env* env = nullptr;  ///< filesystem seam; nullptr = Env::Default()
   };
 
@@ -191,12 +203,13 @@ class QueryBot5000 {
   /// workload-shift trigger fired. Call as often as you like; cheap when
   /// nothing is due. `force` bypasses the period check.
   ///
-  /// Service-mode caveat: while a service with incremental checkpointing is
-  /// running, maintenance belongs to the service (auto_maintenance) — a
-  /// direct call here may evict templates without recording the cutoff in
-  /// the delta log, and a restore would then resurrect them. Without
-  /// checkpointing, direct calls are safe (the equivalence tests rely on
-  /// that).
+  /// Safe to drive directly while a service runs, incremental checkpointing
+  /// included: the eviction cutoff a direct pass applies is published to
+  /// the service consumer (a monotonic-max handoff), folded into the delta
+  /// log before its next write, and replayed on restore — so a restore can
+  /// never resurrect templates a caller-driven pass evicted. The usual
+  /// lifecycle contract still applies: don't race this against
+  /// StartService/StopService themselves.
   Status RunMaintenance(Timestamp now, bool force = false);
 
   /// A workload forecast: expected queries per forecasting interval for
@@ -364,6 +377,30 @@ class QueryBot5000 {
   /// accrues the returned template ids into the delta log.
   void ApplyChunk(const ArrivalChunk& chunk);
 
+  /// Rebuilds the borrowed QueryArrival views over a chunk's owned bytes.
+  static std::vector<QueryArrival> ChunkViews(const ArrivalChunk& chunk);
+
+  /// Consumer-side bookkeeping shared by the inline and sharded drains:
+  /// highwater advance, delta-log accrual, dirty/chunks_applied.
+  void RecordChunkApplied(const ArrivalChunk& chunk,
+                          const std::vector<TemplateId>& ids);
+
+  /// Sharded drain (DESIGN.md §14): repeatedly claims a bounded run of
+  /// chunks — the retry stash first, then ring pops — preps them on the
+  /// DrainPool, and merges in claim order. True ⇒ at least one run was
+  /// claimed.
+  bool DrainSharded();
+
+  /// Preps and merges one claimed run. Returns the number of chunks merged;
+  /// fewer than run.size() means the service.merge alloc-fail probe fired
+  /// and the caller must stash the remainder for the next round.
+  size_t ApplyRunSharded(std::span<ArrivalChunk> run);
+
+  /// Satellite of the delta log: consumes any eviction cutoff published by
+  /// direct RunMaintenance calls (ServiceState::external_evict_cutoff) into
+  /// delta.evict_cutoff, marking the log dirty when it advanced.
+  void FoldExternalEvictCutoff();
+
   /// Due check + the three-phase service maintenance pass (exclusive
   /// housekeeping, staged training under the *shared* lock, exclusive
   /// publish). True ⇒ a pass ran.
@@ -464,6 +501,23 @@ class QueryBot5000 {
     ServiceOptions options;
     MpscRingQueue<ArrivalChunk> queue;
     ServiceThread thread;
+    DrainPool pool;  ///< started iff options.drain_workers >= 1
+
+    /// Chunks claimed from the ring whose merge was cut short (the
+    /// service.merge alloc-fail chaos seam): re-applied, still in claim
+    /// order, at the head of the next round's run before any new pops — so
+    /// a failed merge round degrades to a retry, never to reordering or
+    /// loss, and the previously published models keep serving meanwhile.
+    std::deque<ArrivalChunk> retry;
+
+    /// Eviction cutoff published by direct RunMaintenance calls while this
+    /// checkpointing service runs (monotonic max; min() = none pending).
+    /// The consumer folds it into delta.evict_cutoff before deciding each
+    /// delta write, so restores replay caller-driven evictions too. Atomic
+    /// because the caller publishes from its own thread (under the
+    /// exclusive state lock) while the consumer folds without it.
+    std::atomic<Timestamp> external_evict_cutoff{  // lint:raw-atomic-ok (cutoff handoff)
+        std::numeric_limits<Timestamp>::min()};
 
     /// High-watermark arrival timestamp — the service's virtual "now" for
     /// maintenance and checkpoint due-checks.
@@ -520,6 +574,8 @@ class QueryBot5000 {
   Counter* queue_stalls_total_ = nullptr;  ///< EnqueueBatch hit a full ring
   Counter* bg_rounds_total_ = nullptr;   ///< service rounds that did work
   Gauge* model_epoch_gauge_ = nullptr;   ///< publications, mirrors epoch
+  Gauge* drain_workers_gauge_ = nullptr;  ///< configured width; 0 = inline
+  Counter* drain_merge_waits_total_ = nullptr;  ///< ordered-merge head-of-line stalls
 };
 
 }  // namespace qb5000

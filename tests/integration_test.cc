@@ -1,10 +1,15 @@
 // Cross-module integration tests: full pipeline scenarios that exercise
 // the Pre-Processor, Clusterer, Forecaster, mini-DBMS, and advisor
 // together the way the benches and a real deployment do.
+#include <algorithm>
 #include <cmath>
+#include <string>
+#include <vector>
 
 #include <gtest/gtest.h>
 
+#include "common/io.h"
+#include "core/checkpoint.h"
 #include "core/qb5000.h"
 #include "dbms/loader.h"
 #include "forecaster/evaluation.h"
@@ -242,6 +247,95 @@ TEST(PipelineIntegration, NoisyCompositeShiftDetection) {
   ASSERT_TRUE(bot.RunMaintenance(11 * kSecondsPerHour).ok());  // trigger path
   EXPECT_EQ(bot.clusterer().last_update_time(), 11 * kSecondsPerHour);
   EXPECT_TRUE(bot.Forecast(11 * kSecondsPerHour, kSecondsPerHour).ok());
+}
+
+TEST(PipelineIntegration, ServiceDeltaKillRestoreForecastEquivalence) {
+  // The always-on deployment loop end-to-end (DESIGN.md §14): a
+  // checkpointing service ingests a real trace across a base checkpoint and
+  // a delta sidecar, the process dies, and the restarted process — restored
+  // from base + delta — must cluster, train, and forecast *identically* to
+  // a reference process that ingested the whole trace synchronously and
+  // never died.
+  const std::string path =
+      ::testing::TempDir() + "qb5000_integration_delta.qbc";
+  Env* env = Env::Default();
+  for (const std::string& base : {path, path + ".delta"}) {
+    for (const char* suffix : {"", ".bak", ".tmp"}) {
+      (void)env->DeleteFile(base + suffix);
+    }
+  }
+
+  QueryBot5000::Config config = PipelineConfig();
+  config.forecaster.training_window_seconds = 3 * kSecondsPerDay;
+  config.horizons = {kSecondsPerHour};
+  constexpr Timestamp kEnd = 4 * kSecondsPerDay;
+  auto workload = MakeBusTracker({.seed = 11, .volume_scale = 0.3});
+  auto trace = workload.Materialize(0, kEnd, 10 * kSecondsPerMinute,
+                                    /*seed=*/11, /*volume_scale=*/1.0,
+                                    /*max_per_step=*/2);
+  ASSERT_GT(trace.size(), 128u);
+
+  auto feed = [&trace](QueryBot5000& bot, size_t from, size_t to,
+                       bool service) {
+    constexpr size_t kBatch = 64;
+    for (size_t i = from; i < to; i += kBatch) {
+      std::vector<QueryArrival> batch;
+      for (size_t j = i; j < std::min(i + kBatch, to); ++j) {
+        batch.push_back({trace[j].sql, trace[j].timestamp, 1.0});
+      }
+      if (service) {
+        ASSERT_TRUE(bot.EnqueueBatch(batch).ok());
+      } else {
+        ASSERT_TRUE(bot.IngestBatch(batch).ok());
+      }
+    }
+  };
+
+  QueryBot5000 reference(config);
+  feed(reference, 0, trace.size(), /*service=*/false);
+  ASSERT_TRUE(reference.RunMaintenance(kEnd, /*force=*/true).ok());
+  auto want = reference.Forecast(kEnd, kSecondsPerHour);
+  ASSERT_TRUE(want.ok()) << want.status().ToString();
+
+  {  // First process: service session ending in an un-compacted delta.
+    QueryBot5000 bot(config);
+    QueryBot5000::ServiceOptions opts;
+    opts.queue_capacity = 256;
+    opts.background = false;
+    opts.auto_maintenance = false;
+    opts.checkpoint_path = path;
+    opts.checkpoint_period_seconds = 6 * kSecondsPerHour;
+    opts.compact_every = 1000;  // deltas stay deltas for this test
+    ASSERT_TRUE(bot.StartService(opts).ok());
+    feed(bot, 0, trace.size() / 2, /*service=*/true);
+    bot.DrainForTest();  // first periodic write: the full base
+    ASSERT_TRUE(env->FileExists(path));
+    feed(bot, trace.size() / 2, trace.size(), /*service=*/true);
+    bot.DrainForTest();  // subsequent writes append to the sidecar
+    ASSERT_TRUE(bot.StopService().ok());  // final flush, then "the kill"
+    ASSERT_TRUE(env->FileExists(path + ".delta"));
+  }
+
+  RestoreReport report;
+  auto restored = QueryBot5000::Restore(path, config, nullptr, &report);
+  ASSERT_TRUE(restored.ok()) << restored.status().ToString();
+  EXPECT_TRUE(report.delta_applied) << report.detail;
+  EXPECT_DOUBLE_EQ(restored->preprocessor().total_queries(),
+                   reference.preprocessor().total_queries());
+
+  // The restarted process picks up where the dead one left off: the same
+  // maintenance pass must produce the same clusters and the same forecast.
+  ASSERT_TRUE(restored->RunMaintenance(kEnd, /*force=*/true).ok());
+  auto got = restored->Forecast(kEnd, kSecondsPerHour);
+  ASSERT_TRUE(got.ok()) << got.status().ToString();
+  EXPECT_EQ(got->clusters, want->clusters);
+  ASSERT_EQ(got->queries_per_interval.size(),
+            want->queries_per_interval.size());
+  for (size_t i = 0; i < got->queries_per_interval.size(); ++i) {
+    EXPECT_DOUBLE_EQ(got->queries_per_interval[i],
+                     want->queries_per_interval[i])
+        << "interval " << i;
+  }
 }
 
 }  // namespace

@@ -12,13 +12,24 @@
 //     service under TSan without data races or lost arrivals.
 #include <sys/stat.h>
 
+#include <atomic>
+#include <cctype>
+#include <chrono>
+#include <cstdint>
+#include <iterator>
+#include <sstream>
 #include <string>
 #include <thread>
+#include <tuple>
 #include <vector>
 
 #include <gtest/gtest.h>
 
 #include "common/io.h"
+#include "common/metrics.h"
+#include "common/mpsc_queue.h"
+#include "common/rng.h"
+#include "common/service.h"
 #include "common/thread_pool.h"
 #include "core/checkpoint.h"
 #include "core/qb5000.h"
@@ -210,6 +221,228 @@ INSTANTIATE_TEST_SUITE_P(ThreadCounts, ServiceEquivalence,
                          [](const ::testing::TestParamInfo<size_t>& info) {
                            return "threads_" + std::to_string(info.param);
                          });
+
+// --- sharded drain equivalence (DESIGN.md §14) -------------------------------
+
+/// The preprocessor's counter lines from a counters-only export. Counters
+/// are the deterministic section of the metrics contract (histograms carry
+/// timings); byte-comparing them is the strongest "exact counters" oracle
+/// the sharded drain can be held to.
+std::string PreprocessorCounterLines(const MetricsRegistry& metrics) {
+  MetricsRegistry::ExportOptions counters_only;
+  counters_only.counters_only = true;
+  std::istringstream in(metrics.ExportText(counters_only));
+  std::string out;
+  std::string line;
+  while (std::getline(in, line)) {
+    // Export lines read "counter <name> <value>" (metrics.h).
+    if (line.rfind("counter preprocessor.", 0) == 0) out += line + "\n";
+  }
+  return out;
+}
+
+/// Feeds `trace` through EnqueueBatch from `producers` real threads while an
+/// atomic ticket keeps the *global chunk order* deterministic: chunk c is
+/// pushed only after chunks 0..c-1 are in the ring. Every push still crosses
+/// a real thread boundary into the MPSC ring (and retries kOverloaded), but
+/// the service consumes the exact sequence FeedSync applies — the property
+/// that makes byte-identity against synchronous ingest assertable.
+void FeedServiceTicketed(QueryBot5000& bot,
+                         const std::vector<TraceEvent>& trace,
+                         size_t producers) {
+  const size_t num_chunks = (trace.size() + kBatch - 1) / kBatch;
+  std::atomic<size_t> turn{0};  // lint:raw-atomic-ok (test ticket)
+  ThreadPool pool(producers);
+  pool.Run(producers, [&](size_t p) {
+    for (size_t c = p; c < num_chunks; c += producers) {
+      auto batch = ToArrivals(trace, c * kBatch, kBatch);
+      while (turn.load(std::memory_order_acquire) != c) {
+        std::this_thread::yield();
+      }
+      while (true) {
+        Status st = bot.EnqueueBatch(batch);
+        if (st.ok()) break;
+        ASSERT_EQ(st.code(), StatusCode::kOverloaded) << st.ToString();
+        if (!bot.service_running()) FAIL() << "service died mid-feed";
+        std::this_thread::yield();
+      }
+      turn.store(c + 1, std::memory_order_release);
+    }
+  });
+}
+
+/// (drain_workers, producers): at every width the sharded drain must be a
+/// scheduling change, never a semantic one — template ids, histories,
+/// forecasts, and the preprocessor counter export all byte-identical to
+/// synchronous ingest of the same trace.
+class ShardedServiceEquivalence
+    : public ::testing::TestWithParam<std::tuple<size_t, size_t>> {};
+
+TEST_P(ShardedServiceEquivalence, MatchesSynchronousIngestOnAllWorkloads) {
+  const size_t drain_workers = std::get<0>(GetParam());
+  const size_t producers = std::get<1>(GetParam());
+  struct Named {
+    const char* name;
+    SyntheticWorkload workload;
+  };
+  const WorkloadOptions options{.seed = 13, .volume_scale = 0.2};
+  Named workloads[] = {{"bustracker", MakeBusTracker(options)},
+                       {"admissions", MakeAdmissions(options)},
+                       {"mooc", MakeMooc(options)},
+                       {"noisy_composite", MakeNoisyComposite(options)}};
+  for (const Named& entry : workloads) {
+    SCOPED_TRACE(entry.name);
+    const std::vector<TraceEvent> trace = MakeTrace(entry.workload);
+    ASSERT_FALSE(trace.empty());
+
+    QueryBot5000 sync_bot(QuietConfig());
+    FeedSync(sync_bot, trace);
+    ASSERT_TRUE(sync_bot.RunMaintenance(kTraceEnd, /*force=*/true).ok());
+
+    QueryBot5000 service_bot(QuietConfig());
+    // Small ring: producers ride the Overloaded/retry path while the
+    // background thread drains concurrently — preps of later chunks race
+    // merges of earlier ones, which is exactly the staleness the ordered
+    // merge must absorb without drift.
+    QueryBot5000::ServiceOptions sopts;
+    sopts.queue_capacity = 8;
+    sopts.background = true;
+    sopts.auto_maintenance = false;
+    sopts.drain_workers = drain_workers;
+    ASSERT_TRUE(service_bot.StartService(sopts).ok());
+    if (kMetricsEnabled) {
+      EXPECT_EQ(service_bot.Metrics().GetGauge("core.drain_workers")->value(),
+                static_cast<double>(drain_workers));
+    }
+    FeedServiceTicketed(service_bot, trace, producers);
+    service_bot.DrainForTest();
+    ASSERT_TRUE(service_bot.RunMaintenance(kTraceEnd, /*force=*/true).ok());
+    ASSERT_TRUE(service_bot.StopService().ok());
+
+    ExpectSamePipelineState(service_bot, sync_bot, kTraceEnd);
+    if (kMetricsEnabled) {
+      // Exact counters: same chunking ⇒ same batches_total; everything else
+      // (hits, misses, creations, parse failures) must survive speculative
+      // preparation unchanged.
+      EXPECT_EQ(PreprocessorCounterLines(service_bot.Metrics()),
+                PreprocessorCounterLines(sync_bot.Metrics()));
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    WorkersByProducers, ShardedServiceEquivalence,
+    ::testing::Combine(::testing::Values(size_t{1}, size_t{2}, size_t{8}),
+                       ::testing::Values(size_t{1}, size_t{8})),
+    [](const ::testing::TestParamInfo<std::tuple<size_t, size_t>>& info) {
+      return "workers_" + std::to_string(std::get<0>(info.param)) +
+             "_producers_" + std::to_string(std::get<1>(info.param));
+    });
+
+// --- fuzz differential: sharded drain vs per-query loop ----------------------
+
+/// Adversarial arrival stream for the sharded drain: heavy duplication of a
+/// small template set (the same key recurring across chunks of one run — the
+/// stale-probe case), literal rewrites (cache hits under different raw
+/// bytes), corrupted statements (rejects), and 7-second timestamp steps so
+/// same-minute aggregation runs keep crossing chunk and minute boundaries.
+std::vector<TraceEvent> MakeServiceFuzzTrace(int iterations, uint64_t seed) {
+  static const char* const kCorpus[] = {
+      "SELECT * FROM orders WHERE id = 42",
+      "SELECT name, total FROM orders WHERE total > 10.5 AND region = 'east'",
+      "SELECT id FROM users WHERE name LIKE 'a%' OR age BETWEEN 18 AND 65",
+      "SELECT * FROM trips WHERE route_id IN (1, 2, 3) LIMIT 50",
+      "INSERT INTO orders (id, total, region) VALUES (1, 9.99, 'west')",
+      "UPDATE users SET age = 30, name = 'bob' WHERE id = 7",
+      "DELETE FROM events WHERE ts < 1600000000",
+      "SELECT a.id FROM a WHERE ((a.x = 1 OR a.y = 2) AND a.z = 'q')",
+  };
+  Rng rng(seed);
+  std::vector<TraceEvent> events;
+  events.reserve(static_cast<size_t>(iterations));
+  for (int i = 0; i < iterations; ++i) {
+    std::string sql = kCorpus[rng.UniformInt(0, std::size(kCorpus) - 1)];
+    switch (rng.UniformInt(0, 3)) {
+      case 0:  // exact repeat
+        break;
+      case 1:  // rewrite digits: raw string differs, template key does not
+        for (char& c : sql) {
+          if (c >= '0' && c <= '9') {
+            c = static_cast<char>('0' + rng.UniformInt(0, 9));
+          }
+        }
+        break;
+      case 2:  // shout-case repeat (normalizer canonicalizes case)
+        for (char& c : sql) c = static_cast<char>(std::toupper(c));
+        break;
+      default: {  // corrupt one byte (often a reject or a fallback)
+        size_t at = static_cast<size_t>(
+            rng.UniformInt(0, static_cast<int64_t>(sql.size()) - 1));
+        sql[at] = static_cast<char>(rng.UniformInt(1, 255));
+        break;
+      }
+    }
+    events.push_back(
+        TraceEvent{static_cast<Timestamp>(i) * 7, std::move(sql)});
+  }
+  return events;
+}
+
+TEST(ServiceTest, ShardedDrainFuzzDifferentialMatchesPerQueryLoop) {
+  const std::vector<TraceEvent> trace = MakeServiceFuzzTrace(3000, 20260809);
+  const Timestamp end = static_cast<Timestamp>(trace.size()) * 7;
+
+  // Baseline: the naive per-query loop (batches_total stays 0).
+  QueryBot5000 sync_bot(QuietConfig());
+  for (const TraceEvent& e : trace) {
+    (void)sync_bot.Ingest(e.sql, e.timestamp);  // rejects must match too
+  }
+
+  // Sharded service: random producer-batch boundaries (1..96 arrivals), a
+  // tiny ring, three prep workers — chunks of one run keep colliding on the
+  // same templates and the same minute buckets.
+  QueryBot5000 service_bot(QuietConfig());
+  QueryBot5000::ServiceOptions sopts;
+  sopts.queue_capacity = 4;
+  sopts.background = true;
+  sopts.auto_maintenance = false;
+  sopts.drain_workers = 3;
+  ASSERT_TRUE(service_bot.StartService(sopts).ok());
+  Rng rng(4242);
+  size_t chunks = 0;
+  size_t at = 0;
+  while (at < trace.size()) {
+    size_t len = static_cast<size_t>(rng.UniformInt(1, 96));
+    auto batch = ToArrivals(trace, at, len);
+    while (true) {
+      Status st = service_bot.EnqueueBatch(batch);
+      if (st.ok()) break;
+      ASSERT_EQ(st.code(), StatusCode::kOverloaded) << st.ToString();
+      std::this_thread::yield();
+    }
+    ++chunks;
+    at += batch.size();
+  }
+  service_bot.DrainForTest();
+  ASSERT_TRUE(service_bot.StopService().ok());
+
+  Status sync_mnt = sync_bot.RunMaintenance(end, /*force=*/true);
+  Status service_mnt = service_bot.RunMaintenance(end, /*force=*/true);
+  ASSERT_EQ(service_mnt.ok(), sync_mnt.ok())
+      << service_mnt.ToString() << " vs " << sync_mnt.ToString();
+  ExpectSamePipelineState(service_bot, sync_bot, end);
+  if (kMetricsEnabled) {
+    // Identical counters modulo the one batching line: the per-query loop
+    // never batches, the service applied `chunks` of them.
+    std::string expect = PreprocessorCounterLines(sync_bot.Metrics());
+    const std::string zero = "preprocessor.batches_total 0";
+    size_t pos = expect.find(zero);
+    ASSERT_NE(pos, std::string::npos);
+    expect.replace(pos, zero.size(),
+                   "preprocessor.batches_total " + std::to_string(chunks));
+    EXPECT_EQ(PreprocessorCounterLines(service_bot.Metrics()), expect);
+  }
+}
 
 // --- lifecycle ---------------------------------------------------------------
 
@@ -403,6 +636,173 @@ TEST(ServiceTest, CompactionFoldsDeltasIntoFullSnapshots) {
   EXPECT_FALSE(report.delta_applied);
   EXPECT_DOUBLE_EQ(restored->preprocessor().total_queries(),
                    bot.preprocessor().total_queries());
+}
+
+// Satellite of the delta log (DESIGN.md §14): RunMaintenance driven
+// *directly* while a checkpointing service runs publishes its eviction
+// cutoff into the delta log, so a restore replays the eviction instead of
+// resurrecting templates the live process dropped.
+TEST(ServiceTest, DirectMaintenanceEvictionSurvivesDeltaRestore) {
+  const std::string path = TestDir() + "/maintenance_during_delta.qbc";
+  RemoveCheckpointFiles(Env::Default(), path);
+  QueryBot5000::Config config = QuietConfig();
+  config.template_eviction_seconds = 2 * kSecondsPerHour;
+
+  QueryBot5000 bot(config);
+  QueryBot5000::ServiceOptions sopts;
+  sopts.background = false;
+  sopts.checkpoint_path = path;
+  sopts.checkpoint_period_seconds = kSecondsPerHour;
+  sopts.compact_every = 1000;  // stay incremental after the base
+  ASSERT_TRUE(bot.StartService(sopts).ok());
+
+  auto feed_hours = [&](const char* sql, Timestamp from_h, Timestamp to_h) {
+    for (Timestamp h = from_h; h < to_h; ++h) {
+      QueryArrival a[] = {{sql, h * kSecondsPerHour, 1.0}};
+      ASSERT_TRUE(bot.EnqueueBatch(a).ok());
+    }
+  };
+  // Phase 1: the soon-idle template; lands in the full base checkpoint.
+  feed_hours("SELECT a FROM t WHERE id = 1", 0, 3);
+  bot.DrainForTest();
+  ASSERT_TRUE(Env::Default()->FileExists(path)) << "full base not written";
+  const std::vector<TemplateId> phase1_ids = bot.preprocessor().TemplateIds();
+  ASSERT_EQ(phase1_ids.size(), 1u);
+  const TemplateId idle_id = phase1_ids[0];
+
+  // Phase 2: a fresh template only; accrues into the delta sidecar.
+  feed_hours("SELECT b FROM u WHERE id = 2", 12, 24);
+  bot.DrainForTest();
+
+  // The caller-driven pass: evicts the idle template (last seen hour 2,
+  // cutoff 22h) and publishes the cutoff to the service consumer.
+  ASSERT_TRUE(bot.RunMaintenance(24 * kSecondsPerHour, /*force=*/true).ok());
+  ASSERT_EQ(bot.preprocessor().GetTemplate(idle_id), nullptr)
+      << "precondition: maintenance must have evicted the idle template";
+  ASSERT_EQ(bot.preprocessor().num_templates(), 1u);
+  ASSERT_TRUE(bot.StopService().ok());  // folds the cutoff, flushes the delta
+  ASSERT_TRUE(Env::Default()->FileExists(path + ".delta"));
+
+  RestoreReport report;
+  auto restored = QueryBot5000::Restore(path, config, nullptr, &report);
+  ASSERT_TRUE(restored.ok()) << restored.status().ToString();
+  EXPECT_TRUE(report.delta_applied) << report.detail;
+  // The base holds the idle template and the delta replays its cutoff:
+  // restore must match the live bot, evicted template absent.
+  EXPECT_EQ(restored->preprocessor().GetTemplate(idle_id), nullptr)
+      << "restore resurrected an evicted template";
+  EXPECT_EQ(restored->preprocessor().TemplateIds(),
+            bot.preprocessor().TemplateIds());
+  for (TemplateId id : bot.preprocessor().TemplateIds()) {
+    const auto* live = bot.preprocessor().GetTemplate(id);
+    const auto* back = restored->preprocessor().GetTemplate(id);
+    ASSERT_NE(back, nullptr);
+    EXPECT_EQ(back->last_seen, live->last_seen) << "template " << id;
+    EXPECT_DOUBLE_EQ(back->history.Total(), live->history.Total())
+        << "template " << id;
+  }
+}
+
+// --- sharded-drain building blocks -------------------------------------------
+
+TEST(ServiceQueue, TryPopBatchMatchesSequentialPops) {
+  MpscRingQueue<int> queue(8);
+  for (int lap = 0; lap < 3; ++lap) {  // wrap the ring across laps
+    for (int i = 0; i < 6; ++i) {
+      int v = lap * 10 + i;
+      ASSERT_TRUE(queue.TryPush(std::move(v)));
+    }
+    int out[8] = {0};
+    ASSERT_EQ(queue.TryPopBatch(out, 4), 4u);  // capped by max
+    for (int i = 0; i < 4; ++i) EXPECT_EQ(out[i], lap * 10 + i);
+    ASSERT_EQ(queue.TryPopBatch(out, 8), 2u);  // capped by occupancy
+    EXPECT_EQ(out[0], lap * 10 + 4);
+    EXPECT_EQ(out[1], lap * 10 + 5);
+    EXPECT_EQ(queue.TryPopBatch(out, 8), 0u);  // empty
+  }
+}
+
+TEST(ServiceDrainPool, RunsEveryJobAcrossRunsAndRestarts) {
+  DrainPool pool;
+  pool.Start(3);
+  EXPECT_EQ(pool.workers(), 3u);
+  for (int round = 0; round < 3; ++round) {
+    constexpr size_t kJobs = 17;  // more jobs than workers: claims recycle
+    std::vector<std::atomic<int>> done(kJobs);  // lint:raw-atomic-ok (test)
+    pool.BeginRun(kJobs, [&](size_t i) { done[i].store(1); });
+    for (size_t i = 0; i < kJobs; ++i) {
+      (void)pool.AwaitPrepared(i);
+      EXPECT_EQ(done[i].load(), 1) << "job " << i << " not prepared";
+    }
+    pool.EndRun();
+  }
+  pool.Stop();
+  EXPECT_EQ(pool.workers(), 0u);
+  pool.Start(1);  // restartable, like ServiceThread
+  bool ran = false;
+  pool.BeginRun(1, [&](size_t) { ran = true; });
+  (void)pool.AwaitPrepared(0);
+  pool.EndRun();
+  EXPECT_TRUE(ran);
+  pool.Stop();
+}
+
+TEST(ServiceDrainPool, AwaitHelpsWithUnclaimedJobsInsteadOfBlocking) {
+  DrainPool pool;
+  pool.Start(1);
+  std::atomic<int> started{0};  // lint:raw-atomic-ok (test gate)
+  std::atomic<int> release{0};  // lint:raw-atomic-ok (test gate)
+  pool.BeginRun(2, [&](size_t i) {
+    if (i == 0) {
+      started.store(1, std::memory_order_release);
+      while (release.load(std::memory_order_acquire) == 0) {
+        std::this_thread::yield();
+      }
+    }
+  });
+  // The single worker has claimed job 0 and is wedged inside its prep. Job
+  // 1 is unclaimed, so the await must prepare it on *this* thread and
+  // return without ever blocking.
+  while (started.load(std::memory_order_acquire) == 0) {
+    std::this_thread::yield();
+  }
+  EXPECT_FALSE(pool.AwaitPrepared(1));
+  release.store(1, std::memory_order_release);
+  (void)pool.AwaitPrepared(0);
+  pool.EndRun();
+  pool.Stop();
+}
+
+TEST(ServiceDrainPool, AwaitReportsHeadOfLineWait) {
+  DrainPool pool;
+  pool.Start(1);
+  std::atomic<int> started{0};  // lint:raw-atomic-ok (test gate)
+  std::atomic<int> release{0};  // lint:raw-atomic-ok (test gate)
+  // A run of one job, claimed by the worker and parked in its prep: there
+  // is nothing left to help with, so the await must block — and report
+  // it — until the gate opens.
+  pool.BeginRun(1, [&](size_t) {
+    started.store(1, std::memory_order_release);
+    while (release.load(std::memory_order_acquire) == 0) {
+      std::this_thread::yield();
+    }
+  });
+  while (started.load(std::memory_order_acquire) == 0) {
+    std::this_thread::yield();
+  }
+  bool waited = false;
+  ThreadPool helpers(2);
+  helpers.Run(2, [&](size_t task) {
+    if (task == 0) {
+      waited = pool.AwaitPrepared(0);
+      return;
+    }
+    std::this_thread::sleep_for(std::chrono::milliseconds(50));
+    release.store(1, std::memory_order_release);
+  });
+  EXPECT_TRUE(waited);
+  pool.EndRun();
+  pool.Stop();
 }
 
 }  // namespace
