@@ -21,7 +21,7 @@ void PrintHeader(const std::string& title, const std::string& paper_ref) {
   std::printf("==============================================================\n");
 }
 
-void PrintSparkline(const std::string& label, const std::vector<double>& values) {
+void PrintSparkline(const std::string& label, std::span<const double> values) {
   static const char* kBars[] = {" ", "▁", "▂", "▃", "▄", "▅", "▆", "▇", "█"};
   double peak = 0;
   for (double v : values) {
@@ -40,7 +40,7 @@ void PrintSparkline(const std::string& label, const std::vector<double>& values)
   std::printf("  (peak %.0f)\n", peak);
 }
 
-void PrintSeriesRow(const std::string& name, const std::vector<double>& values,
+void PrintSeriesRow(const std::string& name, std::span<const double> values,
                     int precision) {
   std::printf("%s", name.c_str());
   for (double v : values) std::printf(", %.*f", precision, v);

@@ -1,5 +1,6 @@
 #pragma once
 
+#include <span>
 #include <string>
 #include <vector>
 
@@ -18,10 +19,10 @@ bool FastMode();
 void PrintHeader(const std::string& title, const std::string& paper_ref);
 
 /// Renders `values` as a unicode bar sparkline with a label and peak note.
-void PrintSparkline(const std::string& label, const std::vector<double>& values);
+void PrintSparkline(const std::string& label, std::span<const double> values);
 
 /// Prints "name, v0, v1, ..." rows for machine-readable series output.
-void PrintSeriesRow(const std::string& name, const std::vector<double>& values,
+void PrintSeriesRow(const std::string& name, std::span<const double> values,
                     int precision = 1);
 
 /// A workload fed through the Pre-Processor with a clusterer updated at

@@ -6,6 +6,7 @@
 // Usage: example_workload_explorer [admissions|bustracker|mooc|noisy]
 #include <cstdio>
 #include <cstring>
+#include <span>
 #include <string>
 
 #include "clusterer/online_clusterer.h"
@@ -17,7 +18,7 @@ using namespace qb5000;
 namespace {
 
 // Renders a series as a row of unicode bars.
-void PrintSparkline(const char* label, const std::vector<double>& values) {
+void PrintSparkline(const char* label, std::span<const double> values) {
   static const char* kBars[] = {" ", "▁", "▂", "▃", "▄", "▅", "▆", "▇", "█"};
   double peak = 0;
   for (double v : values) peak = std::max(peak, v);

@@ -25,9 +25,9 @@ void ArrivalRateFeature::Resample(Timestamp now) {
 }
 
 ArrivalRateFeature::Feature ArrivalRateFeature::ExtractWithCoverage(
-    const ArrivalHistory& history) const {
+    const ArrivalHistory& history, TimeSeries* scratch) const {
   Feature out;
-  out.values = Extract(history);
+  out.values = Extract(history, scratch);
   if (history.Total() == 0.0) {
     out.covered_from = out.values.size();
     return out;
@@ -39,7 +39,8 @@ ArrivalRateFeature::Feature ArrivalRateFeature::ExtractWithCoverage(
   return out;
 }
 
-Vector ArrivalRateFeature::Extract(const ArrivalHistory& history) const {
+Vector ArrivalRateFeature::Extract(const ArrivalHistory& history,
+                                   TimeSeries* scratch) const {
   Vector feature(sample_times_.size(), 0.0);
   if (sample_times_.empty()) return feature;
   // One materialization at the smoothing interval covering all samples,
@@ -47,11 +48,16 @@ Vector ArrivalRateFeature::Extract(const ArrivalHistory& history) const {
   // range, which matches the paper's treatment of new templates (missing
   // history = 0).
   int64_t interval = options_.smoothing_interval_seconds;
-  auto series = history.Series(interval, sample_times_.front(),
-                               sample_times_.back() + interval);
-  if (!series.ok()) return feature;
+  TimeSeries local;
+  TimeSeries* window = scratch != nullptr ? scratch : &local;
+  if (!history
+           .WindowInto(interval, sample_times_.front(),
+                       sample_times_.back() + interval, window)
+           .ok()) {
+    return feature;
+  }
   for (size_t i = 0; i < sample_times_.size(); ++i) {
-    feature[i] = series->ValueAt(sample_times_[i]);
+    feature[i] = window->ValueAt(sample_times_[i]);
   }
   return feature;
 }

@@ -47,11 +47,16 @@ class ArrivalRateFeature {
     size_t covered_from = 0;  ///< == values.size() when history is empty
   };
 
-  /// Extracts the feature vector for one template's history.
-  Vector Extract(const ArrivalHistory& history) const;
+  /// Extracts the feature vector for one template's history. `scratch`
+  /// (optional) receives the materialized smoothing window, so extraction
+  /// loops over many templates reuse one buffer instead of allocating a
+  /// dense series per template. Bit-identical output either way.
+  Vector Extract(const ArrivalHistory& history,
+                 TimeSeries* scratch = nullptr) const;
 
   /// Extracts the feature with its coverage boundary.
-  Feature ExtractWithCoverage(const ArrivalHistory& history) const;
+  Feature ExtractWithCoverage(const ArrivalHistory& history,
+                              TimeSeries* scratch = nullptr) const;
 
   const std::vector<Timestamp>& sample_times() const { return sample_times_; }
   size_t dimension() const { return options_.num_samples; }

@@ -50,6 +50,7 @@ OnlineClusterer::OnlineClusterer(Options options)
   templates_moved_total_ = m.GetCounter("clusterer.templates_moved_total");
   kdtree_queries_total_ = m.GetCounter("clusterer.kdtree_queries_total");
   kdtree_probes_total_ = m.GetCounter("clusterer.kdtree_probes_total");
+  sampled_queries_total_ = m.GetCounter("clusterer.sampled_queries_total");
   clusters_gauge_ = m.GetGauge("clusterer.clusters");
   last_update_moves_gauge_ = m.GetGauge("clusterer.last_update_moves");
   update_seconds_ = m.GetHistogram("clusterer.update_seconds");
@@ -73,7 +74,87 @@ double OnlineClusterer::CenterSimilarity(const Vector& a, const Vector& b) const
   return 1.0 / (1.0 + std::sqrt(SquaredL2Distance(a, b)));
 }
 
+void OnlineClusterer::RefreshProbePlan(size_t num_templates) {
+  bool want =
+      options_.probe_mode == ProbeMode::kSampled ||
+      (options_.probe_mode == ProbeMode::kAuto &&
+       num_templates >= options_.sampled_probe_template_threshold);
+  probe_sampled_ = want;
+  probe_dims_.clear();
+  if (!want) return;
+  size_t dim = options_.feature_mode == FeatureMode::kArrivalRate
+                   ? feature_.dimension()
+                   : LogicalFeature::kDimension;
+  size_t k = std::min(options_.sampled_probe_dims, dim);
+  if (k == 0 || dim == 0) {
+    probe_sampled_ = false;
+    return;
+  }
+  // Floyd's sampling over a private Rng: deterministic in (seed, dim, k),
+  // and no shared RNG stream is consumed — below the threshold this whole
+  // function is side-effect free.
+  Rng rng(options_.feature.seed ^ 0x53616d706c656421ULL);
+  std::set<size_t> chosen;
+  for (size_t j = dim - k; j < dim; ++j) {
+    size_t t = static_cast<size_t>(
+        rng.UniformInt(0, static_cast<int64_t>(j)));
+    if (!chosen.insert(t).second) chosen.insert(j);
+  }
+  probe_dims_.assign(chosen.begin(), chosen.end());
+}
+
+ClusterId OnlineClusterer::FindBestSampled(const Feature& feature,
+                                           ClusterId exclude) const {
+  sampled_queries_total_->Add();
+  size_t keep = std::max<size_t>(1, options_.sampled_probe_candidates);
+  // Coarse pass: masked cosine restricted to the probe dimensions. Small
+  // fixed-size top list — `keep` is single digits, linear insert is fine.
+  std::vector<std::pair<double, ClusterId>> top;
+  top.reserve(keep + 1);
+  for (const auto& [id, cluster] : clusters_) {
+    if (id == exclude) continue;
+    const Vector& center = cluster.center;
+    size_t limit = std::min(feature.values.size(), center.size());
+    double dot = 0.0, na = 0.0, nb = 0.0;
+    for (size_t d : probe_dims_) {
+      if (d < feature.covered_from || d >= limit) continue;
+      double av = feature.values[d];
+      double bv = center[d];
+      dot += av * bv;
+      na += av * av;
+      nb += bv * bv;
+    }
+    if (na == 0.0 || nb == 0.0) continue;
+    double score = dot / std::sqrt(na * nb);
+    auto pos = std::find_if(top.begin(), top.end(),
+                            [score](const auto& e) { return e.first < score; });
+    top.insert(pos, {score, id});
+    if (top.size() > keep) top.pop_back();
+  }
+  // Exact verification of the shortlist against the real rho test.
+  ClusterId best = -1;
+  double best_sim = options_.rho;
+  for (const auto& [score, id] : top) {
+    (void)score;
+    auto it = clusters_.find(id);
+    if (it == clusters_.end()) continue;
+    double sim = Similarity(feature, it->second.center);
+    if (sim > best_sim) {
+      best_sim = sim;
+      best = id;
+    }
+  }
+  return best;
+}
+
 void OnlineClusterer::RebuildSearchIndex() {
+  if (probe_sampled_) {
+    // Sampled probing never consults the tree; skipping the O(n log n)
+    // rebuild after every placement is most of its win.
+    kdtree_.Build({});
+    kdtree_ids_.clear();
+    return;
+  }
   kdtree_ids_.clear();
   std::vector<Vector> points;
   points.reserve(clusters_.size());
@@ -98,6 +179,8 @@ ClusterId OnlineClusterer::FindBestCluster(const Feature& feature,
   bool is_zero = options_.feature_mode == FeatureMode::kArrivalRate &&
                  Norm(feature.values) == 0.0;
   if (is_zero) return -1;  // cosine similarity with everything is 0 < rho
+
+  if (probe_sampled_) return FindBestSampled(feature, exclude);
 
   // kd-tree fast path: only valid when the feature covers the full sample
   // grid (masked similarity reorders neighbors otherwise). On the unit
@@ -172,24 +255,28 @@ void OnlineClusterer::Update(const PreProcessor& pre, Timestamp now) {
   last_update_moves_ = 0;
 
   // Extract this pass's features (one shared sample grid) and volumes.
+  // One scratch series serves every extraction and volume window — with
+  // compressed histories this loop would otherwise materialize (and free) a
+  // dense series per template per pass.
   feature_.Resample(now);
   features_.clear();
   std::unordered_map<TemplateId, double> volumes;
   std::vector<TemplateId> ids = pre.TemplateIds();
+  RefreshProbePlan(ids.size());
+  TimeSeries scratch;
   for (TemplateId id : ids) {
     const auto* info = pre.GetTemplate(id);
     if (info == nullptr) continue;
     if (options_.feature_mode == FeatureMode::kArrivalRate) {
-      features_[id] = feature_.ExtractWithCoverage(info->history);
+      features_[id] = feature_.ExtractWithCoverage(info->history, &scratch);
     } else {
       Feature f;
       f.values = LogicalFeature::Extract(*info);
       f.covered_from = 0;
       features_[id] = std::move(f);
     }
-    auto window = info->history.Series(kSecondsPerMinute,
-                                       now - options_.volume_window_seconds, now);
-    volumes[id] = window.ok() ? window->Total() : 0.0;
+    volumes[id] = info->history.RangeTotal(
+        now - options_.volume_window_seconds, now, &scratch);
   }
 
   // Drop assignments for templates the Pre-Processor has evicted.
@@ -374,6 +461,7 @@ Status OnlineClusterer::RestoreState(std::map<ClusterId, Cluster> clusters,
   next_cluster_id_ = next_cluster_id;
   last_update_time_ = last_update_time;
   last_update_moves_ = 0;
+  RefreshProbePlan(assignment_.size());
   RebuildSearchIndex();
   clusters_gauge_->Set(static_cast<double>(clusters_.size()));
   return Status::Ok();
@@ -394,18 +482,22 @@ Result<TimeSeries> OnlineClusterer::CenterSeries(const PreProcessor& pre,
   const Cluster& cluster = it->second;
   if (cluster.members.empty()) return Status::FailedPrecondition("empty cluster");
   TimeSeries sum(AlignDown(from, interval_seconds), interval_seconds);
+  TimeSeries scratch;
   bool first = true;
   size_t counted = 0;
   for (TemplateId member : cluster.members) {
     const auto* info = pre.GetTemplate(member);
     if (info == nullptr) continue;
-    auto series = info->history.Series(interval_seconds, from, to);
-    if (!series.ok()) return series.status();
+    // First member fills `sum` directly; the rest go through one reused
+    // scratch buffer. Same additions in the same order as the per-member
+    // Series() materialization this replaces.
+    TimeSeries* target = first ? &sum : &scratch;
+    auto st = info->history.WindowInto(interval_seconds, from, to, target);
+    if (!st.ok()) return st;
     if (first) {
-      sum = std::move(*series);
       first = false;
     } else {
-      auto st = sum.AddSeries(*series);
+      st = sum.AddSeries(scratch);
       if (!st.ok()) return st;
     }
     ++counted;

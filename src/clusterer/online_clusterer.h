@@ -36,6 +36,16 @@ class OnlineClusterer {
     kLogical,      ///< query structure features, L2-based similarity
   };
 
+  /// Nearest-center search strategy (DESIGN.md §15). The kd-tree is exact
+  /// but its per-move rebuild dominates at very large template counts;
+  /// sampled probing scores every center over a small deterministic subset
+  /// of feature dimensions, then exact-verifies only the top candidates.
+  enum class ProbeMode {
+    kAuto,    ///< kd-tree below sampled_probe_template_threshold, else sampled
+    kKdTree,  ///< always the exact kd-tree path
+    kSampled, ///< always sampled probing (approximate above rho boundary)
+  };
+
   struct Options {
     /// Similarity threshold rho in [0, 1] (Appendix A; paper default 0.8).
     double rho = 0.8;
@@ -47,8 +57,20 @@ class OnlineClusterer {
     /// Window over which cluster volume is measured for ranking.
     int64_t volume_window_seconds = kSecondsPerDay;
     /// Use the kd-tree for nearest-center search (false = linear scan;
-    /// exposed for the ablation benchmark).
+    /// exposed for the ablation benchmark). Only consulted when sampled
+    /// probing is not active.
     bool use_kdtree = true;
+    /// Nearest-center search strategy; see ProbeMode. kAuto keeps the
+    /// golden workloads (well under the threshold) on the exact kd-tree.
+    ProbeMode probe_mode = ProbeMode::kAuto;
+    /// Feature dimensions the sampled coarse pass scores (deterministic
+    /// subset, clamped to the feature dimension).
+    size_t sampled_probe_dims = 64;
+    /// Centers surviving the coarse pass into exact verification.
+    size_t sampled_probe_candidates = 4;
+    /// kAuto switches to sampled probing at this many templates
+    /// (BENCH_memory.json is the measured crossover evidence).
+    size_t sampled_probe_template_threshold = 100000;
     /// Registry receiving `clusterer.*` metrics; nullptr = the process
     /// global. QueryBot5000 overrides this with its per-instance registry.
     MetricsRegistry* metrics = nullptr;
@@ -89,6 +111,16 @@ class OnlineClusterer {
                                   int64_t interval_seconds, Timestamp from,
                                   Timestamp to) const;
 
+  /// Nearest-center probe exactly as an update pass would run it (kd-tree,
+  /// linear, or sampled according to the active plan) — the benchmark hook
+  /// for comparing probe strategies on identical state.
+  ClusterId ProbeBest(const ArrivalRateFeature::Feature& feature) const {
+    return FindBestCluster(feature, /*exclude=*/-1);
+  }
+
+  /// True when the sampled probing plan is active (tests/benches).
+  bool sampled_probing_active() const { return probe_sampled_; }
+
   /// Number of template->cluster assignment changes in the last Update().
   size_t last_update_moves() const { return last_update_moves_; }
 
@@ -122,6 +154,15 @@ class OnlineClusterer {
   /// > rho, excluding `exclude` (-1 = none). Returns -1 if none qualify.
   ClusterId FindBestCluster(const Feature& feature, ClusterId exclude) const;
 
+  /// The sampled probe: coarse masked-cosine over probe_dims_ for every
+  /// center, exact Similarity() verification of the top candidates.
+  ClusterId FindBestSampled(const Feature& feature, ClusterId exclude) const;
+
+  /// Decides (from the template count and probe_mode) whether this pass
+  /// runs sampled probing, and regenerates the deterministic dimension
+  /// subset when it does. Below the threshold this touches no RNG state.
+  void RefreshProbePlan(size_t num_templates);
+
   void RebuildSearchIndex();
   void RecomputeCenter(Cluster& cluster);
   ClusterId NewCluster(TemplateId member, const Feature& feature);
@@ -138,6 +179,8 @@ class OnlineClusterer {
   // Nearest-center search state, rebuilt per pass.
   KdTree kdtree_;
   std::vector<ClusterId> kdtree_ids_;
+  bool probe_sampled_ = false;       ///< current plan uses sampled probing
+  std::vector<size_t> probe_dims_;   ///< sorted coarse-pass dimension subset
 
   // Instrument handles (owned by the registry; see DESIGN.md §10).
   Counter* updates_total_ = nullptr;
@@ -146,6 +189,7 @@ class OnlineClusterer {
   Counter* templates_moved_total_ = nullptr;
   Counter* kdtree_queries_total_ = nullptr;
   Counter* kdtree_probes_total_ = nullptr;  ///< nodes visited across queries
+  Counter* sampled_queries_total_ = nullptr;  ///< sampled-probe lookups
   Gauge* clusters_gauge_ = nullptr;
   Gauge* last_update_moves_gauge_ = nullptr;
   Histogram* update_seconds_ = nullptr;

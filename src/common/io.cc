@@ -4,6 +4,7 @@
 #include <cerrno>
 #include <cstdio>
 #include <cstring>
+#include <fcntl.h>
 #include <sys/stat.h>
 #include <system_error>
 #include <unistd.h>
@@ -109,6 +110,37 @@ class PosixReadableFile : public ReadableFile {
   std::string path_;
 };
 
+class PosixRandomAccessFile : public RandomAccessFile {
+ public:
+  PosixRandomAccessFile(int fd, std::string path)
+      : fd_(fd), path_(std::move(path)) {}
+
+  ~PosixRandomAccessFile() override {
+    if (fd_ >= 0) ::close(fd_);
+  }
+
+  Result<std::string> Read(uint64_t offset, size_t n) const override {
+    std::string data(n, '\0');
+    size_t got = 0;
+    while (got < n) {
+      ssize_t r = ::pread(fd_, data.data() + got, n - got,
+                          static_cast<off_t>(offset + got));
+      if (r < 0) {
+        if (errno == EINTR) continue;
+        return ErrnoStatus("pread", path_);
+      }
+      if (r == 0) break;  // EOF: short read, caller checks length
+      got += static_cast<size_t>(r);
+    }
+    data.resize(got);
+    return data;
+  }
+
+ private:
+  int fd_;
+  std::string path_;
+};
+
 class PosixEnv : public Env {
  public:
   Result<std::unique_ptr<WritableFile>> NewWritableFile(
@@ -126,6 +158,17 @@ class PosixEnv : public Env {
     if (!FileExists(path)) return Status::NotFound("cannot open " + path);
     return std::unique_ptr<ReadableFile>(
         std::make_unique<PosixReadableFile>(path));
+  }
+
+  Result<std::unique_ptr<RandomAccessFile>> NewRandomAccessFile(
+      const std::string& path) override {
+    int fd = ::open(path.c_str(), O_RDONLY);  // NOLINT(cppcoreguidelines-pro-type-vararg)
+    if (fd < 0) {
+      return errno == ENOENT ? Status::NotFound("cannot open " + path)
+                             : ErrnoStatus("open", path);
+    }
+    return std::unique_ptr<RandomAccessFile>(
+        std::make_unique<PosixRandomAccessFile>(fd, path));
   }
 
   Status RenameFile(const std::string& from, const std::string& to) override {
@@ -153,6 +196,40 @@ Env* Resolve(Env* env) { return env != nullptr ? env : Env::Default(); }
 Env* Env::Default() {
   static PosixEnv env;
   return &env;
+}
+
+namespace {
+
+/// The correctness fallback behind Env::NewRandomAccessFile: every Read
+/// pulls the whole file through the env's own NewReadableFile and slices
+/// out the requested range. Slow, but it means Env subclasses that only
+/// implement the sequential interfaces keep working.
+class WholeFileRandomAccessFile : public RandomAccessFile {
+ public:
+  WholeFileRandomAccessFile(Env* env, std::string path)
+      : env_(env), path_(std::move(path)) {}
+
+  Result<std::string> Read(uint64_t offset, size_t n) const override {
+    auto file = env_->NewReadableFile(path_);
+    if (!file.ok()) return file.status();
+    auto data = (*file)->ReadAll();
+    if (!data.ok()) return data.status();
+    if (offset >= data->size()) return std::string();
+    return data->substr(offset, n);
+  }
+
+ private:
+  Env* env_;
+  std::string path_;
+};
+
+}  // namespace
+
+Result<std::unique_ptr<RandomAccessFile>> Env::NewRandomAccessFile(
+    const std::string& path) {
+  if (!FileExists(path)) return Status::NotFound("cannot open " + path);
+  return std::unique_ptr<RandomAccessFile>(
+      std::make_unique<WholeFileRandomAccessFile>(this, path));
 }
 
 Result<std::string> ReadFileToString(Env* env, const std::string& path) {
@@ -335,6 +412,11 @@ Result<std::unique_ptr<WritableFile>> FaultInjectingEnv::NewWritableFile(
 Result<std::unique_ptr<ReadableFile>> FaultInjectingEnv::NewReadableFile(
     const std::string& path) {
   return base_->NewReadableFile(path);  // reads are never faulted
+}
+
+Result<std::unique_ptr<RandomAccessFile>> FaultInjectingEnv::NewRandomAccessFile(
+    const std::string& path) {
+  return base_->NewRandomAccessFile(path);  // reads are never faulted
 }
 
 Status FaultInjectingEnv::RenameFile(const std::string& from,

@@ -41,6 +41,19 @@ class ReadableFile {
   virtual Result<std::string> ReadAll() = 0;
 };
 
+/// A positional reader for files that keep growing while being read — the
+/// history spill store reads one cold record at a time out of a file the
+/// same process is still appending to. Read() is const and thread-safe
+/// (pread under the POSIX env), so read-throughs can run under a shared
+/// lock while no writer holds the exclusive lock.
+class RandomAccessFile {
+ public:
+  virtual ~RandomAccessFile() = default;
+  /// Reads up to `n` bytes starting at `offset`. Fewer bytes than requested
+  /// (including zero at EOF) is not an error; callers check the length.
+  virtual Result<std::string> Read(uint64_t offset, size_t n) const = 0;
+};
+
 /// The filesystem seam. Production code uses Env::Default() (POSIX, binary
 /// mode, real fsync); tests wrap it in a FaultInjectingEnv to make crashes,
 /// torn writes, and bit rot deterministic and reproducible.
@@ -52,6 +65,12 @@ class Env {
       const std::string& path) = 0;
   virtual Result<std::unique_ptr<ReadableFile>> NewReadableFile(
       const std::string& path) = 0;
+  /// Opens `path` for positional reads. The base implementation is a
+  /// correct-but-slow fallback (each Read re-reads the whole file through
+  /// NewReadableFile), so custom test envs keep working unchanged; the
+  /// POSIX env overrides it with pread(2).
+  virtual Result<std::unique_ptr<RandomAccessFile>> NewRandomAccessFile(
+      const std::string& path);
   /// Atomically renames `from` onto `to` (POSIX rename(2) semantics:
   /// `to` is replaced as a single atomic step; no window where it is torn).
   virtual Status RenameFile(const std::string& from, const std::string& to) = 0;
@@ -151,6 +170,8 @@ class FaultInjectingEnv : public Env {
   Result<std::unique_ptr<WritableFile>> NewWritableFile(
       const std::string& path) override;
   Result<std::unique_ptr<ReadableFile>> NewReadableFile(
+      const std::string& path) override;
+  Result<std::unique_ptr<RandomAccessFile>> NewRandomAccessFile(
       const std::string& path) override;
   Status RenameFile(const std::string& from, const std::string& to) override;
   Status DeleteFile(const std::string& path) override;

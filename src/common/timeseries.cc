@@ -2,34 +2,56 @@
 
 #include <algorithm>
 
+#include "common/check.h"
+
 namespace qb5000 {
 
 void TimeSeries::Add(Timestamp ts, double count) {
-  if (values_.empty()) {
+  if (empty()) {
     start_ = AlignDown(ts, interval_seconds_);
   }
   if (ts < start_) {
     // Extend the series backwards so late-arriving records keep their time.
     Timestamp new_start = AlignDown(ts, interval_seconds_);
-    size_t shift = static_cast<size_t>((start_ - new_start) / interval_seconds_);
-    values_.insert(values_.begin(), shift, 0.0);
+    GrowFront(static_cast<size_t>((start_ - new_start) / interval_seconds_));
     start_ = new_start;
   }
   size_t index = static_cast<size_t>((ts - start_) / interval_seconds_);
-  if (index >= values_.size()) values_.resize(index + 1, 0.0);
-  values_[index] += count;
+  if (index >= size()) storage_.resize(head_ + index + 1, 0.0);
+  storage_[head_ + index] += count;
+}
+
+void TimeSeries::GrowFront(size_t shift) {
+  if (shift <= head_) {
+    // The slack already covers it: just move the front pointer back and
+    // zero the newly-live prefix.
+    head_ -= shift;
+    std::fill_n(storage_.begin() + static_cast<ptrdiff_t>(head_), shift, 0.0);
+    return;
+  }
+  // Regrow with front slack equal to the new live size, so a stream of
+  // ever-earlier arrivals reallocates O(log n) times — amortized O(1)
+  // per extended bucket instead of the O(n) of a front insert.
+  size_t live = size();
+  size_t new_live = live + shift;
+  size_t slack = new_live;
+  std::vector<double> next(slack + new_live, 0.0);
+  std::copy(storage_.begin() + static_cast<ptrdiff_t>(head_), storage_.end(),
+            next.begin() + static_cast<ptrdiff_t>(slack + shift));
+  storage_ = std::move(next);
+  head_ = slack;
 }
 
 double TimeSeries::ValueAt(Timestamp ts) const {
-  if (values_.empty() || ts < start_) return 0.0;
+  if (empty() || ts < start_) return 0.0;
   size_t index = static_cast<size_t>((ts - start_) / interval_seconds_);
-  if (index >= values_.size()) return 0.0;
-  return values_[index];
+  if (index >= size()) return 0.0;
+  return storage_[head_ + index];
 }
 
 double TimeSeries::Total() const {
   double total = 0.0;
-  for (double v : values_) total += v;
+  for (double v : values()) total += v;
   return total;
 }
 
@@ -41,8 +63,8 @@ Result<TimeSeries> TimeSeries::Aggregate(int64_t coarser_interval_seconds) const
   }
   TimeSeries out(AlignDown(start_, coarser_interval_seconds),
                  coarser_interval_seconds);
-  for (size_t i = 0; i < values_.size(); ++i) {
-    out.Add(TimeAt(i), values_[i]);
+  for (size_t i = 0; i < size(); ++i) {
+    out.Add(TimeAt(i), storage_[head_ + i]);
   }
   return out;
 }
@@ -53,24 +75,34 @@ TimeSeries TimeSeries::Slice(Timestamp from, Timestamp to) const {
   TimeSeries out(from, interval_seconds_);
   if (to <= from) return out;
   size_t n = static_cast<size_t>((to - from) / interval_seconds_);
-  out.values_.assign(n, 0.0);
+  out.storage_.assign(n, 0.0);
   for (size_t i = 0; i < n; ++i) {
-    out.values_[i] = ValueAt(from + static_cast<int64_t>(i) * interval_seconds_);
+    out.storage_[i] = ValueAt(from + static_cast<int64_t>(i) * interval_seconds_);
   }
   return out;
 }
 
 Status TimeSeries::AddSeries(const TimeSeries& other) {
   if (other.start_ != start_ || other.interval_seconds_ != interval_seconds_ ||
-      other.values_.size() != values_.size()) {
+      other.size() != size()) {
     return Status::InvalidArgument("series shapes differ");
   }
-  for (size_t i = 0; i < values_.size(); ++i) values_[i] += other.values_[i];
+  for (size_t i = 0; i < size(); ++i) {
+    storage_[head_ + i] += other.storage_[other.head_ + i];
+  }
   return Status::Ok();
 }
 
 void TimeSeries::Scale(double factor) {
-  for (double& v : values_) v *= factor;
+  for (double& v : mutable_values()) v *= factor;
+}
+
+void TimeSeries::Reset(Timestamp start, int64_t interval_seconds, size_t n) {
+  QB_CHECK_GT(interval_seconds, 0);
+  start_ = start;
+  interval_seconds_ = interval_seconds;
+  head_ = 0;
+  storage_.assign(n, 0.0);
 }
 
 }  // namespace qb5000

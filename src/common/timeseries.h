@@ -1,6 +1,7 @@
 #pragma once
 
 #include <cstddef>
+#include <span>
 #include <vector>
 
 #include "common/check.h"
@@ -15,6 +16,11 @@ namespace qb5000 {
 /// This is the currency of the whole pipeline: the Pre-Processor produces a
 /// per-minute TimeSeries per template, the Clusterer averages them into
 /// cluster centers, and the Forecaster trains on aggregated views of them.
+///
+/// Storage keeps slack *before* the live region so that late-arriving
+/// records (timestamps earlier than `start`) extend the series backwards in
+/// amortized O(1) per bucket instead of the O(n) front-insert a plain
+/// vector would need.
 class TimeSeries {
  public:
   TimeSeries() : start_(0), interval_seconds_(kSecondsPerMinute) {}
@@ -28,16 +34,21 @@ class TimeSeries {
              std::vector<double> values)
       : start_(start),
         interval_seconds_(interval_seconds),
-        values_(std::move(values)) {
+        storage_(std::move(values)) {
     QB_CHECK_GT(interval_seconds_, 0);
   }
 
   Timestamp start() const { return start_; }
   int64_t interval_seconds() const { return interval_seconds_; }
-  const std::vector<double>& values() const { return values_; }
-  std::vector<double>& mutable_values() { return values_; }
-  size_t size() const { return values_.size(); }
-  bool empty() const { return values_.empty(); }
+  std::span<const double> values() const {
+    return {storage_.data() + head_, size()};
+  }
+  std::span<double> mutable_values() { return {storage_.data() + head_, size()}; }
+  size_t size() const { return storage_.size() - head_; }
+  bool empty() const { return storage_.size() == head_; }
+
+  /// Bytes of heap storage held (capacity, including front slack).
+  size_t HeapBytes() const { return storage_.capacity() * sizeof(double); }
 
   /// Timestamp of the start of bucket `i`.
   Timestamp TimeAt(size_t i) const {
@@ -45,10 +56,11 @@ class TimeSeries {
   }
 
   /// End of the covered range (exclusive).
-  Timestamp end() const { return TimeAt(values_.size()); }
+  Timestamp end() const { return TimeAt(size()); }
 
-  /// Adds `count` arrivals at time `ts`, growing the series as needed.
-  /// Timestamps before `start` are clamped into the first bucket.
+  /// Adds `count` arrivals at time `ts`, growing the series as needed —
+  /// forwards by appending, backwards (late arrivals) through the
+  /// amortized front-slack scheme.
   void Add(Timestamp ts, double count);
 
   /// Value of the bucket containing `ts`; 0 outside the covered range.
@@ -69,13 +81,26 @@ class TimeSeries {
   /// Element-wise in-place sum. Series must share start/interval/size.
   Status AddSeries(const TimeSeries& other);
 
-  /// Divides all values by `d` (no-op when d == 0).
+  /// Multiplies all values by `factor` (so pass 1/d to divide by d; the
+  /// caller is responsible for not passing an infinite 1/0).
   void Scale(double factor);
 
+  /// Re-shapes this series in place to `n` zero buckets starting at
+  /// `start`, reusing the existing allocation when it is large enough.
+  /// Scratch-buffer primitive for the windowed-view extraction paths.
+  void Reset(Timestamp start, int64_t interval_seconds, size_t n);
+
  private:
+  /// Makes `shift` additional zero buckets live before the current front,
+  /// regrowing the allocation with fresh front slack when the existing
+  /// slack is exhausted.
+  void GrowFront(size_t shift);
+
   Timestamp start_;
   int64_t interval_seconds_;
-  std::vector<double> values_;
+  std::vector<double> storage_;
+  /// Index of the first live bucket in `storage_`; [0, head_) is slack.
+  size_t head_ = 0;
 };
 
 }  // namespace qb5000

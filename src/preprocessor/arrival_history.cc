@@ -1,12 +1,26 @@
 #include "preprocessor/arrival_history.h"
 
 #include <algorithm>
+#include <istream>
+
+#include "common/check.h"
+#include <ostream>
+#include <sstream>
+#include <utility>
 
 namespace qb5000 {
 
 void ArrivalHistory::Record(Timestamp ts, double count) {
+  if (spilled_) (void)Rehydrate().ok();  // failure leaves an empty, live history
   total_ += count;
   last_arrival_ = std::max(last_arrival_, ts);
+  Timestamp archive_start =
+      archive_.empty() ? recent_.start() : archive_.start();
+  if (!daily_.empty() && ts < archive_start) {
+    // Very late arrival for a range already folded down to days.
+    daily_.Add(ts, count);
+    return;
+  }
   if (!archive_.empty() && ts < recent_.start()) {
     // Late arrival for an already-compacted range goes to the archive.
     archive_.Add(ts, count);
@@ -16,77 +30,337 @@ void ArrivalHistory::Record(Timestamp ts, double count) {
 }
 
 void ArrivalHistory::Compact(Timestamp before) {
+  // A spilled history has an empty recent rung (the spill precondition),
+  // so the dense-equivalent fold would be a no-op anyway; skip the I/O.
+  if (spilled_) return;
   before = AlignDown(before, kSecondsPerHour);
   if (recent_.empty() || before <= recent_.start()) return;
   Timestamp cutoff = std::min(before, recent_.end());
   // Fold [recent_.start(), cutoff) into the archive.
-  size_t buckets =
-      static_cast<size_t>((cutoff - recent_.start()) / kSecondsPerMinute);
-  for (size_t i = 0; i < buckets && i < recent_.size(); ++i) {
-    if (recent_.values()[i] != 0.0) {
-      archive_.Add(recent_.TimeAt(i), recent_.values()[i]);
-    }
-  }
+  recent_.ForEachInRange(recent_.start(), cutoff,
+                         [this](Timestamp t, double v) {
+                           if (v != 0.0) archive_.Add(t, v);
+                         });
   // Rebuild the recent series from the cutoff forward.
-  TimeSeries rebuilt(cutoff, kSecondsPerMinute);
-  for (size_t i = buckets; i < recent_.size(); ++i) {
-    if (recent_.values()[i] != 0.0) {
-      rebuilt.Add(recent_.TimeAt(i), recent_.values()[i]);
-    }
-  }
-  if (rebuilt.empty()) rebuilt = TimeSeries(cutoff, kSecondsPerMinute);
+  CompressedSeries rebuilt(cutoff, kSecondsPerMinute);
+  recent_.ForEachInRange(cutoff, recent_.end(),
+                         [&rebuilt](Timestamp t, double v) {
+                           if (v != 0.0) rebuilt.Add(t, v);
+                         });
   recent_ = std::move(rebuilt);
+}
+
+void ArrivalHistory::CompactArchive(Timestamp before) {
+  before = AlignDown(before, kSecondsPerDay);
+  if (spilled_) {
+    // Deferred: archive compactions compose (max cutoff wins), so one
+    // fold at rehydrate time produces the same bits as folding eagerly.
+    pending_archive_compact_ = std::max(pending_archive_compact_, before);
+    return;
+  }
+  ApplyCompactArchive(before);
+}
+
+void ArrivalHistory::ApplyCompactArchive(Timestamp before) {
+  if (archive_.empty() || before <= archive_.start()) return;
+  Timestamp cutoff = std::min(before, archive_.end());
+  archive_.ForEachInRange(archive_.start(), cutoff,
+                          [this](Timestamp t, double v) {
+                            if (v != 0.0) daily_.Add(t, v);
+                          });
+  CompressedSeries rebuilt(cutoff, kSecondsPerHour);
+  archive_.ForEachInRange(cutoff, archive_.end(),
+                          [&rebuilt](Timestamp t, double v) {
+                            if (v != 0.0) rebuilt.Add(t, v);
+                          });
+  archive_ = std::move(rebuilt);
 }
 
 Result<TimeSeries> ArrivalHistory::Series(int64_t interval_seconds,
                                           Timestamp from, Timestamp to) const {
+  TimeSeries out;
+  Status st = WindowInto(interval_seconds, from, to, &out);
+  if (!st.ok()) return st;
+  return out;
+}
+
+Status ArrivalHistory::WindowInto(int64_t interval_seconds, Timestamp from,
+                                  Timestamp to, TimeSeries* out) const {
   if (interval_seconds <= 0 || interval_seconds % kSecondsPerMinute != 0) {
     return Status::InvalidArgument(
         "interval must be a positive multiple of one minute");
   }
   from = AlignDown(from, interval_seconds);
   to = AlignDown(to + interval_seconds - 1, interval_seconds);
-  TimeSeries out(from, interval_seconds);
-  if (to <= from) return out;
-  size_t n = static_cast<size_t>((to - from) / interval_seconds);
-  out.mutable_values().assign(n, 0.0);
-
-  // Recent (minute) contribution.
-  for (size_t i = 0; i < recent_.size(); ++i) {
-    Timestamp t = recent_.TimeAt(i);
-    if (t < from || t >= to || recent_.values()[i] == 0.0) continue;
-    size_t bucket = static_cast<size_t>((t - from) / interval_seconds);
-    out.mutable_values()[bucket] += recent_.values()[i];
+  if (to <= from) {
+    out->Reset(from, interval_seconds, 0);
+    return Status::Ok();
   }
+  size_t n = static_cast<size_t>((to - from) / interval_seconds);
+  if (spilled_) {
+    // Cold fast path: most windows over spilled (long-idle) histories lie
+    // entirely after the covered range — answer them without touching disk.
+    if (covered_end_ <= covered_first_ || from >= covered_end_ ||
+        to <= covered_first_) {
+      out->Reset(from, interval_seconds, n);
+      return Status::Ok();
+    }
+    auto copy = MaterializedCopy();
+    if (!copy.ok()) return copy.status();
+    copy->WindowIntoResident(interval_seconds, from, to, out);
+    return Status::Ok();
+  }
+  WindowIntoResident(interval_seconds, from, to, out);
+  return Status::Ok();
+}
+
+void ArrivalHistory::WindowIntoResident(int64_t interval_seconds,
+                                        Timestamp from, Timestamp to,
+                                        TimeSeries* out) const {
+  size_t n = static_cast<size_t>((to - from) / interval_seconds);
+  out->Reset(from, interval_seconds, n);
+  auto values = out->mutable_values();
+
+  // Recent (minute) contribution. Gap buckets are implicit zeros, which the
+  // dense path skipped explicitly — same additions in the same order.
+  recent_.ForEachInRange(from, to,
+                         [&](Timestamp t, double v) {
+                           if (v == 0.0) return;
+                           values[static_cast<size_t>((t - from) /
+                                                      interval_seconds)] += v;
+                         });
 
   // Archive (hourly) contribution. When the requested interval is finer
   // than an hour, spread each hourly total uniformly over its sub-buckets.
-  for (size_t i = 0; i < archive_.size(); ++i) {
-    double value = archive_.values()[i];
-    if (value == 0.0) continue;
-    Timestamp t = archive_.TimeAt(i);
-    if (t + kSecondsPerHour <= from || t >= to) continue;
-    if (interval_seconds >= kSecondsPerHour) {
-      size_t bucket = static_cast<size_t>((std::max(t, from) - from) / interval_seconds);
-      if (bucket < n) out.mutable_values()[bucket] += value;
-    } else {
-      int64_t sub = kSecondsPerHour / interval_seconds;
-      double share = value / static_cast<double>(sub);
-      for (int64_t s = 0; s < sub; ++s) {
-        Timestamp st = t + s * interval_seconds;
-        if (st < from || st >= to) continue;
-        size_t bucket = static_cast<size_t>((st - from) / interval_seconds);
-        out.mutable_values()[bucket] += share;
-      }
-    }
-  }
-  return out;
+  archive_.ForEachInRange(
+      from - kSecondsPerHour + 1, to, [&](Timestamp t, double value) {
+        if (value == 0.0) return;
+        if (interval_seconds >= kSecondsPerHour) {
+          size_t bucket = static_cast<size_t>((std::max(t, from) - from) /
+                                              interval_seconds);
+          if (bucket < n) values[bucket] += value;
+        } else {
+          int64_t sub = kSecondsPerHour / interval_seconds;
+          double share = value / static_cast<double>(sub);
+          for (int64_t s = 0; s < sub; ++s) {
+            Timestamp st = t + s * interval_seconds;
+            if (st < from || st >= to) continue;
+            values[static_cast<size_t>((st - from) / interval_seconds)] +=
+                share;
+          }
+        }
+      });
+
+  // Daily contribution, same spreading scheme one rung up.
+  daily_.ForEachInRange(
+      from - kSecondsPerDay + 1, to, [&](Timestamp t, double value) {
+        if (value == 0.0) return;
+        if (interval_seconds >= kSecondsPerDay) {
+          size_t bucket = static_cast<size_t>((std::max(t, from) - from) /
+                                              interval_seconds);
+          if (bucket < n) values[bucket] += value;
+        } else {
+          int64_t sub = kSecondsPerDay / interval_seconds;
+          double share = value / static_cast<double>(sub);
+          for (int64_t s = 0; s < sub; ++s) {
+            Timestamp st = t + s * interval_seconds;
+            if (st < from || st >= to) continue;
+            values[static_cast<size_t>((st - from) / interval_seconds)] +=
+                share;
+          }
+        }
+      });
+}
+
+double ArrivalHistory::RangeTotal(Timestamp from, Timestamp to,
+                                  TimeSeries* scratch) const {
+  TimeSeries local;
+  TimeSeries* out = scratch != nullptr ? scratch : &local;
+  if (!WindowInto(kSecondsPerMinute, from, to, out).ok()) return 0.0;
+  return out->Total();
 }
 
 Timestamp ArrivalHistory::FirstTime() const {
+  if (spilled_) return covered_first_;
+  if (!daily_.empty()) return daily_.start();
   if (!archive_.empty()) return archive_.start();
   if (!recent_.empty()) return recent_.start();
   return 0;
+}
+
+Timestamp ArrivalHistory::CoveredEnd() const {
+  Timestamp end = 0;
+  if (!recent_.empty()) end = std::max(end, recent_.end());
+  if (!archive_.empty()) end = std::max(end, archive_.end());
+  if (!daily_.empty()) end = std::max(end, daily_.end());
+  return end;
+}
+
+size_t ArrivalHistory::StorageBytes() const {
+  return sizeof(ArrivalHistory) + recent_.HeapBytes() + archive_.HeapBytes() +
+         daily_.HeapBytes();
+}
+
+Status ArrivalHistory::Spill(HistorySpillStore* store) {
+  QB_CHECK(!spilled_);
+  QB_CHECK(recent_.empty());
+  auto segment = store->Append(EncodeToString());
+  if (!segment.ok()) return segment.status();
+  store_ = store;
+  segment_ = *segment;
+  covered_first_ = FirstTime();
+  covered_end_ = CoveredEnd();
+  Timestamp recent_hint = recent_.start();
+  recent_ = CompressedSeries(recent_hint, kSecondsPerMinute);
+  archive_ = CompressedSeries(0, kSecondsPerHour);
+  daily_ = CompressedSeries(0, kSecondsPerDay);
+  pending_archive_compact_ = 0;
+  spilled_ = true;
+  return Status::Ok();
+}
+
+Status ArrivalHistory::Rehydrate() {
+  if (!spilled_) return Status::Ok();
+  Timestamp recent_hint = recent_.start();
+  Status result = Status::Ok();
+  auto payload = store_->Read(segment_);
+  if (payload.ok()) {
+    std::istringstream in(*payload);
+    auto decoded = DecodeFrom(in);
+    if (decoded.ok()) {
+      recent_ = std::move(decoded->recent_);
+      archive_ = std::move(decoded->archive_);
+      daily_ = std::move(decoded->daily_);
+    } else {
+      result = decoded.status();
+    }
+  } else {
+    result = payload.status();
+  }
+  if (!result.ok()) {
+    // Lossy but live: the template keeps recording with empty coverage.
+    recent_ = CompressedSeries(recent_hint, kSecondsPerMinute);
+    archive_ = CompressedSeries(0, kSecondsPerHour);
+    daily_ = CompressedSeries(0, kSecondsPerDay);
+  }
+  store_->MarkDead(segment_);
+  spilled_ = false;
+  store_ = nullptr;
+  segment_ = nullptr;
+  Timestamp pending = pending_archive_compact_;
+  pending_archive_compact_ = 0;
+  if (result.ok() && pending > 0) ApplyCompactArchive(pending);
+  return result;
+}
+
+Result<const HistorySpillStore::Segment*> ArrivalHistory::RewriteInto(
+    HistorySpillStore* store) const {
+  QB_CHECK(spilled_);
+  auto payload = store_->Read(segment_);
+  if (!payload.ok()) return payload.status();
+  return store->RewriteAppend(*payload);
+}
+
+void ArrivalHistory::AdoptSegment(HistorySpillStore* store,
+                                  const HistorySpillStore::Segment* segment) {
+  QB_CHECK(spilled_);
+  store_ = store;
+  segment_ = segment;
+}
+
+void ArrivalHistory::DropSpill() {
+  if (!spilled_) return;
+  store_->MarkDead(segment_);
+  spilled_ = false;
+  store_ = nullptr;
+  segment_ = nullptr;
+  pending_archive_compact_ = 0;
+}
+
+Result<ArrivalHistory> ArrivalHistory::MaterializedCopy() const {
+  if (!spilled_) return *this;
+  auto payload = store_->Read(segment_);
+  if (!payload.ok()) return payload.status();
+  std::istringstream in(*payload);
+  auto decoded = DecodeFrom(in);
+  if (!decoded.ok()) return decoded.status();
+  if (pending_archive_compact_ > 0) {
+    decoded->ApplyCompactArchive(pending_archive_compact_);
+  }
+  return decoded;
+}
+
+void ArrivalHistory::EncodeTo(std::ostream& out) const {
+  QB_CHECK(!spilled_);
+  out << "ah " << total_ << ' ' << last_arrival_ << '\n';
+  recent_.Write(out);
+  archive_.Write(out);
+  daily_.Write(out);
+}
+
+std::string ArrivalHistory::EncodeToString() const {
+  std::ostringstream out;
+  out.precision(17);  // doubles must round-trip exactly
+  EncodeTo(out);
+  return out.str();
+}
+
+Status ArrivalHistory::EncodeResolved(std::ostream& out) const {
+  if (!spilled_) {
+    EncodeTo(out);
+    return Status::Ok();
+  }
+  auto copy = MaterializedCopy();
+  if (!copy.ok()) return copy.status();
+  copy->EncodeTo(out);
+  return Status::Ok();
+}
+
+Result<ArrivalHistory> ArrivalHistory::DecodeFrom(std::istream& in) {
+  std::string keyword;
+  ArrivalHistory h;
+  if (!(in >> keyword >> h.total_ >> h.last_arrival_) || keyword != "ah") {
+    return Status::ParseError("bad history header");
+  }
+  auto recent = CompressedSeries::Read(in);
+  if (!recent.ok()) return recent.status();
+  auto archive = CompressedSeries::Read(in);
+  if (!archive.ok()) return archive.status();
+  auto daily = CompressedSeries::Read(in);
+  if (!daily.ok()) return daily.status();
+  if (recent->interval_seconds() != kSecondsPerMinute ||
+      archive->interval_seconds() != kSecondsPerHour ||
+      daily->interval_seconds() != kSecondsPerDay) {
+    return Status::ParseError("bad history rung intervals");
+  }
+  h.recent_ = std::move(*recent);
+  h.archive_ = std::move(*archive);
+  h.daily_ = std::move(*daily);
+  return h;
+}
+
+Result<ArrivalHistory> ArrivalHistory::FromDense(const TimeSeries& recent,
+                                                 const TimeSeries& archive,
+                                                 double total,
+                                                 Timestamp last_arrival) {
+  if (recent.interval_seconds() != kSecondsPerMinute ||
+      archive.interval_seconds() != kSecondsPerHour) {
+    return Status::ParseError("bad dense history intervals");
+  }
+  ArrivalHistory h;
+  h.total_ = total;
+  h.last_arrival_ = last_arrival;
+  // Re-adding every bucket — explicit zeros included — reproduces the dense
+  // coverage (start/end/values) exactly in the compressed form.
+  h.recent_ = CompressedSeries(recent.start(), kSecondsPerMinute);
+  for (size_t i = 0; i < recent.size(); ++i) {
+    h.recent_.Add(recent.TimeAt(i), recent.values()[i]);
+  }
+  h.archive_ = CompressedSeries(archive.start(), kSecondsPerHour);
+  for (size_t i = 0; i < archive.size(); ++i) {
+    h.archive_.Add(archive.TimeAt(i), archive.values()[i]);
+  }
+  return h;
 }
 
 }  // namespace qb5000

@@ -1,35 +1,77 @@
 #pragma once
 
 #include <cstdint>
+#include <iosfwd>
+#include <string>
 
+#include "common/check.h"
 #include "common/clock.h"
+#include "common/compressed_series.h"
 #include "common/status.h"
 #include "common/timeseries.h"
+#include "preprocessor/history_spill.h"
 
 namespace qb5000 {
 
-/// Per-template arrival-rate record keeper. Recent history is held at
-/// per-minute resolution (the finest interval QB5000 predicts at); records
-/// older than the compaction horizon are folded into an hourly archive to
-/// bound storage, mirroring the paper's "aggregate stale arrival rate
-/// records into larger intervals" behavior (Section 4).
+/// Per-template arrival-rate record keeper over a three-rung aggregation
+/// ladder, each rung a compressed (run-length / narrow-packed) series:
+///
+///   recent_   minute resolution — the finest interval QB5000 predicts at
+///   archive_  hourly resolution — records older than the compaction
+///             horizon, mirroring the paper's "aggregate stale arrival
+///             rate records into larger intervals" behavior (Section 4)
+///   daily_    day resolution — the paper's scheme pushed one rung
+///             further for histories that outlive the archive horizon
+///             (off by default; see PreProcessor::Options)
+///
+/// Cold histories can additionally be *spilled*: their rungs are encoded
+/// into a HistorySpillStore and the in-memory object shrinks to a stub
+/// (scalars + cached coverage bounds). Reads on a spilled history go
+/// through the store transparently (const, shared-lock safe); Record()
+/// rehydrates first (exclusive-lock paths only). Only histories whose
+/// recent rung is empty may spill, which is what makes deferring
+/// compaction while spilled provably lossless: a minute-level Compact() on
+/// an empty recent rung is a no-op, and archive-level compactions compose
+/// (applying only the maximum requested cutoff on rehydrate produces the
+/// same bits as applying each in turn).
 class ArrivalHistory {
  public:
-  ArrivalHistory() : recent_(0, kSecondsPerMinute), archive_(0, kSecondsPerHour) {}
+  ArrivalHistory()
+      : recent_(0, kSecondsPerMinute),
+        archive_(0, kSecondsPerHour),
+        daily_(0, kSecondsPerDay) {}
 
-  /// Records `count` arrivals at `ts`.
+  /// Records `count` arrivals at `ts`. Rehydrates a spilled history first.
   void Record(Timestamp ts, double count);
 
   /// Moves minute-resolution buckets strictly before `before` into the
   /// hourly archive and drops them from the recent series.
   void Compact(Timestamp before);
 
+  /// Moves hourly buckets strictly before `before` (aligned down to a day)
+  /// into the daily rung. Deferred while spilled (applied on rehydrate or
+  /// read-through).
+  void CompactArchive(Timestamp before);
+
   /// Materializes the series over [from, to) at `interval_seconds`
   /// (a multiple of one minute). Archived ranges contribute their hourly
-  /// totals spread uniformly across the finer buckets — the fine-grained
-  /// shape of stale data is intentionally lost, as in the paper.
+  /// (or daily) totals spread uniformly across the finer buckets — the
+  /// fine-grained shape of stale data is intentionally lost, as in the
+  /// paper.
   Result<TimeSeries> Series(int64_t interval_seconds, Timestamp from,
                             Timestamp to) const;
+
+  /// Series() into a caller-provided buffer: `out` is Reset() and filled
+  /// in place, so hot extraction loops reuse one allocation instead of
+  /// materializing a fresh dense series per template. Produces bit-for-bit
+  /// the same buckets as Series().
+  Status WindowInto(int64_t interval_seconds, Timestamp from, Timestamp to,
+                    TimeSeries* out) const;
+
+  /// Total arrivals over the minute-resolution window [from, to) —
+  /// exactly `Series(60, from, to)->Total()`, computed through `scratch`
+  /// (or an internal buffer when null) to avoid a per-call allocation.
+  double RangeTotal(Timestamp from, Timestamp to, TimeSeries* scratch) const;
 
   /// Total arrivals ever recorded.
   double Total() const { return total_; }
@@ -37,33 +79,115 @@ class ArrivalHistory {
   /// Timestamp of the most recent recorded arrival (0 if none).
   Timestamp last_arrival() const { return last_arrival_; }
 
-  /// First covered timestamp across archive + recent data (0 if empty).
+  /// First covered timestamp across all rungs (0 if empty). Served from a
+  /// cached bound while spilled — no I/O.
   Timestamp FirstTime() const;
 
-  /// Approximate storage footprint in bytes (bucket counts * 8).
-  size_t StorageBytes() const {
-    return (recent_.size() + archive_.size()) * sizeof(double);
+  /// Resident heap footprint in bytes: object size plus the real heap
+  /// capacity of all rungs. Near-zero while spilled.
+  size_t StorageBytes() const;
+
+  /// Payload bytes held in the spill store for this history (0 when
+  /// resident).
+  size_t SpilledBytes() const {
+    return spilled_ ? segment_->length : 0;
   }
 
-  /// Snapshot support: raw parts for serialization...
-  const TimeSeries& recent() const { return recent_; }
-  const TimeSeries& archive() const { return archive_; }
-  /// ...and reconstruction from serialized parts.
-  static ArrivalHistory FromParts(TimeSeries recent, TimeSeries archive,
-                                  double total, Timestamp last_arrival) {
-    ArrivalHistory h;
-    h.recent_ = std::move(recent);
-    h.archive_ = std::move(archive);
-    h.total_ = total;
-    h.last_arrival_ = last_arrival;
-    return h;
+  // --- spill tier -----------------------------------------------------------
+
+  bool spilled() const { return spilled_; }
+
+  /// A history may spill only once fully compacted out of the minute rung;
+  /// see the class comment for why.
+  bool SpillEligible() const { return !spilled_ && recent_.empty(); }
+
+  /// Encodes the rungs into `store` and drops them from memory.
+  Status Spill(HistorySpillStore* store);
+
+  /// Loads the rungs back from the spill store and applies any deferred
+  /// archive compaction. On I/O failure the history comes back *empty*
+  /// (coverage lost, scalars kept) so the template keeps working; the
+  /// error is returned for accounting.
+  Status Rehydrate();
+
+  /// Releases the spill record without reloading it (template eviction).
+  void DropSpill();
+
+  /// GC support: copies this spilled history's payload into `store`'s
+  /// in-progress rewrite. The returned segment must not be adopted until
+  /// CommitRewrite() succeeds — AbortRewrite() frees it.
+  Result<const HistorySpillStore::Segment*> RewriteInto(
+      HistorySpillStore* store) const;
+
+  /// GC support: points this spilled history at its post-rewrite segment.
+  void AdoptSegment(HistorySpillStore* store,
+                    const HistorySpillStore::Segment* segment);
+
+  // --- serialization --------------------------------------------------------
+
+  /// Writes the full state (scalars + three rungs, exact run structure) to
+  /// `out`, reading through the spill store if needed. The snapshot v2
+  /// history payload and the spill payload share this one encoder.
+  Status EncodeResolved(std::ostream& out) const;
+
+  /// Parses what EncodeResolved() wrote. The result is always resident.
+  static Result<ArrivalHistory> DecodeFrom(std::istream& in);
+
+  /// Builds a history from the dense v1 snapshot representation,
+  /// preserving coverage exactly (explicit zero buckets included).
+  static Result<ArrivalHistory> FromDense(const TimeSeries& recent,
+                                          const TimeSeries& archive,
+                                          double total,
+                                          Timestamp last_arrival);
+
+  // --- raw rung access (history/snapshot internals only; qb_lint enforces
+  // that nothing outside those modules reaches in) ---------------------------
+
+  const CompressedSeries& recent() const {
+    QB_CHECK(!spilled_);
+    return recent_;
+  }
+  const CompressedSeries& archive() const {
+    QB_CHECK(!spilled_);
+    return archive_;
+  }
+  const CompressedSeries& daily() const {
+    QB_CHECK(!spilled_);
+    return daily_;
   }
 
  private:
-  TimeSeries recent_;   ///< minute resolution
-  TimeSeries archive_;  ///< hourly resolution, strictly before recent_.start()
+  /// Encodes the resident rungs; precondition !spilled_.
+  void EncodeTo(std::ostream& out) const;
+  std::string EncodeToString() const;
+
+  /// The hour -> day fold itself (resident only).
+  void ApplyCompactArchive(Timestamp before);
+
+  /// Resident copy of a (possibly spilled) history, deferred archive
+  /// compaction applied. Identity copy when already resident.
+  Result<ArrivalHistory> MaterializedCopy() const;
+
+  /// Fills `out` from resident rungs; precondition !spilled_.
+  void WindowIntoResident(int64_t interval_seconds, Timestamp from,
+                          Timestamp to, TimeSeries* out) const;
+
+  /// End (exclusive) of the covered range across all rungs; 0 when empty.
+  Timestamp CoveredEnd() const;
+
+  CompressedSeries recent_;   ///< minute resolution
+  CompressedSeries archive_;  ///< hourly, strictly before recent_.start()
+  CompressedSeries daily_;    ///< daily, strictly before archive_.start()
   double total_ = 0.0;
   Timestamp last_arrival_ = 0;
+
+  // Spill stub state (meaningful only while spilled_).
+  bool spilled_ = false;
+  HistorySpillStore* store_ = nullptr;
+  const HistorySpillStore::Segment* segment_ = nullptr;
+  Timestamp pending_archive_compact_ = 0;
+  Timestamp covered_first_ = 0;  ///< cached FirstTime() at spill time
+  Timestamp covered_end_ = 0;    ///< cached CoveredEnd() at spill time
 };
 
 }  // namespace qb5000

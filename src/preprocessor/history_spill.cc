@@ -1,0 +1,165 @@
+#include "preprocessor/history_spill.h"
+
+#include <utility>
+
+namespace qb5000 {
+
+namespace {
+Env* Resolve(Env* env) { return env != nullptr ? env : Env::Default(); }
+}  // namespace
+
+HistorySpillStore::HistorySpillStore(Env* env, std::string path)
+    : env_(Resolve(env)), path_(std::move(path)) {}
+
+HistorySpillStore::~HistorySpillStore() {
+  AbortRewrite();
+  if (writer_ != nullptr) (void)writer_->Close().ok();
+  writer_.reset();
+  reader_.reset();
+  // The spill file is runtime-only state (checkpoints hold everything), so
+  // leave nothing behind.
+  if (env_->FileExists(path_)) (void)env_->DeleteFile(path_).ok();
+}
+
+Status HistorySpillStore::Open() {
+  auto writer = env_->NewWritableFile(path_);  // truncates: fresh store
+  if (!writer.ok()) return writer.status();
+  auto reader = env_->NewRandomAccessFile(path_);
+  if (!reader.ok()) return reader.status();
+  writer_ = std::move(*writer);
+  reader_ = std::move(*reader);
+  arena_ = std::make_unique<Arena>();
+  head_ = nullptr;
+  tail_next_ = &head_;
+  tail_ = 0;
+  live_bytes_ = 0;
+  dead_bytes_ = 0;
+  return Status::Ok();
+}
+
+Result<const HistorySpillStore::Segment*> HistorySpillStore::Append(
+    std::string_view payload) {
+  if (writer_ == nullptr) return Status::FailedPrecondition("store not open");
+  Status st = writer_->Append(payload);
+  if (st.ok()) st = writer_->Flush();  // readable before the handle escapes
+  if (!st.ok()) return st;
+  Segment* segment = arena_->Make<Segment>();
+  segment->offset = tail_;
+  segment->length = static_cast<uint32_t>(payload.size());
+  segment->crc = Crc32(payload);
+  *tail_next_ = segment;
+  tail_next_ = &segment->next;
+  tail_ += payload.size();
+  live_bytes_ += payload.size();
+  return segment;
+}
+
+Result<std::string> HistorySpillStore::Read(const Segment* segment) const {
+  if (reader_ == nullptr) return Status::FailedPrecondition("store not open");
+  auto data = reader_->Read(segment->offset, segment->length);
+  if (!data.ok()) return data.status();
+  if (data->size() != segment->length) {
+    return Status::IOError("spill record truncated");
+  }
+  if (Crc32(*data) != segment->crc) {
+    return Status::IOError("spill record checksum mismatch");
+  }
+  read_throughs_.fetch_add(1, std::memory_order_relaxed);
+  return data;
+}
+
+void HistorySpillStore::MarkDead(const Segment* segment) {
+  // The const pointer handed to callers is a read-only view; the store
+  // owns the node and may flip its liveness.
+  Segment* node = const_cast<Segment*>(segment);
+  if (!node->live) return;
+  node->live = false;
+  live_bytes_ -= node->length;
+  dead_bytes_ += node->length;
+}
+
+Status HistorySpillStore::BeginRewrite() {
+  if (writer_ == nullptr) return Status::FailedPrecondition("store not open");
+  if (rewrite_writer_ != nullptr) {
+    return Status::FailedPrecondition("rewrite already active");
+  }
+  auto writer = env_->NewWritableFile(RewritePath(path_));
+  if (!writer.ok()) return writer.status();
+  rewrite_writer_ = std::move(*writer);
+  rewrite_arena_ = std::make_unique<Arena>();
+  rewrite_head_ = nullptr;
+  rewrite_tail_next_ = &rewrite_head_;
+  rewrite_tail_ = 0;
+  rewrite_live_bytes_ = 0;
+  return Status::Ok();
+}
+
+Result<const HistorySpillStore::Segment*> HistorySpillStore::RewriteAppend(
+    std::string_view payload) {
+  if (rewrite_writer_ == nullptr) {
+    return Status::FailedPrecondition("no rewrite active");
+  }
+  Status st = rewrite_writer_->Append(payload);
+  if (!st.ok()) return st;
+  Segment* segment = rewrite_arena_->Make<Segment>();
+  segment->offset = rewrite_tail_;
+  segment->length = static_cast<uint32_t>(payload.size());
+  segment->crc = Crc32(payload);
+  *rewrite_tail_next_ = segment;
+  rewrite_tail_next_ = &segment->next;
+  rewrite_tail_ += payload.size();
+  rewrite_live_bytes_ += payload.size();
+  return segment;
+}
+
+Status HistorySpillStore::CommitRewrite() {
+  if (rewrite_writer_ == nullptr) {
+    return Status::FailedPrecondition("no rewrite active");
+  }
+  Status st = rewrite_writer_->Flush();
+  if (!st.ok()) {
+    AbortRewrite();
+    return st;
+  }
+  // Rename the fresh file into place. The open write handle follows the
+  // inode across the rename, so appends keep working; only the positional
+  // reader needs reopening on the (now replaced) path.
+  st = env_->RenameFile(RewritePath(path_), path_);
+  if (!st.ok()) {
+    AbortRewrite();
+    return st;
+  }
+  auto reader = env_->NewRandomAccessFile(path_);
+  if (!reader.ok()) {
+    // The new file is already in place and its segments were adopted by
+    // callers; without a reader the store is unusable.
+    AbortRewrite();
+    return reader.status();
+  }
+  (void)writer_->Close().ok();
+  writer_ = std::move(rewrite_writer_);
+  reader_ = std::move(*reader);
+  arena_ = std::move(rewrite_arena_);
+  head_ = rewrite_head_;
+  tail_next_ = rewrite_tail_next_ == &rewrite_head_ ? &head_ : rewrite_tail_next_;
+  tail_ = rewrite_tail_;
+  live_bytes_ = rewrite_live_bytes_;
+  dead_bytes_ = 0;
+  rewrite_head_ = nullptr;
+  rewrite_tail_next_ = nullptr;
+  return Status::Ok();
+}
+
+void HistorySpillStore::AbortRewrite() {
+  if (rewrite_writer_ == nullptr) return;
+  (void)rewrite_writer_->Close().ok();
+  rewrite_writer_.reset();
+  rewrite_arena_.reset();
+  rewrite_head_ = nullptr;
+  rewrite_tail_next_ = nullptr;
+  if (env_->FileExists(RewritePath(path_))) {
+    (void)env_->DeleteFile(RewritePath(path_)).ok();
+  }
+}
+
+}  // namespace qb5000

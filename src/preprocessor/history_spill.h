@@ -1,0 +1,130 @@
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <string_view>
+
+#include "common/arena.h"
+#include "common/io.h"
+#include "common/status.h"
+
+namespace qb5000 {
+
+/// Append-only on-disk backing for cold template histories — the spill tier
+/// behind `ArrivalHistory`. Payloads (encoded histories) are appended to a
+/// single file; the index of where each record lives is kept entirely in
+/// memory as arena-allocated `Segment` nodes, so spilling a template costs
+/// one small node plus its payload bytes on disk instead of the history's
+/// heap footprint.
+///
+/// The file is *runtime-only* state: everything spilled here is still
+/// serialized into checkpoints (read through on save), so the store is
+/// recreated empty on startup and never needs crash recovery. That is why
+/// appends Flush() but never Sync(), and why GC can swap to a fresh file
+/// without rename gymnastics for the old one.
+///
+/// Thread-safety: externally synchronized by the owner's state lock, like
+/// the PreProcessor it serves. `Read()` is const and safe to call from
+/// multiple shared-lock holders concurrently (positional reads of
+/// already-flushed bytes); `Append`/`MarkDead`/the GC triad require the
+/// exclusive lock. Read stats counters are atomic so const readers can
+/// bump them.
+class HistorySpillStore {
+ public:
+  /// In-memory index node for one spilled payload. Allocated from the
+  /// store's arena; pointers stay valid until the store is destroyed or a
+  /// GC rewrite completes (after which every live segment has been
+  /// re-appended and callers hold the new pointers).
+  struct Segment {
+    uint64_t offset = 0;
+    uint32_t length = 0;
+    uint32_t crc = 0;
+    bool live = true;
+    Segment* next = nullptr;  ///< insertion-ordered intrusive list
+  };
+
+  /// `env == nullptr` means Env::Default(). Call Open() before use.
+  HistorySpillStore(Env* env, std::string path);
+  ~HistorySpillStore();
+
+  HistorySpillStore(const HistorySpillStore&) = delete;
+  HistorySpillStore& operator=(const HistorySpillStore&) = delete;
+
+  /// Creates (truncates) the spill file and opens the positional reader.
+  Status Open();
+
+  /// Appends `payload`, flushes it to the OS, and returns its index node.
+  Result<const Segment*> Append(std::string_view payload);
+
+  /// Reads a payload back and verifies its CRC (IOError on mismatch —
+  /// the bytes rotted or the store was overwritten).
+  Result<std::string> Read(const Segment* segment) const;
+
+  /// Marks a payload dead (rehydrated or its template evicted). Idempotent.
+  void MarkDead(const Segment* segment);
+
+  /// --- GC: rewrite live payloads into a fresh file ----------------------
+  /// The caller (PreProcessor) drives the rewrite because only it knows
+  /// which template owns which segment: BeginRewrite(), then for *every*
+  /// live segment Read() + RewriteAppend(), then CommitRewrite() (or
+  /// AbortRewrite() on any failure, which leaves the old file and index
+  /// fully intact). Nodes returned by RewriteAppend() must only be adopted
+  /// *after* CommitRewrite() succeeds — AbortRewrite() frees them.
+  Status BeginRewrite();
+  Result<const Segment*> RewriteAppend(std::string_view payload);
+  Status CommitRewrite();
+  void AbortRewrite();
+
+  /// True when dead bytes dominate live bytes and are worth reclaiming.
+  bool NeedsGC() const {
+    return dead_bytes_ > live_bytes_ && dead_bytes_ >= kMinGCBytes;
+  }
+
+  size_t live_bytes() const { return live_bytes_; }
+  size_t dead_bytes() const { return dead_bytes_; }
+  size_t file_bytes() const { return tail_; }
+  /// Bytes reserved for the in-memory segment index.
+  size_t index_bytes() const {
+    return (arena_ != nullptr ? arena_->bytes_reserved() : 0) +
+           (rewrite_arena_ != nullptr ? rewrite_arena_->bytes_reserved() : 0);
+  }
+  uint64_t read_throughs() const {
+    return read_throughs_.load(std::memory_order_relaxed);
+  }
+
+  const std::string& path() const { return path_; }
+
+ private:
+  static constexpr size_t kMinGCBytes = 1 << 20;
+
+  // GC-time path join, nowhere near the ingest path.
+  static std::string RewritePath(const std::string& path) {  // lint:string-ref-ok
+    return path + ".gc";
+  }
+
+  Env* env_;
+  std::string path_;
+  std::unique_ptr<WritableFile> writer_;
+  std::unique_ptr<RandomAccessFile> reader_;
+  std::unique_ptr<Arena> arena_;
+  Segment* head_ = nullptr;
+  Segment** tail_next_ = &head_;
+  uint64_t tail_ = 0;
+  size_t live_bytes_ = 0;
+  size_t dead_bytes_ = 0;
+
+  // In-flight GC rewrite (null when no rewrite is active).
+  std::unique_ptr<WritableFile> rewrite_writer_;
+  std::unique_ptr<Arena> rewrite_arena_;
+  Segment* rewrite_head_ = nullptr;
+  Segment** rewrite_tail_next_ = nullptr;
+  uint64_t rewrite_tail_ = 0;
+  size_t rewrite_live_bytes_ = 0;
+
+  // Stat counter bumped by const shared-lock readers.
+  mutable std::atomic<uint64_t> read_throughs_{0};  // lint:raw-atomic-ok
+};
+
+}  // namespace qb5000

@@ -10,21 +10,16 @@ namespace qb5000 {
 namespace {
 
 constexpr char kMagic[] = "qb5000-snapshot";
-constexpr int kVersion = 1;
+/// v1: dense history series (recent minute vector + hourly archive vector).
+/// v2: compressed three-rung history payload (ArrivalHistory::EncodeResolved).
+/// Load() accepts both; Save() writes v2.
+constexpr int kVersion = 2;
+constexpr int kOldestSupportedVersion = 1;
 
 // --- primitive writers (length-prefixed strings; text numbers) -------------
 
 void WriteString(std::ostream& out, const std::string& s) {
   out << s.size() << '\n' << s << '\n';
-}
-
-void WriteSeries(std::ostream& out, const TimeSeries& ts) {
-  out << ts.start() << ' ' << ts.interval_seconds() << ' ' << ts.size() << '\n';
-  for (size_t i = 0; i < ts.size(); ++i) {
-    if (i > 0) out << ' ';
-    out << ts.values()[i];
-  }
-  out << '\n';
 }
 
 // --- primitive readers ------------------------------------------------------
@@ -75,8 +70,11 @@ Status Snapshot::Save(const PreProcessor& pre, std::ostream& out) {
     for (const auto& table : info->tables) WriteString(out, table);
     out << "history " << info->history.Total() << ' '
         << info->history.last_arrival() << '\n';
-    WriteSeries(out, info->history.recent());
-    WriteSeries(out, info->history.archive());
+    // Reads through the spill store when the history is cold — checkpoints
+    // always hold the full state, which is what makes the spill file itself
+    // disposable.
+    Status history_status = info->history.EncodeResolved(out);
+    if (!history_status.ok()) return history_status;
     const auto& samples = info->param_samples;
     out << "params " << samples.capacity() << ' ' << samples.seen() << ' '
         << samples.items().size() << '\n';
@@ -100,7 +98,7 @@ Result<PreProcessor> Snapshot::Load(std::istream& in,
   if (!(in >> magic >> version) || magic != kMagic) {
     return Status::ParseError("not a qb5000 snapshot");
   }
-  if (version != kVersion) {
+  if (version < kOldestSupportedVersion || version > kVersion) {
     return Status::ParseError("unsupported snapshot version");
   }
   std::string keyword;
@@ -144,13 +142,21 @@ Result<PreProcessor> Snapshot::Load(std::istream& in,
         keyword != "history") {
       return Status::ParseError("missing history section");
     }
-    auto recent = ReadSeries(in);
-    if (!recent.ok()) return recent.status();
-    auto archive = ReadSeries(in);
-    if (!archive.ok()) return archive.status();
-    info.history = ArrivalHistory::FromParts(std::move(*recent),
-                                             std::move(*archive), history_total,
-                                             last_arrival);
+    if (version == 1) {
+      // Dense v1 payload: two flat series, converted bucket-for-bucket.
+      auto recent = ReadSeries(in);
+      if (!recent.ok()) return recent.status();
+      auto archive = ReadSeries(in);
+      if (!archive.ok()) return archive.status();
+      auto history = ArrivalHistory::FromDense(*recent, *archive,
+                                               history_total, last_arrival);
+      if (!history.ok()) return history.status();
+      info.history = std::move(*history);
+    } else {
+      auto history = ArrivalHistory::DecodeFrom(in);
+      if (!history.ok()) return history.status();
+      info.history = std::move(*history);
+    }
     size_t capacity = 0, kept = 0;
     uint64_t seen = 0;
     if (!(in >> keyword >> capacity >> seen >> kept) || keyword != "params") {

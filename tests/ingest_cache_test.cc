@@ -7,6 +7,7 @@
 #include <cctype>
 #include <cstdint>
 #include <iterator>
+#include <sstream>
 #include <string>
 #include <string_view>
 #include <vector>
@@ -73,11 +74,20 @@ std::vector<TraceEvent> MakeFuzzTrace(int iterations, uint64_t seed) {
   return events;
 }
 
+/// Serializes a history's complete state (scalars + exact run structure of
+/// every rung) — string equality here is full bit-identity of the history.
+std::string EncodedHistory(const ArrivalHistory& history) {
+  std::ostringstream out;
+  out.precision(17);
+  EXPECT_TRUE(history.EncodeResolved(out).ok());
+  return out.str();
+}
+
 /// Asserts two PreProcessors hold bit-identical template state: ids,
 /// fingerprints, texts, types, totals, timestamps, and full arrival
-/// histories (recent + archive series). Parameter-reservoir contents are
-/// deliberately exempt (DESIGN.md §11: the hit path samples normalized
-/// token literals, the miss path samples parse-derived tuples).
+/// histories (all rungs, via the canonical encoding). Parameter-reservoir
+/// contents are deliberately exempt (DESIGN.md §11: the hit path samples
+/// normalized token literals, the miss path samples parse-derived tuples).
 void ExpectSameTemplateState(const PreProcessor& a, const PreProcessor& b) {
   ASSERT_EQ(a.TemplateIds(), b.TemplateIds());
   EXPECT_EQ(a.total_queries(), b.total_queries());
@@ -96,11 +106,7 @@ void ExpectSameTemplateState(const PreProcessor& a, const PreProcessor& b) {
     EXPECT_EQ(ta->history.Total(), tb->history.Total()) << "id " << id;
     EXPECT_EQ(ta->history.last_arrival(), tb->history.last_arrival())
         << "id " << id;
-    EXPECT_EQ(ta->history.recent().start(), tb->history.recent().start())
-        << "id " << id;
-    EXPECT_EQ(ta->history.recent().values(), tb->history.recent().values())
-        << "id " << id;
-    EXPECT_EQ(ta->history.archive().values(), tb->history.archive().values())
+    EXPECT_EQ(EncodedHistory(ta->history), EncodedHistory(tb->history))
         << "id " << id;
   }
 }
